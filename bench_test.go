@@ -1,0 +1,291 @@
+// Benchmark harness: one benchmark per figure of the paper's evaluation,
+// plus ablation benches for the design choices DESIGN.md calls out.
+//
+// The figure benches report the reproduced quantity via b.ReportMetric —
+// PLT in seconds, PLR in percent, traffic in KB — so `go test -bench=.`
+// regenerates every row the paper plots. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package scholarcloud
+
+import (
+	"fmt"
+	"testing"
+
+	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/experiments"
+	"scholarcloud/internal/survey"
+)
+
+// figureWorld builds a fresh world per benchmark (construction costs
+// milliseconds; isolation keeps figures independent).
+func figureWorld(b *testing.B, cfg experiments.Config) *experiments.World {
+	b.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 2017
+	}
+	w := experiments.NewWorld(cfg)
+	b.Cleanup(w.Close)
+	return w
+}
+
+// BenchmarkFig3Survey regenerates the survey distribution (Fig. 3) and
+// reports the bypass share.
+func BenchmarkFig3Survey(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		rs := survey.Generate(survey.Respondents, uint64(i+1))
+		share = survey.BypassShare(rs)
+	}
+	b.ReportMetric(share*100, "%bypass")
+}
+
+// BenchmarkFig4Session verifies and times the session-structure probe of
+// Fig. 4 for every method.
+func BenchmarkFig4Session(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	for _, f := range w.Methods() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ss, err := w.MeasureSessionStructure(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ss.TCP3 {
+					b.Fatal("no data connection observed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5aPLT reproduces Fig. 5a: first-time and subsequent page
+// load times per method.
+func BenchmarkFig5aPLT(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	for _, f := range w.Methods() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			var first, sub float64
+			for i := 0; i < b.N; i++ {
+				r, err := w.MeasurePLT(f, 2, 6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				first, sub = r.FirstTime.Mean, r.Subsequent.Mean
+			}
+			b.ReportMetric(first, "s/first-PLT")
+			b.ReportMetric(sub, "s/subseq-PLT")
+		})
+	}
+}
+
+// BenchmarkFig5bRTT reproduces Fig. 5b: tunneled round-trip times.
+func BenchmarkFig5bRTT(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	for _, f := range w.Methods() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			var rtt float64
+			for i := 0; i < b.N; i++ {
+				r, err := w.MeasureRTT(f, 12)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rtt = r.RTT.Mean
+			}
+			b.ReportMetric(rtt*1000, "ms/RTT")
+		})
+	}
+}
+
+// BenchmarkFig5cPLR reproduces Fig. 5c: packet loss rate per method plus
+// the uncensored baseline.
+func BenchmarkFig5cPLR(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	fs := append(w.Methods(), w.DirectBaseline())
+	for _, f := range fs {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			var plr float64
+			for i := 0; i < b.N; i++ {
+				r, err := w.MeasurePLR(f, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plr = r.PLR
+			}
+			b.ReportMetric(plr*100, "%PLR")
+		})
+	}
+}
+
+// BenchmarkFig6aTraffic reproduces Fig. 6a: client traffic per access.
+func BenchmarkFig6aTraffic(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	fs := append([]experiments.Factory{w.DirectBaseline()}, w.Methods()...)
+	for _, f := range fs {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			var kb float64
+			for i := 0; i < b.N; i++ {
+				r, err := w.MeasureTraffic(f, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kb = r.BytesPerAccess / 1024
+			}
+			b.ReportMetric(kb, "KB/access")
+		})
+	}
+}
+
+// BenchmarkFig6bcClientCost reproduces Fig. 6b/6c: the modeled client CPU
+// and memory, driven by measured traffic.
+func BenchmarkFig6bcClientCost(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	q := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.ReportFig6bc(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Scalability reproduces Fig. 7's sweep at three
+// representative concurrency levels (run cmd/scholarbench -full for the
+// complete eight-point sweep).
+func BenchmarkFig7Scalability(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	for _, f := range w.Methods() {
+		if f.Name == "tor" {
+			continue // as in the paper: Tor's servers are not controllable
+		}
+		f := f
+		for _, n := range []int{5, 60, 120} {
+			n := n
+			b.Run(fmt.Sprintf("%s/clients-%d", f.Name, n), func(b *testing.B) {
+				var plt float64
+				for i := 0; i < b.N; i++ {
+					p, err := w.MeasureScalability(f, n, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					plt = p.PLT.Mean
+				}
+				b.ReportMetric(plt, "s/PLT")
+			})
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkAblationBlinding compares ScholarCloud with and without
+// message blinding: the unblinded tunnel dies to keyword filtering.
+func BenchmarkAblationBlinding(b *testing.B) {
+	b.Run("blinded", func(b *testing.B) {
+		w := figureWorld(b, experiments.Config{})
+		ok := 0
+		for i := 0; i < b.N; i++ {
+			r, err := w.MeasurePLT(scFactory(w), 1, 1)
+			if err == nil && r.Subsequent.N > 0 {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok)/float64(b.N)*100, "%success")
+	})
+	b.Run("no-blinding", func(b *testing.B) {
+		w := figureWorld(b, experiments.Config{ScholarCloudNoBlinding: true})
+		ok := 0
+		for i := 0; i < b.N; i++ {
+			if _, err := w.MeasurePLT(scFactory(w), 1, 1); err == nil {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok)/float64(b.N)*100, "%success")
+	})
+}
+
+func scFactory(w *experiments.World) experiments.Factory {
+	for _, f := range w.Methods() {
+		if f.Name == "scholarcloud" {
+			return f
+		}
+	}
+	panic("scholarcloud factory missing")
+}
+
+// BenchmarkAblationSSKeepAlive shows the paper's root-cause claim for
+// Shadowsocks' PLT: lengthening the keep-alive removes the per-visit
+// re-authentication and its latency.
+func BenchmarkAblationSSKeepAlive(b *testing.B) {
+	for _, ka := range []struct {
+		name string
+		d    int // seconds
+	}{{"10s-default", 0}, {"600s", 600}} {
+		ka := ka
+		b.Run(ka.name, func(b *testing.B) {
+			cfg := experiments.Config{}
+			if ka.d > 0 {
+				cfg.SSKeepAlive = 600e9
+			}
+			w := figureWorld(b, cfg)
+			var f experiments.Factory
+			for _, m := range w.Methods() {
+				if m.Name == "shadowsocks" {
+					f = m
+				}
+			}
+			var sub float64
+			for i := 0; i < b.N; i++ {
+				r, err := w.MeasurePLT(f, 1, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sub = r.Subsequent.Mean
+			}
+			b.ReportMetric(sub, "s/subseq-PLT")
+		})
+	}
+}
+
+// BenchmarkAblationDomesticPenalty quantifies §1's claim that full-tunnel
+// VPNs slow domestic browsing.
+func BenchmarkAblationDomesticPenalty(b *testing.B) {
+	w := figureWorld(b, experiments.Config{})
+	var direct, viaVPN float64
+	for i := 0; i < b.N; i++ {
+		d, v, err := w.DomesticPenalty()
+		if err != nil {
+			b.Fatal(err)
+		}
+		direct, viaVPN = d.Seconds(), v.Seconds()
+	}
+	b.ReportMetric(direct, "s/direct")
+	b.ReportMetric(viaVPN, "s/via-vpn")
+	b.ReportMetric(viaVPN/direct, "x-penalty")
+}
+
+// --- Microbenchmarks on the primitives -------------------------------------
+
+// BenchmarkBlindingSchemes measures codec throughput: blinding must add
+// negligible CPU on the proxies.
+func BenchmarkBlindingSchemes(b *testing.B) {
+	buf := make([]byte, 64*1024)
+	out := make([]byte, len(buf))
+	for _, s := range []blinding.Scheme{
+		blinding.NewByteMap([]byte("k")),
+		blinding.NewXORStream([]byte("k")),
+		blinding.Identity{},
+	} {
+		s := s
+		b.Run(s.Name(), func(b *testing.B) {
+			enc := s.NewEncoder()
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				enc.Apply(out, buf)
+			}
+		})
+	}
+}

@@ -1,0 +1,22 @@
+// Command pacgen generates a proxy auto-config file for a ScholarCloud
+// whitelist.
+//
+//	pacgen -proxy 101.6.6.6:8118 -domains scholar.google.com,accounts.google.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"scholarcloud/internal/pac"
+)
+
+func main() {
+	proxy := flag.String("proxy", "127.0.0.1:8118", "domestic proxy host:port")
+	domains := flag.String("domains", "scholar.google.com,accounts.google.com",
+		"comma-separated whitelist")
+	flag.Parse()
+	cfg := pac.New(*proxy, strings.Split(*domains, ","))
+	fmt.Print(cfg.JavaScript())
+}

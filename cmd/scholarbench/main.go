@@ -1,0 +1,67 @@
+// Command scholarbench regenerates every figure of the paper's evaluation
+// (Figs. 3–7) against the simulated censored internet.
+//
+// Usage:
+//
+//	scholarbench [-fig 3|4|5a|5b|5c|6a|6bc|7|all] [-seed N] [-full]
+//
+// -full runs the paper-scale workload (a simulated day per series);
+// the default quick mode samples each series lightly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scholarcloud/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,all")
+	seed := flag.Uint64("seed", 2017, "simulation seed")
+	full := flag.Bool("full", false, "paper-scale sample counts (slower)")
+	flag.Parse()
+
+	q := experiments.Quick()
+	if *full {
+		q = experiments.Full()
+	}
+
+	if *fig == "3" || *fig == "all" {
+		fmt.Println(experiments.ReportFig3(*seed))
+	}
+	if *fig == "3" {
+		return
+	}
+
+	w := experiments.NewWorld(experiments.Config{Seed: *seed})
+	defer w.Close()
+
+	type section struct {
+		name string
+		run  func() (string, error)
+	}
+	sections := []section{
+		{"2", func() (string, error) { return experiments.ReportArchitecture(), nil }},
+		{"4", w.ReportFig4},
+		{"5a", func() (string, error) { return w.ReportFig5a(q) }},
+		{"5b", func() (string, error) { return w.ReportFig5b(q) }},
+		{"5c", func() (string, error) { return w.ReportFig5c(q) }},
+		{"6a", func() (string, error) { return w.ReportFig6a(q) }},
+		{"6bc", func() (string, error) { return w.ReportFig6bc(q) }},
+		{"7", func() (string, error) { return w.ReportFig7(q) }},
+		{"ops", func() (string, error) { return w.ReportDeployment(q) }},
+	}
+	for _, s := range sections {
+		if *fig != "all" && *fig != s.name {
+			continue
+		}
+		out, err := s.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,110 @@
+// Command scholarcloud runs the deployable split-proxy system over real
+// sockets.
+//
+// Remote proxy (outside the censored network):
+//
+//	scholarcloud remote -listen :8443 -secret <key>
+//
+// Domestic proxy (inside; what browsers' PAC points at):
+//
+//	scholarcloud domestic -listen :8118 -web :8080 \
+//	    -remote remote.example.com:8443 -secret <key> \
+//	    -whitelist scholar.google.com,accounts.google.com \
+//	    -public proxy.example.com:8118
+//
+// Users configure their browser with http://<domestic>/pac — the single
+// setting ScholarCloud requires.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"scholarcloud"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "remote":
+		runRemote(os.Args[2:])
+	case "domestic":
+		runDomestic(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scholarcloud remote|domestic [flags]")
+	os.Exit(2)
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func runRemote(args []string) {
+	fs := flag.NewFlagSet("remote", flag.ExitOnError)
+	listen := fs.String("listen", ":8443", "tunnel listen address")
+	secret := fs.String("secret", "", "blinding secret shared with the domestic proxy")
+	epoch := fs.Uint64("epoch", 0, "blinding epoch")
+	fs.Parse(args)
+	if *secret == "" {
+		fmt.Fprintln(os.Stderr, "remote: -secret is required")
+		os.Exit(2)
+	}
+	r, err := scholarcloud.StartRemote(scholarcloud.RemoteConfig{
+		Listen: *listen,
+		Secret: []byte(*secret),
+		Epoch:  *epoch,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remote:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	fmt.Printf("scholarcloud remote proxy on %s (epoch %d)\n", r.Addr(), *epoch)
+	waitForInterrupt()
+}
+
+func runDomestic(args []string) {
+	fs := flag.NewFlagSet("domestic", flag.ExitOnError)
+	listen := fs.String("listen", ":8118", "browser-facing proxy address")
+	web := fs.String("web", ":8080", "PAC/whitelist web address")
+	remote := fs.String("remote", "", "remote proxy host:port")
+	secret := fs.String("secret", "", "blinding secret shared with the remote proxy")
+	epoch := fs.Uint64("epoch", 0, "blinding epoch")
+	whitelist := fs.String("whitelist", "scholar.google.com,accounts.google.com",
+		"comma-separated visible whitelist of legal domains")
+	public := fs.String("public", "", "proxy address written into the PAC file")
+	fs.Parse(args)
+	if *secret == "" || *remote == "" {
+		fmt.Fprintln(os.Stderr, "domestic: -secret and -remote are required")
+		os.Exit(2)
+	}
+	d, err := scholarcloud.StartDomestic(scholarcloud.DomesticConfig{
+		ProxyListen:     *listen,
+		WebListen:       *web,
+		RemoteAddr:      *remote,
+		Secret:          []byte(*secret),
+		Epoch:           *epoch,
+		Whitelist:       strings.Split(*whitelist, ","),
+		PublicProxyAddr: *public,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "domestic:", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+	fmt.Printf("scholarcloud domestic proxy on %s; PAC at http://%s/pac\n",
+		d.ProxyAddr(), d.WebAddr())
+	waitForInterrupt()
+}

@@ -1,0 +1,171 @@
+package scholarcloud
+
+import (
+	"fmt"
+	"net"
+
+	"scholarcloud/internal/core"
+	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/pac"
+	"scholarcloud/internal/pki"
+)
+
+// RemoteConfig configures a real-socket remote proxy (the endpoint
+// outside the censored network).
+type RemoteConfig struct {
+	// Listen is the TCP address for domestic-proxy tunnels, e.g. ":8443".
+	Listen string
+	// Secret is the blinding key material shared with the domestic proxy.
+	Secret []byte
+	// Epoch selects the blinding scheme; both proxies must agree.
+	Epoch uint64
+	// Name is the certificate common name presented on per-stream
+	// channels (default "remote.scholarcloud.example").
+	Name string
+}
+
+// RemoteProxy is a running remote proxy.
+type RemoteProxy struct {
+	remote *core.Remote
+	ln     net.Listener
+	// CACert is the DER self-signed root created at startup; ship it to
+	// domestic proxies that want per-stream channel verification.
+	CACert []byte
+}
+
+// Addr returns the bound listen address.
+func (r *RemoteProxy) Addr() net.Addr { return r.ln.Addr() }
+
+// Close shuts the proxy down.
+func (r *RemoteProxy) Close() {
+	r.remote.Close()
+	r.ln.Close()
+}
+
+// StartRemote launches the remote proxy over real sockets.
+func StartRemote(cfg RemoteConfig) (*RemoteProxy, error) {
+	if cfg.Name == "" {
+		cfg.Name = "remote.scholarcloud.example"
+	}
+	ca, err := pki.NewCA("ScholarCloud Deployment CA", nil)
+	if err != nil {
+		return nil, err
+	}
+	id, err := ca.Issue(cfg.Name, true)
+	if err != nil {
+		return nil, err
+	}
+	env := netx.RealEnv()
+	remote := &core.Remote{
+		Env: env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			return net.Dial("tcp", fmt.Sprintf("%s:%d", host, port))
+		},
+		Secret:   cfg.Secret,
+		Epoch:    cfg.Epoch,
+		Identity: id,
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	go remote.Serve(ln)
+	return &RemoteProxy{remote: remote, ln: ln, CACert: ca.DER}, nil
+}
+
+// DomesticConfig configures a real-socket domestic proxy (the endpoint
+// users' browsers are pointed at).
+type DomesticConfig struct {
+	// ProxyListen is the browser-facing proxy address, e.g. ":8118".
+	ProxyListen string
+	// WebListen serves /pac and /whitelist, e.g. ":8080".
+	WebListen string
+	// RemoteAddr is the remote proxy's "host:port".
+	RemoteAddr string
+	// Secret/Epoch must match the remote proxy.
+	Secret []byte
+	Epoch  uint64
+	// Whitelist is the visible list of incidentally-blocked legal domains
+	// the proxy forwards; everything else is refused.
+	Whitelist []string
+	// PublicProxyAddr is the address written into the generated PAC file
+	// (what browsers can reach), e.g. "proxy.example.com:8118".
+	PublicProxyAddr string
+}
+
+// DomesticProxy is a running domestic proxy.
+type DomesticProxy struct {
+	domestic *core.Domestic
+	proxy    *httpsim.Proxy
+	proxyLn  net.Listener
+	webLn    net.Listener
+	policy   *pac.Config
+}
+
+// ProxyAddr returns the browser-facing address.
+func (d *DomesticProxy) ProxyAddr() net.Addr { return d.proxyLn.Addr() }
+
+// WebAddr returns the PAC/whitelist endpoint address.
+func (d *DomesticProxy) WebAddr() net.Addr { return d.webLn.Addr() }
+
+// PAC returns the generated proxy auto-config file.
+func (d *DomesticProxy) PAC() string { return d.policy.JavaScript() }
+
+// SetWhitelist replaces the visible whitelist at runtime (the on-demand
+// alteration the registration regime requires).
+func (d *DomesticProxy) SetWhitelist(domains []string) { d.policy.SetDomains(domains) }
+
+// Rotate switches the blinding epoch (coordinate with the remote).
+func (d *DomesticProxy) Rotate(epoch uint64) { d.domestic.Rotate(epoch) }
+
+// Close shuts the proxy down.
+func (d *DomesticProxy) Close() {
+	d.proxy.Close()
+	d.proxyLn.Close()
+	d.webLn.Close()
+}
+
+// StartDomestic launches the domestic proxy over real sockets.
+func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
+	env := netx.RealEnv()
+	public := cfg.PublicProxyAddr
+	if public == "" {
+		public = cfg.ProxyListen
+	}
+	policy := pac.New(public, cfg.Whitelist)
+	domestic := &core.Domestic{
+		Env: env,
+		DialRemote: func() (net.Conn, error) {
+			return net.Dial("tcp", cfg.RemoteAddr)
+		},
+		Secret:    cfg.Secret,
+		Epoch:     cfg.Epoch,
+		Whitelist: policy,
+		// Per-stream channel verification requires distributing the
+		// remote's CA; the blinded carrier plus shared secret already
+		// authenticate the peer, so deployment defaults to accepting the
+		// remote's certificate.
+		RemoteName: "remote.scholarcloud.example",
+	}
+	proxyLn, err := net.Listen("tcp", cfg.ProxyListen)
+	if err != nil {
+		return nil, err
+	}
+	webLn, err := net.Listen("tcp", cfg.WebListen)
+	if err != nil {
+		proxyLn.Close()
+		return nil, err
+	}
+	proxy := domestic.Proxy()
+	go proxy.Serve(proxyLn)
+	webSrv := &httpsim.Server{Handler: domestic.PACHandler(), Spawn: env.Spawn}
+	go webSrv.Serve(webLn)
+	return &DomesticProxy{
+		domestic: domestic,
+		proxy:    proxy,
+		proxyLn:  proxyLn,
+		webLn:    webLn,
+		policy:   policy,
+	}, nil
+}

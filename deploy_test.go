@@ -1,0 +1,264 @@
+package scholarcloud
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/httpsim"
+)
+
+// startOrigin runs a plain-HTTP origin on a loopback socket and returns
+// its host:port.
+func startOrigin(t *testing.T, body string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					if _, err := httpsim.ReadRequest(br); err != nil {
+						return
+					}
+					resp := httpsim.NewResponse(200, []byte(body))
+					if err := resp.Encode(conn); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestRealSocketDeployment runs the full split-proxy system over loopback
+// sockets: browser-side CONNECT through the domestic proxy, blinded
+// tunnel to the remote proxy, remote dial to an origin.
+func TestRealSocketDeployment(t *testing.T) {
+	origin := startOrigin(t, "legal scholarly content")
+	originHost, originPort, _ := strings.Cut(origin, ":")
+
+	secret := []byte("deployment-secret")
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      secret,
+		Whitelist:   []string{originHost},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	// Browser-side: CONNECT to the origin through the domestic proxy.
+	conn, err := net.DialTimeout("tcp", domestic.ProxyAddr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "CONNECT %s HTTP/1.1\r\nHost: %s\r\n\r\n", origin, origin)
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("CONNECT status = %q", status)
+	}
+	// Drain the rest of the response head.
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+
+	// Speak HTTP through the tunnel.
+	fmt.Fprintf(conn, "GET /paper HTTP/1.1\r\nHost: %s:%s\r\n\r\n", originHost, originPort)
+	resp, err := httpsim.ReadResponse(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "legal scholarly content" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+func TestRealSocketWhitelistRefusal(t *testing.T) {
+	secret := []byte("deployment-secret")
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      secret,
+		Whitelist:   []string{"scholar.google.com"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	conn, err := net.DialTimeout("tcp", domestic.ProxyAddr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "CONNECT evil.example:443 HTTP/1.1\r\nHost: evil.example:443\r\n\r\n")
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "403") {
+		t.Errorf("status = %q, want 403", status)
+	}
+}
+
+func TestRealSocketPACEndpoint(t *testing.T) {
+	secret := []byte("s")
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen:     "127.0.0.1:0",
+		WebListen:       "127.0.0.1:0",
+		RemoteAddr:      remote.Addr().String(),
+		Secret:          secret,
+		Whitelist:       []string{"scholar.google.com"},
+		PublicProxyAddr: "proxy.thucloud.example:8118",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	conn, err := net.DialTimeout("tcp", domestic.WebAddr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /pac HTTP/1.1\r\nHost: x\r\n\r\n")
+	resp, err := httpsim.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(resp.Body)
+	if !strings.Contains(body, "FindProxyForURL") ||
+		!strings.Contains(body, "proxy.thucloud.example:8118") {
+		t.Errorf("PAC = %q", body)
+	}
+}
+
+func TestRealSocketWrongSecretFailsClosed(t *testing.T) {
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: []byte("right")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      []byte("wrong"),
+		Whitelist:   []string{"scholar.google.com"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	conn, err := net.DialTimeout("tcp", domestic.ProxyAddr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, "CONNECT scholar.google.com:443 HTTP/1.1\r\nHost: scholar.google.com:443\r\n\r\n")
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil && err != io.EOF {
+		return // connection dropped: acceptable fail-closed behaviour
+	}
+	if err == nil && !strings.Contains(status, "502") {
+		t.Errorf("status = %q, want 502 or connection drop", status)
+	}
+}
+
+func TestRealSocketCoordinatedRotation(t *testing.T) {
+	origin := startOrigin(t, "post-rotation content")
+	originHost, _, _ := strings.Cut(origin, ":")
+	secret := []byte("rotating-secret")
+
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      secret,
+		Whitelist:   []string{originHost},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	connectOnce := func() error {
+		conn, err := net.DialTimeout("tcp", domestic.ProxyAddr().String(), 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		fmt.Fprintf(conn, "CONNECT %s HTTP/1.1\r\nHost: %s\r\n\r\n", origin, origin)
+		status, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(status, "200") {
+			return fmt.Errorf("status %q", status)
+		}
+		return nil
+	}
+	if err := connectOnce(); err != nil {
+		t.Fatalf("epoch 0: %v", err)
+	}
+	// Coordinated rotation: both ends move to epoch 1.
+	remote.remote.SetEpoch(1)
+	domestic.Rotate(1)
+	if err := connectOnce(); err != nil {
+		t.Fatalf("epoch 1: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+// Blinding arms race: why ScholarCloud's message blinding matters, and
+// how controlling both proxies makes the system agile (§3).
+//
+//  1. Without blinding, the inter-proxy tunnel leaks its targets to the
+//     GFW's raw keyword filter — the connection is reset.
+//  2. With blinding (a keyed byte-mapping), the same traffic matches no
+//     protocol fingerprint and no keyword: it passes.
+//  3. The operator rotates the blinding scheme at will; clients never
+//     notice, because only the two proxies participate.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"scholarcloud"
+	"scholarcloud/internal/httpsim"
+)
+
+func visit(sim *scholarcloud.Simulation) (time.Duration, error) {
+	w := sim.World
+	var plt time.Duration
+	err := w.Run(func() error {
+		m := w.ScholarCloud(w.Client)
+		defer m.Close()
+		b := httpsim.NewBrowser(m, w.Env.Clock)
+		st := b.Visit("http://scholar.google.com/")
+		if st.Failed {
+			return st.Err
+		}
+		plt = st.PLT
+		return nil
+	})
+	return plt, err
+}
+
+func main() {
+	fmt.Println("== the blinding arms race ==")
+	fmt.Println()
+
+	// Round 1: no blinding.
+	naked := scholarcloud.NewSimulation(scholarcloud.Options{Seed: 3, NoBlinding: true})
+	if _, err := visit(naked); err != nil {
+		fmt.Printf("without blinding:  BLOCKED (%v)\n", err)
+	} else {
+		fmt.Println("without blinding:  unexpectedly survived")
+	}
+	fmt.Printf("                   GFW keyword resets: %d\n", naked.World.GFW.Stats().KeywordResets)
+	naked.Close()
+
+	// Round 2: byte-mapping blinding.
+	blinded := scholarcloud.NewSimulation(scholarcloud.Options{Seed: 3})
+	defer blinded.Close()
+	plt, err := visit(blinded)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("with blinding:     loaded in %v\n", plt.Round(time.Millisecond))
+
+	// Round 3: the GFW "learns something"; the operator rotates epochs —
+	// a different scheme family with fresh keys, no client involvement.
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		blinded.RotateBlinding(epoch)
+		plt, err := visit(blinded)
+		if err != nil {
+			panic(fmt.Sprintf("epoch %d: %v", epoch, err))
+		}
+		fmt.Printf("rotated epoch %d:   loaded in %v\n", epoch, plt.Round(time.Millisecond))
+	}
+
+	fmt.Println()
+	fmt.Println("Tor needs its relay network to upgrade and Shadowsocks needs every client")
+	fmt.Println("to update; ScholarCloud changed its wire format three times in this run")
+	fmt.Println("by touching only the two machines it controls.")
+}

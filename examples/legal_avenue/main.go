@@ -1,0 +1,95 @@
+// Legal avenue: the non-technical half of the paper's thesis (§2–§3).
+// Two proxy services operate across the border. One registers with the
+// TCA, publishes an auditable whitelist, and survives an investigation;
+// the other ignores the ICP regime and is shut down by MPS/MSS — even
+// though the GFW itself never flagged either.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"scholarcloud"
+	"scholarcloud/internal/registry"
+)
+
+func main() {
+	sim := scholarcloud.NewSimulation(scholarcloud.Options{Seed: 5})
+	defer sim.Close()
+	w := sim.World
+
+	fmt.Println("== the legal avenue: registration vs. takedown ==")
+	fmt.Println()
+
+	// ScholarCloud registered at world construction; inspect the record.
+	reg, ok := w.Registry.Lookup("101.6.6.6")
+	if !ok {
+		panic("ScholarCloud is not in the MIIT database")
+	}
+	fmt.Printf("MIIT record %s: %q (%s), responsible person on file\n",
+		reg.ICPNumber, reg.App.ServiceName, reg.App.ServiceType)
+	wl, err := w.Registry.AuditWhitelist(reg.ICPNumber)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("auditable whitelist: %v\n", wl)
+	fmt.Println()
+
+	err = w.Run(func() error {
+		// A complaint is filed against both services. MPS/MSS investigate
+		// (evidence collection takes time), then act only on the
+		// unregistered one.
+		fmt.Println("complaints filed against both cross-border proxies...")
+
+		if td := w.Enforcement.Report("101.6.6.6", "operates a cross-border proxy"); td != nil {
+			return fmt.Errorf("registered service was taken down: %+v", td)
+		}
+		fmt.Println("  ScholarCloud (registered):    investigation closed, no action")
+
+		td := w.Enforcement.Report("198.51.100.12", "operates an unregistered proxy")
+		if td == nil {
+			return fmt.Errorf("unregistered service escaped enforcement")
+		}
+		fmt.Printf("  Shadowsocks (unregistered):   TAKEN DOWN after %s investigation\n",
+			24*time.Hour)
+		_ = td
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// The takedown propagated to the GFW's IP blocklist: the Shadowsocks
+	// server is now unreachable, while ScholarCloud still works.
+	err = w.Run(func() error {
+		ss := w.Shadowsocks(w.Client)
+		defer ss.Close()
+		if _, err := ss.DialHost("scholar.google.com", 443); err == nil {
+			return fmt.Errorf("shadowsocks still reachable after takedown")
+		}
+		fmt.Println()
+		fmt.Println("after enforcement:")
+		fmt.Println("  shadowsocks client: connection to server blackholed")
+
+		sc := w.ScholarCloud(w.Client)
+		defer sc.Close()
+		conn, err := sc.DialHost("scholar.google.com", 443)
+		if err != nil {
+			return fmt.Errorf("scholarcloud broken: %w", err)
+		}
+		conn.Close()
+		fmt.Println("  scholarcloud client: still reaching Google Scholar")
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// The whitelist is alterable on demand — the regulator's lever.
+	fmt.Println()
+	fmt.Println("a regulator requests an addition to the whitelist...")
+	w.Whitelist.SetDomains(append(wl, "archive.org"))
+	fmt.Printf("whitelist now: %v\n", w.Whitelist.Domains())
+
+	_ = registry.StatusRegistered // keep the import for the doc reference
+}

@@ -1,0 +1,48 @@
+// Measurement study: a compact rerun of the paper's §4 comparison —
+// page load time, round-trip time, and packet loss rate for all five
+// access methods from a censored vantage point.
+package main
+
+import (
+	"fmt"
+
+	"scholarcloud"
+	"scholarcloud/internal/metrics"
+)
+
+func main() {
+	sim := scholarcloud.NewSimulation(scholarcloud.Options{Seed: 7})
+	defer sim.Close()
+
+	fmt.Println("== measurement study: five ways to reach Google Scholar from Beijing ==")
+	fmt.Println()
+	fmt.Printf("%-13s %-12s %-12s %-10s %-8s\n", "method", "first PLT", "subseq PLT", "RTT", "PLR")
+
+	for _, name := range sim.MethodNames() {
+		first, sub, err := sim.PLT(name, 2, 6)
+		if err != nil {
+			panic(err)
+		}
+		rtt, err := sim.RTT(name, 10)
+		if err != nil {
+			panic(err)
+		}
+		plr, err := sim.PLR(name, 10)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-13s %-12s %-12s %-10s %-8s\n", name,
+			metrics.FormatSeconds(first.Mean),
+			metrics.FormatSeconds(sub.Mean),
+			metrics.FormatSeconds(rtt.Mean),
+			metrics.FormatPercent(plr))
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table the way §4.3 does:")
+	fmt.Println("  - Tor pays for three hops and meek polling: worst first-time PLT and PLR.")
+	fmt.Println("  - Shadowsocks re-authenticates every session (10s keep-alive): slow, and")
+	fmt.Println("    its server is probe-confirmed, so the GFW degrades its flows.")
+	fmt.Println("  - Native VPN and OpenVPN are classified as legal VPNs and left alone.")
+	fmt.Println("  - ScholarCloud matches VPN robustness with zero client software.")
+}

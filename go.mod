@@ -1,0 +1,3 @@
+module scholarcloud
+
+go 1.22

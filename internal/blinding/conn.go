@@ -1,0 +1,35 @@
+package blinding
+
+import "net"
+
+// Conn applies a blinding scheme to a connection: writes are encoded,
+// reads are decoded. Both ScholarCloud proxies wrap their inter-proxy
+// connections with it.
+type Conn struct {
+	net.Conn
+	enc Transform
+	dec Transform
+}
+
+// WrapConn blinds conn with scheme. The returned connection is used in
+// place of the original.
+func WrapConn(conn net.Conn, scheme Scheme) *Conn {
+	return &Conn{Conn: conn, enc: scheme.NewEncoder(), dec: scheme.NewDecoder()}
+}
+
+// Read implements net.Conn, decoding received bytes.
+func (c *Conn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		c.dec.Apply(b[:n], b[:n])
+	}
+	return n, err
+}
+
+// Write implements net.Conn, encoding sent bytes.
+func (c *Conn) Write(b []byte) (int, error) {
+	// Encode into a scratch buffer so the caller's slice is untouched.
+	out := make([]byte, len(b))
+	c.enc.Apply(out, b)
+	return c.Conn.Write(out)
+}

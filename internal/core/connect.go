@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"scholarcloud/internal/httpsim"
+)
+
+// connectThrough issues an HTTP CONNECT for target on conn and consumes
+// the response head, leaving the connection as a raw tunnel.
+func connectThrough(conn net.Conn, target string) error {
+	req := &httpsim.Request{
+		Method: "CONNECT",
+		Target: target,
+		Host:   target,
+		Header: map[string]string{},
+	}
+	if err := req.Encode(conn); err != nil {
+		return fmt.Errorf("core: CONNECT write: %w", err)
+	}
+	// The response head is tiny and arrives before any tunnel bytes, so
+	// an unbuffered read path keeps the conn clean for the caller.
+	resp, err := httpsim.ReadResponse(bufio.NewReaderSize(onlyReader{conn}, 1))
+	if err != nil {
+		return fmt.Errorf("core: CONNECT response: %w", err)
+	}
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("core: CONNECT refused: %d %s (%s)", resp.StatusCode, resp.Status, resp.Body)
+	}
+	return nil
+}
+
+// onlyReader hides conn's other methods so bufio cannot over-read via
+// optimizations; with size-1 buffering every byte is consumed exactly
+// when parsed.
+type onlyReader struct{ net.Conn }
+
+func (r onlyReader) Read(b []byte) (int, error) {
+	// Read at most one byte at a time: CONNECT responses are followed
+	// immediately by tunnel bytes that must not be swallowed by the
+	// buffered reader.
+	if len(b) > 1 {
+		b = b[:1]
+	}
+	return r.Conn.Read(b)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/mux"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/pac"
+	"scholarcloud/internal/tlssim"
+)
+
+// Domestic is the proxy inside the censored network: the single endpoint
+// users' browsers talk to. It serves the PAC file, enforces the visible
+// whitelist, and forwards whitelisted traffic through the blinded tunnel
+// to the remote proxy.
+type Domestic struct {
+	Env netx.Env
+	// DialRemote opens a raw connection to the remote proxy across the
+	// border.
+	DialRemote func() (net.Conn, error)
+	// Fallbacks are tried in order when DialRemote fails — ScholarCloud
+	// operators can run standby remote VMs and survive a takedown or
+	// outage of the primary without user-visible reconfiguration.
+	Fallbacks []func() (net.Conn, error)
+	// Secret and Epoch must match the remote proxy's blinding
+	// configuration.
+	Secret []byte
+	Epoch  uint64
+	// Whitelist is the PAC policy: whitelisted domains go through the
+	// tunnel, everything else is refused (the browser's PAC sends
+	// non-whitelisted traffic DIRECT, so refusal only guards misuse).
+	Whitelist *pac.Config
+	// VerifyRemote authenticates the remote proxy's per-stream channel
+	// certificate for plain-HTTP forwarding.
+	VerifyRemote func(der []byte, name string) error
+	// RemoteName is the expected certificate name of the remote.
+	RemoteName string
+	// SchemeOverride, if set, replaces epoch-derived blinding.
+	SchemeOverride blinding.Scheme
+
+	mu       sync.Mutex
+	sess     *mux.Session
+	requests int64
+	refused  int64
+}
+
+// DomesticStats counts proxy activity.
+type DomesticStats struct {
+	Requests int64
+	Refused  int64
+}
+
+// Stats returns a snapshot of the domestic proxy's counters.
+func (d *Domestic) Stats() DomesticStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DomesticStats{Requests: d.requests, Refused: d.refused}
+}
+
+// Rotate switches the blinding epoch: the current tunnel is torn down
+// and the next stream re-dials with the new scheme. The remote proxy must
+// be rotated to the same epoch (the operator controls both ends, §3).
+func (d *Domestic) Rotate(epoch uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.Epoch = epoch
+	if d.sess != nil {
+		d.sess.Close()
+		d.sess = nil
+	}
+}
+
+// session returns the live tunnel session, dialing a fresh blinded
+// carrier if needed.
+func (d *Domestic) session() (*mux.Session, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sess != nil && d.sess.Err() == nil {
+		return d.sess, nil
+	}
+	raw, err := d.DialRemote()
+	if err != nil {
+		for _, dial := range d.Fallbacks {
+			if raw, err = dial(); err == nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: dial remote proxy: %w", err)
+	}
+	scheme := d.SchemeOverride
+	if scheme == nil {
+		scheme = blinding.SchemeForEpoch(d.Secret, d.Epoch)
+	}
+	d.sess = mux.NewSession(blinding.WrapConn(raw, scheme), d.Env, nil)
+	return d.sess, nil
+}
+
+// openSecure opens an HTTPS-passthrough stream to host:port.
+func (d *Domestic) openSecure(target string) (net.Conn, error) {
+	sess, err := d.session()
+	if err != nil {
+		return nil, err
+	}
+	return sess.Open([]byte(metaSecure + target))
+}
+
+// openPlain opens a cleartext-HTTP stream to host:port, wrapped in the
+// proxy-to-proxy encrypted channel.
+func (d *Domestic) openPlain(target string) (net.Conn, error) {
+	sess, err := d.session()
+	if err != nil {
+		return nil, err
+	}
+	st, err := sess.Open([]byte(metaPlain + target))
+	if err != nil {
+		return nil, err
+	}
+	tconn := tlssim.Client(st, tlssim.Config{
+		ServerName: d.RemoteName,
+		VerifyPeer: d.VerifyRemote,
+	})
+	if err := tconn.Handshake(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return tconn, nil
+}
+
+// authorize implements the whitelist check.
+func (d *Domestic) authorize(host string) error {
+	d.mu.Lock()
+	d.requests++
+	d.mu.Unlock()
+	if d.Whitelist.Match(host) {
+		return nil
+	}
+	d.mu.Lock()
+	d.refused++
+	d.mu.Unlock()
+	return fmt.Errorf("core: %s is not on the whitelist", host)
+}
+
+// Proxy returns the browser-facing forward proxy (CONNECT for HTTPS,
+// absolute-URI for HTTP), enforcing the whitelist.
+func (d *Domestic) Proxy() *httpsim.Proxy {
+	return &httpsim.Proxy{
+		Dial:      d.openSecure,
+		DialPlain: d.openPlain,
+		Spawn:     d.Env.Spawn,
+		Authorize: d.authorize,
+	}
+}
+
+// PACHandler serves the proxy auto-config file at /pac — the one browser
+// setting a ScholarCloud user touches.
+func (d *Domestic) PACHandler() httpsim.Handler {
+	mux := httpsim.NewMux()
+	mux.HandleFunc("/pac", func(_ *httpsim.Request, _ net.Addr) *httpsim.Response {
+		resp := httpsim.NewResponse(200, []byte(d.Whitelist.JavaScript()))
+		resp.Header["Content-Type"] = "application/x-ns-proxy-autoconfig"
+		return resp
+	})
+	mux.HandleFunc("/whitelist", func(_ *httpsim.Request, _ net.Addr) *httpsim.Response {
+		// The auditable whitelist (§3, service legalization).
+		var body []byte
+		for _, dm := range d.Whitelist.Domains() {
+			body = append(body, dm...)
+			body = append(body, '\n')
+		}
+		return httpsim.NewResponse(200, body)
+	})
+	return mux
+}

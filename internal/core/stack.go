@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"net"
+
+	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/pac"
+)
+
+// ClientStack is the browser-side view of ScholarCloud; it implements
+// tunnel.Method. There is deliberately almost nothing here — the paper's
+// whole point is that the client needs no software beyond a PAC setting:
+// whitelisted hosts go to the domestic proxy (CONNECT for HTTPS,
+// absolute-URI for HTTP, both decided by the PAC policy), everything else
+// is dialed directly.
+type ClientStack struct {
+	Env netx.Env
+	// Dial opens raw connections from the client device.
+	Dial func(network, address string) (net.Conn, error)
+	// PAC is the policy fetched from the domestic proxy's /pac endpoint.
+	PAC *pac.Config
+	// Resolver handles DIRECT (non-whitelisted) name resolution — the
+	// ordinary, poisonable path.
+	Resolver *dnssim.Resolver
+}
+
+// Name implements tunnel.Method.
+func (s *ClientStack) Name() string { return "scholarcloud" }
+
+// Close implements tunnel.Method.
+func (s *ClientStack) Close() error { return nil }
+
+// DialHost implements tunnel.Method. For whitelisted hosts the returned
+// connection runs CONNECT through the domestic proxy; everything else is
+// a direct dial.
+func (s *ClientStack) DialHost(host string, port int) (net.Conn, error) {
+	if d := s.PAC.Evaluate(host); d.Proxy {
+		return s.dialViaProxy(d.Address, host, port)
+	}
+	ip := host
+	if net.ParseIP(host) == nil {
+		resolved, err := s.Resolver.Lookup(host)
+		if err != nil {
+			return nil, fmt.Errorf("scholarcloud: resolve %s: %w", host, err)
+		}
+		ip = resolved
+	}
+	return s.Dial("tcp", fmt.Sprintf("%s:%d", ip, port))
+}
+
+// HTTPProxy implements httpsim.HTTPProxier: plain-HTTP requests for
+// whitelisted hosts go to the domestic proxy in absolute-URI form.
+func (s *ClientStack) HTTPProxy(host string) (string, bool) {
+	if d := s.PAC.Evaluate(host); d.Proxy {
+		return d.Address, true
+	}
+	return "", false
+}
+
+// dialViaProxy opens a CONNECT tunnel through the domestic proxy.
+func (s *ClientStack) dialViaProxy(proxyAddr, host string, port int) (net.Conn, error) {
+	conn, err := s.Dial("tcp", proxyAddr)
+	if err != nil {
+		return nil, fmt.Errorf("scholarcloud: dial domestic proxy: %w", err)
+	}
+	if err := connectThrough(conn, fmt.Sprintf("%s:%d", host, port)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}

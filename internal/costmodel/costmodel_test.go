@@ -1,0 +1,81 @@
+package costmodel
+
+import "testing"
+
+func TestBaselineTrafficAddsNoCPU(t *testing.T) {
+	e := ForMethod("scholarcloud", 19*1024, 3)
+	if e.BrowserCPU != profiles["scholarcloud"].browserCPU {
+		t.Errorf("browser CPU = %v with baseline traffic", e.BrowserCPU)
+	}
+}
+
+func TestOverheadTrafficRaisesCPU(t *testing.T) {
+	light := ForMethod("native-vpn-pptp", 19*1024, 3)
+	heavy := ForMethod("native-vpn-pptp", 33*1024, 3)
+	if heavy.BrowserCPU <= light.BrowserCPU {
+		t.Errorf("heavier traffic did not raise CPU: %v vs %v", heavy.BrowserCPU, light.BrowserCPU)
+	}
+}
+
+func TestPaperOrderings(t *testing.T) {
+	// Fig. 6b: native VPN increases CPU the least, Tor the most.
+	vpn := ForMethod("native-vpn-pptp", 33*1024, 3)
+	tor := ForMethod("tor-meek", 43*1024, 3)
+	sc := ForMethod("scholarcloud", 19*1024+200, 3)
+	if tor.TotalCPU <= vpn.TotalCPU {
+		t.Errorf("Tor CPU (%v) not above native VPN (%v)", tor.TotalCPU, vpn.TotalCPU)
+	}
+	if tor.TotalCPU <= sc.TotalCPU {
+		t.Errorf("Tor CPU (%v) not above ScholarCloud (%v)", tor.TotalCPU, sc.TotalCPU)
+	}
+	// CPU stays within the paper's 2.8–4.2%% plot range for plausible
+	// traffic levels.
+	for _, e := range []Estimate{vpn, tor, sc} {
+		if e.TotalCPU < 2.8 || e.TotalCPU > 4.2 {
+			t.Errorf("%s CPU %v outside the figure's range", e.Method, e.TotalCPU)
+		}
+	}
+}
+
+func TestMemoryOrderings(t *testing.T) {
+	// Fig. 6c: Tor Browser idles ~70%% above Chrome; native VPN adds the
+	// least while loading, Tor the most.
+	vpn := ForMethod("native-vpn-pptp", 33*1024, 3)
+	tor := ForMethod("tor-meek", 43*1024, 3)
+	if ratio := tor.MemBeforeMB / vpn.MemBeforeMB; ratio < 1.6 || ratio > 1.8 {
+		t.Errorf("Tor idle memory ratio = %v, want ~1.7", ratio)
+	}
+	vpnDelta := vpn.MemAfterMB - vpn.MemBeforeMB
+	torDelta := tor.MemAfterMB - tor.MemBeforeMB
+	if vpnDelta >= torDelta {
+		t.Errorf("VPN loading delta (%v) not below Tor (%v)", vpnDelta, torDelta)
+	}
+	if vpnDelta < 25 || vpnDelta > 40 {
+		t.Errorf("VPN loading delta = %v MB, want ≈30", vpnDelta)
+	}
+	if torDelta < 80 || torDelta > 100 {
+		t.Errorf("Tor loading delta = %v MB, want ≈90", torDelta)
+	}
+}
+
+func TestUnknownMethodFallsBack(t *testing.T) {
+	e := ForMethod("mystery", 19*1024, 0)
+	if e.MemBeforeMB != profiles["direct"].memBeforeMB {
+		t.Errorf("fallback profile not used: %+v", e)
+	}
+}
+
+func TestConnectionsCostMemory(t *testing.T) {
+	few := ForMethod("openvpn", 20*1024, 1)
+	many := ForMethod("openvpn", 20*1024, 10)
+	if many.MemAfterMB <= few.MemAfterMB {
+		t.Error("more connections did not cost memory")
+	}
+}
+
+func TestMethodsListsFigureOrder(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 5 || ms[0] != "native-vpn-pptp" || ms[4] != "scholarcloud" {
+		t.Errorf("methods = %v", ms)
+	}
+}

@@ -1,0 +1,395 @@
+// Package dnssim implements a compact DNS subsystem: a binary wire format
+// (RFC 1035 header + question + A-record answers, without name
+// compression), an authoritative UDP server, and a caching stub resolver.
+//
+// DNS runs over netsim's UDP datagrams, which is exactly what exposes it
+// to the Great Firewall's poisoning injector: the GFW parses queries
+// crossing the border, and for blacklisted names it races a forged answer
+// back to the client. Like real stub resolvers, the resolver here accepts
+// the first syntactically valid answer with a matching transaction ID —
+// the vulnerability the paper's "DNS poisoning" censorship technique
+// exploits.
+package dnssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/netx"
+)
+
+// TypeA is the only record type the simulator serves (IPv4 address).
+const TypeA uint16 = 1
+
+// RCode values used by the simulator.
+const (
+	RCodeSuccess  = 0
+	RCodeNXDomain = 3
+)
+
+// Errors returned by the resolver.
+var (
+	// ErrNXDomain indicates the authoritative server does not know the name.
+	ErrNXDomain = errors.New("dnssim: no such domain")
+	// ErrTimeout indicates no answer arrived within the retry budget.
+	ErrTimeout = errors.New("dnssim: query timed out")
+)
+
+// Message is a DNS message restricted to one question and A answers.
+type Message struct {
+	ID       uint16
+	Response bool
+	RCode    int
+	Question Question
+	Answers  []RR
+}
+
+// Question names what is being asked.
+type Question struct {
+	Name string
+	Type uint16
+}
+
+// RR is an answer resource record (A records only: Data is an IPv4
+// address in dotted-quad form).
+type RR struct {
+	Name string
+	Type uint16
+	TTL  uint32
+	Data string
+}
+
+// Marshal encodes the message to wire format.
+func (m *Message) Marshal() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.RCode) & 0xF
+	binary.BigEndian.PutUint16(hdr[2:], flags)
+	binary.BigEndian.PutUint16(hdr[4:], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(hdr[6:], uint16(len(m.Answers)))
+	buf = append(buf, hdr[:]...)
+
+	qname, err := encodeName(m.Question.Name)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, qname...)
+	buf = binary.BigEndian.AppendUint16(buf, m.Question.Type)
+	buf = binary.BigEndian.AppendUint16(buf, 1) // IN
+
+	for _, rr := range m.Answers {
+		name, err := encodeName(rr.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, name...)
+		buf = binary.BigEndian.AppendUint16(buf, rr.Type)
+		buf = binary.BigEndian.AppendUint16(buf, 1) // IN
+		buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+		ip := net.ParseIP(rr.Data)
+		if ip == nil || ip.To4() == nil {
+			return nil, fmt.Errorf("dnssim: bad A record data %q", rr.Data)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, 4)
+		buf = append(buf, ip.To4()...)
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a wire-format message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, errors.New("dnssim: short message")
+	}
+	m := &Message{}
+	m.ID = binary.BigEndian.Uint16(b[0:])
+	flags := binary.BigEndian.Uint16(b[2:])
+	m.Response = flags&(1<<15) != 0
+	m.RCode = int(flags & 0xF)
+	qd := binary.BigEndian.Uint16(b[4:])
+	an := binary.BigEndian.Uint16(b[6:])
+	if qd != 1 {
+		return nil, fmt.Errorf("dnssim: unsupported QDCOUNT %d", qd)
+	}
+	off := 12
+	name, n, err := decodeName(b, off)
+	if err != nil {
+		return nil, err
+	}
+	off += n
+	if off+4 > len(b) {
+		return nil, errors.New("dnssim: truncated question")
+	}
+	m.Question = Question{Name: name, Type: binary.BigEndian.Uint16(b[off:])}
+	off += 4
+	for i := 0; i < int(an); i++ {
+		rname, n, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		if off+10 > len(b) {
+			return nil, errors.New("dnssim: truncated answer")
+		}
+		typ := binary.BigEndian.Uint16(b[off:])
+		ttl := binary.BigEndian.Uint32(b[off+4:])
+		rdlen := int(binary.BigEndian.Uint16(b[off+8:]))
+		off += 10
+		if off+rdlen > len(b) {
+			return nil, errors.New("dnssim: truncated rdata")
+		}
+		rr := RR{Name: rname, Type: typ, TTL: ttl}
+		if typ == TypeA && rdlen == 4 {
+			rr.Data = net.IPv4(b[off], b[off+1], b[off+2], b[off+3]).String()
+		}
+		off += rdlen
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}
+
+// ParseQuery decodes just enough of a wire message to extract the queried
+// name, which is what a censoring middlebox needs. It returns an error
+// for responses or malformed packets.
+func ParseQuery(b []byte) (id uint16, name string, err error) {
+	m, err := Unmarshal(b)
+	if err != nil {
+		return 0, "", err
+	}
+	if m.Response {
+		return 0, "", errors.New("dnssim: not a query")
+	}
+	return m.ID, m.Question.Name, nil
+}
+
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	var buf []byte
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("dnssim: bad label in %q", name)
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+func decodeName(b []byte, off int) (string, int, error) {
+	var labels []string
+	n := 0
+	for {
+		if off+n >= len(b) {
+			return "", 0, errors.New("dnssim: truncated name")
+		}
+		l := int(b[off+n])
+		n++
+		if l == 0 {
+			break
+		}
+		if l > 63 {
+			return "", 0, errors.New("dnssim: compression not supported")
+		}
+		if off+n+l > len(b) {
+			return "", 0, errors.New("dnssim: truncated label")
+		}
+		labels = append(labels, string(b[off+n:off+n+l]))
+		n += l
+	}
+	return strings.Join(labels, "."), n, nil
+}
+
+// Server is an authoritative DNS server over a net.PacketConn.
+type Server struct {
+	mu   sync.Mutex
+	zone map[string]string // fqdn -> IPv4
+	ttl  uint32
+}
+
+// NewServer creates a server with the given name→IP records.
+func NewServer(records map[string]string) *Server {
+	zone := make(map[string]string, len(records))
+	for name, ip := range records {
+		zone[normalize(name)] = ip
+	}
+	return &Server{zone: zone, ttl: 300}
+}
+
+// SetRecord adds or updates a record at runtime.
+func (s *Server) SetRecord(name, ip string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zone[normalize(name)] = ip
+}
+
+func normalize(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// Serve answers queries on pc until pc is closed. Run it on a managed
+// goroutine.
+func (s *Server) Serve(pc net.PacketConn) {
+	buf := make([]byte, 1500)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		query, err := Unmarshal(buf[:n])
+		if err != nil || query.Response {
+			continue
+		}
+		resp := &Message{
+			ID:       query.ID,
+			Response: true,
+			Question: query.Question,
+		}
+		s.mu.Lock()
+		ip, ok := s.zone[normalize(query.Question.Name)]
+		s.mu.Unlock()
+		if ok && query.Question.Type == TypeA {
+			resp.Answers = []RR{{Name: query.Question.Name, Type: TypeA, TTL: s.ttl, Data: ip}}
+		} else {
+			resp.RCode = RCodeNXDomain
+		}
+		out, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		pc.WriteTo(out, addr)
+	}
+}
+
+// Resolver is a caching stub resolver pointed at one upstream server.
+type Resolver struct {
+	dialer  netx.Dialer
+	clock   netx.Clock
+	server  string // "ip:53"
+	timeout time.Duration
+	retries int
+
+	mu     sync.Mutex
+	nextID uint16
+	cache  map[string]cacheEntry
+
+	// Lookups counts queries sent upstream (cache misses), which the
+	// browser model uses to attribute first-time page-load latency.
+	lookups int64
+}
+
+type cacheEntry struct {
+	ip      string
+	expires time.Time
+}
+
+// NewResolver creates a resolver that sends queries via dialer to server.
+func NewResolver(dialer netx.Dialer, clock netx.Clock, server string) *Resolver {
+	return &Resolver{
+		dialer:  dialer,
+		clock:   clock,
+		server:  server,
+		timeout: 2 * time.Second,
+		retries: 3,
+		nextID:  1,
+		cache:   make(map[string]cacheEntry),
+	}
+}
+
+// UpstreamQueries reports how many lookups went to the server (i.e. were
+// not answered from cache).
+func (r *Resolver) UpstreamQueries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookups
+}
+
+// FlushCache drops all cached entries (a "first visit" in the paper's PLT
+// methodology).
+func (r *Resolver) FlushCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = make(map[string]cacheEntry)
+}
+
+// Lookup resolves name to an IPv4 address, consulting the cache first.
+func (r *Resolver) Lookup(name string) (string, error) {
+	key := normalize(name)
+	now := r.clock.Now()
+
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok && now.Before(e.expires) {
+		r.mu.Unlock()
+		return e.ip, nil
+	}
+	r.nextID++
+	id := r.nextID
+	r.lookups++
+	r.mu.Unlock()
+
+	query := &Message{ID: id, Question: Question{Name: key, Type: TypeA}}
+	wire, err := query.Marshal()
+	if err != nil {
+		return "", err
+	}
+
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt < r.retries; attempt++ {
+		ip, ttl, err := r.queryOnce(wire, id, key)
+		if err == nil {
+			r.mu.Lock()
+			r.cache[key] = cacheEntry{ip: ip, expires: r.clock.Now().Add(time.Duration(ttl) * time.Second)}
+			r.mu.Unlock()
+			return ip, nil
+		}
+		if errors.Is(err, ErrNXDomain) {
+			return "", err
+		}
+		lastErr = err
+	}
+	return "", lastErr
+}
+
+func (r *Resolver) queryOnce(wire []byte, id uint16, name string) (ip string, ttl uint32, err error) {
+	conn, err := r.dialer.Dial("udp", r.server)
+	if err != nil {
+		return "", 0, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(wire); err != nil {
+		return "", 0, err
+	}
+	conn.SetReadDeadline(r.clock.Now().Add(r.timeout))
+	buf := make([]byte, 1500)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return "", 0, ErrTimeout
+		}
+		resp, err := Unmarshal(buf[:n])
+		if err != nil || !resp.Response || resp.ID != id {
+			continue // not our answer; keep listening
+		}
+		if resp.RCode == RCodeNXDomain {
+			return "", 0, ErrNXDomain
+		}
+		for _, rr := range resp.Answers {
+			if rr.Type == TypeA && rr.Data != "" {
+				return rr.Data, rr.TTL, nil
+			}
+		}
+		return "", 0, fmt.Errorf("dnssim: empty answer for %q", name)
+	}
+}

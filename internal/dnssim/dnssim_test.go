@@ -1,0 +1,263 @@
+package dnssim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scholarcloud/internal/netsim"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	m := &Message{
+		ID:       0x1234,
+		Response: true,
+		Question: Question{Name: "scholar.google.com", Type: TypeA},
+		Answers: []RR{
+			{Name: "scholar.google.com", Type: TypeA, TTL: 300, Data: "172.217.6.78"},
+		},
+	}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || !got.Response || got.Question.Name != m.Question.Name {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Data != "172.217.6.78" {
+		t.Errorf("answers = %+v", got.Answers)
+	}
+}
+
+func TestMarshalQueryParse(t *testing.T) {
+	m := &Message{ID: 77, Question: Question{Name: "www.example.com", Type: TypeA}}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, name, err := ParseQuery(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 || name != "www.example.com" {
+		t.Errorf("ParseQuery = (%d, %q)", id, name)
+	}
+}
+
+func TestParseQueryRejectsResponses(t *testing.T) {
+	m := &Message{ID: 1, Response: true, Question: Question{Name: "x.com", Type: TypeA}}
+	wire, _ := m.Marshal()
+	if _, _, err := ParseQuery(wire); err == nil {
+		t.Error("ParseQuery accepted a response message")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 12), // QDCOUNT 0
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("Unmarshal(%v) succeeded", c)
+		}
+	}
+}
+
+func TestUnmarshalFuzzNeverPanics(t *testing.T) {
+	// Property: arbitrary bytes never panic the decoder.
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		_, _, _ = ParseQuery(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameEncodingRoundTripProperty(t *testing.T) {
+	// Property: names made of valid labels survive a marshal/unmarshal
+	// round trip through a query message.
+	f := func(a, b uint8) bool {
+		name := "host" + string(rune('a'+a%26)) + ".zone" + string(rune('a'+b%26)) + ".example.com"
+		m := &Message{ID: 9, Question: Question{Name: name, Type: TypeA}}
+		wire, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(wire)
+		return err == nil && got.Question.Name == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// simEnv builds a client + DNS server world.
+type simEnv struct {
+	n      *netsim.Network
+	client *netsim.Host
+	server *netsim.Host
+}
+
+func newSimEnv(t *testing.T) *simEnv {
+	t.Helper()
+	n := netsim.New(5)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 70 * time.Millisecond})
+	client := n.AddHost("client", "10.0.0.2", cn, netsim.LinkConfig{Delay: 2 * time.Millisecond})
+	server := n.AddHost("dns", "8.8.8.8", us, netsim.LinkConfig{Delay: 2 * time.Millisecond})
+	return &simEnv{n: n, client: client, server: server}
+}
+
+func (e *simEnv) startDNS(t *testing.T, records map[string]string) *Server {
+	t.Helper()
+	srv := NewServer(records)
+	pc, err := e.server.ListenPacket(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.n.Scheduler().Go(func() { srv.Serve(pc) })
+	return srv
+}
+
+func (e *simEnv) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	e.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestResolverLookup(t *testing.T) {
+	e := newSimEnv(t)
+	e.startDNS(t, map[string]string{"scholar.google.com": "172.217.6.78"})
+	r := NewResolver(e.client, e.n.Clock(), "8.8.8.8:53")
+	e.run(t, func() error {
+		ip, err := r.Lookup("scholar.google.com")
+		if err != nil {
+			return err
+		}
+		if ip != "172.217.6.78" {
+			t.Errorf("ip = %q", ip)
+		}
+		return nil
+	})
+}
+
+func TestResolverCacheAvoidsSecondQuery(t *testing.T) {
+	e := newSimEnv(t)
+	e.startDNS(t, map[string]string{"a.com": "1.2.3.4"})
+	r := NewResolver(e.client, e.n.Clock(), "8.8.8.8:53")
+	e.run(t, func() error {
+		if _, err := r.Lookup("a.com"); err != nil {
+			return err
+		}
+		start := e.n.Scheduler().Elapsed()
+		if _, err := r.Lookup("a.com"); err != nil {
+			return err
+		}
+		if d := e.n.Scheduler().Elapsed() - start; d != 0 {
+			t.Errorf("cached lookup took %v, want 0", d)
+		}
+		if q := r.UpstreamQueries(); q != 1 {
+			t.Errorf("upstream queries = %d, want 1", q)
+		}
+		return nil
+	})
+}
+
+func TestResolverCacheExpires(t *testing.T) {
+	e := newSimEnv(t)
+	e.startDNS(t, map[string]string{"a.com": "1.2.3.4"})
+	r := NewResolver(e.client, e.n.Clock(), "8.8.8.8:53")
+	e.run(t, func() error {
+		if _, err := r.Lookup("a.com"); err != nil {
+			return err
+		}
+		e.n.Scheduler().Sleep(301 * time.Second) // past the 300s TTL
+		if _, err := r.Lookup("a.com"); err != nil {
+			return err
+		}
+		if q := r.UpstreamQueries(); q != 2 {
+			t.Errorf("upstream queries = %d, want 2 after TTL expiry", q)
+		}
+		return nil
+	})
+}
+
+func TestResolverNXDomain(t *testing.T) {
+	e := newSimEnv(t)
+	e.startDNS(t, map[string]string{"a.com": "1.2.3.4"})
+	r := NewResolver(e.client, e.n.Clock(), "8.8.8.8:53")
+	e.run(t, func() error {
+		_, err := r.Lookup("nope.example")
+		if !errors.Is(err, ErrNXDomain) {
+			t.Errorf("err = %v, want ErrNXDomain", err)
+		}
+		return nil
+	})
+}
+
+func TestResolverTimesOutWithoutServer(t *testing.T) {
+	e := newSimEnv(t)
+	r := NewResolver(e.client, e.n.Clock(), "8.8.8.8:53") // nothing listening
+	e.run(t, func() error {
+		_, err := r.Lookup("a.com")
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		return nil
+	})
+}
+
+func TestResolverFlushCacheForcesRequery(t *testing.T) {
+	e := newSimEnv(t)
+	e.startDNS(t, map[string]string{"a.com": "1.2.3.4"})
+	r := NewResolver(e.client, e.n.Clock(), "8.8.8.8:53")
+	e.run(t, func() error {
+		if _, err := r.Lookup("a.com"); err != nil {
+			return err
+		}
+		r.FlushCache()
+		if _, err := r.Lookup("a.com"); err != nil {
+			return err
+		}
+		if q := r.UpstreamQueries(); q != 2 {
+			t.Errorf("upstream queries = %d, want 2 after flush", q)
+		}
+		return nil
+	})
+}
+
+func TestServerSetRecordTakesEffect(t *testing.T) {
+	e := newSimEnv(t)
+	srv := e.startDNS(t, map[string]string{"a.com": "1.2.3.4"})
+	r := NewResolver(e.client, e.n.Clock(), "8.8.8.8:53")
+	e.run(t, func() error {
+		srv.SetRecord("b.com", "5.6.7.8")
+		ip, err := r.Lookup("b.com")
+		if err != nil {
+			return err
+		}
+		if ip != "5.6.7.8" {
+			t.Errorf("ip = %q", ip)
+		}
+		return nil
+	})
+}

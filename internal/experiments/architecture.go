@@ -1,0 +1,31 @@
+package experiments
+
+// ReportArchitecture renders the paper's Figures 1 and 2 as text: the
+// bilateral censorship ecosystem and the realized data path of each
+// access method in this world.
+func ReportArchitecture() string {
+	return `Figure 1 — the bilateral ecosystem (as implemented)
+  technical blocking:     internal/gfw on the CN↔US border link
+                          (DPI, DNS poisoning, IP blocking, keyword
+                          filtering, active probing, interference)
+  non-technical control:  internal/registry — TCA registration, the MIIT
+                          database, MPS/MSS investigation and takedown
+  The two halves never consult each other (the paper's key observation),
+  which is why a legal service can be incidentally blocked and a
+  registered proxy can coexist with the GFW.
+
+Figure 2 — architecture of the studied solutions (realized paths)
+  (a) native VPN:   browser → PPTP/L2TP client ══ RC4 tunnel ══ VPN server → origin
+  (b) OpenVPN:      browser → openvpn client ══ TLS+LZO tunnel ══ OpenVPN server → origin
+  (c) Tor:          browser → tor client ── meek (HTTPS polls to CDN front)
+                      → bridge ── TLS ── middle (EU) ── TLS ── exit → origin
+                      (payload onion-encrypted across all three hops)
+  (d) Shadowsocks:  browser → local SOCKS5 ── AES-256-CFB ── SS server → origin
+                      (plus the per-session authentication connection)
+  (e) ScholarCloud: browser ── PAC ──> domestic proxy (CN)
+                      ══ blinded multiplexed tunnel ══ remote proxy (US) → origin
+                      (HTTPS passes through untouched; cleartext HTTP gets a
+                       proxy-to-proxy encrypted channel)
+  Every ══ crossing the border passes through the GFW inspector.
+`
+}

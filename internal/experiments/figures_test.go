@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The report functions drive cmd/scholarbench; smoke-test each against a
+// minimal quality setting so their formatting and plumbing stay covered.
+func TestReportsRun(t *testing.T) {
+	w := newTestWorld(t, Config{})
+	q := Quality{
+		FirstRuns:     1,
+		Subsequent:    2,
+		RTTProbes:     3,
+		PLRVisits:     2,
+		TrafficVisits: 1,
+		ScaleRounds:   1,
+		ScaleSweep:    []int{3},
+	}
+
+	fig4, err := w.ReportFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig4, "shadowsocks") || !strings.Contains(fig4, "TCP-1") {
+		t.Errorf("fig4 = %q", fig4)
+	}
+
+	fig5a, err := w.ReportFig5a(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"native-vpn", "openvpn", "tor", "shadowsocks", "scholarcloud"} {
+		if !strings.Contains(fig5a, m) {
+			t.Errorf("fig5a missing %s", m)
+		}
+	}
+
+	fig5b, err := w.ReportFig5b(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig5b, "RTT") {
+		t.Errorf("fig5b = %q", fig5b)
+	}
+
+	fig5c, err := w.ReportFig5c(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig5c, "direct-us") {
+		t.Errorf("fig5c missing the uncensored baseline")
+	}
+
+	fig6a, err := w.ReportFig6a(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig6a, "baseline") {
+		t.Errorf("fig6a = %q", fig6a)
+	}
+
+	fig6bc, err := w.ReportFig6bc(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig6bc, "mem before") {
+		t.Errorf("fig6bc = %q", fig6bc)
+	}
+
+	fig7, err := w.ReportFig7(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fig7, "tor") {
+		t.Error("fig7 includes tor (the paper excludes it)")
+	}
+
+	ops, err := w.ReportDeployment(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ops, "USD/day") {
+		t.Errorf("ops = %q", ops)
+	}
+
+	fig3 := ReportFig3(1)
+	if !strings.Contains(fig3, "371") {
+		t.Errorf("fig3 = %q", fig3)
+	}
+}

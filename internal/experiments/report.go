@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"scholarcloud/internal/costmodel"
+	"scholarcloud/internal/metrics"
+	"scholarcloud/internal/opscost"
+	"scholarcloud/internal/survey"
+)
+
+// Quality controls sample counts: quick for tests, full for the bench
+// harness (a simulated day of accesses, as in the paper).
+type Quality struct {
+	FirstRuns     int // independent first-time loads per method
+	Subsequent    int // subsequent loads per method
+	RTTProbes     int
+	PLRVisits     int
+	TrafficVisits int
+	ScaleRounds   int
+	ScaleSweep    []int
+}
+
+// Quick is a fast configuration for tests and demos.
+func Quick() Quality {
+	return Quality{
+		FirstRuns:     3,
+		Subsequent:    8,
+		RTTProbes:     10,
+		PLRVisits:     20,
+		TrafficVisits: 5,
+		ScaleRounds:   2,
+		ScaleSweep:    []int{5, 30, 60, 120},
+	}
+}
+
+// Full approximates the paper's day-long runs.
+func Full() Quality {
+	return Quality{
+		FirstRuns:     5,
+		Subsequent:    60,
+		RTTProbes:     50,
+		PLRVisits:     60,
+		TrafficVisits: 20,
+		ScaleRounds:   3,
+		ScaleSweep:    ScalabilitySweep,
+	}
+}
+
+// ReportFig3 regenerates the survey distribution.
+func ReportFig3(seed uint64) string {
+	return survey.FormatFigure3(survey.Generate(survey.Respondents, seed))
+}
+
+// ReportFig4 prints the per-method session structure.
+func (w *World) ReportFig4() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — TCP connections in one Scholar access\n")
+	fmt.Fprintf(&b, "  %-13s %-6s %-6s %-6s %-6s %s\n", "method", "TCP-1", "TCP-2", "TCP-3", "TCP-4", "TCP-4 on revisit")
+	for _, f := range w.Methods() {
+		ss, err := w.MeasureSessionStructure(f)
+		if err != nil {
+			return "", err
+		}
+		mark := func(v bool) string {
+			if v {
+				return "yes"
+			}
+			return "-"
+		}
+		fmt.Fprintf(&b, "  %-13s %-6s %-6s %-6s %-6s %s\n",
+			ss.Method, mark(ss.TCP1), mark(ss.TCP2), mark(ss.TCP3), mark(ss.TCP4), mark(ss.SubsequentTCP4))
+	}
+	b.WriteString("  (TCP-1: proxy auth; TCP-2: HTTPS redirect; TCP-3: data; TCP-4: first-visit account recording)\n")
+	return b.String(), nil
+}
+
+// ReportFig5a prints first-time and subsequent PLTs per method.
+func (w *World) ReportFig5a(q Quality) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5a — page load time (first-time / subsequent)\n")
+	fmt.Fprintf(&b, "  %-13s %-26s %s\n", "method", "first-time mean [min,max]", "subsequent mean [min,max]")
+	for _, f := range w.Methods() {
+		r, err := w.MeasurePLT(f, q.FirstRuns, q.Subsequent)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-13s %-26s %s\n", r.Method,
+			fmtSummary(r.FirstTime), fmtSummary(r.Subsequent))
+	}
+	return b.String(), nil
+}
+
+func fmtSummary(s metrics.Summary) string {
+	return fmt.Sprintf("%s [%s, %s]",
+		metrics.FormatSeconds(s.Mean), metrics.FormatSeconds(s.Min), metrics.FormatSeconds(s.Max))
+}
+
+// ReportFig5b prints tunneled RTTs per method.
+func (w *World) ReportFig5b(q Quality) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5b — round-trip time through each method\n")
+	fmt.Fprintf(&b, "  %-13s %s\n", "method", "RTT mean [min,max]")
+	for _, f := range w.Methods() {
+		r, err := w.MeasureRTT(f, q.RTTProbes)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-13s %s\n", r.Method, fmtSummary(r.RTT))
+	}
+	return b.String(), nil
+}
+
+// ReportFig5c prints packet loss rates per method plus the uncensored
+// baseline.
+func (w *World) ReportFig5c(q Quality) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5c — packet loss rate (robustness to censorship)\n")
+	fmt.Fprintf(&b, "  %-13s %-8s %s\n", "method", "PLR", "packets")
+	fs := append(w.Methods(), w.DirectBaseline())
+	for _, f := range fs {
+		r, err := w.MeasurePLR(f, q.PLRVisits)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-13s %-8s %d\n", r.Method, metrics.FormatPercent(r.PLR), r.Packets)
+	}
+	return b.String(), nil
+}
+
+// ReportFig6a prints per-access client traffic, with the uncensored
+// baseline first (the dotted line of the figure).
+func (w *World) ReportFig6a(q Quality) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6a — client network traffic per access\n")
+	fs := append([]Factory{w.DirectBaseline()}, w.Methods()...)
+	baseline := 0.0
+	for _, f := range fs {
+		r, err := w.MeasureTraffic(f, q.TrafficVisits)
+		if err != nil {
+			return "", err
+		}
+		if f.Name == "direct-us" {
+			baseline = r.BytesPerAccess
+			fmt.Fprintf(&b, "  %-13s %-9s (baseline)\n", r.Method, metrics.FormatKB(r.BytesPerAccess))
+			continue
+		}
+		fmt.Fprintf(&b, "  %-13s %-9s (+%s overhead)\n", r.Method,
+			metrics.FormatKB(r.BytesPerAccess), metrics.FormatKB(r.BytesPerAccess-baseline))
+	}
+	return b.String(), nil
+}
+
+// ReportFig6bc prints the modeled client CPU and memory costs, driven by
+// the measured traffic.
+func (w *World) ReportFig6bc(q Quality) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6b/6c — client CPU%% and memory (cost model over measured traffic)\n")
+	fmt.Fprintf(&b, "  %-13s %-12s %-10s %-12s %s\n", "method", "browser CPU", "extra CPU", "mem before", "mem after")
+	for _, f := range w.Methods() {
+		r, err := w.MeasureTraffic(f, q.TrafficVisits)
+		if err != nil {
+			return "", err
+		}
+		name := f.Name
+		if name == "native-vpn" {
+			name = "native-vpn-pptp"
+		}
+		if name == "tor" {
+			name = "tor-meek"
+		}
+		est := costmodel.ForMethod(name, r.BytesPerAccess, 3)
+		fmt.Fprintf(&b, "  %-13s %-12s %-10s %-12s %s\n", f.Name,
+			fmt.Sprintf("%.2f%%", est.BrowserCPU),
+			fmt.Sprintf("%.2f%%", est.ExtraCPU),
+			fmt.Sprintf("%.0f MB", est.MemBeforeMB),
+			fmt.Sprintf("%.0f MB", est.MemAfterMB))
+	}
+	return b.String(), nil
+}
+
+// ReportDeployment reproduces the paper's §1 deployment economics: the
+// service ran on two VMs at 2.2 USD/day for ~700 daily users.
+func (w *World) ReportDeployment(q Quality) (string, error) {
+	var sc Factory
+	for _, f := range w.Methods() {
+		if f.Name == "scholarcloud" {
+			sc = f
+		}
+	}
+	tr, err := w.MeasureTraffic(sc, q.TrafficVisits)
+	if err != nil {
+		return "", err
+	}
+	b := opscost.Estimate(opscost.PaperWorkload(tr.BytesPerAccess), opscost.DefaultPricing())
+	var out strings.Builder
+	fmt.Fprintf(&out, "Deployment economics (paper §1: two VMs, ~700 daily users, 2.2 USD/day)\n")
+	fmt.Fprintf(&out, "  measured traffic/access  %s\n", metrics.FormatKB(tr.BytesPerAccess))
+	fmt.Fprintf(&out, "  VM cost                  $%.2f/day (2 instances)\n", b.VMCostUSD)
+	fmt.Fprintf(&out, "  egress                   %.2f GB -> $%.2f/day\n", b.TrafficGB, b.TrafficCostUSD)
+	fmt.Fprintf(&out, "  total                    $%.2f/day ($%.4f per user)\n", b.TotalUSD, b.PerUserUSD)
+	return out.String(), nil
+}
+
+// ReportFig7 prints the scalability sweep. Tor is excluded, as in the
+// paper (its servers are not under the operator's control).
+func (w *World) ReportFig7(q Quality) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — mean PLT vs concurrent clients\n")
+	methods := []Factory{}
+	for _, f := range w.Methods() {
+		if f.Name != "tor" {
+			methods = append(methods, f)
+		}
+	}
+	fmt.Fprintf(&b, "  %-9s", "clients")
+	for _, f := range methods {
+		fmt.Fprintf(&b, " %-13s", f.Name)
+	}
+	b.WriteString("\n")
+	for _, n := range q.ScaleSweep {
+		fmt.Fprintf(&b, "  %-9d", n)
+		for _, f := range methods {
+			p, err := w.MeasureScalability(f, n, q.ScaleRounds)
+			if err != nil {
+				return "", err
+			}
+			cell := metrics.FormatSeconds(p.PLT.Mean)
+			if p.Failed > 0 {
+				cell += fmt.Sprintf("(%df)", p.Failed)
+			}
+			fmt.Fprintf(&b, " %-13s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

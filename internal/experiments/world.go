@@ -1,0 +1,668 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/core"
+	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/gfw"
+	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/openvpn"
+	"scholarcloud/internal/pac"
+	"scholarcloud/internal/pki"
+	"scholarcloud/internal/registry"
+	"scholarcloud/internal/shadowsocks"
+	"scholarcloud/internal/tlssim"
+	"scholarcloud/internal/tor"
+	"scholarcloud/internal/tunnel"
+	"scholarcloud/internal/vpn"
+)
+
+// Config adjusts the world for ablations; the zero value (plus a seed)
+// reproduces the paper's setting.
+type Config struct {
+	Seed uint64
+	// DisableGFW removes the censor entirely (an uncensored baseline).
+	DisableGFW bool
+	// BlindingEpoch selects ScholarCloud's blinding scheme; rotation
+	// ablations change it on the fly via RotateBlinding.
+	BlindingEpoch uint64
+	// ScholarCloudNoBlinding disables message blinding on the inter-proxy
+	// tunnel (the ablation showing why blinding matters).
+	ScholarCloudNoBlinding bool
+	// SSKeepAlive overrides Shadowsocks' 10 s keep-alive.
+	SSKeepAlive time.Duration
+	// DisableServerCosts zeroes the per-request server CPU model (used
+	// by unit tests that only care about protocol correctness).
+	DisableServerCosts bool
+}
+
+// World is the assembled simulated internet of §4.2.
+type World struct {
+	Cfg Config
+	Net *netsim.Network
+	Env netx.Env
+	GFW *gfw.GFW
+
+	Cernet, CNNet, US, EU *netsim.Zone
+
+	Client *netsim.Host
+
+	ScholarHost  *netsim.Host
+	AccountsHost *netsim.Host
+	MirrorHost   *netsim.Host
+	DNSHost      *netsim.Host
+	TsinghuaHost *netsim.Host
+
+	VPNHost      *netsim.Host
+	OpenVPNHost  *netsim.Host
+	SSHost       *netsim.Host
+	SCRemoteHost *netsim.Host
+	SCDomestic   *netsim.Host
+	FrontHost    *netsim.Host
+	MiddleHost   *netsim.Host
+	ExitHost     *netsim.Host
+
+	Origin    *httpsim.ScholarOrigin
+	CA        *pki.CA
+	SSServer  *shadowsocks.Server
+	Remote    *core.Remote
+	Domestic  *core.Domestic
+	Whitelist *pac.Config
+
+	// Registry models the non-technical agencies; ScholarCloud is
+	// registered at world construction (instantly — the weeks-long
+	// verification is exercised separately in registry tests).
+	Registry    *registry.Database
+	Enforcement *registry.Enforcement
+
+	clientSerial int
+	taKey        []byte
+	ssPassword   string
+	vpnSecret    string
+	scSecret     []byte
+	serverIDs    map[string]*pki.Identity
+}
+
+// NewWorld builds the topology, starts every server, and returns the
+// ready world. Call Close when done.
+func NewWorld(cfg Config) *World {
+	if cfg.Seed == 0 {
+		cfg.Seed = 2017
+	}
+	w := &World{
+		Cfg:        cfg,
+		taKey:      []byte("scholarcloud-ta-static-key"),
+		ssPassword: "barfoo!2016",
+		vpnSecret:  "campus-vpn-secret",
+		scSecret:   []byte("scholarcloud-blinding-secret"),
+		serverIDs:  make(map[string]*pki.Identity),
+	}
+	w.Net = netsim.New(cfg.Seed)
+	w.Env = w.Net.Env()
+
+	// --- Topology -------------------------------------------------------
+	w.Cernet = w.Net.AddZone("cernet")
+	w.CNNet = w.Net.AddZone("cn-net")
+	w.US = w.Net.AddZone("us-west")
+	w.EU = w.Net.AddZone("eu")
+
+	w.Net.Connect(w.Cernet, w.CNNet, netsim.LinkConfig{Delay: cnBackboneDelay, Bandwidth: 10 * accessBW})
+	border := w.Net.Connect(w.CNNet, w.US, netsim.LinkConfig{
+		Delay:     borderDelay,
+		Bandwidth: 10 * accessBW,
+		BaseLoss:  borderLoss,
+		Jitter:    borderJitter,
+	})
+	w.Net.Connect(w.US, w.EU, netsim.LinkConfig{Delay: euDelay, Bandwidth: 10 * accessBW, BaseLoss: 0.0005, Jitter: borderJitter / 2})
+
+	// --- Hosts -----------------------------------------------------------
+	add := func(name, ip string, z *netsim.Zone) *netsim.Host {
+		return w.Net.AddHost(name, ip, z, accessLink())
+	}
+	w.Client = add("client", ipClient, w.Cernet)
+	w.TsinghuaHost = add("tsinghua-web", ipTsinghua, w.Cernet)
+	w.SCDomestic = add("sc-domestic", ipDomestic, w.CNNet)
+	prober := add("gfw-prober", ipProber, w.CNNet)
+
+	w.DNSHost = add("dns", ipDNS, w.US)
+	w.ScholarHost = add("scholar", ipScholar, w.US)
+	w.AccountsHost = add("accounts", ipAccounts, w.US)
+	w.MirrorHost = add("scholar-mirror", ipMirror, w.US)
+	w.VPNHost = add("vpn-server", ipVPN, w.US)
+	w.OpenVPNHost = add("openvpn-server", ipOpenVPN, w.US)
+	w.SSHost = add("ss-server", ipSS, w.US)
+	w.SCRemoteHost = add("sc-remote", ipSCRemote, w.US)
+	w.FrontHost = add("meek-front", ipMeekFront, w.US)
+	w.ExitHost = add("tor-exit", ipTorExit, w.US)
+	w.MiddleHost = add("tor-middle", ipTorMiddle, w.EU)
+
+	// --- The GFW ---------------------------------------------------------
+	if !cfg.DisableGFW {
+		w.GFW = gfw.New(gfw.Config{
+			Network:             w.Net,
+			Zone:                w.CNNet,
+			Clock:               w.Env.Clock,
+			Spawn:               w.Env.Spawn,
+			BlockedDomains:      []string{"google.com", "facebook.com", "twitter.com", "youtube.com"},
+			BlockedIPs:          []string{ipScholar, ipAccounts},
+			PoisonIP:            "37.61.54.158",
+			MeekFronts:          []string{meekFrontSNI},
+			MeekLossRate:        gfwMeekLoss,
+			ShadowsocksLossRate: gfwShadowsocksLoss,
+			ProbeDelay:          gfwProbeDelay,
+			ProbeFrom:           prober,
+			Seed:                cfg.Seed ^ 0x6F57AA11,
+		})
+		border.SetInspector(w.GFW)
+	}
+
+	// --- PKI -------------------------------------------------------------
+	ca, err := pki.NewCA("ScholarCloud Reproduction Root CA", w.Env.Clock.Now)
+	if err != nil {
+		panic(err)
+	}
+	w.CA = ca
+	for _, name := range []string{"openvpn.example", "remote.scholarcloud.example"} {
+		id, err := ca.Issue(name, true)
+		if err != nil {
+			panic(err)
+		}
+		w.serverIDs[name] = id
+	}
+
+	w.startDNS()
+	w.startOrigins()
+	w.startVPN()
+	w.startOpenVPN()
+	w.startShadowsocks()
+	w.startTor()
+	w.startScholarCloud()
+	w.registerScholarCloud()
+	return w
+}
+
+// Close stops the simulation.
+func (w *World) Close() { w.Net.Stop() }
+
+// Run executes fn on a managed goroutine and waits for it (with a
+// wall-clock guard against simulation deadlock).
+func (w *World) Run(fn func() error) error {
+	done := make(chan error, 1)
+	w.Net.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(120 * time.Second):
+		return fmt.Errorf("experiments: simulation did not complete (wall-clock guard)")
+	}
+}
+
+// NewClientHost creates an additional client machine in CERNET for
+// concurrency experiments.
+func (w *World) NewClientHost() *netsim.Host {
+	w.clientSerial++
+	return w.Net.AddHost(
+		fmt.Sprintf("client-%d", w.clientSerial),
+		fmt.Sprintf("10.3.1.%d", w.clientSerial%250+1),
+		w.Cernet, accessLink())
+}
+
+// resolverFor builds a caching resolver on a host pointed at the public
+// DNS server.
+func (w *World) resolverFor(h *netsim.Host) *dnssim.Resolver {
+	return dnssim.NewResolver(h, w.Env.Clock, ipDNS+":53")
+}
+
+// dialHostFrom returns a DialHost that resolves names on h (used by all
+// the *servers*, which live outside the censored network).
+func (w *World) dialHostFrom(h *netsim.Host) func(string, int) (net.Conn, error) {
+	resolver := w.resolverFor(h)
+	return func(host string, port int) (net.Conn, error) {
+		ip := host
+		if net.ParseIP(host) == nil {
+			r, err := resolver.Lookup(host)
+			if err != nil {
+				return nil, err
+			}
+			ip = r
+		}
+		return h.DialTCP(fmt.Sprintf("%s:%d", ip, port))
+	}
+}
+
+func (w *World) startDNS() {
+	server := dnssim.NewServer(map[string]string{
+		"scholar.google.com":          ipScholar,
+		"accounts.google.com":         ipAccounts,
+		"scholar-mirror.example":      ipMirror,
+		"www.tsinghua.edu.cn":         ipTsinghua,
+		meekFrontSNI:                  ipMeekFront,
+		"vpn.example":                 ipVPN,
+		"openvpn.example":             ipOpenVPN,
+		"ss.example":                  ipSS,
+		"remote.scholarcloud.example": ipSCRemote,
+		"proxy.thucloud.com":          ipDomestic,
+	})
+	pc, err := w.DNSHost.ListenPacket(53)
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { server.Serve(pc) })
+}
+
+// startOrigins launches Scholar (with Fig. 4 semantics), its accounts
+// host, an uncensored mirror (the paper's US-vantage baseline), the
+// domestic Tsinghua site, and echo services for RTT measurement.
+func (w *World) startOrigins() {
+	w.Origin = httpsim.NewScholarOrigin("scholar.google.com", "accounts.google.com", scholarPage())
+
+	serveHTTP := func(h *netsim.Host, port int, handler httpsim.Handler) {
+		ln, err := h.Listen("tcp", fmt.Sprintf(":%d", port))
+		if err != nil {
+			panic(err)
+		}
+		srv := &httpsim.Server{Handler: handler, Spawn: w.Env.Spawn}
+		w.Env.Spawn.Go(func() { srv.Serve(ln) })
+	}
+	serveHTTPS := func(h *netsim.Host, port int, handler httpsim.Handler, cert string) {
+		ln, err := h.Listen("tcp", fmt.Sprintf(":%d", port))
+		if err != nil {
+			panic(err)
+		}
+		srv := &httpsim.Server{Handler: handler, Spawn: w.Env.Spawn}
+		w.Env.Spawn.Go(func() {
+			srv.Serve(tlssim.NewListener(ln, tlssim.Config{Certificate: []byte(cert)}))
+		})
+	}
+
+	serveHTTP(w.ScholarHost, 80, w.Origin.RedirectHandler())
+	serveHTTPS(w.ScholarHost, 443, w.Origin.Handler(), "scholar-cert")
+	serveHTTPS(w.AccountsHost, 443, w.Origin.AccountsHandler(), "accounts-cert")
+
+	// A volunteer-run Scholar mirror under an innocuous name on an IP the
+	// GFW has not blacklisted — the Free-Gate-style "other methods" of
+	// Fig. 3. Its name dodges the keyword filter; its IP survives only
+	// until someone reports it (whack-a-mole).
+	mirrorAlt := httpsim.NewScholarOrigin(mirrorAltName, mirrorAltName, scholarPage())
+	unblocked := w.Net.AddHost("volunteer-mirror", ipUnblockedGoogle, w.US, accessLink())
+	serveHTTP(unblocked, 80, mirrorAlt.RedirectHandler())
+	serveHTTPS(unblocked, 443, mirrorAlt.CombinedHandler(), "volunteer-cert")
+
+	// The mirror serves the identical page without blocking: the paper's
+	// "direct access from the US" baseline for traffic and PLR.
+	mirror := httpsim.NewScholarOrigin("scholar-mirror.example", "scholar-mirror.example", scholarPage())
+	serveHTTP(w.MirrorHost, 80, mirror.RedirectHandler())
+	serveHTTPS(w.MirrorHost, 443, mirror.CombinedHandler(), "mirror-cert")
+
+	// Domestic site for the full-tunnel latency-penalty experiment.
+	tsinghua := httpsim.NewScholarOrigin("www.tsinghua.edu.cn", "www.tsinghua.edu.cn", scholarPage())
+	serveHTTP(w.TsinghuaHost, 80, tsinghua.RedirectHandler())
+	serveHTTPS(w.TsinghuaHost, 443, tsinghua.CombinedHandler(), "tsinghua-cert")
+
+	// Echo services for tunnel RTT probes (Fig. 5b).
+	for _, h := range []*netsim.Host{w.ScholarHost, w.MirrorHost, w.TsinghuaHost} {
+		ln, err := h.Listen("tcp", fmt.Sprintf(":%d", portEcho))
+		if err != nil {
+			panic(err)
+		}
+		w.Env.Spawn.Go(func() { serveEcho(w.Env, ln) })
+	}
+}
+
+func serveEcho(env netx.Env, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		env.Spawn.Go(func() {
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			for {
+				n, err := conn.Read(buf)
+				if n > 0 {
+					if _, werr := conn.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		})
+	}
+}
+
+// compute returns a per-request CPU charge on host h, or a no-op when the
+// server cost model is disabled.
+func (w *World) compute(h *netsim.Host, d time.Duration) func() {
+	if w.Cfg.DisableServerCosts {
+		return func() {}
+	}
+	return func() { h.Compute(d) }
+}
+
+func (w *World) startVPN() {
+	dial := w.dialHostFrom(w.VPNHost)
+	cost := w.compute(w.VPNHost, vpnStreamCost)
+	srv := &vpn.Server{
+		Env: w.Env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			cost()
+			return dial(host, port)
+		},
+		Secret:  w.vpnSecret,
+		Variant: vpn.PPTP,
+	}
+	ln, err := w.VPNHost.Listen("tcp", fmt.Sprintf(":%d", portVPN))
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { srv.Serve(ln) })
+
+	// The L2TP variant listens one port up.
+	srvL2TP := &vpn.Server{
+		Env: w.Env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			cost()
+			return dial(host, port)
+		},
+		Secret:  w.vpnSecret,
+		Variant: vpn.L2TP,
+	}
+	lnL, err := w.VPNHost.Listen("tcp", fmt.Sprintf(":%d", portVPN+1))
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { srvL2TP.Serve(lnL) })
+}
+
+func (w *World) startOpenVPN() {
+	dial := w.dialHostFrom(w.OpenVPNHost)
+	cost := w.compute(w.OpenVPNHost, ovpnStreamCost)
+	srv := &openvpn.Server{
+		Env: w.Env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			cost()
+			return dial(host, port)
+		},
+		TAKey:        w.taKey,
+		Identity:     w.serverIDs["openvpn.example"],
+		VerifyClient: w.CA.Verifier(),
+	}
+	ln, err := w.OpenVPNHost.Listen("tcp", fmt.Sprintf(":%d", portOpenVPN))
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { srv.Serve(ln) })
+}
+
+func (w *World) startShadowsocks() {
+	dial := w.dialHostFrom(w.SSHost)
+	w.SSServer = &shadowsocks.Server{
+		Env:      w.Env,
+		DialHost: dial,
+		Password: w.ssPassword,
+		Users:    map[string]bool{"scholar:pass2016": true},
+		OnAuth:   w.compute(w.SSHost, ssAuthCost),
+		OnRelay:  w.compute(w.SSHost, ssRelayCost),
+	}
+	ln, err := w.SSHost.Listen("tcp", fmt.Sprintf(":%d", portSS))
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { w.SSServer.Serve(ln) })
+}
+
+func (w *World) startTor() {
+	exitDial := w.dialHostFrom(w.ExitHost)
+	exit := &tor.Relay{
+		Env:      w.Env,
+		Name:     "exit",
+		Dial:     w.ExitHost.Dial,
+		DialHost: exitDial,
+		Cert:     []byte("tor-exit-cert"),
+	}
+	lnExit, err := w.ExitHost.Listen("tcp", ":9001")
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { exit.Serve(lnExit) })
+
+	middle := &tor.Relay{
+		Env:  w.Env,
+		Name: "middle",
+		Dial: w.MiddleHost.Dial,
+		Cert: []byte("tor-middle-cert"),
+	}
+	lnMiddle, err := w.MiddleHost.Listen("tcp", ":9001")
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { middle.Serve(lnMiddle) })
+
+	bridge := &tor.Relay{
+		Env:  w.Env,
+		Name: "bridge",
+		Dial: w.FrontHost.Dial,
+		Directory: func() []byte {
+			// Relay addresses followed by consensus bulk: the 2017-era
+			// microdesc consensus was a multi-hundred-kilobyte download,
+			// a large share of Tor's first-start latency.
+			head := fmt.Sprintf("%s:9001 %s:9001\n", ipTorMiddle, ipTorExit)
+			return append([]byte(head), make([]byte, 448*1024)...)
+		},
+		Cert: []byte("tor-bridge-cert"),
+	}
+	front := &tor.MeekServer{
+		Env:   w.Env,
+		Relay: bridge,
+		Cert:  []byte("cdn-front-cert"),
+	}
+	lnFront, err := w.FrontHost.Listen("tcp", ":443")
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { front.Serve(lnFront) })
+}
+
+func (w *World) startScholarCloud() {
+	w.Whitelist = pac.New(
+		fmt.Sprintf("%s:%d", ipDomestic, portProxy),
+		[]string{"scholar.google.com", "accounts.google.com"},
+	)
+
+	epoch := w.Cfg.BlindingEpoch
+	secret := w.scSecret
+
+	dial := w.dialHostFrom(w.SCRemoteHost)
+	cost := w.compute(w.SCRemoteHost, scStreamCost)
+	w.Remote = &core.Remote{
+		Env: w.Env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			cost()
+			return dial(host, port)
+		},
+		Secret:   secret,
+		Epoch:    epoch,
+		Identity: w.serverIDs["remote.scholarcloud.example"],
+	}
+	if w.Cfg.ScholarCloudNoBlinding {
+		w.Remote.SchemeOverride = blinding.Identity{}
+	}
+	lnRemote, err := w.SCRemoteHost.Listen("tcp", fmt.Sprintf(":%d", portSCRemote))
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { w.Remote.Serve(lnRemote) })
+
+	w.Domestic = &core.Domestic{
+		Env: w.Env,
+		DialRemote: func() (net.Conn, error) {
+			return w.SCDomestic.DialTCP(fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote))
+		},
+		Secret:       secret,
+		Epoch:        epoch,
+		Whitelist:    w.Whitelist,
+		VerifyRemote: w.CA.Verifier(),
+		RemoteName:   "remote.scholarcloud.example",
+	}
+	if w.Cfg.ScholarCloudNoBlinding {
+		w.Domestic.SchemeOverride = blinding.Identity{}
+	}
+	lnProxy, err := w.SCDomestic.Listen("tcp", fmt.Sprintf(":%d", portProxy))
+	if err != nil {
+		panic(err)
+	}
+	proxy := w.Domestic.Proxy()
+	w.Env.Spawn.Go(func() { proxy.Serve(lnProxy) })
+
+	lnPAC, err := w.SCDomestic.Listen("tcp", fmt.Sprintf(":%d", portPACWeb))
+	if err != nil {
+		panic(err)
+	}
+	pacSrv := &httpsim.Server{Handler: w.Domestic.PACHandler(), Spawn: w.Env.Spawn}
+	w.Env.Spawn.Go(func() { pacSrv.Serve(lnPAC) })
+}
+
+// registerScholarCloud records the service in the MIIT database — the
+// "legal avenue" — and wires MPS/MSS takedowns to the GFW's IP blocklist.
+func (w *World) registerScholarCloud() {
+	w.Registry = registry.NewDatabase()
+	w.Enforcement = registry.NewEnforcement(w.Registry, w.Env.Clock, 24*time.Hour)
+	if w.GFW != nil {
+		w.Enforcement.OnBlock(w.GFW.BlockIP)
+	}
+	tca := registry.NewTCA("Beijing", w.Registry, w.Env.Clock, 0 /* verified before the study window */)
+	pending, err := tca.Submit(registry.Application{
+		ServiceName:       "ScholarCloud",
+		ServiceType:       registry.ServiceWebProxy,
+		Domain:            "scholar.thucloud.com",
+		ResponsiblePerson: "legal representative",
+		Documents:         []string{registry.DocBiometric, registry.DocServiceDoc, registry.DocUserGuide},
+		Whitelist:         w.Whitelist.Domains(),
+		EndpointIPs:       []string{ipDomestic, ipSCRemote},
+	})
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	w.Net.Scheduler().Go(func() {
+		pending.Await()
+		close(done)
+	})
+	<-done
+}
+
+// RotateBlinding rotates ScholarCloud's blinding scheme on both proxies —
+// the paper's agility claim.
+func (w *World) RotateBlinding(epoch uint64) {
+	w.Remote.SetEpoch(epoch)
+	w.Domestic.Rotate(epoch)
+}
+
+// --- Method factories ---------------------------------------------------
+
+// Direct returns the no-circumvention baseline on host h.
+func (w *World) Direct(h *netsim.Host) tunnel.Method {
+	return &tunnel.Direct{Dialer: h, Resolver: w.resolverFor(h)}
+}
+
+// NativeVPN returns a connected PPTP client on host h.
+func (w *World) NativeVPN(h *netsim.Host) tunnel.Method {
+	return w.nativeVPN(h, vpn.PPTP, portVPN)
+}
+
+// NativeVPNL2TP returns a connected L2TP client on host h.
+func (w *World) NativeVPNL2TP(h *netsim.Host) tunnel.Method {
+	return w.nativeVPN(h, vpn.L2TP, portVPN+1)
+}
+
+func (w *World) nativeVPN(h *netsim.Host, variant vpn.Variant, port int) tunnel.Method {
+	// Users keep the VPN connected before browsing; measurement code
+	// calls Connect (via prepare) on a managed goroutine so the control
+	// handshake is not part of any page's PLT.
+	return &vpn.Client{
+		Env:          w.Env,
+		Dial:         h.Dial,
+		Server:       fmt.Sprintf("%s:%d", ipVPN, port),
+		Secret:       w.vpnSecret,
+		Variant:      variant,
+		EchoInterval: vpnEchoInterval,
+		EchoSize:     vpnEchoSize,
+	}
+}
+
+// OpenVPN returns a connected OpenVPN client on host h.
+func (w *World) OpenVPN(h *netsim.Host) tunnel.Method {
+	id, err := w.CA.Issue(fmt.Sprintf("client-%s", h.IP()), false)
+	if err != nil {
+		panic(err)
+	}
+	return &openvpn.Client{
+		Env:          w.Env,
+		Dial:         h.Dial,
+		Server:       fmt.Sprintf("%s:%d", ipOpenVPN, portOpenVPN),
+		ServerName:   "openvpn.example",
+		TAKey:        w.taKey,
+		Identity:     id,
+		VerifyServer: w.CA.Verifier(),
+		PingInterval: openvpnPingInterval,
+		PingSize:     openvpnPingSize,
+	}
+}
+
+// Tor returns a Tor client on host h. Bootstrap is lazy: the paper's
+// first-time PLT includes circuit construction.
+func (w *World) Tor(h *netsim.Host) *tor.Client {
+	return &tor.Client{
+		Env:          w.Env,
+		Dial:         h.Dial,
+		FrontAddr:    fmt.Sprintf("%s:443", ipMeekFront),
+		FrontDomain:  meekFrontSNI,
+		PollInterval: meekPollInterval,
+	}
+}
+
+// Shadowsocks returns a Shadowsocks client on host h.
+func (w *World) Shadowsocks(h *netsim.Host) *shadowsocks.Client {
+	return &shadowsocks.Client{
+		Env:        w.Env,
+		Dial:       h.Dial,
+		Server:     fmt.Sprintf("%s:%d", ipSS, portSS),
+		Password:   w.ssPassword,
+		Credential: "scholar:pass2016",
+		KeepAlive:  w.Cfg.SSKeepAlive,
+	}
+}
+
+// ScholarCloud returns the PAC-configured browser stack on host h.
+func (w *World) ScholarCloud(h *netsim.Host) tunnel.Method {
+	return &core.ClientStack{
+		Env:      w.Env,
+		Dial:     h.Dial,
+		PAC:      w.Whitelist,
+		Resolver: w.resolverFor(h),
+	}
+}
+
+// HostsFile returns the survey's "other methods" representative: a hosts
+// file pointing a volunteer mirror's name (absent from public DNS) at an
+// IP the GFW has not yet blocked. Anything named *google.com* would die
+// to the keyword filter no matter where it resolves, so the tricks that
+// still worked in the study's era used innocuous aliases.
+func (w *World) HostsFile(h *netsim.Host) tunnel.Method {
+	return &tunnel.HostsFile{
+		Dialer: h,
+		Entries: map[string]string{
+			mirrorAltName: ipUnblockedGoogle,
+		},
+		Fallback: w.resolverFor(h),
+	}
+}

@@ -1,0 +1,171 @@
+package gfw
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strings"
+
+	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/tlssim"
+)
+
+// Class is the GFW's protocol classification of a flow, assigned by deep
+// packet inspection of the first client→server bytes.
+type Class string
+
+// Flow classes. The policy table in gfw.go maps classes to treatment.
+const (
+	ClassUnknown    Class = "unknown"   // not yet enough bytes
+	ClassHTTP       Class = "http"      // cleartext HTTP
+	ClassTLS        Class = "tls"       // TLS with a parseable ClientHello
+	ClassMeek       Class = "meek"      // TLS to a known Tor meek front
+	ClassPPTP       Class = "pptp"      // native VPN control channel
+	ClassL2TP       Class = "l2tp"      // native VPN (L2TP variant)
+	ClassOpenVPN    Class = "openvpn"   // OpenVPN handshake opcode
+	ClassEncrypted  Class = "encrypted" // high-entropy, no known header
+	ClassLowEntropy Class = "cleartext" // unrecognized but low entropy
+)
+
+// Protocol magics. PPTP's is the real magic cookie from RFC 2637; the
+// OpenVPN opcode is P_CONTROL_HARD_RESET_CLIENT_V2 as in the real wire
+// format — the GFW fingerprints both in practice.
+var (
+	pptpMagic = []byte{0x1A, 0x2B, 0x3C, 0x4D}
+	l2tpMagic = []byte{0xC8, 0x02} // control flags+version pattern
+)
+
+const openVPNClientReset = 0x38
+
+// minClassifyBytes is how much of the client's first flight DPI waits for
+// before committing to ClassEncrypted/ClassLowEntropy.
+const minClassifyBytes = 16
+
+// classify fingerprints the first client→server bytes of a flow.
+// meekFronts is the GFW's list of domain-fronting CDN hostnames associated
+// with Tor's meek transport.
+func classify(firstBytes []byte, meekFronts map[string]bool) Class {
+	if len(firstBytes) == 0 {
+		return ClassUnknown
+	}
+	if isHTTPPrefix(firstBytes) {
+		return ClassHTTP
+	}
+	if tlssim.LooksLikeRecordHeader(firstBytes) {
+		if sni, ok := tlssim.ParseClientHelloSNI(firstBytes); ok {
+			if meekFronts[strings.ToLower(sni)] {
+				return ClassMeek
+			}
+			return ClassTLS
+		}
+		if recLen := int(firstBytes[3])<<8 | int(firstBytes[4]); len(firstBytes) < 5+recLen {
+			return ClassUnknown // incomplete ClientHello; keep buffering
+		}
+		return ClassTLS
+	}
+	if bytes.HasPrefix(firstBytes, pptpMagic) {
+		return ClassPPTP
+	}
+	if bytes.HasPrefix(firstBytes, l2tpMagic) {
+		return ClassL2TP
+	}
+	if firstBytes[0] == openVPNClientReset && len(firstBytes) >= 2 {
+		return ClassOpenVPN
+	}
+	if len(firstBytes) < minClassifyBytes {
+		return ClassUnknown
+	}
+	if shannonEntropy(firstBytes) >= 7.0 || looksUniformlyRandom(firstBytes) {
+		return ClassEncrypted
+	}
+	return ClassLowEntropy
+}
+
+func isHTTPPrefix(b []byte) bool {
+	for _, m := range []string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "CONNECT ", "OPTIONS "} {
+		if len(b) >= len(m) && string(b[:len(m)]) == m {
+			return true
+		}
+		if len(b) < len(m) && m[:len(b)] == string(b) {
+			return false // could still become HTTP; wait for more bytes
+		}
+	}
+	return false
+}
+
+// httpHost extracts the Host (or absolute-URI authority) from a cleartext
+// HTTP request head, the input to keyword filtering.
+func httpHost(firstBytes []byte) (string, bool) {
+	req, err := httpsim.ReadRequest(bufio.NewReader(bytes.NewReader(firstBytes)))
+	if err != nil {
+		// Fall back to a line scan when the body has not arrived yet.
+		return scanHostHeader(firstBytes)
+	}
+	if req.Host != "" {
+		return strings.ToLower(req.Host), true
+	}
+	if u, err := httpsim.ParseURL(req.Target); err == nil {
+		return strings.ToLower(u.Host), true
+	}
+	if req.Method == "CONNECT" {
+		host := req.Target
+		if i := strings.LastIndexByte(host, ':'); i >= 0 {
+			host = host[:i]
+		}
+		return strings.ToLower(host), true
+	}
+	return "", false
+}
+
+func scanHostHeader(b []byte) (string, bool) {
+	for _, line := range strings.Split(string(b), "\r\n") {
+		if len(line) > 5 && strings.EqualFold(line[:5], "Host:") {
+			return strings.ToLower(strings.TrimSpace(line[5:])), true
+		}
+	}
+	// CONNECT target on the request line.
+	if strings.HasPrefix(string(b), "CONNECT ") {
+		fields := strings.Fields(string(b))
+		if len(fields) >= 2 {
+			host := fields[1]
+			if i := strings.LastIndexByte(host, ':'); i >= 0 {
+				host = host[:i]
+			}
+			return strings.ToLower(host), true
+		}
+	}
+	return "", false
+}
+
+// shannonEntropy returns bits per byte over b.
+func shannonEntropy(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, x := range b {
+		counts[x]++
+	}
+	h := 0.0
+	n := float64(len(b))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// looksUniformlyRandom applies the printable-ASCII heuristic the GFW uses
+// for short first packets: encrypted streams have few printable bytes.
+func looksUniformlyRandom(b []byte) bool {
+	printable := 0
+	for _, x := range b {
+		if x >= 0x20 && x <= 0x7e {
+			printable++
+		}
+	}
+	return float64(printable)/float64(len(b)) < 0.5
+}

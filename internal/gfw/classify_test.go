@@ -1,0 +1,68 @@
+package gfw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHTTPHostExtraction(t *testing.T) {
+	cases := []struct {
+		name  string
+		bytes string
+		want  string
+		ok    bool
+	}{
+		{"origin-form", "GET / HTTP/1.1\r\nHost: www.google.com\r\n\r\n", "www.google.com", true},
+		{"absolute-uri", "GET http://scholar.google.com/x HTTP/1.1\r\n\r\n", "scholar.google.com", true},
+		{"connect", "CONNECT scholar.google.com:443 HTTP/1.1\r\n\r\n", "scholar.google.com", true},
+		{"case-insensitive", "GET / HTTP/1.1\r\nhOsT: MiXeD.Example\r\n\r\n", "mixed.example", true},
+		{"partial-head", "GET / HTTP/1.1\r\nHost: partial.example\r\n", "partial.example", true},
+		{"no-host", "GET / HTTP/1.1\r\n\r\n", "", false},
+	}
+	for _, c := range cases {
+		got, ok := httpHost([]byte(c.bytes))
+		if ok != c.ok || got != c.want {
+			t.Errorf("%s: httpHost = (%q, %v), want (%q, %v)", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestScanForBlockedName(t *testing.T) {
+	blocked := []string{"google.com", "facebook.com"}
+	if _, ok := scanForBlockedName([]byte("S scholar.GOOGLE.com:443"), blocked); !ok {
+		t.Error("mixed-case embedded name not found")
+	}
+	if _, ok := scanForBlockedName([]byte("innocent bytes"), blocked); ok {
+		t.Error("false positive")
+	}
+	if _, ok := scanForBlockedName(nil, blocked); ok {
+		t.Error("nil bytes matched")
+	}
+}
+
+func TestClassifyNeverPanics(t *testing.T) {
+	fronts := map[string]bool{"front.example": true}
+	f := func(b []byte) bool {
+		_ = classify(b, fronts)
+		_, _ = httpHost(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyIncrementalHTTP(t *testing.T) {
+	// Byte-by-byte delivery of an HTTP prefix must stay Unknown until
+	// decidable, then become HTTP — never LowEntropy in between.
+	full := []byte("GET / HTTP/1.1\r\nHost: x.example\r\n\r\n")
+	for i := 1; i < len(full); i++ {
+		c := classify(full[:i], nil)
+		if c != ClassUnknown && c != ClassHTTP && i < minClassifyBytes {
+			t.Fatalf("prefix %d classified %v", i, c)
+		}
+	}
+	if c := classify(full, nil); c != ClassHTTP {
+		t.Fatalf("full request classified %v", c)
+	}
+}

@@ -1,0 +1,476 @@
+package gfw
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/tlssim"
+)
+
+// world is a censored two-zone internet with a GFW on the border.
+type world struct {
+	n      *netsim.Network
+	cn, us *netsim.Zone
+	client *netsim.Host
+	server *netsim.Host // generic foreign server 203.0.113.10
+	dns    *netsim.Host // 8.8.8.8
+	prober *netsim.Host
+	g      *GFW
+}
+
+func newWorld(t *testing.T, mutate func(*Config)) *world {
+	t.Helper()
+	n := netsim.New(1234)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	border := n.Connect(cn, us, netsim.LinkConfig{Delay: 75 * time.Millisecond, BaseLoss: 0.002})
+	access := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+
+	w := &world{
+		n: n, cn: cn, us: us,
+		client: n.AddHost("client", "10.1.0.2", cn, access),
+		server: n.AddHost("server", "203.0.113.10", us, access),
+		dns:    n.AddHost("dns", "8.8.8.8", us, access),
+		prober: n.AddHost("gfw-prober", "10.255.0.1", cn, access),
+	}
+	cfg := Config{
+		Network:             n,
+		Zone:                cn,
+		Clock:               n.Clock(),
+		Spawn:               n.Scheduler(),
+		BlockedDomains:      []string{"google.com", "facebook.com"},
+		BlockedIPs:          []string{"172.217.6.78"},
+		PoisonIP:            "37.61.54.158",
+		MeekFronts:          []string{"ajax.aspnetcdn.com"},
+		MeekLossRate:        0.044,
+		ShadowsocksLossRate: 0.01,
+		ProbeDelay:          100 * time.Millisecond,
+		ProbeFrom:           w.prober,
+		Seed:                99,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	w.g = New(cfg)
+	border.SetInspector(w.g)
+	return w
+}
+
+func (w *world) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	w.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestDNSPoisoningForBlockedDomain(t *testing.T) {
+	w := newWorld(t, nil)
+	srv := dnssim.NewServer(map[string]string{"scholar.google.com": "172.217.6.78"})
+	pc, err := w.dns.ListenPacket(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.n.Scheduler().Go(func() { srv.Serve(pc) })
+
+	r := dnssim.NewResolver(w.client, w.n.Clock(), "8.8.8.8:53")
+	w.run(t, func() error {
+		ip, err := r.Lookup("scholar.google.com")
+		if err != nil {
+			return err
+		}
+		if ip != "37.61.54.158" {
+			t.Errorf("resolved %q, want the poisoned address", ip)
+		}
+		return nil
+	})
+	if got := w.g.Stats().DNSPoisoned; got == 0 {
+		t.Error("no poisoning recorded")
+	}
+}
+
+func TestDNSCleanForUnblockedDomain(t *testing.T) {
+	w := newWorld(t, nil)
+	srv := dnssim.NewServer(map[string]string{"example.org": "203.0.113.10"})
+	pc, _ := w.dns.ListenPacket(53)
+	w.n.Scheduler().Go(func() { srv.Serve(pc) })
+
+	r := dnssim.NewResolver(w.client, w.n.Clock(), "8.8.8.8:53")
+	w.run(t, func() error {
+		ip, err := r.Lookup("example.org")
+		if err != nil {
+			return err
+		}
+		if ip != "203.0.113.10" {
+			t.Errorf("resolved %q, want genuine address", ip)
+		}
+		return nil
+	})
+}
+
+func TestIPBlockingBlackholesDial(t *testing.T) {
+	w := newWorld(t, nil)
+	w.n.AddHost("blocked", "172.217.6.78", w.us, netsim.LinkConfig{Delay: 2 * time.Millisecond})
+	w.run(t, func() error {
+		_, err := w.client.DialTCP("172.217.6.78:443")
+		if !errors.Is(err, netsim.ErrDialTimeout) {
+			t.Errorf("dial blocked IP: err = %v, want ErrDialTimeout (silent blackhole)", err)
+		}
+		return nil
+	})
+	if w.g.Stats().IPBlocked == 0 {
+		t.Error("no IP-blocked packets recorded")
+	}
+}
+
+func startRawServer(t *testing.T, h *netsim.Host, port int, handler func(net.Conn)) {
+	t.Helper()
+	ln, err := h.Listen("tcp", ":443")
+	_ = port
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Network().Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			h.Network().Scheduler().Go(func() { handler(conn) })
+		}
+	})
+}
+
+func TestSNIKeywordFilteringResetsFlow(t *testing.T) {
+	w := newWorld(t, nil)
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	})
+	w.run(t, func() error {
+		raw, err := w.client.DialTCP("203.0.113.10:443")
+		if err != nil {
+			return err
+		}
+		tc := tlssim.Client(raw, tlssim.Config{ServerName: "scholar.google.com"})
+		err = tc.Handshake()
+		if err == nil {
+			t.Error("TLS handshake with blocked SNI succeeded through the GFW")
+		}
+		return nil
+	})
+	if w.g.Stats().KeywordResets == 0 {
+		t.Error("no keyword resets recorded")
+	}
+}
+
+func TestTLSWithInnocentSNIPasses(t *testing.T) {
+	w := newWorld(t, nil)
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		tc := tlssim.Server(conn, tlssim.Config{Certificate: []byte("cert")})
+		defer tc.Close()
+		buf := make([]byte, 64)
+		n, err := tc.Read(buf)
+		if err != nil {
+			return
+		}
+		tc.Write(buf[:n])
+	})
+	w.run(t, func() error {
+		raw, err := w.client.DialTCP("203.0.113.10:443")
+		if err != nil {
+			return err
+		}
+		tc := tlssim.Client(raw, tlssim.Config{ServerName: "en.wikipedia.org"})
+		if _, err := tc.Write([]byte("harmless")); err != nil {
+			return err
+		}
+		buf := make([]byte, 8)
+		if _, err := io.ReadFull(tc, buf); err != nil {
+			return err
+		}
+		if string(buf) != "harmless" {
+			t.Errorf("echo = %q", buf)
+		}
+		return nil
+	})
+}
+
+func TestHTTPHostKeywordFilteringResetsFlow(t *testing.T) {
+	w := newWorld(t, nil)
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	})
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("203.0.113.10:443")
+		if err != nil {
+			return err
+		}
+		conn.Write([]byte("GET / HTTP/1.1\r\nHost: www.google.com\r\n\r\n"))
+		buf := make([]byte, 1)
+		_, err = conn.Read(buf)
+		if !errors.Is(err, netsim.ErrReset) {
+			t.Errorf("read after blocked Host: err = %v, want ErrReset", err)
+		}
+		return nil
+	})
+}
+
+func TestActiveProbeConfirmsSilentServer(t *testing.T) {
+	// A Shadowsocks-like server: accepts any bytes, never answers, holds
+	// the connection. The GFW must probe and confirm it.
+	w := newWorld(t, nil)
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				conn.Close()
+				return
+			}
+			// Silent: never write.
+		}
+	})
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("203.0.113.10:443")
+		if err != nil {
+			return err
+		}
+		// High-entropy first flight, like a Shadowsocks IV + header.
+		first := make([]byte, 64)
+		for i := range first {
+			first[i] = byte(i*37 + 129)
+		}
+		if _, err := conn.Write(first); err != nil {
+			return err
+		}
+		// Give the probe time to run.
+		w.n.Scheduler().Sleep(5 * time.Second)
+		conn.Close()
+		return nil
+	})
+	st := w.g.Stats()
+	if st.ProbesLaunched == 0 {
+		t.Fatal("no probe launched against suspicious encrypted flow")
+	}
+	if st.ServersConfirmed == 0 {
+		t.Error("silent high-entropy server was not confirmed")
+	}
+	if got := w.g.ConfirmedServers(); len(got) != 1 || got[0] != "203.0.113.10:443" {
+		t.Errorf("confirmed servers = %v", got)
+	}
+}
+
+func TestActiveProbeExoneratesClosingServer(t *testing.T) {
+	// A ScholarCloud-like server: drops connections that fail its
+	// authentication immediately. The probe must not confirm it.
+	w := newWorld(t, nil)
+	var sawGenuine bool
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		buf := make([]byte, 4096)
+		n, err := conn.Read(buf)
+		if err != nil || n < 8 || buf[0] != 0xEE {
+			conn.Close() // authentication failed: drop instantly
+			return
+		}
+		sawGenuine = true
+		conn.Write([]byte("welcome"))
+		io.Copy(io.Discard, conn)
+		conn.Close()
+	})
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("203.0.113.10:443")
+		if err != nil {
+			return err
+		}
+		// Genuine client knows the magic first byte; still high entropy.
+		first := make([]byte, 64)
+		first[0] = 0xEE
+		for i := 1; i < len(first); i++ {
+			first[i] = byte(i*41 + 200)
+		}
+		if _, err := conn.Write(first); err != nil {
+			return err
+		}
+		buf := make([]byte, 7)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return err
+		}
+		w.n.Scheduler().Sleep(5 * time.Second)
+		conn.Close()
+		return nil
+	})
+	st := w.g.Stats()
+	if st.ProbesLaunched == 0 {
+		t.Fatal("no probe launched")
+	}
+	if st.ServersConfirmed != 0 {
+		t.Error("fast-closing server was wrongly confirmed")
+	}
+	if st.ServersExonerated == 0 {
+		t.Error("server not exonerated")
+	}
+	if !sawGenuine {
+		t.Error("genuine client never reached the server")
+	}
+}
+
+func TestConfirmedServerFlowsSufferInterference(t *testing.T) {
+	w := newWorld(t, func(c *Config) {
+		c.ShadowsocksLossRate = 0.30 // exaggerated for a short test
+	})
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				conn.Close()
+				return
+			}
+		}
+	})
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("203.0.113.10:443")
+		if err != nil {
+			return err
+		}
+		first := make([]byte, 64)
+		for i := range first {
+			first[i] = byte(i*37 + 129)
+		}
+		conn.Write(first)
+		w.n.Scheduler().Sleep(5 * time.Second) // probe confirms
+		// Now push more data through the degraded flow.
+		payload := make([]byte, 32*1024)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		conn.Write(payload)
+		w.n.Scheduler().Sleep(10 * time.Second)
+		conn.Close()
+		return nil
+	})
+	if w.g.Stats().InterferenceDrops == 0 {
+		t.Error("no interference drops on a confirmed server's flow")
+	}
+}
+
+func TestMeekFrontsSufferInterference(t *testing.T) {
+	w := newWorld(t, func(c *Config) {
+		c.MeekLossRate = 0.30
+	})
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		tc := tlssim.Server(conn, tlssim.Config{Certificate: []byte("cdn-cert")})
+		defer tc.Close()
+		io.Copy(io.Discard, tc)
+	})
+	w.run(t, func() error {
+		raw, err := w.client.DialTCP("203.0.113.10:443")
+		if err != nil {
+			return err
+		}
+		tc := tlssim.Client(raw, tlssim.Config{ServerName: "ajax.aspnetcdn.com"})
+		payload := make([]byte, 64*1024)
+		if _, err := tc.Write(payload); err != nil {
+			return err
+		}
+		w.n.Scheduler().Sleep(10 * time.Second)
+		raw.Close()
+		return nil
+	})
+	if w.g.Stats().InterferenceDrops == 0 {
+		t.Error("no interference against a meek-front flow")
+	}
+}
+
+func TestClassifyFingerprints(t *testing.T) {
+	fronts := map[string]bool{"ajax.aspnetcdn.com": true}
+	cases := []struct {
+		name  string
+		bytes []byte
+		want  Class
+	}{
+		{"http", []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"), ClassHTTP},
+		{"connect", []byte("CONNECT scholar.google.com:443 HTTP/1.1\r\n\r\n"), ClassHTTP},
+		{"pptp", append(append([]byte{}, pptpMagic...), bytes.Repeat([]byte{0}, 20)...), ClassPPTP},
+		{"l2tp", append(append([]byte{}, l2tpMagic...), bytes.Repeat([]byte{1}, 20)...), ClassL2TP},
+		{"openvpn", append([]byte{openVPNClientReset, 0x01}, bytes.Repeat([]byte{2}, 20)...), ClassOpenVPN},
+		{"lowentropy", []byte("just some plain old text padding here....."), ClassLowEntropy},
+	}
+	for _, c := range cases {
+		if got := classify(c.bytes, fronts); got != c.want {
+			t.Errorf("%s: classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyTLSAndMeek(t *testing.T) {
+	// Build a real ClientHello via the tlssim client over a pipe.
+	hello := func(sni string) []byte {
+		a, b := net.Pipe()
+		go tlssim.Client(a, tlssim.Config{ServerName: sni}).Handshake()
+		buf := make([]byte, 1024)
+		n, _ := b.Read(buf)
+		a.Close()
+		b.Close()
+		return buf[:n]
+	}
+	fronts := map[string]bool{"ajax.aspnetcdn.com": true}
+	if got := classify(hello("en.wikipedia.org"), fronts); got != ClassTLS {
+		t.Errorf("wikipedia hello classified as %v", got)
+	}
+	if got := classify(hello("ajax.aspnetcdn.com"), fronts); got != ClassMeek {
+		t.Errorf("meek front hello classified as %v", got)
+	}
+}
+
+func TestClassifyEncrypted(t *testing.T) {
+	randomish := make([]byte, 256)
+	for i := range randomish {
+		randomish[i] = byte(i*167 + 13)
+	}
+	if got := classify(randomish, nil); got != ClassEncrypted {
+		t.Errorf("high-entropy bytes classified as %v", got)
+	}
+}
+
+func TestEntropyHelper(t *testing.T) {
+	uniform := make([]byte, 4096)
+	for i := range uniform {
+		uniform[i] = byte(i)
+	}
+	if e := shannonEntropy(uniform); e < 7.9 {
+		t.Errorf("uniform entropy = %v", e)
+	}
+	if e := shannonEntropy(bytes.Repeat([]byte{7}, 100)); e != 0 {
+		t.Errorf("constant entropy = %v", e)
+	}
+}
+
+func TestBlockIPAtRuntime(t *testing.T) {
+	w := newWorld(t, nil)
+	startRawServer(t, w.server, 443, func(conn net.Conn) {
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	})
+	w.g.BlockIP("203.0.113.10")
+	w.run(t, func() error {
+		_, err := w.client.DialTCP("203.0.113.10:443")
+		if !errors.Is(err, netsim.ErrDialTimeout) {
+			t.Errorf("err = %v, want blackhole timeout", err)
+		}
+		return nil
+	})
+}

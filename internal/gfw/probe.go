@@ -1,0 +1,85 @@
+package gfw
+
+import (
+	"time"
+
+	"scholarcloud/internal/tlssim"
+)
+
+// parseSNI wraps the TLS DPI parser.
+func parseSNI(firstBytes []byte) (string, bool) {
+	return tlssim.ParseClientHelloSNI(firstBytes)
+}
+
+// probeReadTimeout is how long the prober waits for the suspect server to
+// react to replayed bytes.
+const probeReadTimeout = 1 * time.Second
+
+// scheduleProbeLocked arms an active probe against ep ("ip:port") using
+// the captured first client bytes as replay material. Called with g.mu
+// held.
+//
+// The probe reproduces the behaviour Ensafi et al. and Winter & Lindskog
+// documented for the real GFW: connect to the suspected server, replay
+// bytes captured from a genuine session, and watch how the server reacts.
+// The decision table:
+//
+//	server answers with data      -> ordinary service, exonerated
+//	server closes the connection  -> protocol rejected the garbage,
+//	                                 exonerated (ScholarCloud's remote
+//	                                 proxy drops unauthenticated peers)
+//	server stays silent and holds -> Shadowsocks-style "read forever"
+//	                                 behaviour, confirmed
+func (g *GFW) scheduleProbeLocked(ep string, replay []byte) {
+	g.stats.ProbesLaunched++
+	g.cfg.Clock.AfterFunc(g.cfg.ProbeDelay, func() {
+		g.runProbe(ep, replay)
+	})
+}
+
+func (g *GFW) runProbe(ep string, replay []byte) {
+	conn, err := g.cfg.ProbeFrom.DialTCP(ep)
+	if err != nil {
+		// Unreachable: nothing to confirm.
+		g.finishProbe(ep, false)
+		return
+	}
+	defer conn.Close()
+	if _, err := conn.Write(replay); err != nil {
+		g.finishProbe(ep, false)
+		return
+	}
+	conn.SetReadDeadline(g.cfg.Clock.Now().Add(probeReadTimeout))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	switch {
+	case err == nil:
+		// The server answered: some real protocol lives here.
+		g.finishProbe(ep, false)
+	case isTimeout(err):
+		// Silent accept-and-hold: the Shadowsocks fingerprint.
+		g.finishProbe(ep, true)
+	default:
+		// Connection closed or reset: the server rejected the replay.
+		g.finishProbe(ep, false)
+	}
+}
+
+func isTimeout(err error) bool {
+	type timeouter interface{ Timeout() bool }
+	t, ok := err.(timeouter)
+	return ok && t.Timeout()
+}
+
+func (g *GFW) finishProbe(ep string, confirmed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.probing, ep)
+	if confirmed {
+		g.confirmed[ep] = true
+		g.stats.ServersConfirmed++
+	} else {
+		g.cleared[ep] = true
+		g.stats.ServersExonerated++
+	}
+}

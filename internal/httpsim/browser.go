@@ -1,0 +1,318 @@
+package httpsim
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/tlssim"
+)
+
+// NetStack is how a browser reaches the network: directly, or through one
+// of the access methods under study. DialHost receives the hostname (not
+// an IP) because proxy-style methods resolve names remotely — which is
+// precisely why they dodge local DNS poisoning.
+type NetStack interface {
+	// Name identifies the method ("direct", "shadowsocks", ...).
+	Name() string
+	// DialHost opens a stream to host:port through the method.
+	DialHost(host string, port int) (net.Conn, error)
+}
+
+// HTTPProxier is an optional NetStack refinement for methods that proxy
+// plain HTTP via absolute-URI requests (PAC-configured proxies). The
+// browser sends "GET http://host/path" over a connection to the proxy
+// instead of dialing the origin.
+type HTTPProxier interface {
+	// HTTPProxy reports the proxy to use for plain-HTTP requests to host,
+	// and whether one applies.
+	HTTPProxy(host string) (proxyHostPort string, ok bool)
+}
+
+// VisitStats summarizes one page load.
+type VisitStats struct {
+	URL             string
+	PLT             time.Duration
+	Redirects       int
+	NewConns        int
+	TLSHandshakes   int
+	Resources       int
+	CacheHits       int
+	BytesFetched    int64
+	FirstVisit      bool
+	AccountRecorded bool
+	Failed          bool
+	Err             error
+}
+
+// Browser models the measurement client: it loads a page (main document,
+// redirects, subresources, and Google's first-visit account-recording
+// call), maintains cookie and content caches, and reports PLT.
+//
+// Subresources are fetched over one keep-alive connection per host with
+// pipelined requests — a deliberate simplification of Chrome's six
+// parallel connections that preserves the latency structure (one request
+// wave, responses streaming back) without requiring parallel goroutine
+// coordination inside the virtual-time scheduler.
+type Browser struct {
+	stack NetStack
+	clock netx.Clock
+
+	mu      sync.Mutex
+	cookies map[string]string // host -> cookie
+	cache   map[string]bool   // URL -> cached
+	visited map[string]bool   // host -> seen before (per-browser "account known")
+}
+
+// NewBrowser creates a browser with empty caches on the given stack.
+func NewBrowser(stack NetStack, clock netx.Clock) *Browser {
+	return &Browser{
+		stack:   stack,
+		clock:   clock,
+		cookies: make(map[string]string),
+		cache:   make(map[string]bool),
+		visited: make(map[string]bool),
+	}
+}
+
+// ClearContentCache drops only the content cache, keeping cookies and
+// DNS state — the configuration traffic measurements use so every access
+// fetches the full page (as the paper's per-access traffic figure does)
+// without re-triggering first-visit account recording.
+func (b *Browser) ClearContentCache() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cache = make(map[string]bool)
+}
+
+// ClearCaches drops cookie and content caches (used to measure first-time
+// loads).
+func (b *Browser) ClearCaches() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cookies = make(map[string]string)
+	b.cache = make(map[string]bool)
+	b.visited = make(map[string]bool)
+}
+
+// visitConn is one pooled connection during a page load.
+type visitConn struct {
+	cc    *ClientConn
+	https bool
+}
+
+// Visit loads the page at rawURL and returns its statistics.
+func (b *Browser) Visit(rawURL string) *VisitStats {
+	stats := &VisitStats{URL: rawURL}
+	start := b.clock.Now()
+	defer func() { stats.PLT = b.clock.Now().Sub(start) }()
+
+	u, err := ParseURL(rawURL)
+	if err != nil {
+		stats.Failed = true
+		stats.Err = err
+		return stats
+	}
+	b.mu.Lock()
+	stats.FirstVisit = !b.visited[u.Host]
+	b.mu.Unlock()
+
+	pool := make(map[string]*visitConn)
+	defer func() {
+		for _, vc := range pool {
+			vc.cc.Close()
+		}
+	}()
+
+	body, err := b.fetch(pool, u, stats, 0)
+	if err != nil {
+		stats.Failed = true
+		stats.Err = err
+		return stats
+	}
+
+	// Parse directives from the document and load the page's parts.
+	resources, acct := parseDirectives(body, u)
+	for _, res := range resources {
+		stats.Resources++
+		b.mu.Lock()
+		cached := b.cache[res.String()]
+		b.mu.Unlock()
+		if cached {
+			stats.CacheHits++
+			continue
+		}
+		if _, err := b.fetch(pool, res, stats, 0); err != nil {
+			stats.Failed = true
+			stats.Err = fmt.Errorf("subresource %s: %w", res, err)
+			return stats
+		}
+		b.mu.Lock()
+		b.cache[res.String()] = true
+		b.mu.Unlock()
+	}
+
+	// TCP-4: first-visit account recording uses its own connection to the
+	// accounts host (Fig. 4 of the paper).
+	if acct != nil {
+		if _, err := b.fetch(pool, acct, stats, 0); err != nil {
+			stats.Failed = true
+			stats.Err = fmt.Errorf("account recording: %w", err)
+			return stats
+		}
+		stats.AccountRecorded = true
+	}
+
+	b.mu.Lock()
+	b.visited[u.Host] = true
+	b.mu.Unlock()
+	return stats
+}
+
+const maxRedirects = 5
+
+// fetch retrieves one URL, following redirects, reusing pooled
+// connections keyed by scheme+hostport.
+func (b *Browser) fetch(pool map[string]*visitConn, u *URL, stats *VisitStats, depth int) ([]byte, error) {
+	if depth > maxRedirects {
+		return nil, fmt.Errorf("httpsim: too many redirects at %s", u)
+	}
+
+	// Plain HTTP through a PAC-configured proxy uses absolute-URI form.
+	if u.Scheme == "http" {
+		if hp, ok := b.stack.(HTTPProxier); ok {
+			if proxyAddr, use := hp.HTTPProxy(u.Host); use {
+				return b.fetchViaHTTPProxy(pool, proxyAddr, u, stats, depth)
+			}
+		}
+	}
+
+	key := u.Scheme + "://" + u.HostPort()
+	vc, ok := pool[key]
+	if !ok {
+		raw, err := b.stack.DialHost(u.Host, u.Port)
+		if err != nil {
+			return nil, err
+		}
+		stats.NewConns++
+		if u.Scheme == "https" {
+			tconn := tlssim.Client(raw, tlssim.Config{ServerName: u.Host})
+			if err := tconn.Handshake(); err != nil {
+				tconn.Close()
+				return nil, err
+			}
+			stats.TLSHandshakes++
+			vc = &visitConn{cc: NewClientConn(tconn), https: true}
+		} else {
+			vc = &visitConn{cc: NewClientConn(raw)}
+		}
+		pool[key] = vc
+	}
+
+	req := &Request{Method: "GET", Target: u.Path, Host: u.Host, Header: map[string]string{}}
+	b.attachCookie(req, u.Host)
+	resp, err := vc.cc.RoundTrip(req)
+	if err != nil {
+		// The pooled connection may have died (keep-alive teardown,
+		// censor reset); retry once on a fresh one.
+		vc.cc.Close()
+		delete(pool, key)
+		if depth < maxRedirects {
+			return b.fetch(pool, u, stats, depth+1)
+		}
+		return nil, err
+	}
+	return b.finishResponse(pool, u, resp, stats, depth)
+}
+
+func (b *Browser) fetchViaHTTPProxy(pool map[string]*visitConn, proxyAddr string, u *URL, stats *VisitStats, depth int) ([]byte, error) {
+	key := "proxy://" + proxyAddr
+	vc, ok := pool[key]
+	if !ok {
+		host, portStr, found := strings.Cut(proxyAddr, ":")
+		if !found {
+			return nil, fmt.Errorf("httpsim: bad proxy address %q", proxyAddr)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			return nil, fmt.Errorf("httpsim: bad proxy port %q", portStr)
+		}
+		raw, err := b.stack.DialHost(host, port)
+		if err != nil {
+			return nil, err
+		}
+		stats.NewConns++
+		vc = &visitConn{cc: NewClientConn(raw)}
+		pool[key] = vc
+	}
+	req := &Request{Method: "GET", Target: u.String(), Host: u.Host, Header: map[string]string{}}
+	b.attachCookie(req, u.Host)
+	resp, err := vc.cc.RoundTrip(req)
+	if err != nil {
+		vc.cc.Close()
+		delete(pool, key)
+		return nil, err
+	}
+	return b.finishResponse(pool, u, resp, stats, depth)
+}
+
+func (b *Browser) finishResponse(pool map[string]*visitConn, u *URL, resp *Response, stats *VisitStats, depth int) ([]byte, error) {
+	stats.BytesFetched += int64(len(resp.Body))
+	if resp.StatusCode == 301 || resp.StatusCode == 302 {
+		loc := resp.Header["Location"]
+		nu, err := ParseURL(loc)
+		if err != nil {
+			return nil, fmt.Errorf("httpsim: bad redirect %q: %w", loc, err)
+		}
+		stats.Redirects++
+		return b.fetch(pool, nu, stats, depth+1)
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("httpsim: %s returned %d %s", u, resp.StatusCode, resp.Status)
+	}
+	if sc := resp.Header["Set-Cookie"]; sc != "" {
+		b.mu.Lock()
+		b.cookies[u.Host] = sc
+		b.mu.Unlock()
+	}
+	return resp.Body, nil
+}
+
+func (b *Browser) attachCookie(req *Request, host string) {
+	b.mu.Lock()
+	if c, ok := b.cookies[host]; ok {
+		req.Header["Cookie"] = c
+	}
+	b.mu.Unlock()
+}
+
+// resource directives embedded in documents:
+//
+//	RES <absolute-url> <size>     subresource to fetch
+//	ACCT <absolute-url>           first-visit account recording endpoint
+func parseDirectives(body []byte, base *URL) (resources []*URL, acct *URL) {
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "RES "):
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if u, err := ParseURL(fields[1]); err == nil {
+					resources = append(resources, u)
+				}
+			}
+		case strings.HasPrefix(line, "ACCT "):
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if u, err := ParseURL(fields[1]); err == nil {
+					acct = u
+				}
+			}
+		}
+	}
+	return resources, acct
+}

@@ -1,0 +1,204 @@
+package httpsim
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/tlssim"
+)
+
+// directStack resolves locally and dials straight from the client host —
+// the "no circumvention" baseline.
+type directStack struct {
+	host     *netsim.Host
+	resolver *dnssim.Resolver
+}
+
+func (s *directStack) Name() string { return "direct" }
+
+func (s *directStack) DialHost(host string, port int) (net.Conn, error) {
+	ip, err := s.resolver.Lookup(host)
+	if err != nil {
+		return nil, err
+	}
+	return s.host.DialTCP(fmt.Sprintf("%s:%d", ip, port))
+}
+
+// scholarWorld wires a client, DNS, and the Scholar + accounts origins.
+type scholarWorld struct {
+	n       *netsim.Network
+	client  *netsim.Host
+	origin  *ScholarOrigin
+	stack   *directStack
+	browser *Browser
+}
+
+func newScholarWorld(t *testing.T) *scholarWorld {
+	t.Helper()
+	n := netsim.New(11)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 75 * time.Millisecond})
+	access := netsim.LinkConfig{Delay: 2 * time.Millisecond, Bandwidth: 12.5e6}
+
+	client := n.AddHost("client", "10.1.0.2", cn, access)
+	scholarHost := n.AddHost("scholar", "172.217.6.78", us, access)
+	accountsHost := n.AddHost("accounts", "172.217.6.79", us, access)
+	dnsHost := n.AddHost("dns", "8.8.8.8", us, access)
+
+	origin := NewScholarOrigin("scholar.google.com", "accounts.google.com", DefaultPage())
+	spawn := n.Scheduler()
+
+	// DNS.
+	dnsServer := dnssim.NewServer(map[string]string{
+		"scholar.google.com":  "172.217.6.78",
+		"accounts.google.com": "172.217.6.79",
+	})
+	pc, err := dnsHost.ListenPacket(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn.Go(func() { dnsServer.Serve(pc) })
+
+	// Scholar HTTP redirect (:80) and HTTPS site (:443).
+	ln80, err := scholarHost.Listen("tcp", ":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	redirectSrv := &Server{Handler: origin.RedirectHandler(), Spawn: spawn}
+	spawn.Go(func() { redirectSrv.Serve(ln80) })
+
+	ln443, err := scholarHost.Listen("tcp", ":443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainSrv := &Server{Handler: origin.Handler(), Spawn: spawn}
+	spawn.Go(func() {
+		mainSrv.Serve(tlssim.NewListener(ln443, tlssim.Config{Certificate: []byte("scholar-cert")}))
+	})
+
+	// Accounts HTTPS (:443).
+	lnAcct, err := accountsHost.Listen("tcp", ":443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acctSrv := &Server{Handler: origin.AccountsHandler(), Spawn: spawn}
+	spawn.Go(func() {
+		acctSrv.Serve(tlssim.NewListener(lnAcct, tlssim.Config{Certificate: []byte("accounts-cert")}))
+	})
+
+	stack := &directStack{host: client, resolver: dnssim.NewResolver(client, n.Clock(), "8.8.8.8:53")}
+	return &scholarWorld{
+		n:       n,
+		client:  client,
+		origin:  origin,
+		stack:   stack,
+		browser: NewBrowser(stack, n.Clock()),
+	}
+}
+
+func (w *scholarWorld) visit(t *testing.T, url string) *VisitStats {
+	t.Helper()
+	ch := make(chan *VisitStats, 1)
+	w.n.Scheduler().Go(func() { ch <- w.browser.Visit(url) })
+	select {
+	case st := <-ch:
+		return st
+	case <-time.After(30 * time.Second):
+		t.Fatal("visit deadlocked")
+		return nil
+	}
+}
+
+func TestFirstVisitFollowsFig4Structure(t *testing.T) {
+	w := newScholarWorld(t)
+	st := w.visit(t, "http://scholar.google.com/")
+	if st.Failed {
+		t.Fatalf("visit failed: %v", st.Err)
+	}
+	if st.Redirects != 1 {
+		t.Errorf("redirects = %d, want 1 (TCP-2 HTTPS redirection)", st.Redirects)
+	}
+	if !st.AccountRecorded {
+		t.Error("first visit did not hit the account-recording endpoint (TCP-4)")
+	}
+	if st.Resources != len(DefaultPage().Resources) {
+		t.Errorf("resources = %d, want %d", st.Resources, len(DefaultPage().Resources))
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("cache hits on first visit = %d", st.CacheHits)
+	}
+	// Connections: :80 redirect, :443 scholar, :443 accounts.
+	if st.NewConns != 3 {
+		t.Errorf("new connections = %d, want 3", st.NewConns)
+	}
+	if got := w.origin.AccountRecordings(); got != 1 {
+		t.Errorf("origin recorded %d accounts, want 1", got)
+	}
+}
+
+func TestSubsequentVisitIsLighterAndFaster(t *testing.T) {
+	w := newScholarWorld(t)
+	first := w.visit(t, "http://scholar.google.com/")
+	if first.Failed {
+		t.Fatalf("first visit failed: %v", first.Err)
+	}
+	second := w.visit(t, "https://scholar.google.com/")
+	if second.Failed {
+		t.Fatalf("second visit failed: %v", second.Err)
+	}
+	if second.AccountRecorded {
+		t.Error("second visit repeated account recording (cookie not honored)")
+	}
+	if second.CacheHits != len(DefaultPage().Resources) {
+		t.Errorf("cache hits = %d, want %d", second.CacheHits, len(DefaultPage().Resources))
+	}
+	if second.PLT >= first.PLT {
+		t.Errorf("subsequent PLT %v not shorter than first-time PLT %v", second.PLT, first.PLT)
+	}
+	if first.PLT <= 0 || second.PLT <= 0 {
+		t.Errorf("non-positive PLTs: %v %v", first.PLT, second.PLT)
+	}
+}
+
+func TestVisitToUnresolvableHostFails(t *testing.T) {
+	w := newScholarWorld(t)
+	st := w.visit(t, "https://nonexistent.example.com/")
+	if !st.Failed {
+		t.Error("visit to unresolvable host succeeded")
+	}
+}
+
+func TestPLTIncludesAllResources(t *testing.T) {
+	w := newScholarWorld(t)
+	st := w.visit(t, "https://scholar.google.com/")
+	if st.Failed {
+		t.Fatalf("visit failed: %v", st.Err)
+	}
+	wantBytes := int64(DefaultPage().MainDocSize)
+	for _, r := range DefaultPage().Resources {
+		wantBytes += int64(r.Size)
+	}
+	// Plus the account recording response.
+	if st.BytesFetched < wantBytes {
+		t.Errorf("bytes fetched = %d, want >= %d", st.BytesFetched, wantBytes)
+	}
+}
+
+func TestClearCachesRestoresFirstVisitBehavior(t *testing.T) {
+	w := newScholarWorld(t)
+	w.visit(t, "https://scholar.google.com/")
+	w.browser.ClearCaches()
+	st := w.visit(t, "https://scholar.google.com/")
+	if !st.AccountRecorded {
+		t.Error("after cache clear, account recording did not reoccur")
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("cache hits after clear = %d", st.CacheHits)
+	}
+}

@@ -1,0 +1,32 @@
+package httpsim
+
+import (
+	"bufio"
+	"net"
+)
+
+// ClientConn wraps a transport connection for issuing sequential HTTP
+// requests with keep-alive.
+type ClientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewClientConn wraps conn.
+func NewClientConn(conn net.Conn) *ClientConn {
+	return &ClientConn{conn: conn, br: bufio.NewReader(conn)}
+}
+
+// RoundTrip writes req and reads its response.
+func (cc *ClientConn) RoundTrip(req *Request) (*Response, error) {
+	if err := req.Encode(cc.conn); err != nil {
+		return nil, err
+	}
+	return ReadResponse(cc.br)
+}
+
+// Conn exposes the underlying connection.
+func (cc *ClientConn) Conn() net.Conn { return cc.conn }
+
+// Close closes the underlying connection.
+func (cc *ClientConn) Close() error { return cc.conn.Close() }

@@ -1,0 +1,274 @@
+// Package httpsim implements a compact HTTP/1.1 subsystem — wire format,
+// server, client, and forward proxy — plus a browser model that measures
+// page load time (PLT) the way the paper's methodology does.
+//
+// The implementation is deliberately independent of net/http so that every
+// blocking operation goes through scheduler-aware netsim connections; this
+// is what lets a simulated day of page loads run deterministically in
+// milliseconds. The message grammar is a faithful subset of HTTP/1.1
+// (request line / status line, headers, Content-Length bodies, keep-alive
+// connections, absolute-URI proxying, and CONNECT tunnels).
+package httpsim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// maxHeaderBytes bounds a message head to keep malformed peers from
+// ballooning memory.
+const maxHeaderBytes = 64 * 1024
+
+// maxBodyBytes bounds a message body.
+const maxBodyBytes = 16 << 20
+
+// Errors returned by the message layer.
+var (
+	ErrMalformed = errors.New("httpsim: malformed message")
+	ErrTooLarge  = errors.New("httpsim: message too large")
+)
+
+// Request is an HTTP request.
+type Request struct {
+	Method string
+	// Target is the request-target: a path ("/scholar"), an absolute URI
+	// (proxy form), or "host:port" for CONNECT.
+	Target string
+	Host   string
+	Header map[string]string
+	Body   []byte
+}
+
+// Response is an HTTP response.
+type Response struct {
+	StatusCode int
+	Status     string
+	Header     map[string]string
+	Body       []byte
+}
+
+// NewResponse builds a response with the conventional reason phrase.
+func NewResponse(code int, body []byte) *Response {
+	return &Response{
+		StatusCode: code,
+		Status:     statusText(code),
+		Header:     map[string]string{},
+		Body:       body,
+	}
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 407:
+		return "Proxy Authentication Required"
+	case 502:
+		return "Bad Gateway"
+	case 504:
+		return "Gateway Timeout"
+	default:
+		return "Status " + strconv.Itoa(code)
+	}
+}
+
+// WriteTo serializes the request.
+func (r *Request) Encode(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Target)
+	if r.Host != "" {
+		fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
+	}
+	writeHeaders(&b, r.Header)
+	if len(r.Body) > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(r.Body) > 0 {
+		if _, err := w.Write(r.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the response.
+func (r *Response) Encode(w io.Writer) error {
+	var b strings.Builder
+	status := r.Status
+	if status == "" {
+		status = statusText(r.StatusCode)
+	}
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.StatusCode, status)
+	writeHeaders(&b, r.Header)
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(r.Body))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(r.Body) > 0 {
+		if _, err := w.Write(r.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeaders(b *strings.Builder, h map[string]string) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		if strings.EqualFold(k, "Content-Length") || strings.EqualFold(k, "Host") {
+			continue // written explicitly
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+	}
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Header: map[string]string{}}
+	if err := readHeaders(br, req.Header); err != nil {
+		return nil, err
+	}
+	req.Host = req.Header["Host"]
+	delete(req.Header, "Host")
+	body, err := readBody(br, req.Header)
+	if err != nil {
+		return nil, err
+	}
+	req.Body = body
+	return req, nil
+}
+
+// ReadResponse parses one response from br.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{StatusCode: code, Header: map[string]string{}}
+	if len(parts) == 3 {
+		resp.Status = parts[2]
+	}
+	if err := readHeaders(br, resp.Header); err != nil {
+		return nil, err
+	}
+	body, err := readBody(br, resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		frag, err := br.ReadString('\n')
+		sb.WriteString(frag)
+		if err != nil {
+			if sb.Len() > 0 && err == io.EOF {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", err
+		}
+		if strings.HasSuffix(sb.String(), "\n") {
+			break
+		}
+		if sb.Len() > maxHeaderBytes {
+			return "", ErrTooLarge
+		}
+	}
+	return strings.TrimRight(sb.String(), "\r\n"), nil
+}
+
+func readHeaders(br *bufio.Reader, h map[string]string) error {
+	total := 0
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if line == "" {
+			return nil
+		}
+		total += len(line)
+		if total > maxHeaderBytes {
+			return ErrTooLarge
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return fmt.Errorf("%w: bad header %q", ErrMalformed, line)
+		}
+		key := canonicalKey(strings.TrimSpace(line[:i]))
+		h[key] = strings.TrimSpace(line[i+1:])
+	}
+}
+
+// canonicalKey normalizes header names to Canonical-Dash-Case.
+func canonicalKey(k string) string {
+	parts := strings.Split(k, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}
+
+func readBody(br *bufio.Reader, h map[string]string) ([]byte, error) {
+	cl, ok := h["Content-Length"]
+	if !ok {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
+	}
+	if n > maxBodyBytes {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

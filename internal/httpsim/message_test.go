@@ -1,0 +1,220 @@
+package httpsim
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "GET",
+		Target: "/scholar?q=middleware",
+		Host:   "scholar.google.com",
+		Header: map[string]string{"Cookie": "GSP=1", "Accept": "text/html"},
+		Body:   []byte("hello"),
+	}
+	var buf bytes.Buffer
+	if err := req.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "GET" || got.Target != req.Target || got.Host != req.Host {
+		t.Errorf("request line mismatch: %+v", got)
+	}
+	if got.Header["Cookie"] != "GSP=1" || got.Header["Accept"] != "text/html" {
+		t.Errorf("headers = %v", got.Header)
+	}
+	if string(got.Body) != "hello" {
+		t.Errorf("body = %q", got.Body)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := NewResponse(302, nil)
+	resp.Header["Location"] = "https://scholar.google.com/"
+	var buf bytes.Buffer
+	if err := resp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 302 || got.Header["Location"] != resp.Header["Location"] {
+		t.Errorf("response = %+v", got)
+	}
+}
+
+func TestResponseBodyLength(t *testing.T) {
+	body := bytes.Repeat([]byte("x"), 10000)
+	resp := NewResponse(200, body)
+	var buf bytes.Buffer
+	resp.Encode(&buf)
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, body) {
+		t.Error("body mismatch")
+	}
+}
+
+func TestKeepAliveSequentialMessages(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		req := &Request{Method: "GET", Target: "/", Host: "a", Header: map[string]string{}}
+		req.Encode(&buf)
+	}
+	br := bufio.NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		if _, err := ReadRequest(br); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestHeaderCanonicalization(t *testing.T) {
+	raw := "GET / HTTP/1.1\r\nhost: x\r\ncontent-type: text/plain\r\nX-CUSTOM-THING: v\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Host != "x" {
+		t.Errorf("host = %q", req.Host)
+	}
+	if req.Header["Content-Type"] != "text/plain" {
+		t.Errorf("headers = %v", req.Header)
+	}
+	if req.Header["X-Custom-Thing"] != "v" {
+		t.Errorf("headers = %v", req.Header)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	cases := []string{
+		"\r\n",
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n",
+		"GET / HTTP/1.1\r\nBadHeader\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: zzz\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(c))); err == nil {
+			t.Errorf("ReadRequest(%q) succeeded", c)
+		}
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	raw := "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort"
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestParseURL(t *testing.T) {
+	cases := []struct {
+		in   string
+		host string
+		port int
+		path string
+	}{
+		{"http://scholar.google.com/", "scholar.google.com", 80, "/"},
+		{"https://scholar.google.com/scholar?q=x", "scholar.google.com", 443, "/scholar?q=x"},
+		{"http://proxy.thucloud.com:8118/pac", "proxy.thucloud.com", 8118, "/pac"},
+		{"https://a.b", "a.b", 443, "/"},
+	}
+	for _, c := range cases {
+		u, err := ParseURL(c.in)
+		if err != nil {
+			t.Errorf("ParseURL(%q): %v", c.in, err)
+			continue
+		}
+		if u.Host != c.host || u.Port != c.port || u.Path != c.path {
+			t.Errorf("ParseURL(%q) = %+v", c.in, u)
+		}
+	}
+}
+
+func TestParseURLErrors(t *testing.T) {
+	for _, in := range []string{"", "ftp://x/", "http://", "http://host:0/", "http://host:99999/"} {
+		if _, err := ParseURL(in); err == nil {
+			t.Errorf("ParseURL(%q) succeeded", in)
+		}
+	}
+}
+
+func TestURLStringRoundTripProperty(t *testing.T) {
+	f := func(host uint8, port uint16, https bool) bool {
+		h := "host" + string(rune('a'+host%26)) + ".example.com"
+		p := int(port)
+		if p == 0 {
+			p = 1
+		}
+		scheme := "http"
+		if https {
+			scheme = "https"
+		}
+		u := &URL{Scheme: scheme, Host: h, Port: p, Path: "/x"}
+		again, err := ParseURL(u.String())
+		return err == nil && again.Host == u.Host && again.Port == u.Port && again.Scheme == u.Scheme
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRequestFuzzNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		ReadRequest(bufio.NewReader(bytes.NewReader(b)))
+		ReadResponse(bufio.NewReader(bytes.NewReader(b)))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxRoutingAndFallback(t *testing.T) {
+	m := NewMux()
+	m.HandleFunc("/a", func(_ *Request, _ net.Addr) *Response {
+		return NewResponse(200, []byte("A"))
+	})
+	req := func(target string) *Request {
+		return &Request{Method: "GET", Target: target, Host: "x", Header: map[string]string{}}
+	}
+	if resp := m.ServeHTTP(req("/a"), nil); string(resp.Body) != "A" {
+		t.Errorf("route /a -> %q", resp.Body)
+	}
+	if resp := m.ServeHTTP(req("/a?q=1"), nil); string(resp.Body) != "A" {
+		t.Errorf("query string not stripped: %q", resp.Body)
+	}
+	if resp := m.ServeHTTP(req("/missing"), nil); resp.StatusCode != 404 {
+		t.Errorf("missing route -> %d", resp.StatusCode)
+	}
+	m.SetFallback(HandlerFunc(func(_ *Request, _ net.Addr) *Response {
+		return NewResponse(200, []byte("FB"))
+	}))
+	if resp := m.ServeHTTP(req("/missing"), nil); string(resp.Body) != "FB" {
+		t.Errorf("fallback -> %q", resp.Body)
+	}
+}
+
+func TestStatusTexts(t *testing.T) {
+	for code, want := range map[int]string{
+		200: "OK", 302: "Found", 403: "Forbidden", 404: "Not Found",
+		502: "Bad Gateway", 599: "Status 599",
+	} {
+		if got := statusText(code); got != want {
+			t.Errorf("statusText(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

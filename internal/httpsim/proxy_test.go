@@ -1,0 +1,242 @@
+package httpsim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/netsim"
+)
+
+// proxyWorld: client -> proxy host -> origin host.
+type proxyWorld struct {
+	n      *netsim.Network
+	client *netsim.Host
+	proxyH *netsim.Host
+	origin *netsim.Host
+	proxy  *Proxy
+}
+
+func newProxyWorld(t *testing.T, authorize func(string) error) *proxyWorld {
+	t.Helper()
+	n := netsim.New(81)
+	t.Cleanup(n.Stop)
+	z := n.AddZone("z")
+	acc := netsim.LinkConfig{Delay: time.Millisecond}
+	w := &proxyWorld{
+		n:      n,
+		client: n.AddHost("client", "10.0.0.2", z, acc),
+		proxyH: n.AddHost("proxy", "10.0.0.3", z, acc),
+		origin: n.AddHost("origin", "10.0.0.4", z, acc),
+	}
+	// Origin: echo on :7, HTTP on :80.
+	eln, err := w.origin.Listen("tcp", ":7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := eln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() { defer conn.Close(); io.Copy(conn, conn) })
+		}
+	})
+	hln, err := w.origin.Listen("tcp", ":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{
+		Handler: HandlerFunc(func(req *Request, _ net.Addr) *Response {
+			return NewResponse(200, []byte("origin:"+req.Target))
+		}),
+		Spawn: n.Scheduler(),
+	}
+	n.Scheduler().Go(func() { srv.Serve(hln) })
+
+	w.proxy = &Proxy{
+		Dial: func(address string) (net.Conn, error) {
+			// Resolve test names to the origin.
+			address = strings.Replace(address, "origin.example", "10.0.0.4", 1)
+			return w.proxyH.DialTCP(address)
+		},
+		Spawn:     n.Scheduler(),
+		Authorize: authorize,
+	}
+	pln, err := w.proxyH.Listen("tcp", ":8118")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { w.proxy.Serve(pln) })
+	return w
+}
+
+func (w *proxyWorld) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	w.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestProxyConnectTunnel(t *testing.T) {
+	w := newProxyWorld(t, nil)
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("10.0.0.3:8118")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		req := &Request{Method: "CONNECT", Target: "origin.example:7", Host: "origin.example:7", Header: map[string]string{}}
+		if err := req.Encode(conn); err != nil {
+			return err
+		}
+		br := bufio.NewReader(conn)
+		resp, err := ReadResponse(br)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("CONNECT status %d", resp.StatusCode)
+		}
+		conn.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		if string(buf) != "ping" {
+			t.Errorf("echo = %q", buf)
+		}
+		return nil
+	})
+}
+
+func TestProxyAbsoluteURI(t *testing.T) {
+	w := newProxyWorld(t, nil)
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("10.0.0.3:8118")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		cc := NewClientConn(conn)
+		resp, err := cc.RoundTrip(&Request{
+			Method: "GET",
+			Target: "http://origin.example/page",
+			Host:   "origin.example",
+			Header: map[string]string{},
+		})
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 || string(resp.Body) != "origin:/page" {
+			t.Errorf("response = %d %q", resp.StatusCode, resp.Body)
+		}
+		// Keep-alive: a second request on the same proxy connection.
+		resp, err = cc.RoundTrip(&Request{
+			Method: "GET",
+			Target: "http://origin.example/second",
+			Host:   "origin.example",
+			Header: map[string]string{},
+		})
+		if err != nil {
+			return err
+		}
+		if string(resp.Body) != "origin:/second" {
+			t.Errorf("second response = %q", resp.Body)
+		}
+		return nil
+	})
+}
+
+func TestProxyAuthorizeDenies(t *testing.T) {
+	w := newProxyWorld(t, func(host string) error {
+		if host != "origin.example" {
+			return errors.New("not whitelisted")
+		}
+		return nil
+	})
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("10.0.0.3:8118")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		cc := NewClientConn(conn)
+		resp, err := cc.RoundTrip(&Request{
+			Method: "GET",
+			Target: "http://evil.example/",
+			Host:   "evil.example",
+			Header: map[string]string{},
+		})
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 403 {
+			t.Errorf("status = %d, want 403", resp.StatusCode)
+		}
+		return nil
+	})
+}
+
+func TestProxyBadTarget(t *testing.T) {
+	w := newProxyWorld(t, nil)
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("10.0.0.3:8118")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		cc := NewClientConn(conn)
+		resp, err := cc.RoundTrip(&Request{
+			Method: "GET",
+			Target: "/not-absolute",
+			Host:   "x",
+			Header: map[string]string{},
+		})
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 400 {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+		return nil
+	})
+}
+
+func TestProxyUpstreamFailure(t *testing.T) {
+	w := newProxyWorld(t, nil)
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("10.0.0.3:8118")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		cc := NewClientConn(conn)
+		resp, err := cc.RoundTrip(&Request{
+			Method: "GET",
+			Target: "http://10.0.0.4:9999/", // closed port
+			Host:   "10.0.0.4:9999",
+			Header: map[string]string{},
+		})
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 502 {
+			t.Errorf("status = %d, want 502", resp.StatusCode)
+		}
+		return nil
+	})
+}

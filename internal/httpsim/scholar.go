@@ -1,0 +1,186 @@
+package httpsim
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// ResourceSpec is one static subresource of a page.
+type ResourceSpec struct {
+	Path string
+	Size int
+}
+
+// PageSpec describes the composition of the Scholar home page. Sizes are
+// application-layer bytes; the defaults in internal/experiments are
+// calibrated so a direct page load transfers ≈19 KB, the figure the paper
+// reports for an uncensored US access (Fig. 6a).
+type PageSpec struct {
+	MainDocSize int
+	Resources   []ResourceSpec
+}
+
+// DefaultPage is a scholar.google.com-like page: one dynamic document and
+// a handful of static assets.
+func DefaultPage() PageSpec {
+	return PageSpec{
+		MainDocSize: 8 * 1024,
+		Resources: []ResourceSpec{
+			{Path: "/static/scholar.js", Size: 4 * 1024},
+			{Path: "/static/scholar.css", Size: 2 * 1024},
+			{Path: "/static/logo.png", Size: 3 * 1024},
+			{Path: "/static/sprite.png", Size: 1 * 1024},
+		},
+	}
+}
+
+// ScholarOrigin reproduces the client–server session structure of Fig. 4:
+//
+//	TCP-2: plain-HTTP requests are redirected to HTTPS.
+//	TCP-3: the real data exchange (main document + subresources).
+//	TCP-4: on a first visit (no session cookie) the page directs the
+//	       browser to the accounts host, which records the client's IP and
+//	       "Google account" and sets the session cookie.
+type ScholarOrigin struct {
+	Host         string // e.g. "scholar.google.com"
+	AccountsHost string // e.g. "accounts.google.com"
+	Page         PageSpec
+
+	mu        sync.Mutex
+	recorded  map[string]bool // client IP -> recorded
+	accesses  int64
+	firstHits int64
+}
+
+// NewScholarOrigin creates the origin with the given page composition.
+func NewScholarOrigin(host, accountsHost string, page PageSpec) *ScholarOrigin {
+	return &ScholarOrigin{
+		Host:         host,
+		AccountsHost: accountsHost,
+		Page:         page,
+		recorded:     make(map[string]bool),
+	}
+}
+
+// sessionCookie is the cookie Scholar sets after account recording.
+const sessionCookie = "GSP=ID=8c19b0f3f1d7"
+
+// Accesses returns how many main-document requests were served.
+func (o *ScholarOrigin) Accesses() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.accesses
+}
+
+// AccountRecordings returns how many first-visit recordings happened.
+func (o *ScholarOrigin) AccountRecordings() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.firstHits
+}
+
+// RedirectHandler answers plain-HTTP requests with a 302 to HTTPS
+// (the paper's TCP-2 connection).
+func (o *ScholarOrigin) RedirectHandler() Handler {
+	return HandlerFunc(func(req *Request, _ net.Addr) *Response {
+		resp := NewResponse(302, nil)
+		resp.Header["Location"] = "https://" + o.Host + req.Target
+		return resp
+	})
+}
+
+// Handler serves the HTTPS site: the main document and its static
+// resources.
+func (o *ScholarOrigin) Handler() Handler {
+	mux := NewMux()
+	mux.HandleFunc("/", o.serveMain)
+	mux.HandleFunc("/scholar", o.serveMain)
+	for _, res := range o.Page.Resources {
+		size := res.Size
+		mux.HandleFunc(res.Path, func(_ *Request, _ net.Addr) *Response {
+			return NewResponse(200, filler(size))
+		})
+	}
+	return mux
+}
+
+func (o *ScholarOrigin) serveMain(req *Request, remote net.Addr) *Response {
+	o.mu.Lock()
+	o.accesses++
+	o.mu.Unlock()
+
+	var doc bytes.Buffer
+	doc.WriteString("<!-- scholar home -->\n")
+	for _, res := range o.Page.Resources {
+		fmt.Fprintf(&doc, "RES https://%s%s %d\n", o.Host, res.Path, res.Size)
+	}
+	// A client without the session cookie is a first visit: direct it to
+	// the account-recording endpoint (TCP-4).
+	if !strings.Contains(req.Header["Cookie"], "GSP=") {
+		fmt.Fprintf(&doc, "ACCT https://%s/recordlogin\n", o.AccountsHost)
+	}
+	if pad := o.Page.MainDocSize - doc.Len(); pad > 0 {
+		doc.Write(filler(pad))
+	}
+	resp := NewResponse(200, doc.Bytes())
+	resp.Header["Set-Cookie"] = sessionCookie
+	return resp
+}
+
+// CombinedHandler serves the site and the account-recording endpoint on
+// one host, for origins whose accounts service is not split out (the
+// uncensored mirror and domestic sites).
+func (o *ScholarOrigin) CombinedHandler() Handler {
+	mux := o.Handler().(*Mux)
+	mux.HandleFunc("/recordlogin", func(req *Request, remote net.Addr) *Response {
+		return o.AccountsHandler().ServeHTTP(req, remote)
+	})
+	return mux
+}
+
+// AccountsHandler serves the accounts host: /recordlogin notes the
+// client's IP and account identity.
+func (o *ScholarOrigin) AccountsHandler() Handler {
+	mux := NewMux()
+	mux.HandleFunc("/recordlogin", func(req *Request, remote net.Addr) *Response {
+		ip := remote.String()
+		if i := strings.LastIndexByte(ip, ':'); i >= 0 {
+			ip = ip[:i]
+		}
+		o.mu.Lock()
+		if !o.recorded[ip] {
+			o.recorded[ip] = true
+		}
+		o.firstHits++
+		o.mu.Unlock()
+		resp := NewResponse(200, []byte("recorded\n"))
+		resp.Header["Set-Cookie"] = sessionCookie
+		return resp
+	})
+	return mux
+}
+
+// filler produces n bytes of page-like content: markup interleaved with
+// already-compressed asset bytes (images, minified bundles), so that
+// tunnel-level compression (OpenVPN's LZO stand-in) saves a realistic
+// fraction rather than collapsing the page.
+func filler(n int) []byte {
+	const chunk = "<div class=\"gs_r\">scholarly result item with metadata</div>\n"
+	b := make([]byte, 0, n+64)
+	x := uint64(0x5ca1ab1e)
+	for len(b) < n {
+		b = append(b, chunk...)
+		// An equal run of incompressible bytes.
+		for i := 0; i < len(chunk); i++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			b = append(b, byte(z^(z>>31)))
+		}
+	}
+	return b[:n]
+}

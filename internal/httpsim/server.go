@@ -1,0 +1,135 @@
+package httpsim
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+
+	"scholarcloud/internal/netx"
+)
+
+// Handler responds to one HTTP request.
+type Handler interface {
+	ServeHTTP(req *Request, remote net.Addr) *Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request, remote net.Addr) *Response
+
+// ServeHTTP implements Handler.
+func (f HandlerFunc) ServeHTTP(req *Request, remote net.Addr) *Response {
+	return f(req, remote)
+}
+
+// Server serves HTTP/1.1 with keep-alive connections.
+type Server struct {
+	Handler Handler
+	Spawn   netx.Spawner
+	// OnRequest, if set, runs before the handler for every request —
+	// experiments hook per-request CPU cost (Host.Compute) here.
+	OnRequest func(req *Request)
+
+	mu     sync.Mutex
+	closed bool
+	lns    []net.Listener
+}
+
+// Serve accepts connections from ln until ln is closed.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.Spawn.Go(func() { s.serveConn(conn) })
+	}
+}
+
+// Close shuts down all listeners passed to Serve.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			return
+		}
+		if s.OnRequest != nil {
+			s.OnRequest(req)
+		}
+		resp := s.Handler.ServeHTTP(req, conn.RemoteAddr())
+		if resp == nil {
+			resp = NewResponse(404, nil)
+		}
+		if err := resp.Encode(conn); err != nil {
+			return
+		}
+		if strings.EqualFold(req.Header["Connection"], "close") ||
+			strings.EqualFold(resp.Header["Connection"], "close") {
+			return
+		}
+	}
+}
+
+// Mux routes requests by exact path, with a fallback.
+type Mux struct {
+	mu       sync.Mutex
+	routes   map[string]Handler
+	fallback Handler
+}
+
+// NewMux returns an empty Mux that answers 404 by default.
+func NewMux() *Mux {
+	return &Mux{routes: make(map[string]Handler)}
+}
+
+// Handle registers h for the exact path.
+func (m *Mux) Handle(path string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routes[path] = h
+}
+
+// HandleFunc registers f for the exact path.
+func (m *Mux) HandleFunc(path string, f HandlerFunc) { m.Handle(path, f) }
+
+// SetFallback registers the handler used when no route matches.
+func (m *Mux) SetFallback(h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fallback = h
+}
+
+// ServeHTTP implements Handler.
+func (m *Mux) ServeHTTP(req *Request, remote net.Addr) *Response {
+	path := req.Target
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	m.mu.Lock()
+	h := m.routes[path]
+	if h == nil {
+		h = m.fallback
+	}
+	m.mu.Unlock()
+	if h == nil {
+		return NewResponse(404, []byte("not found: "+path))
+	}
+	return h.ServeHTTP(req, remote)
+}

@@ -1,0 +1,67 @@
+package httpsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// URL is a minimal parsed form of http:// and https:// URLs.
+type URL struct {
+	Scheme string // "http" or "https"
+	Host   string // hostname without port
+	Port   int    // always explicit (80/443 default applied at parse)
+	Path   string // begins with "/"
+}
+
+// ParseURL parses an absolute http(s) URL.
+func ParseURL(raw string) (*URL, error) {
+	u := &URL{}
+	switch {
+	case strings.HasPrefix(raw, "http://"):
+		u.Scheme = "http"
+		u.Port = 80
+		raw = raw[len("http://"):]
+	case strings.HasPrefix(raw, "https://"):
+		u.Scheme = "https"
+		u.Port = 443
+		raw = raw[len("https://"):]
+	default:
+		return nil, fmt.Errorf("httpsim: unsupported URL %q", raw)
+	}
+	hostport := raw
+	if i := strings.IndexByte(raw, '/'); i >= 0 {
+		hostport = raw[:i]
+		u.Path = raw[i:]
+	} else {
+		u.Path = "/"
+	}
+	if i := strings.LastIndexByte(hostport, ':'); i >= 0 {
+		u.Host = hostport[:i]
+		var port int
+		if _, err := fmt.Sscanf(hostport[i+1:], "%d", &port); err != nil || port <= 0 || port > 65535 {
+			return nil, fmt.Errorf("httpsim: bad port in %q", hostport)
+		}
+		u.Port = port
+	} else {
+		u.Host = hostport
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("httpsim: empty host in URL %q", raw)
+	}
+	return u, nil
+}
+
+// HostPort returns "host:port".
+func (u *URL) HostPort() string { return fmt.Sprintf("%s:%d", u.Host, u.Port) }
+
+// String reassembles the URL.
+func (u *URL) String() string {
+	defaultPort := 80
+	if u.Scheme == "https" {
+		defaultPort = 443
+	}
+	if u.Port == defaultPort {
+		return fmt.Sprintf("%s://%s%s", u.Scheme, u.Host, u.Path)
+	}
+	return fmt.Sprintf("%s://%s:%d%s", u.Scheme, u.Host, u.Port, u.Path)
+}

@@ -1,0 +1,337 @@
+package mux
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/netx"
+)
+
+// realPair builds a client/server session pair over net.Pipe with the
+// real environment.
+func realPair(accept Acceptor) (*Session, *Session) {
+	a, b := net.Pipe()
+	env := netx.RealEnv()
+	client := NewSession(a, env, nil)
+	server := NewSession(b, env, accept)
+	return client, server
+}
+
+// echoAcceptor grants every stream and echoes bytes back through a
+// loopback pipe.
+func echoAcceptor(meta []byte) (net.Conn, error) {
+	a, b := net.Pipe()
+	go func() {
+		io.Copy(b, b) // echo
+	}()
+	_ = meta
+	return a, nil
+}
+
+func TestOpenAndEcho(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer client.Close()
+	defer server.Close()
+
+	st, err := client.Open([]byte("echo.example:7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello mux")
+	if _, err := st.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestOpenRejected(t *testing.T) {
+	client, server := realPair(func(meta []byte) (net.Conn, error) {
+		return nil, fmt.Errorf("forbidden: %s", meta)
+	})
+	defer client.Close()
+	defer server.Close()
+
+	_, err := client.Open([]byte("evil.example:1"))
+	if !errors.Is(err, ErrOpenRejected) {
+		t.Errorf("err = %v, want ErrOpenRejected", err)
+	}
+}
+
+func TestOpenWithoutAcceptorRejected(t *testing.T) {
+	client, server := realPair(nil)
+	defer client.Close()
+	defer server.Close()
+	if _, err := client.Open([]byte("x:1")); !errors.Is(err, ErrOpenRejected) {
+		t.Errorf("err = %v, want ErrOpenRejected", err)
+	}
+}
+
+func TestConcurrentStreamsAreIndependent(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer client.Close()
+	defer server.Close()
+
+	const streams = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := client.Open([]byte("echo:7"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer st.Close()
+			msg := bytes.Repeat([]byte{byte('a' + i)}, 4096)
+			go st.Write(msg)
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(st, buf); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(buf, msg) {
+				errs <- fmt.Errorf("stream %d corrupted", i)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < streams; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamCloseDeliversEOF(t *testing.T) {
+	done := make(chan net.Conn, 1)
+	client, server := realPair(func(meta []byte) (net.Conn, error) {
+		a, b := net.Pipe()
+		done <- b
+		return a, nil
+	})
+	defer client.Close()
+	defer server.Close()
+
+	st, err := client.Open([]byte("x:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := <-done
+	go func() {
+		upstream.Write([]byte("bye"))
+		upstream.Close()
+	}()
+	data, err := io.ReadAll(st)
+	if err != nil && !errors.Is(err, ErrStreamClosed) {
+		t.Fatal(err)
+	}
+	if string(data) != "bye" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestSessionCloseFailsStreams(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer server.Close()
+	st, err := client.Open([]byte("x:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := st.Read(make([]byte, 1)); err == nil {
+		t.Error("read on closed session succeeded")
+	}
+	if _, err := client.Open([]byte("y:1")); err == nil {
+		t.Error("open on closed session succeeded")
+	}
+}
+
+func TestLargeTransferChunksFrames(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer client.Close()
+	defer server.Close()
+
+	st, err := client.Open([]byte("echo:7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 300*1024) // far above maxFramePayload
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	go st.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(st, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("large transfer corrupted")
+	}
+}
+
+func TestMuxOverSimulatedNetwork(t *testing.T) {
+	// The same session code must run under the virtual clock, with the
+	// carrier crossing a high-latency border link.
+	n := netsim.New(3)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 75 * time.Millisecond})
+	client := n.AddHost("client", "10.0.0.2", cn, netsim.LinkConfig{Delay: 2 * time.Millisecond})
+	server := n.AddHost("server", "198.51.100.7", us, netsim.LinkConfig{Delay: 2 * time.Millisecond})
+	origin := n.AddHost("origin", "203.0.113.10", us, netsim.LinkConfig{Delay: 2 * time.Millisecond})
+
+	// Echo origin.
+	ln, err := origin.Listen("tcp", ":7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					m, err := conn.Read(buf)
+					if m > 0 {
+						conn.Write(buf[:m])
+					}
+					if err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+
+	// Tunnel server: accept carrier conns, dial meta as target.
+	tln, err := server.Listen("tcp", ":9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := n.Env()
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := tln.Accept()
+			if err != nil {
+				return
+			}
+			NewSession(conn, env, func(meta []byte) (net.Conn, error) {
+				return server.DialTCP(string(meta))
+			})
+		}
+	})
+
+	done := make(chan error, 1)
+	n.Scheduler().Go(func() {
+		carrier, err := client.DialTCP("198.51.100.7:9000")
+		if err != nil {
+			done <- err
+			return
+		}
+		sess := NewSession(carrier, env, nil)
+		defer sess.Close()
+		st, err := sess.Open([]byte("203.0.113.10:7"))
+		if err != nil {
+			done <- err
+			return
+		}
+		msg := []byte("through the tunnel")
+		st.Write(msg)
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(st, buf); err != nil {
+			done <- err
+			return
+		}
+		if !bytes.Equal(buf, msg) {
+			done <- fmt.Errorf("echo = %q", buf)
+			return
+		}
+		done <- nil
+	})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	client, server := realPair(func(meta []byte) (net.Conn, error) {
+		a, _ := net.Pipe() // never answers
+		return a, nil
+	})
+	defer client.Close()
+	defer server.Close()
+
+	st, err := client.Open([]byte("x:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	_, err = st.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("err = %v, want timeout", err)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer client.Close()
+	defer server.Close()
+	// Ping is fire-and-forget; it must not disturb streams.
+	if err := client.Ping(64); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Open([]byte("echo:7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ping(1024); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("alongside pings")
+	go st.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestPingOversizeClamped(t *testing.T) {
+	client, server := realPair(nil)
+	defer client.Close()
+	defer server.Close()
+	if err := client.Ping(maxFramePayload * 4); err != nil {
+		t.Fatal(err)
+	}
+}

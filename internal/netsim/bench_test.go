@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkSimulatedTransfer measures simulator wall-time cost per
+// simulated megabyte moved through the TCP-like stream across a lossy
+// border — the number that makes day-long experiments cheap.
+func BenchmarkSimulatedTransfer(b *testing.B) {
+	n := New(1)
+	defer n.Stop()
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, LinkConfig{Delay: 73 * time.Millisecond, Bandwidth: 125e6, BaseLoss: 0.002})
+	client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{Delay: 2 * time.Millisecond, Bandwidth: 12.5e6})
+	server := n.AddHost("server", "8.8.4.4", us, LinkConfig{Delay: 2 * time.Millisecond, Bandwidth: 12.5e6})
+	ln, err := server.Listen("tcp", ":80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() {
+				defer conn.Close()
+				io.Copy(io.Discard, conn)
+			})
+		}
+	})
+
+	const chunk = 1 << 20
+	payload := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	done := make(chan error, 1)
+	n.Scheduler().Go(func() {
+		conn, err := client.DialTCP("8.8.4.4:80")
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < b.N; i++ {
+			if _, err := conn.Write(payload); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHandshake measures dial cost (events per connection setup).
+func BenchmarkHandshake(b *testing.B) {
+	n := New(1)
+	defer n.Stop()
+	z := n.AddZone("z")
+	client := n.AddHost("client", "10.0.0.2", z, LinkConfig{Delay: time.Millisecond})
+	server := n.AddHost("server", "8.8.4.4", z, LinkConfig{Delay: time.Millisecond})
+	ln, err := server.Listen("tcp", ":80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	})
+	b.ResetTimer()
+	done := make(chan error, 1)
+	n.Scheduler().Go(func() {
+		for i := 0; i < b.N; i++ {
+			conn, err := client.DialTCP("8.8.4.4:80")
+			if err != nil {
+				done <- err
+				return
+			}
+			conn.Close()
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,654 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testWorld is a two-zone internet with one client and one server host,
+// mirroring the Beijing / San Mateo setup of the paper's methodology.
+type testWorld struct {
+	net    *Network
+	cn, us *Zone
+	border *LinkHandle
+	client *Host
+	server *Host
+}
+
+func newTestWorld(t *testing.T, seed uint64, borderCfg LinkConfig) *testWorld {
+	t.Helper()
+	n := New(seed)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	border := n.Connect(cn, us, borderCfg)
+	access := LinkConfig{Delay: 2 * time.Millisecond, Bandwidth: 12.5e6} // 100 Mbps
+	return &testWorld{
+		net:    n,
+		cn:     cn,
+		us:     us,
+		border: border,
+		client: n.AddHost("client", "10.0.0.2", cn, access),
+		server: n.AddHost("server", "8.8.4.4", us, access),
+	}
+}
+
+// run executes fn on a managed goroutine and waits for it, failing the
+// test if it does not complete.
+func run(t *testing.T, n *Network, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked (wall-clock timeout)")
+	}
+}
+
+func startEcho(t *testing.T, h *Host, port int) net.Listener {
+	t.Helper()
+	ln, err := h.Listen("tcp", ":8080")
+	_ = port
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.n.sched.Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			h.n.sched.Go(func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := conn.Read(buf)
+					if n > 0 {
+						if _, werr := conn.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+	return ln
+}
+
+func TestDialEchoRoundTrip(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 75 * time.Millisecond})
+	startEcho(t, w.server, 8080)
+
+	run(t, w.net, func() error {
+		conn, err := w.client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		msg := []byte("hello through the border")
+		if _, err := conn.Write(msg); err != nil {
+			return err
+		}
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, msg) {
+			t.Errorf("echo = %q, want %q", buf, msg)
+		}
+		return nil
+	})
+}
+
+func TestHandshakePlusEchoTiming(t *testing.T) {
+	// One-way delay: 2ms access + 75ms border + 2ms access = 79ms,
+	// so RTT = 158ms. Handshake (1 RTT) + echo (1 RTT) = 316ms, with no
+	// loss and no bandwidth constraints on tiny payloads.
+	n := New(1)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, LinkConfig{Delay: 75 * time.Millisecond})
+	client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{Delay: 2 * time.Millisecond})
+	server := n.AddHost("server", "8.8.4.4", us, LinkConfig{Delay: 2 * time.Millisecond})
+	startEcho(t, server, 8080)
+
+	run(t, n, func() error {
+		start := n.Scheduler().Elapsed()
+		conn, err := client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		dialDone := n.Scheduler().Elapsed() - start
+		if want := 158 * time.Millisecond; dialDone != want {
+			t.Errorf("handshake took %v, want %v", dialDone, want)
+		}
+		if _, err := conn.Write([]byte("x")); err != nil {
+			return err
+		}
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return err
+		}
+		total := n.Scheduler().Elapsed() - start
+		if want := 316 * time.Millisecond; total != want {
+			t.Errorf("handshake+echo took %v, want %v", total, want)
+		}
+		return nil
+	})
+}
+
+func TestLargeTransferIntegrity(t *testing.T) {
+	w := newTestWorld(t, 7, LinkConfig{Delay: 75 * time.Millisecond, Bandwidth: 12.5e6})
+	startEcho(t, w.server, 8080)
+
+	const size = 512 * 1024
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	run(t, w.net, func() error {
+		conn, err := w.client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		errs := make(chan error, 1)
+		w.net.Scheduler().Go(func() {
+			_, err := conn.Write(payload)
+			errs <- err
+		})
+		got := make([]byte, size)
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if err := <-errs; err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("echoed payload corrupted")
+		}
+		return nil
+	})
+}
+
+func TestTransferSurvivesLoss(t *testing.T) {
+	// 2% loss is far above anything in the paper; the stream must still
+	// deliver everything intact via retransmission.
+	w := newTestWorld(t, 42, LinkConfig{Delay: 40 * time.Millisecond, BaseLoss: 0.02})
+	startEcho(t, w.server, 8080)
+
+	const size = 128 * 1024
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	run(t, w.net, func() error {
+		conn, err := w.client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		errs := make(chan error, 1)
+		w.net.Scheduler().Go(func() {
+			_, err := conn.Write(payload)
+			errs <- err
+		})
+		got := make([]byte, size)
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if err := <-errs; err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("payload corrupted under loss")
+		}
+		return nil
+	})
+	stats := w.client.Stats()
+	if stats.LossRate() == 0 {
+		t.Error("expected nonzero measured loss rate")
+	}
+}
+
+func TestLossSlowsTransfer(t *testing.T) {
+	elapsed := func(loss float64, seed uint64) time.Duration {
+		n := New(seed)
+		defer n.Stop()
+		cn := n.AddZone("cn")
+		us := n.AddZone("us")
+		n.Connect(cn, us, LinkConfig{Delay: 50 * time.Millisecond, BaseLoss: loss})
+		client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{Delay: time.Millisecond})
+		server := n.AddHost("server", "8.8.4.4", us, LinkConfig{Delay: time.Millisecond})
+		startEcho(t, server, 8080)
+		var d time.Duration
+		run(t, n, func() error {
+			conn, err := client.DialTCP("8.8.4.4:8080")
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			payload := make([]byte, 64*1024)
+			start := n.Scheduler().Elapsed()
+			errs := make(chan error, 1)
+			n.Scheduler().Go(func() {
+				_, err := conn.Write(payload)
+				errs <- err
+			})
+			got := make([]byte, len(payload))
+			if _, err := io.ReadFull(conn, got); err != nil {
+				return err
+			}
+			if err := <-errs; err != nil {
+				return err
+			}
+			d = n.Scheduler().Elapsed() - start
+			return nil
+		})
+		return d
+	}
+	clean := elapsed(0, 3)
+	lossy := elapsed(0.05, 3)
+	if lossy <= clean {
+		t.Errorf("5%% loss transfer (%v) not slower than clean transfer (%v)", lossy, clean)
+	}
+}
+
+func TestBandwidthSerializationDelay(t *testing.T) {
+	// 100 KB over a 1 MB/s link adds ~100 ms of serialization beyond the
+	// propagation delay.
+	n := New(1)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, LinkConfig{Delay: 10 * time.Millisecond, Bandwidth: 1e6, MaxQueue: 5 * time.Second})
+	client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{})
+	server := n.AddHost("server", "8.8.4.4", us, LinkConfig{})
+	startEcho(t, server, 8080)
+
+	run(t, n, func() error {
+		conn, err := client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		payload := make([]byte, 100*1024)
+		start := n.Scheduler().Elapsed()
+		errs := make(chan error, 1)
+		n.Scheduler().Go(func() {
+			_, err := conn.Write(payload)
+			errs <- err
+		})
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if err := <-errs; err != nil {
+			return err
+		}
+		d := n.Scheduler().Elapsed() - start
+		// Forward and echoed directions use independent link capacity and
+		// overlap, but each direction alone needs >= 100ms to serialize
+		// 100KB at 1MB/s (vs ~20ms of pure propagation RTT).
+		if d < 100*time.Millisecond {
+			t.Errorf("transfer of echoed 100KB over 1MB/s took %v, want >= 100ms", d)
+		}
+		return nil
+	})
+}
+
+func TestDialClosedPortRefused(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 10 * time.Millisecond})
+	run(t, w.net, func() error {
+		_, err := w.client.DialTCP("8.8.4.4:9999")
+		if !errors.Is(err, ErrRefused) {
+			t.Errorf("dial closed port: err = %v, want ErrRefused", err)
+		}
+		return nil
+	})
+}
+
+func TestDialBlackholeTimesOut(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 10 * time.Millisecond})
+	run(t, w.net, func() error {
+		start := w.net.Scheduler().Elapsed()
+		_, err := w.client.DialTCP("203.0.113.99:80") // no such host
+		if !errors.Is(err, ErrDialTimeout) {
+			t.Errorf("dial blackhole: err = %v, want ErrDialTimeout", err)
+		}
+		if d := w.net.Scheduler().Elapsed() - start; d < 5*time.Second {
+			t.Errorf("blackholed dial failed after %v, want a multi-second stall", d)
+		}
+		return nil
+	})
+}
+
+type dropAllInspector struct{}
+
+func (dropAllInspector) Inspect(*Packet) Verdict { return VerdictDrop }
+
+func TestInspectorDropBlackholesFlow(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 10 * time.Millisecond})
+	w.border.SetInspector(dropAllInspector{})
+	startEcho(t, w.server, 8080)
+	run(t, w.net, func() error {
+		_, err := w.client.DialTCP("8.8.4.4:8080")
+		if !errors.Is(err, ErrDialTimeout) {
+			t.Errorf("dial through dropping inspector: err = %v, want ErrDialTimeout", err)
+		}
+		return nil
+	})
+}
+
+type resetPayloadInspector struct{ needle []byte }
+
+func (i resetPayloadInspector) Inspect(p *Packet) Verdict {
+	if bytes.Contains(p.Payload, i.needle) {
+		return VerdictReset
+	}
+	return VerdictPass
+}
+
+func TestInspectorResetTearsDownBothEnds(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 10 * time.Millisecond})
+	w.border.SetInspector(resetPayloadInspector{needle: []byte("scholar.google.com")})
+
+	ln, err := w.server.Listen("tcp", ":8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverErr := make(chan error, 1)
+	w.net.Scheduler().Go(func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				serverErr <- err
+				return
+			}
+		}
+	})
+
+	run(t, w.net, func() error {
+		conn, err := w.client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write([]byte("GET http://scholar.google.com/ HTTP/1.1\r\n")); err != nil {
+			return err
+		}
+		// The keyword-bearing segment dies at the border; the client sees
+		// a forged RST on its next read.
+		buf := make([]byte, 1)
+		_, err = conn.Read(buf)
+		if !errors.Is(err, ErrReset) {
+			t.Errorf("client read after censored write: err = %v, want ErrReset", err)
+		}
+		return nil
+	})
+	select {
+	case err := <-serverErr:
+		if !errors.Is(err, ErrReset) {
+			t.Errorf("server side: err = %v, want ErrReset", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never observed the reset")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 10 * time.Millisecond})
+	startEcho(t, w.server, 8080)
+	run(t, w.net, func() error {
+		conn, err := w.client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(w.net.Clock().Now().Add(500 * time.Millisecond))
+		start := w.net.Scheduler().Elapsed()
+		buf := make([]byte, 1)
+		_, err = conn.Read(buf)
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Errorf("read past deadline: err = %v, want timeout", err)
+		}
+		if d := w.net.Scheduler().Elapsed() - start; d != 500*time.Millisecond {
+			t.Errorf("deadline fired after %v, want 500ms", d)
+		}
+		return nil
+	})
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 10 * time.Millisecond})
+	ln, err := w.server.Listen("tcp", ":8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.net.Scheduler().Go(func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("bye"))
+		conn.Close()
+	})
+	run(t, w.net, func() error {
+		conn, err := w.client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		data, err := io.ReadAll(conn)
+		if err != nil {
+			return err
+		}
+		if string(data) != "bye" {
+			t.Errorf("data = %q, want %q", data, "bye")
+		}
+		return nil
+	})
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 25 * time.Millisecond})
+	pc, err := w.server.ListenPacket(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.net.Scheduler().Go(func() {
+		buf := make([]byte, 1500)
+		for {
+			n, addr, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			pc.WriteTo(append([]byte("re:"), buf[:n]...), addr)
+		}
+	})
+	run(t, w.net, func() error {
+		conn, err := w.client.DialUDP("8.8.4.4:53")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		start := w.net.Scheduler().Elapsed()
+		if _, err := conn.Write([]byte("query")); err != nil {
+			return err
+		}
+		buf := make([]byte, 64)
+		n, err := conn.Read(buf)
+		if err != nil {
+			return err
+		}
+		if string(buf[:n]) != "re:query" {
+			t.Errorf("reply = %q", buf[:n])
+		}
+		// 58ms of propagation plus a few microseconds of serialization
+		// on the 100 Mbps access links.
+		if d := w.net.Scheduler().Elapsed() - start; d < 58*time.Millisecond || d > 59*time.Millisecond {
+			t.Errorf("UDP RTT = %v, want ~58ms", d)
+		}
+		return nil
+	})
+}
+
+func TestComputeSerializesWork(t *testing.T) {
+	n := New(1)
+	t.Cleanup(n.Stop)
+	z := n.AddZone("z")
+	h := n.AddHost("h", "10.0.0.1", z, LinkConfig{})
+
+	var mu sync.Mutex
+	var finish []time.Duration
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		n.Scheduler().Go(func() {
+			defer wg.Done()
+			h.Compute(10 * time.Millisecond)
+			mu.Lock()
+			finish = append(finish, n.Scheduler().Elapsed())
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	var last time.Duration
+	for _, f := range finish {
+		if f > last {
+			last = f
+		}
+	}
+	if want := 40 * time.Millisecond; last != want {
+		t.Errorf("4 x 10ms serialized jobs finished at %v, want %v", last, want)
+	}
+}
+
+func TestHostStatsCountTraffic(t *testing.T) {
+	w := newTestWorld(t, 1, LinkConfig{Delay: 10 * time.Millisecond})
+	startEcho(t, w.server, 8080)
+	run(t, w.net, func() error {
+		conn, err := w.client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if _, err := conn.Write(make([]byte, 10000)); err != nil {
+			return err
+		}
+		buf := make([]byte, 10000)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return err
+		}
+		return nil
+	})
+	st := w.client.Stats()
+	if st.TxBytes < 10000 || st.RxBytes < 10000 {
+		t.Errorf("stats = %+v, want >= 10000 bytes each way", st)
+	}
+	if st.TxPackets == 0 || st.RxPackets == 0 {
+		t.Errorf("stats = %+v, want nonzero packets", st)
+	}
+}
+
+func TestManyConcurrentConnections(t *testing.T) {
+	w := newTestWorld(t, 9, LinkConfig{Delay: 30 * time.Millisecond, Bandwidth: 12.5e6, BaseLoss: 0.005})
+	startEcho(t, w.server, 8080)
+
+	const clients = 50
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		w.net.Scheduler().Go(func() {
+			defer wg.Done()
+			conn, err := w.client.DialTCP("8.8.4.4:8080")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			msg := make([]byte, 8192)
+			if _, err := conn.Write(msg); err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				errs <- err
+				return
+			}
+			errs <- nil
+		})
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeterministicTimings(t *testing.T) {
+	measure := func() time.Duration {
+		n := New(99)
+		defer n.Stop()
+		cn := n.AddZone("cn")
+		us := n.AddZone("us")
+		n.Connect(cn, us, LinkConfig{Delay: 60 * time.Millisecond, BaseLoss: 0.01})
+		client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{Delay: 2 * time.Millisecond})
+		server := n.AddHost("server", "8.8.4.4", us, LinkConfig{Delay: 2 * time.Millisecond})
+		startEcho(t, server, 8080)
+		var d time.Duration
+		run(t, n, func() error {
+			conn, err := client.DialTCP("8.8.4.4:8080")
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			payload := make([]byte, 32*1024)
+			start := n.Scheduler().Elapsed()
+			errs := make(chan error, 1)
+			n.Scheduler().Go(func() {
+				_, err := conn.Write(payload)
+				errs <- err
+			})
+			got := make([]byte, len(payload))
+			if _, err := io.ReadFull(conn, got); err != nil {
+				return err
+			}
+			if err := <-errs; err != nil {
+				return err
+			}
+			d = n.Scheduler().Elapsed() - start
+			return nil
+		})
+		return d
+	}
+	a, b := measure(), measure()
+	if a != b {
+		t.Errorf("same seed produced different timings: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestTransferIntegrityAcrossSeedsProperty is the transport's core
+// property: under any loss rate the simulator can produce, every byte
+// arrives exactly once and in order.
+func TestTransferIntegrityAcrossSeedsProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		for _, loss := range []float64{0.005, 0.03, 0.08} {
+			n := New(seed)
+			cn := n.AddZone("cn")
+			us := n.AddZone("us")
+			n.Connect(cn, us, LinkConfig{Delay: 40 * time.Millisecond, BaseLoss: loss, Jitter: 5 * time.Millisecond})
+			client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{Delay: time.Millisecond})
+			server := n.AddHost("server", "8.8.4.4", us, LinkConfig{Delay: time.Millisecond})
+			startEcho(t, server, 8080)
+
+			payload := make([]byte, 48*1024)
+			for i := range payload {
+				payload[i] = byte(int(seed)*31 + i*7)
+			}
+			run(t, n, func() error {
+				conn, err := client.DialTCP("8.8.4.4:8080")
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				errs := make(chan error, 1)
+				n.Scheduler().Go(func() {
+					_, err := conn.Write(payload)
+					errs <- err
+				})
+				got := make([]byte, len(payload))
+				if _, err := io.ReadFull(conn, got); err != nil {
+					return err
+				}
+				if err := <-errs; err != nil {
+					return err
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("seed %d loss %v: corrupted transfer", seed, loss)
+				}
+				return nil
+			})
+			n.Stop()
+		}
+	}
+}
+
+// TestJitterReordersButPreservesStream checks that jitter-induced
+// reordering is absorbed by the receiver's out-of-order buffer.
+func TestJitterReordersButPreservesStream(t *testing.T) {
+	n := New(17)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	// Aggressive jitter (of the same order as the delay) forces frequent
+	// reordering.
+	n.Connect(cn, us, LinkConfig{Delay: 10 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{})
+	server := n.AddHost("server", "8.8.4.4", us, LinkConfig{})
+	startEcho(t, server, 8080)
+
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i * 131)
+	}
+	run(t, n, func() error {
+		conn, err := client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		errs := make(chan error, 1)
+		n.Scheduler().Go(func() {
+			_, err := conn.Write(payload)
+			errs <- err
+		})
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if err := <-errs; err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("stream corrupted under reordering")
+		}
+		return nil
+	})
+}
+
+// TestPartitionMidTransfer verifies failure injection: an inspector that
+// starts dropping everything mid-flow stalls the transfer and the writer
+// eventually errors out via its deadline.
+type killSwitch struct{ dead bool }
+
+func (k *killSwitch) Inspect(*Packet) Verdict {
+	if k.dead {
+		return VerdictDrop
+	}
+	return VerdictPass
+}
+
+func TestPartitionMidTransfer(t *testing.T) {
+	n := New(5)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	ks := &killSwitch{}
+	n.Connect(cn, us, LinkConfig{Delay: 20 * time.Millisecond}).SetInspector(ks)
+	client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{})
+	server := n.AddHost("server", "8.8.4.4", us, LinkConfig{})
+	startEcho(t, server, 8080)
+
+	run(t, n, func() error {
+		conn, err := client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte("before")); err != nil {
+			return err
+		}
+		buf := make([]byte, 6)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return err
+		}
+		// Partition the border.
+		ks.dead = true
+		conn.Write([]byte("after"))
+		conn.SetReadDeadline(n.Clock().Now().Add(10 * time.Second))
+		_, err = conn.Read(buf)
+		if err == nil {
+			t.Error("read succeeded across a partition")
+		}
+		return nil
+	})
+}
+
+// TestQueueOverflowDropsTail exercises the bandwidth queue's tail drop.
+func TestQueueOverflowDropsTail(t *testing.T) {
+	n := New(9)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	// Tiny bandwidth and a short queue: a burst must overflow.
+	n.Connect(cn, us, LinkConfig{Delay: 5 * time.Millisecond, Bandwidth: 50e3, MaxQueue: 50 * time.Millisecond})
+	client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{})
+	server := n.AddHost("server", "8.8.4.4", us, LinkConfig{})
+	startEcho(t, server, 8080)
+
+	run(t, n, func() error {
+		conn, err := client.DialTCP("8.8.4.4:8080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		payload := make([]byte, 64*1024)
+		errs := make(chan error, 1)
+		n.Scheduler().Go(func() {
+			_, err := conn.Write(payload)
+			errs <- err
+		})
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		return <-errs
+	})
+	if st := client.Stats(); st.LostOutbound == 0 {
+		t.Error("no queue drops under a saturating burst")
+	}
+}
+
+// TestDeterminismAcrossRunsWithJitter confirms jitter stays reproducible.
+func TestDeterminismAcrossRunsWithJitter(t *testing.T) {
+	measure := func() time.Duration {
+		n := New(23)
+		defer n.Stop()
+		cn := n.AddZone("cn")
+		us := n.AddZone("us")
+		n.Connect(cn, us, LinkConfig{Delay: 30 * time.Millisecond, Jitter: 8 * time.Millisecond, BaseLoss: 0.01})
+		client := n.AddHost("client", "10.0.0.2", cn, LinkConfig{})
+		server := n.AddHost("server", "8.8.4.4", us, LinkConfig{})
+		startEcho(t, server, 8080)
+		var d time.Duration
+		run(t, n, func() error {
+			conn, err := client.DialTCP("8.8.4.4:8080")
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			start := n.Scheduler().Elapsed()
+			payload := make([]byte, 16*1024)
+			errs := make(chan error, 1)
+			n.Scheduler().Go(func() {
+				_, err := conn.Write(payload)
+				errs <- err
+			})
+			got := make([]byte, len(payload))
+			if _, err := io.ReadFull(conn, got); err != nil {
+				return err
+			}
+			if err := <-errs; err != nil {
+				return err
+			}
+			d = n.Scheduler().Elapsed() - start
+			return nil
+		})
+		return d
+	}
+	if a, b := measure(), measure(); a != b {
+		t.Errorf("jittered runs diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,846 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/vclock"
+)
+
+// Transport tuning constants. Values follow conventional TCP defaults
+// scaled for the simulated paths (RTTs of 2–400 ms).
+const (
+	defaultWindow = 64 * 1024  // bytes in flight per connection
+	maxSendBuffer = 256 * 1024 // unsent bytes buffered before Write blocks
+	initialRTO    = 1 * time.Second
+	minRTO        = 200 * time.Millisecond
+	maxRTO        = 5 * time.Second
+	synRetries    = 4
+)
+
+// Sentinel errors returned by Conn operations.
+var (
+	// ErrReset indicates the connection was torn down by a RST segment —
+	// either from the peer or forged by a censoring middlebox.
+	ErrReset = errors.New("netsim: connection reset by peer")
+	// ErrRefused indicates the remote port had no listener.
+	ErrRefused = errors.New("netsim: connection refused")
+	// ErrDialTimeout indicates the handshake never completed (e.g. a
+	// blackholed destination).
+	ErrDialTimeout = errors.New("netsim: connection timed out")
+)
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// ErrTimeout is returned when a deadline expires. It satisfies net.Error
+// with Timeout() == true.
+var ErrTimeout net.Error = timeoutError{}
+
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+type segment struct {
+	seq     uint32
+	payload []byte
+	fin     bool
+	sentAt  time.Duration
+	rexmit  bool
+}
+
+func (s *segment) end() uint32 {
+	e := s.seq + uint32(len(s.payload))
+	if s.fin {
+		e++
+	}
+	return e
+}
+
+type oooSegment struct {
+	payload []byte
+	fin     bool
+}
+
+// Conn is a reliable byte-stream connection over the simulated network.
+// It implements net.Conn.
+//
+// Simplifications relative to real TCP, chosen because the study's
+// workloads never exercise them: the congestion/flow window is a fixed 64
+// KB (no slow start), and the receiver does not advertise a window — an
+// application that never reads buffers inbound data without bounding the
+// sender. Loss recovery (RTO with backoff, fast retransmit on three
+// duplicate ACKs) and RFC 1122 delayed ACKs are implemented, since
+// loss-induced stalls are precisely what the paper's PLT/PLR figures
+// measure.
+type Conn struct {
+	host   *Host
+	local  AddrPort
+	remote AddrPort
+
+	mu       sync.Mutex
+	cond     *vclock.Cond // broadcast on any state change
+	state    connState
+	err      error
+	closed   bool // user called Close
+	teardown bool // removed from the host's connection table
+
+	// Receive side.
+	rcvBuf  []byte
+	rcvNxt  uint32
+	ooo     map[uint32]oooSegment
+	peerFin bool
+
+	// Delayed-ACK state (RFC 1122: ACK at least every second full
+	// segment or within the delayed-ACK timeout).
+	ackPending bool
+	ackTimer   *vclock.Timer
+
+	// Send side.
+	sndBuf    []byte
+	sndUna    uint32
+	sndNxt    uint32
+	inflight  []*segment
+	dupAcks   int
+	finQueued bool
+	finSent   bool
+	finAcked  bool
+
+	// RTT estimation and retransmission.
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoTimer     *vclock.Timer
+	synTimer     *vclock.Timer
+	synAttempts  int
+	retransmits  int64
+
+	window int
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+	rdTimer       *vclock.Timer
+	wrTimer       *vclock.Timer
+
+	listener *Listener // server side, until accepted
+}
+
+func newConn(h *Host, local, remote AddrPort, state connState) *Conn {
+	c := &Conn{
+		host:   h,
+		local:  local,
+		remote: remote,
+		state:  state,
+		ooo:    make(map[uint32]oooSegment),
+		rto:    initialRTO,
+		window: defaultWindow,
+		sndUna: 1, // ISN 0; SYN consumes sequence 0
+		sndNxt: 1,
+	}
+	c.cond = vclock.NewCond(h.n.sched, &c.mu)
+	return c
+}
+
+// DialTCP opens a TCP connection to address ("ip:port") and blocks until
+// the handshake completes or fails. It must be called from a managed
+// goroutine.
+func (h *Host) DialTCP(address string) (*Conn, error) {
+	ip, port, err := splitHostPort(address)
+	if err != nil {
+		return nil, err
+	}
+	remote := AddrPort{ip, port}
+
+	h.mu.Lock()
+	lport := h.allocPort()
+	local := AddrPort{h.ip, lport}
+	c := newConn(h, local, remote, stateSynSent)
+	h.tcpConns[tcpKey{lport, remote.IP, remote.Port}] = c
+	h.mu.Unlock()
+
+	c.mu.Lock()
+	c.sendSYNLocked()
+	for c.state == stateSynSent && c.err == nil {
+		c.cond.Wait()
+	}
+	err = c.err
+	c.mu.Unlock()
+	if err != nil {
+		c.deregister()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Conn) sendSYNLocked() {
+	c.synAttempts++
+	c.host.sendRaw(&Packet{
+		Proto: ProtoTCP,
+		Src:   c.local, Dst: c.remote,
+		SYN:  true,
+		Seq:  0,
+		Wire: tcpHeaderSize,
+	})
+	attempt := c.synAttempts
+	backoff := initialRTO << (attempt - 1)
+	c.synTimer = c.host.n.sched.Event(backoff, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.state != stateSynSent || c.err != nil {
+			return
+		}
+		if c.synAttempts >= synRetries {
+			c.failLocked(ErrDialTimeout)
+			return
+		}
+		c.sendSYNLocked()
+	})
+}
+
+func (c *Conn) sendSYNACKLocked() {
+	c.synAttempts++
+	c.host.sendRaw(&Packet{
+		Proto: ProtoTCP,
+		Src:   c.local, Dst: c.remote,
+		SYN: true, ACK: true,
+		Seq:    0,
+		AckNum: c.rcvNxt,
+		Wire:   tcpHeaderSize,
+	})
+	attempt := c.synAttempts
+	backoff := initialRTO << (attempt - 1)
+	c.synTimer = c.host.n.sched.Event(backoff, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.state != stateSynRcvd || c.err != nil {
+			return
+		}
+		if c.synAttempts >= synRetries {
+			c.failLocked(ErrDialTimeout)
+			return
+		}
+		c.sendSYNACKLocked()
+	})
+}
+
+// handlePacket processes an arriving segment. It runs on the simulator's
+// driver goroutine.
+func (c *Conn) handlePacket(pkt *Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == stateClosed {
+		return
+	}
+	if pkt.RST {
+		if c.state == stateSynSent {
+			c.failLocked(ErrRefused)
+		} else {
+			c.failLocked(ErrReset)
+		}
+		return
+	}
+
+	switch c.state {
+	case stateSynSent:
+		if pkt.SYN && pkt.ACK {
+			c.rcvNxt = pkt.Seq + 1
+			c.stopSynTimerLocked()
+			c.state = stateEstablished
+			c.sendAckLocked()
+			c.cond.Broadcast()
+		}
+		return
+	case stateSynRcvd:
+		if pkt.SYN && !pkt.ACK {
+			// Retransmitted SYN: our SYN-ACK was lost; resend happens via
+			// the syn timer, but answer promptly too.
+			c.host.sendRaw(&Packet{
+				Proto: ProtoTCP,
+				Src:   c.local, Dst: c.remote,
+				SYN: true, ACK: true,
+				AckNum: c.rcvNxt,
+				Wire:   tcpHeaderSize,
+			})
+			return
+		}
+		if pkt.ACK {
+			c.stopSynTimerLocked()
+			c.state = stateEstablished
+			c.cond.Broadcast()
+			if ln := c.listener; ln != nil {
+				c.listener = nil
+				c.mu.Unlock()
+				ln.enqueue(c)
+				c.mu.Lock()
+			}
+		}
+	case stateEstablished:
+		if pkt.SYN && pkt.ACK {
+			// Our handshake ACK was lost; the peer resent its SYN-ACK.
+			c.sendAckLocked()
+			return
+		}
+	}
+
+	if pkt.ACK && c.state == stateEstablished {
+		c.handleAckLocked(pkt)
+	}
+	if len(pkt.Payload) > 0 || pkt.FIN {
+		c.handleDataLocked(pkt)
+	}
+}
+
+func (c *Conn) stopSynTimerLocked() {
+	if c.synTimer != nil {
+		c.synTimer.Stop()
+		c.synTimer = nil
+	}
+}
+
+func (c *Conn) handleAckLocked(pkt *Packet) {
+	ack := pkt.AckNum
+	switch {
+	case ack > c.sndUna:
+		now := c.host.n.sched.Elapsed()
+		for len(c.inflight) > 0 && c.inflight[0].end() <= ack {
+			seg := c.inflight[0]
+			c.inflight = c.inflight[1:]
+			if !seg.rexmit {
+				c.updateRTTLocked(now - seg.sentAt)
+			}
+			if seg.fin {
+				c.finAcked = true
+			}
+		}
+		c.sndUna = ack
+		c.dupAcks = 0
+		c.rearmRTOLocked()
+		c.pumpLocked()
+		c.cond.Broadcast()
+		c.maybeTeardownLocked()
+	case ack == c.sndUna && len(c.inflight) > 0 && len(pkt.Payload) == 0 && !pkt.SYN && !pkt.FIN:
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			c.retransmitLocked()
+		}
+	}
+}
+
+// delayedAckTimeout is the standard delayed-ACK ceiling.
+const delayedAckTimeout = 40 * time.Millisecond
+
+func (c *Conn) handleDataLocked(pkt *Packet) {
+	seq := pkt.Seq
+	payload := pkt.Payload
+	fin := pkt.FIN
+
+	// Trim any portion we already received.
+	if seq < c.rcvNxt {
+		overlap := c.rcvNxt - seq
+		if uint32(len(payload)) > overlap {
+			payload = payload[overlap:]
+			seq = c.rcvNxt
+		} else if uint32(len(payload)) == overlap && !fin {
+			// Pure duplicate; re-ACK below.
+			c.sendAckLocked()
+			return
+		} else if uint32(len(payload)) < overlap || (uint32(len(payload)) == overlap && fin && c.peerFin) {
+			c.sendAckLocked()
+			return
+		} else {
+			payload = nil
+			seq = c.rcvNxt
+		}
+	}
+
+	if seq == c.rcvNxt {
+		c.acceptDataLocked(payload, fin)
+		// Drain any out-of-order segments that are now contiguous.
+		for {
+			seg, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.acceptDataLocked(seg.payload, seg.fin)
+		}
+		c.cond.Broadcast()
+		// In-order data: delay the ACK so back-to-back segments share
+		// one (FIN is acknowledged immediately to unblock teardown).
+		if fin {
+			c.sendAckLocked()
+		} else {
+			c.scheduleAckLocked()
+		}
+		return
+	}
+	if seq > c.rcvNxt {
+		c.ooo[seq] = oooSegment{payload: payload, fin: fin}
+	}
+	// Out-of-order or duplicate: immediate ACK so the sender's duplicate
+	// ACK counter (fast retransmit) works.
+	c.sendAckLocked()
+}
+
+// scheduleAckLocked implements delayed ACKs: the second in-order segment
+// (or the timeout) flushes the pending acknowledgment.
+func (c *Conn) scheduleAckLocked() {
+	if c.ackPending {
+		c.sendAckLocked()
+		return
+	}
+	c.ackPending = true
+	c.ackTimer = c.host.n.sched.Event(delayedAckTimeout, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.ackPending && c.state == stateEstablished {
+			c.sendAckLocked()
+		}
+	})
+}
+
+func (c *Conn) acceptDataLocked(payload []byte, fin bool) {
+	c.rcvBuf = append(c.rcvBuf, payload...)
+	c.rcvNxt += uint32(len(payload))
+	if fin {
+		c.peerFin = true
+		c.rcvNxt++
+	}
+}
+
+func (c *Conn) sendAckLocked() {
+	c.ackPending = false
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+		c.ackTimer = nil
+	}
+	c.host.sendRaw(&Packet{
+		Proto: ProtoTCP,
+		Src:   c.local, Dst: c.remote,
+		ACK:    true,
+		Seq:    c.sndNxt,
+		AckNum: c.rcvNxt,
+		Wire:   tcpHeaderSize,
+	})
+}
+
+func (c *Conn) updateRTTLocked(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+}
+
+// SRTT returns the connection's smoothed round-trip time estimate.
+func (c *Conn) SRTT() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srtt
+}
+
+// Retransmits returns how many segments this side retransmitted.
+func (c *Conn) Retransmits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retransmits
+}
+
+func (c *Conn) rearmRTOLocked() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+	if len(c.inflight) == 0 {
+		return
+	}
+	c.rtoTimer = c.host.n.sched.Event(c.rto, c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == stateClosed || len(c.inflight) == 0 {
+		return
+	}
+	// Go-back-N: a timeout implies the ACK clock stalled, so resend the
+	// whole outstanding window rather than probing one segment per RTO
+	// (which collapses bulk throughput under the loss rates the GFW
+	// inflicts on censored flows).
+	now := c.host.n.sched.Elapsed()
+	for _, seg := range c.inflight {
+		seg.rexmit = true
+		seg.sentAt = now
+		c.retransmits++
+		c.transmitLocked(seg)
+	}
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.rearmRTOLocked()
+}
+
+func (c *Conn) retransmitLocked() {
+	if len(c.inflight) == 0 {
+		return
+	}
+	seg := c.inflight[0]
+	seg.rexmit = true
+	seg.sentAt = c.host.n.sched.Elapsed()
+	c.retransmits++
+	c.transmitLocked(seg)
+}
+
+func (c *Conn) transmitLocked(seg *segment) {
+	c.host.sendRaw(&Packet{
+		Proto: ProtoTCP,
+		Src:   c.local, Dst: c.remote,
+		ACK:     true,
+		FIN:     seg.fin,
+		Seq:     seg.seq,
+		AckNum:  c.rcvNxt,
+		Payload: seg.payload,
+		Wire:    len(seg.payload) + tcpHeaderSize,
+	})
+}
+
+// pumpLocked moves bytes from the send buffer into flight as the window
+// allows, and emits the FIN once everything queued before Close has been
+// transmitted.
+func (c *Conn) pumpLocked() {
+	if c.state != stateEstablished {
+		return
+	}
+	for len(c.sndBuf) > 0 {
+		inFlight := int(c.sndNxt - c.sndUna)
+		if inFlight >= c.window {
+			break
+		}
+		n := MSS
+		if n > len(c.sndBuf) {
+			n = len(c.sndBuf)
+		}
+		if n > c.window-inFlight {
+			n = c.window - inFlight
+		}
+		payload := make([]byte, n)
+		copy(payload, c.sndBuf)
+		c.sndBuf = c.sndBuf[n:]
+		seg := &segment{seq: c.sndNxt, payload: payload, sentAt: c.host.n.sched.Elapsed()}
+		c.sndNxt += uint32(n)
+		c.inflight = append(c.inflight, seg)
+		c.transmitLocked(seg)
+	}
+	if c.finQueued && !c.finSent && len(c.sndBuf) == 0 {
+		seg := &segment{seq: c.sndNxt, fin: true, sentAt: c.host.n.sched.Elapsed()}
+		c.sndNxt++
+		c.finSent = true
+		c.inflight = append(c.inflight, seg)
+		c.transmitLocked(seg)
+	}
+	if c.rtoTimer == nil && len(c.inflight) > 0 {
+		c.rearmRTOLocked()
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(c.rcvBuf) > 0 {
+			n := copy(b, c.rcvBuf)
+			c.rcvBuf = c.rcvBuf[n:]
+			if len(c.rcvBuf) == 0 {
+				c.rcvBuf = nil
+			}
+			return n, nil
+		}
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.closed {
+			return 0, net.ErrClosed
+		}
+		if c.peerFin {
+			return 0, io.EOF
+		}
+		if c.deadlinePassedLocked(c.readDeadline) {
+			return 0, ErrTimeout
+		}
+		c.cond.Wait()
+	}
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		if c.err != nil {
+			return total, c.err
+		}
+		if c.closed {
+			return total, net.ErrClosed
+		}
+		if c.deadlinePassedLocked(c.writeDeadline) {
+			return total, ErrTimeout
+		}
+		if c.state != stateEstablished {
+			c.cond.Wait()
+			continue
+		}
+		space := maxSendBuffer - len(c.sndBuf)
+		if space <= 0 {
+			c.cond.Wait()
+			continue
+		}
+		n := space
+		if n > len(b) {
+			n = len(b)
+		}
+		c.sndBuf = append(c.sndBuf, b[:n]...)
+		b = b[n:]
+		total += n
+		c.pumpLocked()
+	}
+	return total, nil
+}
+
+func (c *Conn) deadlinePassedLocked(t time.Time) bool {
+	return !t.IsZero() && !c.host.n.sched.Now().Before(t)
+}
+
+// Close implements net.Conn. It flushes buffered data, sends a FIN, and
+// releases the connection once both directions are shut down.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.state == stateEstablished && c.err == nil {
+		c.finQueued = true
+		c.pumpLocked()
+	} else if c.err == nil {
+		// Never established: abandon quietly.
+		c.stateCloseLocked(nil)
+	}
+	c.cond.Broadcast()
+	c.maybeTeardownLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Conn) maybeTeardownLocked() {
+	if c.teardown {
+		return
+	}
+	if c.closed && c.finSent && c.finAcked && c.peerFin {
+		c.stateCloseLocked(nil)
+	}
+}
+
+// failLocked terminates the connection with err and wakes all waiters.
+func (c *Conn) failLocked(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.stateCloseLocked(err)
+	c.cond.Broadcast()
+}
+
+func (c *Conn) stateCloseLocked(err error) {
+	c.state = stateClosed
+	c.stopSynTimerLocked()
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+		c.ackTimer = nil
+	}
+	if !c.teardown {
+		c.teardown = true
+		// Lock order conn.mu -> host.mu is safe: no code path acquires
+		// conn.mu while holding host.mu (dispatch and handleSYN release
+		// host.mu before touching any connection).
+		c.host.mu.Lock()
+		delete(c.host.tcpConns, tcpKey{c.local.Port, c.remote.IP, c.remote.Port})
+		c.host.mu.Unlock()
+	}
+	_ = err
+}
+
+func (c *Conn) deregister() {
+	c.host.mu.Lock()
+	delete(c.host.tcpConns, tcpKey{c.local.Port, c.remote.IP, c.remote.Port})
+	c.host.mu.Unlock()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return Addr{Net: "tcp", AP: c.local} }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return Addr{Net: "tcp", AP: c.remote} }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readDeadline = t
+	if c.rdTimer != nil {
+		c.rdTimer.Stop()
+		c.rdTimer = nil
+	}
+	if !t.IsZero() {
+		d := t.Sub(c.host.n.sched.Now())
+		c.rdTimer = c.host.n.sched.Event(d, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writeDeadline = t
+	if c.wrTimer != nil {
+		c.wrTimer.Stop()
+		c.wrTimer = nil
+	}
+	if !t.IsZero() {
+		d := t.Sub(c.host.n.sched.Now())
+		c.wrTimer = c.host.n.sched.Event(d, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// Listener accepts inbound TCP connections on a host port.
+type Listener struct {
+	host *Host
+	port int
+
+	mu     sync.Mutex
+	cond   *vclock.Cond
+	queue  []*Conn
+	closed bool
+}
+
+func (ln *Listener) handleSYN(pkt *Packet) {
+	h := ln.host
+	key := tcpKey{pkt.Dst.Port, pkt.Src.IP, pkt.Src.Port}
+	h.mu.Lock()
+	if _, exists := h.tcpConns[key]; exists {
+		h.mu.Unlock()
+		return
+	}
+	c := newConn(h, AddrPort{h.ip, ln.port}, pkt.Src, stateSynRcvd)
+	c.rcvNxt = pkt.Seq + 1
+	c.listener = ln
+	h.tcpConns[key] = c
+	h.mu.Unlock()
+
+	c.mu.Lock()
+	c.sendSYNACKLocked()
+	c.mu.Unlock()
+}
+
+func (ln *Listener) enqueue(c *Conn) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if ln.closed {
+		c.mu.Lock()
+		c.failLocked(ErrReset)
+		c.mu.Unlock()
+		return
+	}
+	ln.queue = append(ln.queue, c)
+	ln.cond.Signal()
+}
+
+// Accept implements net.Listener. It must be called from a managed
+// goroutine.
+func (ln *Listener) Accept() (net.Conn, error) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	for {
+		if len(ln.queue) > 0 {
+			c := ln.queue[0]
+			ln.queue = ln.queue[1:]
+			return c, nil
+		}
+		if ln.closed {
+			return nil, net.ErrClosed
+		}
+		ln.cond.Wait()
+	}
+}
+
+// Close implements net.Listener.
+func (ln *Listener) Close() error {
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
+		return nil
+	}
+	ln.closed = true
+	ln.cond.Broadcast()
+	ln.mu.Unlock()
+
+	ln.host.mu.Lock()
+	delete(ln.host.listeners, ln.port)
+	ln.host.mu.Unlock()
+	return nil
+}
+
+// Addr implements net.Listener.
+func (ln *Listener) Addr() net.Addr {
+	return Addr{Net: "tcp", AP: AddrPort{ln.host.ip, ln.port}}
+}

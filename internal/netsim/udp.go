@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/vclock"
+)
+
+// PacketConn is an unreliable datagram endpoint over the simulated
+// network. It implements net.PacketConn. DNS in this repository runs over
+// it, which is what exposes it to the GFW's poisoning injector.
+type PacketConn struct {
+	host *Host
+	port int
+
+	mu       sync.Mutex
+	cond     *vclock.Cond
+	queue    []*Packet
+	closed   bool
+	deadline time.Time
+	ddTimer  *vclock.Timer
+}
+
+// ListenPacket opens a UDP endpoint on the given port (0 allocates an
+// ephemeral port).
+func (h *Host) ListenPacket(port int) (*PacketConn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if port == 0 {
+		port = h.allocPort()
+	} else if _, ok := h.udpConns[port]; ok {
+		return nil, fmt.Errorf("netsim: udp port %d already in use on %s", port, h.name)
+	}
+	pc := &PacketConn{host: h, port: port}
+	pc.cond = vclock.NewCond(h.n.sched, &pc.mu)
+	h.udpConns[port] = pc
+	return pc, nil
+}
+
+func (pc *PacketConn) deliver(pkt *Packet) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.closed {
+		return
+	}
+	pc.queue = append(pc.queue, pkt)
+	pc.cond.Signal()
+}
+
+// ReadFrom implements net.PacketConn. It must be called from a managed
+// goroutine.
+func (pc *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for {
+		if len(pc.queue) > 0 {
+			pkt := pc.queue[0]
+			pc.queue = pc.queue[1:]
+			n := copy(b, pkt.Payload)
+			return n, Addr{Net: "udp", AP: pkt.Src}, nil
+		}
+		if pc.closed {
+			return 0, nil, net.ErrClosed
+		}
+		if !pc.deadline.IsZero() && !pc.host.n.sched.Now().Before(pc.deadline) {
+			return 0, nil, ErrTimeout
+		}
+		pc.cond.Wait()
+	}
+}
+
+// WriteTo implements net.PacketConn.
+func (pc *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	pc.mu.Unlock()
+
+	ip, port, err := splitHostPort(addr.String())
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, len(b))
+	copy(payload, b)
+	pc.host.sendRaw(&Packet{
+		Proto:   ProtoUDP,
+		Src:     AddrPort{pc.host.ip, pc.port},
+		Dst:     AddrPort{ip, port},
+		Payload: payload,
+		Wire:    len(payload) + udpHeaderSize,
+	})
+	return len(b), nil
+}
+
+// Close implements net.PacketConn.
+func (pc *PacketConn) Close() error {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return nil
+	}
+	pc.closed = true
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+
+	pc.host.mu.Lock()
+	delete(pc.host.udpConns, pc.port)
+	pc.host.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (pc *PacketConn) LocalAddr() net.Addr {
+	return Addr{Net: "udp", AP: AddrPort{pc.host.ip, pc.port}}
+}
+
+// SetDeadline implements net.PacketConn.
+func (pc *PacketConn) SetDeadline(t time.Time) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.deadline = t
+	if pc.ddTimer != nil {
+		pc.ddTimer.Stop()
+		pc.ddTimer = nil
+	}
+	if !t.IsZero() {
+		d := t.Sub(pc.host.n.sched.Now())
+		pc.ddTimer = pc.host.n.sched.Event(d, func() {
+			pc.mu.Lock()
+			pc.cond.Broadcast()
+			pc.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// SetReadDeadline implements net.PacketConn.
+func (pc *PacketConn) SetReadDeadline(t time.Time) error { return pc.SetDeadline(t) }
+
+// SetWriteDeadline implements net.PacketConn. Writes never block, so the
+// deadline is accepted and ignored.
+func (pc *PacketConn) SetWriteDeadline(time.Time) error { return nil }
+
+// udpConn adapts a PacketConn bound to one remote address to net.Conn,
+// which is what Host.DialUDP returns.
+type udpConn struct {
+	pc     *PacketConn
+	remote AddrPort
+}
+
+// DialUDP opens a connected UDP socket to address.
+func (h *Host) DialUDP(address string) (net.Conn, error) {
+	ip, port, err := splitHostPort(address)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := h.ListenPacket(0)
+	if err != nil {
+		return nil, err
+	}
+	return &udpConn{pc: pc, remote: AddrPort{ip, port}}, nil
+}
+
+func (u *udpConn) Read(b []byte) (int, error) {
+	for {
+		n, addr, err := u.pc.ReadFrom(b)
+		if err != nil {
+			return 0, err
+		}
+		// Connected socket: discard datagrams from other sources.
+		if addr.String() == u.remote.String() {
+			return n, nil
+		}
+	}
+}
+
+func (u *udpConn) Write(b []byte) (int, error) {
+	return u.pc.WriteTo(b, Addr{Net: "udp", AP: u.remote})
+}
+
+func (u *udpConn) Close() error                       { return u.pc.Close() }
+func (u *udpConn) LocalAddr() net.Addr                { return u.pc.LocalAddr() }
+func (u *udpConn) RemoteAddr() net.Addr               { return Addr{Net: "udp", AP: u.remote} }
+func (u *udpConn) SetDeadline(t time.Time) error      { return u.pc.SetDeadline(t) }
+func (u *udpConn) SetReadDeadline(t time.Time) error  { return u.pc.SetReadDeadline(t) }
+func (u *udpConn) SetWriteDeadline(t time.Time) error { return u.pc.SetWriteDeadline(t) }

@@ -1,0 +1,176 @@
+// Package netx defines the transport and time abstractions that all
+// protocol code in this repository is written against. The same tunnel
+// implementations (VPN, OpenVPN, Tor, Shadowsocks, ScholarCloud) run both
+// over the deterministic simulated internet (internal/netsim) for the
+// paper's experiments and over real sockets for the deployable proxies in
+// cmd/.
+package netx
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so simulated components run on virtual time.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks the caller for d.
+	Sleep(d time.Duration)
+	// AfterFunc runs fn after d on its own goroutine and returns a handle
+	// that can cancel it.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the callback and reports whether it was still pending.
+	Stop() bool
+}
+
+// Dialer opens client connections.
+type Dialer interface {
+	// Dial connects to address (host:port). network is "tcp" or "udp".
+	Dial(network, address string) (net.Conn, error)
+}
+
+// Network is a bidirectional transport endpoint: it can both dial out and
+// accept inbound connections.
+type Network interface {
+	Dialer
+	// Listen announces on the local address (":port" or "host:port").
+	Listen(network, address string) (net.Listener, error)
+}
+
+// DialerFunc adapts a function to the Dialer interface.
+type DialerFunc func(network, address string) (net.Conn, error)
+
+// Dial implements Dialer.
+func (f DialerFunc) Dial(network, address string) (net.Conn, error) {
+	return f(network, address)
+}
+
+// RealClock is a Clock backed by the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// AfterFunc implements Clock.
+func (RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }
+
+// RealNetwork is a Network backed by the operating system's sockets.
+type RealNetwork struct{}
+
+// Dial implements Network.
+func (RealNetwork) Dial(network, address string) (net.Conn, error) {
+	return net.Dial(network, address)
+}
+
+// Listen implements Network.
+func (RealNetwork) Listen(network, address string) (net.Listener, error) {
+	return net.Listen(network, address)
+}
+
+// Spawner abstracts goroutine creation so simulated components run under a
+// virtual-time scheduler (which must know about every runnable goroutine)
+// while real deployments just use the go statement.
+type Spawner interface {
+	// Go runs fn concurrently.
+	Go(fn func())
+}
+
+// GoSpawner spawns plain goroutines.
+type GoSpawner struct{}
+
+// Go implements Spawner.
+func (GoSpawner) Go(fn func()) { go fn() }
+
+// Cond is a condition variable abstraction. Simulated components must use
+// it instead of sync.Cond so the virtual-time scheduler can account for
+// parked goroutines.
+type Cond interface {
+	// Wait atomically unlocks the associated locker, parks the caller,
+	// and re-locks before returning.
+	Wait()
+	// Signal wakes one waiter. The caller must hold the locker.
+	Signal()
+	// Broadcast wakes all waiters. The caller must hold the locker.
+	Broadcast()
+}
+
+// Sync creates synchronization primitives appropriate for the execution
+// environment (real or simulated).
+type Sync interface {
+	// NewCond returns a condition variable bound to l.
+	NewCond(l sync.Locker) Cond
+}
+
+// RealSync creates ordinary sync.Cond-backed primitives.
+type RealSync struct{}
+
+// NewCond implements Sync.
+func (RealSync) NewCond(l sync.Locker) Cond { return sync.NewCond(l) }
+
+// Env bundles the execution-environment dependencies protocol code needs:
+// time, goroutines, and synchronization. Everything in internal/vpn,
+// internal/openvpn, internal/tor, internal/shadowsocks, and internal/core
+// runs identically over a real environment and the simulator.
+type Env struct {
+	Clock Clock
+	Spawn Spawner
+	Sync  Sync
+}
+
+// RealEnv returns the environment backed by the operating system.
+func RealEnv() Env {
+	return Env{Clock: RealClock{}, Spawn: GoSpawner{}, Sync: RealSync{}}
+}
+
+// WaitGroup is a scheduler-aware counterpart of sync.WaitGroup. Managed
+// goroutines must use it (via Env.NewWaitGroup) instead of sync.WaitGroup
+// or channel joins, which would freeze a virtual-time scheduler.
+type WaitGroup struct {
+	mu   sync.Mutex
+	cond Cond
+	n    int
+}
+
+// NewWaitGroup creates a WaitGroup using this environment's primitives.
+func (e Env) NewWaitGroup() *WaitGroup {
+	wg := &WaitGroup{}
+	wg.cond = e.Sync.NewCond(&wg.mu)
+	return wg
+}
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.mu.Lock()
+	wg.n += delta
+	if wg.n <= 0 {
+		wg.cond.Broadcast()
+	}
+	wg.mu.Unlock()
+}
+
+// Done decrements the counter.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait() {
+	wg.mu.Lock()
+	for wg.n > 0 {
+		wg.cond.Wait()
+	}
+	wg.mu.Unlock()
+}

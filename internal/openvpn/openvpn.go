@@ -1,0 +1,355 @@
+// Package openvpn implements an OpenVPN-style tunnel as the paper's
+// methodology configures it (§4.2): a layer-3 tunnel with a TLS control
+// channel, PKI certificates and keys created by an Easy-RSA equivalent
+// (internal/pki), a tls-auth pre-shared-key gate on the initial packets,
+// and LZO-style compression (stdlib flate) on the data channel — the
+// reason OpenVPN shows the lowest traffic overhead in Fig. 6a.
+//
+// The wire begins with the real OpenVPN opcode P_CONTROL_HARD_RESET_
+// CLIENT_V2 (0x38), which is what the GFW's DPI fingerprints to classify
+// the flow; like native VPN, the classified flow is treated as a legal
+// registered VPN and left alone.
+package openvpn
+
+import (
+	"bufio"
+	"compress/flate"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/mux"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/pki"
+	"scholarcloud/internal/tlssim"
+)
+
+// Real OpenVPN opcodes (<<3 as on the wire).
+const (
+	opClientReset = 0x38 // P_CONTROL_HARD_RESET_CLIENT_V2
+	opServerReset = 0x40 // P_CONTROL_HARD_RESET_SERVER_V2
+)
+
+const taTagSize = 16
+
+// Errors.
+var (
+	ErrTLSAuth  = errors.New("openvpn: tls-auth verification failed")
+	ErrPeerCert = errors.New("openvpn: peer certificate rejected")
+)
+
+// taTag computes the tls-auth HMAC over a nonce with the static key.
+func taTag(taKey []byte, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, taKey)
+	mac.Write(nonce)
+	return mac.Sum(nil)[:taTagSize]
+}
+
+// flateConn applies streaming DEFLATE (the LZO stand-in) to a connection.
+// A buffer between the compressor and the carrier coalesces each write's
+// compressed block and sync marker into one carrier write (one TLS
+// record, one packet) — like a real VPN's packet-at-a-time framing.
+type flateConn struct {
+	net.Conn
+	mu  sync.Mutex
+	buf *bufio.Writer
+	w   *flate.Writer
+	r   io.ReadCloser
+}
+
+func newFlateConn(conn net.Conn) (*flateConn, error) {
+	buf := bufio.NewWriterSize(conn, 32*1024)
+	w, err := flate.NewWriter(buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	return &flateConn{Conn: conn, buf: buf, w: w, r: flate.NewReader(conn)}, nil
+}
+
+func (c *flateConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(b); err != nil {
+		return 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	if err := c.buf.Flush(); err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+func (c *flateConn) Read(b []byte) (int, error) {
+	return c.r.Read(b)
+}
+
+// Client is the OpenVPN client. It implements tunnel.Method.
+type Client struct {
+	Env netx.Env
+	// Dial opens raw connections from the client device.
+	Dial func(network, address string) (net.Conn, error)
+	// Server is the OpenVPN server "ip:port".
+	Server string
+	// ServerName is the expected certificate name of the server.
+	ServerName string
+	// TAKey is the tls-auth static key shared with the server.
+	TAKey []byte
+	// Identity is the client certificate + key issued by the CA.
+	Identity *pki.Identity
+	// VerifyServer validates the server certificate (from pki.CA.Verifier).
+	VerifyServer func(der []byte, name string) error
+	// PingInterval/PingSize model OpenVPN's --ping keepalives.
+	// Zero disables.
+	PingInterval time.Duration
+	PingSize     int
+
+	mu   sync.Mutex
+	sess *mux.Session
+}
+
+// Name implements tunnel.Method.
+func (c *Client) Name() string { return "openvpn" }
+
+// Connect establishes the control channel (tls-auth gate, TLS handshake,
+// client-certificate presentation) and the compressed data session.
+func (c *Client) Connect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.connectLocked()
+}
+
+func (c *Client) connectLocked() error {
+	if c.sess != nil && c.sess.Err() == nil {
+		return nil
+	}
+	conn, err := c.Dial("tcp", c.Server)
+	if err != nil {
+		return fmt.Errorf("openvpn: dial: %w", err)
+	}
+
+	// Hard-reset exchange with tls-auth: [opcode][nonce 16][hmac 16].
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		conn.Close()
+		return err
+	}
+	reset := append([]byte{opClientReset}, nonce...)
+	reset = append(reset, taTag(c.TAKey, nonce)...)
+	if _, err := conn.Write(reset); err != nil {
+		conn.Close()
+		return err
+	}
+	reply := make([]byte, 1+16+taTagSize)
+	if _, err := io.ReadFull(conn, reply); err != nil {
+		conn.Close()
+		return fmt.Errorf("openvpn: server reset: %w", err)
+	}
+	if reply[0] != opServerReset || !hmac.Equal(reply[17:], taTag(c.TAKey, reply[1:17])) {
+		conn.Close()
+		return ErrTLSAuth
+	}
+
+	// TLS control channel.
+	tconn := tlssim.Client(conn, tlssim.Config{
+		ServerName: c.ServerName,
+		VerifyPeer: c.VerifyServer,
+	})
+	if err := tconn.Handshake(); err != nil {
+		conn.Close()
+		return fmt.Errorf("openvpn: control channel: %w", err)
+	}
+
+	// Present the client certificate (OpenVPN's mutual authentication).
+	der := c.Identity.DER
+	lenBuf := binary.BigEndian.AppendUint32(nil, uint32(len(der)))
+	if _, err := tconn.Write(append(lenBuf, der...)); err != nil {
+		conn.Close()
+		return err
+	}
+	var ack [2]byte
+	if _, err := io.ReadFull(tconn, ack[:]); err != nil {
+		conn.Close()
+		return fmt.Errorf("openvpn: certificate ack: %w", err)
+	}
+	if string(ack[:]) != "OK" {
+		conn.Close()
+		return ErrPeerCert
+	}
+
+	// Compressed data channel.
+	fc, err := newFlateConn(tconn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	c.sess = mux.NewSession(fc, c.Env, nil)
+	if c.PingInterval > 0 && c.PingSize > 0 {
+		sess := c.sess
+		c.Env.Spawn.Go(func() {
+			for {
+				c.Env.Clock.Sleep(c.PingInterval)
+				if sess.Err() != nil {
+					return
+				}
+				if err := sess.Ping(c.PingSize); err != nil {
+					return
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// DialHost implements tunnel.Method.
+func (c *Client) DialHost(host string, port int) (net.Conn, error) {
+	c.mu.Lock()
+	if err := c.connectLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	sess := c.sess
+	c.mu.Unlock()
+	return sess.Open([]byte(fmt.Sprintf("%s:%d", host, port)))
+}
+
+// Close implements tunnel.Method.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess != nil {
+		c.sess.Close()
+		c.sess = nil
+	}
+	return nil
+}
+
+// Server is the OpenVPN server.
+type Server struct {
+	Env netx.Env
+	// DialHost reaches origins from the server's vantage point.
+	DialHost func(host string, port int) (net.Conn, error)
+	// TAKey is the tls-auth static key.
+	TAKey []byte
+	// Identity is the server certificate + key.
+	Identity *pki.Identity
+	// VerifyClient validates client certificates.
+	VerifyClient func(der []byte, name string) error
+
+	mu  sync.Mutex
+	lns []net.Listener
+}
+
+// Serve accepts OpenVPN clients from ln.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.Env.Spawn.Go(func() { s.handle(conn) })
+	}
+}
+
+// Close shuts down the server's listeners.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	s.lns = nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	// tls-auth gate: unauthenticated peers (and censors' probes) are
+	// dropped before any TLS bytes are exchanged.
+	reset := make([]byte, 1+16+taTagSize)
+	if _, err := io.ReadFull(conn, reset); err != nil {
+		conn.Close()
+		return
+	}
+	if reset[0] != opClientReset || !hmac.Equal(reset[17:], taTag(s.TAKey, reset[1:17])) {
+		conn.Close()
+		return
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		conn.Close()
+		return
+	}
+	reply := append([]byte{opServerReset}, nonce...)
+	reply = append(reply, taTag(s.TAKey, nonce)...)
+	if _, err := conn.Write(reply); err != nil {
+		conn.Close()
+		return
+	}
+
+	tconn := tlssim.Server(conn, tlssim.Config{Certificate: s.Identity.DER})
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(tconn, lenBuf[:]); err != nil {
+		conn.Close()
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 1<<16 {
+		conn.Close()
+		return
+	}
+	der := make([]byte, n)
+	if _, err := io.ReadFull(tconn, der); err != nil {
+		conn.Close()
+		return
+	}
+	if s.VerifyClient != nil {
+		if err := s.VerifyClient(der, ""); err != nil {
+			tconn.Write([]byte("NO"))
+			conn.Close()
+			return
+		}
+	}
+	if _, err := tconn.Write([]byte("OK")); err != nil {
+		conn.Close()
+		return
+	}
+
+	fc, err := newFlateConn(tconn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	mux.NewSession(fc, s.Env, func(meta []byte) (net.Conn, error) {
+		host, port, err := splitMeta(string(meta))
+		if err != nil {
+			return nil, err
+		}
+		return s.DialHost(host, port)
+	})
+}
+
+func splitMeta(meta string) (string, int, error) {
+	for i := len(meta) - 1; i >= 0; i-- {
+		if meta[i] == ':' {
+			port := 0
+			for _, ch := range meta[i+1:] {
+				if ch < '0' || ch > '9' {
+					return "", 0, fmt.Errorf("openvpn: bad target %q", meta)
+				}
+				port = port*10 + int(ch-'0')
+			}
+			return meta[:i], port, nil
+		}
+	}
+	return "", 0, fmt.Errorf("openvpn: bad target %q", meta)
+}

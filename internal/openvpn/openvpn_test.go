@@ -1,0 +1,262 @@
+package openvpn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/pki"
+)
+
+type ovpnWorld struct {
+	n      *netsim.Network
+	env    netx.Env
+	client *netsim.Host
+	server *netsim.Host
+	origin *netsim.Host
+	ca     *pki.CA
+	srvID  *pki.Identity
+	taKey  []byte
+}
+
+func newOVPNWorld(t *testing.T) *ovpnWorld {
+	t.Helper()
+	n := netsim.New(41)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 70 * time.Millisecond})
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+	w := &ovpnWorld{
+		n:      n,
+		env:    n.Env(),
+		client: n.AddHost("client", "10.0.0.2", cn, acc),
+		server: n.AddHost("ovpn", "198.51.100.11", us, acc),
+		origin: n.AddHost("origin", "203.0.113.10", us, acc),
+		taKey:  []byte("ta-static-key"),
+	}
+	ca, err := pki.NewCA("test-ca", n.Clock().Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ca = ca
+	w.srvID, err = ca.Issue("openvpn.example", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := w.origin.Listen("tcp", ":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			})
+		}
+	})
+	srv := &Server{
+		Env: w.env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			return w.server.DialTCP(fmt.Sprintf("%s:%d", host, port))
+		},
+		TAKey:        w.taKey,
+		Identity:     w.srvID,
+		VerifyClient: ca.Verifier(),
+	}
+	sln, err := w.server.Listen("tcp", ":1194")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { srv.Serve(sln) })
+	return w
+}
+
+func (w *ovpnWorld) newClient(t *testing.T) *Client {
+	t.Helper()
+	id, err := w.ca.Issue("client.example", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Client{
+		Env:          w.env,
+		Dial:         w.client.Dial,
+		Server:       "198.51.100.11:1194",
+		ServerName:   "openvpn.example",
+		TAKey:        w.taKey,
+		Identity:     id,
+		VerifyServer: w.ca.Verifier(),
+	}
+}
+
+func (w *ovpnWorld) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	w.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestEchoThroughTunnel(t *testing.T) {
+	w := newOVPNWorld(t)
+	c := w.newClient(t)
+	defer c.Close()
+	w.run(t, func() error {
+		conn, err := c.DialHost("203.0.113.10", 80)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		msg := []byte("compressed, encrypted, routed")
+		conn.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("echo = %q", got)
+		}
+		return nil
+	})
+}
+
+func TestWrongTAKeyDroppedBeforeTLS(t *testing.T) {
+	w := newOVPNWorld(t)
+	c := w.newClient(t)
+	c.TAKey = []byte("not-the-key")
+	defer c.Close()
+	w.run(t, func() error {
+		err := c.Connect()
+		if err == nil {
+			t.Error("connect with wrong tls-auth key succeeded")
+		}
+		return nil
+	})
+}
+
+func TestUntrustedClientCertRejected(t *testing.T) {
+	w := newOVPNWorld(t)
+	otherCA, err := pki.NewCA("rogue-ca", w.n.Clock().Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueID, err := otherCA.Issue("impostor", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.newClient(t)
+	c.Identity = rogueID
+	defer c.Close()
+	w.run(t, func() error {
+		if err := c.Connect(); !errors.Is(err, ErrPeerCert) {
+			t.Errorf("connect err = %v, want ErrPeerCert", err)
+		}
+		return nil
+	})
+}
+
+func TestServerCertVerifiedByClient(t *testing.T) {
+	w := newOVPNWorld(t)
+	otherCA, err := pki.NewCA("other", w.n.Clock().Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.newClient(t)
+	c.VerifyServer = otherCA.Verifier() // trusts the wrong root
+	defer c.Close()
+	w.run(t, func() error {
+		if err := c.Connect(); err == nil {
+			t.Error("client accepted a server cert from an untrusted CA")
+		}
+		return nil
+	})
+}
+
+func TestCompressionReducesWireBytes(t *testing.T) {
+	w := newOVPNWorld(t)
+	c := w.newClient(t)
+	defer c.Close()
+	w.run(t, func() error {
+		if err := c.Connect(); err != nil {
+			return err
+		}
+		conn, err := c.DialHost("203.0.113.10", 80)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		w.client.ResetStats()
+		// Highly compressible payload: wire bytes should be well below
+		// the plaintext size even with TLS and framing overheads.
+		payload := bytes.Repeat([]byte("scholarly "), 3000) // 30 KB
+		if _, err := conn.Write(payload); err != nil {
+			return err
+		}
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		st := w.client.Stats()
+		if st.TxBytes > int64(len(payload))/2 {
+			t.Errorf("tx bytes = %d for %d plaintext; compression ineffective", st.TxBytes, len(payload))
+		}
+		return nil
+	})
+}
+
+func TestOpcodeLeadsFirstPacket(t *testing.T) {
+	w := newOVPNWorld(t)
+	c := w.newClient(t)
+	defer c.Close()
+	var first []byte
+	w.n.SetTrace(func(pkt *netsim.Packet) {
+		if first == nil && len(pkt.Payload) > 0 && pkt.Src.IP == "10.0.0.2" {
+			first = append([]byte(nil), pkt.Payload...)
+		}
+	})
+	defer w.n.SetTrace(nil)
+	w.run(t, func() error { return c.Connect() })
+	if len(first) == 0 || first[0] != opClientReset {
+		t.Errorf("first byte = %#x, want P_CONTROL_HARD_RESET_CLIENT_V2", first[:1])
+	}
+}
+
+func TestGarbageProbeDroppedSilently(t *testing.T) {
+	w := newOVPNWorld(t)
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("198.51.100.11:1194")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		garbage := make([]byte, 64)
+		for i := range garbage {
+			garbage[i] = byte(i * 7)
+		}
+		conn.Write(garbage)
+		conn.SetReadDeadline(w.env.Clock.Now().Add(3 * time.Second))
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err == nil {
+			t.Error("server answered a garbage probe")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,63 @@
+// Package opscost models ScholarCloud's operating economics. The paper's
+// deployment claim (§1): the service runs on two regular VM servers, has
+// served more than 2,000 registered users with ~700 online per day, and
+// costs 2.2 USD per day to operate. This model reproduces that figure
+// from its components — two small cloud VMs plus metered egress — and
+// lets the examples explore how cost scales with the user base.
+package opscost
+
+// Pricing holds the unit costs. Defaults approximate 2016-era entry
+// cloud pricing (the paper rented Aliyun ECS single-core instances).
+type Pricing struct {
+	// VMPerDay is the daily cost of one small VM instance, USD.
+	VMPerDay float64
+	// EgressPerGB is the metered traffic cost, USD per GB.
+	EgressPerGB float64
+	// VMs is the instance count (domestic + remote in the paper).
+	VMs int
+}
+
+// DefaultPricing reflects the paper's deployment.
+func DefaultPricing() Pricing {
+	return Pricing{VMPerDay: 1.05, EgressPerGB: 0.08, VMs: 2}
+}
+
+// Workload describes the served population.
+type Workload struct {
+	// DailyUsers is how many users are online per day (paper: ~700).
+	DailyUsers int
+	// AccessesPerUser per day (the study's cadence suggests dozens).
+	AccessesPerUser int
+	// BytesPerAccess at the proxy, both legs (client side + origin side).
+	BytesPerAccess float64
+}
+
+// PaperWorkload is the deployment §1 describes, with per-access traffic
+// from the Fig. 6a measurement.
+func PaperWorkload(bytesPerAccess float64) Workload {
+	return Workload{DailyUsers: 700, AccessesPerUser: 20, BytesPerAccess: bytesPerAccess}
+}
+
+// Breakdown is the daily cost decomposition.
+type Breakdown struct {
+	VMCostUSD      float64
+	TrafficGB      float64
+	TrafficCostUSD float64
+	TotalUSD       float64
+	PerUserUSD     float64
+}
+
+// Estimate computes the daily cost of serving w under p.
+func Estimate(w Workload, p Pricing) Breakdown {
+	b := Breakdown{
+		VMCostUSD: float64(p.VMs) * p.VMPerDay,
+	}
+	// Each access traverses the proxy twice (in and out) on each box.
+	b.TrafficGB = float64(w.DailyUsers) * float64(w.AccessesPerUser) * w.BytesPerAccess * 2 / 1e9
+	b.TrafficCostUSD = b.TrafficGB * p.EgressPerGB
+	b.TotalUSD = b.VMCostUSD + b.TrafficCostUSD
+	if w.DailyUsers > 0 {
+		b.PerUserUSD = b.TotalUSD / float64(w.DailyUsers)
+	}
+	return b
+}

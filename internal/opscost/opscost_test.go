@@ -1,0 +1,37 @@
+package opscost
+
+import "testing"
+
+func TestPaperDeploymentCost(t *testing.T) {
+	// With the measured ~19.3 KB per access (Fig. 6a, ScholarCloud), the
+	// paper's 700-users-per-day deployment must land near its reported
+	// 2.2 USD/day.
+	b := Estimate(PaperWorkload(19.3*1024), DefaultPricing())
+	if b.TotalUSD < 1.9 || b.TotalUSD > 2.5 {
+		t.Errorf("daily cost = %.2f USD, paper reports 2.2", b.TotalUSD)
+	}
+	if b.VMCostUSD <= b.TrafficCostUSD {
+		t.Error("VM cost should dominate at this scale")
+	}
+}
+
+func TestCostScalesWithUsers(t *testing.T) {
+	small := Estimate(Workload{DailyUsers: 700, AccessesPerUser: 20, BytesPerAccess: 20000}, DefaultPricing())
+	big := Estimate(Workload{DailyUsers: 70000, AccessesPerUser: 20, BytesPerAccess: 20000}, DefaultPricing())
+	if big.TotalUSD <= small.TotalUSD {
+		t.Error("more users did not cost more")
+	}
+	if big.PerUserUSD >= small.PerUserUSD {
+		t.Error("per-user cost did not amortize")
+	}
+}
+
+func TestZeroUsers(t *testing.T) {
+	b := Estimate(Workload{}, DefaultPricing())
+	if b.TotalUSD != DefaultPricing().VMPerDay*2 {
+		t.Errorf("idle cost = %v", b.TotalUSD)
+	}
+	if b.PerUserUSD != 0 {
+		t.Errorf("per-user with zero users = %v", b.PerUserUSD)
+	}
+}

@@ -1,0 +1,119 @@
+// Package pac generates and evaluates proxy auto-config policies.
+//
+// ScholarCloud's entire client-side footprint is one browser setting: a
+// PAC URL (§3 of the paper). The generated file diverts only the visible
+// whitelist of incidentally-blocked legal domains to the domestic proxy;
+// everything else goes DIRECT. The package also implements the matching
+// semantics in Go (Evaluate), which is what the simulated browser and the
+// domestic proxy use, and what the tests validate the generated
+// JavaScript against.
+package pac
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Decision is the routing outcome for a URL.
+type Decision struct {
+	// Proxy is false for DIRECT.
+	Proxy bool
+	// Address is the proxy "host:port" when Proxy is true.
+	Address string
+}
+
+// String renders the decision in PAC syntax.
+func (d Decision) String() string {
+	if !d.Proxy {
+		return "DIRECT"
+	}
+	return "PROXY " + d.Address
+}
+
+// Config is a PAC policy: route listed domains (and their subdomains)
+// through the proxy, everything else direct.
+type Config struct {
+	mu        sync.RWMutex
+	proxyAddr string
+	domains   []string // sorted, lowercase
+}
+
+// New creates a policy routing domains through proxyAddr.
+func New(proxyAddr string, domains []string) *Config {
+	c := &Config{proxyAddr: proxyAddr}
+	c.SetDomains(domains)
+	return c
+}
+
+// SetDomains replaces the whitelist (the on-demand alteration the paper's
+// registration regime requires).
+func (c *Config) SetDomains(domains []string) {
+	normalized := make([]string, 0, len(domains))
+	for _, d := range domains {
+		d = strings.ToLower(strings.TrimSuffix(strings.TrimSpace(d), "."))
+		if d != "" {
+			normalized = append(normalized, d)
+		}
+	}
+	sort.Strings(normalized)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.domains = normalized
+}
+
+// Domains returns a copy of the whitelist — the "visible whitelist"
+// government agencies can audit.
+func (c *Config) Domains() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.domains...)
+}
+
+// ProxyAddr returns the proxy endpoint.
+func (c *Config) ProxyAddr() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.proxyAddr
+}
+
+// Match reports whether host is covered by the whitelist (exact domain or
+// subdomain, mirroring dnsDomainIs semantics).
+func (c *Config) Match(host string) bool {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, d := range c.domains {
+		if host == d || strings.HasSuffix(host, "."+d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate returns the routing decision for host, implementing the same
+// logic as the generated FindProxyForURL.
+func (c *Config) Evaluate(host string) Decision {
+	if c.Match(host) {
+		return Decision{Proxy: true, Address: c.ProxyAddr()}
+	}
+	return Decision{}
+}
+
+// JavaScript renders the policy as a PAC file for real browsers.
+func (c *Config) JavaScript() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("// ScholarCloud proxy auto-config\n")
+	b.WriteString("// Only the whitelisted, incidentally-blocked legal services below\n")
+	b.WriteString("// are diverted through the proxy; all other traffic is DIRECT.\n")
+	b.WriteString("function FindProxyForURL(url, host) {\n")
+	for _, d := range c.domains {
+		fmt.Fprintf(&b, "  if (dnsDomainIs(host, %q) || host == %q) return \"PROXY %s\";\n",
+			"."+d, d, c.proxyAddr)
+	}
+	b.WriteString("  return \"DIRECT\";\n}\n")
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package pac
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestConfig() *Config {
+	return New("101.6.6.6:8118", []string{
+		"scholar.google.com",
+		"googleusercontent.com",
+		"Accounts.Google.com.", // messy input: case + trailing dot
+	})
+}
+
+func TestMatchExactAndSubdomains(t *testing.T) {
+	c := newTestConfig()
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"scholar.google.com", true},
+		{"www.scholar.google.com", true},
+		{"accounts.google.com", true},
+		{"SCHOLAR.GOOGLE.COM", true},
+		{"google.com", false}, // parent of a listed domain is NOT covered
+		{"notscholar.google.com", false},
+		{"baidu.com", false},
+		{"evil-scholar.google.com.attacker.net", false},
+	}
+	for _, tc := range cases {
+		if got := c.Match(tc.host); got != tc.want {
+			t.Errorf("Match(%q) = %v, want %v", tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestEvaluateDecisions(t *testing.T) {
+	c := newTestConfig()
+	if d := c.Evaluate("scholar.google.com"); !d.Proxy || d.Address != "101.6.6.6:8118" {
+		t.Errorf("whitelisted decision = %+v", d)
+	}
+	if d := c.Evaluate("baidu.com"); d.Proxy {
+		t.Errorf("non-whitelisted decision = %+v", d)
+	}
+	if s := c.Evaluate("baidu.com").String(); s != "DIRECT" {
+		t.Errorf("decision string = %q", s)
+	}
+	if s := c.Evaluate("scholar.google.com").String(); s != "PROXY 101.6.6.6:8118" {
+		t.Errorf("decision string = %q", s)
+	}
+}
+
+func TestSetDomainsReplacesWhitelist(t *testing.T) {
+	c := newTestConfig()
+	c.SetDomains([]string{"archive.org"})
+	if c.Match("scholar.google.com") {
+		t.Error("old whitelist entry still matches after SetDomains")
+	}
+	if !c.Match("web.archive.org") {
+		t.Error("new whitelist entry does not match")
+	}
+}
+
+func TestDomainsIsAuditableCopy(t *testing.T) {
+	c := newTestConfig()
+	got := c.Domains()
+	if len(got) != 3 {
+		t.Fatalf("domains = %v", got)
+	}
+	got[0] = "tampered"
+	if c.Domains()[0] == "tampered" {
+		t.Error("Domains returned internal slice")
+	}
+}
+
+func TestJavaScriptContainsWhitelistOnly(t *testing.T) {
+	c := newTestConfig()
+	js := c.JavaScript()
+	if !strings.Contains(js, "function FindProxyForURL(url, host)") {
+		t.Error("missing FindProxyForURL")
+	}
+	if !strings.Contains(js, `"PROXY 101.6.6.6:8118"`) {
+		t.Error("missing proxy clause")
+	}
+	if !strings.Contains(js, "scholar.google.com") {
+		t.Error("missing whitelisted domain")
+	}
+	if !strings.Contains(js, `return "DIRECT";`) {
+		t.Error("missing DIRECT fallback")
+	}
+}
+
+func TestEmptyWhitelistIsAllDirect(t *testing.T) {
+	c := New("1.2.3.4:80", nil)
+	if c.Match("anything.example") {
+		t.Error("empty whitelist matched a host")
+	}
+	if d := c.Evaluate("anything.example"); d.Proxy {
+		t.Error("empty whitelist proxied a host")
+	}
+}

@@ -1,0 +1,76 @@
+package pki
+
+import (
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2017, 2, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	ca, err := NewCA("ScholarCloud Root CA", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := ca.Issue("remote.scholarcloud.example", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := ca.Verifier()
+	if err := verify(server.DER, "remote.scholarcloud.example"); err != nil {
+		t.Errorf("verification failed: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongName(t *testing.T) {
+	ca, _ := NewCA("root", fixedNow)
+	leaf, _ := ca.Issue("good.example", true)
+	verify := ca.Verifier()
+	if err := verify(leaf.DER, "evil.example"); err == nil {
+		t.Error("wrong name accepted")
+	}
+}
+
+func TestVerifyRejectsForeignCA(t *testing.T) {
+	ca1, _ := NewCA("root-1", fixedNow)
+	ca2, _ := NewCA("root-2", fixedNow)
+	leaf, _ := ca2.Issue("host.example", true)
+	verify := ca1.Verifier()
+	if err := verify(leaf.DER, "host.example"); err == nil {
+		t.Error("certificate from a different CA accepted")
+	}
+}
+
+func TestVerifyRejectsGarbage(t *testing.T) {
+	ca, _ := NewCA("root", fixedNow)
+	verify := ca.Verifier()
+	if err := verify(nil, "x"); err == nil {
+		t.Error("empty certificate accepted")
+	}
+	if err := verify([]byte("not-der"), "x"); err == nil {
+		t.Error("garbage certificate accepted")
+	}
+}
+
+func TestClientAndServerEKU(t *testing.T) {
+	ca, _ := NewCA("root", fixedNow)
+	server, _ := ca.Issue("s.example", true)
+	client, _ := ca.Issue("c.example", false)
+	if len(server.Cert.ExtKeyUsage) != 1 || len(client.Cert.ExtKeyUsage) != 1 {
+		t.Fatal("missing EKU")
+	}
+	if server.Cert.ExtKeyUsage[0] == client.Cert.ExtKeyUsage[0] {
+		t.Error("server and client EKUs identical")
+	}
+}
+
+func TestSerialNumbersIncrease(t *testing.T) {
+	ca, _ := NewCA("root", fixedNow)
+	a, _ := ca.Issue("a", true)
+	b, _ := ca.Issue("b", true)
+	if a.Cert.SerialNumber.Cmp(b.Cert.SerialNumber) >= 0 {
+		t.Error("serial numbers not increasing")
+	}
+}

@@ -1,0 +1,301 @@
+// Package registry models the non-technical half of China's bilateral
+// censorship ecosystem described in §2 of the paper: the government
+// agencies that regulate Internet Content Providers (ICPs).
+//
+//   - TCA (Telecommunication Administration) agencies accept service
+//     registrations in each city. Registration is a manual process that
+//     verifies service name, type, domain, responsible person, and
+//     supporting documents, taking weeks to months.
+//   - MIIT maintains the centralized database of registered ICPs.
+//   - MPS/MSS investigate and shut down illegal services — conservatively,
+//     after evidence collection, unlike the GFW's aggressive technical
+//     blocking.
+//
+// The two halves do not operate synchronously: the GFW (internal/gfw)
+// never consults this registry when filtering packets, which is exactly
+// how a legal service like Google Scholar ends up incidentally blocked,
+// and how a registered service like ScholarCloud can coexist with the
+// GFW. What the registry *does* control is enforcement: an unregistered
+// proxy service that attracts an investigation is taken down; a
+// registered one with an auditable whitelist survives.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/netx"
+)
+
+// ServiceType classifies a registered service.
+type ServiceType string
+
+// Service types relevant to the study.
+const (
+	ServiceWebProxy      ServiceType = "web-proxy"
+	ServiceVPN           ServiceType = "vpn"
+	ServiceContentPortal ServiceType = "content-portal"
+)
+
+// Document names required by the TCA registration workflow (§3,
+// "Service legalization").
+const (
+	DocBiometric  = "biometric-of-legal-representative"
+	DocServiceDoc = "service-documentation" // text, screenshots, usage videos
+	DocUserGuide  = "workable-user-guide"
+)
+
+// Status of a registration.
+type Status string
+
+// Registration states.
+const (
+	StatusPending    Status = "pending"
+	StatusRegistered Status = "registered"
+	StatusRevoked    Status = "revoked"
+)
+
+// Errors returned by the workflow.
+var (
+	ErrMissingDocuments = errors.New("registry: registration requires biometric, service documentation, and user guide")
+	ErrNotFound         = errors.New("registry: no such registration")
+	ErrNotRegistered    = errors.New("registry: service is not registered")
+)
+
+// Application is what an ICP submits to a TCA agency.
+type Application struct {
+	ServiceName       string
+	ServiceType       ServiceType
+	Domain            string
+	ResponsiblePerson string
+	Documents         []string
+	// Whitelist is the visible list of domains the service forwards —
+	// auditable by the agencies, alterable on demand.
+	Whitelist []string
+	// EndpointIPs are the service's servers (domestic and remote).
+	EndpointIPs []string
+}
+
+// Registration is a record in the MIIT database.
+type Registration struct {
+	ICPNumber string
+	Status    Status
+	App       Application
+
+	SubmittedAt  time.Time
+	RegisteredAt time.Time
+	RevokedAt    time.Time
+	RevokedFor   string
+}
+
+// Database is the centralized MIIT registration database
+// (the paper cites miitbeian.gov.cn).
+type Database struct {
+	mu       sync.Mutex
+	byNumber map[string]*Registration
+	byIP     map[string]*Registration
+	serial   int
+}
+
+// NewDatabase creates an empty MIIT database.
+func NewDatabase() *Database {
+	return &Database{
+		byNumber: make(map[string]*Registration),
+		byIP:     make(map[string]*Registration),
+		serial:   15063436, // ScholarCloud's real number was 15063437
+	}
+}
+
+// Lookup returns the registration covering an endpoint IP, if any.
+func (db *Database) Lookup(ip string) (*Registration, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.byIP[ip]
+	return r, ok
+}
+
+// LookupNumber returns the registration with the given ICP number.
+func (db *Database) LookupNumber(icp string) (*Registration, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.byNumber[icp]
+	return r, ok
+}
+
+// AuditWhitelist returns the visible whitelist of a registered service —
+// what government agencies examine, and may request changes to.
+func (db *Database) AuditWhitelist(icp string) ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.byNumber[icp]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if r.Status != StatusRegistered {
+		return nil, ErrNotRegistered
+	}
+	wl := append([]string(nil), r.App.Whitelist...)
+	sort.Strings(wl)
+	return wl, nil
+}
+
+func (db *Database) add(r *Registration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.serial++
+	r.ICPNumber = fmt.Sprintf("ICP-%d", db.serial)
+	db.byNumber[r.ICPNumber] = r
+	for _, ip := range r.App.EndpointIPs {
+		db.byIP[ip] = r
+	}
+}
+
+// TCA is a city Telecommunication Administration agency.
+type TCA struct {
+	City  string
+	db    *Database
+	clock netx.Clock
+	// VerificationDelay models the manual recording-and-verification
+	// process ("typically takes weeks to months").
+	VerificationDelay time.Duration
+}
+
+// NewTCA creates a TCA agency feeding the given MIIT database.
+func NewTCA(city string, db *Database, clock netx.Clock, verificationDelay time.Duration) *TCA {
+	return &TCA{City: city, db: db, clock: clock, VerificationDelay: verificationDelay}
+}
+
+// Submit files an application. It validates the document set immediately
+// and returns a pending registration; Await blocks through the manual
+// verification period and returns the completed record.
+func (t *TCA) Submit(app Application) (*Pending, error) {
+	required := map[string]bool{DocBiometric: false, DocServiceDoc: false, DocUserGuide: false}
+	for _, d := range app.Documents {
+		if _, ok := required[d]; ok {
+			required[d] = true
+		}
+	}
+	for _, have := range required {
+		if !have {
+			return nil, ErrMissingDocuments
+		}
+	}
+	if strings.TrimSpace(app.ResponsiblePerson) == "" {
+		return nil, errors.New("registry: a responsible person is required")
+	}
+	reg := &Registration{
+		Status:      StatusPending,
+		App:         app,
+		SubmittedAt: t.clock.Now(),
+	}
+	return &Pending{tca: t, reg: reg}, nil
+}
+
+// Pending is a submitted application awaiting manual verification.
+type Pending struct {
+	tca  *TCA
+	reg  *Registration
+	once sync.Once
+}
+
+// Await blocks for the verification period, then records the registration
+// in the MIIT database and returns it.
+func (p *Pending) Await() *Registration {
+	p.once.Do(func() {
+		p.tca.clock.Sleep(p.tca.VerificationDelay)
+		p.reg.Status = StatusRegistered
+		p.reg.RegisteredAt = p.tca.clock.Now()
+		p.tca.db.add(p.reg)
+	})
+	return p.reg
+}
+
+// Enforcement models MPS/MSS: conservative, investigation-driven
+// takedowns of illegal (unregistered) services.
+type Enforcement struct {
+	db    *Database
+	clock netx.Clock
+	// InvestigationDelay models evidence collection before action.
+	InvestigationDelay time.Duration
+
+	mu        sync.Mutex
+	takedowns []Takedown
+	onBlock   func(ip string)
+}
+
+// Takedown records an enforcement action.
+type Takedown struct {
+	IP     string
+	ICP    string // empty if the service was unregistered
+	Reason string
+	At     time.Time
+}
+
+// NewEnforcement creates the MPS/MSS model.
+func NewEnforcement(db *Database, clock netx.Clock, investigationDelay time.Duration) *Enforcement {
+	return &Enforcement{db: db, clock: clock, InvestigationDelay: investigationDelay}
+}
+
+// OnBlock registers a callback invoked with each blocked IP (wired to the
+// GFW's IP blocklist in experiments: domain blocking is implemented
+// technically).
+func (e *Enforcement) OnBlock(fn func(ip string)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onBlock = fn
+}
+
+// Report files a complaint that ip runs an internet service. The
+// investigation runs synchronously on the caller's (virtual) time:
+// registered services with an auditable whitelist are left alone;
+// unregistered services are shut down.
+func (e *Enforcement) Report(ip, allegation string) *Takedown {
+	e.clock.Sleep(e.InvestigationDelay)
+	if reg, ok := e.db.Lookup(ip); ok && reg.Status == StatusRegistered {
+		return nil // legal service: no action
+	}
+	td := e.takedown(ip, "", "unregistered service: "+allegation)
+	return &td
+}
+
+// Revoke shuts down a registered service (e.g. after a policy change),
+// blocking its endpoints.
+func (e *Enforcement) Revoke(icp, reason string) error {
+	reg, ok := e.db.LookupNumber(icp)
+	if !ok {
+		return ErrNotFound
+	}
+	e.db.mu.Lock()
+	reg.Status = StatusRevoked
+	reg.RevokedAt = e.clock.Now()
+	reg.RevokedFor = reason
+	ips := append([]string(nil), reg.App.EndpointIPs...)
+	e.db.mu.Unlock()
+	for _, ip := range ips {
+		e.takedown(ip, icp, reason)
+	}
+	return nil
+}
+
+func (e *Enforcement) takedown(ip, icp, reason string) Takedown {
+	td := Takedown{IP: ip, ICP: icp, Reason: reason, At: e.clock.Now()}
+	e.mu.Lock()
+	e.takedowns = append(e.takedowns, td)
+	fn := e.onBlock
+	e.mu.Unlock()
+	if fn != nil {
+		fn(ip)
+	}
+	return td
+}
+
+// Takedowns returns all enforcement actions so far.
+func (e *Enforcement) Takedowns() []Takedown {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Takedown(nil), e.takedowns...)
+}

@@ -1,0 +1,215 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/vclock"
+)
+
+type simClock struct{ s *vclock.Scheduler }
+
+func (c simClock) Now() time.Time        { return c.s.Now() }
+func (c simClock) Sleep(d time.Duration) { c.s.Sleep(d) }
+func (c simClock) AfterFunc(d time.Duration, fn func()) netx.Timer {
+	return c.s.AfterFunc(d, fn)
+}
+
+func runSim(t *testing.T, s *vclock.Scheduler, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	s.Go(func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func fullApplication() Application {
+	return Application{
+		ServiceName:       "ScholarCloud",
+		ServiceType:       ServiceWebProxy,
+		Domain:            "scholar.thucloud.com",
+		ResponsiblePerson: "Zhang San",
+		Documents:         []string{DocBiometric, DocServiceDoc, DocUserGuide},
+		Whitelist:         []string{"scholar.google.com", "accounts.google.com"},
+		EndpointIPs:       []string{"101.6.6.6", "198.51.100.7"},
+	}
+}
+
+func TestRegistrationWorkflow(t *testing.T) {
+	s := vclock.New()
+	defer s.Stop()
+	clock := simClock{s}
+	db := NewDatabase()
+	tca := NewTCA("Beijing", db, clock, 30*24*time.Hour)
+
+	runSim(t, s, func() {
+		pending, err := tca.Submit(fullApplication())
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return
+		}
+		start := s.Elapsed()
+		reg := pending.Await()
+		if d := s.Elapsed() - start; d != 30*24*time.Hour {
+			t.Errorf("verification took %v, want 30 days", d)
+		}
+		if reg.Status != StatusRegistered || reg.ICPNumber == "" {
+			t.Errorf("registration = %+v", reg)
+		}
+		if _, ok := db.Lookup("101.6.6.6"); !ok {
+			t.Error("domestic endpoint not in MIIT database")
+		}
+		if _, ok := db.Lookup("198.51.100.7"); !ok {
+			t.Error("remote endpoint not in MIIT database")
+		}
+	})
+}
+
+func TestSubmitRequiresDocuments(t *testing.T) {
+	s := vclock.New()
+	defer s.Stop()
+	tca := NewTCA("Beijing", NewDatabase(), simClock{s}, time.Hour)
+
+	app := fullApplication()
+	app.Documents = []string{DocBiometric} // missing two
+	if _, err := tca.Submit(app); !errors.Is(err, ErrMissingDocuments) {
+		t.Errorf("err = %v, want ErrMissingDocuments", err)
+	}
+
+	app = fullApplication()
+	app.ResponsiblePerson = "  "
+	if _, err := tca.Submit(app); err == nil {
+		t.Error("application without responsible person accepted")
+	}
+}
+
+func TestAuditWhitelist(t *testing.T) {
+	s := vclock.New()
+	defer s.Stop()
+	db := NewDatabase()
+	tca := NewTCA("Beijing", db, simClock{s}, time.Hour)
+	runSim(t, s, func() {
+		pending, _ := tca.Submit(fullApplication())
+		reg := pending.Await()
+		wl, err := db.AuditWhitelist(reg.ICPNumber)
+		if err != nil {
+			t.Errorf("audit: %v", err)
+			return
+		}
+		if len(wl) != 2 || wl[0] != "accounts.google.com" {
+			t.Errorf("whitelist = %v", wl)
+		}
+	})
+	if _, err := db.AuditWhitelist("ICP-0"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("audit unknown: err = %v", err)
+	}
+}
+
+func TestEnforcementSparesRegisteredService(t *testing.T) {
+	s := vclock.New()
+	defer s.Stop()
+	db := NewDatabase()
+	tca := NewTCA("Beijing", db, simClock{s}, time.Hour)
+	enf := NewEnforcement(db, simClock{s}, 24*time.Hour)
+
+	var blocked []string
+	enf.OnBlock(func(ip string) { blocked = append(blocked, ip) })
+
+	runSim(t, s, func() {
+		pending, _ := tca.Submit(fullApplication())
+		pending.Await()
+		if td := enf.Report("101.6.6.6", "operates a proxy"); td != nil {
+			t.Errorf("registered service taken down: %+v", td)
+		}
+	})
+	if len(blocked) != 0 {
+		t.Errorf("blocked = %v", blocked)
+	}
+}
+
+func TestEnforcementShutsDownUnregisteredService(t *testing.T) {
+	s := vclock.New()
+	defer s.Stop()
+	db := NewDatabase()
+	enf := NewEnforcement(db, simClock{s}, 24*time.Hour)
+
+	var blocked []string
+	enf.OnBlock(func(ip string) { blocked = append(blocked, ip) })
+
+	runSim(t, s, func() {
+		start := s.Elapsed()
+		td := enf.Report("203.0.113.99", "unregistered VPN")
+		if td == nil {
+			t.Error("unregistered service not taken down")
+			return
+		}
+		if d := s.Elapsed() - start; d != 24*time.Hour {
+			t.Errorf("investigation took %v, want 24h (conservative, evidence-driven)", d)
+		}
+	})
+	if len(blocked) != 1 || blocked[0] != "203.0.113.99" {
+		t.Errorf("blocked = %v", blocked)
+	}
+	if n := len(enf.Takedowns()); n != 1 {
+		t.Errorf("takedowns = %d", n)
+	}
+}
+
+func TestRevokeBlocksAllEndpoints(t *testing.T) {
+	s := vclock.New()
+	defer s.Stop()
+	db := NewDatabase()
+	tca := NewTCA("Beijing", db, simClock{s}, time.Hour)
+	enf := NewEnforcement(db, simClock{s}, time.Hour)
+
+	var blocked []string
+	enf.OnBlock(func(ip string) { blocked = append(blocked, ip) })
+
+	runSim(t, s, func() {
+		pending, _ := tca.Submit(fullApplication())
+		reg := pending.Await()
+		if err := enf.Revoke(reg.ICPNumber, "policy change"); err != nil {
+			t.Errorf("revoke: %v", err)
+		}
+		if r, _ := db.LookupNumber(reg.ICPNumber); r.Status != StatusRevoked {
+			t.Errorf("status = %v", r.Status)
+		}
+		if _, err := db.AuditWhitelist(reg.ICPNumber); !errors.Is(err, ErrNotRegistered) {
+			t.Errorf("audit revoked: err = %v", err)
+		}
+	})
+	if len(blocked) != 2 {
+		t.Errorf("blocked = %v, want both endpoints", blocked)
+	}
+	if err := enf.Revoke("ICP-0", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("revoke unknown: err = %v", err)
+	}
+}
+
+func TestICPNumbersAreUnique(t *testing.T) {
+	s := vclock.New()
+	defer s.Stop()
+	db := NewDatabase()
+	tca := NewTCA("Beijing", db, simClock{s}, time.Millisecond)
+	runSim(t, s, func() {
+		seen := map[string]bool{}
+		for i := 0; i < 5; i++ {
+			app := fullApplication()
+			app.EndpointIPs = nil
+			pending, _ := tca.Submit(app)
+			reg := pending.Await()
+			if seen[reg.ICPNumber] {
+				t.Errorf("duplicate ICP number %s", reg.ICPNumber)
+			}
+			seen[reg.ICPNumber] = true
+		}
+	})
+}

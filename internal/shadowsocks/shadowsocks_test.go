@@ -1,0 +1,297 @@
+package shadowsocks
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/socks"
+)
+
+func TestKeyDerivation(t *testing.T) {
+	k1 := Key("password")
+	k2 := Key("password")
+	k3 := Key("different")
+	if len(k1) != 32 {
+		t.Fatalf("key length = %d", len(k1))
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Error("same password gave different keys")
+	}
+	if bytes.Equal(k1, k3) {
+		t.Error("different passwords gave the same key")
+	}
+}
+
+func TestStreamConnRoundTrip(t *testing.T) {
+	key := Key("k")
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		ca := newStreamConn(a, key)
+		cb := newStreamConn(b, key)
+		go ca.Write(data)
+		got := make([]byte, len(data))
+		if _, err := io.ReadFull(cb, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamConnCiphertextDiffers(t *testing.T) {
+	key := Key("k")
+	a, b := net.Pipe()
+	defer b.Close()
+	ca := newStreamConn(a, key)
+	msg := []byte("GET / HTTP/1.1 plaintext marker")
+	go ca.Write(msg)
+	wire := make([]byte, ivSize+len(msg))
+	if _, err := io.ReadFull(b, wire); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wire, []byte("HTTP")) {
+		t.Error("ciphertext leaks plaintext")
+	}
+}
+
+// world sets up client/server hosts and an origin echo.
+type ssWorld struct {
+	n      *netsim.Network
+	env    netx.Env
+	client *netsim.Host
+	server *netsim.Host
+	origin *netsim.Host
+	srv    *Server
+}
+
+func newSSWorld(t *testing.T) *ssWorld {
+	t.Helper()
+	n := netsim.New(21)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 70 * time.Millisecond})
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+	w := &ssWorld{
+		n:      n,
+		env:    n.Env(),
+		client: n.AddHost("client", "10.0.0.2", cn, acc),
+		server: n.AddHost("ss", "198.51.100.12", us, acc),
+		origin: n.AddHost("origin", "203.0.113.10", us, acc),
+	}
+	// Echo origin.
+	ln, err := w.origin.Listen("tcp", ":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			})
+		}
+	})
+	// Shadowsocks server.
+	w.srv = &Server{
+		Env: w.env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			if host == "origin.example" {
+				host = "203.0.113.10"
+			}
+			return w.server.DialTCP(fmt.Sprintf("%s:%d", host, port))
+		},
+		Password: "pw",
+		Users:    map[string]bool{"u:p": true},
+	}
+	sln, err := w.server.Listen("tcp", ":8388")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { w.srv.Serve(sln) })
+	return w
+}
+
+func (w *ssWorld) newClient() *Client {
+	return &Client{
+		Env:        w.env,
+		Dial:       w.client.Dial,
+		Server:     "198.51.100.12:8388",
+		Password:   "pw",
+		Credential: "u:p",
+	}
+}
+
+func (w *ssWorld) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	w.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestDialThroughProxyByDomain(t *testing.T) {
+	w := newSSWorld(t)
+	c := w.newClient()
+	w.run(t, func() error {
+		conn, err := c.DialHost("origin.example", 80)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		msg := []byte("through shadowsocks")
+		conn.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("echo = %q", got)
+		}
+		return nil
+	})
+	if st := w.srv.Stats(); st.Relays != 1 || st.AuthConns != 1 {
+		t.Errorf("server stats = %+v", st)
+	}
+}
+
+func TestAuthOncePerSession(t *testing.T) {
+	w := newSSWorld(t)
+	c := w.newClient()
+	w.run(t, func() error {
+		for i := 0; i < 3; i++ {
+			conn, err := c.DialHost("203.0.113.10", 80)
+			if err != nil {
+				return err
+			}
+			conn.Write([]byte("x"))
+			buf := make([]byte, 1)
+			io.ReadFull(conn, buf)
+			conn.Close()
+		}
+		return nil
+	})
+	// All three dials within the keep-alive: one auth connection.
+	if got := c.Stats().AuthConns; got != 1 {
+		t.Errorf("auth conns = %d, want 1", got)
+	}
+}
+
+func TestKeepAliveExpiryForcesReauth(t *testing.T) {
+	w := newSSWorld(t)
+	c := w.newClient()
+	w.run(t, func() error {
+		if _, err := c.DialHost("203.0.113.10", 80); err != nil {
+			return err
+		}
+		w.n.Scheduler().Sleep(11 * time.Second) // past the 10s keep-alive
+		if _, err := c.DialHost("203.0.113.10", 80); err != nil {
+			return err
+		}
+		return nil
+	})
+	if got := c.Stats().AuthConns; got != 2 {
+		t.Errorf("auth conns = %d, want 2 after keep-alive expiry", got)
+	}
+}
+
+func TestBadCredentialRejected(t *testing.T) {
+	w := newSSWorld(t)
+	c := w.newClient()
+	c.Credential = "wrong:creds"
+	w.run(t, func() error {
+		_, err := c.DialHost("203.0.113.10", 80)
+		if err == nil {
+			t.Error("dial succeeded with bad credentials")
+		}
+		return nil
+	})
+}
+
+func TestServerSilentlyHoldsGarbage(t *testing.T) {
+	// The probe vulnerability: bytes that do not decrypt to a valid
+	// header are drained silently with no reply.
+	w := newSSWorld(t)
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("198.51.100.12:8388")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		garbage := make([]byte, 64)
+		for i := range garbage {
+			garbage[i] = byte(i*37 + 1)
+		}
+		conn.Write(garbage)
+		conn.SetReadDeadline(w.env.Clock.Now().Add(2 * time.Second))
+		buf := make([]byte, 1)
+		_, err = conn.Read(buf)
+		if err == nil {
+			t.Error("server answered garbage")
+		}
+		if nerr, ok := err.(net.Error); !ok || !nerr.Timeout() {
+			t.Errorf("expected silent hold (timeout), got %v", err)
+		}
+		return nil
+	})
+	if w.srv.Stats().SilentHolds != 1 {
+		t.Errorf("stats = %+v, want one silent hold", w.srv.Stats())
+	}
+}
+
+func TestLocalSOCKSProxy(t *testing.T) {
+	w := newSSWorld(t)
+	c := w.newClient()
+	lp := &LocalProxy{Client: c, Env: w.env}
+	// The local proxy listens on the client host itself (127.0.0.1-like).
+	ln, err := w.client.Listen("tcp", ":1080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.n.Scheduler().Go(func() { lp.Serve(ln) })
+
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("10.0.0.2:1080")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := socks.ClientConnect(conn, "203.0.113.10:80"); err != nil {
+			return err
+		}
+		msg := []byte("via local socks")
+		conn.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("echo = %q", got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,187 @@
+// Package socks implements the SOCKS5 protocol (RFC 1928), CONNECT
+// command only, with no-auth negotiation. Shadowsocks and Tor expose
+// their client side as a local SOCKS5 proxy, which is how browsers hand
+// them traffic.
+package socks
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+)
+
+// Protocol constants.
+const (
+	version5     = 0x05
+	cmdConnect   = 0x01
+	atypIPv4     = 0x01
+	atypDomain   = 0x03
+	replyOK      = 0x00
+	replyFailure = 0x01
+	replyRefused = 0x05
+)
+
+// Errors returned by the client handshake.
+var (
+	ErrVersion = errors.New("socks: unsupported version")
+	ErrRefused = errors.New("socks: connection refused by proxy")
+	ErrGeneral = errors.New("socks: general proxy failure")
+)
+
+// ClientConnect performs the client side of a SOCKS5 CONNECT for target
+// ("host:port", host may be a domain name) over conn. On success the
+// connection carries the end-to-end stream.
+func ClientConnect(conn net.Conn, target string) error {
+	host, portStr, err := splitHostPort(target)
+	if err != nil {
+		return err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port <= 0 || port > 65535 {
+		return fmt.Errorf("socks: bad port %q", portStr)
+	}
+
+	// Greeting: no-auth only.
+	if _, err := conn.Write([]byte{version5, 1, 0x00}); err != nil {
+		return err
+	}
+	var reply [2]byte
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		return err
+	}
+	if reply[0] != version5 || reply[1] != 0x00 {
+		return ErrVersion
+	}
+
+	// CONNECT request.
+	req := []byte{version5, cmdConnect, 0x00}
+	if ip := net.ParseIP(host); ip != nil && ip.To4() != nil {
+		req = append(req, atypIPv4)
+		req = append(req, ip.To4()...)
+	} else {
+		if len(host) > 255 {
+			return fmt.Errorf("socks: hostname too long")
+		}
+		req = append(req, atypDomain, byte(len(host)))
+		req = append(req, host...)
+	}
+	req = binary.BigEndian.AppendUint16(req, uint16(port))
+	if _, err := conn.Write(req); err != nil {
+		return err
+	}
+
+	// Reply: VER REP RSV ATYP BND.ADDR BND.PORT
+	var head [4]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return err
+	}
+	if head[0] != version5 {
+		return ErrVersion
+	}
+	var bindLen int
+	switch head[3] {
+	case atypIPv4:
+		bindLen = 4
+	case atypDomain:
+		var l [1]byte
+		if _, err := io.ReadFull(conn, l[:]); err != nil {
+			return err
+		}
+		bindLen = int(l[0])
+	default:
+		return fmt.Errorf("socks: unsupported bind address type %#x", head[3])
+	}
+	bind := make([]byte, bindLen+2)
+	if _, err := io.ReadFull(conn, bind); err != nil {
+		return err
+	}
+	switch head[1] {
+	case replyOK:
+		return nil
+	case replyRefused:
+		return ErrRefused
+	default:
+		return fmt.Errorf("%w (code %#x)", ErrGeneral, head[1])
+	}
+}
+
+// ReadRequest performs the server side of the negotiation on conn and
+// returns the requested target as "host:port". The caller must then dial
+// the target and call either Grant or Deny.
+func ReadRequest(conn net.Conn) (string, error) {
+	var head [2]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return "", err
+	}
+	if head[0] != version5 {
+		return "", ErrVersion
+	}
+	methods := make([]byte, head[1])
+	if _, err := io.ReadFull(conn, methods); err != nil {
+		return "", err
+	}
+	if _, err := conn.Write([]byte{version5, 0x00}); err != nil {
+		return "", err
+	}
+
+	var req [4]byte
+	if _, err := io.ReadFull(conn, req[:]); err != nil {
+		return "", err
+	}
+	if req[0] != version5 || req[1] != cmdConnect {
+		return "", fmt.Errorf("socks: unsupported command %#x", req[1])
+	}
+	var host string
+	switch req[3] {
+	case atypIPv4:
+		var ip [4]byte
+		if _, err := io.ReadFull(conn, ip[:]); err != nil {
+			return "", err
+		}
+		host = net.IPv4(ip[0], ip[1], ip[2], ip[3]).String()
+	case atypDomain:
+		var l [1]byte
+		if _, err := io.ReadFull(conn, l[:]); err != nil {
+			return "", err
+		}
+		name := make([]byte, l[0])
+		if _, err := io.ReadFull(conn, name); err != nil {
+			return "", err
+		}
+		host = string(name)
+	default:
+		return "", fmt.Errorf("socks: unsupported address type %#x", req[3])
+	}
+	var portB [2]byte
+	if _, err := io.ReadFull(conn, portB[:]); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s:%d", host, binary.BigEndian.Uint16(portB[:])), nil
+}
+
+// Grant sends a success reply; the connection then carries the stream.
+func Grant(conn net.Conn) error {
+	return writeReply(conn, replyOK)
+}
+
+// Deny sends a failure reply.
+func Deny(conn net.Conn) error {
+	return writeReply(conn, replyFailure)
+}
+
+func writeReply(conn net.Conn, code byte) error {
+	_, err := conn.Write([]byte{version5, code, 0x00, atypIPv4, 0, 0, 0, 0, 0, 0})
+	return err
+}
+
+func splitHostPort(target string) (string, string, error) {
+	for i := len(target) - 1; i >= 0; i-- {
+		if target[i] == ':' {
+			return target[:i], target[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("socks: target %q missing port", target)
+}

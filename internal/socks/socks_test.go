@@ -1,0 +1,112 @@
+package socks
+
+import (
+	"errors"
+	"net"
+	"testing"
+)
+
+// startServer runs a one-shot SOCKS server that reports the requested
+// target and grants or denies.
+func startServer(t *testing.T, grant bool) (net.Conn, chan string) {
+	t.Helper()
+	client, server := net.Pipe()
+	targets := make(chan string, 1)
+	go func() {
+		target, err := ReadRequest(server)
+		if err != nil {
+			close(targets)
+			return
+		}
+		targets <- target
+		if grant {
+			Grant(server)
+		} else {
+			Deny(server)
+		}
+	}()
+	return client, targets
+}
+
+func TestConnectDomainTarget(t *testing.T) {
+	client, targets := startServer(t, true)
+	defer client.Close()
+	if err := ClientConnect(client, "scholar.google.com:443"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-targets; got != "scholar.google.com:443" {
+		t.Errorf("server saw target %q", got)
+	}
+}
+
+func TestConnectIPv4Target(t *testing.T) {
+	client, targets := startServer(t, true)
+	defer client.Close()
+	if err := ClientConnect(client, "172.217.6.78:80"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-targets; got != "172.217.6.78:80" {
+		t.Errorf("server saw target %q", got)
+	}
+}
+
+func TestConnectDenied(t *testing.T) {
+	client, _ := startServer(t, false)
+	defer client.Close()
+	err := ClientConnect(client, "x.com:80")
+	if !errors.Is(err, ErrGeneral) {
+		t.Errorf("err = %v, want ErrGeneral", err)
+	}
+}
+
+func TestConnectBadTargets(t *testing.T) {
+	for _, target := range []string{"noport", "host:notanumber", "host:0", "host:70000"} {
+		client, server := net.Pipe()
+		go func() { ReadRequest(server) }()
+		if err := ClientConnect(client, target); err == nil {
+			t.Errorf("ClientConnect(%q) succeeded", target)
+		}
+		client.Close()
+		server.Close()
+	}
+}
+
+func TestServerRejectsWrongVersion(t *testing.T) {
+	client, server := net.Pipe()
+	errs := make(chan error, 1)
+	go func() {
+		_, err := ReadRequest(server)
+		errs <- err
+	}()
+	client.Write([]byte{0x04, 0}) // SOCKS4 greeting (no methods)
+	if err := <-errs; !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+	client.Close()
+}
+
+func TestEndToEndStreamAfterGrant(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		target, err := ReadRequest(server)
+		if err != nil || target != "echo.example:7" {
+			server.Close()
+			return
+		}
+		Grant(server)
+		buf := make([]byte, 16)
+		n, _ := server.Read(buf)
+		server.Write(buf[:n])
+	}()
+	if err := ClientConnect(client, "echo.example:7"); err != nil {
+		t.Fatal(err)
+	}
+	client.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := client.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Errorf("echo = %q", buf)
+	}
+}

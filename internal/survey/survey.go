@@ -1,0 +1,138 @@
+// Package survey reproduces Fig. 3: the July-2015 BBS survey of 371
+// Tsinghua faculty and students on how they access Google Scholar. The
+// published marginals are encoded as data; a deterministic resampler
+// regenerates a synthetic respondent population whose distribution
+// converges to the published one, which is what the Fig. 3 bench prints.
+package survey
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Respondents is the survey's sample size.
+const Respondents = 371
+
+// Method labels as the figure reports them.
+const (
+	MethodNone        = "no-bypass"
+	MethodNativeVPN   = "native-vpn"
+	MethodOpenVPN     = "openvpn"
+	MethodTor         = "tor"
+	MethodShadowsocks = "shadowsocks"
+	MethodOther       = "other" // Free Gate, hosts-file edits, web proxies
+)
+
+// Published is the distribution reported in the paper: 26% of scholars
+// bypass the GFW; of those, 43% use VPNs (93% native, 7% OpenVPN), 2%
+// Tor, 21% Shadowsocks, and 34% other methods.
+func Published() map[string]float64 {
+	const bypass = 0.26
+	return map[string]float64{
+		MethodNone:        1 - bypass,
+		MethodNativeVPN:   bypass * 0.43 * 0.93,
+		MethodOpenVPN:     bypass * 0.43 * 0.07,
+		MethodTor:         bypass * 0.02,
+		MethodShadowsocks: bypass * 0.21,
+		MethodOther:       bypass * 0.34,
+	}
+}
+
+// Respondent is one synthetic survey answer.
+type Respondent struct {
+	ID     int
+	Method string
+}
+
+// Generate resamples n respondents from the published distribution with
+// a deterministic low-discrepancy sequence seeded by seed, so repeated
+// runs regenerate the same population.
+func Generate(n int, seed uint64) []Respondent {
+	dist := Published()
+	methods := make([]string, 0, len(dist))
+	for m := range dist {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+
+	// Cumulative distribution.
+	cum := make([]float64, len(methods))
+	total := 0.0
+	for i, m := range methods {
+		total += dist[m]
+		cum[i] = total
+	}
+
+	out := make([]Respondent, n)
+	x := seed | 1
+	for i := 0; i < n; i++ {
+		// splitmix64 stream for reproducible draws.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		u := float64(z>>11) / float64(uint64(1)<<53) * total
+		idx := sort.SearchFloat64s(cum, u)
+		if idx >= len(methods) {
+			idx = len(methods) - 1
+		}
+		out[i] = Respondent{ID: i + 1, Method: methods[idx]}
+	}
+	return out
+}
+
+// Tally counts methods over a respondent set.
+func Tally(rs []Respondent) map[string]int {
+	t := make(map[string]int)
+	for _, r := range rs {
+		t[r.Method]++
+	}
+	return t
+}
+
+// BypassShare returns the fraction of respondents using any bypass
+// method.
+func BypassShare(rs []Respondent) float64 {
+	n := 0
+	for _, r := range rs {
+		if r.Method != MethodNone {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rs))
+}
+
+// FormatFigure3 renders the tally in the layout of the paper's pie chart
+// annotations.
+func FormatFigure3(rs []Respondent) string {
+	t := Tally(rs)
+	n := len(rs)
+	bypass := 0
+	for m, c := range t {
+		if m != MethodNone {
+			bypass += c
+		}
+	}
+	line := func(label string, c int) string {
+		return fmt.Sprintf("  %-13s %4d  (%5.1f%% of bypassers, %4.1f%% overall)\n",
+			label, c, 100*float64(c)/float64(maxInt(bypass, 1)), 100*float64(c)/float64(n))
+	}
+	out := fmt.Sprintf("Figure 3 — access methods among %d scholars\n", n)
+	out += fmt.Sprintf("  bypass the GFW: %d (%.0f%%)\n", bypass, 100*float64(bypass)/float64(n))
+	vpn := t[MethodNativeVPN] + t[MethodOpenVPN]
+	out += line("VPN (all)", vpn)
+	out += line("  native VPN", t[MethodNativeVPN])
+	out += line("  OpenVPN", t[MethodOpenVPN])
+	out += line("Tor", t[MethodTor])
+	out += line("Shadowsocks", t[MethodShadowsocks])
+	out += line("Other", t[MethodOther])
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

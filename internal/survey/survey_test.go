@@ -1,0 +1,87 @@
+package survey
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublishedDistributionSumsToOne(t *testing.T) {
+	total := 0.0
+	for _, p := range Published() {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", total)
+	}
+}
+
+func TestPublishedMarginals(t *testing.T) {
+	d := Published()
+	if math.Abs(d[MethodNone]-0.74) > 1e-9 {
+		t.Errorf("no-bypass = %v, want 0.74", d[MethodNone])
+	}
+	// Among bypassers: VPN 43%, Tor 2%, SS 21%, other 34%.
+	bypass := 1 - d[MethodNone]
+	vpn := (d[MethodNativeVPN] + d[MethodOpenVPN]) / bypass
+	if math.Abs(vpn-0.43) > 1e-9 {
+		t.Errorf("VPN share of bypassers = %v, want 0.43", vpn)
+	}
+	if math.Abs(d[MethodTor]/bypass-0.02) > 1e-9 {
+		t.Errorf("Tor share = %v, want 0.02", d[MethodTor]/bypass)
+	}
+	// Within VPN users: 93% native, 7% OpenVPN.
+	if native := d[MethodNativeVPN] / (d[MethodNativeVPN] + d[MethodOpenVPN]); math.Abs(native-0.93) > 1e-9 {
+		t.Errorf("native share of VPN users = %v, want 0.93", native)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Respondents, 7)
+	b := Generate(Respondents, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed generated different populations")
+		}
+	}
+}
+
+func TestGenerateConvergesToPublished(t *testing.T) {
+	const n = 200000
+	rs := Generate(n, 99)
+	tally := Tally(rs)
+	for method, want := range Published() {
+		got := float64(tally[method]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s: generated share %v, published %v", method, got, want)
+		}
+	}
+}
+
+func TestBypassShareNearPublished(t *testing.T) {
+	rs := Generate(Respondents, 1)
+	share := BypassShare(rs)
+	if share < 0.18 || share > 0.34 { // 26% ± sampling noise at n=371
+		t.Errorf("bypass share = %v", share)
+	}
+}
+
+func TestFormatFigure3(t *testing.T) {
+	out := FormatFigure3(Generate(Respondents, 1))
+	for _, want := range []string{"371", "bypass the GFW", "native VPN", "Shadowsocks", "Tor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTallyCountsEveryone(t *testing.T) {
+	rs := Generate(1000, 3)
+	total := 0
+	for _, c := range Tally(rs) {
+		total += c
+	}
+	if total != 1000 {
+		t.Errorf("tally total = %d", total)
+	}
+}

@@ -1,0 +1,426 @@
+package tlssim
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+const macSize = 16
+
+// Errors returned by the handshake and record processing.
+var (
+	ErrBadMAC       = errors.New("tlssim: record authentication failed")
+	ErrHandshake    = errors.New("tlssim: handshake failed")
+	ErrNotHandshook = errors.New("tlssim: connection not established")
+)
+
+// Config configures a client or server connection.
+type Config struct {
+	// ServerName is sent in the clear in the ClientHello (client side).
+	ServerName string
+	// Certificate is the server's identity blob, delivered during the
+	// handshake (server side). The simulator treats it as opaque; pair it
+	// with VerifyPeer for authentication.
+	Certificate []byte
+	// VerifyPeer, if set on a client, is called with the server's
+	// certificate and the configured ServerName; returning an error
+	// aborts the handshake.
+	VerifyPeer func(cert []byte, serverName string) error
+}
+
+// Conn is an encrypted connection over an underlying net.Conn.
+// Writes are safe for concurrent use (the record layer serializes them);
+// reads must come from a single goroutine.
+type Conn struct {
+	raw      net.Conn
+	cfg      Config
+	isClient bool
+	wmu      sync.Mutex
+
+	handshook bool
+	peerCert  []byte
+
+	wKey, rKey   []byte // AES-256 keys
+	wMac, rMac   []byte
+	wIV, rIV     []byte
+	wSeq, rSeq   uint64
+	readBuf      []byte
+	handshakeErr error
+}
+
+// Client wraps conn as the initiating side.
+func Client(conn net.Conn, cfg Config) *Conn {
+	return &Conn{raw: conn, cfg: cfg, isClient: true}
+}
+
+// Server wraps conn as the accepting side.
+func Server(conn net.Conn, cfg Config) *Conn {
+	return &Conn{raw: conn, cfg: cfg}
+}
+
+// Handshake performs the key exchange. It is called implicitly by the
+// first Read or Write.
+func (c *Conn) Handshake() error {
+	if c.handshook || c.handshakeErr != nil {
+		return c.handshakeErr
+	}
+	var err error
+	if c.isClient {
+		err = c.clientHandshake()
+	} else {
+		err = c.serverHandshake()
+	}
+	if err != nil {
+		c.handshakeErr = fmt.Errorf("%w: %v", ErrHandshake, err)
+		return c.handshakeErr
+	}
+	c.handshook = true
+	return nil
+}
+
+func randBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (c *Conn) clientHandshake() error {
+	clientRandom, err := randBytes(32)
+	if err != nil {
+		return err
+	}
+	// ClientHello: [0x01][random 32][sniLen u16][sni]
+	hello := make([]byte, 0, 35+len(c.cfg.ServerName))
+	hello = append(hello, msgClientHello)
+	hello = append(hello, clientRandom...)
+	hello = binary.BigEndian.AppendUint16(hello, uint16(len(c.cfg.ServerName)))
+	hello = append(hello, c.cfg.ServerName...)
+	if err := writeRecord(c.raw, RecordHandshake, hello); err != nil {
+		return err
+	}
+
+	// ServerHello: [0x02][random 32][pub 32][certLen u16][cert]
+	typ, body, err := readRecord(c.raw)
+	if err != nil {
+		return err
+	}
+	if typ != RecordHandshake || len(body) < 1+32+32+2 || body[0] != msgServerHello {
+		return errors.New("expected ServerHello")
+	}
+	serverRandom := body[1:33]
+	serverPub := body[33:65]
+	certLen := int(binary.BigEndian.Uint16(body[65:]))
+	if len(body) < 67+certLen {
+		return errors.New("truncated certificate")
+	}
+	c.peerCert = append([]byte(nil), body[67:67+certLen]...)
+	if c.cfg.VerifyPeer != nil {
+		if err := c.cfg.VerifyPeer(c.peerCert, c.cfg.ServerName); err != nil {
+			return fmt.Errorf("certificate rejected: %w", err)
+		}
+	}
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	peer, err := ecdh.X25519().NewPublicKey(serverPub)
+	if err != nil {
+		return err
+	}
+	secret, err := priv.ECDH(peer)
+	if err != nil {
+		return err
+	}
+
+	// ClientKeyShare: [0x03][pub 32]
+	share := append([]byte{msgClientKeyShare}, priv.PublicKey().Bytes()...)
+	if err := writeRecord(c.raw, RecordHandshake, share); err != nil {
+		return err
+	}
+
+	c.deriveKeys(secret, clientRandom, serverRandom)
+
+	// Finished exchange under the new keys proves both sides derived the
+	// same secret.
+	master := masterSecret(secret, clientRandom, serverRandom)
+	if err := c.writeEncryptedHandshake(finishedPayload(master, "client")); err != nil {
+		return err
+	}
+	fin, err := c.readEncryptedHandshake()
+	if err != nil {
+		return err
+	}
+	if !hmac.Equal(fin, finishedPayload(master, "server")) {
+		return errors.New("bad server Finished")
+	}
+	return nil
+}
+
+func (c *Conn) serverHandshake() error {
+	typ, body, err := readRecord(c.raw)
+	if err != nil {
+		return err
+	}
+	if typ != RecordHandshake || len(body) < 35 || body[0] != msgClientHello {
+		return errors.New("expected ClientHello")
+	}
+	clientRandom := body[1:33]
+	sniLen := int(binary.BigEndian.Uint16(body[33:]))
+	if len(body) < 35+sniLen {
+		return errors.New("truncated SNI")
+	}
+	c.cfg.ServerName = string(body[35 : 35+sniLen])
+
+	serverRandom, err := randBytes(32)
+	if err != nil {
+		return err
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+
+	hello := make([]byte, 0, 67+len(c.cfg.Certificate))
+	hello = append(hello, msgServerHello)
+	hello = append(hello, serverRandom...)
+	hello = append(hello, priv.PublicKey().Bytes()...)
+	hello = binary.BigEndian.AppendUint16(hello, uint16(len(c.cfg.Certificate)))
+	hello = append(hello, c.cfg.Certificate...)
+	if err := writeRecord(c.raw, RecordHandshake, hello); err != nil {
+		return err
+	}
+
+	typ, body, err = readRecord(c.raw)
+	if err != nil {
+		return err
+	}
+	if typ != RecordHandshake || len(body) != 33 || body[0] != msgClientKeyShare {
+		return errors.New("expected ClientKeyShare")
+	}
+	peer, err := ecdh.X25519().NewPublicKey(body[1:33])
+	if err != nil {
+		return err
+	}
+	secret, err := priv.ECDH(peer)
+	if err != nil {
+		return err
+	}
+	c.deriveKeys(secret, clientRandom, serverRandom)
+
+	master := masterSecret(secret, clientRandom, serverRandom)
+	fin, err := c.readEncryptedHandshake()
+	if err != nil {
+		return err
+	}
+	if !hmac.Equal(fin, finishedPayload(master, "client")) {
+		return errors.New("bad client Finished")
+	}
+	return c.writeEncryptedHandshake(finishedPayload(master, "server"))
+}
+
+func masterSecret(secret, clientRandom, serverRandom []byte) []byte {
+	h := sha256.New()
+	h.Write(secret)
+	h.Write(clientRandom)
+	h.Write(serverRandom)
+	return h.Sum(nil)
+}
+
+func finishedPayload(master []byte, side string) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte(side + " finished"))
+	return append([]byte{msgFinished}, mac.Sum(nil)[:12]...)
+}
+
+func expand(master []byte, label string, n int) []byte {
+	out := make([]byte, 0, n)
+	counter := byte(0)
+	for len(out) < n {
+		h := sha256.New()
+		h.Write(master)
+		h.Write([]byte(label))
+		h.Write([]byte{counter})
+		out = append(out, h.Sum(nil)...)
+		counter++
+	}
+	return out[:n]
+}
+
+func (c *Conn) deriveKeys(secret, clientRandom, serverRandom []byte) {
+	master := masterSecret(secret, clientRandom, serverRandom)
+	cKey := expand(master, "client key", 32)
+	sKey := expand(master, "server key", 32)
+	cMac := expand(master, "client mac", 32)
+	sMac := expand(master, "server mac", 32)
+	cIV := expand(master, "client iv", 16)
+	sIV := expand(master, "server iv", 16)
+	if c.isClient {
+		c.wKey, c.rKey = cKey, sKey
+		c.wMac, c.rMac = cMac, sMac
+		c.wIV, c.rIV = cIV, sIV
+	} else {
+		c.wKey, c.rKey = sKey, cKey
+		c.wMac, c.rMac = sMac, cMac
+		c.wIV, c.rIV = sIV, cIV
+	}
+}
+
+// seal encrypts and authenticates plaintext as one record body.
+func (c *Conn) seal(plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(c.wKey)
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, 16)
+	copy(iv, c.wIV)
+	binary.BigEndian.PutUint64(iv[8:], binary.BigEndian.Uint64(iv[8:])^c.wSeq)
+	ct := make([]byte, len(plaintext))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, plaintext)
+
+	mac := hmac.New(sha256.New, c.wMac)
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], c.wSeq)
+	mac.Write(seq[:])
+	mac.Write(ct)
+	c.wSeq++
+	return append(ct, mac.Sum(nil)[:macSize]...), nil
+}
+
+// open verifies and decrypts one record body.
+func (c *Conn) open(body []byte) ([]byte, error) {
+	if len(body) < macSize {
+		return nil, ErrBadMAC
+	}
+	ct, tag := body[:len(body)-macSize], body[len(body)-macSize:]
+	mac := hmac.New(sha256.New, c.rMac)
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], c.rSeq)
+	mac.Write(seq[:])
+	mac.Write(ct)
+	if !hmac.Equal(tag, mac.Sum(nil)[:macSize]) {
+		return nil, ErrBadMAC
+	}
+	block, err := aes.NewCipher(c.rKey)
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, 16)
+	copy(iv, c.rIV)
+	binary.BigEndian.PutUint64(iv[8:], binary.BigEndian.Uint64(iv[8:])^c.rSeq)
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
+	c.rSeq++
+	return pt, nil
+}
+
+func (c *Conn) writeEncryptedHandshake(payload []byte) error {
+	body, err := c.seal(payload)
+	if err != nil {
+		return err
+	}
+	return writeRecord(c.raw, RecordHandshake, body)
+}
+
+func (c *Conn) readEncryptedHandshake() ([]byte, error) {
+	typ, body, err := readRecord(c.raw)
+	if err != nil {
+		return nil, err
+	}
+	if typ != RecordHandshake {
+		return nil, errors.New("tlssim: expected handshake record")
+	}
+	return c.open(body)
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.Handshake(); err != nil {
+		return 0, err
+	}
+	for len(c.readBuf) == 0 {
+		typ, body, err := readRecord(c.raw)
+		if err != nil {
+			return 0, err
+		}
+		switch typ {
+		case RecordApplication:
+			pt, err := c.open(body)
+			if err != nil {
+				return 0, err
+			}
+			c.readBuf = pt
+		case RecordAlert:
+			return 0, net.ErrClosed
+		default:
+			return 0, fmt.Errorf("tlssim: unexpected record type %#x", typ)
+		}
+	}
+	n := copy(b, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.Handshake(); err != nil {
+		return 0, err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		n := len(b)
+		if n > MaxRecordPayload {
+			n = MaxRecordPayload
+		}
+		body, err := c.seal(b[:n])
+		if err != nil {
+			return total, err
+		}
+		if err := writeRecord(c.raw, RecordApplication, body); err != nil {
+			return total, err
+		}
+		b = b[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// PeerCertificate returns the certificate blob the server presented
+// (client side, after the handshake).
+func (c *Conn) PeerCertificate() []byte { return c.peerCert }
+
+// ServerName returns the SNI: as configured on clients, as received on
+// servers (after the handshake).
+func (c *Conn) ServerName() string { return c.cfg.ServerName }
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }

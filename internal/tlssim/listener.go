@@ -1,0 +1,24 @@
+package tlssim
+
+import "net"
+
+// listener wraps accepted connections as server-side tlssim Conns.
+type listener struct {
+	net.Listener
+	cfg Config
+}
+
+// NewListener returns a listener whose Accept wraps connections in
+// server-side tlssim Conns. The handshake runs lazily on first I/O.
+func NewListener(ln net.Listener, cfg Config) net.Listener {
+	return &listener{Listener: ln, cfg: cfg}
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Server(conn, l.cfg), nil
+}

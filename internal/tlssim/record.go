@@ -1,0 +1,116 @@
+// Package tlssim implements a lightweight TLS-like protocol with the
+// structural properties censorship middleboxes key on: a record layer with
+// recognizable headers, a cleartext ClientHello carrying the server name
+// (SNI), an ECDHE key exchange (X25519), and AES-256-CTR + HMAC-SHA256
+// protected application records.
+//
+// It is not TLS and offers no interoperability with real stacks; the point
+// is that the Great Firewall simulator can fingerprint it exactly the way
+// the real GFW fingerprints TLS — match the record header, parse the SNI
+// out of the ClientHello, and apply keyword filtering — while the payload
+// remains confidential. ScholarCloud's message blinding wraps this layer
+// in a byte-mapping codec, which destroys the record structure the DPI
+// matches on; that interplay is the core of the paper's §3.
+package tlssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record layer constants. The header deliberately mirrors TLS 1.2
+// (type, version 0x0303, length) so DPI fingerprinting is realistic.
+const (
+	RecordHandshake   = 0x16
+	RecordApplication = 0x17
+	RecordAlert       = 0x15
+
+	Version = 0x0303
+
+	// MaxRecordPayload bounds one record's body.
+	MaxRecordPayload = 16 * 1024
+)
+
+// Handshake message types, carried as the first byte of a handshake
+// record's body.
+const (
+	msgClientHello    = 0x01
+	msgServerHello    = 0x02
+	msgClientKeyShare = 0x03
+	msgFinished       = 0x14
+)
+
+// ErrRecordTooLarge is returned when a peer announces an oversized record.
+var ErrRecordTooLarge = errors.New("tlssim: record too large")
+
+// writeRecord frames and writes one record.
+func writeRecord(w io.Writer, typ byte, body []byte) error {
+	if len(body) > MaxRecordPayload+64 { // +64 leaves room for the MAC
+		return ErrRecordTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(body))
+	hdr[0] = typ
+	binary.BigEndian.PutUint16(hdr[1:], Version)
+	binary.BigEndian.PutUint16(hdr[3:], uint16(len(body)))
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// readRecord reads one record, returning its type and body.
+func readRecord(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if v := binary.BigEndian.Uint16(hdr[1:]); v != Version {
+		return 0, nil, fmt.Errorf("tlssim: bad record version %#x", v)
+	}
+	n := int(binary.BigEndian.Uint16(hdr[3:]))
+	if n > MaxRecordPayload+64 {
+		return 0, nil, ErrRecordTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], body, nil
+}
+
+// LooksLikeRecordHeader reports whether b begins with a plausible tlssim
+// (and TLS 1.2) record header. Censorship DPI uses this as its first-pass
+// protocol classifier.
+func LooksLikeRecordHeader(b []byte) bool {
+	if len(b) < 5 {
+		return false
+	}
+	switch b[0] {
+	case RecordHandshake, RecordApplication, RecordAlert:
+	default:
+		return false
+	}
+	return binary.BigEndian.Uint16(b[1:]) == Version
+}
+
+// ParseClientHelloSNI extracts the server name from the initial bytes of
+// a client→server stream, if they contain a complete ClientHello record.
+// This is the exact parse the GFW's keyword filter performs.
+func ParseClientHelloSNI(b []byte) (sni string, ok bool) {
+	if !LooksLikeRecordHeader(b) || b[0] != RecordHandshake {
+		return "", false
+	}
+	n := int(binary.BigEndian.Uint16(b[3:]))
+	if len(b) < 5+n {
+		return "", false
+	}
+	body := b[5 : 5+n]
+	if len(body) < 1+32+2 || body[0] != msgClientHello {
+		return "", false
+	}
+	sniLen := int(binary.BigEndian.Uint16(body[33:]))
+	if len(body) < 35+sniLen {
+		return "", false
+	}
+	return string(body[35 : 35+sniLen]), true
+}

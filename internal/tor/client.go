@@ -1,0 +1,496 @@
+package tor
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/netx"
+)
+
+// Errors returned by the client.
+var (
+	ErrCircuitFailed = errors.New("tor: circuit construction failed")
+	ErrStreamFailed  = errors.New("tor: stream failed")
+	ErrClientClosed  = errors.New("tor: client closed")
+)
+
+// inboundExpecter is implemented by transports (meek) whose polling
+// should only run while data is expected.
+type inboundExpecter interface {
+	ExpectInbound(delta int)
+}
+
+// Client is the Tor client: it bootstraps through a meek bridge, builds a
+// three-hop circuit (bridge → middle → exit), and multiplexes streams
+// over it. It implements tunnel.Method.
+type Client struct {
+	Env netx.Env
+	// Dial opens raw connections from the client device.
+	Dial func(network, address string) (net.Conn, error)
+	// FrontAddr/FrontDomain configure the meek transport.
+	FrontAddr   string
+	FrontDomain string
+	// PollInterval overrides the meek default when positive.
+	PollInterval time.Duration
+
+	mu   sync.Mutex
+	cond netx.Cond
+
+	conn       net.Conn
+	expect     inboundExpecter
+	layers     []*layerCipher
+	circID     uint32
+	nextStream uint16
+	streams    map[uint16]*torStream
+
+	createdQ [][]byte
+	ctrlQ    []ctrlMsg
+
+	dirBuf  []byte // accumulating directory stream
+	dirWant int    // total announced length (-1 until the first cell)
+	dirDoc  []byte // completed document
+
+	bootstrapped bool
+	err          error
+
+	// CircuitBuildTime records how long bootstrap took (exposed for the
+	// measurement study: it dominates Tor's first-time PLT).
+	CircuitBuildTime time.Duration
+}
+
+type ctrlMsg struct {
+	cmd  byte
+	data []byte
+}
+
+// Name implements tunnel.Method.
+func (c *Client) Name() string { return "tor-meek" }
+
+func (c *Client) init() {
+	if c.cond == nil {
+		c.cond = c.Env.Sync.NewCond(&c.mu)
+		c.streams = make(map[uint16]*torStream)
+		c.circID = 1
+	}
+}
+
+// Bootstrap connects through meek, fetches the directory from the
+// bridge, and telescopes the three-hop circuit. Called lazily by
+// DialHost.
+func (c *Client) Bootstrap() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bootstrapLocked()
+}
+
+func (c *Client) bootstrapLocked() error {
+	c.init()
+	if c.bootstrapped && c.err == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	start := c.Env.Clock.Now()
+
+	c.mu.Unlock()
+	conn, err := DialMeek(MeekClientConfig{
+		Env:          c.Env,
+		Dial:         c.Dial,
+		FrontAddr:    c.FrontAddr,
+		FrontDomain:  c.FrontDomain,
+		PollInterval: c.PollInterval,
+	})
+	c.mu.Lock()
+	if err != nil {
+		c.err = err
+		return err
+	}
+	c.conn = conn
+	c.expect, _ = conn.(inboundExpecter)
+	c.Env.Spawn.Go(c.readLoop)
+
+	// Directory fetches through the bridge: the consensus names the
+	// relays; the descriptor download follows, as in real Tor's
+	// bootstrap (both are multi-cell streams).
+	doc, err := c.fetchDirectoryLocked(dirDocConsensus)
+	if err != nil {
+		return c.failLocked(err)
+	}
+	consensus := strings.Fields(strings.TrimRight(string(doc), "\x00"))
+	if len(consensus) < 2 {
+		return c.failLocked(fmt.Errorf("%w: consensus %q", ErrCircuitFailed, doc))
+	}
+	middle, exit := consensus[0], consensus[1]
+	if _, err := c.fetchDirectoryLocked(dirDocDescriptors); err != nil {
+		return c.failLocked(err)
+	}
+
+	// Hop 1: CREATE with the bridge.
+	if err := c.createFirstHopLocked(); err != nil {
+		return c.failLocked(err)
+	}
+	// Hops 2 and 3: telescoping EXTENDs.
+	if err := c.extendLocked(middle); err != nil {
+		return c.failLocked(err)
+	}
+	if err := c.extendLocked(exit); err != nil {
+		return c.failLocked(err)
+	}
+
+	c.bootstrapped = true
+	c.CircuitBuildTime = c.Env.Clock.Now().Sub(start)
+	return nil
+}
+
+// fetchDirectoryLocked requests one directory document and collects its
+// cell stream.
+func (c *Client) fetchDirectoryLocked(doc byte) ([]byte, error) {
+	c.dirBuf = nil
+	c.dirWant = -1
+	c.dirDoc = nil
+	var p [cellPayloadSize]byte
+	p[0] = doc
+	c.expectInbound(1)
+	defer c.expectInbound(-1)
+	if err := writeCell(c.conn, &Cell{CircID: c.circID, Cmd: cmdDir, Payload: p}); err != nil {
+		return nil, err
+	}
+	for c.dirDoc == nil && c.err == nil {
+		c.cond.Wait()
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.dirDoc, nil
+}
+
+func (c *Client) expectInbound(delta int) {
+	if c.expect != nil {
+		c.expect.ExpectInbound(delta)
+	}
+}
+
+func (c *Client) failLocked(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	for _, st := range c.streams {
+		st.fail(err)
+	}
+	c.cond.Broadcast()
+	return c.err
+}
+
+func (c *Client) createFirstHopLocked() error {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	var p [cellPayloadSize]byte
+	copy(p[:], priv.PublicKey().Bytes())
+	c.expectInbound(1)
+	if err := writeCell(c.conn, &Cell{CircID: c.circID, Cmd: cmdCreate, Payload: p}); err != nil {
+		c.expectInbound(-1)
+		return err
+	}
+	for len(c.createdQ) == 0 && c.err == nil {
+		c.cond.Wait()
+	}
+	c.expectInbound(-1)
+	if c.err != nil {
+		return c.err
+	}
+	relayPub := c.createdQ[0]
+	c.createdQ = c.createdQ[1:]
+	return c.addLayerLocked(priv, relayPub)
+}
+
+func (c *Client) extendLocked(target string) error {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	data := append(priv.PublicKey().Bytes(), []byte(target)...)
+	c.expectInbound(1)
+	if err := c.sendRelayLocked(0, relayExtend, data); err != nil {
+		c.expectInbound(-1)
+		return err
+	}
+	var extended []byte
+	for extended == nil && c.err == nil {
+		for i, m := range c.ctrlQ {
+			if m.cmd == relayExtended {
+				extended = m.data
+				c.ctrlQ = append(c.ctrlQ[:i], c.ctrlQ[i+1:]...)
+				break
+			}
+		}
+		if extended == nil {
+			c.cond.Wait()
+		}
+	}
+	c.expectInbound(-1)
+	if c.err != nil {
+		return c.err
+	}
+	return c.addLayerLocked(priv, extended)
+}
+
+func (c *Client) addLayerLocked(priv *ecdh.PrivateKey, relayPub []byte) error {
+	pub, err := ecdh.X25519().NewPublicKey(relayPub[:32])
+	if err != nil {
+		return err
+	}
+	secret, err := priv.ECDH(pub)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(secret)
+	layer, err := newLayerCipher(sum[:])
+	if err != nil {
+		return err
+	}
+	c.layers = append(c.layers, layer)
+	return nil
+}
+
+// sendRelayLocked onion-wraps a relay payload (innermost layer last hop)
+// and ships it.
+func (c *Client) sendRelayLocked(streamID uint16, cmd byte, data []byte) error {
+	p, err := packRelay(streamID, cmd, data)
+	if err != nil {
+		return err
+	}
+	for i := len(c.layers) - 1; i >= 0; i-- {
+		c.layers[i].applyFwd(&p)
+	}
+	return writeCell(c.conn, &Cell{CircID: c.circID, Cmd: cmdRelay, Payload: p})
+}
+
+// readLoop dispatches inbound cells: control replies and stream data.
+func (c *Client) readLoop() {
+	for {
+		cell, err := readCell(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.failLocked(fmt.Errorf("tor: bridge link: %w", err))
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		switch cell.Cmd {
+		case cmdCreated:
+			c.createdQ = append(c.createdQ, append([]byte(nil), cell.Payload[:32]...))
+			c.cond.Broadcast()
+		case cmdDirInfo:
+			if c.dirWant < 0 {
+				c.dirWant = int(binary.BigEndian.Uint32(cell.Payload[:4]))
+				c.dirBuf = append(c.dirBuf, cell.Payload[4:]...)
+			} else {
+				c.dirBuf = append(c.dirBuf, cell.Payload[:]...)
+			}
+			if len(c.dirBuf) >= c.dirWant {
+				c.dirDoc = c.dirBuf[:c.dirWant]
+				c.cond.Broadcast()
+			}
+		case cmdRelay:
+			for i := 0; i < len(c.layers); i++ {
+				c.layers[i].applyBwd(&cell.Payload)
+			}
+			streamID, cmd, data, ok := parseRelay(&cell.Payload)
+			if !ok {
+				break
+			}
+			if streamID == 0 {
+				c.ctrlQ = append(c.ctrlQ, ctrlMsg{cmd: cmd, data: append([]byte(nil), data...)})
+				c.cond.Broadcast()
+				break
+			}
+			if st := c.streams[streamID]; st != nil {
+				st.deliver(cmd, data)
+			}
+		case cmdDestroy:
+			c.failLocked(ErrCircuitFailed)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// DialHost implements tunnel.Method: open a stream through the circuit.
+// The exit resolves names, far from the censored resolver.
+func (c *Client) DialHost(host string, port int) (net.Conn, error) {
+	c.mu.Lock()
+	if err := c.bootstrapLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextStream++
+	sid := c.nextStream
+	st := &torStream{client: c, id: sid}
+	st.cond = c.Env.Sync.NewCond(&c.mu)
+	c.streams[sid] = st
+	c.expectInbound(1) // stream holds a poll slot until closed
+
+	if err := c.sendRelayLocked(sid, relayBegin, []byte(fmt.Sprintf("%s:%d", host, port))); err != nil {
+		delete(c.streams, sid)
+		c.expectInbound(-1)
+		c.mu.Unlock()
+		return nil, err
+	}
+	for !st.connected && st.err == nil && c.err == nil {
+		st.cond.Wait()
+	}
+	if c.err != nil || st.err != nil {
+		err := c.err
+		if st.err != nil {
+			err = st.err
+		}
+		delete(c.streams, sid)
+		c.expectInbound(-1)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+	return st, nil
+}
+
+// Close implements tunnel.Method.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.init()
+	if c.conn != nil {
+		writeCell(c.conn, &Cell{CircID: c.circID, Cmd: cmdDestroy})
+		c.conn.Close()
+	}
+	return c.failLocked(ErrClientClosed)
+}
+
+// torStream is one stream over the circuit. Implements net.Conn.
+type torStream struct {
+	client *Client
+	id     uint16
+	cond   netx.Cond // bound to client.mu
+
+	connected bool
+	buf       []byte
+	eof       bool
+	err       error
+	closed    bool
+}
+
+// deliver is called by the client's read loop with client.mu held.
+func (st *torStream) deliver(cmd byte, data []byte) {
+	switch cmd {
+	case relayConnected:
+		st.connected = true
+	case relayData:
+		st.buf = append(st.buf, data...)
+	case relayEnd:
+		st.eof = true
+	case relayBeginFailed:
+		st.err = fmt.Errorf("%w: %s", ErrStreamFailed, data)
+	}
+	st.cond.Broadcast()
+}
+
+// fail is called with client.mu held.
+func (st *torStream) fail(err error) {
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+}
+
+// Read implements net.Conn.
+func (st *torStream) Read(b []byte) (int, error) {
+	c := st.client
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(st.buf) > 0 {
+			n := copy(b, st.buf)
+			st.buf = st.buf[n:]
+			return n, nil
+		}
+		if st.err != nil {
+			return 0, st.err
+		}
+		if st.eof {
+			return 0, io.EOF
+		}
+		if st.closed {
+			return 0, ErrStreamFailed
+		}
+		st.cond.Wait()
+	}
+}
+
+// Write implements net.Conn.
+func (st *torStream) Write(b []byte) (int, error) {
+	c := st.client
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st.err != nil {
+		return 0, st.err
+	}
+	if st.closed {
+		return 0, ErrStreamFailed
+	}
+	total := 0
+	for len(b) > 0 {
+		n := len(b)
+		if n > MaxRelayData {
+			n = MaxRelayData
+		}
+		if err := c.sendRelayLocked(st.id, relayData, b[:n]); err != nil {
+			return total, err
+		}
+		b = b[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Close implements net.Conn.
+func (st *torStream) Close() error {
+	c := st.client
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	delete(c.streams, st.id)
+	c.expectInbound(-1)
+	if c.err == nil {
+		c.sendRelayLocked(st.id, relayEnd, nil)
+	}
+	st.cond.Broadcast()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (st *torStream) LocalAddr() net.Addr { return meekAddr{} }
+
+// RemoteAddr implements net.Conn.
+func (st *torStream) RemoteAddr() net.Addr { return meekAddr{} }
+
+// SetDeadline implements net.Conn (not supported on circuit streams).
+func (st *torStream) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (st *torStream) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (st *torStream) SetWriteDeadline(time.Time) error { return nil }

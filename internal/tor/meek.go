@@ -1,0 +1,370 @@
+package tor
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/tlssim"
+)
+
+// DefaultPollInterval is how often an idle meek client polls the front
+// for inbound data. Real meek uses an adaptive 100ms–5s schedule; the
+// floor dominates interactive traffic.
+const DefaultPollInterval = 100 * time.Millisecond
+
+// MeekClientConfig configures the client side of the meek transport.
+type MeekClientConfig struct {
+	Env netx.Env
+	// Dial opens raw connections from the client device.
+	Dial func(network, address string) (net.Conn, error)
+	// FrontAddr is the CDN front's "ip:port" — the address actually
+	// dialed.
+	FrontAddr string
+	// FrontDomain is the SNI presented (the "innocent" CDN hostname).
+	// This is the paper-era meek weakness: the GFW learned the small set
+	// of front domains Tor shipped and degrades flows to them.
+	FrontDomain string
+	// PollInterval overrides DefaultPollInterval when positive.
+	PollInterval time.Duration
+}
+
+// meekConn is the client side of a meek session: a byte stream carried in
+// HTTP POST bodies through a TLS connection to the front. Implements
+// net.Conn for the cell layer above.
+type meekConn struct {
+	cfg     MeekClientConfig
+	session string
+	cc      *httpsim.ClientConn
+
+	mu     sync.Mutex
+	cond   netx.Cond
+	in     []byte
+	out    []byte
+	closed bool
+	err    error
+
+	pollArmed bool
+	pollDue   bool
+	wantPoll  int           // open streams / pending ops that expect inbound data
+	backoff   time.Duration // adaptive poll interval (grows while idle)
+}
+
+// DialMeek establishes a meek session to the bridge behind the front.
+func DialMeek(cfg MeekClientConfig) (net.Conn, error) {
+	raw, err := cfg.Dial("tcp", cfg.FrontAddr)
+	if err != nil {
+		return nil, fmt.Errorf("meek: dial front: %w", err)
+	}
+	tconn := tlssim.Client(raw, tlssim.Config{ServerName: cfg.FrontDomain})
+	if err := tconn.Handshake(); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("meek: front TLS: %w", err)
+	}
+	var sid [8]byte
+	if _, err := rand.Read(sid[:]); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	m := &meekConn{
+		cfg:     cfg,
+		session: hex.EncodeToString(sid[:]),
+		cc:      httpsim.NewClientConn(tconn),
+	}
+	m.cond = cfg.Env.Sync.NewCond(&m.mu)
+	cfg.Env.Spawn.Go(m.pollLoop)
+	return m, nil
+}
+
+func (m *meekConn) pollInterval() time.Duration {
+	if m.cfg.PollInterval > 0 {
+		return m.cfg.PollInterval
+	}
+	return DefaultPollInterval
+}
+
+// maxPollBackoff caps the adaptive idle schedule (real meek backs off to
+// multi-second polls when nothing is flowing).
+const maxPollBackoff = 2 * time.Second
+
+// pollLoop ships outbound bytes as POST bodies and collects inbound bytes
+// from the responses; when data is expected but none is outbound, it
+// polls with empty bodies on the poll interval.
+func (m *meekConn) pollLoop() {
+	for {
+		m.mu.Lock()
+		for len(m.out) == 0 && !m.pollDue && !m.closed {
+			if m.wantPoll > 0 && !m.pollArmed {
+				m.pollArmed = true
+				if m.backoff < m.pollInterval() {
+					m.backoff = m.pollInterval()
+				}
+				m.cfg.Env.Clock.AfterFunc(m.backoff, func() {
+					m.mu.Lock()
+					m.pollArmed = false
+					m.pollDue = true
+					m.cond.Broadcast()
+					m.mu.Unlock()
+				})
+			}
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			m.cc.Close()
+			return
+		}
+		body := m.out
+		m.out = nil
+		m.pollDue = false
+		m.mu.Unlock()
+
+		req := &httpsim.Request{
+			Method: "POST",
+			Target: "/m",
+			Host:   m.cfg.FrontDomain,
+			Header: map[string]string{"X-Session-Id": m.session},
+			Body:   body,
+		}
+		resp, err := m.cc.RoundTrip(req)
+
+		m.mu.Lock()
+		if err != nil {
+			m.err = fmt.Errorf("meek: poll: %w", err)
+			m.closed = true
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			m.cc.Close()
+			return
+		}
+		if len(body) > 0 {
+			m.backoff = m.pollInterval() // we sent data: replies are imminent
+		}
+		if len(resp.Body) > 0 {
+			m.in = append(m.in, resp.Body...)
+			m.backoff = m.pollInterval() // data flowing: poll fast
+		} else if len(body) == 0 {
+			// Idle empty poll: back off (meek's adaptive schedule).
+			m.backoff = m.backoff * 3 / 2
+			if m.backoff > maxPollBackoff {
+				m.backoff = maxPollBackoff
+			}
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// ExpectInbound adjusts the count of consumers awaiting data; polling
+// only runs while someone expects inbound bytes, so idle sessions
+// quiesce.
+func (m *meekConn) ExpectInbound(delta int) {
+	m.mu.Lock()
+	m.wantPoll += delta
+	if m.wantPoll > 0 {
+		m.pollDue = true
+		m.backoff = m.pollInterval() // fresh expectation: poll fast again
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Read implements net.Conn.
+func (m *meekConn) Read(b []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if len(m.in) > 0 {
+			n := copy(b, m.in)
+			m.in = m.in[n:]
+			return n, nil
+		}
+		if m.err != nil {
+			return 0, m.err
+		}
+		if m.closed {
+			return 0, net.ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// Write implements net.Conn.
+func (m *meekConn) Write(b []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, net.ErrClosed
+	}
+	m.out = append(m.out, b...)
+	m.cond.Broadcast()
+	return len(b), nil
+}
+
+// Close implements net.Conn.
+func (m *meekConn) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (m *meekConn) LocalAddr() net.Addr { return meekAddr{} }
+
+// RemoteAddr implements net.Conn.
+func (m *meekConn) RemoteAddr() net.Addr { return meekAddr{} }
+
+// SetDeadline implements net.Conn (unsupported; polling governs timing).
+func (m *meekConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (m *meekConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (m *meekConn) SetWriteDeadline(time.Time) error { return nil }
+
+type meekAddr struct{}
+
+func (meekAddr) Network() string { return "meek" }
+func (meekAddr) String() string  { return "meek" }
+
+// MeekServer is the bridge-side front: an HTTPS endpoint that converts
+// polled POST bodies into per-session byte streams and hands each new
+// session to the bridge relay.
+type MeekServer struct {
+	Env netx.Env
+	// Relay receives one net.Conn per meek session.
+	Relay *Relay
+	// Cert is the front's TLS certificate blob.
+	Cert []byte
+
+	mu       sync.Mutex
+	sessions map[string]*meekServerConn
+}
+
+// Serve accepts front connections from ln.
+func (s *MeekServer) Serve(ln net.Listener) {
+	s.mu.Lock()
+	if s.sessions == nil {
+		s.sessions = make(map[string]*meekServerConn)
+	}
+	s.mu.Unlock()
+	srv := &httpsim.Server{
+		Handler: httpsim.HandlerFunc(s.handle),
+		Spawn:   s.Env.Spawn,
+	}
+	srv.Serve(tlssim.NewListener(ln, tlssim.Config{Certificate: s.Cert}))
+}
+
+func (s *MeekServer) handle(req *httpsim.Request, _ net.Addr) *httpsim.Response {
+	sid := req.Header["X-Session-Id"]
+	if sid == "" {
+		return httpsim.NewResponse(400, []byte("missing session"))
+	}
+	s.mu.Lock()
+	sc, ok := s.sessions[sid]
+	if !ok {
+		sc = newMeekServerConn(s.Env)
+		s.sessions[sid] = sc
+		s.Env.Spawn.Go(func() { s.Relay.ServeConn(sc) })
+	}
+	s.mu.Unlock()
+
+	if len(req.Body) > 0 {
+		sc.pushIn(req.Body)
+	}
+	out := sc.drainOut()
+	return httpsim.NewResponse(200, out)
+}
+
+// meekServerConn is the bridge side of one meek session, fed by the HTTP
+// handler. Implements net.Conn for Relay.ServeConn.
+type meekServerConn struct {
+	env netx.Env
+
+	mu     sync.Mutex
+	cond   netx.Cond
+	in     []byte
+	out    []byte
+	closed bool
+}
+
+func newMeekServerConn(env netx.Env) *meekServerConn {
+	sc := &meekServerConn{env: env}
+	sc.cond = env.Sync.NewCond(&sc.mu)
+	return sc
+}
+
+func (sc *meekServerConn) pushIn(b []byte) {
+	sc.mu.Lock()
+	sc.in = append(sc.in, b...)
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+}
+
+func (sc *meekServerConn) drainOut() []byte {
+	sc.mu.Lock()
+	out := sc.out
+	sc.out = nil
+	sc.mu.Unlock()
+	return out
+}
+
+// Read implements net.Conn.
+func (sc *meekServerConn) Read(b []byte) (int, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for {
+		if len(sc.in) > 0 {
+			n := copy(b, sc.in)
+			sc.in = sc.in[n:]
+			return n, nil
+		}
+		if sc.closed {
+			return 0, net.ErrClosed
+		}
+		sc.cond.Wait()
+	}
+}
+
+// Write implements net.Conn: bytes wait for the client's next poll.
+func (sc *meekServerConn) Write(b []byte) (int, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.closed {
+		return 0, net.ErrClosed
+	}
+	sc.out = append(sc.out, b...)
+	return len(b), nil
+}
+
+// Close implements net.Conn.
+func (sc *meekServerConn) Close() error {
+	sc.mu.Lock()
+	sc.closed = true
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (sc *meekServerConn) LocalAddr() net.Addr { return meekAddr{} }
+
+// RemoteAddr implements net.Conn.
+func (sc *meekServerConn) RemoteAddr() net.Addr { return meekAddr{} }
+
+// SetDeadline implements net.Conn.
+func (sc *meekServerConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (sc *meekServerConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (sc *meekServerConn) SetWriteDeadline(time.Time) error { return nil }

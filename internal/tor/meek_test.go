@@ -1,0 +1,206 @@
+package tor
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/netsim"
+)
+
+// meekOnlyWorld wires just a client and a meek front whose "relay" echoes
+// cells (no onion machinery), to pin the transport's own behaviour.
+func newMeekEchoWorld(t *testing.T) (*netsim.Network, *netsim.Host, *netsim.Host) {
+	t.Helper()
+	n := netsim.New(91)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 70 * time.Millisecond})
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+	client := n.AddHost("client", "10.0.0.2", cn, acc)
+	front := n.AddHost("front", "13.107.246.10", us, acc)
+	return n, client, front
+}
+
+// echoRelay implements just enough of a Relay substitute: ServeConn is the
+// only entry point MeekServer uses, so embed a Relay whose cell handling
+// echoes DIR requests.
+func startMeekEcho(t *testing.T, n *netsim.Network, front *netsim.Host) {
+	t.Helper()
+	relay := &Relay{
+		Env:  n.Env(),
+		Name: "echo-bridge",
+		Dial: front.Dial,
+		Directory: func() []byte {
+			return []byte("consensus-bytes")
+		},
+		Cert: []byte("front-cert"),
+	}
+	ms := &MeekServer{Env: n.Env(), Relay: relay, Cert: []byte("front-cert")}
+	ln, err := front.Listen("tcp", ":443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { ms.Serve(ln) })
+}
+
+func runSim(t *testing.T, n *netsim.Network, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestMeekCarriesCells(t *testing.T) {
+	n, client, front := newMeekEchoWorld(t)
+	startMeekEcho(t, n, front)
+	runSim(t, n, func() error {
+		conn, err := DialMeek(MeekClientConfig{
+			Env:          n.Env(),
+			Dial:         client.Dial,
+			FrontAddr:    "13.107.246.10:443",
+			FrontDomain:  "ajax.aspnetcdn.com",
+			PollInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.(*meekConn).ExpectInbound(1)
+		defer conn.(*meekConn).ExpectInbound(-1)
+
+		var p [cellPayloadSize]byte
+		p[0] = dirDocConsensus
+		if err := writeCell(conn, &Cell{CircID: 1, Cmd: cmdDir, Payload: p}); err != nil {
+			return err
+		}
+		cell, err := readCell(conn)
+		if err != nil {
+			return err
+		}
+		if cell.Cmd != cmdDirInfo {
+			t.Errorf("reply cmd = %d", cell.Cmd)
+		}
+		if !bytes.Contains(cell.Payload[:], []byte("consensus-bytes")) {
+			t.Error("directory payload missing")
+		}
+		return nil
+	})
+}
+
+func TestMeekIdleSessionsDoNotPoll(t *testing.T) {
+	n, client, front := newMeekEchoWorld(t)
+	startMeekEcho(t, n, front)
+	runSim(t, n, func() error {
+		conn, err := DialMeek(MeekClientConfig{
+			Env:          n.Env(),
+			Dial:         client.Dial,
+			FrontAddr:    "13.107.246.10:443",
+			FrontDomain:  "ajax.aspnetcdn.com",
+			PollInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		// No ExpectInbound, no writes: an idle session must quiesce so
+		// the virtual world can drain (and real sessions don't spam the
+		// front).
+		client.ResetStats()
+		n.Scheduler().Sleep(5 * time.Second)
+		// Allow stray transport ACKs from the handshake tail; an actual
+		// poll is a few hundred bytes of HTTP + TLS.
+		if tx := client.Stats().TxBytes; tx > 150 {
+			t.Errorf("idle meek session sent %d bytes", tx)
+		}
+		return nil
+	})
+}
+
+func TestMeekBackoffGrowsWhileWaiting(t *testing.T) {
+	n, client, front := newMeekEchoWorld(t)
+	startMeekEcho(t, n, front)
+	runSim(t, n, func() error {
+		raw, err := DialMeek(MeekClientConfig{
+			Env:          n.Env(),
+			Dial:         client.Dial,
+			FrontAddr:    "13.107.246.10:443",
+			FrontDomain:  "ajax.aspnetcdn.com",
+			PollInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer raw.Close()
+		m := raw.(*meekConn)
+		m.ExpectInbound(1)
+		defer m.ExpectInbound(-1)
+
+		// Nothing inbound is coming; polls must back off toward the cap.
+		client.ResetStats()
+		n.Scheduler().Sleep(10 * time.Second)
+		st := client.Stats()
+		// At a constant 50ms schedule 10s would mean ~200 polls; with
+		// 1.5x backoff capped at 2s it is a couple dozen.
+		if st.TxPackets > 120 {
+			t.Errorf("idle-waiting session sent %d packets; backoff not engaging", st.TxPackets)
+		}
+		if st.TxPackets == 0 {
+			t.Error("no polls at all while expecting data")
+		}
+		return nil
+	})
+}
+
+func TestMeekStreamSurvivesChunkedDelivery(t *testing.T) {
+	// Cells split across poll responses must reassemble (readCell uses
+	// io.ReadFull over the byte stream).
+	n, client, front := newMeekEchoWorld(t)
+	startMeekEcho(t, n, front)
+	runSim(t, n, func() error {
+		conn, err := DialMeek(MeekClientConfig{
+			Env:          n.Env(),
+			Dial:         client.Dial,
+			FrontAddr:    "13.107.246.10:443",
+			FrontDomain:  "ajax.aspnetcdn.com",
+			PollInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		m := conn.(*meekConn)
+		m.ExpectInbound(1)
+		defer m.ExpectInbound(-1)
+		// Write a cell in two halves with a pause between them; the
+		// bridge must still parse exactly one DIR request.
+		var p [cellPayloadSize]byte
+		p[0] = dirDocConsensus
+		var buf bytes.Buffer
+		writeCell(&buf, &Cell{CircID: 9, Cmd: cmdDir, Payload: p})
+		wire := buf.Bytes()
+		if _, err := conn.Write(wire[:100]); err != nil {
+			return err
+		}
+		n.Scheduler().Sleep(300 * time.Millisecond)
+		if _, err := conn.Write(wire[100:]); err != nil {
+			return err
+		}
+		cell, err := readCell(conn)
+		if err != nil {
+			return err
+		}
+		if cell.CircID != 9 || cell.Cmd != cmdDirInfo {
+			t.Errorf("reply = circ %d cmd %d", cell.CircID, cell.Cmd)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,371 @@
+package tor
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/tlssim"
+)
+
+// Extra relay sub-commands for circuit extension (real Tor's
+// RELAY_EXTEND / RELAY_EXTENDED).
+const (
+	relayExtend   byte = 6
+	relayExtended byte = 7
+)
+
+// Relay is an onion router. The same type serves as bridge (entered via
+// meek), middle, and exit; roles differ only in which handlers fire.
+type Relay struct {
+	Env  netx.Env
+	Name string
+	// Dial opens raw connections from the relay's host (to other relays
+	// and, for exits, to origins via DialHost).
+	Dial func(network, address string) (net.Conn, error)
+	// DialHost resolves and dials origin servers (exit role).
+	DialHost func(host string, port int) (net.Conn, error)
+	// Directory, if set, answers cmdDir requests (bridge role): it
+	// returns the consensus the client uses to pick its path.
+	Directory func() []byte
+	// Cert is the relay's TLS certificate blob for inter-relay links.
+	Cert []byte
+
+	mu sync.Mutex
+	// circuits on inbound connections, keyed per (conn, circID).
+	circuits map[connCirc]*orCircuit
+}
+
+type connCirc struct {
+	conn net.Conn
+	id   uint32
+}
+
+// orCircuit is this relay's state for one circuit.
+type orCircuit struct {
+	layer *layerCipher
+	// bwdMu serializes backward-layer encryption with its write: the CTR
+	// keystream position must match the on-wire cell order exactly, and
+	// multiple exit streams pump cells toward the client concurrently.
+	bwdMu sync.Mutex
+
+	prev       net.Conn // toward the client
+	prevCircID uint32
+
+	nextMu     sync.Mutex
+	next       net.Conn // toward the next relay, nil at the path's end
+	nextCircID uint32
+
+	streamMu sync.Mutex
+	streams  map[uint16]net.Conn
+}
+
+// Serve accepts inter-relay TLS connections from ln (middle/exit role).
+func (r *Relay) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tconn := tlssim.Server(conn, tlssim.Config{Certificate: r.Cert})
+		r.Env.Spawn.Go(func() { r.ServeConn(tconn) })
+	}
+}
+
+// ServeConn runs the cell loop on one inbound link (an inter-relay TLS
+// connection, or the bridge side of a meek session).
+func (r *Relay) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	r.mu.Lock()
+	if r.circuits == nil {
+		r.circuits = make(map[connCirc]*orCircuit)
+	}
+	r.mu.Unlock()
+
+	for {
+		cell, err := readCell(conn)
+		if err != nil {
+			return
+		}
+		r.handleCell(conn, cell)
+	}
+}
+
+// serveDirectory streams a directory document as a sequence of DirInfo
+// cells. The first cell carries a 4-byte big-endian total length; real
+// Tor clients likewise download a multi-hundred-kilobyte consensus and
+// then relay descriptors before building a circuit, which is a large part
+// of its first-start latency.
+func (r *Relay) serveDirectory(conn net.Conn, circID uint32, doc byte) {
+	payload := r.Directory()
+	if doc == dirDocDescriptors {
+		// Descriptor volume scales with the consensus in real Tor; a
+		// fixed fraction stands in for it here.
+		payload = append([]byte("descriptors\n"), make([]byte, len(payload)/4)...)
+	}
+	var first [cellPayloadSize]byte
+	binary.BigEndian.PutUint32(first[:4], uint32(len(payload)))
+	n := copy(first[4:], payload)
+	if err := writeCell(conn, &Cell{CircID: circID, Cmd: cmdDirInfo, Payload: first}); err != nil {
+		return
+	}
+	payload = payload[n:]
+	for len(payload) > 0 {
+		var p [cellPayloadSize]byte
+		n := copy(p[:], payload)
+		payload = payload[n:]
+		if err := writeCell(conn, &Cell{CircID: circID, Cmd: cmdDirInfo, Payload: p}); err != nil {
+			return
+		}
+	}
+}
+
+func (r *Relay) circuitFor(conn net.Conn, id uint32) *orCircuit {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.circuits[connCirc{conn, id}]
+}
+
+func (r *Relay) handleCell(conn net.Conn, cell *Cell) {
+	switch cell.Cmd {
+	case cmdCreate:
+		r.handleCreate(conn, cell)
+	case cmdDir:
+		if r.Directory != nil {
+			r.serveDirectory(conn, cell.CircID, cell.Payload[0])
+		}
+	case cmdRelay:
+		r.handleRelay(conn, cell)
+	case cmdDestroy:
+		r.destroyCircuit(conn, cell.CircID)
+	}
+}
+
+// handleCreate answers a circuit-creation handshake: X25519 with the
+// client pub in the payload.
+func (r *Relay) handleCreate(conn net.Conn, cell *Cell) {
+	clientPub, err := ecdh.X25519().NewPublicKey(cell.Payload[:32])
+	if err != nil {
+		return
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return
+	}
+	secret, err := priv.ECDH(clientPub)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(secret)
+	layer, err := newLayerCipher(sum[:])
+	if err != nil {
+		return
+	}
+	circ := &orCircuit{
+		layer:      layer,
+		prev:       conn,
+		prevCircID: cell.CircID,
+		streams:    make(map[uint16]net.Conn),
+	}
+	r.mu.Lock()
+	r.circuits[connCirc{conn, cell.CircID}] = circ
+	r.mu.Unlock()
+
+	var p [cellPayloadSize]byte
+	copy(p[:], priv.PublicKey().Bytes())
+	writeCell(conn, &Cell{CircID: cell.CircID, Cmd: cmdCreated, Payload: p})
+}
+
+// handleRelay strips this hop's onion layer; a recognized cell is handled
+// locally, anything else is forwarded to the next hop.
+func (r *Relay) handleRelay(conn net.Conn, cell *Cell) {
+	circ := r.circuitFor(conn, cell.CircID)
+	if circ == nil {
+		return
+	}
+	circ.layer.applyFwd(&cell.Payload)
+	streamID, cmd, data, ok := parseRelay(&cell.Payload)
+	if !ok {
+		circ.nextMu.Lock()
+		next, nextID := circ.next, circ.nextCircID
+		circ.nextMu.Unlock()
+		if next != nil {
+			writeCell(next, &Cell{CircID: nextID, Cmd: cmdRelay, Payload: cell.Payload})
+			return
+		}
+		// Garbage at the end of the path: tear down.
+		r.destroyCircuit(conn, cell.CircID)
+		return
+	}
+	switch cmd {
+	case relayExtend:
+		r.handleExtend(circ, data)
+	case relayBegin:
+		r.handleBegin(circ, streamID, string(data))
+	case relayData:
+		circ.streamMu.Lock()
+		stream := circ.streams[streamID]
+		circ.streamMu.Unlock()
+		if stream != nil {
+			stream.Write(data)
+		}
+	case relayEnd:
+		circ.streamMu.Lock()
+		stream := circ.streams[streamID]
+		delete(circ.streams, streamID)
+		circ.streamMu.Unlock()
+		if stream != nil {
+			stream.Close()
+		}
+	}
+}
+
+// sendBackward layers a cell with this hop's backward cipher and sends it
+// toward the client.
+func (r *Relay) sendBackward(circ *orCircuit, cmd byte, payload [cellPayloadSize]byte) {
+	circ.bwdMu.Lock()
+	defer circ.bwdMu.Unlock()
+	circ.layer.applyBwd(&payload)
+	writeCell(circ.prev, &Cell{CircID: circ.prevCircID, Cmd: cmd, Payload: payload})
+}
+
+// handleExtend telescopes the circuit one hop further: dial the named
+// relay, run CREATE with the client's key share, and pump its backward
+// cells through this hop's layer.
+func (r *Relay) handleExtend(circ *orCircuit, data []byte) {
+	if len(data) < 33 {
+		return
+	}
+	clientPub := data[:32]
+	target := string(data[32:])
+	r.Env.Spawn.Go(func() {
+		raw, err := r.Dial("tcp", target)
+		if err != nil {
+			return
+		}
+		next := tlssim.Client(raw, tlssim.Config{ServerName: target})
+		var p [cellPayloadSize]byte
+		copy(p[:], clientPub)
+		nextCircID := circ.prevCircID // fresh namespace per link
+		if err := writeCell(next, &Cell{CircID: nextCircID, Cmd: cmdCreate, Payload: p}); err != nil {
+			next.Close()
+			return
+		}
+		circ.nextMu.Lock()
+		circ.next = next
+		circ.nextCircID = nextCircID
+		circ.nextMu.Unlock()
+		// Backward pump: everything the next hop sends flows through our
+		// layer toward the client.
+		for {
+			cell, err := readCell(next)
+			if err != nil {
+				return
+			}
+			switch cell.Cmd {
+			case cmdCreated:
+				ext, err := packRelay(0, relayExtended, cell.Payload[:32])
+				if err != nil {
+					return
+				}
+				r.sendBackward(circ, cmdRelay, ext)
+			case cmdRelay:
+				r.sendBackward(circ, cmdRelay, cell.Payload)
+			}
+		}
+	})
+}
+
+// handleBegin opens an exit stream to the origin named in data
+// ("host:port").
+func (r *Relay) handleBegin(circ *orCircuit, streamID uint16, target string) {
+	r.Env.Spawn.Go(func() {
+		host, port, err := splitTarget(target)
+		var upstream net.Conn
+		if err == nil {
+			if r.DialHost == nil {
+				err = fmt.Errorf("tor: relay %s is not an exit", r.Name)
+			} else {
+				upstream, err = r.DialHost(host, port)
+			}
+		}
+		if err != nil {
+			p, perr := packRelay(streamID, relayBeginFailed, []byte(err.Error()))
+			if perr == nil {
+				r.sendBackward(circ, cmdRelay, p)
+			}
+			return
+		}
+		circ.streamMu.Lock()
+		circ.streams[streamID] = upstream
+		circ.streamMu.Unlock()
+
+		p, _ := packRelay(streamID, relayConnected, nil)
+		r.sendBackward(circ, cmdRelay, p)
+
+		// Pump origin bytes back as relay data cells.
+		buf := make([]byte, MaxRelayData)
+		for {
+			n, err := upstream.Read(buf)
+			if n > 0 {
+				p, perr := packRelay(streamID, relayData, buf[:n])
+				if perr != nil {
+					break
+				}
+				r.sendBackward(circ, cmdRelay, p)
+			}
+			if err != nil {
+				break
+			}
+		}
+		p2, _ := packRelay(streamID, relayEnd, nil)
+		r.sendBackward(circ, cmdRelay, p2)
+		circ.streamMu.Lock()
+		delete(circ.streams, streamID)
+		circ.streamMu.Unlock()
+		upstream.Close()
+	})
+}
+
+func (r *Relay) destroyCircuit(conn net.Conn, id uint32) {
+	r.mu.Lock()
+	circ := r.circuits[connCirc{conn, id}]
+	delete(r.circuits, connCirc{conn, id})
+	r.mu.Unlock()
+	if circ == nil {
+		return
+	}
+	circ.nextMu.Lock()
+	if circ.next != nil {
+		writeCell(circ.next, &Cell{CircID: circ.nextCircID, Cmd: cmdDestroy})
+		circ.next.Close()
+	}
+	circ.nextMu.Unlock()
+	circ.streamMu.Lock()
+	for _, s := range circ.streams {
+		s.Close()
+	}
+	circ.streams = map[uint16]net.Conn{}
+	circ.streamMu.Unlock()
+}
+
+func splitTarget(target string) (string, int, error) {
+	for i := len(target) - 1; i >= 0; i-- {
+		if target[i] == ':' {
+			port := 0
+			for _, ch := range target[i+1:] {
+				if ch < '0' || ch > '9' {
+					return "", 0, fmt.Errorf("tor: bad target %q", target)
+				}
+				port = port*10 + int(ch-'0')
+			}
+			return target[:i], port, nil
+		}
+	}
+	return "", 0, fmt.Errorf("tor: bad target %q", target)
+}

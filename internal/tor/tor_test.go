@@ -1,0 +1,334 @@
+package tor
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/netx"
+)
+
+type torWorld struct {
+	n      *netsim.Network
+	env    netx.Env
+	client *netsim.Host
+	front  *netsim.Host
+	middle *netsim.Host
+	exit   *netsim.Host
+	origin *netsim.Host
+}
+
+func newTorWorld(t *testing.T) *torWorld {
+	t.Helper()
+	n := netsim.New(51)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	eu := n.AddZone("eu")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 70 * time.Millisecond})
+	n.Connect(us, eu, netsim.LinkConfig{Delay: 30 * time.Millisecond})
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+	w := &torWorld{
+		n:      n,
+		env:    n.Env(),
+		client: n.AddHost("client", "10.0.0.2", cn, acc),
+		front:  n.AddHost("front", "13.107.246.10", us, acc),
+		middle: n.AddHost("middle", "185.220.101.5", eu, acc),
+		exit:   n.AddHost("exit", "204.13.164.118", us, acc),
+		origin: n.AddHost("origin", "203.0.113.10", us, acc),
+	}
+
+	// Echo origin.
+	oln, err := w.origin.Listen("tcp", ":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := oln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			})
+		}
+	})
+
+	// Exit and middle relays.
+	exit := &Relay{
+		Env:  w.env,
+		Name: "exit",
+		Dial: w.exit.Dial,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			return w.exit.DialTCP(fmt.Sprintf("%s:%d", host, port))
+		},
+		Cert: []byte("exit-cert"),
+	}
+	eln, err := w.exit.Listen("tcp", ":9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { exit.Serve(eln) })
+
+	middle := &Relay{Env: w.env, Name: "middle", Dial: w.middle.Dial, Cert: []byte("mid-cert")}
+	mln, err := w.middle.Listen("tcp", ":9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { middle.Serve(mln) })
+
+	// Bridge behind the meek front.
+	bridge := &Relay{
+		Env:  w.env,
+		Name: "bridge",
+		Dial: w.front.Dial,
+		Directory: func() []byte {
+			return []byte("185.220.101.5:9001 204.13.164.118:9001")
+		},
+		Cert: []byte("bridge-cert"),
+	}
+	ms := &MeekServer{Env: w.env, Relay: bridge, Cert: []byte("front-cert")}
+	fln, err := w.front.Listen("tcp", ":443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { ms.Serve(fln) })
+	return w
+}
+
+func (w *torWorld) newClient() *Client {
+	return &Client{
+		Env:          w.env,
+		Dial:         w.client.Dial,
+		FrontAddr:    "13.107.246.10:443",
+		FrontDomain:  "ajax.aspnetcdn.com",
+		PollInterval: 50 * time.Millisecond,
+	}
+}
+
+func (w *torWorld) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	w.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestBootstrapBuildsThreeHops(t *testing.T) {
+	w := newTorWorld(t)
+	c := w.newClient()
+	defer c.Close()
+	w.run(t, func() error {
+		if err := c.Bootstrap(); err != nil {
+			return err
+		}
+		if len(c.layers) != 3 {
+			t.Errorf("layers = %d, want 3", len(c.layers))
+		}
+		if c.CircuitBuildTime <= 500*time.Millisecond {
+			t.Errorf("circuit build time = %v, implausibly fast", c.CircuitBuildTime)
+		}
+		return nil
+	})
+}
+
+func TestStreamEchoThroughCircuit(t *testing.T) {
+	w := newTorWorld(t)
+	c := w.newClient()
+	defer c.Close()
+	w.run(t, func() error {
+		conn, err := c.DialHost("203.0.113.10", 80)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		msg := []byte("onion-routed payload")
+		conn.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("echo = %q", got)
+		}
+		return nil
+	})
+}
+
+func TestMultipleStreamsShareCircuit(t *testing.T) {
+	w := newTorWorld(t)
+	c := w.newClient()
+	defer c.Close()
+	w.run(t, func() error {
+		for i := 0; i < 3; i++ {
+			conn, err := c.DialHost("203.0.113.10", 80)
+			if err != nil {
+				return err
+			}
+			msg := []byte{byte('a' + i)}
+			conn.Write(msg)
+			buf := make([]byte, 1)
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return err
+			}
+			if buf[0] != msg[0] {
+				t.Errorf("stream %d echoed %q", i, buf)
+			}
+			conn.Close()
+		}
+		return nil
+	})
+}
+
+func TestLargeTransferThroughCells(t *testing.T) {
+	w := newTorWorld(t)
+	c := w.newClient()
+	defer c.Close()
+	w.run(t, func() error {
+		conn, err := c.DialHost("203.0.113.10", 80)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		payload := make([]byte, 20*1024) // ~40 cells each way
+		for i := range payload {
+			payload[i] = byte(i * 13)
+		}
+		conn.Write(payload)
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("cell-chunked transfer corrupted")
+		}
+		return nil
+	})
+}
+
+func TestBeginToClosedPortFails(t *testing.T) {
+	w := newTorWorld(t)
+	c := w.newClient()
+	defer c.Close()
+	w.run(t, func() error {
+		_, err := c.DialHost("203.0.113.10", 9999)
+		if err == nil {
+			t.Error("stream to closed origin port succeeded")
+		}
+		return nil
+	})
+}
+
+func TestOnionLayeringHidesPayloadEverywhere(t *testing.T) {
+	// The marker must never cross any link in cleartext: client→front is
+	// TLS'd meek, inter-relay hops are onion-encrypted within TLS, and
+	// only the exit→origin leg may carry plaintext.
+	w := newTorWorld(t)
+	c := w.newClient()
+	defer c.Close()
+	marker := []byte("SECRET-ONION-MARKER")
+	var leaked string
+	w.n.SetTrace(func(pkt *netsim.Packet) {
+		if pkt.Src.IP == "204.13.164.118" || pkt.Dst.IP == "204.13.164.118" {
+			if pkt.Src.IP == "203.0.113.10" || pkt.Dst.IP == "203.0.113.10" {
+				return // exit→origin leg: plaintext by design
+			}
+		}
+		if pkt.Src.IP == "203.0.113.10" || pkt.Dst.IP == "203.0.113.10" {
+			return
+		}
+		if bytes.Contains(pkt.Payload, marker) {
+			leaked = pkt.Src.IP + "->" + pkt.Dst.IP
+		}
+	})
+	defer w.n.SetTrace(nil)
+	w.run(t, func() error {
+		conn, err := c.DialHost("203.0.113.10", 80)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.Write(marker)
+		buf := make([]byte, len(marker))
+		_, err = io.ReadFull(conn, buf)
+		return err
+	})
+	if leaked != "" {
+		t.Errorf("marker crossed %s in cleartext", leaked)
+	}
+}
+
+func TestCellRoundTripProperty(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Cell{CircID: 42, Cmd: cmdRelay}
+	copy(c.Payload[:], []byte("payload"))
+	if err := writeCell(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != CellSize {
+		t.Errorf("wire size = %d, want %d (fixed cells)", buf.Len(), CellSize)
+	}
+	got, err := readCell(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CircID != 42 || got.Cmd != cmdRelay || !bytes.Equal(got.Payload[:7], []byte("payload")) {
+		t.Errorf("cell = %+v", got)
+	}
+}
+
+func TestRelayPayloadPackParse(t *testing.T) {
+	p, err := packRelay(7, relayData, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, cmd, data, ok := parseRelay(&p)
+	if !ok || sid != 7 || cmd != relayData || string(data) != "hello" {
+		t.Errorf("parse = %d %d %q %v", sid, cmd, data, ok)
+	}
+	// Encrypted (non-zero recognized field) payloads are not recognized.
+	p[0] = 0xAA
+	if _, _, _, ok := parseRelay(&p); ok {
+		t.Error("garbled payload recognized")
+	}
+}
+
+func TestPackRelayRejectsOversize(t *testing.T) {
+	if _, err := packRelay(1, relayData, make([]byte, MaxRelayData+1)); err == nil {
+		t.Error("oversized relay data accepted")
+	}
+}
+
+func TestLayerCipherSymmetry(t *testing.T) {
+	a, err := newLayerCipher([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newLayerCipher([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p [cellPayloadSize]byte
+	copy(p[:], []byte("cleartext cell"))
+	orig := p
+	a.applyFwd(&p)
+	if p == orig {
+		t.Error("forward layer is identity")
+	}
+	b.applyFwd(&p) // same key stream: XOR cancels
+	if p != orig {
+		t.Error("matching layer ciphers did not cancel")
+	}
+}

@@ -1,0 +1,85 @@
+// Package tunnel defines the common interface every access method under
+// study implements, plus the no-circumvention baseline. The browser
+// (httpsim.Browser) is written against Method, so swapping "direct" for
+// "native VPN" for "ScholarCloud" is a one-line change in experiments.
+package tunnel
+
+import (
+	"fmt"
+	"net"
+
+	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/httpsim"
+)
+
+// Method is an access method: a browser-facing network stack with a
+// lifecycle. It subsumes httpsim.NetStack.
+type Method interface {
+	httpsim.NetStack
+	// Close releases the method's resources (tunnel sessions, local
+	// proxies).
+	Close() error
+}
+
+// Direct is the no-circumvention baseline: resolve with the local (GFW-
+// poisonable) resolver and dial straight from the client. Under
+// censorship, visits to blocked services fail here — which is the
+// motivating observation of the paper.
+type Direct struct {
+	Dialer interface {
+		Dial(network, address string) (net.Conn, error)
+	}
+	Resolver *dnssim.Resolver
+}
+
+// Name implements Method.
+func (d *Direct) Name() string { return "direct" }
+
+// DialHost implements Method.
+func (d *Direct) DialHost(host string, port int) (net.Conn, error) {
+	ip, err := d.Resolver.Lookup(host)
+	if err != nil {
+		return nil, fmt.Errorf("direct: resolve %s: %w", host, err)
+	}
+	return d.Dialer.Dial("tcp", fmt.Sprintf("%s:%d", ip, port))
+}
+
+// Close implements Method.
+func (d *Direct) Close() error { return nil }
+
+// HostsFile is the "other methods" entry from the paper's survey (Fig. 3:
+// 34% of bypassers used tricks like editing the system hosts file to
+// point blocked names at IPs the GFW had not yet blacklisted). It
+// bypasses DNS poisoning completely — and nothing else: the moment the
+// hardcoded IP lands on the blocklist, the method dies, which is exactly
+// the fragility that pushed users toward tunnels.
+type HostsFile struct {
+	Dialer interface {
+		Dial(network, address string) (net.Conn, error)
+	}
+	// Entries maps hostnames to hardcoded IPs (the hosts-file content).
+	Entries map[string]string
+	// Fallback resolves names not in the file (nil means such dials fail).
+	Fallback *dnssim.Resolver
+}
+
+// Name implements Method.
+func (h *HostsFile) Name() string { return "hosts-file" }
+
+// DialHost implements Method.
+func (h *HostsFile) DialHost(host string, port int) (net.Conn, error) {
+	if ip, ok := h.Entries[host]; ok {
+		return h.Dialer.Dial("tcp", fmt.Sprintf("%s:%d", ip, port))
+	}
+	if h.Fallback == nil {
+		return nil, fmt.Errorf("hosts-file: no entry for %s", host)
+	}
+	ip, err := h.Fallback.Lookup(host)
+	if err != nil {
+		return nil, err
+	}
+	return h.Dialer.Dial("tcp", fmt.Sprintf("%s:%d", ip, port))
+}
+
+// Close implements Method.
+func (h *HostsFile) Close() error { return nil }

@@ -1,0 +1,93 @@
+package tunnel
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/netsim"
+)
+
+func TestDirectResolvesAndDials(t *testing.T) {
+	n := netsim.New(61)
+	t.Cleanup(n.Stop)
+	z := n.AddZone("z")
+	client := n.AddHost("client", "10.0.0.2", z, netsim.LinkConfig{Delay: time.Millisecond})
+	server := n.AddHost("server", "203.0.113.10", z, netsim.LinkConfig{Delay: time.Millisecond})
+	dnsHost := n.AddHost("dns", "8.8.8.8", z, netsim.LinkConfig{Delay: time.Millisecond})
+
+	dns := dnssim.NewServer(map[string]string{"origin.example": "203.0.113.10"})
+	pc, err := dnsHost.ListenPacket(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() { dns.Serve(pc) })
+
+	ln, err := server.Listen("tcp", ":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("hi"))
+		conn.Close()
+	})
+
+	d := &Direct{Dialer: client, Resolver: dnssim.NewResolver(client, n.Clock(), "8.8.8.8:53")}
+	if d.Name() != "direct" {
+		t.Errorf("name = %q", d.Name())
+	}
+	done := make(chan error, 1)
+	n.Scheduler().Go(func() {
+		conn, err := d.DialHost("origin.example", 80)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			done <- err
+			return
+		}
+		if string(buf) != "hi" {
+			done <- errors.New("bad payload " + string(buf))
+			return
+		}
+		done <- d.Close()
+	})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("deadlock")
+	}
+}
+
+func TestDirectUnresolvableName(t *testing.T) {
+	n := netsim.New(62)
+	t.Cleanup(n.Stop)
+	z := n.AddZone("z")
+	client := n.AddHost("client", "10.0.0.2", z, netsim.LinkConfig{Delay: time.Millisecond})
+	d := &Direct{Dialer: client, Resolver: dnssim.NewResolver(client, n.Clock(), "8.8.8.8:53")}
+	done := make(chan error, 1)
+	n.Scheduler().Go(func() {
+		_, err := d.DialHost("nowhere.example", 80)
+		done <- err
+	})
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dial of unresolvable name succeeded")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock")
+	}
+}

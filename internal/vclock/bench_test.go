@@ -1,0 +1,30 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw scheduler event processing.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	defer s.Stop()
+	for i := 0; i < b.N; i++ {
+		s.Event(time.Duration(i), func() {})
+	}
+	s.Wait()
+}
+
+// BenchmarkSleepSwitch measures the managed-goroutine park/resume cycle.
+func BenchmarkSleepSwitch(b *testing.B) {
+	s := New()
+	defer s.Stop()
+	done := make(chan struct{})
+	s.Go(func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			s.Sleep(time.Microsecond)
+		}
+	})
+	<-done
+}

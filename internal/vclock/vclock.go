@@ -1,0 +1,311 @@
+// Package vclock implements a deterministic virtual-time scheduler for
+// discrete-event simulation.
+//
+// The scheduler tracks a set of managed goroutines and a heap of timed
+// events. Virtual time only advances when every managed goroutine is
+// blocked on a scheduler-aware primitive (Sleep, Cond.Wait, or an event
+// channel); the scheduler then pops the earliest pending event, jumps the
+// clock to its timestamp, and runs it. A simulated 15-second page load
+// therefore completes in microseconds of wall time, and timing-sensitive
+// behaviour (retransmission timeouts, keep-alive expiry, handshake round
+// trips) is reproducible run to run.
+//
+// The cardinal rule for code running under a Scheduler is that every
+// blocking operation must be scheduler-aware. Blocking on a bare channel
+// or sync primitive from a managed goroutine stalls virtual time forever,
+// because the scheduler counts the goroutine as runnable and refuses to
+// advance the clock past it.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Epoch is the virtual time origin. A fixed, recognizable epoch makes
+// simulated timestamps stable across runs and obvious in logs.
+var Epoch = time.Date(2017, time.February, 1, 0, 0, 0, 0, time.UTC)
+
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// not usable; call New.
+type Scheduler struct {
+	mu     sync.Mutex
+	driver *sync.Cond // wakes the driver loop when busy hits zero or events arrive
+
+	now     time.Duration // virtual time elapsed since Epoch
+	events  eventHeap
+	seq     uint64 // tie-breaker so same-timestamp events run in schedule order
+	busy    int    // managed goroutines currently runnable
+	stopped bool
+
+	idle *sync.Cond // wakes Wait() callers when the world quiesces
+}
+
+// New returns a running Scheduler with virtual time at Epoch.
+func New() *Scheduler {
+	s := &Scheduler{}
+	s.driver = sync.NewCond(&s.mu)
+	s.idle = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+type event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func() // runs on the driver goroutine; must not block
+	cancel bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Epoch.Add(s.now)
+}
+
+// Elapsed returns the virtual time elapsed since Epoch.
+func (s *Scheduler) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Go spawns fn as a managed goroutine. The scheduler will not advance
+// virtual time while fn is runnable.
+func (s *Scheduler) Go(fn func()) {
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+	go func() {
+		defer s.decBusy()
+		fn()
+	}()
+}
+
+// Sleep blocks the calling managed goroutine for d of virtual time.
+// Non-positive durations return immediately.
+func (s *Scheduler) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.scheduleLocked(s.now+d, func() {
+		s.mu.Lock()
+		s.busy++
+		s.mu.Unlock()
+		close(ch)
+	})
+	s.busyDownLocked()
+	s.mu.Unlock()
+	<-ch
+}
+
+// Timer is a handle to a pending AfterFunc callback.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the
+// callback from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.ev.cancel || t.ev.fn == nil {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// AfterFunc schedules fn to run after d of virtual time. The callback runs
+// on a new managed goroutine, so it may itself block on scheduler-aware
+// primitives (mirroring time.AfterFunc semantics).
+func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := s.scheduleLocked(s.now+d, func() { s.Go(fn) })
+	return &Timer{s: s, ev: ev}
+}
+
+// Event schedules fn to run on the driver goroutine after d of virtual
+// time. fn must not block; it is intended for lightweight bookkeeping such
+// as packet delivery. The returned Timer can cancel it.
+func (s *Scheduler) Event(d time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := s.scheduleLocked(s.now+d, fn)
+	return &Timer{s: s, ev: ev}
+}
+
+func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	s.driver.Signal()
+	return ev
+}
+
+// decBusy marks the calling managed goroutine as no longer runnable.
+func (s *Scheduler) decBusy() {
+	s.mu.Lock()
+	s.busyDownLocked()
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) busyDownLocked() {
+	s.busy--
+	if s.busy == 0 {
+		s.driver.Signal()
+		if s.events.Len() == 0 {
+			s.idle.Broadcast()
+		}
+	}
+}
+
+func (s *Scheduler) incBusy() {
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+}
+
+// run is the driver loop: whenever every managed goroutine is blocked, pop
+// the earliest event, advance the clock, and execute it. The callback runs
+// with the driver counted busy so time cannot advance underneath it.
+func (s *Scheduler) run() {
+	s.mu.Lock()
+	for {
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		if s.busy > 0 || s.events.Len() == 0 {
+			s.driver.Wait()
+			continue
+		}
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancel {
+			if s.events.Len() == 0 && s.busy == 0 {
+				s.idle.Broadcast()
+			}
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		s.busy++
+		s.mu.Unlock()
+		fn()
+		s.decBusy()
+		s.mu.Lock()
+	}
+}
+
+// Wait blocks the caller (an unmanaged goroutine, typically a test) until
+// the simulation quiesces: no runnable managed goroutines and no pending
+// events. Goroutines parked on Conds (e.g. servers in Accept) do not
+// prevent quiescence.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !(s.busy == 0 && pendingLocked(&s.events) == 0) && !s.stopped {
+		s.idle.Wait()
+	}
+}
+
+func pendingLocked(h *eventHeap) int {
+	n := 0
+	for _, ev := range *h {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop halts the driver loop. Pending events never fire and parked
+// goroutines are abandoned; callers should close their resources first.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.driver.Broadcast()
+	s.idle.Broadcast()
+	s.mu.Unlock()
+}
+
+// Cond is a scheduler-aware condition variable. It mirrors sync.Cond but
+// keeps the scheduler's runnable count correct across Wait/Signal, so
+// virtual time can advance while goroutines are parked and cannot advance
+// between a Signal and the waiter resuming.
+type Cond struct {
+	S *Scheduler
+	L sync.Locker
+
+	waiters []chan struct{}
+}
+
+// NewCond returns a Cond bound to scheduler s and locker l.
+func NewCond(s *Scheduler, l sync.Locker) *Cond {
+	return &Cond{S: s, L: l}
+}
+
+// Wait atomically unlocks c.L, parks the calling managed goroutine, and
+// re-locks c.L before returning. Like sync.Cond, callers must re-check
+// their predicate in a loop.
+func (c *Cond) Wait() {
+	ch := make(chan struct{})
+	c.waiters = append(c.waiters, ch)
+	c.S.decBusy()
+	c.L.Unlock()
+	<-ch
+	c.L.Lock()
+}
+
+// Signal wakes one parked waiter, if any. The caller must hold c.L.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	ch := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.S.incBusy()
+	close(ch)
+}
+
+// Broadcast wakes all parked waiters. The caller must hold c.L.
+func (c *Cond) Broadcast() {
+	for _, ch := range c.waiters {
+		c.S.incBusy()
+		close(ch)
+	}
+	c.waiters = nil
+}

@@ -1,0 +1,310 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var elapsed time.Duration
+	done := make(chan struct{})
+	s.Go(func() {
+		defer close(done)
+		s.Sleep(15 * time.Second)
+		elapsed = s.Elapsed()
+	})
+	<-done
+	if elapsed != 15*time.Second {
+		t.Fatalf("elapsed = %v, want 15s", elapsed)
+	}
+}
+
+func TestSleepZeroReturnsImmediately(t *testing.T) {
+	s := New()
+	defer s.Stop()
+	done := make(chan struct{})
+	s.Go(func() {
+		defer close(done)
+		s.Sleep(0)
+		s.Sleep(-time.Second)
+	})
+	<-done
+	if got := s.Elapsed(); got != 0 {
+		t.Fatalf("elapsed = %v, want 0", got)
+	}
+}
+
+func TestEventsRunInTimestampOrder(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var mu sync.Mutex
+	var order []int
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		i, d := i, d
+		s.Event(d, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	s.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimestampEventsRunInScheduleOrder(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.Event(time.Millisecond, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	s.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 50 {
+		t.Fatalf("ran %d events, want 50", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestAfterFuncFiresAndMayBlock(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	done := make(chan time.Duration, 1)
+	s.AfterFunc(100*time.Millisecond, func() {
+		// AfterFunc callbacks run managed, so they may Sleep.
+		s.Sleep(50 * time.Millisecond)
+		done <- s.Elapsed()
+	})
+	s.Wait()
+	got := <-done
+	if got != 150*time.Millisecond {
+		t.Fatalf("callback finished at %v, want 150ms", got)
+	}
+}
+
+func TestTimerStopPreventsCallback(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var fired atomic.Bool
+	tm := s.AfterFunc(10*time.Millisecond, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	// Later event to force time past the cancelled one.
+	s.Event(20*time.Millisecond, func() {})
+	s.Wait()
+	if fired.Load() {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestCondSignalWakesWaiterWithoutTimeSkew(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var mu sync.Mutex
+	cond := NewCond(s, &mu)
+	ready := false
+	var wokeAt time.Duration
+
+	done := make(chan struct{})
+	s.Go(func() {
+		defer close(done)
+		mu.Lock()
+		for !ready {
+			cond.Wait()
+		}
+		wokeAt = s.Elapsed()
+		mu.Unlock()
+	})
+	s.Event(250*time.Millisecond, func() {
+		mu.Lock()
+		ready = true
+		cond.Signal()
+		mu.Unlock()
+	})
+	<-done
+	if wokeAt != 250*time.Millisecond {
+		t.Fatalf("waiter woke at %v, want 250ms", wokeAt)
+	}
+}
+
+func TestCondBroadcastWakesAllWaiters(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var mu sync.Mutex
+	cond := NewCond(s, &mu)
+	ready := false
+	var wg sync.WaitGroup
+	var woke atomic.Int32
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		s.Go(func() {
+			defer wg.Done()
+			mu.Lock()
+			for !ready {
+				cond.Wait()
+			}
+			mu.Unlock()
+			woke.Add(1)
+		})
+	}
+	s.Event(time.Millisecond, func() {
+		mu.Lock()
+		ready = true
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	wg.Wait()
+	if woke.Load() != 10 {
+		t.Fatalf("woke %d waiters, want 10", woke.Load())
+	}
+}
+
+func TestParkedGoroutineDoesNotBlockTime(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var mu sync.Mutex
+	cond := NewCond(s, &mu)
+	// A "server" parked forever must not stop the clock.
+	s.Go(func() {
+		mu.Lock()
+		for {
+			cond.Wait()
+		}
+	})
+	done := make(chan struct{})
+	s.Go(func() {
+		defer close(done)
+		s.Sleep(time.Hour)
+	})
+	<-done
+	if got := s.Elapsed(); got != time.Hour {
+		t.Fatalf("elapsed = %v, want 1h", got)
+	}
+}
+
+func TestWaitReturnsOnQuiescence(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var n atomic.Int32
+	for i := 0; i < 20; i++ {
+		d := time.Duration(i) * time.Millisecond
+		s.Event(d, func() { n.Add(1) })
+	}
+	s.Wait()
+	if n.Load() != 20 {
+		t.Fatalf("ran %d events before Wait returned, want 20", n.Load())
+	}
+}
+
+func TestNestedSpawnsComplete(t *testing.T) {
+	s := New()
+	defer s.Stop()
+
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Go(func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			wg.Add(1)
+			s.Go(func() {
+				defer wg.Done()
+				s.Sleep(10 * time.Millisecond)
+				n.Add(1)
+			})
+		}
+		s.Sleep(time.Second)
+	})
+	wg.Wait()
+	if n.Load() != 5 {
+		t.Fatalf("children ran %d, want 5", n.Load())
+	}
+	if got := s.Elapsed(); got != time.Second {
+		t.Fatalf("elapsed = %v, want 1s", got)
+	}
+}
+
+func TestNowTracksEpoch(t *testing.T) {
+	s := New()
+	defer s.Stop()
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now = %v, want %v", s.Now(), Epoch)
+	}
+	done := make(chan struct{})
+	s.Go(func() {
+		defer close(done)
+		s.Sleep(time.Minute)
+	})
+	<-done
+	if want := Epoch.Add(time.Minute); !s.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestManyConcurrentSleepersDeterministic(t *testing.T) {
+	// Stress the busy accounting: many goroutines sleeping interleaved
+	// durations must all observe exact virtual timestamps.
+	s := New()
+	defer s.Stop()
+
+	const n = 100
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		s.Go(func() {
+			defer wg.Done()
+			total := time.Duration(0)
+			for j := 0; j < 5; j++ {
+				d := time.Duration((i+j)%7+1) * time.Millisecond
+				s.Sleep(d)
+				total += d
+			}
+			_ = total
+			errs <- nil
+		})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package scholarcloud is the public API of the ScholarCloud
+// reproduction: the split-proxy system of "Accessing Google Scholar under
+// Extreme Internet Censorship: A Legal Avenue" (Middleware 2017), plus the
+// simulated censored internet its measurement study runs on.
+//
+// Two entry points:
+//
+//   - Simulation wraps the full world of the paper's methodology — a
+//     client inside CERNET, the GFW on the border, Google Scholar and all
+//     five access methods' servers — and exposes the per-figure
+//     measurement runners. See examples/ for end-to-end uses.
+//
+//   - Deployment runs the actual ScholarCloud proxies over real sockets:
+//     a remote proxy outside the censored network and a domestic proxy
+//     users' browsers point their PAC configuration at. cmd/scholarcloud
+//     is the thin CLI over it.
+package scholarcloud
+
+import (
+	"time"
+
+	"scholarcloud/internal/experiments"
+	"scholarcloud/internal/metrics"
+	"scholarcloud/internal/survey"
+)
+
+// Simulation is a censored-internet world with all study infrastructure
+// running.
+type Simulation struct {
+	// World exposes the underlying topology, hosts, GFW, and method
+	// factories for fine-grained use.
+	World *experiments.World
+}
+
+// Options configures a Simulation.
+type Options struct {
+	// Seed drives every stochastic decision; equal seeds reproduce equal
+	// measurements. Zero selects the default (2017).
+	Seed uint64
+	// DisableGFW builds an uncensored world.
+	DisableGFW bool
+	// NoBlinding disables ScholarCloud's message blinding (ablation).
+	NoBlinding bool
+	// SSKeepAlive overrides Shadowsocks' 10s keep-alive (ablation).
+	SSKeepAlive time.Duration
+}
+
+// NewSimulation builds and starts the world. Close it when done.
+func NewSimulation(opts Options) *Simulation {
+	return &Simulation{World: experiments.NewWorld(experiments.Config{
+		Seed:                   opts.Seed,
+		DisableGFW:             opts.DisableGFW,
+		ScholarCloudNoBlinding: opts.NoBlinding,
+		SSKeepAlive:            opts.SSKeepAlive,
+	})}
+}
+
+// Close stops the simulation.
+func (s *Simulation) Close() { s.World.Close() }
+
+// MethodNames lists the access methods under study, in the paper's order.
+func (s *Simulation) MethodNames() []string {
+	fs := s.World.Methods()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Summary is a statistics summary re-exported for API users.
+type Summary = metrics.Summary
+
+// PLT measures first-time and subsequent page load times for the named
+// method (Fig. 5a's datapoints).
+func (s *Simulation) PLT(method string, firstRuns, subsequent int) (first, sub Summary, err error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return Summary{}, Summary{}, err
+	}
+	r, err := s.World.MeasurePLT(f, firstRuns, subsequent)
+	if err != nil {
+		return Summary{}, Summary{}, err
+	}
+	return r.FirstTime, r.Subsequent, nil
+}
+
+// RTT measures tunneled round-trip time (Fig. 5b).
+func (s *Simulation) RTT(method string, probes int) (Summary, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return Summary{}, err
+	}
+	r, err := s.World.MeasureRTT(f, probes)
+	if err != nil {
+		return Summary{}, err
+	}
+	return r.RTT, nil
+}
+
+// PLR measures the packet loss rate over the visit workload (Fig. 5c).
+func (s *Simulation) PLR(method string, visits int) (float64, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return 0, err
+	}
+	r, err := s.World.MeasurePLR(f, visits)
+	if err != nil {
+		return 0, err
+	}
+	return r.PLR, nil
+}
+
+// Traffic measures per-access client bytes (Fig. 6a).
+func (s *Simulation) Traffic(method string, visits int) (float64, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return 0, err
+	}
+	r, err := s.World.MeasureTraffic(f, visits)
+	if err != nil {
+		return 0, err
+	}
+	return r.BytesPerAccess, nil
+}
+
+// Scalability measures mean PLT under n concurrent clients (Fig. 7).
+func (s *Simulation) Scalability(method string, clients, rounds int) (Summary, int, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return Summary{}, 0, err
+	}
+	p, err := s.World.MeasureScalability(f, clients, rounds)
+	if err != nil {
+		return Summary{}, 0, err
+	}
+	return p.PLT, p.Failed, nil
+}
+
+// RotateBlinding switches ScholarCloud's blinding scheme on both proxies
+// (the paper's agility mechanism).
+func (s *Simulation) RotateBlinding(epoch uint64) { s.World.RotateBlinding(epoch) }
+
+func (s *Simulation) factory(method string) (experiments.Factory, error) {
+	if method == "direct-us" {
+		return s.World.DirectBaseline(), nil
+	}
+	for _, f := range s.World.Methods() {
+		if f.Name == method {
+			return f, nil
+		}
+	}
+	return experiments.Factory{}, &UnknownMethodError{Method: method}
+}
+
+// UnknownMethodError reports a method name outside the study's set.
+type UnknownMethodError struct{ Method string }
+
+// Error implements error.
+func (e *UnknownMethodError) Error() string {
+	return "scholarcloud: unknown access method " + e.Method
+}
+
+// SurveyFigure regenerates Fig. 3's survey distribution text.
+func SurveyFigure(seed uint64) string {
+	return survey.FormatFigure3(survey.Generate(survey.Respondents, seed))
+}

@@ -1,0 +1,124 @@
+package scholarcloud
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimulationFacade(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+
+	names := sim.MethodNames()
+	want := []string{"native-vpn", "openvpn", "tor", "shadowsocks", "scholarcloud"}
+	if len(names) != len(want) {
+		t.Fatalf("methods = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("methods = %v, want %v", names, want)
+		}
+	}
+
+	first, sub, err := sim.PLT("scholarcloud", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Mean <= sub.Mean {
+		t.Errorf("first PLT %v not above subsequent %v", first.Mean, sub.Mean)
+	}
+	if sub.Mean <= 0 || sub.Mean > 5 {
+		t.Errorf("subsequent PLT = %v s", sub.Mean)
+	}
+
+	rtt, err := sim.RTT("native-vpn", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt.Mean < 0.1 || rtt.Mean > 0.4 {
+		t.Errorf("VPN RTT = %v s", rtt.Mean)
+	}
+
+	if _, err := sim.PLR("direct-us", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	kb, err := sim.Traffic("scholarcloud", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb < 10*1024 || kb > 40*1024 {
+		t.Errorf("traffic = %v bytes/access", kb)
+	}
+}
+
+func TestSimulationUnknownMethod(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+	_, _, err := sim.PLT("carrier-pigeon", 1, 1)
+	var ue *UnknownMethodError
+	if !errors.As(err, &ue) || ue.Method != "carrier-pigeon" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSimulationScalabilityFacade(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+	plt, failed, err := sim.Scalability("scholarcloud", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("%d failed visits", failed)
+	}
+	if plt.Mean <= 0 {
+		t.Errorf("PLT = %v", plt.Mean)
+	}
+}
+
+func TestSurveyFigure(t *testing.T) {
+	out := SurveyFigure(1)
+	if !strings.Contains(out, "371") || !strings.Contains(out, "Shadowsocks") {
+		t.Errorf("survey figure = %q", out)
+	}
+}
+
+func TestNoBlindingOptionPropagates(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13, NoBlinding: true})
+	defer sim.Close()
+	_, _, err := sim.PLT("scholarcloud", 1, 1)
+	if err == nil {
+		t.Error("unblinded simulation should fail against the keyword filter")
+	}
+}
+
+func TestRotateBlindingFacade(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+	sim.RotateBlinding(4)
+	if _, _, err := sim.PLT("scholarcloud", 1, 1); err != nil {
+		t.Fatalf("post-rotation PLT failed: %v", err)
+	}
+}
+
+func TestSSKeepAliveOption(t *testing.T) {
+	longKA := NewSimulation(Options{Seed: 13, SSKeepAlive: 10 * time.Minute})
+	defer longKA.Close()
+	_, subLong, err := longKA.PLT("shadowsocks", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := NewSimulation(Options{Seed: 13})
+	defer std.Close()
+	_, subStd, err := std.PLT("shadowsocks", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a long keep-alive, subsequent visits skip re-authentication.
+	if subLong.Mean >= subStd.Mean {
+		t.Errorf("long keep-alive PLT %v not below default %v", subLong.Mean, subStd.Mean)
+	}
+}
