@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race bench figures
+
+## check: the full gate — build, vet, and the race-enabled test suite.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: regenerate every figure's benchmark row once.
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .
+
+## figures: regenerate the paper's figures (quick sampling).
+figures:
+	$(GO) run ./cmd/scholarbench

@@ -179,6 +179,36 @@ func BenchmarkFig7Scalability(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetScalability extends Fig. 7 beyond the paper: mean PLT at
+// 120 continuously-browsing clients as the remote-proxy fleet grows. The
+// legacy deployment's lone blinded carrier is the bottleneck at this
+// load, so the fleet rows come in measurably lower.
+func BenchmarkFleetScalability(b *testing.B) {
+	const clients = 120
+	for _, remotes := range []int{0, 2, 4} {
+		remotes := remotes
+		name := "single-remote"
+		if remotes > 0 {
+			name = fmt.Sprintf("fleet-%d", remotes)
+		}
+		b.Run(name, func(b *testing.B) {
+			w := figureWorld(b, experiments.Config{FleetRemotes: remotes})
+			var plt float64
+			for i := 0; i < b.N; i++ {
+				p, err := w.MeasureFleetScalability(clients, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Failed > 0 {
+					b.Fatalf("%d failed page loads", p.Failed)
+				}
+				plt = p.PLT.Mean
+			}
+			b.ReportMetric(plt, "s/PLT")
+		})
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationBlinding compares ScholarCloud with and without

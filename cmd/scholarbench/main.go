@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	scholarbench [-fig 3|4|5a|5b|5c|6a|6bc|7|all] [-seed N] [-full]
+//	scholarbench [-fig 3|4|5a|5b|5c|6a|6bc|7|fleet|all] [-seed N] [-full]
 //
 // -full runs the paper-scale workload (a simulated day per series);
 // the default quick mode samples each series lightly.
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,all")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	full := flag.Bool("full", false, "paper-scale sample counts (slower)")
 	flag.Parse()
@@ -52,6 +52,9 @@ func main() {
 		{"6bc", func() (string, error) { return w.ReportFig6bc(q) }},
 		{"7", func() (string, error) { return w.ReportFig7(q) }},
 		{"ops", func() (string, error) { return w.ReportDeployment(q) }},
+		// The fleet section builds its own worlds (one per pool size), so
+		// the shared world's figures stay untouched by prober traffic.
+		{"fleet", func() (string, error) { return experiments.ReportFleet(*seed, q) }},
 	}
 	for _, s := range sections {
 		if *fig != "all" && *fig != s.name {

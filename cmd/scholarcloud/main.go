@@ -79,7 +79,8 @@ func runDomestic(args []string) {
 	fs := flag.NewFlagSet("domestic", flag.ExitOnError)
 	listen := fs.String("listen", ":8118", "browser-facing proxy address")
 	web := fs.String("web", ":8080", "PAC/whitelist web address")
-	remote := fs.String("remote", "", "remote proxy host:port")
+	remote := fs.String("remote", "", "remote proxy host:port (comma-separate several to run them as a managed fleet)")
+	sessions := fs.Int("sessions", 0, "pre-dialed carrier sessions per fleet remote (0 = default)")
 	secret := fs.String("secret", "", "blinding secret shared with the remote proxy")
 	epoch := fs.Uint64("epoch", 0, "blinding epoch")
 	whitelist := fs.String("whitelist", "scholar.google.com,accounts.google.com",
@@ -90,14 +91,16 @@ func runDomestic(args []string) {
 		fmt.Fprintln(os.Stderr, "domestic: -secret and -remote are required")
 		os.Exit(2)
 	}
+	remotes := strings.Split(*remote, ",")
 	d, err := scholarcloud.StartDomestic(scholarcloud.DomesticConfig{
-		ProxyListen:     *listen,
-		WebListen:       *web,
-		RemoteAddr:      *remote,
-		Secret:          []byte(*secret),
-		Epoch:           *epoch,
-		Whitelist:       strings.Split(*whitelist, ","),
-		PublicProxyAddr: *public,
+		ProxyListen:       *listen,
+		WebListen:         *web,
+		RemoteAddrs:       remotes,
+		SessionsPerRemote: *sessions,
+		Secret:            []byte(*secret),
+		Epoch:             *epoch,
+		Whitelist:         strings.Split(*whitelist, ","),
+		PublicProxyAddr:   *public,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "domestic:", err)

@@ -5,6 +5,7 @@ import (
 	"net"
 
 	"scholarcloud/internal/core"
+	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/netx"
 	"scholarcloud/internal/pac"
@@ -83,6 +84,14 @@ type DomesticConfig struct {
 	WebListen string
 	// RemoteAddr is the remote proxy's "host:port".
 	RemoteAddr string
+	// RemoteAddrs lists multiple remote proxies; when more than one is
+	// given the domestic proxy runs them as a managed fleet (pre-dialed
+	// carrier pools, health probing, load balancing, takedown rotation).
+	// Takes precedence over RemoteAddr.
+	RemoteAddrs []string
+	// SessionsPerRemote sizes each fleet remote's pre-dialed carrier pool
+	// (zero selects the fleet default).
+	SessionsPerRemote int
 	// Secret/Epoch must match the remote proxy.
 	Secret []byte
 	Epoch  uint64
@@ -97,6 +106,7 @@ type DomesticConfig struct {
 // DomesticProxy is a running domestic proxy.
 type DomesticProxy struct {
 	domestic *core.Domestic
+	pool     *fleet.Pool
 	proxy    *httpsim.Proxy
 	proxyLn  net.Listener
 	webLn    net.Listener
@@ -119,8 +129,20 @@ func (d *DomesticProxy) SetWhitelist(domains []string) { d.policy.SetDomains(dom
 // Rotate switches the blinding epoch (coordinate with the remote).
 func (d *DomesticProxy) Rotate(epoch uint64) { d.domestic.Rotate(epoch) }
 
+// FleetStats snapshots the remote pool, or a zero value when the proxy
+// runs the single-remote path.
+func (d *DomesticProxy) FleetStats() fleet.Stats {
+	if d.pool == nil {
+		return fleet.Stats{}
+	}
+	return d.pool.Stats()
+}
+
 // Close shuts the proxy down.
 func (d *DomesticProxy) Close() {
+	if d.pool != nil {
+		d.pool.Close()
+	}
 	d.proxy.Close()
 	d.proxyLn.Close()
 	d.webLn.Close()
@@ -148,12 +170,43 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 		// remote's certificate.
 		RemoteName: "remote.scholarcloud.example",
 	}
+	var pool *fleet.Pool
+	if len(cfg.RemoteAddrs) > 1 {
+		var eps []fleet.Endpoint
+		for _, addr := range cfg.RemoteAddrs {
+			addr := addr
+			eps = append(eps, fleet.Endpoint{
+				Name: addr,
+				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			})
+		}
+		var err error
+		pool, err = fleet.New(fleet.Config{
+			Env:               env,
+			NewSession:        domestic.WrapCarrier,
+			SessionsPerRemote: cfg.SessionsPerRemote,
+		}, eps)
+		if err != nil {
+			return nil, err
+		}
+		domestic.Fleet = pool
+	} else if len(cfg.RemoteAddrs) == 1 {
+		addr := cfg.RemoteAddrs[0]
+		domestic.DialRemote = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+
 	proxyLn, err := net.Listen("tcp", cfg.ProxyListen)
 	if err != nil {
+		if pool != nil {
+			pool.Close()
+		}
 		return nil, err
 	}
 	webLn, err := net.Listen("tcp", cfg.WebListen)
 	if err != nil {
+		if pool != nil {
+			pool.Close()
+		}
 		proxyLn.Close()
 		return nil, err
 	}
@@ -163,6 +216,7 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	go webSrv.Serve(webLn)
 	return &DomesticProxy{
 		domestic: domestic,
+		pool:     pool,
 		proxy:    proxy,
 		proxyLn:  proxyLn,
 		webLn:    webLn,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/netsim"
 	"scholarcloud/internal/netx"
@@ -389,5 +391,147 @@ func TestFailoverToStandbyRemote(t *testing.T) {
 	})
 	if standby.Stats().StreamsOpened == 0 {
 		t.Error("standby remote never served a stream")
+	}
+	if st := w.dom.Stats(); st.Endpoint != "fallback-1" || st.FallbackDials != 1 {
+		t.Errorf("stats = %+v, want endpoint fallback-1 with 1 fallback dial", st)
+	}
+}
+
+func TestAllDialsFailReturnsTypedError(t *testing.T) {
+	w := newCoreWorld(t)
+	w.dom.DialRemote = func() (net.Conn, error) { return nil, fmt.Errorf("primary unreachable") }
+	w.dom.Fallbacks = []func() (net.Conn, error){
+		func() (net.Conn, error) { return nil, fmt.Errorf("standby 1 unreachable") },
+		func() (net.Conn, error) { return nil, fmt.Errorf("standby 2 unreachable") },
+	}
+	w.dom.Rotate(0) // drop the cached carrier so the next stream re-dials
+
+	_, err := w.dom.openSecure("203.0.113.10:7")
+	if !errors.Is(err, ErrAllRemotesDown) {
+		t.Errorf("err = %v, want ErrAllRemotesDown", err)
+	}
+}
+
+func TestDeadCachedSessionRedials(t *testing.T) {
+	w := newCoreWorld(t)
+	w.run(t, func() error {
+		conn, err := w.client.DialTCP("101.6.6.6:8118")
+		if err != nil {
+			return err
+		}
+		if err := connectThrough(conn, "203.0.113.10:7"); err != nil {
+			return err
+		}
+		conn.Close()
+
+		// The carrier dies underneath the proxy (remote restart, censor
+		// reset) without anyone calling Rotate.
+		w.dom.mu.Lock()
+		sess := w.dom.sess
+		w.dom.mu.Unlock()
+		if sess == nil {
+			return fmt.Errorf("no cached session after first request")
+		}
+		sess.Close()
+
+		// The next request must notice the dead session and re-dial.
+		conn2, err := w.client.DialTCP("101.6.6.6:8118")
+		if err != nil {
+			return err
+		}
+		defer conn2.Close()
+		if err := connectThrough(conn2, "203.0.113.10:7"); err != nil {
+			return fmt.Errorf("proxy stuck on dead cached session: %w", err)
+		}
+		msg := []byte("re-dialed")
+		conn2.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn2, got); err != nil {
+			return err
+		}
+		return nil
+	})
+	if st := w.dom.Stats(); st.Endpoint != "primary" {
+		t.Errorf("endpoint = %q, want primary", st.Endpoint)
+	}
+}
+
+func TestFleetDialPathThroughDomestic(t *testing.T) {
+	w := newCoreWorld(t)
+	// Second remote, same identity, on another host.
+	standbyHost := w.n.AddHost("standby", "198.51.100.8", w.usZone, netsim.LinkConfig{Delay: 2 * time.Millisecond})
+	id, err := w.ca.Issue("remote.scholarcloud.example", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standby := &Remote{
+		Env: w.env,
+		DialHost: func(host string, port int) (net.Conn, error) {
+			return standbyHost.DialTCP(fmt.Sprintf("%s:%d", host, port))
+		},
+		Secret:   []byte("tunnel-secret"),
+		Identity: id,
+	}
+	sln, err := standbyHost.Listen("tcp", ":8443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.n.Scheduler().Go(func() { standby.Serve(sln) })
+
+	pool, err := fleet.New(fleet.Config{
+		Env:           w.env,
+		NewSession:    w.dom.WrapCarrier,
+		ProbeInterval: 500 * time.Millisecond,
+		Seed:          7,
+	}, []fleet.Endpoint{
+		{Name: "198.51.100.7:8443", Dial: func() (net.Conn, error) { return w.domestic.DialTCP("198.51.100.7:8443") }},
+		{Name: "198.51.100.8:8443", Dial: func() (net.Conn, error) { return w.domestic.DialTCP("198.51.100.8:8443") }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	w.dom.Fleet = pool
+
+	visit := func() error {
+		conn, err := w.client.DialTCP("101.6.6.6:8118")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := connectThrough(conn, "203.0.113.10:7"); err != nil {
+			return err
+		}
+		msg := []byte("via the fleet")
+		conn.Write(msg)
+		got := make([]byte, len(msg))
+		_, err = io.ReadFull(conn, got)
+		return err
+	}
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second) // let the pool warm
+		for i := 0; i < 6; i++ {
+			if err := visit(); err != nil {
+				return err
+			}
+		}
+		// Takedown of one remote: requests keep flowing through the other.
+		w.remote.Close()
+		pool.MarkDown("198.51.100.7:8443", "takedown")
+		for i := 0; i < 6; i++ {
+			if err := visit(); err != nil {
+				return fmt.Errorf("visit %d after takedown: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if st := w.dom.Stats(); st.Endpoint != "fleet" {
+		t.Errorf("endpoint = %q, want fleet", st.Endpoint)
+	}
+	if standby.Stats().StreamsOpened < 6 {
+		t.Errorf("standby served %d streams, want >= 6", standby.Stats().StreamsOpened)
+	}
+	if pool.Stats().Rotations != 1 {
+		t.Errorf("rotations = %d, want 1", pool.Stats().Rotations)
 	}
 }

@@ -1,17 +1,24 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/mux"
 	"scholarcloud/internal/netx"
 	"scholarcloud/internal/pac"
 	"scholarcloud/internal/tlssim"
 )
+
+// ErrAllRemotesDown reports that no remote proxy — primary, fallback, or
+// fleet endpoint — could carry a stream.
+var ErrAllRemotesDown = errors.New("core: all remote proxies are down")
 
 // Domestic is the proxy inside the censored network: the single endpoint
 // users' browsers talk to. It serves the PAC file, enforces the visible
@@ -22,10 +29,17 @@ type Domestic struct {
 	// DialRemote opens a raw connection to the remote proxy across the
 	// border.
 	DialRemote func() (net.Conn, error)
-	// Fallbacks are tried in order when DialRemote fails — ScholarCloud
-	// operators can run standby remote VMs and survive a takedown or
-	// outage of the primary without user-visible reconfiguration.
+	// Fallbacks are tried in order when DialRemote fails.
+	//
+	// Deprecated: this reproduces the paper's manual-standby deployment (a
+	// linear dial-time scan that only notices a dead primary when a dial
+	// fails outright). New deployments should set Fleet instead, which adds
+	// health probing, load balancing, and takedown-aware rotation.
 	Fallbacks []func() (net.Conn, error)
+	// Fleet, if set, replaces the single cached tunnel with a managed pool
+	// of remote endpoints (see internal/fleet). DialRemote and Fallbacks
+	// are ignored for tunnel traffic when Fleet is non-nil.
+	Fleet *fleet.Pool
 	// Secret and Epoch must match the remote proxy's blinding
 	// configuration.
 	Secret []byte
@@ -44,21 +58,35 @@ type Domestic struct {
 
 	mu       sync.Mutex
 	sess     *mux.Session
-	requests int64
-	refused  int64
+	endpoint string
+
+	requests      metrics.Counter
+	refused       metrics.Counter
+	fallbackDials metrics.Counter
 }
 
 // DomesticStats counts proxy activity.
 type DomesticStats struct {
 	Requests int64
 	Refused  int64
+	// Endpoint labels the carrier the current tunnel was dialed through:
+	// "primary", "fallback-N" (1-based), or "fleet".
+	Endpoint string
+	// FallbackDials counts carrier dials that landed on a fallback.
+	FallbackDials int64
 }
 
 // Stats returns a snapshot of the domestic proxy's counters.
 func (d *Domestic) Stats() DomesticStats {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return DomesticStats{Requests: d.requests, Refused: d.refused}
+	endpoint := d.endpoint
+	d.mu.Unlock()
+	return DomesticStats{
+		Requests:      d.requests.Value(),
+		Refused:       d.refused.Value(),
+		Endpoint:      endpoint,
+		FallbackDials: d.fallbackDials.Value(),
+	}
 }
 
 // Rotate switches the blinding epoch: the current tunnel is torn down
@@ -66,58 +94,98 @@ func (d *Domestic) Stats() DomesticStats {
 // be rotated to the same epoch (the operator controls both ends, §3).
 func (d *Domestic) Rotate(epoch uint64) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.Epoch = epoch
 	if d.sess != nil {
 		d.sess.Close()
 		d.sess = nil
 	}
+	pool := d.Fleet
+	d.mu.Unlock()
+	if pool != nil {
+		// Old-epoch carriers cannot outlive their scheme: recycle the
+		// fleet's pre-dialed sessions so they re-wrap under the new one.
+		pool.Recycle()
+	}
+}
+
+// WrapCarrier wraps a raw carrier connection in the current epoch's
+// blinded mux session — the fleet.Config.NewSession hook for pools that
+// tunnel on this proxy's behalf.
+func (d *Domestic) WrapCarrier(raw net.Conn) *mux.Session {
+	d.mu.Lock()
+	scheme := d.SchemeOverride
+	epoch := d.Epoch
+	d.mu.Unlock()
+	if scheme == nil {
+		scheme = blinding.SchemeForEpoch(d.Secret, epoch)
+	}
+	return mux.NewSession(blinding.WrapConn(raw, scheme), d.Env, nil)
 }
 
 // session returns the live tunnel session, dialing a fresh blinded
-// carrier if needed.
+// carrier if needed. Used on the legacy single-remote path (Fleet nil).
 func (d *Domestic) session() (*mux.Session, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.sess != nil && d.sess.Err() == nil {
 		return d.sess, nil
 	}
+	endpoint := "primary"
 	raw, err := d.DialRemote()
 	if err != nil {
-		for _, dial := range d.Fallbacks {
+		for i, dial := range d.Fallbacks {
 			if raw, err = dial(); err == nil {
+				endpoint = fmt.Sprintf("fallback-%d", i+1)
+				d.fallbackDials.Inc()
 				break
 			}
 		}
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: dial remote proxy: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrAllRemotesDown, err)
 	}
 	scheme := d.SchemeOverride
 	if scheme == nil {
 		scheme = blinding.SchemeForEpoch(d.Secret, d.Epoch)
 	}
 	d.sess = mux.NewSession(blinding.WrapConn(raw, scheme), d.Env, nil)
+	d.endpoint = endpoint
 	return d.sess, nil
 }
 
-// openSecure opens an HTTPS-passthrough stream to host:port.
-func (d *Domestic) openSecure(target string) (net.Conn, error) {
+// openStream opens a tunnel stream carrying meta, via the fleet pool
+// when one is configured, else via the cached single session.
+func (d *Domestic) openStream(meta []byte) (net.Conn, error) {
+	if pool := d.Fleet; pool != nil {
+		st, err := pool.Open(meta)
+		if err != nil {
+			var down *fleet.DownError
+			if errors.As(err, &down) {
+				return nil, fmt.Errorf("%w: %v", ErrAllRemotesDown, down.Last)
+			}
+			return nil, err
+		}
+		d.mu.Lock()
+		d.endpoint = "fleet"
+		d.mu.Unlock()
+		return st, nil
+	}
 	sess, err := d.session()
 	if err != nil {
 		return nil, err
 	}
-	return sess.Open([]byte(metaSecure + target))
+	return sess.Open(meta)
+}
+
+// openSecure opens an HTTPS-passthrough stream to host:port.
+func (d *Domestic) openSecure(target string) (net.Conn, error) {
+	return d.openStream([]byte(metaSecure + target))
 }
 
 // openPlain opens a cleartext-HTTP stream to host:port, wrapped in the
 // proxy-to-proxy encrypted channel.
 func (d *Domestic) openPlain(target string) (net.Conn, error) {
-	sess, err := d.session()
-	if err != nil {
-		return nil, err
-	}
-	st, err := sess.Open([]byte(metaPlain + target))
+	st, err := d.openStream([]byte(metaPlain + target))
 	if err != nil {
 		return nil, err
 	}
@@ -134,15 +202,11 @@ func (d *Domestic) openPlain(target string) (net.Conn, error) {
 
 // authorize implements the whitelist check.
 func (d *Domestic) authorize(host string) error {
-	d.mu.Lock()
-	d.requests++
-	d.mu.Unlock()
+	d.requests.Inc()
 	if d.Whitelist.Match(host) {
 		return nil
 	}
-	d.mu.Lock()
-	d.refused++
-	d.mu.Unlock()
+	d.refused.Inc()
 	return fmt.Errorf("core: %s is not on the whitelist", host)
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/mux"
 	"scholarcloud/internal/netx"
 	"scholarcloud/internal/pki"
@@ -58,10 +59,11 @@ type Remote struct {
 	// use blinding.Identity to disable blinding entirely).
 	SchemeOverride blinding.Scheme
 
-	mu     sync.Mutex
-	lns    []net.Listener
-	opens  int64
-	denies int64
+	mu    sync.Mutex
+	lns   []net.Listener
+	sess  []*mux.Session
+	opens metrics.Counter
+	dens  metrics.Counter
 }
 
 // RemoteStats counts tunnel activity.
@@ -72,9 +74,7 @@ type RemoteStats struct {
 
 // Stats returns a snapshot of the remote proxy's counters.
 func (r *Remote) Stats() RemoteStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return RemoteStats{StreamsOpened: r.opens, StreamsDenied: r.denies}
+	return RemoteStats{StreamsOpened: r.opens.Value(), StreamsDenied: r.dens.Value()}
 }
 
 // SetEpoch rotates the blinding scheme for subsequently accepted tunnels.
@@ -106,18 +106,35 @@ func (r *Remote) Serve(ln net.Listener) {
 			return
 		}
 		blinded := blinding.WrapConn(conn, r.scheme())
-		mux.NewSession(blinded, r.Env, r.acceptStream)
+		sess := mux.NewSession(blinded, r.Env, r.acceptStream)
+		r.mu.Lock()
+		// Prune dead carriers so the list tracks live peers only.
+		live := r.sess[:0]
+		for _, s := range r.sess {
+			if s.Err() == nil {
+				live = append(live, s)
+			}
+		}
+		r.sess = append(live, sess)
+		r.mu.Unlock()
 	}
 }
 
-// Close shuts down the remote proxy's listeners.
+// Close shuts down the remote proxy: listeners and every live carrier
+// session. Killing the carriers matters for takedown modeling — a seized
+// VM does not keep serving established tunnels.
 func (r *Remote) Close() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, ln := range r.lns {
+	lns := r.lns
+	sessions := r.sess
+	r.lns, r.sess = nil, nil
+	r.mu.Unlock()
+	for _, ln := range lns {
 		ln.Close()
 	}
-	r.lns = nil
+	for _, s := range sessions {
+		s.Close()
+	}
 }
 
 // acceptStream handles one tunneled stream open.
@@ -126,28 +143,20 @@ func (r *Remote) acceptStream(meta []byte) (net.Conn, error) {
 	secure := strings.HasPrefix(m, metaSecure)
 	plain := strings.HasPrefix(m, metaPlain)
 	if !secure && !plain {
-		r.mu.Lock()
-		r.denies++
-		r.mu.Unlock()
+		r.dens.Inc()
 		return nil, fmt.Errorf("core: bad stream metadata")
 	}
 	host, port, err := splitHostPort(m[2:])
 	if err != nil {
-		r.mu.Lock()
-		r.denies++
-		r.mu.Unlock()
+		r.dens.Inc()
 		return nil, err
 	}
 	origin, err := r.DialHost(host, port)
 	if err != nil {
-		r.mu.Lock()
-		r.denies++
-		r.mu.Unlock()
+		r.dens.Inc()
 		return nil, err
 	}
-	r.mu.Lock()
-	r.opens++
-	r.mu.Unlock()
+	r.opens.Inc()
 
 	if secure {
 		// HTTPS passthrough: the browser's TLS rides the blinded tunnel

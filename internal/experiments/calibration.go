@@ -135,6 +135,21 @@ const (
 	portProxy    = 8118
 	portPACWeb   = 8080
 	portEcho     = 7
+
+	// fleetRemoteIPBase prefixes the extra fleet remotes: remote i lives
+	// at fleetRemoteIPBase+(70+i), e.g. 198.51.100.71 for i=1.
+	fleetRemoteIPBase = "198.51.100."
+)
+
+// Fleet control-plane cadence (Config.FleetRemotes > 0). Probes ride the
+// existing carriers, so a tight cadence costs one tiny frame exchange;
+// the numbers bound how long a silent takedown can go unnoticed:
+// detection takes at most 2 probe rounds (EjectAfter is the fleet
+// default of 2), i.e. ~2*fleetProbeInterval.
+const (
+	fleetProbeInterval  = 2 * time.Second
+	fleetProbeTimeout   = 1 * time.Second
+	fleetReadmitBackoff = 15 * time.Second
 )
 
 // accessLink returns the standard access-link configuration.

@@ -323,6 +323,13 @@ type ScalabilityPoint struct {
 // visits at the 60-second cadence with staggered start offsets, and
 // reports the mean PLT across all visits.
 func (w *World) MeasureScalability(f Factory, n, rounds int) (*ScalabilityPoint, error) {
+	return w.measureScalabilityAt(f, n, rounds, visitInterval)
+}
+
+// measureScalabilityAt is MeasureScalability with a configurable visit
+// cadence; the fleet experiment uses a continuous-browsing cadence to
+// expose remote-side capacity that Fig. 7's 60 s think time hides.
+func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Duration) (*ScalabilityPoint, error) {
 	point := &ScalabilityPoint{Method: f.Name, Clients: n}
 	type result struct {
 		plt    time.Duration
@@ -349,13 +356,13 @@ func (w *World) MeasureScalability(f Factory, n, rounds int) (*ScalabilityPoint,
 				}
 				browser := httpsim.NewBrowser(method, w.Env.Clock)
 				// Stagger arrivals uniformly across the interval.
-				w.Env.Clock.Sleep(time.Duration(i) * visitInterval / time.Duration(n))
+				w.Env.Clock.Sleep(time.Duration(i) * cadence / time.Duration(n))
 				for r := 0; r < rounds; r++ {
 					st := browser.Visit(f.URL)
 					mu.Lock()
 					results = append(results, result{plt: st.PLT, failed: st.Failed})
 					mu.Unlock()
-					sleep := visitInterval - st.PLT
+					sleep := cadence - st.PLT
 					if sleep > 0 {
 						w.Env.Clock.Sleep(sleep)
 					}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFleetWorldServesScholar(t *testing.T) {
+	w := newTestWorld(t, Config{FleetRemotes: 2})
+	st := visitOnce(t, w, w.ScholarCloud(w.Client), scholarURL)
+	if st.Failed {
+		t.Fatalf("fleet-backed ScholarCloud visit failed: %v", st.Err)
+	}
+	if ep := w.Domestic.Stats().Endpoint; ep != "fleet" {
+		t.Errorf("domestic endpoint = %q, want fleet", ep)
+	}
+	fs := w.Fleet.Stats()
+	if len(fs.Endpoints) != 2 || fs.Healthy() != 2 {
+		t.Errorf("fleet stats = %+v", fs)
+	}
+}
+
+func TestFleetRotationKeepsWorking(t *testing.T) {
+	w := newTestWorld(t, Config{FleetRemotes: 2})
+	m := w.ScholarCloud(w.Client)
+	if st := visitOnce(t, w, m, scholarURL); st.Failed {
+		t.Fatalf("visit before rotation failed: %v", st.Err)
+	}
+	w.RotateBlinding(9)
+	if st := visitOnce(t, w, m, scholarURL); st.Failed {
+		t.Fatalf("visit after rotation failed: %v", st.Err)
+	}
+}
+
+func TestFleetTakedownUnderLoad(t *testing.T) {
+	w := newTestWorld(t, Config{FleetRemotes: 2})
+	res, err := w.MeasureFleetTakedown(6, 3, 0, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VisitsAfter == 0 {
+		t.Fatalf("no visits observed after the ejection window: %+v", res)
+	}
+	if res.FailedAfter != 0 {
+		t.Errorf("%d/%d visits failed after the ejection window", res.FailedAfter, res.VisitsAfter)
+	}
+	if st := w.Fleet.Stats(); st.Endpoints[0].Healthy {
+		t.Error("seized remote still marked healthy after the sweep")
+	}
+}
+
+func TestFleetTakedownRequiresFleet(t *testing.T) {
+	w := newTestWorld(t, Config{})
+	if _, err := w.MeasureFleetTakedown(1, 1, 0, time.Second); err == nil {
+		t.Fatal("takedown measurement ran without a fleet")
+	}
+}
+
+func TestEnforcementBlockMarksFleetEndpointsDown(t *testing.T) {
+	w := newTestWorld(t, Config{FleetRemotes: 2})
+	reg, ok := w.Registry.Lookup(ipDomestic)
+	if !ok {
+		t.Fatal("ScholarCloud is not registered")
+	}
+	err := w.Run(func() error {
+		// A revocation blocks every registered endpoint IP; the OnBlock
+		// chain must rotate the fleet off them immediately.
+		return w.Enforcement.Revoke(reg.ICPNumber, "policy change")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Fleet.Stats().Healthy(); n != 0 {
+		t.Errorf("%d fleet endpoints still healthy after revocation", n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/gfw"
 	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/netsim"
@@ -40,6 +41,16 @@ type Config struct {
 	// DisableServerCosts zeroes the per-request server CPU model (used
 	// by unit tests that only care about protocol correctness).
 	DisableServerCosts bool
+	// FleetRemotes, when > 0, runs ScholarCloud's domestic proxy against a
+	// fleet of that many remote proxies managed by internal/fleet (health
+	// probing, load balancing, takedown-aware rotation). Zero keeps the
+	// paper's single-remote deployment — and, because the fleet's probe
+	// traffic perturbs the per-packet RNG, the default figures'
+	// determinism.
+	FleetRemotes int
+	// FleetSessionsPerRemote sizes each remote's pre-dialed carrier pool
+	// (zero selects the fleet package default).
+	FleetSessionsPerRemote int
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -74,6 +85,13 @@ type World struct {
 	Remote    *core.Remote
 	Domestic  *core.Domestic
 	Whitelist *pac.Config
+
+	// Fleet is the remote-proxy pool when Cfg.FleetRemotes > 0 (nil
+	// otherwise). FleetRemoteProxies holds the extra remotes beyond the
+	// primary, indexed 1..FleetRemotes-1 by their takedown index.
+	Fleet              *fleet.Pool
+	FleetRemoteProxies []*core.Remote
+	fleetNameByIP      map[string]string
 
 	// Registry models the non-technical agencies; ScholarCloud is
 	// registered at world construction (instantly — the weeks-long
@@ -529,6 +547,91 @@ func (w *World) startScholarCloud() {
 	}
 	pacSrv := &httpsim.Server{Handler: w.Domestic.PACHandler(), Spawn: w.Env.Spawn}
 	w.Env.Spawn.Go(func() { pacSrv.Serve(lnPAC) })
+
+	if w.Cfg.FleetRemotes > 0 {
+		w.startFleet()
+	}
+}
+
+// startFleet stands up the extra remote proxies and hands the domestic
+// proxy a managed pool over all of them (endpoint 0 is the primary
+// remote already started by startScholarCloud).
+func (w *World) startFleet() {
+	w.fleetNameByIP = make(map[string]string)
+	primary := fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote)
+	w.fleetNameByIP[ipSCRemote] = primary
+	eps := []fleet.Endpoint{{
+		Name: primary,
+		Dial: func() (net.Conn, error) { return w.SCDomestic.DialTCP(primary) },
+	}}
+
+	for i := 1; i < w.Cfg.FleetRemotes; i++ {
+		ip := fmt.Sprintf("%s%d", fleetRemoteIPBase, 70+i)
+		addr := fmt.Sprintf("%s:%d", ip, portSCRemote)
+		host := w.Net.AddHost(fmt.Sprintf("sc-remote-%d", i), ip, w.US, accessLink())
+		dial := w.dialHostFrom(host)
+		cost := w.compute(host, scStreamCost)
+		r := &core.Remote{
+			Env: w.Env,
+			DialHost: func(h string, p int) (net.Conn, error) {
+				cost()
+				return dial(h, p)
+			},
+			Secret:   w.scSecret,
+			Epoch:    w.Cfg.BlindingEpoch,
+			Identity: w.serverIDs["remote.scholarcloud.example"],
+		}
+		if w.Cfg.ScholarCloudNoBlinding {
+			r.SchemeOverride = blinding.Identity{}
+		}
+		ln, err := host.Listen("tcp", fmt.Sprintf(":%d", portSCRemote))
+		if err != nil {
+			panic(err)
+		}
+		w.Env.Spawn.Go(func() { r.Serve(ln) })
+		w.FleetRemoteProxies = append(w.FleetRemoteProxies, r)
+		w.fleetNameByIP[ip] = addr
+		eps = append(eps, fleet.Endpoint{
+			Name: addr,
+			Dial: func() (net.Conn, error) { return w.SCDomestic.DialTCP(addr) },
+		})
+	}
+
+	pool, err := fleet.New(fleet.Config{
+		Env:               w.Env,
+		NewSession:        w.Domestic.WrapCarrier,
+		SessionsPerRemote: w.Cfg.FleetSessionsPerRemote,
+		ProbeInterval:     fleetProbeInterval,
+		ProbeTimeout:      fleetProbeTimeout,
+		ReadmitBackoff:    fleetReadmitBackoff,
+		Seed:              w.Cfg.Seed ^ 0xF1EE7,
+	}, eps)
+	if err != nil {
+		panic(err)
+	}
+	w.Fleet = pool
+	w.Domestic.Fleet = pool
+}
+
+// FleetRemoteAddr returns fleet endpoint i's name ("ip:port").
+func (w *World) FleetRemoteAddr(i int) string {
+	if i == 0 {
+		return fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote)
+	}
+	return fmt.Sprintf("%s%d:%d", fleetRemoteIPBase, 70+i, portSCRemote)
+}
+
+// TakedownFleetRemote models a physical seizure of fleet remote i: the
+// listener and every established carrier die, and nothing notifies the
+// domestic proxy — the pool's prober has to notice on its own. (The
+// notified path — registry takedown or observed IP block — goes through
+// Enforcement, which calls Fleet.MarkDown.)
+func (w *World) TakedownFleetRemote(i int) {
+	if i == 0 {
+		w.Remote.Close()
+		return
+	}
+	w.FleetRemoteProxies[i-1].Close()
 }
 
 // registerScholarCloud records the service in the MIIT database — the
@@ -536,8 +639,22 @@ func (w *World) startScholarCloud() {
 func (w *World) registerScholarCloud() {
 	w.Registry = registry.NewDatabase()
 	w.Enforcement = registry.NewEnforcement(w.Registry, w.Env.Clock, 24*time.Hour)
-	if w.GFW != nil {
-		w.Enforcement.OnBlock(w.GFW.BlockIP)
+	w.Enforcement.OnBlock(func(ip string) {
+		if w.GFW != nil {
+			w.GFW.BlockIP(ip)
+		}
+		// An enforcement block against a fleet remote rotates traffic off
+		// it immediately instead of leaving the pool to discover 15-second
+		// blackhole hangs.
+		if w.Fleet != nil {
+			if name, ok := w.fleetNameByIP[ip]; ok {
+				w.Fleet.MarkDown(name, "enforcement block of "+ip)
+			}
+		}
+	})
+	endpointIPs := []string{ipDomestic, ipSCRemote}
+	for i := 1; i < w.Cfg.FleetRemotes; i++ {
+		endpointIPs = append(endpointIPs, fmt.Sprintf("%s%d", fleetRemoteIPBase, 70+i))
 	}
 	tca := registry.NewTCA("Beijing", w.Registry, w.Env.Clock, 0 /* verified before the study window */)
 	pending, err := tca.Submit(registry.Application{
@@ -547,7 +664,7 @@ func (w *World) registerScholarCloud() {
 		ResponsiblePerson: "legal representative",
 		Documents:         []string{registry.DocBiometric, registry.DocServiceDoc, registry.DocUserGuide},
 		Whitelist:         w.Whitelist.Domains(),
-		EndpointIPs:       []string{ipDomestic, ipSCRemote},
+		EndpointIPs:       endpointIPs,
 	})
 	if err != nil {
 		panic(err)
@@ -561,9 +678,13 @@ func (w *World) registerScholarCloud() {
 }
 
 // RotateBlinding rotates ScholarCloud's blinding scheme on both proxies —
-// the paper's agility claim.
+// the paper's agility claim. With a fleet, every remote rotates and the
+// pool's pre-dialed carriers are recycled under the new scheme.
 func (w *World) RotateBlinding(epoch uint64) {
 	w.Remote.SetEpoch(epoch)
+	for _, r := range w.FleetRemoteProxies {
+		r.SetEpoch(epoch)
+	}
 	w.Domestic.Rotate(epoch)
 }
 

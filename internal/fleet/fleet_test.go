@@ -1,0 +1,502 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/mux"
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/netx"
+)
+
+// testRemote is a minimal tunnel endpoint: it accepts carrier conns,
+// wraps each in a mux session whose acceptor dials the echo origin, and
+// remembers enough to be killed and restarted mid-test.
+type testRemote struct {
+	w    *fleetWorld
+	host *netsim.Host
+	addr string
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    []net.Conn
+	sessions []*mux.Session
+	accepted int
+}
+
+func (r *testRemote) serve(t *testing.T) {
+	ln, err := r.host.Listen("tcp", ":8443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	r.ln = ln
+	r.mu.Unlock()
+	r.w.n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			sess := mux.NewSession(conn, r.w.env, func(meta []byte) (net.Conn, error) {
+				if string(meta) == "reject" {
+					return nil, fmt.Errorf("refused by policy")
+				}
+				return r.host.DialTCP(string(meta))
+			})
+			r.mu.Lock()
+			r.accepted++
+			r.conns = append(r.conns, conn)
+			r.sessions = append(r.sessions, sess)
+			r.mu.Unlock()
+		}
+	})
+}
+
+// kill closes the listener and every live carrier — a seized VM.
+func (r *testRemote) kill() {
+	r.mu.Lock()
+	ln := r.ln
+	sessions := r.sessions
+	conns := r.conns
+	r.ln, r.sessions, r.conns = nil, nil, nil
+	r.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (r *testRemote) carriersAccepted() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.accepted
+}
+
+type fleetWorld struct {
+	n        *netsim.Network
+	env      netx.Env
+	domestic *netsim.Host
+	origin   *netsim.Host
+	remotes  []*testRemote
+}
+
+func newFleetWorld(t *testing.T, numRemotes int) *fleetWorld {
+	t.Helper()
+	n := netsim.New(17)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 70 * time.Millisecond})
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+	w := &fleetWorld{
+		n:        n,
+		env:      n.Env(),
+		domestic: n.AddHost("domestic", "101.6.6.6", cn, acc),
+		origin:   n.AddHost("origin", "203.0.113.10", us, acc),
+	}
+
+	eln, err := w.origin.Listen("tcp", ":7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := eln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() { defer conn.Close(); io.Copy(conn, conn) })
+		}
+	})
+
+	for i := 0; i < numRemotes; i++ {
+		ip := fmt.Sprintf("198.51.100.%d", 70+i)
+		r := &testRemote{
+			w:    w,
+			host: n.AddHost(fmt.Sprintf("remote%d", i), ip, us, acc),
+			addr: ip + ":8443",
+		}
+		r.serve(t)
+		w.remotes = append(w.remotes, r)
+	}
+	return w
+}
+
+func (w *fleetWorld) endpoint(i int) Endpoint {
+	addr := w.remotes[i].addr
+	return Endpoint{
+		Name: addr,
+		Dial: func() (net.Conn, error) { return w.domestic.DialTCP(addr) },
+	}
+}
+
+func (w *fleetWorld) endpoints(n int) []Endpoint {
+	var eps []Endpoint
+	for i := 0; i < n; i++ {
+		eps = append(eps, w.endpoint(i))
+	}
+	return eps
+}
+
+func (w *fleetWorld) config() Config {
+	return Config{
+		Env:            w.env,
+		NewSession:     func(raw net.Conn) *mux.Session { return mux.NewSession(raw, w.env, nil) },
+		ProbeInterval:  200 * time.Millisecond,
+		ProbeTimeout:   500 * time.Millisecond,
+		ReadmitBackoff: 300 * time.Millisecond,
+		Seed:           17,
+	}
+}
+
+func (w *fleetWorld) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	w.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+// echoOnce opens a stream through the pool and round-trips one message.
+func echoOnce(p *Pool, msg string) error {
+	st, err := p.Open([]byte("203.0.113.10:7"))
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if _, err := st.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(st, buf); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf, []byte(msg)) {
+		return fmt.Errorf("echo = %q, want %q", buf, msg)
+	}
+	return nil
+}
+
+func TestOpenEchoesThroughPool(t *testing.T) {
+	w := newFleetWorld(t, 1)
+	p, err := New(w.config(), w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error { return echoOnce(p, "through the fleet") })
+	st := p.Stats()
+	if st.Picks != 1 || len(st.Endpoints) != 1 || st.Endpoints[0].StreamsOpened != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStreamsSpreadAcrossCarrierPool(t *testing.T) {
+	w := newFleetWorld(t, 1)
+	cfg := w.config()
+	cfg.SessionsPerRemote = 2
+	p, err := New(cfg, w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		// Let warm() pre-dial both carriers, then hold 4 streams open.
+		w.env.Clock.Sleep(time.Second)
+		var streams []net.Conn
+		for i := 0; i < 4; i++ {
+			st, err := p.Open([]byte("203.0.113.10:7"))
+			if err != nil {
+				return err
+			}
+			streams = append(streams, st)
+		}
+		defer func() {
+			for _, st := range streams {
+				st.Close()
+			}
+		}()
+		if got := w.remotes[0].carriersAccepted(); got != 2 {
+			t.Errorf("carriers accepted = %d, want 2 (pre-dialed pool)", got)
+		}
+		// Least-loaded slot choice spreads the 4 streams 2/2.
+		r := w.remotes[0]
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for i, sess := range r.sessions {
+			if n := sess.Streams(); n != 2 {
+				t.Errorf("carrier %d holds %d streams, want 2", i, n)
+			}
+		}
+		return nil
+	})
+	if got := p.Stats().Endpoints[0].InFlight; got != 0 {
+		t.Errorf("inflight after close = %d, want 0", got)
+	}
+}
+
+func TestPickBalancesAcrossEndpoints(t *testing.T) {
+	w := newFleetWorld(t, 2)
+	p, err := New(w.config(), w.endpoints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		for i := 0; i < 40; i++ {
+			if err := echoOnce(p, "balance"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	st := p.Stats()
+	for i, ep := range st.Endpoints {
+		if ep.StreamsOpened < 8 {
+			t.Errorf("endpoint %d served only %d/40 streams", i, ep.StreamsOpened)
+		}
+		if ep.EWMALatency <= 0 {
+			t.Errorf("endpoint %d has no latency estimate", i)
+		}
+	}
+}
+
+func TestFailoverOnDeadRemote(t *testing.T) {
+	w := newFleetWorld(t, 2)
+	p, err := New(w.config(), w.endpoints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		w.remotes[0].kill()
+		// Every open after the kill must still succeed: dead carriers
+		// fail over to the surviving endpoint.
+		for i := 0; i < 10; i++ {
+			if err := echoOnce(p, "survivor"); err != nil {
+				return fmt.Errorf("open %d after kill: %w", i, err)
+			}
+		}
+		// The prober notices the corpse and ejects it.
+		w.env.Clock.Sleep(2 * time.Second)
+		return nil
+	})
+	st := p.Stats()
+	if st.Endpoints[0].Healthy {
+		t.Error("dead endpoint still marked healthy after probe window")
+	}
+	if !st.Endpoints[1].Healthy {
+		t.Error("surviving endpoint was ejected")
+	}
+	if st.Endpoints[1].StreamsOpened < 10 {
+		t.Errorf("survivor served %d streams, want >= 10", st.Endpoints[1].StreamsOpened)
+	}
+}
+
+func TestProberEjectsAndReadmits(t *testing.T) {
+	w := newFleetWorld(t, 2)
+	var mu sync.Mutex
+	var transitions []string
+	cfg := w.config()
+	cfg.OnStateChange = func(name string, healthy bool, reason string) {
+		mu.Lock()
+		transitions = append(transitions, fmt.Sprintf("%s healthy=%v", name, healthy))
+		mu.Unlock()
+	}
+	p, err := New(cfg, w.endpoints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		w.remotes[1].kill()
+		// No user traffic at all: the active prober alone must notice.
+		w.env.Clock.Sleep(3 * time.Second)
+		if st := p.Stats(); st.Endpoints[1].Healthy {
+			return fmt.Errorf("prober did not eject dead endpoint: %+v", st.Endpoints[1])
+		}
+		// The endpoint comes back; the re-admission probe restores it.
+		w.remotes[1].serve(t)
+		w.env.Clock.Sleep(5 * time.Second)
+		if st := p.Stats(); !st.Endpoints[1].Healthy {
+			return fmt.Errorf("recovered endpoint not re-admitted: %+v", st.Endpoints[1])
+		}
+		return nil
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{
+		w.remotes[1].addr + " healthy=false",
+		w.remotes[1].addr + " healthy=true",
+	}
+	if len(transitions) != 2 || transitions[0] != want[0] || transitions[1] != want[1] {
+		t.Errorf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+func TestMarkDownRotatesTraffic(t *testing.T) {
+	w := newFleetWorld(t, 3)
+	p, err := New(w.config(), w.endpoints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		// A takedown means the VM is gone; MarkDown routes around it
+		// immediately instead of waiting for the failure threshold.
+		w.remotes[0].kill()
+		if !p.MarkDown(w.remotes[0].addr, "registry takedown") {
+			return errors.New("MarkDown did not find the endpoint")
+		}
+		for i := 0; i < 8; i++ {
+			if err := echoOnce(p, "rotated"); err != nil {
+				return err
+			}
+		}
+		st := p.Stats()
+		if st.Endpoints[0].StreamsOpened != 0 {
+			return fmt.Errorf("taken-down endpoint served %d streams", st.Endpoints[0].StreamsOpened)
+		}
+		if st.Rotations != 1 {
+			return fmt.Errorf("rotations = %d, want 1", st.Rotations)
+		}
+		// Rotation: the operator stands up a replacement at runtime.
+		p.Add(w.endpoint(2))
+		w.remotes[1].kill()
+		p.MarkDown(w.remotes[1].addr, "IP blocked")
+		for i := 0; i < 8; i++ {
+			if err := echoOnce(p, "replacement"); err != nil {
+				return err
+			}
+		}
+		if st := p.Stats(); st.Endpoints[2].StreamsOpened < 8 {
+			return fmt.Errorf("replacement served %d streams, want 8", st.Endpoints[2].StreamsOpened)
+		}
+		return nil
+	})
+}
+
+func TestMarkDownUnknownEndpoint(t *testing.T) {
+	w := newFleetWorld(t, 1)
+	p, err := New(w.config(), w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.MarkDown("203.0.113.99:1", "no such endpoint") {
+		t.Error("MarkDown reported success for an unknown endpoint")
+	}
+}
+
+func TestAllEndpointsDownReturnsDownError(t *testing.T) {
+	w := newFleetWorld(t, 1)
+	p, err := New(w.config(), w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		w.remotes[0].kill()
+		var down *DownError
+		for i := 0; i < 5; i++ {
+			_, err := p.Open([]byte("203.0.113.10:7"))
+			if err == nil {
+				return errors.New("open through a dead fleet succeeded")
+			}
+			if errors.As(err, &down) {
+				return nil
+			}
+		}
+		return fmt.Errorf("never saw DownError; last err type %T", err)
+	})
+}
+
+func TestOpenRejectedPassesThroughWithoutEjection(t *testing.T) {
+	w := newFleetWorld(t, 1)
+	p, err := New(w.config(), w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		if _, err := p.Open([]byte("reject")); !errors.Is(err, mux.ErrOpenRejected) {
+			return fmt.Errorf("err = %v, want ErrOpenRejected", err)
+		}
+		// The refusal says nothing about carrier health.
+		if st := p.Stats(); !st.Endpoints[0].Healthy || st.Endpoints[0].ConsecFails != 0 {
+			return fmt.Errorf("stream refusal damaged endpoint health: %+v", st.Endpoints[0])
+		}
+		return echoOnce(p, "still serving")
+	})
+}
+
+func TestNoEndpointsRejected(t *testing.T) {
+	w := newFleetWorld(t, 0)
+	if _, err := New(w.config(), nil); !errors.Is(err, ErrNoEndpoints) {
+		t.Errorf("err = %v, want ErrNoEndpoints", err)
+	}
+}
+
+func TestOpenAfterCloseFails(t *testing.T) {
+	w := newFleetWorld(t, 1)
+	p, err := New(w.config(), w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	w.run(t, func() error {
+		if _, err := p.Open([]byte("203.0.113.10:7")); !errors.Is(err, ErrPoolClosed) {
+			return fmt.Errorf("err = %v, want ErrPoolClosed", err)
+		}
+		return nil
+	})
+}
+
+func TestRecycleForcesFreshCarriers(t *testing.T) {
+	w := newFleetWorld(t, 1)
+	p, err := New(w.config(), w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		if err := echoOnce(p, "before recycle"); err != nil {
+			return err
+		}
+		before := w.remotes[0].carriersAccepted()
+		p.Recycle()
+		if err := echoOnce(p, "after recycle"); err != nil {
+			return err
+		}
+		if after := w.remotes[0].carriersAccepted(); after <= before {
+			return fmt.Errorf("recycle reused old carriers: %d -> %d", before, after)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"time"
+
+	"scholarcloud/internal/mux"
+)
+
+// probeLoop runs ep's active health checks on the environment clock. A
+// healthy endpoint is probed every ProbeInterval; an ejected one at its
+// current re-admission backoff.
+func (p *Pool) probeLoop(ep *endpoint) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		interval := p.cfg.ProbeInterval
+		if !ep.healthy && ep.backoff > interval {
+			interval = ep.backoff
+		}
+		p.mu.Unlock()
+		p.cfg.Env.Clock.Sleep(interval)
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		p.probe(ep)
+	}
+}
+
+// probe performs one echo/latency check: a measured mux ping over a live
+// carrier (dialing one if needed — which is itself the re-admission
+// check for an ejected endpoint).
+func (p *Pool) probe(ep *endpoint) {
+	ep.probes.Inc()
+	_, sess, err := p.sessionFor(ep)
+	if err != nil {
+		return // sessionFor already recorded the dial failure
+	}
+	rtt, err := sess.RTT(p.cfg.ProbeTimeout)
+	if err != nil {
+		p.recordFailure(ep, err)
+		return
+	}
+	p.recordSuccess(ep, rtt)
+}
+
+// recordFailure notes a carrier-level failure and ejects the endpoint
+// once it crosses the consecutive-failure threshold.
+func (p *Pool) recordFailure(ep *endpoint, err error) {
+	p.mu.Lock()
+	ep.failures.Inc()
+	ep.consecFails++
+	ep.lastErr = err.Error()
+	if !ep.healthy || ep.consecFails < p.cfg.EjectAfter {
+		p.mu.Unlock()
+		return
+	}
+	sessions := p.ejectLocked(ep, err.Error())
+	p.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+}
+
+// recordSuccess feeds the EWMA latency estimate (when the sample came
+// from a measured probe or dial) and re-admits an ejected endpoint.
+func (p *Pool) recordSuccess(ep *endpoint, rtt time.Duration) {
+	var notify func(string, bool, string)
+	p.mu.Lock()
+	ep.consecFails = 0
+	ep.lastErr = ""
+	if rtt > 0 {
+		if ep.ewmaRTT == 0 {
+			ep.ewmaRTT = rtt
+		} else {
+			a := p.cfg.EWMAAlpha
+			ep.ewmaRTT = time.Duration(a*float64(rtt) + (1-a)*float64(ep.ewmaRTT))
+		}
+	}
+	if !ep.healthy {
+		ep.healthy = true
+		ep.backoff = 0
+		notify = p.cfg.OnStateChange
+	}
+	p.mu.Unlock()
+	if notify != nil {
+		notify(ep.Name, true, "probe succeeded")
+	}
+}
+
+// ejectLocked marks ep unhealthy, grows its re-admission backoff, and
+// detaches its sessions for the caller to close outside the lock.
+func (p *Pool) ejectLocked(ep *endpoint, reason string) []*mux.Session {
+	ep.healthy = false
+	ep.ejections.Inc()
+	if ep.backoff == 0 {
+		ep.backoff = p.cfg.ReadmitBackoff
+	} else if ep.backoff < p.cfg.BackoffMax {
+		ep.backoff *= 2
+		if ep.backoff > p.cfg.BackoffMax {
+			ep.backoff = p.cfg.BackoffMax
+		}
+	}
+	sessions := p.collectSessionsLocked(ep)
+	if fn := p.cfg.OnStateChange; fn != nil {
+		name := ep.Name
+		p.cfg.Env.Spawn.Go(func() { fn(name, false, reason) })
+	}
+	return sessions
+}
+
+// MarkDown ejects the named endpoint immediately — the takedown hook: a
+// registry takedown or observed GFW IP-block rotates traffic off the
+// endpoint at once instead of waiting for the failure threshold. The
+// endpoint stays under re-admission probing, so a block that is later
+// lifted restores it automatically.
+func (p *Pool) MarkDown(name, reason string) bool {
+	p.mu.Lock()
+	var target *endpoint
+	for _, ep := range p.endpoints {
+		if ep.Name == name {
+			target = ep
+			break
+		}
+	}
+	if target == nil || !target.healthy {
+		p.mu.Unlock()
+		return target != nil
+	}
+	p.rotations.Inc()
+	target.consecFails = p.cfg.EjectAfter
+	target.lastErr = reason
+	sessions := p.ejectLocked(target, reason)
+	p.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+	return true
+}
+
+// EndpointStats is one endpoint's health snapshot.
+type EndpointStats struct {
+	Name          string
+	Healthy       bool
+	EWMALatency   time.Duration
+	ConsecFails   int
+	Backoff       time.Duration
+	LastError     string
+	LiveSessions  int
+	InFlight      int64
+	StreamsOpened int64
+	Failures      int64
+	Probes        int64
+	Ejections     int64
+}
+
+// Stats is a pool-wide snapshot.
+type Stats struct {
+	Endpoints []EndpointStats
+	// Picks counts Open calls; Failovers counts extra endpoint attempts
+	// beyond the first; Rotations counts MarkDown takedowns.
+	Picks     int64
+	Failovers int64
+	Rotations int64
+}
+
+// Healthy counts currently admitted endpoints.
+func (s Stats) Healthy() int {
+	n := 0
+	for _, ep := range s.Endpoints {
+		if ep.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := Stats{
+		Picks:     p.picks.Value(),
+		Failovers: p.failovers.Value(),
+		Rotations: p.rotations.Value(),
+	}
+	for _, ep := range p.endpoints {
+		out.Endpoints = append(out.Endpoints, EndpointStats{
+			Name:          ep.Name,
+			Healthy:       ep.healthy,
+			EWMALatency:   ep.ewmaRTT,
+			ConsecFails:   ep.consecFails,
+			Backoff:       ep.backoff,
+			LastError:     ep.lastErr,
+			LiveSessions:  ep.liveSlots(),
+			InFlight:      ep.inflight(),
+			StreamsOpened: ep.opened.Value(),
+			Failures:      ep.failures.Value(),
+			Probes:        ep.probes.Value(),
+			Ejections:     ep.ejections.Value(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing, thread-safe event counter.
+// Components that count on hot paths (proxy streams, fleet picks) use it
+// instead of mutex-guarded int64 fields so the data path never contends
+// with stats snapshots.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which may be negative for corrections, though counters
+// are conventionally monotonic).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a thread-safe instantaneous value (e.g. in-flight streams).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -65,13 +65,21 @@ type Session struct {
 	conn net.Conn
 	env  netx.Env
 
-	wmu     sync.Mutex // serializes frames onto the carrier
-	mu      sync.Mutex
-	cond    netx.Cond
-	streams map[uint32]*Stream
-	nextID  uint32
-	err     error
-	accept  Acceptor
+	wmu      sync.Mutex // serializes frames onto the carrier
+	mu       sync.Mutex
+	cond     netx.Cond
+	streams  map[uint32]*Stream
+	nextID   uint32
+	err      error
+	accept   Acceptor
+	pings    map[uint32]*pingWait
+	nextPing uint32
+}
+
+// pingWait tracks one outstanding measured ping.
+type pingWait struct {
+	done bool
+	at   time.Time
 }
 
 // NewSession wraps conn. If accept is non-nil the session also accepts
@@ -82,6 +90,7 @@ func NewSession(conn net.Conn, env netx.Env, accept Acceptor) *Session {
 		env:     env,
 		streams: make(map[uint32]*Stream),
 		accept:  accept,
+		pings:   make(map[uint32]*pingWait),
 	}
 	s.cond = env.Sync.NewCond(&s.mu)
 	env.Spawn.Go(s.readLoop)
@@ -269,7 +278,15 @@ func (s *Session) dispatch(typ byte, id uint32, payload []byte) {
 	case framePing:
 		s.writeFrame(framePong, id, payload)
 	case framePong:
-		// Keepalive answer; nothing to deliver.
+		// Keepalive answer. Measured pings (RTT) wait on their id;
+		// plain Ping echoes carry id 0 and need no delivery.
+		s.mu.Lock()
+		if pw := s.pings[id]; pw != nil {
+			pw.done = true
+			pw.at = s.env.Clock.Now()
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -281,6 +298,70 @@ func (s *Session) Ping(n int) error {
 		n = maxFramePayload
 	}
 	return s.writeFrame(framePing, 0, make([]byte, n))
+}
+
+// RTT sends a measured ping and blocks until the peer's pong returns,
+// reporting the carrier round-trip time. A non-positive timeout waits
+// indefinitely. Health probers use it as the echo/latency check: unlike
+// Ping, the reply is awaited, so a stalled or dead carrier surfaces as a
+// timeout rather than silence.
+func (s *Session) RTT(timeout time.Duration) (time.Duration, error) {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.nextPing++
+	id := s.nextPing
+	pw := &pingWait{}
+	s.pings[id] = pw
+	s.mu.Unlock()
+
+	start := s.env.Clock.Now()
+	if err := s.writeFrame(framePing, id, nil); err != nil {
+		s.fail(err)
+		s.mu.Lock()
+		delete(s.pings, id)
+		s.mu.Unlock()
+		return 0, err
+	}
+	var deadline time.Time
+	var timer netx.Timer
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+		timer = s.env.Clock.AfterFunc(timeout, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !pw.done && s.err == nil {
+		if timeout > 0 && !s.env.Clock.Now().Before(deadline) {
+			break
+		}
+		s.cond.Wait()
+	}
+	delete(s.pings, id)
+	if pw.done {
+		return pw.at.Sub(start), nil
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	return 0, timeoutError{}
+}
+
+// Streams reports how many streams are currently registered on the
+// session — the in-flight load signal pick policies balance on.
+func (s *Session) Streams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
 }
 
 // relay copies between a granted stream and its upstream until either

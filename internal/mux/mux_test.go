@@ -335,3 +335,68 @@ func TestPingOversizeClamped(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRTTMeasuresRoundTrip(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer client.Close()
+	defer server.Close()
+
+	for i := 0; i < 3; i++ {
+		rtt, err := client.RTT(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtt < 0 || rtt > time.Second {
+			t.Errorf("rtt = %v, want a small positive duration", rtt)
+		}
+	}
+}
+
+func TestRTTTimesOutOnStalledCarrier(t *testing.T) {
+	a, b := net.Pipe()
+	go io.Copy(io.Discard, b) // peer accepts frames but never answers
+	env := netx.RealEnv()
+	client := NewSession(a, env, nil)
+	defer client.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.RTT(50 * time.Millisecond)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("RTT succeeded with no peer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RTT did not return")
+	}
+}
+
+func TestRTTFailsOnDeadSession(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer server.Close()
+	client.Close()
+	if _, err := client.RTT(time.Second); err == nil {
+		t.Fatal("RTT on closed session succeeded")
+	}
+}
+
+func TestStreamsCountsInFlight(t *testing.T) {
+	client, server := realPair(echoAcceptor)
+	defer client.Close()
+	defer server.Close()
+
+	if n := client.Streams(); n != 0 {
+		t.Fatalf("fresh session has %d streams", n)
+	}
+	st, err := client.Open([]byte("x:7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := client.Streams(); n != 1 {
+		t.Errorf("after open: %d streams, want 1", n)
+	}
+	st.Close()
+}

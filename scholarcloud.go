@@ -43,6 +43,12 @@ type Options struct {
 	NoBlinding bool
 	// SSKeepAlive overrides Shadowsocks' 10s keep-alive (ablation).
 	SSKeepAlive time.Duration
+	// FleetRemotes > 0 backs ScholarCloud's domestic proxy with a managed
+	// pool of that many remote proxies (health-probed, load-balanced,
+	// takedown-rotated) instead of the paper's single remote.
+	FleetRemotes int
+	// FleetSessionsPerRemote sizes each remote's pre-dialed carrier pool.
+	FleetSessionsPerRemote int
 }
 
 // NewSimulation builds and starts the world. Close it when done.
@@ -52,6 +58,8 @@ func NewSimulation(opts Options) *Simulation {
 		DisableGFW:             opts.DisableGFW,
 		ScholarCloudNoBlinding: opts.NoBlinding,
 		SSKeepAlive:            opts.SSKeepAlive,
+		FleetRemotes:           opts.FleetRemotes,
+		FleetSessionsPerRemote: opts.FleetSessionsPerRemote,
 	})}
 }
 
