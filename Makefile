@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: check build vet test race bench figures
+.PHONY: check build vet fmt test race bench bench-smoke figures
 
-## check: the full gate — build, vet, and the race-enabled test suite.
-check: build vet race
+## check: the full gate — build, vet, formatting, and the race-enabled
+## test suite.
+check: build vet fmt race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## fmt: fail when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -20,6 +27,11 @@ race:
 ## bench: regenerate every figure's benchmark row once.
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .
+
+## bench-smoke: run every benchmark in the repo once, as a smoke test
+## (includes the obs hot-path allocation benchmarks).
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
 ## figures: regenerate the paper's figures (quick sampling).
 figures:

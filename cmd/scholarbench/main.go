@@ -4,9 +4,13 @@
 // Usage:
 //
 //	scholarbench [-fig 3|4|5a|5b|5c|6a|6bc|7|fleet|all] [-seed N] [-full]
+//	scholarbench -trace <method>
 //
 // -full runs the paper-scale workload (a simulated day per series);
-// the default quick mode samples each series lightly.
+// the default quick mode samples each series lightly. -trace renders a
+// per-hop flow trace of one first-time page load through the named
+// method (one of the study's methods or "direct-us") instead of the
+// figures.
 package main
 
 import (
@@ -21,11 +25,17 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,all")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	full := flag.Bool("full", false, "paper-scale sample counts (slower)")
+	trace := flag.String("trace", "", "render a per-hop flow trace of one page load through the named method")
 	flag.Parse()
 
 	q := experiments.Quick()
 	if *full {
 		q = experiments.Full()
+	}
+
+	if *trace != "" {
+		runTrace(*trace, *seed)
+		return
 	}
 
 	if *fig == "3" || *fig == "all" {
@@ -67,4 +77,26 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+}
+
+// runTrace performs one first-time page load through the named method
+// with a flow tracer on every layer and prints the per-hop trace. It
+// uses the paper's default world (no fleet), so the ScholarCloud trace
+// matches Fig. 4's session structure exactly.
+func runTrace(method string, seed uint64) {
+	w := experiments.NewWorld(experiments.Config{Seed: seed})
+	defer w.Close()
+	f, ok := w.FactoryByName(method)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "trace: unknown method %q\n", method)
+		os.Exit(2)
+	}
+	tr, st, err := w.TracePageLoad(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace %s: %v\n", method, err)
+		os.Exit(1)
+	}
+	fmt.Print(tr.Render(fmt.Sprintf("%s first-time page load of %s", method, f.URL)))
+	fmt.Printf("  -- plt=%v resources=%d redirects=%d conns=%d bytes=%d\n",
+		st.PLT, st.Resources, st.Redirects, st.NewConns, st.BytesFetched)
 }

@@ -54,6 +54,7 @@ func waitForInterrupt() {
 func runRemote(args []string) {
 	fs := flag.NewFlagSet("remote", flag.ExitOnError)
 	listen := fs.String("listen", ":8443", "tunnel listen address")
+	admin := fs.String("admin", "", "admin address serving /metrics and /healthz (empty = disabled)")
 	secret := fs.String("secret", "", "blinding secret shared with the domestic proxy")
 	epoch := fs.Uint64("epoch", 0, "blinding epoch")
 	fs.Parse(args)
@@ -62,9 +63,10 @@ func runRemote(args []string) {
 		os.Exit(2)
 	}
 	r, err := scholarcloud.StartRemote(scholarcloud.RemoteConfig{
-		Listen: *listen,
-		Secret: []byte(*secret),
-		Epoch:  *epoch,
+		Listen:      *listen,
+		AdminListen: *admin,
+		Secret:      []byte(*secret),
+		Epoch:       *epoch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "remote:", err)
@@ -72,6 +74,9 @@ func runRemote(args []string) {
 	}
 	defer r.Close()
 	fmt.Printf("scholarcloud remote proxy on %s (epoch %d)\n", r.Addr(), *epoch)
+	if a := r.AdminAddr(); a != nil {
+		fmt.Printf("admin endpoints at http://%s/metrics and /healthz\n", a)
+	}
 	waitForInterrupt()
 }
 
@@ -79,6 +84,7 @@ func runDomestic(args []string) {
 	fs := flag.NewFlagSet("domestic", flag.ExitOnError)
 	listen := fs.String("listen", ":8118", "browser-facing proxy address")
 	web := fs.String("web", ":8080", "PAC/whitelist web address")
+	admin := fs.String("admin", "", "admin address serving /metrics and /healthz (empty = disabled)")
 	remote := fs.String("remote", "", "remote proxy host:port (comma-separate several to run them as a managed fleet)")
 	sessions := fs.Int("sessions", 0, "pre-dialed carrier sessions per fleet remote (0 = default)")
 	secret := fs.String("secret", "", "blinding secret shared with the remote proxy")
@@ -95,6 +101,7 @@ func runDomestic(args []string) {
 	d, err := scholarcloud.StartDomestic(scholarcloud.DomesticConfig{
 		ProxyListen:       *listen,
 		WebListen:         *web,
+		AdminListen:       *admin,
 		RemoteAddrs:       remotes,
 		SessionsPerRemote: *sessions,
 		Secret:            []byte(*secret),
@@ -109,5 +116,8 @@ func runDomestic(args []string) {
 	defer d.Close()
 	fmt.Printf("scholarcloud domestic proxy on %s; PAC at http://%s/pac\n",
 		d.ProxyAddr(), d.WebAddr())
+	if a := d.AdminAddr(); a != nil {
+		fmt.Printf("admin endpoints at http://%s/metrics and /healthz\n", a)
+	}
 	waitForInterrupt()
 }

@@ -1,6 +1,8 @@
 package scholarcloud
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"net"
 
@@ -8,6 +10,7 @@ import (
 	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 	"scholarcloud/internal/pac"
 	"scholarcloud/internal/pki"
 )
@@ -17,6 +20,9 @@ import (
 type RemoteConfig struct {
 	// Listen is the TCP address for domestic-proxy tunnels, e.g. ":8443".
 	Listen string
+	// AdminListen, when non-empty, serves /metrics (text key=value) and
+	// /healthz on a separate operator-facing listener, e.g. "127.0.0.1:9100".
+	AdminListen string
 	// Secret is the blinding key material shared with the domestic proxy.
 	Secret []byte
 	// Epoch selects the blinding scheme; both proxies must agree.
@@ -28,8 +34,9 @@ type RemoteConfig struct {
 
 // RemoteProxy is a running remote proxy.
 type RemoteProxy struct {
-	remote *core.Remote
-	ln     net.Listener
+	remote  *core.Remote
+	ln      net.Listener
+	adminLn net.Listener
 	// CACert is the DER self-signed root created at startup; ship it to
 	// domestic proxies that want per-stream channel verification.
 	CACert []byte
@@ -38,10 +45,60 @@ type RemoteProxy struct {
 // Addr returns the bound listen address.
 func (r *RemoteProxy) Addr() net.Addr { return r.ln.Addr() }
 
+// AdminAddr returns the bound admin listener address, or nil when
+// AdminListen was not configured.
+func (r *RemoteProxy) AdminAddr() net.Addr {
+	if r.adminLn == nil {
+		return nil
+	}
+	return r.adminLn.Addr()
+}
+
 // Close shuts the proxy down.
 func (r *RemoteProxy) Close() {
 	r.remote.Close()
 	r.ln.Close()
+	if r.adminLn != nil {
+		r.adminLn.Close()
+	}
+}
+
+// adminHandler serves the operator endpoints: /metrics renders the
+// registry snapshot as sorted "name=value" lines; /healthz reports 200
+// while healthy() says so and 503 otherwise.
+func adminHandler(reg *obs.Registry, healthy func() (bool, string)) httpsim.Handler {
+	m := httpsim.NewMux()
+	m.HandleFunc("/metrics", func(_ *httpsim.Request, _ net.Addr) *httpsim.Response {
+		var buf bytes.Buffer
+		reg.Snapshot().WriteText(&buf)
+		resp := httpsim.NewResponse(200, buf.Bytes())
+		resp.Header["Content-Type"] = "text/plain; charset=utf-8"
+		return resp
+	})
+	m.HandleFunc("/healthz", func(_ *httpsim.Request, _ net.Addr) *httpsim.Response {
+		ok, detail := healthy()
+		status := 200
+		if !ok {
+			status = 503
+		}
+		return httpsim.NewResponse(status, []byte(detail+"\n"))
+	})
+	return m
+}
+
+// startAdmin binds and serves the admin endpoints, returning the
+// listener (nil when addr is empty).
+func startAdmin(env netx.Env, addr string, reg *obs.Registry, healthy func() (bool, string)) (net.Listener, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &httpsim.Server{Handler: adminHandler(reg, healthy), Spawn: env.Spawn}
+	go srv.Serve(ln)
+	return ln, nil
 }
 
 // StartRemote launches the remote proxy over real sockets.
@@ -67,12 +124,19 @@ func StartRemote(cfg RemoteConfig) (*RemoteProxy, error) {
 		Epoch:    cfg.Epoch,
 		Identity: id,
 	}
+	reg := obs.NewRegistry()
+	remote.Instrument(reg)
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, err
 	}
+	adminLn, err := startAdmin(env, cfg.AdminListen, reg, func() (bool, string) { return true, "ok" })
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
 	go remote.Serve(ln)
-	return &RemoteProxy{remote: remote, ln: ln, CACert: ca.DER}, nil
+	return &RemoteProxy{remote: remote, ln: ln, adminLn: adminLn, CACert: ca.DER}, nil
 }
 
 // DomesticConfig configures a real-socket domestic proxy (the endpoint
@@ -82,12 +146,16 @@ type DomesticConfig struct {
 	ProxyListen string
 	// WebListen serves /pac and /whitelist, e.g. ":8080".
 	WebListen string
+	// AdminListen, when non-empty, serves /metrics and /healthz on a
+	// separate operator-facing listener, e.g. "127.0.0.1:9101".
+	AdminListen string
 	// RemoteAddr is the remote proxy's "host:port".
 	RemoteAddr string
-	// RemoteAddrs lists multiple remote proxies; when more than one is
-	// given the domestic proxy runs them as a managed fleet (pre-dialed
-	// carrier pools, health probing, load balancing, takedown rotation).
-	// Takes precedence over RemoteAddr.
+	// RemoteAddrs lists multiple remote proxies. Takes precedence over
+	// RemoteAddr. However many remotes are configured, the domestic proxy
+	// runs them as a managed fleet (pre-dialed carrier pools, health
+	// probing, load balancing, takedown rotation); a single remote is
+	// simply a one-member fleet.
 	RemoteAddrs []string
 	// SessionsPerRemote sizes each fleet remote's pre-dialed carrier pool
 	// (zero selects the fleet default).
@@ -103,6 +171,17 @@ type DomesticConfig struct {
 	PublicProxyAddr string
 }
 
+// remotes reconciles RemoteAddr and RemoteAddrs.
+func (cfg DomesticConfig) remotes() []string {
+	if len(cfg.RemoteAddrs) > 0 {
+		return cfg.RemoteAddrs
+	}
+	if cfg.RemoteAddr != "" {
+		return []string{cfg.RemoteAddr}
+	}
+	return nil
+}
+
 // DomesticProxy is a running domestic proxy.
 type DomesticProxy struct {
 	domestic *core.Domestic
@@ -110,6 +189,7 @@ type DomesticProxy struct {
 	proxy    *httpsim.Proxy
 	proxyLn  net.Listener
 	webLn    net.Listener
+	adminLn  net.Listener
 	policy   *pac.Config
 }
 
@@ -118,6 +198,15 @@ func (d *DomesticProxy) ProxyAddr() net.Addr { return d.proxyLn.Addr() }
 
 // WebAddr returns the PAC/whitelist endpoint address.
 func (d *DomesticProxy) WebAddr() net.Addr { return d.webLn.Addr() }
+
+// AdminAddr returns the bound admin listener address, or nil when
+// AdminListen was not configured.
+func (d *DomesticProxy) AdminAddr() net.Addr {
+	if d.adminLn == nil {
+		return nil
+	}
+	return d.adminLn.Addr()
+}
 
 // PAC returns the generated proxy auto-config file.
 func (d *DomesticProxy) PAC() string { return d.policy.JavaScript() }
@@ -129,27 +218,32 @@ func (d *DomesticProxy) SetWhitelist(domains []string) { d.policy.SetDomains(dom
 // Rotate switches the blinding epoch (coordinate with the remote).
 func (d *DomesticProxy) Rotate(epoch uint64) { d.domestic.Rotate(epoch) }
 
-// FleetStats snapshots the remote pool, or a zero value when the proxy
-// runs the single-remote path.
+// FleetStats snapshots the remote pool (every deployment runs one, even
+// with a single remote).
 func (d *DomesticProxy) FleetStats() fleet.Stats {
-	if d.pool == nil {
-		return fleet.Stats{}
-	}
 	return d.pool.Stats()
 }
 
 // Close shuts the proxy down.
 func (d *DomesticProxy) Close() {
-	if d.pool != nil {
-		d.pool.Close()
-	}
+	d.pool.Close()
 	d.proxy.Close()
 	d.proxyLn.Close()
 	d.webLn.Close()
+	if d.adminLn != nil {
+		d.adminLn.Close()
+	}
 }
 
-// StartDomestic launches the domestic proxy over real sockets.
+// StartDomestic launches the domestic proxy over real sockets. All
+// remote configurations — one address or many — are routed through a
+// managed fleet; the paper's single-remote deployment is a degenerate
+// one-member pool.
 func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
+	addrs := cfg.remotes()
+	if len(addrs) == 0 {
+		return nil, errors.New("scholarcloud: DomesticConfig needs RemoteAddr or RemoteAddrs")
+	}
 	env := netx.RealEnv()
 	public := cfg.PublicProxyAddr
 	if public == "" {
@@ -159,7 +253,7 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	domestic := &core.Domestic{
 		Env: env,
 		DialRemote: func() (net.Conn, error) {
-			return net.Dial("tcp", cfg.RemoteAddr)
+			return net.Dial("tcp", addrs[0])
 		},
 		Secret:    cfg.Secret,
 		Epoch:     cfg.Epoch,
@@ -170,44 +264,49 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 		// remote's certificate.
 		RemoteName: "remote.scholarcloud.example",
 	}
-	var pool *fleet.Pool
-	if len(cfg.RemoteAddrs) > 1 {
-		var eps []fleet.Endpoint
-		for _, addr := range cfg.RemoteAddrs {
-			addr := addr
-			eps = append(eps, fleet.Endpoint{
-				Name: addr,
-				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
-			})
-		}
-		var err error
-		pool, err = fleet.New(fleet.Config{
-			Env:               env,
-			NewSession:        domestic.WrapCarrier,
-			SessionsPerRemote: cfg.SessionsPerRemote,
-		}, eps)
-		if err != nil {
-			return nil, err
-		}
-		domestic.Fleet = pool
-	} else if len(cfg.RemoteAddrs) == 1 {
-		addr := cfg.RemoteAddrs[0]
-		domestic.DialRemote = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	reg := obs.NewRegistry()
+	domestic.Instrument(reg)
+
+	var eps []fleet.Endpoint
+	for _, addr := range addrs {
+		addr := addr
+		eps = append(eps, fleet.Endpoint{
+			Name: addr,
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		})
 	}
+	pool, err := fleet.New(fleet.Config{
+		Env:               env,
+		NewSession:        domestic.WrapCarrier,
+		SessionsPerRemote: cfg.SessionsPerRemote,
+	}, eps)
+	if err != nil {
+		return nil, err
+	}
+	pool.Instrument(reg)
+	domestic.Fleet = pool
 
 	proxyLn, err := net.Listen("tcp", cfg.ProxyListen)
 	if err != nil {
-		if pool != nil {
-			pool.Close()
-		}
+		pool.Close()
 		return nil, err
 	}
 	webLn, err := net.Listen("tcp", cfg.WebListen)
 	if err != nil {
-		if pool != nil {
-			pool.Close()
-		}
+		pool.Close()
 		proxyLn.Close()
+		return nil, err
+	}
+	adminLn, err := startAdmin(env, cfg.AdminListen, reg, func() (bool, string) {
+		if pool.Stats().Healthy() == 0 {
+			return false, "no healthy remote endpoints"
+		}
+		return true, "ok"
+	})
+	if err != nil {
+		pool.Close()
+		proxyLn.Close()
+		webLn.Close()
 		return nil, err
 	}
 	proxy := domestic.Proxy()
@@ -220,6 +319,7 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 		proxy:    proxy,
 		proxyLn:  proxyLn,
 		webLn:    webLn,
+		adminLn:  adminLn,
 		policy:   policy,
 	}, nil
 }

@@ -213,6 +213,94 @@ func TestRealSocketWrongSecretFailsClosed(t *testing.T) {
 	}
 }
 
+// TestRealSocketAdminEndpoints deploys both proxies with admin listeners
+// and checks that /healthz answers and /metrics reflects proxied traffic.
+func TestRealSocketAdminEndpoints(t *testing.T) {
+	origin := startOrigin(t, "measured content")
+	originHost, _, _ := strings.Cut(origin, ":")
+	secret := []byte("admin-secret")
+
+	remote, err := StartRemote(RemoteConfig{
+		Listen:      "127.0.0.1:0",
+		AdminListen: "127.0.0.1:0",
+		Secret:      secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		AdminListen: "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      secret,
+		Whitelist:   []string{originHost},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	adminGet := func(addr net.Addr, path string) (*httpsim.Response, error) {
+		conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: admin\r\n\r\n", path)
+		return httpsim.ReadResponse(bufio.NewReader(conn))
+	}
+
+	for _, addr := range []net.Addr{remote.AdminAddr(), domestic.AdminAddr()} {
+		if addr == nil {
+			t.Fatal("AdminAddr() = nil with AdminListen configured")
+		}
+		resp, err := adminGet(addr, "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 || !strings.Contains(string(resp.Body), "ok") {
+			t.Errorf("healthz on %s = %d %q", addr, resp.StatusCode, resp.Body)
+		}
+	}
+
+	// One proxied CONNECT, then the counters must show it.
+	conn, err := net.DialTimeout("tcp", domestic.ProxyAddr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "CONNECT %s HTTP/1.1\r\nHost: %s\r\n\r\n", origin, origin)
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("CONNECT status = %q", status)
+	}
+	conn.Close()
+
+	resp, err := adminGet(domestic.AdminAddr(), "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(resp.Body)
+	if !strings.Contains(body, "core.domestic.requests=1") {
+		t.Errorf("domestic /metrics missing request count:\n%s", body)
+	}
+	if !strings.Contains(body, "fleet.picks=1") {
+		t.Errorf("domestic /metrics missing fleet pick:\n%s", body)
+	}
+	resp, err = adminGet(remote.AdminAddr(), "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), "core.remote.streams_opened=1") {
+		t.Errorf("remote /metrics missing stream count:\n%s", resp.Body)
+	}
+}
+
 func TestRealSocketCoordinatedRotation(t *testing.T) {
 	origin := startOrigin(t, "post-rotation content")
 	originHost, _, _ := strings.Cut(origin, ":")

@@ -362,15 +362,28 @@ func TestFailoverToStandbyRemote(t *testing.T) {
 	}
 	w.n.Scheduler().Go(func() { standby.Serve(sln) })
 
-	w.dom.Fallbacks = []func() (net.Conn, error){
-		func() (net.Conn, error) { return w.domestic.DialTCP("198.51.100.8:8443") },
+	// The paper's manual-standby deployment is now expressed as a
+	// degenerate two-member fleet: dead primary, live standby.
+	pool, err := fleet.New(fleet.Config{
+		Env:           w.env,
+		NewSession:    w.dom.WrapCarrier,
+		ProbeInterval: time.Hour, // keep probe traffic out of this test
+		Seed:          7,
+	}, []fleet.Endpoint{
+		{Name: "primary", Dial: func() (net.Conn, error) {
+			return nil, fmt.Errorf("primary remote is down")
+		}},
+		{Name: "standby", Dial: func() (net.Conn, error) {
+			return w.domestic.DialTCP("198.51.100.8:8443")
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer pool.Close()
+	w.dom.Fleet = pool
 	// Primary remote goes away entirely.
 	w.remote.Close()
-	w.dom.DialRemote = func() (net.Conn, error) {
-		return nil, fmt.Errorf("primary remote is down")
-	}
-	w.dom.Rotate(0) // drop any existing carrier
 
 	w.run(t, func() error {
 		conn, err := w.client.DialTCP("101.6.6.6:8118")
@@ -392,21 +405,38 @@ func TestFailoverToStandbyRemote(t *testing.T) {
 	if standby.Stats().StreamsOpened == 0 {
 		t.Error("standby remote never served a stream")
 	}
-	if st := w.dom.Stats(); st.Endpoint != "fallback-1" || st.FallbackDials != 1 {
-		t.Errorf("stats = %+v, want endpoint fallback-1 with 1 fallback dial", st)
+	if st := w.dom.Stats(); st.Endpoint != "fleet" {
+		t.Errorf("stats = %+v, want endpoint fleet", st)
+	}
+	for _, ep := range pool.Stats().Endpoints {
+		if ep.Name == "standby" && ep.StreamsOpened == 0 {
+			t.Error("pool never opened a stream on the standby endpoint")
+		}
 	}
 }
 
 func TestAllDialsFailReturnsTypedError(t *testing.T) {
 	w := newCoreWorld(t)
-	w.dom.DialRemote = func() (net.Conn, error) { return nil, fmt.Errorf("primary unreachable") }
-	w.dom.Fallbacks = []func() (net.Conn, error){
-		func() (net.Conn, error) { return nil, fmt.Errorf("standby 1 unreachable") },
-		func() (net.Conn, error) { return nil, fmt.Errorf("standby 2 unreachable") },
+	dead := func(name string) func() (net.Conn, error) {
+		return func() (net.Conn, error) { return nil, fmt.Errorf("%s unreachable", name) }
 	}
-	w.dom.Rotate(0) // drop the cached carrier so the next stream re-dials
+	pool, err := fleet.New(fleet.Config{
+		Env:           w.env,
+		NewSession:    w.dom.WrapCarrier,
+		ProbeInterval: time.Hour,
+		Seed:          7,
+	}, []fleet.Endpoint{
+		{Name: "primary", Dial: dead("primary")},
+		{Name: "standby-1", Dial: dead("standby 1")},
+		{Name: "standby-2", Dial: dead("standby 2")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	w.dom.Fleet = pool
 
-	_, err := w.dom.openSecure("203.0.113.10:7")
+	_, err = w.dom.openSecure("203.0.113.10:7")
 	if !errors.Is(err, ErrAllRemotesDown) {
 		t.Errorf("err = %v, want ErrAllRemotesDown", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/fleet"
@@ -12,12 +13,13 @@ import (
 	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/mux"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 	"scholarcloud/internal/pac"
 	"scholarcloud/internal/tlssim"
 )
 
-// ErrAllRemotesDown reports that no remote proxy — primary, fallback, or
-// fleet endpoint — could carry a stream.
+// ErrAllRemotesDown reports that no remote proxy — primary or fleet
+// endpoint — could carry a stream.
 var ErrAllRemotesDown = errors.New("core: all remote proxies are down")
 
 // Domestic is the proxy inside the censored network: the single endpoint
@@ -29,16 +31,10 @@ type Domestic struct {
 	// DialRemote opens a raw connection to the remote proxy across the
 	// border.
 	DialRemote func() (net.Conn, error)
-	// Fallbacks are tried in order when DialRemote fails.
-	//
-	// Deprecated: this reproduces the paper's manual-standby deployment (a
-	// linear dial-time scan that only notices a dead primary when a dial
-	// fails outright). New deployments should set Fleet instead, which adds
-	// health probing, load balancing, and takedown-aware rotation.
-	Fallbacks []func() (net.Conn, error)
 	// Fleet, if set, replaces the single cached tunnel with a managed pool
-	// of remote endpoints (see internal/fleet). DialRemote and Fallbacks
-	// are ignored for tunnel traffic when Fleet is non-nil.
+	// of remote endpoints (see internal/fleet). DialRemote is ignored for
+	// tunnel traffic when Fleet is non-nil. Standby/fallback deployments
+	// are expressed as a fleet whose extra endpoints are the standbys.
 	Fleet *fleet.Pool
 	// Secret and Epoch must match the remote proxy's blinding
 	// configuration.
@@ -60,9 +56,12 @@ type Domestic struct {
 	sess     *mux.Session
 	endpoint string
 
-	requests      metrics.Counter
-	refused       metrics.Counter
-	fallbackDials metrics.Counter
+	requests metrics.Counter
+	refused  metrics.Counter
+	streams  metrics.Counter
+
+	flowTrace   atomic.Pointer[obs.Trace]
+	muxCounters atomic.Pointer[mux.Counters]
 }
 
 // DomesticStats counts proxy activity.
@@ -70,10 +69,10 @@ type DomesticStats struct {
 	Requests int64
 	Refused  int64
 	// Endpoint labels the carrier the current tunnel was dialed through:
-	// "primary", "fallback-N" (1-based), or "fleet".
+	// "primary" or "fleet".
 	Endpoint string
-	// FallbackDials counts carrier dials that landed on a fallback.
-	FallbackDials int64
+	// Streams counts tunnel streams opened on the user's behalf.
+	Streams int64
 }
 
 // Stats returns a snapshot of the domestic proxy's counters.
@@ -82,12 +81,29 @@ func (d *Domestic) Stats() DomesticStats {
 	endpoint := d.endpoint
 	d.mu.Unlock()
 	return DomesticStats{
-		Requests:      d.requests.Value(),
-		Refused:       d.refused.Value(),
-		Endpoint:      endpoint,
-		FallbackDials: d.fallbackDials.Value(),
+		Requests: d.requests.Value(),
+		Refused:  d.refused.Value(),
+		Endpoint: endpoint,
+		Streams:  d.streams.Value(),
 	}
 }
+
+// Instrument publishes the proxy's request/refusal/stream counters and
+// its carriers' mux frame counters on reg. Call before serving traffic.
+func (d *Domestic) Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("core.domestic.requests", &d.requests)
+	reg.RegisterCounter("core.domestic.refused", &d.refused)
+	reg.RegisterCounter("core.domestic.streams", &d.streams)
+	d.muxCounters.Store(&mux.Counters{
+		FramesIn:   reg.Counter("mux.domestic.frames_in"),
+		FramesOut:  reg.Counter("mux.domestic.frames_out"),
+		Keepalives: reg.Counter("mux.domestic.keepalives"),
+	})
+}
+
+// SetTrace installs (or, with nil, removes) a flow tracer receiving a
+// span for every tunnel stream opened or refused by this proxy.
+func (d *Domestic) SetTrace(t *obs.Trace) { d.flowTrace.Store(t) }
 
 // Rotate switches the blinding epoch: the current tunnel is torn down
 // and the next stream re-dials with the new scheme. The remote proxy must
@@ -119,28 +135,21 @@ func (d *Domestic) WrapCarrier(raw net.Conn) *mux.Session {
 	if scheme == nil {
 		scheme = blinding.SchemeForEpoch(d.Secret, epoch)
 	}
-	return mux.NewSession(blinding.WrapConn(raw, scheme), d.Env, nil)
+	sess := mux.NewSession(blinding.WrapConn(raw, scheme), d.Env, nil)
+	sess.SetCounters(d.muxCounters.Load())
+	return sess
 }
 
 // session returns the live tunnel session, dialing a fresh blinded
-// carrier if needed. Used on the legacy single-remote path (Fleet nil).
+// carrier if needed. Used on the single-remote path (Fleet nil);
+// standby remotes are handled by configuring a fleet instead.
 func (d *Domestic) session() (*mux.Session, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.sess != nil && d.sess.Err() == nil {
 		return d.sess, nil
 	}
-	endpoint := "primary"
 	raw, err := d.DialRemote()
-	if err != nil {
-		for i, dial := range d.Fallbacks {
-			if raw, err = dial(); err == nil {
-				endpoint = fmt.Sprintf("fallback-%d", i+1)
-				d.fallbackDials.Inc()
-				break
-			}
-		}
-	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAllRemotesDown, err)
 	}
@@ -149,7 +158,8 @@ func (d *Domestic) session() (*mux.Session, error) {
 		scheme = blinding.SchemeForEpoch(d.Secret, d.Epoch)
 	}
 	d.sess = mux.NewSession(blinding.WrapConn(raw, scheme), d.Env, nil)
-	d.endpoint = endpoint
+	d.sess.SetCounters(d.muxCounters.Load())
+	d.endpoint = "primary"
 	return d.sess, nil
 }
 
@@ -168,13 +178,21 @@ func (d *Domestic) openStream(meta []byte) (net.Conn, error) {
 		d.mu.Lock()
 		d.endpoint = "fleet"
 		d.mu.Unlock()
+		d.streams.Inc()
+		d.flowTrace.Load().Addf("core", "stream-open", "%s via fleet", meta)
 		return st, nil
 	}
 	sess, err := d.session()
 	if err != nil {
 		return nil, err
 	}
-	return sess.Open(meta)
+	st, err := sess.Open(meta)
+	if err != nil {
+		return nil, err
+	}
+	d.streams.Inc()
+	d.flowTrace.Load().Addf("core", "stream-open", "%s via primary", meta)
+	return st, nil
 }
 
 // openSecure opens an HTTPS-passthrough stream to host:port.
@@ -207,6 +225,7 @@ func (d *Domestic) authorize(host string) error {
 		return nil
 	}
 	d.refused.Inc()
+	d.flowTrace.Load().Addf("core", "refused", "%s not on whitelist", host)
 	return fmt.Errorf("core: %s is not on the whitelist", host)
 }
 

@@ -27,11 +27,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/mux"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 	"scholarcloud/internal/pki"
 	"scholarcloud/internal/tlssim"
 )
@@ -64,6 +66,9 @@ type Remote struct {
 	sess  []*mux.Session
 	opens metrics.Counter
 	dens  metrics.Counter
+
+	flowTrace   atomic.Pointer[obs.Trace]
+	muxCounters atomic.Pointer[mux.Counters]
 }
 
 // RemoteStats counts tunnel activity.
@@ -76,6 +81,23 @@ type RemoteStats struct {
 func (r *Remote) Stats() RemoteStats {
 	return RemoteStats{StreamsOpened: r.opens.Value(), StreamsDenied: r.dens.Value()}
 }
+
+// Instrument publishes the remote's stream counters and its carriers' mux
+// frame counters on reg. Multiple Remote instances registering on the
+// same registry aggregate (snapshot sums same-name sources).
+func (r *Remote) Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("core.remote.streams_opened", &r.opens)
+	reg.RegisterCounter("core.remote.streams_denied", &r.dens)
+	r.muxCounters.Store(&mux.Counters{
+		FramesIn:   reg.Counter("mux.remote.frames_in"),
+		FramesOut:  reg.Counter("mux.remote.frames_out"),
+		Keepalives: reg.Counter("mux.remote.keepalives"),
+	})
+}
+
+// SetTrace installs (or, with nil, removes) a flow tracer receiving a
+// span for every origin connection made on a tunneled stream's behalf.
+func (r *Remote) SetTrace(t *obs.Trace) { r.flowTrace.Store(t) }
 
 // SetEpoch rotates the blinding scheme for subsequently accepted tunnels.
 func (r *Remote) SetEpoch(epoch uint64) {
@@ -107,6 +129,7 @@ func (r *Remote) Serve(ln net.Listener) {
 		}
 		blinded := blinding.WrapConn(conn, r.scheme())
 		sess := mux.NewSession(blinded, r.Env, r.acceptStream)
+		sess.SetCounters(r.muxCounters.Load())
 		r.mu.Lock()
 		// Prune dead carriers so the list tracks live peers only.
 		live := r.sess[:0]
@@ -154,9 +177,15 @@ func (r *Remote) acceptStream(meta []byte) (net.Conn, error) {
 	origin, err := r.DialHost(host, port)
 	if err != nil {
 		r.dens.Inc()
+		r.flowTrace.Load().Addf("core", "origin-connect", "%s:%d failed: %v", host, port, err)
 		return nil, err
 	}
 	r.opens.Inc()
+	kind := "https passthrough"
+	if plain {
+		kind = "http via per-stream channel"
+	}
+	r.flowTrace.Load().Addf("core", "origin-connect", "%s:%d (%s)", host, port, kind)
 
 	if secure {
 		// HTTPS passthrough: the browser's TLS rides the blinded tunnel

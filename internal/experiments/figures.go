@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/netsim"
 	"scholarcloud/internal/tunnel"
@@ -86,6 +85,20 @@ func (w *World) Methods() []Factory {
 	}
 }
 
+// FactoryByName resolves a method name to its factory, including the
+// "direct-us" baseline. The second return is false for unknown names.
+func (w *World) FactoryByName(name string) (Factory, bool) {
+	if name == "direct-us" {
+		return w.DirectBaseline(), true
+	}
+	for _, f := range w.Methods() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
 // DirectBaseline is the uncensored reference measurement.
 func (w *World) DirectBaseline() Factory {
 	return Factory{
@@ -118,7 +131,7 @@ func (w *World) MeasurePLT(f Factory, firstRuns, subsequentSamples int) (*PLTRes
 			if err := prepare(method); err != nil {
 				return fmt.Errorf("%s prepare: %w", f.Name, err)
 			}
-			browser := httpsim.NewBrowser(method, w.Env.Clock)
+			browser := w.newBrowser(method)
 			st := browser.Visit(f.URL)
 			if st.Failed {
 				method.Close()
@@ -226,7 +239,7 @@ func (w *World) MeasurePLR(f Factory, visits int) (*PLRResult, error) {
 		if err := prepare(method); err != nil {
 			return fmt.Errorf("%s prepare: %w", f.Name, err)
 		}
-		browser := httpsim.NewBrowser(method, w.Env.Clock)
+		browser := w.newBrowser(method)
 		// Warm up (tunnel establishment, first-visit extras), then reset
 		// counters so only steady-state traffic is sampled.
 		if st := browser.Visit(f.URL); st.Failed {
@@ -281,7 +294,7 @@ func (w *World) MeasureTraffic(f Factory, visits int) (*TrafficResult, error) {
 		if err := prepare(method); err != nil {
 			return fmt.Errorf("%s prepare: %w", f.Name, err)
 		}
-		browser := httpsim.NewBrowser(method, w.Env.Clock)
+		browser := w.newBrowser(method)
 		if st := browser.Visit(f.URL); st.Failed {
 			return fmt.Errorf("%s warmup: %w", f.Name, st.Err)
 		}
@@ -354,7 +367,7 @@ func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Dura
 					mu.Unlock()
 					return
 				}
-				browser := httpsim.NewBrowser(method, w.Env.Clock)
+				browser := w.newBrowser(method)
 				// Stagger arrivals uniformly across the interval.
 				w.Env.Clock.Sleep(time.Duration(i) * cadence / time.Duration(n))
 				for r := 0; r < rounds; r++ {
@@ -430,7 +443,7 @@ func (w *World) MeasureSessionStructure(f Factory) (*SessionStructure, error) {
 		}
 
 		authBefore := w.SSServer.Stats().AuthConns
-		browser := httpsim.NewBrowser(method, w.Env.Clock)
+		browser := w.newBrowser(method)
 		first := browser.Visit(f.URL)
 		if first.Failed {
 			return fmt.Errorf("%s first visit: %w", f.Name, first.Err)
@@ -463,7 +476,7 @@ func (w *World) DomesticPenalty() (direct, viaVPN time.Duration, err error) {
 	const url = "http://www.tsinghua.edu.cn/"
 	err = w.Run(func() error {
 		d := w.Direct(w.Client)
-		b := httpsim.NewBrowser(d, w.Env.Clock)
+		b := w.newBrowser(d)
 		if st := b.Visit(url); st.Failed {
 			return fmt.Errorf("direct domestic visit: %w", st.Err)
 		}
@@ -478,7 +491,7 @@ func (w *World) DomesticPenalty() (direct, viaVPN time.Duration, err error) {
 		if err := prepare(v); err != nil {
 			return err
 		}
-		bv := httpsim.NewBrowser(v, w.Env.Clock)
+		bv := w.newBrowser(v)
 		if st := bv.Visit(url); st.Failed {
 			return fmt.Errorf("vpn domestic visit: %w", st.Err)
 		}

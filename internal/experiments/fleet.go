@@ -18,7 +18,6 @@ import (
 	"sync"
 	"time"
 
-	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/metrics"
 )
 
@@ -101,7 +100,7 @@ func (w *World) MeasureFleetTakedown(n, rounds, victim int, killAt time.Duration
 				if err := prepare(method); err != nil {
 					return
 				}
-				browser := httpsim.NewBrowser(method, w.Env.Clock)
+				browser := w.newBrowser(method)
 				w.Env.Clock.Sleep(time.Duration(i) * visitInterval / time.Duration(n))
 				for r := 0; r < rounds; r++ {
 					start := w.Env.Clock.Now().Sub(t0)

@@ -13,6 +13,7 @@ import (
 	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/netsim"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 	"scholarcloud/internal/openvpn"
 	"scholarcloud/internal/pac"
 	"scholarcloud/internal/pki"
@@ -59,6 +60,11 @@ type World struct {
 	Net *netsim.Network
 	Env netx.Env
 	GFW *gfw.GFW
+
+	// Obs aggregates every layer's counters (network, censor, tunnel,
+	// fleet, browser); snapshot it before/after a measurement to attribute
+	// activity to that measurement.
+	Obs *obs.Registry
 
 	Cernet, CNNet, US, EU *netsim.Zone
 
@@ -121,7 +127,9 @@ func NewWorld(cfg Config) *World {
 		scSecret:   []byte("scholarcloud-blinding-secret"),
 		serverIDs:  make(map[string]*pki.Identity),
 	}
+	w.Obs = obs.NewRegistry()
 	w.Net = netsim.New(cfg.Seed)
+	w.Net.Observe(w.Obs)
 	w.Env = w.Net.Env()
 
 	// --- Topology -------------------------------------------------------
@@ -177,6 +185,7 @@ func NewWorld(cfg Config) *World {
 			ProbeFrom:           prober,
 			Seed:                cfg.Seed ^ 0x6F57AA11,
 		})
+		w.GFW.Instrument(w.Obs)
 		border.SetInspector(w.GFW)
 	}
 
@@ -219,6 +228,60 @@ func (w *World) Run(fn func() error) error {
 	case <-time.After(120 * time.Second):
 		return fmt.Errorf("experiments: simulation did not complete (wall-clock guard)")
 	}
+}
+
+// newBrowser builds a browser on method m wired into the world's metrics
+// registry, so every figure's page loads feed the http.* counters and
+// histograms.
+func (w *World) newBrowser(m tunnel.Method) *httpsim.Browser {
+	b := httpsim.NewBrowser(m, w.Env.Clock)
+	b.Instrument(w.Obs)
+	return b
+}
+
+// installTrace points every instrumented layer at t (nil detaches).
+func (w *World) installTrace(t *obs.Trace) {
+	w.Net.SetFlowTrace(t)
+	if w.GFW != nil {
+		w.GFW.SetTrace(t)
+	}
+	w.Domestic.SetTrace(t)
+	w.Remote.SetTrace(t)
+	for _, r := range w.FleetRemoteProxies {
+		r.SetTrace(t)
+	}
+	if w.Fleet != nil {
+		w.Fleet.SetTrace(t)
+	}
+}
+
+// TracePageLoad performs one first-time page load through f with a flow
+// tracer attached to every layer — network, censor, tunnel core, fleet,
+// browser — and returns the recorded spans alongside the visit stats.
+// The tracer is detached afterwards so later measurements run untraced.
+func (w *World) TracePageLoad(f Factory) (*obs.Trace, *httpsim.VisitStats, error) {
+	tr := obs.NewTrace(w.Env.Clock)
+	w.installTrace(tr)
+	defer w.installTrace(nil)
+	var stats *httpsim.VisitStats
+	err := w.Run(func() error {
+		method := f.New(w.Client)
+		defer method.Close()
+		if err := prepare(method); err != nil {
+			return fmt.Errorf("%s prepare: %w", f.Name, err)
+		}
+		b := w.newBrowser(method)
+		b.SetTrace(tr)
+		stats = b.Visit(f.URL)
+		if stats.Failed {
+			return fmt.Errorf("%s traced visit: %w", f.Name, stats.Err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, stats, nil
 }
 
 // NewClientHost creates an additional client machine in CERNET for
@@ -514,6 +577,7 @@ func (w *World) startScholarCloud() {
 	if w.Cfg.ScholarCloudNoBlinding {
 		w.Remote.SchemeOverride = blinding.Identity{}
 	}
+	w.Remote.Instrument(w.Obs)
 	lnRemote, err := w.SCRemoteHost.Listen("tcp", fmt.Sprintf(":%d", portSCRemote))
 	if err != nil {
 		panic(err)
@@ -534,6 +598,7 @@ func (w *World) startScholarCloud() {
 	if w.Cfg.ScholarCloudNoBlinding {
 		w.Domestic.SchemeOverride = blinding.Identity{}
 	}
+	w.Domestic.Instrument(w.Obs)
 	lnProxy, err := w.SCDomestic.Listen("tcp", fmt.Sprintf(":%d", portProxy))
 	if err != nil {
 		panic(err)
@@ -584,6 +649,7 @@ func (w *World) startFleet() {
 		if w.Cfg.ScholarCloudNoBlinding {
 			r.SchemeOverride = blinding.Identity{}
 		}
+		r.Instrument(w.Obs)
 		ln, err := host.Listen("tcp", fmt.Sprintf(":%d", portSCRemote))
 		if err != nil {
 			panic(err)
@@ -609,6 +675,7 @@ func (w *World) startFleet() {
 	if err != nil {
 		panic(err)
 	}
+	pool.Instrument(w.Obs)
 	w.Fleet = pool
 	w.Domestic.Fleet = pool
 }

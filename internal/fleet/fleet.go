@@ -3,9 +3,9 @@
 // blinded carrier sessions, continuously health-probed, and picks a
 // carrier per stream with a load- and health-aware policy.
 //
-// The paper's deployment ran two VMs with a manual standby
-// (core.Domestic.Fallbacks reproduces that: a linear dial-time scan that
-// only notices a dead primary when a dial fails outright). A
+// The paper's deployment ran two VMs with a manual standby (reproduced
+// here as a degenerate two-member fleet: the standby is just a second
+// endpoint the pick policy fails over to). A
 // production-scale ScholarCloud instead needs what CensorLess-style
 // systems demonstrate — capacity from fanning out across many cheap,
 // rotatable endpoints — and what ICLab measures — blocking that shifts
@@ -38,11 +38,13 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/mux"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 )
 
 // Endpoint is one remote proxy the pool can tunnel through.
@@ -187,7 +189,44 @@ type Pool struct {
 	picks     metrics.Counter
 	failovers metrics.Counter
 	rotations metrics.Counter
+
+	flowTrace atomic.Pointer[obs.Trace]
 }
+
+// Instrument publishes the pool's pick, failover, rotation and
+// per-endpoint health counters on reg. Per-endpoint counters are summed
+// across the fleet; use Stats for the per-endpoint breakdown.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("fleet.picks", &p.picks)
+	reg.RegisterCounter("fleet.failovers", &p.failovers)
+	reg.RegisterCounter("fleet.rotations", &p.rotations)
+	sum := func(read func(ep *endpoint) int64) func() int64 {
+		return func() int64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			var n int64
+			for _, ep := range p.endpoints {
+				n += read(ep)
+			}
+			return n
+		}
+	}
+	reg.RegisterFunc("fleet.streams_opened", sum(func(ep *endpoint) int64 { return ep.opened.Value() }))
+	reg.RegisterFunc("fleet.failures", sum(func(ep *endpoint) int64 { return ep.failures.Value() }))
+	reg.RegisterFunc("fleet.probes", sum(func(ep *endpoint) int64 { return ep.probes.Value() }))
+	reg.RegisterFunc("fleet.ejections", sum(func(ep *endpoint) int64 { return ep.ejections.Value() }))
+	reg.RegisterFunc("fleet.healthy_endpoints", sum(func(ep *endpoint) int64 {
+		if ep.healthy {
+			return 1
+		}
+		return 0
+	}))
+}
+
+// SetTrace installs (or, with nil, removes) a flow tracer receiving a
+// span for every carrier pick, failover, ejection, re-admission and probe
+// outcome.
+func (p *Pool) SetTrace(t *obs.Trace) { p.flowTrace.Store(t) }
 
 // New builds a pool over the given endpoints, pre-dials each endpoint's
 // carrier sessions in the background, and starts the health probers.
@@ -303,6 +342,9 @@ func (p *Pool) Open(meta []byte) (net.Conn, error) {
 		tried[ep] = true
 		if attempt > 0 {
 			p.failovers.Inc()
+			p.flowTrace.Load().Addf("fleet", "failover", "attempt %d -> %s", attempt+1, ep.Name)
+		} else {
+			p.flowTrace.Load().Addf("fleet", "pick", "%s for %q", ep.Name, meta)
 		}
 		st, err := p.openOn(ep, meta)
 		if err == nil {

@@ -43,9 +43,11 @@ func (p *Pool) probe(ep *endpoint) {
 	}
 	rtt, err := sess.RTT(p.cfg.ProbeTimeout)
 	if err != nil {
+		p.flowTrace.Load().Addf("fleet", "probe", "%s failed: %v", ep.Name, err)
 		p.recordFailure(ep, err)
 		return
 	}
+	p.flowTrace.Load().Addf("fleet", "probe", "%s rtt=%v", ep.Name, rtt)
 	p.recordSuccess(ep, rtt)
 }
 
@@ -89,6 +91,7 @@ func (p *Pool) recordSuccess(ep *endpoint, rtt time.Duration) {
 	}
 	p.mu.Unlock()
 	if notify != nil {
+		p.flowTrace.Load().Addf("fleet", "readmit", "%s", ep.Name)
 		notify(ep.Name, true, "probe succeeded")
 	}
 }
@@ -98,6 +101,7 @@ func (p *Pool) recordSuccess(ep *endpoint, rtt time.Duration) {
 func (p *Pool) ejectLocked(ep *endpoint, reason string) []*mux.Session {
 	ep.healthy = false
 	ep.ejections.Inc()
+	p.flowTrace.Load().Addf("fleet", "eject", "%s: %s", ep.Name, reason)
 	if ep.backoff == 0 {
 		ep.backoff = p.cfg.ReadmitBackoff
 	} else if ep.backoff < p.cfg.BackoffMax {

@@ -34,11 +34,14 @@ package gfw
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/netsim"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 )
 
 // Config parameterizes the firewall.
@@ -113,7 +116,53 @@ type GFW struct {
 	probing    map[string]bool // probe in flight
 	classCount map[Class]int64
 	stats      Stats
+
+	flowTrace atomic.Pointer[obs.Trace]
+	// obsVerdicts counts Inspect outcomes, indexed by netsim.Verdict.
+	// Resolved once in Instrument; nil entries mean unobserved.
+	obsVerdicts [3]*metrics.Counter
 }
+
+// knownClasses is every class DPI can assign, for metric registration.
+var knownClasses = []Class{
+	ClassUnknown, ClassHTTP, ClassTLS, ClassMeek, ClassPPTP,
+	ClassL2TP, ClassOpenVPN, ClassEncrypted, ClassLowEntropy,
+}
+
+// Instrument publishes the firewall's verdict, per-class and mechanism
+// counters on reg. Call once, before traffic starts.
+func (g *GFW) Instrument(reg *obs.Registry) {
+	g.obsVerdicts[netsim.VerdictPass] = reg.Counter("gfw.verdicts.pass")
+	g.obsVerdicts[netsim.VerdictDrop] = reg.Counter("gfw.verdicts.drop")
+	g.obsVerdicts[netsim.VerdictReset] = reg.Counter("gfw.verdicts.reset")
+	for _, c := range knownClasses {
+		c := c
+		reg.RegisterFunc("gfw.class."+string(c), func() int64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return g.classCount[c]
+		})
+	}
+	for name, read := range map[string]func(Stats) int64{
+		"gfw.packets_inspected":  func(s Stats) int64 { return s.PacketsInspected },
+		"gfw.flows_tracked":      func(s Stats) int64 { return s.FlowsTracked },
+		"gfw.dns_poisoned":       func(s Stats) int64 { return s.DNSPoisoned },
+		"gfw.ip_blocked":         func(s Stats) int64 { return s.IPBlocked },
+		"gfw.keyword_resets":     func(s Stats) int64 { return s.KeywordResets },
+		"gfw.probes_launched":    func(s Stats) int64 { return s.ProbesLaunched },
+		"gfw.servers_confirmed":  func(s Stats) int64 { return s.ServersConfirmed },
+		"gfw.servers_exonerated": func(s Stats) int64 { return s.ServersExonerated },
+		"gfw.interference_drops": func(s Stats) int64 { return s.InterferenceDrops },
+	} {
+		read := read
+		reg.RegisterFunc(name, func() int64 { return read(g.Stats()) })
+	}
+}
+
+// SetTrace installs (or, with nil, removes) a flow tracer receiving a span
+// for every classification, keyword reset, DNS poisoning, IP block,
+// interference drop and active-probe event.
+func (g *GFW) SetTrace(t *obs.Trace) { g.flowTrace.Store(t) }
 
 // New creates a firewall from cfg.
 func New(cfg Config) *GFW {
@@ -188,6 +237,16 @@ func (g *GFW) domainBlocked(host string) bool {
 // goroutine for every packet crossing the border link, in both
 // directions.
 func (g *GFW) Inspect(pkt *netsim.Packet) netsim.Verdict {
+	v := g.inspect(pkt)
+	if c := g.obsVerdicts[v]; c != nil {
+		c.Inc()
+	}
+	return v
+}
+
+// inspect is the single funnel behind Inspect so verdict accounting has
+// one exit point.
+func (g *GFW) inspect(pkt *netsim.Packet) netsim.Verdict {
 	// The firewall's own probe traffic is exempt.
 	if g.cfg.ProbeFrom != nil {
 		ip := g.cfg.ProbeFrom.IP()
@@ -203,6 +262,7 @@ func (g *GFW) Inspect(pkt *netsim.Packet) netsim.Verdict {
 	if g.blockedIP[pkt.Src.IP] || g.blockedIP[pkt.Dst.IP] {
 		g.stats.IPBlocked++
 		g.mu.Unlock()
+		g.flowTrace.Load().Addf("gfw", "ip-block", "%s -> %s", pkt.Src, pkt.Dst)
 		return netsim.VerdictDrop
 	}
 
@@ -231,6 +291,7 @@ func (g *GFW) inspectUDPLocked(pkt *netsim.Packet) netsim.Verdict {
 	// passed through — the real GFW lets it go and wins the race because
 	// it answers from the border.
 	g.stats.DNSPoisoned++
+	g.flowTrace.Load().Addf("gfw", "dns-poison", "%s -> %s", name, g.cfg.PoisonIP)
 	forged := &dnssim.Message{
 		ID:       id,
 		Response: true,
@@ -299,6 +360,19 @@ func (g *GFW) inspectTCP(pkt *netsim.Packet) netsim.Verdict {
 			fs.classified = true
 			g.classCount[fs.class]++
 			g.onClassifiedLocked(fs)
+			if t := g.flowTrace.Load(); t != nil {
+				treatment := "pass"
+				switch {
+				case fs.blockedKW:
+					treatment = "keyword-reset"
+				case fs.class == ClassMeek && g.cfg.MeekLossRate > 0:
+					treatment = "interfere"
+				case fs.class == ClassEncrypted && g.confirmed[endpoint(fs.serverIP, fs.serverPort)]:
+					treatment = "interfere"
+				}
+				t.Addf("gfw", "classify", "%s class=%s verdict=%s",
+					endpoint(fs.serverIP, fs.serverPort), fs.class, treatment)
+			}
 		}
 	}
 
@@ -306,6 +380,7 @@ func (g *GFW) inspectTCP(pkt *netsim.Packet) netsim.Verdict {
 	if fs.blockedKW {
 		g.stats.KeywordResets++
 		g.mu.Unlock()
+		g.flowTrace.Load().Addf("gfw", "keyword-reset", "%s -> %s", pkt.Src, pkt.Dst)
 		return netsim.VerdictReset
 	}
 
@@ -321,7 +396,10 @@ func (g *GFW) inspectTCP(pkt *netsim.Packet) netsim.Verdict {
 	}
 	if drop > 0 && g.lossDraw(pkt.ID) < drop {
 		g.stats.InterferenceDrops++
+		class := fs.class
 		g.mu.Unlock()
+		g.flowTrace.Load().Addf("gfw", "interference-drop", "%s %s -> %s",
+			class, pkt.Src, pkt.Dst)
 		return netsim.VerdictDrop
 	}
 	g.mu.Unlock()

@@ -32,6 +32,7 @@ const probeReadTimeout = 1 * time.Second
 //	                                 behaviour, confirmed
 func (g *GFW) scheduleProbeLocked(ep string, replay []byte) {
 	g.stats.ProbesLaunched++
+	g.flowTrace.Load().Addf("gfw", "probe-launch", "%s (%d replay bytes)", ep, len(replay))
 	g.cfg.Clock.AfterFunc(g.cfg.ProbeDelay, func() {
 		g.runProbe(ep, replay)
 	})
@@ -78,8 +79,10 @@ func (g *GFW) finishProbe(ep string, confirmed bool) {
 	if confirmed {
 		g.confirmed[ep] = true
 		g.stats.ServersConfirmed++
+		g.flowTrace.Load().Addf("gfw", "probe-verdict", "%s confirmed", ep)
 	} else {
 		g.cleared[ep] = true
 		g.stats.ServersExonerated++
+		g.flowTrace.Load().Addf("gfw", "probe-verdict", "%s exonerated", ep)
 	}
 }

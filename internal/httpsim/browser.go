@@ -6,9 +6,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 	"scholarcloud/internal/tlssim"
 )
 
@@ -66,7 +69,40 @@ type Browser struct {
 	cookies map[string]string // host -> cookie
 	cache   map[string]bool   // URL -> cached
 	visited map[string]bool   // host -> seen before (per-browser "account known")
+
+	flowTrace atomic.Pointer[obs.Trace]
+	om        *browserObs
 }
+
+// browserObs holds the browser's resolved metric handles (PLT phase
+// breakdown); nil when uninstrumented.
+type browserObs struct {
+	visits, visitFailures, fetches  *metrics.Counter
+	redirects, conns, tlsHandshakes *metrics.Counter
+	cacheHits, accountRecords       *metrics.Counter
+	pltSeconds, fetchSeconds        *obs.Histogram
+}
+
+// Instrument publishes the browser's visit/fetch counters and PLT phase
+// histograms on reg. Call before the first Visit.
+func (b *Browser) Instrument(reg *obs.Registry) {
+	b.om = &browserObs{
+		visits:         reg.Counter("http.visits"),
+		visitFailures:  reg.Counter("http.visit_failures"),
+		fetches:        reg.Counter("http.fetches"),
+		redirects:      reg.Counter("http.redirects"),
+		conns:          reg.Counter("http.conns"),
+		tlsHandshakes:  reg.Counter("http.tls_handshakes"),
+		cacheHits:      reg.Counter("http.cache_hits"),
+		accountRecords: reg.Counter("http.account_records"),
+		pltSeconds:     reg.Histogram("http.plt_seconds"),
+		fetchSeconds:   reg.Histogram("http.fetch_seconds"),
+	}
+}
+
+// SetTrace installs (or, with nil, removes) a flow tracer receiving spans
+// for each phase of a page load.
+func (b *Browser) SetTrace(t *obs.Trace) { b.flowTrace.Store(t) }
 
 // NewBrowser creates a browser with empty caches on the given stack.
 func NewBrowser(stack NetStack, clock netx.Clock) *Browser {
@@ -109,7 +145,22 @@ type visitConn struct {
 func (b *Browser) Visit(rawURL string) *VisitStats {
 	stats := &VisitStats{URL: rawURL}
 	start := b.clock.Now()
-	defer func() { stats.PLT = b.clock.Now().Sub(start) }()
+	b.flowTrace.Load().Addf("http", "visit-start", "%s", rawURL)
+	defer func() {
+		stats.PLT = b.clock.Now().Sub(start)
+		if b.om != nil {
+			b.om.visits.Inc()
+			if stats.Failed {
+				b.om.visitFailures.Inc()
+			} else {
+				b.om.pltSeconds.ObserveDuration(stats.PLT)
+			}
+		}
+		b.flowTrace.Load().Addf("http", "visit-done",
+			"plt=%v resources=%d redirects=%d conns=%d bytes=%d failed=%v",
+			stats.PLT, stats.Resources, stats.Redirects, stats.NewConns,
+			stats.BytesFetched, stats.Failed)
+	}()
 
 	u, err := ParseURL(rawURL)
 	if err != nil {
@@ -144,6 +195,9 @@ func (b *Browser) Visit(rawURL string) *VisitStats {
 		b.mu.Unlock()
 		if cached {
 			stats.CacheHits++
+			if b.om != nil {
+				b.om.cacheHits.Inc()
+			}
 			continue
 		}
 		if _, err := b.fetch(pool, res, stats, 0); err != nil {
@@ -165,6 +219,10 @@ func (b *Browser) Visit(rawURL string) *VisitStats {
 			return stats
 		}
 		stats.AccountRecorded = true
+		if b.om != nil {
+			b.om.accountRecords.Inc()
+		}
+		b.flowTrace.Load().Addf("http", "account", "%s", acct)
 	}
 
 	b.mu.Lock()
@@ -199,6 +257,10 @@ func (b *Browser) fetch(pool map[string]*visitConn, u *URL, stats *VisitStats, d
 			return nil, err
 		}
 		stats.NewConns++
+		if b.om != nil {
+			b.om.conns.Inc()
+		}
+		b.flowTrace.Load().Addf("http", "connect", "%s", key)
 		if u.Scheme == "https" {
 			tconn := tlssim.Client(raw, tlssim.Config{ServerName: u.Host})
 			if err := tconn.Handshake(); err != nil {
@@ -206,6 +268,10 @@ func (b *Browser) fetch(pool map[string]*visitConn, u *URL, stats *VisitStats, d
 				return nil, err
 			}
 			stats.TLSHandshakes++
+			if b.om != nil {
+				b.om.tlsHandshakes.Inc()
+			}
+			b.flowTrace.Load().Addf("http", "tls-handshake", "%s", u.Host)
 			vc = &visitConn{cc: NewClientConn(tconn), https: true}
 		} else {
 			vc = &visitConn{cc: NewClientConn(raw)}
@@ -215,7 +281,12 @@ func (b *Browser) fetch(pool map[string]*visitConn, u *URL, stats *VisitStats, d
 
 	req := &Request{Method: "GET", Target: u.Path, Host: u.Host, Header: map[string]string{}}
 	b.attachCookie(req, u.Host)
+	t0 := b.clock.Now()
 	resp, err := vc.cc.RoundTrip(req)
+	if err == nil && b.om != nil {
+		b.om.fetches.Inc()
+		b.om.fetchSeconds.ObserveDuration(b.clock.Now().Sub(t0))
+	}
 	if err != nil {
 		// The pooled connection may have died (keep-alive teardown,
 		// censor reset); retry once on a fresh one.
@@ -246,22 +317,32 @@ func (b *Browser) fetchViaHTTPProxy(pool map[string]*visitConn, proxyAddr string
 			return nil, err
 		}
 		stats.NewConns++
+		if b.om != nil {
+			b.om.conns.Inc()
+		}
+		b.flowTrace.Load().Addf("http", "connect", "%s", key)
 		vc = &visitConn{cc: NewClientConn(raw)}
 		pool[key] = vc
 	}
 	req := &Request{Method: "GET", Target: u.String(), Host: u.Host, Header: map[string]string{}}
 	b.attachCookie(req, u.Host)
+	t0 := b.clock.Now()
 	resp, err := vc.cc.RoundTrip(req)
 	if err != nil {
 		vc.cc.Close()
 		delete(pool, key)
 		return nil, err
 	}
+	if b.om != nil {
+		b.om.fetches.Inc()
+		b.om.fetchSeconds.ObserveDuration(b.clock.Now().Sub(t0))
+	}
 	return b.finishResponse(pool, u, resp, stats, depth)
 }
 
 func (b *Browser) finishResponse(pool map[string]*visitConn, u *URL, resp *Response, stats *VisitStats, depth int) ([]byte, error) {
 	stats.BytesFetched += int64(len(resp.Body))
+	b.flowTrace.Load().Addf("http", "response", "%s %d (%d bytes)", u, resp.StatusCode, len(resp.Body))
 	if resp.StatusCode == 301 || resp.StatusCode == 302 {
 		loc := resp.Header["Location"]
 		nu, err := ParseURL(loc)
@@ -269,6 +350,10 @@ func (b *Browser) finishResponse(pool map[string]*visitConn, u *URL, resp *Respo
 			return nil, fmt.Errorf("httpsim: bad redirect %q: %w", loc, err)
 		}
 		stats.Redirects++
+		if b.om != nil {
+			b.om.redirects.Inc()
+		}
+		b.flowTrace.Load().Addf("http", "redirect", "%s -> %s", u, loc)
 		return b.fetch(pool, nu, stats, depth+1)
 	}
 	if resp.StatusCode != 200 {

@@ -22,8 +22,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/netx"
 )
 
@@ -74,7 +76,22 @@ type Session struct {
 	accept   Acceptor
 	pings    map[uint32]*pingWait
 	nextPing uint32
+
+	counters atomic.Pointer[Counters]
 }
+
+// Counters are shared frame-level counters a session reports into. The
+// same Counters value is typically installed on every session of one
+// tunnel endpoint, so the totals aggregate across carriers.
+type Counters struct {
+	FramesIn   *metrics.Counter
+	FramesOut  *metrics.Counter
+	Keepalives *metrics.Counter // ping+pong frames sent
+}
+
+// SetCounters installs (or, with nil, removes) frame counters. Safe to
+// call at any time, including while the read loop is running.
+func (s *Session) SetCounters(c *Counters) { s.counters.Store(c) }
 
 // pingWait tracks one outstanding measured ping.
 type pingWait struct {
@@ -168,6 +185,12 @@ func (s *Session) fail(err error) {
 }
 
 func (s *Session) writeFrame(typ byte, id uint32, payload []byte) error {
+	if c := s.counters.Load(); c != nil {
+		c.FramesOut.Inc()
+		if typ == framePing || typ == framePong {
+			c.Keepalives.Inc()
+		}
+	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	hdr := make([]byte, 9, 9+len(payload))
@@ -203,6 +226,9 @@ func (s *Session) readLoop() {
 		if _, err := io.ReadFull(s.conn, payload); err != nil {
 			s.fail(fmt.Errorf("mux: carrier read: %w", err))
 			return
+		}
+		if c := s.counters.Load(); c != nil {
+			c.FramesIn.Inc()
 		}
 		s.dispatch(typ, id, payload)
 	}

@@ -28,7 +28,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
 	"scholarcloud/internal/vclock"
 )
 
@@ -197,7 +199,24 @@ const (
 	DropQueue
 	DropInspector
 	DropNoRoute
+	numDropReasons
 )
+
+// String names the reason for metrics and traces.
+func (r DropReason) String() string {
+	switch r {
+	case DropLoss:
+		return "loss"
+	case DropQueue:
+		return "queue"
+	case DropInspector:
+		return "inspector"
+	case DropNoRoute:
+		return "noroute"
+	default:
+		return "unknown"
+	}
+}
 
 // HostStats are per-host packet and byte counters.
 type HostStats struct {
@@ -232,8 +251,32 @@ type Network struct {
 
 	pktID atomic.Uint64
 
-	trace atomic.Pointer[func(pkt *Packet)]
+	trace     atomic.Pointer[func(pkt *Packet)]
+	flowTrace atomic.Pointer[obs.Trace]
+
+	// Obs handles are resolved once in Observe; nil until then so the
+	// packet path pays a single nil check when unobserved.
+	obsPackets *metrics.Counter
+	obsInject  *metrics.Counter
+	obsRetrans *metrics.Counter
+	obsDrops   [numDropReasons]*metrics.Counter
 }
+
+// Observe registers the network's packet, drop, injection and
+// retransmission counters with reg. Call once, before traffic starts.
+func (n *Network) Observe(reg *obs.Registry) {
+	n.obsPackets = reg.Counter("netsim.packets")
+	n.obsInject = reg.Counter("netsim.injected")
+	n.obsRetrans = reg.Counter("netsim.tcp.retransmits")
+	for r := DropReason(0); r < numDropReasons; r++ {
+		n.obsDrops[r] = reg.Counter("netsim.drops." + r.String())
+	}
+}
+
+// SetFlowTrace installs (or, with nil, removes) a flow tracer that
+// receives a span for every drop, forged injection and TCP retransmission
+// in the network.
+func (n *Network) SetFlowTrace(t *obs.Trace) { n.flowTrace.Store(t) }
 
 // SetTrace installs a callback observing every packet as it is sent
 // (nil disables). Used by tests and traffic-debugging tools.
@@ -400,6 +443,9 @@ func (n *Network) lossDraw(pktID uint64, hopIdx int) float64 {
 // It is the low-level send used by the TCP and UDP layers.
 func (n *Network) sendFrom(h *Host, pkt *Packet) {
 	pkt.ID = n.pktID.Add(1)
+	if n.obsPackets != nil {
+		n.obsPackets.Inc()
+	}
 	if fn := n.trace.Load(); fn != nil {
 		(*fn)(pkt)
 	}
@@ -443,6 +489,16 @@ func (n *Network) sendFrom(h *Host, pkt *Packet) {
 func (n *Network) InjectToward(from *Zone, pkt *Packet) {
 	pkt.ID = n.pktID.Add(1)
 	pkt.Injected = true
+	if n.obsInject != nil {
+		n.obsInject.Inc()
+	}
+	if t := n.flowTrace.Load(); t != nil {
+		kind := "forged"
+		if pkt.RST {
+			kind = "rst"
+		}
+		t.Addf("netsim", "inject", "%s %s -> %s", kind, pkt.Src, pkt.Dst)
+	}
 	n.mu.Lock()
 	dst, ok := n.hosts[pkt.Dst.IP]
 	if !ok {
@@ -571,7 +627,24 @@ func (n *Network) recordDrop(src, dst *Host, pkt *Packet, reason DropReason) {
 		dst.stats.LostInbound++
 		dst.statsMu.Unlock()
 	}
-	_ = reason
+	if c := n.obsDrops[reason]; c != nil {
+		c.Inc()
+	}
+	if t := n.flowTrace.Load(); t != nil {
+		t.Addf("netsim", "drop", "%s %s %s -> %s (%d bytes)",
+			reason, pkt.Proto, pkt.Src, pkt.Dst, pkt.Wire)
+	}
+}
+
+// noteRetransmit is called by the TCP layer every time a segment is sent
+// again (RTO expiry or fast retransmit).
+func (n *Network) noteRetransmit(local, remote AddrPort) {
+	if n.obsRetrans != nil {
+		n.obsRetrans.Inc()
+	}
+	if t := n.flowTrace.Load(); t != nil {
+		t.Addf("netsim", "retransmit", "%s -> %s", local, remote)
+	}
 }
 
 // simClock adapts the scheduler to netx.Clock.

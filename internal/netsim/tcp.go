@@ -498,6 +498,7 @@ func (c *Conn) onRTO() {
 		seg.rexmit = true
 		seg.sentAt = now
 		c.retransmits++
+		c.host.n.noteRetransmit(c.local, c.remote)
 		c.transmitLocked(seg)
 	}
 	c.rto *= 2
@@ -515,6 +516,7 @@ func (c *Conn) retransmitLocked() {
 	seg.rexmit = true
 	seg.sentAt = c.host.n.sched.Elapsed()
 	c.retransmits++
+	c.host.n.noteRetransmit(c.local, c.remote)
 	c.transmitLocked(seg)
 }
 

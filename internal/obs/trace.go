@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/netx"
+)
+
+// Span is one event on a traced flow: a timestamped (virtual-clock) record
+// of something a layer did to the page load — a stream opened, a GFW
+// verdict, a dropped packet, a fleet pick, a retransmission, an origin
+// response.
+type Span struct {
+	// At is the offset from the trace's start on the trace's clock.
+	At time.Duration
+	// Layer names the subsystem that emitted the span: "http", "core",
+	// "fleet", "gfw", "netsim", "mux".
+	Layer string
+	// Event is the short machine-stable event name, e.g. "classify",
+	// "stream-open", "drop", "retransmit".
+	Event string
+	// Detail is free-form human text: addresses, classes, byte counts.
+	Detail string
+}
+
+// Trace collects spans for one flow (typically one page load). All methods
+// are safe for concurrent use and are no-ops on a nil receiver, so
+// instrumented layers can call Add unconditionally through an
+// atomic.Pointer that is usually nil.
+type Trace struct {
+	clock netx.Clock
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts an empty trace whose span offsets are measured on clock
+// from now.
+func NewTrace(clock netx.Clock) *Trace {
+	return &Trace{clock: clock, start: clock.Now()}
+}
+
+// Add records a span. Nil-safe: a nil trace discards the event without
+// touching its arguments, so callers on hot paths pay only a nil check.
+func (t *Trace) Add(layer, event, detail string) {
+	if t == nil {
+		return
+	}
+	at := t.clock.Now().Sub(t.start)
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{At: at, Layer: layer, Event: event, Detail: detail})
+	t.mu.Unlock()
+}
+
+// Addf is Add with a format string. The formatting happens only when the
+// trace is live, so disabled call sites allocate nothing.
+func (t *Trace) Addf(layer, event, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Add(layer, event, fmt.Sprintf(format, args...))
+}
+
+// Spans returns a copy of the recorded spans in arrival order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Count returns how many spans match the given layer and event. An empty
+// layer or event matches everything.
+func (t *Trace) Count(layer, event string) int {
+	n := 0
+	for _, s := range t.Spans() {
+		if (layer == "" || s.Layer == layer) && (event == "" || s.Event == event) {
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats the trace as a per-hop text table: one line per span with
+// the virtual-clock offset, layer, event and detail, followed by a footer
+// summarizing span counts per layer.
+func (t *Trace) Render(title string) string {
+	spans := t.Spans()
+	var b strings.Builder
+	fmt.Fprintf(&b, "== flow trace: %s (%d spans) ==\n", title, len(spans))
+	layerW, eventW := 5, 5
+	for _, s := range spans {
+		if len(s.Layer) > layerW {
+			layerW = len(s.Layer)
+		}
+		if len(s.Event) > eventW {
+			eventW = len(s.Event)
+		}
+	}
+	perLayer := map[string]int{}
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  +%11.6fs  %-*s  %-*s  %s\n",
+			s.At.Seconds(), layerW, s.Layer, eventW, s.Event, s.Detail)
+		perLayer[s.Layer]++
+	}
+	layers := make([]string, 0, len(perLayer))
+	for l := range perLayer {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	parts := make([]string, 0, len(layers))
+	for _, l := range layers {
+		parts = append(parts, fmt.Sprintf("%s=%d", l, perLayer[l]))
+	}
+	fmt.Fprintf(&b, "  -- spans by layer: %s\n", strings.Join(parts, " "))
+	return b.String()
+}

@@ -8,7 +8,10 @@
 //   - Simulation wraps the full world of the paper's methodology — a
 //     client inside CERNET, the GFW on the border, Google Scholar and all
 //     five access methods' servers — and exposes the per-figure
-//     measurement runners. See examples/ for end-to-end uses.
+//     measurement runners. Every Measure* method returns a typed result
+//     struct carrying the measurement's observability snapshot (the delta
+//     of every layer's counters across the run). See examples/ for
+//     end-to-end uses.
 //
 //   - Deployment runs the actual ScholarCloud proxies over real sockets:
 //     a remote proxy outside the censored network and a domestic proxy
@@ -17,10 +20,12 @@
 package scholarcloud
 
 import (
+	"fmt"
 	"time"
 
 	"scholarcloud/internal/experiments"
 	"scholarcloud/internal/metrics"
+	"scholarcloud/internal/obs"
 	"scholarcloud/internal/survey"
 )
 
@@ -30,6 +35,35 @@ type Simulation struct {
 	// World exposes the underlying topology, hosts, GFW, and method
 	// factories for fine-grained use.
 	World *experiments.World
+}
+
+// FleetOptions backs ScholarCloud's domestic proxy with a managed pool of
+// remote proxies (health-probed, load-balanced, takedown-rotated) instead
+// of the paper's single remote.
+type FleetOptions struct {
+	// Remotes is the pool size. Endpoint 0 is the paper's primary remote;
+	// the rest are extra VMs.
+	Remotes int
+	// SessionsPerRemote sizes each remote's pre-dialed carrier pool (zero
+	// selects the fleet package default).
+	SessionsPerRemote int
+}
+
+// Validate rejects nonsensical fleet configurations.
+func (f *FleetOptions) Validate() error {
+	if f == nil {
+		return nil
+	}
+	if f.Remotes < 0 {
+		return fmt.Errorf("scholarcloud: FleetOptions.Remotes is negative (%d)", f.Remotes)
+	}
+	if f.SessionsPerRemote < 0 {
+		return fmt.Errorf("scholarcloud: FleetOptions.SessionsPerRemote is negative (%d)", f.SessionsPerRemote)
+	}
+	if f.SessionsPerRemote > 0 && f.Remotes == 0 {
+		return fmt.Errorf("scholarcloud: FleetOptions.SessionsPerRemote set (%d) but Remotes is zero — sessions need a fleet to belong to", f.SessionsPerRemote)
+	}
+	return nil
 }
 
 // Options configures a Simulation.
@@ -43,24 +77,63 @@ type Options struct {
 	NoBlinding bool
 	// SSKeepAlive overrides Shadowsocks' 10s keep-alive (ablation).
 	SSKeepAlive time.Duration
-	// FleetRemotes > 0 backs ScholarCloud's domestic proxy with a managed
-	// pool of that many remote proxies (health-probed, load-balanced,
-	// takedown-rotated) instead of the paper's single remote.
+	// Fleet, when non-nil with Remotes > 0, runs the domestic proxy
+	// against a managed remote-proxy pool.
+	Fleet *FleetOptions
+
+	// FleetRemotes is a deprecated alias for Fleet.Remotes.
+	//
+	// Deprecated: set Fleet instead.
 	FleetRemotes int
-	// FleetSessionsPerRemote sizes each remote's pre-dialed carrier pool.
+	// FleetSessionsPerRemote is a deprecated alias for
+	// Fleet.SessionsPerRemote.
+	//
+	// Deprecated: set Fleet instead.
 	FleetSessionsPerRemote int
 }
 
-// NewSimulation builds and starts the world. Close it when done.
+// fleet reconciles the nested Fleet block with the deprecated flat
+// aliases (the nested form wins when both are set).
+func (o Options) fleet() *FleetOptions {
+	if o.Fleet != nil {
+		return o.Fleet
+	}
+	if o.FleetRemotes != 0 || o.FleetSessionsPerRemote != 0 {
+		return &FleetOptions{
+			Remotes:           o.FleetRemotes,
+			SessionsPerRemote: o.FleetSessionsPerRemote,
+		}
+	}
+	return nil
+}
+
+// Validate rejects nonsensical option combinations with descriptive
+// errors.
+func (o Options) Validate() error {
+	if o.Fleet != nil && (o.FleetRemotes != 0 || o.FleetSessionsPerRemote != 0) {
+		return fmt.Errorf("scholarcloud: both Options.Fleet and the deprecated flat FleetRemotes/FleetSessionsPerRemote are set — use one")
+	}
+	return o.fleet().Validate()
+}
+
+// NewSimulation builds and starts the world. Close it when done. Invalid
+// options (see Options.Validate) panic with a descriptive error, matching
+// the construct-or-die contract of the underlying world.
 func NewSimulation(opts Options) *Simulation {
-	return &Simulation{World: experiments.NewWorld(experiments.Config{
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	cfg := experiments.Config{
 		Seed:                   opts.Seed,
 		DisableGFW:             opts.DisableGFW,
 		ScholarCloudNoBlinding: opts.NoBlinding,
 		SSKeepAlive:            opts.SSKeepAlive,
-		FleetRemotes:           opts.FleetRemotes,
-		FleetSessionsPerRemote: opts.FleetSessionsPerRemote,
-	})}
+	}
+	if f := opts.fleet(); f != nil {
+		cfg.FleetRemotes = f.Remotes
+		cfg.FleetSessionsPerRemote = f.SessionsPerRemote
+	}
+	return &Simulation{World: experiments.NewWorld(cfg)}
 }
 
 // Close stops the simulation.
@@ -79,70 +152,237 @@ func (s *Simulation) MethodNames() []string {
 // Summary is a statistics summary re-exported for API users.
 type Summary = metrics.Summary
 
-// PLT measures first-time and subsequent page load times for the named
-// method (Fig. 5a's datapoints).
-func (s *Simulation) PLT(method string, firstRuns, subsequent int) (first, sub Summary, err error) {
+// Snapshot returns the current cumulative state of every layer's metrics
+// (network, censor, tunnel core, fleet, browser).
+func (s *Simulation) Snapshot() obs.Snapshot { return s.World.Obs.Snapshot() }
+
+// PLTResult is one method's Fig. 5a datapoint: first-time and subsequent
+// page load time summaries, plus the observability delta of the run.
+type PLTResult struct {
+	Method     string
+	FirstTime  Summary // seconds
+	Subsequent Summary // seconds
+	Obs        obs.Snapshot
+}
+
+// RTTResult is one method's Fig. 5b datapoint.
+type RTTResult struct {
+	Method string
+	RTT    Summary // seconds
+	Obs    obs.Snapshot
+}
+
+// PLRResult is one method's Fig. 5c datapoint.
+type PLRResult struct {
+	Method string
+	PLR    float64
+	// Packets is the sample size behind the estimate.
+	Packets int64
+	Obs     obs.Snapshot
+}
+
+// TrafficResult is one method's Fig. 6a datapoint.
+type TrafficResult struct {
+	Method         string
+	BytesPerAccess float64
+	Obs            obs.Snapshot
+}
+
+// ScalabilityResult is one (method, concurrency) cell of Fig. 7.
+type ScalabilityResult struct {
+	Method  string
+	Clients int
+	PLT     Summary // seconds
+	Failed  int
+	Obs     obs.Snapshot
+}
+
+// measure runs fn between two registry snapshots and stores the delta via
+// setObs.
+func (s *Simulation) measure(fn func() error, setObs func(obs.Snapshot)) error {
+	before := s.World.Obs.Snapshot()
+	if err := fn(); err != nil {
+		return err
+	}
+	setObs(s.World.Obs.Snapshot().Sub(before))
+	return nil
+}
+
+// MeasurePLT measures first-time and subsequent page load times for the
+// named method (Fig. 5a's datapoints).
+func (s *Simulation) MeasurePLT(method string, firstRuns, subsequent int) (*PLTResult, error) {
 	f, err := s.factory(method)
 	if err != nil {
-		return Summary{}, Summary{}, err
+		return nil, err
 	}
-	r, err := s.World.MeasurePLT(f, firstRuns, subsequent)
+	res := &PLTResult{Method: method}
+	err = s.measure(func() error {
+		r, err := s.World.MeasurePLT(f, firstRuns, subsequent)
+		if err != nil {
+			return err
+		}
+		res.FirstTime, res.Subsequent = r.FirstTime, r.Subsequent
+		return nil
+	}, func(sn obs.Snapshot) { res.Obs = sn })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MeasureRTT measures tunneled round-trip time (Fig. 5b).
+func (s *Simulation) MeasureRTT(method string, probes int) (*RTTResult, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return nil, err
+	}
+	res := &RTTResult{Method: method}
+	err = s.measure(func() error {
+		r, err := s.World.MeasureRTT(f, probes)
+		if err != nil {
+			return err
+		}
+		res.RTT = r.RTT
+		return nil
+	}, func(sn obs.Snapshot) { res.Obs = sn })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MeasurePLR measures the packet loss rate over the visit workload
+// (Fig. 5c).
+func (s *Simulation) MeasurePLR(method string, visits int) (*PLRResult, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return nil, err
+	}
+	res := &PLRResult{Method: method}
+	err = s.measure(func() error {
+		r, err := s.World.MeasurePLR(f, visits)
+		if err != nil {
+			return err
+		}
+		res.PLR, res.Packets = r.PLR, r.Packets
+		return nil
+	}, func(sn obs.Snapshot) { res.Obs = sn })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MeasureTraffic measures per-access client bytes (Fig. 6a).
+func (s *Simulation) MeasureTraffic(method string, visits int) (*TrafficResult, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return nil, err
+	}
+	res := &TrafficResult{Method: method}
+	err = s.measure(func() error {
+		r, err := s.World.MeasureTraffic(f, visits)
+		if err != nil {
+			return err
+		}
+		res.BytesPerAccess = r.BytesPerAccess
+		return nil
+	}, func(sn obs.Snapshot) { res.Obs = sn })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MeasureScalability measures mean PLT under n concurrent clients
+// (Fig. 7).
+func (s *Simulation) MeasureScalability(method string, clients, rounds int) (*ScalabilityResult, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScalabilityResult{Method: method, Clients: clients}
+	err = s.measure(func() error {
+		p, err := s.World.MeasureScalability(f, clients, rounds)
+		if err != nil {
+			return err
+		}
+		res.PLT, res.Failed = p.PLT, p.Failed
+		return nil
+	}, func(sn obs.Snapshot) { res.Obs = sn })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TracePageLoad performs one first-time page load through the named
+// method with a flow tracer attached to every layer and returns the
+// recorded per-hop trace.
+func (s *Simulation) TracePageLoad(method string) (*obs.Trace, error) {
+	f, err := s.factory(method)
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := s.World.TracePageLoad(f)
+	return tr, err
+}
+
+// PLT measures page load times as bare summaries.
+//
+// Deprecated: use MeasurePLT, which also carries the run's observability
+// snapshot.
+func (s *Simulation) PLT(method string, firstRuns, subsequent int) (first, sub Summary, err error) {
+	r, err := s.MeasurePLT(method, firstRuns, subsequent)
 	if err != nil {
 		return Summary{}, Summary{}, err
 	}
 	return r.FirstTime, r.Subsequent, nil
 }
 
-// RTT measures tunneled round-trip time (Fig. 5b).
+// RTT measures tunneled round-trip time as a bare summary.
+//
+// Deprecated: use MeasureRTT.
 func (s *Simulation) RTT(method string, probes int) (Summary, error) {
-	f, err := s.factory(method)
-	if err != nil {
-		return Summary{}, err
-	}
-	r, err := s.World.MeasureRTT(f, probes)
+	r, err := s.MeasureRTT(method, probes)
 	if err != nil {
 		return Summary{}, err
 	}
 	return r.RTT, nil
 }
 
-// PLR measures the packet loss rate over the visit workload (Fig. 5c).
+// PLR measures the packet loss rate as a bare float.
+//
+// Deprecated: use MeasurePLR.
 func (s *Simulation) PLR(method string, visits int) (float64, error) {
-	f, err := s.factory(method)
-	if err != nil {
-		return 0, err
-	}
-	r, err := s.World.MeasurePLR(f, visits)
+	r, err := s.MeasurePLR(method, visits)
 	if err != nil {
 		return 0, err
 	}
 	return r.PLR, nil
 }
 
-// Traffic measures per-access client bytes (Fig. 6a).
+// Traffic measures per-access client bytes as a bare float.
+//
+// Deprecated: use MeasureTraffic.
 func (s *Simulation) Traffic(method string, visits int) (float64, error) {
-	f, err := s.factory(method)
-	if err != nil {
-		return 0, err
-	}
-	r, err := s.World.MeasureTraffic(f, visits)
+	r, err := s.MeasureTraffic(method, visits)
 	if err != nil {
 		return 0, err
 	}
 	return r.BytesPerAccess, nil
 }
 
-// Scalability measures mean PLT under n concurrent clients (Fig. 7).
+// Scalability measures mean PLT under n concurrent clients as a bare
+// tuple.
+//
+// Deprecated: use MeasureScalability.
 func (s *Simulation) Scalability(method string, clients, rounds int) (Summary, int, error) {
-	f, err := s.factory(method)
+	r, err := s.MeasureScalability(method, clients, rounds)
 	if err != nil {
 		return Summary{}, 0, err
 	}
-	p, err := s.World.MeasureScalability(f, clients, rounds)
-	if err != nil {
-		return Summary{}, 0, err
-	}
-	return p.PLT, p.Failed, nil
+	return r.PLT, r.Failed, nil
 }
 
 // RotateBlinding switches ScholarCloud's blinding scheme on both proxies
@@ -150,13 +390,8 @@ func (s *Simulation) Scalability(method string, clients, rounds int) (Summary, i
 func (s *Simulation) RotateBlinding(epoch uint64) { s.World.RotateBlinding(epoch) }
 
 func (s *Simulation) factory(method string) (experiments.Factory, error) {
-	if method == "direct-us" {
-		return s.World.DirectBaseline(), nil
-	}
-	for _, f := range s.World.Methods() {
-		if f.Name == method {
-			return f, nil
-		}
+	if f, ok := s.World.FactoryByName(method); ok {
+		return f, nil
 	}
 	return experiments.Factory{}, &UnknownMethodError{Method: method}
 }

@@ -1,0 +1,202 @@
+package scholarcloud
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMeasureMethodsCarryObs exercises every redesigned measurement
+// method and checks that each result carries a per-run observability
+// delta attributing activity to that measurement.
+func TestMeasureMethodsCarryObs(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+
+	plt, err := sim.MeasurePLT("scholarcloud", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plt.FirstTime.Mean <= plt.Subsequent.Mean {
+		t.Errorf("first PLT %v not above subsequent %v", plt.FirstTime.Mean, plt.Subsequent.Mean)
+	}
+	if got := plt.Obs.Counter("http.visits"); got != 3 {
+		t.Errorf("http.visits delta = %d, want 3", got)
+	}
+	if plt.Obs.Counter("core.domestic.streams") == 0 {
+		t.Error("PLT run opened no tunnel streams")
+	}
+	if plt.Obs.Counter("gfw.verdicts.pass") == 0 {
+		t.Error("PLT run recorded no GFW pass verdicts")
+	}
+	h, ok := plt.Obs.Histograms["http.plt_seconds"]
+	if !ok || h.Count != 3 {
+		t.Errorf("http.plt_seconds histogram = %+v", h)
+	}
+
+	rtt, err := sim.MeasureRTT("scholarcloud", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt.RTT.Mean <= 0 {
+		t.Errorf("RTT = %v", rtt.RTT.Mean)
+	}
+	if rtt.Obs.Counter("netsim.packets") == 0 {
+		t.Error("RTT run moved no packets")
+	}
+
+	plr, err := sim.MeasurePLR("scholarcloud", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plr.Obs.Counter("netsim.packets") == 0 {
+		t.Error("PLR run moved no packets")
+	}
+
+	tr, err := sim.MeasureTraffic("scholarcloud", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.BytesPerAccess <= 0 {
+		t.Errorf("traffic = %v bytes/access", tr.BytesPerAccess)
+	}
+	if tr.Obs.Counter("http.fetches") == 0 {
+		t.Error("traffic run fetched nothing")
+	}
+
+	sc, err := sim.MeasureScalability("scholarcloud", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Failed != 0 || sc.PLT.Mean <= 0 {
+		t.Errorf("scalability = %+v", sc)
+	}
+	if got := sim.Snapshot().Counter("http.visits"); got < 3 {
+		t.Errorf("cumulative http.visits = %d", got)
+	}
+}
+
+// TestMeasureMethodsUnknownMethod checks the typed error on every
+// redesigned path.
+func TestMeasureMethodsUnknownMethod(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+	calls := map[string]func() error{
+		"MeasurePLT":         func() error { _, err := sim.MeasurePLT("carrier-pigeon", 1, 1); return err },
+		"MeasureRTT":         func() error { _, err := sim.MeasureRTT("carrier-pigeon", 1); return err },
+		"MeasurePLR":         func() error { _, err := sim.MeasurePLR("carrier-pigeon", 1); return err },
+		"MeasureTraffic":     func() error { _, err := sim.MeasureTraffic("carrier-pigeon", 1); return err },
+		"MeasureScalability": func() error { _, err := sim.MeasureScalability("carrier-pigeon", 1, 1); return err },
+		"TracePageLoad":      func() error { _, err := sim.TracePageLoad("carrier-pigeon"); return err },
+	}
+	for name, call := range calls {
+		var ue *UnknownMethodError
+		if err := call(); !errors.As(err, &ue) || ue.Method != "carrier-pigeon" {
+			t.Errorf("%s err = %v", name, err)
+		}
+	}
+}
+
+// TestObsFleetCounters runs a fleet-backed world through a ScholarCloud
+// page load and checks the observability layer saw both the censor and
+// the fleet at work. The GFW classifies the fleet's pre-dialed carriers
+// at world construction, so the class counter is asserted on the
+// absolute snapshot while the verdict and pick counters are asserted on
+// the per-measurement delta.
+func TestObsFleetCounters(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13, Fleet: &FleetOptions{Remotes: 2}})
+	defer sim.Close()
+	res, err := sim.MeasurePLT("scholarcloud", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs.Counter("gfw.verdicts.pass") == 0 {
+		t.Error("page load delta shows no GFW pass verdicts")
+	}
+	if res.Obs.Counter("fleet.picks") == 0 {
+		t.Error("page load delta shows no fleet picks")
+	}
+	snap := sim.Snapshot()
+	if snap.Counter("gfw.class.encrypted") == 0 {
+		t.Error("no carrier flow was classified as encrypted")
+	}
+	if snap.Counter("fleet.streams_opened") == 0 {
+		t.Error("fleet opened no streams")
+	}
+	if snap.Counter("fleet.healthy_endpoints") != 2 {
+		t.Errorf("healthy endpoints = %d, want 2", snap.Counter("fleet.healthy_endpoints"))
+	}
+}
+
+// TestFacadeTrace checks the facade's one-shot flow trace against the
+// Fig. 4 session structure.
+func TestFacadeTrace(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+	tr, err := sim.TracePageLoad("scholarcloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Count("core", "stream-open"); got != 3 {
+		t.Errorf("stream-open spans = %d, want 3 (TCP-2, TCP-3, TCP-4)", got)
+	}
+	if tr.Count("gfw", "classify") == 0 {
+		t.Error("no GFW classify span")
+	}
+	if !strings.Contains(tr.Render("x"), "class=encrypted verdict=pass") {
+		t.Error("carrier flow not classified encrypted/pass")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", Options{}, ""},
+		{"nil fleet", Options{Fleet: nil}, ""},
+		{"valid fleet", Options{Fleet: &FleetOptions{Remotes: 3, SessionsPerRemote: 2}}, ""},
+		{"flat alias", Options{FleetRemotes: 2}, ""},
+		{"negative remotes", Options{Fleet: &FleetOptions{Remotes: -1}}, "Remotes is negative"},
+		{"negative sessions", Options{Fleet: &FleetOptions{Remotes: 1, SessionsPerRemote: -4}}, "SessionsPerRemote is negative"},
+		{"sessions without remotes", Options{Fleet: &FleetOptions{SessionsPerRemote: 2}}, "Remotes is zero"},
+		{"flat sessions without remotes", Options{FleetSessionsPerRemote: 2}, "Remotes is zero"},
+		{"both forms", Options{Fleet: &FleetOptions{Remotes: 1}, FleetRemotes: 1}, "use one"},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewSimulationPanicsOnInvalidOptions(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewSimulation accepted a negative fleet size")
+		}
+		if !strings.Contains(r.(error).Error(), "Remotes is negative") {
+			t.Errorf("panic = %v", r)
+		}
+	}()
+	NewSimulation(Options{Fleet: &FleetOptions{Remotes: -2}})
+}
+
+// TestDeprecatedFlatFleetOptions checks the flat aliases still build a
+// fleet-backed world.
+func TestDeprecatedFlatFleetOptions(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13, FleetRemotes: 2})
+	defer sim.Close()
+	if sim.World.Fleet == nil {
+		t.Fatal("flat FleetRemotes did not build a fleet")
+	}
+}
