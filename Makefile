@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-smoke figures
+.PHONY: check build vet fmt test race bench bench-smoke bench-json figures determinism
 
-## check: the full gate — build, vet, formatting, and the race-enabled
-## test suite.
-check: build vet fmt race
+## check: the full gate — build, vet, formatting, the race-enabled test
+## suite, and the parallel-harness determinism gate.
+check: build vet fmt race determinism
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,20 @@ bench:
 ## (includes the obs hot-path allocation benchmarks).
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+## bench-json: run the full figure sweep and record the machine-readable
+## performance report (workers = all cores).
+bench-json:
+	$(GO) run ./cmd/scholarbench -fig all -bench-out BENCH_experiments.json > /dev/null
+
+## determinism: the parallel harness's core guarantee — the full figure
+## sweep must be byte-identical at -parallel 1 and -parallel 4.
+determinism:
+	@$(GO) build -o /tmp/scholarbench-gate ./cmd/scholarbench
+	@/tmp/scholarbench-gate -fig all -parallel 1 > /tmp/scholarbench-p1.txt
+	@/tmp/scholarbench-gate -fig all -parallel 4 > /tmp/scholarbench-p4.txt
+	@cmp /tmp/scholarbench-p1.txt /tmp/scholarbench-p4.txt && \
+		echo "determinism gate: -parallel 4 output byte-identical to -parallel 1"
 
 ## figures: regenerate the paper's figures (quick sampling).
 figures:

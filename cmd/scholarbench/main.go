@@ -3,20 +3,29 @@
 //
 // Usage:
 //
-//	scholarbench [-fig 3|4|5a|5b|5c|6a|6bc|7|fleet|all] [-seed N] [-full]
+//	scholarbench [-fig 2|3|4|5a|5b|5c|6a|6bc|7|ops|fleet|all] [-seed N]
+//	             [-seeds N] [-parallel N] [-full] [-bench-out FILE]
 //	scholarbench -trace <method>
 //
-// -full runs the paper-scale workload (a simulated day per series);
-// the default quick mode samples each series lightly. -trace renders a
-// per-hop flow trace of one first-time page load through the named
-// method (one of the study's methods or "direct-us") instead of the
-// figures.
+// Figures are decomposed into independent (cell × seed) worlds and run
+// over a bounded worker pool: -parallel N caps concurrent worlds (default
+// GOMAXPROCS), and -seeds N replicates every cell on seeds seed..seed+N-1,
+// rendering mean ± 95% CI tables. Output is byte-identical for any
+// -parallel value. -full runs the paper-scale workload (a simulated day
+// per series); the default quick mode samples each series lightly.
+// -bench-out writes a machine-readable performance record (wall time,
+// worlds/sec, per-figure timings). -trace renders a per-hop flow trace of
+// one first-time page load through the named method (one of the study's
+// methods or "direct-us") instead of the figures.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"scholarcloud/internal/experiments"
 )
@@ -24,58 +33,55 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,all")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
+	seeds := flag.Int("seeds", 1, "replicate every figure cell on this many consecutive seeds (mean ± 95% CI tables when > 1)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulated worlds (0 = GOMAXPROCS)")
 	full := flag.Bool("full", false, "paper-scale sample counts (slower)")
+	benchOut := flag.String("bench-out", "", "write a machine-readable benchmark report (JSON) to this file")
 	trace := flag.String("trace", "", "render a per-hop flow trace of one page load through the named method")
 	flag.Parse()
-
-	q := experiments.Quick()
-	if *full {
-		q = experiments.Full()
-	}
 
 	if *trace != "" {
 		runTrace(*trace, *seed)
 		return
 	}
 
-	if *fig == "3" || *fig == "all" {
-		fmt.Println(experiments.ReportFig3(*seed))
-	}
-	if *fig == "3" {
-		return
+	if *fig != "all" && !experiments.KnownFigure(*fig) {
+		fmt.Fprintf(os.Stderr, "scholarbench: unknown figure %q (want one of %s, or all)\n",
+			*fig, strings.Join(experiments.FigureOrder, ","))
+		os.Exit(2)
 	}
 
-	w := experiments.NewWorld(experiments.Config{Seed: *seed})
-	defer w.Close()
+	q := experiments.Quick()
+	if *full {
+		q = experiments.Full()
+	}
+	res, err := experiments.RunSweep(experiments.SweepOptions{
+		Seed:    *seed,
+		Seeds:   *seeds,
+		Workers: *parallel,
+		Quality: q,
+		Figures: []string{*fig},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scholarbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Output)
 
-	type section struct {
-		name string
-		run  func() (string, error)
-	}
-	sections := []section{
-		{"2", func() (string, error) { return experiments.ReportArchitecture(), nil }},
-		{"4", w.ReportFig4},
-		{"5a", func() (string, error) { return w.ReportFig5a(q) }},
-		{"5b", func() (string, error) { return w.ReportFig5b(q) }},
-		{"5c", func() (string, error) { return w.ReportFig5c(q) }},
-		{"6a", func() (string, error) { return w.ReportFig6a(q) }},
-		{"6bc", func() (string, error) { return w.ReportFig6bc(q) }},
-		{"7", func() (string, error) { return w.ReportFig7(q) }},
-		{"ops", func() (string, error) { return w.ReportDeployment(q) }},
-		// The fleet section builds its own worlds (one per pool size), so
-		// the shared world's figures stay untouched by prober traffic.
-		{"fleet", func() (string, error) { return experiments.ReportFleet(*seed, q) }},
-	}
-	for _, s := range sections {
-		if *fig != "all" && *fig != s.name {
-			continue
-		}
-		out, err := s.run()
+	if *benchOut != "" {
+		bench := res.Bench
+		bench.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		bench.Full = *full
+		buf, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figure %s: %v\n", s.name, err)
+			fmt.Fprintf(os.Stderr, "scholarbench: encode bench report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*benchOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scholarbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

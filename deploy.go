@@ -54,10 +54,16 @@ func (r *RemoteProxy) AdminAddr() net.Addr {
 	return r.adminLn.Addr()
 }
 
-// Close shuts the proxy down.
+// Close shuts the proxy down. Nil fields are skipped so a partially
+// started proxy (an error exit inside StartRemote) can reuse it as its
+// cleanup path.
 func (r *RemoteProxy) Close() {
-	r.remote.Close()
-	r.ln.Close()
+	if r.remote != nil {
+		r.remote.Close()
+	}
+	if r.ln != nil {
+		r.ln.Close()
+	}
 	if r.adminLn != nil {
 		r.adminLn.Close()
 	}
@@ -106,7 +112,7 @@ func StartRemote(cfg RemoteConfig) (*RemoteProxy, error) {
 	if cfg.Name == "" {
 		cfg.Name = "remote.scholarcloud.example"
 	}
-	ca, err := pki.NewCA("ScholarCloud Deployment CA", nil)
+	ca, err := pki.NewCA("ScholarCloud Deployment CA", nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -130,13 +136,19 @@ func StartRemote(cfg RemoteConfig) (*RemoteProxy, error) {
 	if err != nil {
 		return nil, err
 	}
+	// From here on every resource lives in p, so error exits close the
+	// partial proxy as a unit rather than maintaining parallel cleanup
+	// chains (an earlier version leaked remote's carrier state when the
+	// admin bind failed).
+	p := &RemoteProxy{remote: remote, ln: ln, CACert: ca.DER}
 	adminLn, err := startAdmin(env, cfg.AdminListen, reg, func() (bool, string) { return true, "ok" })
 	if err != nil {
-		ln.Close()
+		p.Close()
 		return nil, err
 	}
+	p.adminLn = adminLn
 	go remote.Serve(ln)
-	return &RemoteProxy{remote: remote, ln: ln, adminLn: adminLn, CACert: ca.DER}, nil
+	return p, nil
 }
 
 // DomesticConfig configures a real-socket domestic proxy (the endpoint
@@ -224,12 +236,22 @@ func (d *DomesticProxy) FleetStats() fleet.Stats {
 	return d.pool.Stats()
 }
 
-// Close shuts the proxy down.
+// Close shuts the proxy down. Nil fields are skipped so a partially
+// started proxy (an error exit inside StartDomestic) can reuse it as its
+// cleanup path.
 func (d *DomesticProxy) Close() {
-	d.pool.Close()
-	d.proxy.Close()
-	d.proxyLn.Close()
-	d.webLn.Close()
+	if d.pool != nil {
+		d.pool.Close()
+	}
+	if d.proxy != nil {
+		d.proxy.Close()
+	}
+	if d.proxyLn != nil {
+		d.proxyLn.Close()
+	}
+	if d.webLn != nil {
+		d.webLn.Close()
+	}
 	if d.adminLn != nil {
 		d.adminLn.Close()
 	}
@@ -286,40 +308,33 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	pool.Instrument(reg)
 	domestic.Fleet = pool
 
-	proxyLn, err := net.Listen("tcp", cfg.ProxyListen)
+	// From here on every resource lives in p, so error exits close the
+	// partial proxy as a unit rather than maintaining parallel cleanup
+	// chains that drift as resources are added.
+	p := &DomesticProxy{domestic: domestic, pool: pool, policy: policy}
+	p.proxyLn, err = net.Listen("tcp", cfg.ProxyListen)
 	if err != nil {
-		pool.Close()
+		p.Close()
 		return nil, err
 	}
-	webLn, err := net.Listen("tcp", cfg.WebListen)
+	p.webLn, err = net.Listen("tcp", cfg.WebListen)
 	if err != nil {
-		pool.Close()
-		proxyLn.Close()
+		p.Close()
 		return nil, err
 	}
-	adminLn, err := startAdmin(env, cfg.AdminListen, reg, func() (bool, string) {
+	p.adminLn, err = startAdmin(env, cfg.AdminListen, reg, func() (bool, string) {
 		if pool.Stats().Healthy() == 0 {
 			return false, "no healthy remote endpoints"
 		}
 		return true, "ok"
 	})
 	if err != nil {
-		pool.Close()
-		proxyLn.Close()
-		webLn.Close()
+		p.Close()
 		return nil, err
 	}
-	proxy := domestic.Proxy()
-	go proxy.Serve(proxyLn)
+	p.proxy = domestic.Proxy()
+	go p.proxy.Serve(p.proxyLn)
 	webSrv := &httpsim.Server{Handler: domestic.PACHandler(), Spawn: env.Spawn}
-	go webSrv.Serve(webLn)
-	return &DomesticProxy{
-		domestic: domestic,
-		pool:     pool,
-		proxy:    proxy,
-		proxyLn:  proxyLn,
-		webLn:    webLn,
-		adminLn:  adminLn,
-		policy:   policy,
-	}, nil
+	go webSrv.Serve(p.webLn)
+	return p, nil
 }

@@ -301,6 +301,112 @@ func TestRealSocketAdminEndpoints(t *testing.T) {
 	}
 }
 
+// freePort reserves a loopback port by binding and immediately closing
+// it, returning the address for a later bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// blockPort binds a listener whose only job is to make a later bind of
+// the same address fail.
+func blockPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestStartRemotePartialFailureCleansUp forces startAdmin to fail (its
+// port is already taken) and checks StartRemote released the tunnel
+// listener it had already bound: the port must be immediately
+// rebindable.
+func TestStartRemotePartialFailureCleansUp(t *testing.T) {
+	listen := freePort(t)
+	_, err := StartRemote(RemoteConfig{
+		Listen:      listen,
+		AdminListen: blockPort(t),
+		Secret:      []byte("s"),
+	})
+	if err == nil {
+		t.Fatal("StartRemote succeeded with its admin port taken")
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		t.Fatalf("tunnel port not released after failed start: %v", err)
+	}
+	ln.Close()
+}
+
+// TestStartDomesticPartialFailureCleansUp forces the same failure on the
+// domestic side and checks the whole partial stack came down: both
+// already-bound listeners are rebindable and the fleet's pre-dialed
+// carrier connections to the (stub) remote are closed.
+func TestStartDomesticPartialFailureCleansUp(t *testing.T) {
+	// Stub remote: accept carriers and hold them so we can observe the
+	// client side closing them.
+	remoteLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remoteLn.Close()
+	accepted := make(chan net.Conn, 16)
+	go func() {
+		for {
+			c, err := remoteLn.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	proxyListen, webListen := freePort(t), freePort(t)
+	_, err = StartDomestic(DomesticConfig{
+		ProxyListen: proxyListen,
+		WebListen:   webListen,
+		AdminListen: blockPort(t),
+		RemoteAddr:  remoteLn.Addr().String(),
+		Secret:      []byte("s"),
+		Whitelist:   []string{"scholar.google.com"},
+	})
+	if err == nil {
+		t.Fatal("StartDomestic succeeded with its admin port taken")
+	}
+
+	for _, addr := range []string{proxyListen, webListen} {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatalf("port %s not released after failed start: %v", addr, err)
+		}
+		ln.Close()
+	}
+
+	// Every carrier the stub accepted must be closed by the pool's
+	// teardown: reads end in EOF rather than hanging.
+	for {
+		select {
+		case c := <-accepted:
+			c.SetReadDeadline(time.Now().Add(5 * time.Second))
+			if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+				t.Errorf("carrier conn still open after failed start: read err = %v", err)
+			}
+			c.Close()
+		default:
+			return
+		}
+	}
+}
+
 func TestRealSocketCoordinatedRotation(t *testing.T) {
 	origin := startOrigin(t, "post-rotation content")
 	originHost, _, _ := strings.Cut(origin, ":")

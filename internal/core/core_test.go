@@ -55,7 +55,7 @@ func newCoreWorld(t *testing.T) *coreWorld {
 		usZone:   us,
 	}
 
-	ca, err := pki.NewCA("core-test-ca", n.Clock().Now)
+	ca, err := pki.NewCA("core-test-ca", n.Clock().Now, n.Env().Rand)
 	if err != nil {
 		t.Fatal(err)
 	}

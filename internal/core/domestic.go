@@ -210,6 +210,7 @@ func (d *Domestic) openPlain(target string) (net.Conn, error) {
 	tconn := tlssim.Client(st, tlssim.Config{
 		ServerName: d.RemoteName,
 		VerifyPeer: d.VerifyRemote,
+		Rand:       d.Env.Rand,
 	})
 	if err := tconn.Handshake(); err != nil {
 		st.Close()

@@ -196,7 +196,7 @@ func (r *Remote) acceptStream(meta []byte) (net.Conn, error) {
 	// forwarding plaintext to the origin.
 	near, far := netx.Pipe(r.Env)
 	r.Env.Spawn.Go(func() {
-		tconn := tlssim.Server(far, tlssim.Config{Certificate: r.Identity.DER})
+		tconn := tlssim.Server(far, tlssim.Config{Certificate: r.Identity.DER, Rand: r.Env.Rand})
 		defer tconn.Close()
 		defer origin.Close()
 		r.Env.Spawn.Go(func() {

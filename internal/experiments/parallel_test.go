@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"scholarcloud/internal/obs"
+)
+
+// TestRunnerKeepsJobOrder checks results land in job slots (not
+// completion slots) and stats are labeled per job.
+func TestRunnerKeepsJobOrder(t *testing.T) {
+	const n = 20
+	out := make([]int, n)
+	var jobs []Job
+	for i := 0; i < n; i++ {
+		i := i
+		jobs = append(jobs, Job{
+			Fig:  "f",
+			Cell: fmt.Sprintf("c%d", i),
+			Run:  func() error { out[i] = i * i; return nil },
+		})
+	}
+	stats, err := Runner{Workers: 4}.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != n {
+		t.Fatalf("stats len = %d, want %d", len(stats), n)
+	}
+	for i := 0; i < n; i++ {
+		if out[i] != i*i {
+			t.Errorf("job %d result = %d, want %d", i, out[i], i*i)
+		}
+		if want := fmt.Sprintf("c%d", i); stats[i].Cell != want {
+			t.Errorf("stats[%d].Cell = %q, want %q", i, stats[i].Cell, want)
+		}
+	}
+}
+
+// TestRunnerFirstErrorInJobOrder checks the reported error is the first
+// failing job's in JOB order, independent of completion order, and that
+// later jobs still run.
+func TestRunnerFirstErrorInJobOrder(t *testing.T) {
+	errA := errors.New("job 3 failed")
+	errB := errors.New("job 7 failed")
+	var ran atomic.Int64
+	var jobs []Job
+	for i := 0; i < 10; i++ {
+		i := i
+		jobs = append(jobs, Job{Run: func() error {
+			ran.Add(1)
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		}})
+	}
+	for _, workers := range []int{1, 4} {
+		ran.Store(0)
+		_, err := Runner{Workers: workers}.Run(jobs)
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+		if ran.Load() != 10 {
+			t.Errorf("workers=%d: ran %d jobs, want all 10 (errors must not short-circuit)", workers, ran.Load())
+		}
+	}
+}
+
+// TestFleetWorldSnapshotDeterministic checks the property that lets the
+// sweep include fleet cells in its merged snapshot: two same-seed fleet
+// worlds running the same measurement settle to identical metrics, probe
+// timers and all.
+func TestFleetWorldSnapshotDeterministic(t *testing.T) {
+	run := func() obs.Snapshot {
+		w := NewWorld(Config{Seed: 5, FleetRemotes: 2, RunGuard: sweepRunGuard})
+		defer w.Close()
+		if _, err := w.MeasureFleetScalability(10, 1); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := w.SnapshotSettled()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same-seed fleet worlds settled to different snapshots")
+	}
+}
+
+// TestSweepParallelDeterminism is the harness's core contract: the same
+// (seeds, figures) sweep must produce byte-identical figure text AND an
+// identical merged metrics snapshot no matter how many workers ran it.
+// The figure subset crosses the interesting world types — a GFW/browser
+// figure (5b), a traffic figure (6a), and the fleet sweep's nearest
+// kin among cheap figures (4, session structure).
+func TestSweepParallelDeterminism(t *testing.T) {
+	opts := SweepOptions{
+		Seed:    2017,
+		Seeds:   2,
+		Figures: []string{"4", "5b", "6a"},
+	}
+	workerCounts := []int{1, 2, runtime.NumCPU() + 1}
+	var base *SweepResult
+	for _, w := range workerCounts {
+		opts.Workers = w
+		res, err := RunSweep(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Output != base.Output {
+			t.Errorf("workers=%d: output differs from workers=%d run", w, workerCounts[0])
+		}
+		if !reflect.DeepEqual(res.Obs, base.Obs) {
+			t.Errorf("workers=%d: merged obs snapshot differs from workers=%d run", w, workerCounts[0])
+		}
+	}
+	if base.Output == "" {
+		t.Error("sweep produced empty output")
+	}
+}

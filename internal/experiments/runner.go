@@ -1,0 +1,93 @@
+package experiments
+
+// runner.go is the sharded multi-world job runner underneath the parallel
+// figure harness (sweep.go). Worlds are embarrassingly parallel — each one
+// owns its netsim.Network, vclock.Scheduler and obs.Registry — so the
+// runner only has to fan independent jobs over a bounded worker pool and
+// keep every observable output in job order. Determinism contract: a job's
+// result may depend only on its own inputs (never on which worker ran it
+// or in what order), and the runner merges results by job index, so output
+// is byte-identical for any worker count.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work: typically "build a world, run one
+// figure cell, tear the world down". Run must be self-contained — it
+// writes its result into state captured by its own closure and must not
+// read another job's.
+type Job struct {
+	// Fig and Cell label the job in timing reports.
+	Fig, Cell string
+	Run       func() error
+}
+
+// JobStats records how one job ran (wall-clock, so it reflects contention
+// with whatever shared the cores).
+type JobStats struct {
+	Fig, Cell string
+	Elapsed   time.Duration
+}
+
+// Runner executes batches of independent jobs over a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent jobs; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Run executes every job and returns per-job wall timings, indexed like
+// jobs. Errors do not short-circuit the batch (the remaining jobs still
+// run, keeping timing reports complete); the returned error is the first
+// failing job's in job order — NOT completion order — so error reporting
+// is as deterministic as the results themselves.
+func (r Runner) Run(jobs []Job) ([]JobStats, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	stats := make([]JobStats, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			start := time.Now()
+			errs[i] = j.Run()
+			stats[i] = JobStats{Fig: j.Fig, Cell: j.Cell, Elapsed: time.Since(start)}
+		}
+		return stats, firstError(errs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				errs[i] = jobs[i].Run()
+				stats[i] = JobStats{Fig: jobs[i].Fig, Cell: jobs[i].Cell, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return stats, firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

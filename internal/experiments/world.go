@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"scholarcloud/internal/blinding"
@@ -45,13 +46,16 @@ type Config struct {
 	// FleetRemotes, when > 0, runs ScholarCloud's domestic proxy against a
 	// fleet of that many remote proxies managed by internal/fleet (health
 	// probing, load balancing, takedown-aware rotation). Zero keeps the
-	// paper's single-remote deployment — and, because the fleet's probe
-	// traffic perturbs the per-packet RNG, the default figures'
-	// determinism.
+	// paper's single-remote deployment; either way the world stays
+	// deterministic (probe timers only fire inside Run windows).
 	FleetRemotes int
 	// FleetSessionsPerRemote sizes each remote's pre-dialed carrier pool
 	// (zero selects the fleet package default).
 	FleetSessionsPerRemote int
+	// RunGuard overrides Run's wall-clock deadlock guard (default 120 s).
+	// The parallel experiment harness raises it: a heavy cell sharing a
+	// core with other worlds can exceed the default without being stuck.
+	RunGuard time.Duration
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -111,6 +115,19 @@ type World struct {
 	vpnSecret    string
 	scSecret     []byte
 	serverIDs    map[string]*pki.Identity
+
+	// runCh feeds the gate goroutine (see NewWorld). While no Run is in
+	// flight the gate holds the scheduler's run token blocked on this
+	// channel, freezing virtual time, so recurring timers (fleet probes)
+	// only ever fire inside Run windows — at virtual instants that are a
+	// pure function of the world's inputs, never of wall-clock scheduling.
+	runCh     chan runReq
+	closeOnce sync.Once
+}
+
+type runReq struct {
+	fn   func() error
+	done chan error
 }
 
 // NewWorld builds the topology, starts every server, and returns the
@@ -131,6 +148,21 @@ func NewWorld(cfg Config) *World {
 	w.Net = netsim.New(cfg.Seed)
 	w.Net.Observe(w.Obs)
 	w.Env = w.Net.Env()
+
+	// The gate is the world's very first managed goroutine, so the FIFO
+	// run queue hands it the token before anything started below can run.
+	// It idles blocked on runCh while HOLDING the token, which freezes
+	// virtual time between Run calls: everything the constructors spawn
+	// (servers, fleet warmers, probe loops) queues up and executes only
+	// inside Run windows, in enqueue order. That makes the entire world —
+	// including fleet worlds with recurring probe timers — a deterministic
+	// function of (seed, sequence of Run calls).
+	w.runCh = make(chan runReq)
+	w.Net.Scheduler().Go(func() {
+		for req := range w.runCh {
+			req.done <- req.fn()
+		}
+	})
 
 	// --- Topology -------------------------------------------------------
 	w.Cernet = w.Net.AddZone("cernet")
@@ -190,7 +222,7 @@ func NewWorld(cfg Config) *World {
 	}
 
 	// --- PKI -------------------------------------------------------------
-	ca, err := pki.NewCA("ScholarCloud Reproduction Root CA", w.Env.Clock.Now)
+	ca, err := pki.NewCA("ScholarCloud Reproduction Root CA", w.Env.Clock.Now, w.Env.Rand)
 	if err != nil {
 		panic(err)
 	}
@@ -214,20 +246,64 @@ func NewWorld(cfg Config) *World {
 	return w
 }
 
-// Close stops the simulation.
-func (w *World) Close() { w.Net.Stop() }
+// Close stops the simulation. It retires the gate goroutine first so the
+// scheduler is not stopped out from under a token holder.
+func (w *World) Close() {
+	w.closeOnce.Do(func() {
+		close(w.runCh)
+		w.Net.Stop()
+	})
+}
 
-// Run executes fn on a managed goroutine and waits for it (with a
-// wall-clock guard against simulation deadlock).
+// Run executes fn on the world's gate goroutine and waits for it (with a
+// wall-clock guard against simulation deadlock). Runs are serialized;
+// virtual time only advances while one is in flight.
 func (w *World) Run(fn func() error) error {
+	guard := w.Cfg.RunGuard
+	if guard <= 0 {
+		guard = 120 * time.Second
+	}
+	t := time.NewTimer(guard)
+	defer t.Stop()
 	done := make(chan error, 1)
-	w.Net.Scheduler().Go(func() { done <- fn() })
+	select {
+	case w.runCh <- runReq{fn: fn, done: done}:
+	case <-t.C:
+		// The gate never came back from a previous Run — the world is
+		// wedged; callers must Close it, not retry.
+		return fmt.Errorf("experiments: simulation did not complete (wall-clock guard)")
+	}
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(120 * time.Second):
+	case <-t.C:
 		return fmt.Errorf("experiments: simulation did not complete (wall-clock guard)")
 	}
+}
+
+// snapshotSettle is how much virtual time SnapshotSettled lets pass before
+// reading the registry. Every event a measurement left in flight (GFW
+// active probes, connection teardown, keep-alive expiry) is scheduled
+// within a few virtual seconds, so a generous window drains them all.
+const snapshotSettle = 60 * time.Second
+
+// SnapshotSettled captures the world's metrics at a deterministic virtual
+// instant: it sleeps out a settle window inside a Run — letting every
+// event the preceding measurement left pending fire in virtual-clock
+// order — and snapshots at its end. Because virtual time is frozen
+// outside Run windows (see the gate in NewWorld), the result depends only
+// on the seed and the sequence of Runs so far, never on wall-clock
+// scheduling — even for fleet worlds with recurring probe timers. That
+// property is what lets the parallel harness merge per-world snapshots
+// into a worker-count-independent aggregate.
+func (w *World) SnapshotSettled() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := w.Run(func() error {
+		w.Env.Clock.Sleep(snapshotSettle)
+		snap = w.Obs.Snapshot()
+		return nil
+	})
+	return snap, err
 }
 
 // newBrowser builds a browser on method m wired into the world's metrics
@@ -736,12 +812,12 @@ func (w *World) registerScholarCloud() {
 	if err != nil {
 		panic(err)
 	}
-	done := make(chan struct{})
-	w.Net.Scheduler().Go(func() {
-		pending.Await()
-		close(done)
-	})
-	<-done
+	// Await through the gate so the verification wait — the only virtual
+	// time that passes during construction — happens at a fixed point in
+	// the world's Run sequence.
+	if err := w.Run(func() error { pending.Await(); return nil }); err != nil {
+		panic(err)
+	}
 }
 
 // RotateBlinding rotates ScholarCloud's blinding scheme on both proxies —

@@ -183,8 +183,11 @@ type Pool struct {
 	mu        sync.Mutex
 	cond      netx.Cond
 	endpoints []*endpoint
-	rng       *rand.Rand
-	closed    bool
+	// rng drives the pick policy. *rand.Rand is not concurrency-safe:
+	// every use must hold mu (today that is only pick, which runs with mu
+	// held for its whole body).
+	rng    *rand.Rand
+	closed bool
 
 	picks     metrics.Counter
 	failovers metrics.Counter

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/mux"
+	"scholarcloud/internal/netx"
+)
+
+// TestPoolConcurrentStress hammers a pool from many OS goroutines over
+// real loopback sockets while health probes, takedowns, and stats
+// polling run concurrently. The simulated worlds the other tests use are
+// fully serialized by the virtual-time scheduler, so they cannot
+// exercise the pool's locking under -race; this test runs on RealEnv
+// precisely so the race detector sees genuine parallelism (notably
+// around rng, which must only ever be used under p.mu).
+func TestPoolConcurrentStress(t *testing.T) {
+	env := netx.RealEnv()
+
+	// Three stub remotes: each accepted carrier becomes a mux session
+	// whose streams echo (the acceptor hands back one end of a pipe with
+	// an echo pump on the other).
+	const numRemotes = 3
+	var eps []Endpoint
+	for i := 0; i < numRemotes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				mux.NewSession(conn, env, func(meta []byte) (net.Conn, error) {
+					a, b := net.Pipe()
+					go io.Copy(b, b)
+					return a, nil
+				})
+			}
+		}()
+		addr := ln.Addr().String()
+		eps = append(eps, Endpoint{
+			Name: addr,
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		})
+	}
+
+	p, err := New(Config{
+		Env:        env,
+		NewSession: func(raw net.Conn) *mux.Session { return mux.NewSession(raw, env, nil) },
+		// Aggressive cadences so probes and re-admissions overlap the
+		// Open storm instead of idling behind it.
+		ProbeInterval:  time.Millisecond,
+		ProbeTimeout:   2 * time.Second,
+		ReadmitBackoff: time.Millisecond,
+		Seed:           7,
+	}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Takedown churn: rotate endpoints down; the probers re-admit them.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.MarkDown(eps[i%numRemotes].Name, "stress takedown")
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	// Stats polling races the health bookkeeping.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Stats().Healthy()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// The Open storm itself. Individual opens may fail while every
+	// endpoint happens to be ejected at once; what matters is that a
+	// healthy majority of round-trips complete and nothing races.
+	const goroutines, opensEach = 8, 40
+	var ok int64
+	var okMu sync.Mutex
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opensEach; i++ {
+				st, err := p.Open([]byte("echo"))
+				if err != nil {
+					continue
+				}
+				msg := []byte("ping")
+				if _, err := st.Write(msg); err == nil {
+					buf := make([]byte, len(msg))
+					if _, err := io.ReadFull(st, buf); err == nil {
+						okMu.Lock()
+						ok++
+						okMu.Unlock()
+					}
+				}
+				st.Close()
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Let the storm run, then stop the churn goroutines.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress test deadlocked")
+	}
+
+	okMu.Lock()
+	defer okMu.Unlock()
+	if ok < goroutines*opensEach/2 {
+		t.Errorf("only %d/%d concurrent echoes succeeded", ok, goroutines*opensEach)
+	}
+}

@@ -3,6 +3,7 @@ package httpsim
 import (
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -174,8 +175,15 @@ func (b *Browser) Visit(rawURL string) *VisitStats {
 
 	pool := make(map[string]*visitConn)
 	defer func() {
-		for _, vc := range pool {
-			vc.cc.Close()
+		// Close in sorted key order: map iteration order would randomize
+		// the FIN sequence and with it every downstream packet ID.
+		keys := make([]string, 0, len(pool))
+		for k := range pool {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pool[k].cc.Close()
 		}
 	}()
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -173,7 +174,16 @@ func (s *Session) fail(err error) {
 	if s.err == nil {
 		s.err = err
 	}
-	for _, st := range s.streams {
+	// Fail streams in ID order: map iteration order would randomize the
+	// wake order of their readers and, in the simulator, every packet the
+	// woken goroutines subsequently send.
+	ids := make([]uint32, 0, len(s.streams))
+	for id := range s.streams {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		st := s.streams[id]
 		if st.err == nil {
 			st.err = err
 		}

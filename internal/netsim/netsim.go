@@ -243,6 +243,7 @@ func (s HostStats) LossRate() float64 {
 type Network struct {
 	sched *vclock.Scheduler
 	seed  uint64
+	rand  *simRand
 
 	mu    sync.Mutex
 	zones map[string]*Zone
@@ -294,6 +295,7 @@ func New(seed uint64) *Network {
 	return &Network{
 		sched: vclock.New(),
 		seed:  seed,
+		rand:  &simRand{key: splitmix64(seed ^ 0xE17825)},
 		zones: make(map[string]*Zone),
 		hosts: make(map[string]*Host),
 		paths: make(map[[2]*Zone][]hop),
@@ -662,8 +664,37 @@ type simSync struct{ s *vclock.Scheduler }
 // NewCond implements netx.Sync.
 func (y simSync) NewCond(l sync.Locker) netx.Cond { return vclock.NewCond(y.s, l) }
 
-// Env returns the netx environment (clock, spawner, sync) backed by this
-// simulation's scheduler.
+// simRand is the simulation's deterministic entropy source: a seeded
+// splitmix64 counter stream. Because the scheduler serializes managed
+// goroutines, draw ORDER within a world is deterministic, so every nonce,
+// IV, and handshake key — and everything the censor's entropy heuristics
+// decide from the resulting wire bytes — is a pure function of the seed.
+type simRand struct {
+	mu  sync.Mutex
+	ctr uint64
+	key uint64
+}
+
+func (r *simRand) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < len(p); i += 8 {
+		r.ctr++
+		v := splitmix64(r.key ^ r.ctr)
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return len(p), nil
+}
+
+// Env returns the netx environment (clock, spawner, sync, entropy) backed
+// by this simulation's scheduler and seed.
 func (n *Network) Env() netx.Env {
-	return netx.Env{Clock: simClock{n.sched}, Spawn: n.sched, Sync: simSync{n.sched}}
+	return netx.Env{
+		Clock: simClock{n.sched},
+		Spawn: n.sched,
+		Sync:  simSync{n.sched},
+		Rand:  n.rand,
+	}
 }

@@ -7,6 +7,8 @@
 package netx
 
 import (
+	cryptorand "crypto/rand"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -123,18 +125,35 @@ type RealSync struct{}
 func (RealSync) NewCond(l sync.Locker) Cond { return sync.NewCond(l) }
 
 // Env bundles the execution-environment dependencies protocol code needs:
-// time, goroutines, and synchronization. Everything in internal/vpn,
-// internal/openvpn, internal/tor, internal/shadowsocks, and internal/core
-// runs identically over a real environment and the simulator.
+// time, goroutines, synchronization, and entropy. Everything in
+// internal/vpn, internal/openvpn, internal/tor, internal/shadowsocks, and
+// internal/core runs identically over a real environment and the
+// simulator.
 type Env struct {
 	Clock Clock
 	Spawn Spawner
 	Sync  Sync
+	// Rand is the environment's entropy source for protocol nonces, IVs,
+	// and handshake keys. The real environment uses crypto/rand; the
+	// simulator substitutes a seeded stream so wire bytes — and therefore
+	// everything the censor's entropy heuristics decide from them — are a
+	// deterministic function of the world's seed. Nil falls back to
+	// crypto/rand (see Entropy).
+	Rand io.Reader
+}
+
+// Entropy returns Env.Rand, or crypto/rand when unset, so protocol code
+// can draw randomness without nil checks.
+func (e Env) Entropy() io.Reader {
+	if e.Rand != nil {
+		return e.Rand
+	}
+	return cryptorand.Reader
 }
 
 // RealEnv returns the environment backed by the operating system.
 func RealEnv() Env {
-	return Env{Clock: RealClock{}, Spawn: GoSpawner{}, Sync: RealSync{}}
+	return Env{Clock: RealClock{}, Spawn: GoSpawner{}, Sync: RealSync{}, Rand: cryptorand.Reader}
 }
 
 // WaitGroup is a scheduler-aware counterpart of sync.WaitGroup. Managed

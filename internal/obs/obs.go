@@ -203,6 +203,39 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return out
 }
 
+// Merge returns the element-wise sum of s and other: counters, gauges and
+// histograms present in either snapshot are added together. It is how the
+// parallel experiment harness folds many per-world registries into one
+// cross-world aggregate; merging in any order yields the same result, so
+// a worker pool can combine shards deterministically by folding them in
+// job order.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)+len(other.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)+len(other.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)+len(other.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] += v
+	}
+	for name, v := range other.Counters {
+		out.Counters[name] += v
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] += v
+	}
+	for name, v := range other.Gauges {
+		out.Gauges[name] += v
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = h
+	}
+	for name, h := range other.Histograms {
+		out.Histograms[name] = out.Histograms[name].merge(h)
+	}
+	return out
+}
+
 // WriteText renders the snapshot as sorted "name=value" lines, one metric
 // per line — the wire format served on the deployment's /metrics endpoint.
 // Histograms expand to _count, _sum_seconds and per-bucket _le_* lines.
@@ -291,6 +324,31 @@ type HistogramSnapshot struct {
 	Buckets []int64
 	Count   int64
 	Sum     float64 // seconds
+}
+
+// merge returns the bucket-wise sum of h and other. An empty (zero-value)
+// side passes the other through unchanged, so folding shards into a zero
+// Snapshot works without special-casing the first histogram seen.
+func (h HistogramSnapshot) merge(other HistogramSnapshot) HistogramSnapshot {
+	if h.Count == 0 && len(h.Buckets) == 0 {
+		return other
+	}
+	if other.Count == 0 && len(other.Buckets) == 0 {
+		return h
+	}
+	out := HistogramSnapshot{
+		Bounds:  h.Bounds,
+		Buckets: make([]int64, len(h.Buckets)),
+		Count:   h.Count + other.Count,
+		Sum:     h.Sum + other.Sum,
+	}
+	copy(out.Buckets, h.Buckets)
+	for i, v := range other.Buckets {
+		if i < len(out.Buckets) {
+			out.Buckets[i] += v
+		}
+	}
+	return out
 }
 
 func (h HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {

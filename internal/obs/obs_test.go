@@ -172,3 +172,55 @@ func BenchmarkNilTraceAdd(b *testing.B) {
 		tr.Addf("gfw", "classify", "class=%s", "encrypted")
 	}
 }
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("visits").Add(3)
+	a.Gauge("depth").Set(2)
+	a.Histogram("plt").Observe(0.5)
+	a.Histogram("plt").Observe(4)
+	a.Counter("only_a").Inc()
+
+	b := NewRegistry()
+	b.Counter("visits").Add(4)
+	b.Gauge("depth").Set(5)
+	b.Histogram("plt").Observe(0.5)
+	b.Counter("only_b").Inc()
+	b.Histogram("only_b_hist").Observe(1)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if got := m.Counter("visits"); got != 7 {
+		t.Errorf("merged visits = %d, want 7", got)
+	}
+	if m.Counter("only_a") != 1 || m.Counter("only_b") != 1 {
+		t.Errorf("one-sided counters = %d/%d, want 1/1", m.Counter("only_a"), m.Counter("only_b"))
+	}
+	if got := m.Gauge("depth"); got != 7 {
+		t.Errorf("merged depth gauge = %d, want 7", got)
+	}
+	h := m.Histograms["plt"]
+	if h.Count != 3 || h.Sum != 5 {
+		t.Errorf("merged plt histogram count=%d sum=%v, want 3/5", h.Count, h.Sum)
+	}
+	var buckets int64
+	for _, v := range h.Buckets {
+		buckets += v
+	}
+	if buckets != 3 {
+		t.Errorf("merged plt bucket total = %d, want 3", buckets)
+	}
+	if m.Histograms["only_b_hist"].Count != 1 {
+		t.Errorf("one-sided histogram lost: %+v", m.Histograms["only_b_hist"])
+	}
+
+	// Folding shards in any order yields the same aggregate.
+	m2 := b.Snapshot().Merge(a.Snapshot())
+	if m2.Counter("visits") != m.Counter("visits") || m2.Histograms["plt"].Count != m.Histograms["plt"].Count {
+		t.Error("Merge is not commutative")
+	}
+	// Folding into a zero snapshot works (the harness starts from one).
+	z := Snapshot{}.Merge(a.Snapshot())
+	if z.Counter("visits") != 3 || z.Histograms["plt"].Count != 2 {
+		t.Errorf("zero-base merge = %+v", z)
+	}
+}

@@ -41,7 +41,7 @@ func newOVPNWorld(t *testing.T) *ovpnWorld {
 		origin: n.AddHost("origin", "203.0.113.10", us, acc),
 		taKey:  []byte("ta-static-key"),
 	}
-	ca, err := pki.NewCA("test-ca", n.Clock().Now)
+	ca, err := pki.NewCA("test-ca", n.Clock().Now, n.Env().Rand)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestWrongTAKeyDroppedBeforeTLS(t *testing.T) {
 
 func TestUntrustedClientCertRejected(t *testing.T) {
 	w := newOVPNWorld(t)
-	otherCA, err := pki.NewCA("rogue-ca", w.n.Clock().Now)
+	otherCA, err := pki.NewCA("rogue-ca", w.n.Clock().Now, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestUntrustedClientCertRejected(t *testing.T) {
 
 func TestServerCertVerifiedByClient(t *testing.T) {
 	w := newOVPNWorld(t)
-	otherCA, err := pki.NewCA("other", w.n.Clock().Now)
+	otherCA, err := pki.NewCA("other", w.n.Clock().Now, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,18 +2,22 @@
 // authority and issues server and client certificates from it, exactly the
 // workflow the paper's OpenVPN methodology describes ("use the Easy-RSA
 // tool to create the PKI certificates and keys", §4.2). Certificates are
-// real crypto/x509 artifacts signed with ECDSA P-256, so verification
-// failures are genuine signature failures, not simulated flags.
+// real crypto/x509 artifacts signed with Ed25519, so verification
+// failures are genuine signature failures, not simulated flags. Ed25519
+// is used (rather than ECDSA) because both its key generation and its
+// signatures are pure functions of the entropy stream — with a seeded
+// Rand every certificate byte is reproducible, which the simulator's
+// byte-identical-figures guarantee depends on.
 package pki
 
 import (
-	"crypto/ecdsa"
-	"crypto/elliptic"
+	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/x509"
 	"crypto/x509/pkix"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"time"
 )
@@ -21,7 +25,7 @@ import (
 // Identity is a certificate plus its private key.
 type Identity struct {
 	Cert *x509.Certificate
-	Key  *ecdsa.PrivateKey
+	Key  ed25519.PrivateKey
 	// DER is the raw certificate, convenient for embedding in handshakes.
 	DER []byte
 }
@@ -31,15 +35,21 @@ type CA struct {
 	Identity
 	serial int64
 	now    func() time.Time
+	rnd    io.Reader
 }
 
 // NewCA creates a self-signed CA. now supplies certificate validity
-// timestamps (pass the simulation clock's Now for deterministic windows).
-func NewCA(commonName string, now func() time.Time) (*CA, error) {
+// timestamps and rnd the key material; pass the simulation clock's Now
+// and the simulation environment's Rand for fully deterministic
+// certificates. Nil arguments select the wall clock and crypto/rand.
+func NewCA(commonName string, now func() time.Time, rnd io.Reader) (*CA, error) {
 	if now == nil {
 		now = time.Now
 	}
-	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	pub, key, err := ed25519.GenerateKey(rnd)
 	if err != nil {
 		return nil, fmt.Errorf("pki: generate CA key: %w", err)
 	}
@@ -52,7 +62,7 @@ func NewCA(commonName string, now func() time.Time) (*CA, error) {
 		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
 		BasicConstraintsValid: true,
 	}
-	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	der, err := x509.CreateCertificate(rnd, tmpl, tmpl, pub, key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: self-sign CA: %w", err)
 	}
@@ -60,13 +70,13 @@ func NewCA(commonName string, now func() time.Time) (*CA, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CA{Identity: Identity{Cert: cert, Key: key, DER: der}, serial: 1, now: now}, nil
+	return &CA{Identity: Identity{Cert: cert, Key: key, DER: der}, serial: 1, now: now, rnd: rnd}, nil
 }
 
 // Issue signs a leaf certificate for commonName. server selects the
 // extended key usage (server vs client authentication).
 func (ca *CA) Issue(commonName string, server bool) (*Identity, error) {
-	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	pub, key, err := ed25519.GenerateKey(ca.rnd)
 	if err != nil {
 		return nil, fmt.Errorf("pki: generate leaf key: %w", err)
 	}
@@ -84,7 +94,7 @@ func (ca *CA) Issue(commonName string, server bool) (*Identity, error) {
 		KeyUsage:     x509.KeyUsageDigitalSignature,
 		ExtKeyUsage:  []x509.ExtKeyUsage{eku},
 	}
-	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	der, err := x509.CreateCertificate(ca.rnd, tmpl, ca.Cert, pub, ca.Key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: sign leaf: %w", err)
 	}

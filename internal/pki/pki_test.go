@@ -10,7 +10,7 @@ func fixedNow() time.Time {
 }
 
 func TestIssueAndVerify(t *testing.T) {
-	ca, err := NewCA("ScholarCloud Root CA", fixedNow)
+	ca, err := NewCA("ScholarCloud Root CA", fixedNow, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestIssueAndVerify(t *testing.T) {
 }
 
 func TestVerifyRejectsWrongName(t *testing.T) {
-	ca, _ := NewCA("root", fixedNow)
+	ca, _ := NewCA("root", fixedNow, nil)
 	leaf, _ := ca.Issue("good.example", true)
 	verify := ca.Verifier()
 	if err := verify(leaf.DER, "evil.example"); err == nil {
@@ -34,8 +34,8 @@ func TestVerifyRejectsWrongName(t *testing.T) {
 }
 
 func TestVerifyRejectsForeignCA(t *testing.T) {
-	ca1, _ := NewCA("root-1", fixedNow)
-	ca2, _ := NewCA("root-2", fixedNow)
+	ca1, _ := NewCA("root-1", fixedNow, nil)
+	ca2, _ := NewCA("root-2", fixedNow, nil)
 	leaf, _ := ca2.Issue("host.example", true)
 	verify := ca1.Verifier()
 	if err := verify(leaf.DER, "host.example"); err == nil {
@@ -44,7 +44,7 @@ func TestVerifyRejectsForeignCA(t *testing.T) {
 }
 
 func TestVerifyRejectsGarbage(t *testing.T) {
-	ca, _ := NewCA("root", fixedNow)
+	ca, _ := NewCA("root", fixedNow, nil)
 	verify := ca.Verifier()
 	if err := verify(nil, "x"); err == nil {
 		t.Error("empty certificate accepted")
@@ -55,7 +55,7 @@ func TestVerifyRejectsGarbage(t *testing.T) {
 }
 
 func TestClientAndServerEKU(t *testing.T) {
-	ca, _ := NewCA("root", fixedNow)
+	ca, _ := NewCA("root", fixedNow, nil)
 	server, _ := ca.Issue("s.example", true)
 	client, _ := ca.Issue("c.example", false)
 	if len(server.Cert.ExtKeyUsage) != 1 || len(client.Cert.ExtKeyUsage) != 1 {
@@ -67,7 +67,7 @@ func TestClientAndServerEKU(t *testing.T) {
 }
 
 func TestSerialNumbersIncrease(t *testing.T) {
-	ca, _ := NewCA("root", fixedNow)
+	ca, _ := NewCA("root", fixedNow, nil)
 	a, _ := ca.Issue("a", true)
 	b, _ := ca.Issue("b", true)
 	if a.Cert.SerialNumber.Cmp(b.Cert.SerialNumber) >= 0 {

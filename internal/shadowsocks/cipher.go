@@ -13,7 +13,6 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/md5"
-	"crypto/rand"
 	"io"
 	"net"
 	"sync"
@@ -37,21 +36,23 @@ func Key(password string) []byte {
 	return key[:keyLen]
 }
 
-// streamConn encrypts a connection with AES-256-CFB. A random IV prefixes
-// the first write in each direction. Writes are serialized; reads must
-// come from a single goroutine.
+// streamConn encrypts a connection with AES-256-CFB. A random IV drawn
+// from rnd prefixes the first write in each direction. Writes are
+// serialized; reads must come from a single goroutine.
 type streamConn struct {
 	net.Conn
 	key []byte
+	rnd io.Reader
 
 	wmu sync.Mutex
 	enc cipher.Stream
 	dec cipher.Stream
 }
 
-// newStreamConn wraps conn with the shadowsocks stream cipher.
-func newStreamConn(conn net.Conn, key []byte) *streamConn {
-	return &streamConn{Conn: conn, key: key}
+// newStreamConn wraps conn with the shadowsocks stream cipher, drawing the
+// IV from rnd (the environment's entropy source).
+func newStreamConn(conn net.Conn, key []byte, rnd io.Reader) *streamConn {
+	return &streamConn{Conn: conn, key: key, rnd: rnd}
 }
 
 func (c *streamConn) Write(b []byte) (int, error) {
@@ -59,7 +60,7 @@ func (c *streamConn) Write(b []byte) (int, error) {
 	defer c.wmu.Unlock()
 	if c.enc == nil {
 		iv := make([]byte, ivSize)
-		if _, err := rand.Read(iv); err != nil {
+		if _, err := io.ReadFull(c.rnd, iv); err != nil {
 			return 0, err
 		}
 		block, err := aes.NewCipher(c.key)

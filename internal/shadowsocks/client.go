@@ -88,7 +88,7 @@ func (c *Client) ensureSession() error {
 		return fmt.Errorf("shadowsocks: auth dial: %w", err)
 	}
 	defer conn.Close()
-	sc := newStreamConn(conn, c.key)
+	sc := newStreamConn(conn, c.key, c.Env.Entropy())
 
 	cred := c.Credential
 	if cred == "" {
@@ -125,7 +125,7 @@ func (c *Client) DialHost(host string, port int) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shadowsocks: dial: %w", err)
 	}
-	sc := newStreamConn(conn, c.key)
+	sc := newStreamConn(conn, c.key, c.Env.Entropy())
 
 	header := make([]byte, 0, 4+len(host))
 	if ip := net.ParseIP(host); ip != nil && ip.To4() != nil {

@@ -96,7 +96,7 @@ func (s *Server) Close() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	sc := newStreamConn(conn, s.key)
+	sc := newStreamConn(conn, s.key, s.Env.Entropy())
 
 	host, port, authUser, err := readHeader(sc)
 	if err != nil {

@@ -38,8 +38,8 @@ func TestStreamConnRoundTrip(t *testing.T) {
 		a, b := net.Pipe()
 		defer a.Close()
 		defer b.Close()
-		ca := newStreamConn(a, key)
-		cb := newStreamConn(b, key)
+		ca := newStreamConn(a, key, netx.RealEnv().Entropy())
+		cb := newStreamConn(b, key, netx.RealEnv().Entropy())
 		go ca.Write(data)
 		got := make([]byte, len(data))
 		if _, err := io.ReadFull(cb, got); err != nil {
@@ -56,7 +56,7 @@ func TestStreamConnCiphertextDiffers(t *testing.T) {
 	key := Key("k")
 	a, b := net.Pipe()
 	defer b.Close()
-	ca := newStreamConn(a, key)
+	ca := newStreamConn(a, key, netx.RealEnv().Entropy())
 	msg := []byte("GET / HTTP/1.1 plaintext marker")
 	go ca.Write(msg)
 	wire := make([]byte, ivSize+len(msg))

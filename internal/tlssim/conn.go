@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -36,6 +37,17 @@ type Config struct {
 	// certificate and the configured ServerName; returning an error
 	// aborts the handshake.
 	VerifyPeer func(cert []byte, serverName string) error
+	// Rand supplies handshake randomness (hello randoms, ECDH keys). Nil
+	// uses crypto/rand; the simulator injects its seeded source so wire
+	// bytes are a deterministic function of the world's seed.
+	Rand io.Reader
+}
+
+func (cfg *Config) rand() io.Reader {
+	if cfg.Rand != nil {
+		return cfg.Rand
+	}
+	return rand.Reader
 }
 
 // Conn is an encrypted connection over an underlying net.Conn.
@@ -88,16 +100,16 @@ func (c *Conn) Handshake() error {
 	return nil
 }
 
-func randBytes(n int) ([]byte, error) {
+func randBytes(r io.Reader, n int) ([]byte, error) {
 	b := make([]byte, n)
-	if _, err := rand.Read(b); err != nil {
+	if _, err := io.ReadFull(r, b); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
 func (c *Conn) clientHandshake() error {
-	clientRandom, err := randBytes(32)
+	clientRandom, err := randBytes(c.cfg.rand(), 32)
 	if err != nil {
 		return err
 	}
@@ -132,7 +144,7 @@ func (c *Conn) clientHandshake() error {
 		}
 	}
 
-	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	priv, err := ecdh.X25519().GenerateKey(c.cfg.rand())
 	if err != nil {
 		return err
 	}
@@ -184,11 +196,11 @@ func (c *Conn) serverHandshake() error {
 	}
 	c.cfg.ServerName = string(body[35 : 35+sniLen])
 
-	serverRandom, err := randBytes(32)
+	serverRandom, err := randBytes(c.cfg.rand(), 32)
 	if err != nil {
 		return err
 	}
-	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	priv, err := ecdh.X25519().GenerateKey(c.cfg.rand())
 	if err != nil {
 		return err
 	}

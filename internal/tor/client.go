@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -184,8 +185,14 @@ func (c *Client) failLocked(err error) error {
 	if c.err == nil {
 		c.err = err
 	}
-	for _, st := range c.streams {
-		st.fail(err)
+	// Deterministic teardown order (see mux.Session.fail).
+	ids := make([]uint16, 0, len(c.streams))
+	for id := range c.streams {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		c.streams[id].fail(err)
 	}
 	c.cond.Broadcast()
 	return c.err

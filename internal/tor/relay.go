@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"slices"
 	"sync"
 
 	"scholarcloud/internal/netx"
@@ -347,8 +348,14 @@ func (r *Relay) destroyCircuit(conn net.Conn, id uint32) {
 	}
 	circ.nextMu.Unlock()
 	circ.streamMu.Lock()
-	for _, s := range circ.streams {
-		s.Close()
+	// Deterministic teardown order (see mux.Session.fail).
+	ids := make([]uint16, 0, len(circ.streams))
+	for id := range circ.streams {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		circ.streams[id].Close()
 	}
 	circ.streams = map[uint16]net.Conn{}
 	circ.streamMu.Unlock()

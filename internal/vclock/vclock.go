@@ -2,18 +2,25 @@
 // discrete-event simulation.
 //
 // The scheduler tracks a set of managed goroutines and a heap of timed
-// events. Virtual time only advances when every managed goroutine is
-// blocked on a scheduler-aware primitive (Sleep, Cond.Wait, or an event
-// channel); the scheduler then pops the earliest pending event, jumps the
-// clock to its timestamp, and runs it. A simulated 15-second page load
-// therefore completes in microseconds of wall time, and timing-sensitive
-// behaviour (retransmission timeouts, keep-alive expiry, handshake round
-// trips) is reproducible run to run.
+// events, and it runs the managed world SERIALIZED: exactly one managed
+// goroutine (or event callback) executes at a time, holding the run token.
+// Runnable goroutines queue FIFO; when the running goroutine blocks on a
+// scheduler-aware primitive (Sleep, Cond.Wait, or exit), the token passes
+// to the queue head, and only when the queue is empty does the driver pop
+// the earliest pending event and jump the clock to its timestamp. A
+// simulated 15-second page load therefore completes in microseconds of
+// wall time, and — because every interleaving decision is made by the
+// FIFO queue and the event heap rather than the OS scheduler — a world's
+// entire execution is a deterministic function of its inputs, even when
+// hundreds of simulated clients run "concurrently". That property is what
+// lets the experiment harness fan worlds out across OS threads and still
+// produce byte-identical figures for any worker count: parallelism lives
+// BETWEEN worlds, never inside one.
 //
 // The cardinal rule for code running under a Scheduler is that every
 // blocking operation must be scheduler-aware. Blocking on a bare channel
 // or sync primitive from a managed goroutine stalls virtual time forever,
-// because the scheduler counts the goroutine as runnable and refuses to
+// because the goroutine holds the run token and the scheduler will not
 // advance the clock past it.
 package vclock
 
@@ -31,12 +38,13 @@ var Epoch = time.Date(2017, time.February, 1, 0, 0, 0, 0, time.UTC)
 // not usable; call New.
 type Scheduler struct {
 	mu     sync.Mutex
-	driver *sync.Cond // wakes the driver loop when busy hits zero or events arrive
+	driver *sync.Cond // wakes the driver loop when the token frees or events arrive
 
 	now     time.Duration // virtual time elapsed since Epoch
 	events  eventHeap
-	seq     uint64 // tie-breaker so same-timestamp events run in schedule order
-	busy    int    // managed goroutines currently runnable
+	seq     uint64          // tie-breaker so same-timestamp events run in schedule order
+	running bool            // the run token: a managed goroutine or event callback executes
+	ready   []chan struct{} // FIFO of runnable goroutines awaiting the token
 	stopped bool
 
 	idle *sync.Cond // wakes Wait() callers when the world quiesces
@@ -92,15 +100,19 @@ func (s *Scheduler) Elapsed() time.Duration {
 	return s.now
 }
 
-// Go spawns fn as a managed goroutine. The scheduler will not advance
-// virtual time while fn is runnable.
+// Go spawns fn as a managed goroutine. It joins the back of the run queue
+// and executes once the token reaches it; the scheduler will not advance
+// virtual time while it is runnable.
 func (s *Scheduler) Go(fn func()) {
+	ch := make(chan struct{})
 	s.mu.Lock()
-	s.busy++
+	s.ready = append(s.ready, ch)
+	s.driver.Signal()
 	s.mu.Unlock()
 	go func() {
-		defer s.decBusy()
+		<-ch
 		fn()
+		s.release()
 	}()
 }
 
@@ -112,13 +124,8 @@ func (s *Scheduler) Sleep(d time.Duration) {
 	}
 	ch := make(chan struct{})
 	s.mu.Lock()
-	s.scheduleLocked(s.now+d, func() {
-		s.mu.Lock()
-		s.busy++
-		s.mu.Unlock()
-		close(ch)
-	})
-	s.busyDownLocked()
+	s.scheduleLocked(s.now+d, func() { s.readyCh(ch) })
+	s.releaseLocked()
 	s.mu.Unlock()
 	<-ch
 }
@@ -175,32 +182,31 @@ func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *event {
 	return ev
 }
 
-// decBusy marks the calling managed goroutine as no longer runnable.
-func (s *Scheduler) decBusy() {
+// readyCh puts a parked goroutine's wake channel at the back of the run
+// queue; the driver closes it when the token reaches it.
+func (s *Scheduler) readyCh(ch chan struct{}) {
 	s.mu.Lock()
-	s.busyDownLocked()
+	s.ready = append(s.ready, ch)
+	s.driver.Signal()
 	s.mu.Unlock()
 }
 
-func (s *Scheduler) busyDownLocked() {
-	s.busy--
-	if s.busy == 0 {
-		s.driver.Signal()
-		if s.events.Len() == 0 {
-			s.idle.Broadcast()
-		}
-	}
-}
-
-func (s *Scheduler) incBusy() {
+// release gives up the run token on behalf of the calling managed
+// goroutine (it is blocking or exiting).
+func (s *Scheduler) release() {
 	s.mu.Lock()
-	s.busy++
+	s.releaseLocked()
 	s.mu.Unlock()
 }
 
-// run is the driver loop: whenever every managed goroutine is blocked, pop
-// the earliest event, advance the clock, and execute it. The callback runs
-// with the driver counted busy so time cannot advance underneath it.
+func (s *Scheduler) releaseLocked() {
+	s.running = false
+	s.driver.Signal()
+}
+
+// run is the driver loop: pass the token FIFO through the run queue; when
+// the queue drains, pop the earliest event, advance the clock, and execute
+// it (holding the token so time cannot advance underneath it).
 func (s *Scheduler) run() {
 	s.mu.Lock()
 	for {
@@ -208,36 +214,45 @@ func (s *Scheduler) run() {
 			s.mu.Unlock()
 			return
 		}
-		if s.busy > 0 || s.events.Len() == 0 {
+		if s.running {
+			s.driver.Wait()
+			continue
+		}
+		if len(s.ready) > 0 {
+			ch := s.ready[0]
+			s.ready = s.ready[1:]
+			s.running = true
+			close(ch)
+			continue
+		}
+		if s.events.Len() == 0 {
+			s.idle.Broadcast()
 			s.driver.Wait()
 			continue
 		}
 		ev := heap.Pop(&s.events).(*event)
 		if ev.cancel {
-			if s.events.Len() == 0 && s.busy == 0 {
-				s.idle.Broadcast()
-			}
 			continue
 		}
 		s.now = ev.at
 		fn := ev.fn
 		ev.fn = nil
-		s.busy++
+		s.running = true
 		s.mu.Unlock()
 		fn()
-		s.decBusy()
 		s.mu.Lock()
+		s.running = false
 	}
 }
 
 // Wait blocks the caller (an unmanaged goroutine, typically a test) until
-// the simulation quiesces: no runnable managed goroutines and no pending
-// events. Goroutines parked on Conds (e.g. servers in Accept) do not
-// prevent quiescence.
+// the simulation quiesces: no running or runnable managed goroutines and
+// no pending events. Goroutines parked on Conds (e.g. servers in Accept)
+// do not prevent quiescence.
 func (s *Scheduler) Wait() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for !(s.busy == 0 && pendingLocked(&s.events) == 0) && !s.stopped {
+	for !(!s.running && len(s.ready) == 0 && pendingLocked(&s.events) == 0) && !s.stopped {
 		s.idle.Wait()
 	}
 }
@@ -263,9 +278,9 @@ func (s *Scheduler) Stop() {
 }
 
 // Cond is a scheduler-aware condition variable. It mirrors sync.Cond but
-// keeps the scheduler's runnable count correct across Wait/Signal, so
-// virtual time can advance while goroutines are parked and cannot advance
-// between a Signal and the waiter resuming.
+// hands the run token back to the scheduler across Wait, so virtual time
+// can advance while goroutines are parked; signaled waiters rejoin the run
+// queue in wake order.
 type Cond struct {
 	S *Scheduler
 	L sync.Locker
@@ -284,8 +299,8 @@ func NewCond(s *Scheduler, l sync.Locker) *Cond {
 func (c *Cond) Wait() {
 	ch := make(chan struct{})
 	c.waiters = append(c.waiters, ch)
-	c.S.decBusy()
 	c.L.Unlock()
+	c.S.release()
 	<-ch
 	c.L.Lock()
 }
@@ -297,15 +312,13 @@ func (c *Cond) Signal() {
 	}
 	ch := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.S.incBusy()
-	close(ch)
+	c.S.readyCh(ch)
 }
 
 // Broadcast wakes all parked waiters. The caller must hold c.L.
 func (c *Cond) Broadcast() {
 	for _, ch := range c.waiters {
-		c.S.incBusy()
-		close(ch)
+		c.S.readyCh(ch)
 	}
 	c.waiters = nil
 }

@@ -108,10 +108,18 @@ func (o Options) fleet() *FleetOptions {
 }
 
 // Validate rejects nonsensical option combinations with descriptive
-// errors.
+// errors. Setting both the nested Fleet block and the deprecated flat
+// aliases is fine as long as they agree (callers migrating field by
+// field hit that state); disagreeing nonzero values are rejected so a
+// half-migrated config can't silently pick one of the two.
 func (o Options) Validate() error {
-	if o.Fleet != nil && (o.FleetRemotes != 0 || o.FleetSessionsPerRemote != 0) {
-		return fmt.Errorf("scholarcloud: both Options.Fleet and the deprecated flat FleetRemotes/FleetSessionsPerRemote are set — use one")
+	if o.Fleet != nil {
+		if o.FleetRemotes != 0 && o.FleetRemotes != o.Fleet.Remotes {
+			return fmt.Errorf("scholarcloud: conflicting fleet sizes: Options.Fleet.Remotes is %d but the deprecated FleetRemotes is %d — drop one or make them agree", o.Fleet.Remotes, o.FleetRemotes)
+		}
+		if o.FleetSessionsPerRemote != 0 && o.FleetSessionsPerRemote != o.Fleet.SessionsPerRemote {
+			return fmt.Errorf("scholarcloud: conflicting carrier-pool sizes: Options.Fleet.SessionsPerRemote is %d but the deprecated FleetSessionsPerRemote is %d — drop one or make them agree", o.Fleet.SessionsPerRemote, o.FleetSessionsPerRemote)
+		}
 	}
 	return o.fleet().Validate()
 }

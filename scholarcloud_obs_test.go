@@ -162,7 +162,11 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative sessions", Options{Fleet: &FleetOptions{Remotes: 1, SessionsPerRemote: -4}}, "SessionsPerRemote is negative"},
 		{"sessions without remotes", Options{Fleet: &FleetOptions{SessionsPerRemote: 2}}, "Remotes is zero"},
 		{"flat sessions without remotes", Options{FleetSessionsPerRemote: 2}, "Remotes is zero"},
-		{"both forms", Options{Fleet: &FleetOptions{Remotes: 1}, FleetRemotes: 1}, "use one"},
+		{"both forms agreeing", Options{Fleet: &FleetOptions{Remotes: 1}, FleetRemotes: 1}, ""},
+		{"both forms agreeing full", Options{Fleet: &FleetOptions{Remotes: 2, SessionsPerRemote: 3}, FleetRemotes: 2, FleetSessionsPerRemote: 3}, ""},
+		{"flat zero with fleet", Options{Fleet: &FleetOptions{Remotes: 4}}, ""},
+		{"conflicting remotes", Options{Fleet: &FleetOptions{Remotes: 2}, FleetRemotes: 5}, "conflicting fleet sizes"},
+		{"conflicting sessions", Options{Fleet: &FleetOptions{Remotes: 2, SessionsPerRemote: 1}, FleetSessionsPerRemote: 4}, "conflicting carrier-pool sizes"},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate()
@@ -199,4 +203,35 @@ func TestDeprecatedFlatFleetOptions(t *testing.T) {
 	if sim.World.Fleet == nil {
 		t.Fatal("flat FleetRemotes did not build a fleet")
 	}
+}
+
+// TestAgreeingFlatAndNestedFleetOptions checks a half-migrated config —
+// nested Fleet plus flat aliases carrying the same values — still builds
+// (the nested form wins; nothing to disagree about).
+func TestAgreeingFlatAndNestedFleetOptions(t *testing.T) {
+	sim := NewSimulation(Options{
+		Seed:         13,
+		Fleet:        &FleetOptions{Remotes: 2},
+		FleetRemotes: 2,
+	})
+	defer sim.Close()
+	if sim.World.Fleet == nil {
+		t.Fatal("agreeing flat+nested options did not build a fleet")
+	}
+}
+
+// TestConflictingFleetOptionsPanic checks NewSimulation refuses
+// disagreeing nonzero flat/nested fleet fields instead of silently
+// preferring one.
+func TestConflictingFleetOptionsPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewSimulation accepted conflicting fleet sizes")
+		}
+		if !strings.Contains(r.(error).Error(), "conflicting") {
+			t.Errorf("panic = %v", r)
+		}
+	}()
+	NewSimulation(Options{Fleet: &FleetOptions{Remotes: 2}, FleetRemotes: 5})
 }
