@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-smoke bench-json figures determinism
+.PHONY: check build vet fmt test race bench bench-smoke bench-json bench-compare figures determinism
 
 ## check: the full gate — build, vet, formatting, the race-enabled test
 ## suite, and the parallel-harness determinism gate.
@@ -37,6 +37,13 @@ bench-smoke:
 ## performance report (workers = all cores).
 bench-json:
 	$(GO) run ./cmd/scholarbench -fig all -bench-out BENCH_experiments.json > /dev/null
+
+## bench-compare: run the full figure sweep fresh and fail when any
+## figure's wall time regressed >50% against the committed baseline.
+bench-compare:
+	$(GO) run ./cmd/scholarbench -fig all -bench-out /tmp/scholarbench-fresh.json > /dev/null
+	$(GO) run ./cmd/benchcompare -baseline BENCH_experiments.json \
+		-fresh /tmp/scholarbench-fresh.json -tolerance 0.5
 
 ## determinism: the parallel harness's core guarantee — the full figure
 ## sweep must be byte-identical at -parallel 1 and -parallel 4.

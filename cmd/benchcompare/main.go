@@ -1,0 +1,113 @@
+// Command benchcompare diffs two scholarbench -bench-out reports and
+// fails when the fresh run regressed against the baseline.
+//
+// Usage:
+//
+//	benchcompare -baseline BENCH_experiments.json -fresh /tmp/bench.json [-tolerance 0.5]
+//
+// A figure regresses when its fresh wall time exceeds the baseline's by
+// more than the tolerance fraction (default 0.5, i.e. +50%). Slack that
+// wide keeps the gate about real slowdowns — an accidentally quadratic
+// sweep, a figure that doubled its world count — rather than scheduler
+// noise between runs on shared hardware. Figures only present in one
+// report are noted but are not regressions (new figures land with new
+// PRs; the baseline catches up when it is next regenerated). Exit
+// status: 0 clean, 1 regression, 2 usage or unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	GeneratedAt string   `json:"generated_at"`
+	Full        bool     `json:"full"`
+	Worlds      int      `json:"worlds"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Figures     []figure `json:"figures"`
+}
+
+type figure struct {
+	Fig     string  `json:"fig"`
+	Cells   int     `json:"cells"`
+	Seconds float64 `json:"seconds"`
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_experiments.json", "committed baseline report")
+	fresh := flag.String("fresh", "", "freshly generated report to compare against the baseline")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed per-figure slowdown as a fraction of the baseline")
+	flag.Parse()
+	if *fresh == "" || *tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: -fresh is required and -tolerance must be non-negative")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err == nil {
+		var cur *report
+		if cur, err = load(*fresh); err == nil {
+			os.Exit(compare(base, cur, *tolerance))
+		}
+	}
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(2)
+}
+
+func compare(base, cur *report, tol float64) int {
+	if base.Full != cur.Full {
+		fmt.Fprintf(os.Stderr, "benchcompare: baseline full=%v but fresh full=%v — not comparable\n",
+			base.Full, cur.Full)
+		return 2
+	}
+	baseFigs := make(map[string]figure, len(base.Figures))
+	for _, f := range base.Figures {
+		baseFigs[f.Fig] = f
+	}
+
+	regressions := 0
+	fmt.Printf("  %-8s %-12s %-12s %s\n", "fig", "baseline-s", "fresh-s", "verdict")
+	for _, f := range cur.Figures {
+		b, ok := baseFigs[f.Fig]
+		if !ok {
+			fmt.Printf("  %-8s %-12s %-12.3f new figure (no baseline)\n", f.Fig, "-", f.Seconds)
+			continue
+		}
+		delete(baseFigs, f.Fig)
+		limit := b.Seconds * (1 + tol)
+		verdict := "ok"
+		if f.Seconds > limit {
+			verdict = fmt.Sprintf("REGRESSION (limit %.3fs)", limit)
+			regressions++
+		}
+		fmt.Printf("  %-8s %-12.3f %-12.3f %s\n", f.Fig, b.Seconds, f.Seconds, verdict)
+	}
+	for _, f := range base.Figures {
+		if _, dropped := baseFigs[f.Fig]; dropped {
+			fmt.Printf("  %-8s dropped from fresh report\n", f.Fig)
+		}
+	}
+	fmt.Printf("total wall: baseline %.1fs (%d worlds) -> fresh %.1fs (%d worlds)\n",
+		base.WallSeconds, base.Worlds, cur.WallSeconds, cur.Worlds)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d figure(s) regressed beyond +%.0f%%\n",
+			regressions, tol*100)
+		return 1
+	}
+	return 0
+}

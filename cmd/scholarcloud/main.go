@@ -92,6 +92,8 @@ func runDomestic(args []string) {
 	whitelist := fs.String("whitelist", "scholar.google.com,accounts.google.com",
 		"comma-separated visible whitelist of legal domains")
 	public := fs.String("public", "", "proxy address written into the PAC file")
+	cacheMB := fs.Int("cache-mb", 0, "shared content-cache budget in MiB (0 = no cache)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "heuristic freshness TTL for cached responses without max-age (0 = default)")
 	fs.Parse(args)
 	if *secret == "" || *remote == "" {
 		fmt.Fprintln(os.Stderr, "domestic: -secret and -remote are required")
@@ -108,6 +110,8 @@ func runDomestic(args []string) {
 		Epoch:             *epoch,
 		Whitelist:         strings.Split(*whitelist, ","),
 		PublicProxyAddr:   *public,
+		CacheMB:           *cacheMB,
+		CacheTTL:          *cacheTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "domestic:", err)

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
+	"scholarcloud/internal/cache"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
@@ -181,6 +183,15 @@ type DomesticConfig struct {
 	// PublicProxyAddr is the address written into the generated PAC file
 	// (what browsers can reach), e.g. "proxy.example.com:8118".
 	PublicProxyAddr string
+	// CacheMB, when > 0, runs the proxy with a shared content cache of
+	// that many MiB: whitelisted static objects are stored once and
+	// served to every user without re-crossing the border, concurrent
+	// identical misses coalesce into one upstream fetch, and cache
+	// counters surface on the admin /metrics endpoint.
+	CacheMB int
+	// CacheTTL overrides the cache's heuristic freshness lifetime (zero
+	// selects the cache package default, 60 s).
+	CacheTTL time.Duration
 }
 
 // remotes reconciles RemoteAddr and RemoteAddrs.
@@ -285,6 +296,16 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 		// authenticate the peer, so deployment defaults to accepting the
 		// remote's certificate.
 		RemoteName: "remote.scholarcloud.example",
+	}
+	if cfg.CacheMB > 0 {
+		cc, err := cache.New(env, cache.Options{
+			Capacity:   int64(cfg.CacheMB) << 20,
+			DefaultTTL: cfg.CacheTTL,
+		})
+		if err != nil {
+			return nil, err
+		}
+		domestic.Cache = cc
 	}
 	reg := obs.NewRegistry()
 	domestic.Instrument(reg)

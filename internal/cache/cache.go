@@ -1,0 +1,379 @@
+// Package cache is the domestic proxy's shared content cache: a
+// byte-budgeted sharded LRU store with HTTP-aware freshness, singleflight
+// request coalescing, and admission control.
+//
+// The paper's deployment served every user's Scholar accesses through one
+// domestic VM, so N concurrent clients re-fetched the identical static
+// objects across the border link N times. Placing a shared, whitelist-
+// scoped cache at the domestic proxy removes that redundancy: a fresh hit
+// is served without touching the border link (or the GFW) at all, a stale
+// entry is revalidated with a conditional request (a 304 refreshes it
+// without re-shipping the body), and concurrent identical misses collapse
+// into a single upstream fetch whose response fans out to every waiter.
+//
+// Everything is deterministic under the virtual clock: time comes from
+// netx.Env.Clock, blocking uses netx.Env.Sync condition variables, the
+// only entropy is the injectable shard-hash seed, and eviction order is
+// the LRU core's deterministic order.
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scholarcloud/internal/cache/lru"
+	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/metrics"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
+)
+
+// Options configures a Cache. The zero value selects every default.
+type Options struct {
+	// Capacity is the total byte budget across all shards (default 64 MiB).
+	Capacity int64
+	// Shards is the number of independently locked LRU shards; it must be a
+	// power of two (default 8).
+	Shards int
+	// MaxObjectBytes caps a single admitted response (default Capacity/64),
+	// so one huge object cannot flush the working set.
+	MaxObjectBytes int64
+	// DefaultTTL is the heuristic freshness lifetime for responses without
+	// explicit cache metadata (default 60 s).
+	DefaultTTL time.Duration
+	// Seed salts the shard hash — the cache's only entropy, injected so a
+	// simulated world is a pure function of its seed.
+	Seed uint64
+}
+
+// Validate rejects nonsensical configurations.
+func (o Options) Validate() error {
+	if o.Capacity < 0 {
+		return fmt.Errorf("cache: Capacity is negative (%d)", o.Capacity)
+	}
+	if o.Shards < 0 || (o.Shards > 0 && o.Shards&(o.Shards-1) != 0) {
+		return fmt.Errorf("cache: Shards must be a power of two (got %d)", o.Shards)
+	}
+	if o.MaxObjectBytes < 0 {
+		return fmt.Errorf("cache: MaxObjectBytes is negative (%d)", o.MaxObjectBytes)
+	}
+	if o.DefaultTTL < 0 {
+		return fmt.Errorf("cache: DefaultTTL is negative (%v)", o.DefaultTTL)
+	}
+	return nil
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity == 0 {
+		o.Capacity = 64 << 20
+	}
+	if o.Shards == 0 {
+		o.Shards = 8
+	}
+	if o.MaxObjectBytes == 0 {
+		o.MaxObjectBytes = o.Capacity / 64
+	}
+	if o.DefaultTTL == 0 {
+		o.DefaultTTL = 60 * time.Second
+	}
+	return o
+}
+
+// Outcome classifies how a Fetch was served.
+type Outcome int
+
+// Outcomes.
+const (
+	// Hit: a fresh stored response was served locally.
+	Hit Outcome = iota
+	// Revalidated: a stale entry was refreshed by an upstream 304 and its
+	// stored body served (no body crossed the link).
+	Revalidated
+	// Coalesced: this caller waited on another caller's in-flight fetch of
+	// the same key and shares its response.
+	Coalesced
+	// Miss: fetched upstream and stored.
+	Miss
+	// Bypass: fetched upstream; admission control refused to store it.
+	Bypass
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Revalidated:
+		return "revalidated"
+	case Coalesced:
+		return "coalesced"
+	case Miss:
+		return "miss"
+	case Bypass:
+		return "bypass"
+	default:
+		return "unknown"
+	}
+}
+
+// Fetcher performs the upstream fetch on a miss. cond carries conditional
+// headers (If-None-Match) to merge into the upstream request when the
+// cache holds a revalidatable stale entry; it is nil on a cold miss.
+type Fetcher func(cond map[string]string) (*httpsim.Response, error)
+
+// object is one stored response.
+type object struct {
+	resp    *httpsim.Response
+	etag    string
+	expires time.Time
+	cost    int64
+}
+
+// flight is one in-progress upstream fetch that later identical requests
+// coalesce onto.
+type flight struct {
+	cond netx.Cond // bound to the shard mutex
+	done bool
+	resp *httpsim.Response
+	err  error
+}
+
+// Cache is the shared content cache. All methods are safe for concurrent
+// use.
+type Cache struct {
+	opts   Options
+	env    netx.Env
+	mask   uint64
+	salt   uint64
+	shards []*shard
+
+	hits        metrics.Counter
+	misses      metrics.Counter
+	revalidated metrics.Counter
+	bypass      metrics.Counter
+	coalesced   metrics.Counter
+	evictions   metrics.Counter
+
+	hitSeconds *obs.Histogram // nil until Instrument
+}
+
+type shard struct {
+	mu       sync.Mutex
+	store    *lru.Cache
+	inflight map[string]*flight
+}
+
+// New creates a cache on env. The environment decides the clock (virtual
+// in simulation, wall elsewhere) and the scheduler-aware condition
+// variables coalesced waiters block on.
+func New(env netx.Env, opts Options) (*Cache, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	c := &Cache{
+		opts: opts,
+		env:  env,
+		mask: uint64(opts.Shards - 1),
+		salt: splitmix64(opts.Seed ^ 0x5ca1ab1ecac4e000),
+	}
+	perShard := opts.Capacity / int64(opts.Shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := 0; i < opts.Shards; i++ {
+		s := &shard{inflight: make(map[string]*flight)}
+		s.store = lru.New(perShard, func(string, any, int64) { c.evictions.Inc() })
+		c.shards = append(c.shards, s)
+	}
+	return c, nil
+}
+
+// Instrument publishes the cache's counters, occupancy gauges, and
+// hit-latency histogram on reg (they surface on the deployment's admin
+// /metrics endpoint through the same registry).
+func (c *Cache) Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("cache.hits", &c.hits)
+	reg.RegisterCounter("cache.misses", &c.misses)
+	reg.RegisterCounter("cache.revalidated", &c.revalidated)
+	reg.RegisterCounter("cache.bypass", &c.bypass)
+	reg.RegisterCounter("cache.coalesced_waiters", &c.coalesced)
+	reg.RegisterCounter("cache.evictions", &c.evictions)
+	reg.RegisterFunc("cache.bytes", c.Bytes)
+	reg.RegisterFunc("cache.entries", c.Entries)
+	c.hitSeconds = reg.Histogram("cache.hit_seconds")
+}
+
+// Stats is a point-in-time summary of cache activity.
+type Stats struct {
+	Hits, Misses, Revalidated int64
+	Bypass, Coalesced         int64
+	Evictions, Entries, Bytes int64
+}
+
+// Snapshot returns current counter values.
+func (c *Cache) Snapshot() Stats {
+	return Stats{
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Revalidated: c.revalidated.Value(),
+		Bypass:      c.bypass.Value(),
+		Coalesced:   c.coalesced.Value(),
+		Evictions:   c.evictions.Value(),
+		Entries:     c.Entries(),
+		Bytes:       c.Bytes(),
+	}
+}
+
+// Bytes returns the total stored cost across shards.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.store.Used()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Entries returns the resident entry count across shards.
+func (c *Cache) Entries() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += int64(s.store.Len())
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Fetch serves key from the cache, coalescing concurrent misses: a fresh
+// entry is returned immediately; a stale-or-absent entry makes the first
+// caller the fetch leader (stale entries add an If-None-Match conditional)
+// while every concurrent caller for the same key blocks until the
+// leader's response fans out. The returned response is the caller's own
+// shallow copy (shared body bytes, private header map).
+func (c *Cache) Fetch(key string, fetch Fetcher) (*httpsim.Response, Outcome, error) {
+	start := c.env.Clock.Now()
+	s := c.shards[c.shardIndex(key)]
+	s.mu.Lock()
+	if obj := s.lookup(key); obj != nil && start.Before(obj.expires) {
+		resp := cloneResponse(obj.resp)
+		s.mu.Unlock()
+		c.hits.Inc()
+		if h := c.hitSeconds; h != nil {
+			h.ObserveDuration(c.env.Clock.Now().Sub(start))
+		}
+		return resp, Hit, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		c.coalesced.Inc()
+		for !f.done {
+			f.cond.Wait()
+		}
+		resp, err := f.resp, f.err
+		s.mu.Unlock()
+		if err != nil {
+			return nil, Coalesced, err
+		}
+		return cloneResponse(resp), Coalesced, nil
+	}
+
+	// This caller leads the upstream fetch.
+	f := &flight{cond: c.env.Sync.NewCond(&s.mu)}
+	s.inflight[key] = f
+	stale := s.lookup(key)
+	var cond map[string]string
+	if stale != nil && stale.etag != "" {
+		cond = map[string]string{"If-None-Match": stale.etag}
+	}
+	s.mu.Unlock()
+
+	resp, err := fetch(cond)
+
+	s.mu.Lock()
+	outcome := Miss
+	switch {
+	case err != nil:
+		f.err = err
+	case resp.StatusCode == 304 && stale != nil:
+		stale.expires = c.env.Clock.Now().Add(freshnessTTL(resp.Header, c.opts.DefaultTTL))
+		// Re-admit: promotes the entry and restores it if a concurrent
+		// insertion evicted it while the revalidation was in flight.
+		s.store.Add(key, stale, stale.cost)
+		f.resp = stale.resp
+		outcome = Revalidated
+		c.revalidated.Inc()
+	default:
+		cost := responseCost(resp)
+		if admit(resp, cost, c.opts.MaxObjectBytes) {
+			s.store.Add(key, &object{
+				resp:    resp,
+				etag:    resp.Header["Etag"],
+				expires: c.env.Clock.Now().Add(freshnessTTL(resp.Header, c.opts.DefaultTTL)),
+				cost:    cost,
+			}, cost)
+			c.misses.Inc()
+		} else {
+			// A non-cacheable response invalidates whatever was stored: the
+			// origin is telling us the representation is per-user or gone.
+			s.store.Remove(key)
+			outcome = Bypass
+			c.bypass.Inc()
+		}
+		f.resp = resp
+	}
+	f.done = true
+	f.cond.Broadcast()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+
+	if err != nil {
+		return nil, outcome, err
+	}
+	return cloneResponse(f.resp), outcome, nil
+}
+
+// lookup returns the stored object for key (promoting it) or nil.
+func (s *shard) lookup(key string) *object {
+	v, ok := s.store.Get(key)
+	if !ok {
+		return nil
+	}
+	return v.(*object)
+}
+
+// shardIndex hashes key (salted) onto a shard.
+func (c *Cache) shardIndex(key string) uint64 {
+	// FNV-1a, salted with the injected seed.
+	h := uint64(14695981039346656037) ^ c.salt
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h & c.mask
+}
+
+// cloneResponse gives each caller a private header map over the shared
+// body bytes, so one waiter mutating headers cannot corrupt another's
+// view of the stored entry.
+func cloneResponse(r *httpsim.Response) *httpsim.Response {
+	h := make(map[string]string, len(r.Header))
+	for k, v := range r.Header {
+		h[k] = v
+	}
+	return &httpsim.Response{
+		StatusCode: r.StatusCode,
+		Status:     r.Status,
+		Header:     h,
+		Body:       r.Body,
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

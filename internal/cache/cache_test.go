@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/httpsim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/obs"
+)
+
+func newTestCache(t *testing.T, opts Options) *Cache {
+	t.Helper()
+	c, err := New(netx.RealEnv(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func okResponse(body string, header map[string]string) *httpsim.Response {
+	resp := httpsim.NewResponse(200, []byte(body))
+	for k, v := range header {
+		resp.Header[k] = v
+	}
+	return resp
+}
+
+func fetchOK(body string, header map[string]string) Fetcher {
+	return func(map[string]string) (*httpsim.Response, error) {
+		return okResponse(body, header), nil
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Capacity: -1},
+		{Shards: 3},
+		{MaxObjectBytes: -1},
+		{DefaultTTL: -time.Second},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a bad config", o)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero Options rejected: %v", err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newTestCache(t, Options{})
+	resp, out, err := c.Fetch("k", fetchOK("body", nil))
+	if err != nil || out != Miss || string(resp.Body) != "body" {
+		t.Fatalf("first Fetch = %v, %v, %v", resp, out, err)
+	}
+	calls := 0
+	resp, out, err = c.Fetch("k", func(map[string]string) (*httpsim.Response, error) {
+		calls++
+		return okResponse("fresh", nil), nil
+	})
+	if err != nil || out != Hit || string(resp.Body) != "body" || calls != 0 {
+		t.Fatalf("second Fetch = %v, %v, %v (calls=%d)", resp, out, err, calls)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHitReturnsPrivateHeaderCopy(t *testing.T) {
+	c := newTestCache(t, Options{})
+	c.Fetch("k", fetchOK("body", map[string]string{"X-A": "1"}))
+	r1, _, _ := c.Fetch("k", nil)
+	r1.Header["X-A"] = "mutated"
+	r2, _, _ := c.Fetch("k", nil)
+	if r2.Header["X-A"] != "1" {
+		t.Fatalf("stored entry corrupted by caller mutation: %v", r2.Header)
+	}
+}
+
+func TestExpiryForcesRefetch(t *testing.T) {
+	c := newTestCache(t, Options{DefaultTTL: time.Millisecond})
+	c.Fetch("k", fetchOK("v1", nil))
+	time.Sleep(5 * time.Millisecond)
+	_, out, _ := c.Fetch("k", fetchOK("v2", nil))
+	if out != Miss {
+		t.Fatalf("expired entry served as %v", out)
+	}
+}
+
+func TestMaxAgeOverridesDefaultTTL(t *testing.T) {
+	c := newTestCache(t, Options{DefaultTTL: time.Hour})
+	c.Fetch("k", fetchOK("v1", map[string]string{"Cache-Control": "public, max-age=0"}))
+	_, out, _ := c.Fetch("k", fetchOK("v2", nil))
+	if out != Miss {
+		t.Fatalf("max-age=0 entry served as %v", out)
+	}
+}
+
+func TestRevalidation(t *testing.T) {
+	c := newTestCache(t, Options{DefaultTTL: time.Millisecond})
+	c.Fetch("k", fetchOK("body", map[string]string{"Etag": `"v1"`}))
+	time.Sleep(5 * time.Millisecond)
+
+	var gotCond map[string]string
+	resp, out, err := c.Fetch("k", func(cond map[string]string) (*httpsim.Response, error) {
+		gotCond = cond
+		r := httpsim.NewResponse(304, nil)
+		r.Header["Etag"] = `"v1"`
+		return r, nil
+	})
+	if err != nil || out != Revalidated {
+		t.Fatalf("Fetch = %v, %v", out, err)
+	}
+	if gotCond["If-None-Match"] != `"v1"` {
+		t.Fatalf("conditional headers = %v", gotCond)
+	}
+	if string(resp.Body) != "body" || resp.StatusCode != 200 {
+		t.Fatalf("revalidated response = %d %q", resp.StatusCode, resp.Body)
+	}
+	// The refreshed entry serves hits again without upstream contact.
+	if _, out, _ := c.Fetch("k", nil); out != Hit {
+		t.Fatalf("post-revalidation Fetch = %v", out)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cases := []struct {
+		name string
+		resp *httpsim.Response
+	}{
+		{"set-cookie", okResponse("b", map[string]string{"Set-Cookie": "GSP=x"})},
+		{"no-store", okResponse("b", map[string]string{"Cache-Control": "no-store"})},
+		{"private", okResponse("b", map[string]string{"Cache-Control": "private"})},
+		{"redirect", httpsim.NewResponse(302, nil)},
+		{"error", httpsim.NewResponse(503, []byte("down"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCache(t, Options{})
+			_, out, err := c.Fetch("k", func(map[string]string) (*httpsim.Response, error) {
+				return tc.resp, nil
+			})
+			if err != nil || out != Bypass {
+				t.Fatalf("Fetch = %v, %v", out, err)
+			}
+			if n := c.Entries(); n != 0 {
+				t.Fatalf("uncacheable response stored (entries=%d)", n)
+			}
+		})
+	}
+}
+
+func TestOversizedObjectBypasses(t *testing.T) {
+	c := newTestCache(t, Options{MaxObjectBytes: 16})
+	_, out, _ := c.Fetch("k", fetchOK("this body is larger than sixteen bytes", nil))
+	if out != Bypass || c.Entries() != 0 {
+		t.Fatalf("oversized object: outcome=%v entries=%d", out, c.Entries())
+	}
+}
+
+func TestBypassInvalidatesStaleEntry(t *testing.T) {
+	c := newTestCache(t, Options{DefaultTTL: time.Millisecond})
+	c.Fetch("k", fetchOK("cacheable", nil))
+	time.Sleep(5 * time.Millisecond)
+	c.Fetch("k", fetchOK("now per-user", map[string]string{"Set-Cookie": "GSP=x"}))
+	if n := c.Entries(); n != 0 {
+		t.Fatalf("stale entry survived a non-cacheable refetch (entries=%d)", n)
+	}
+}
+
+func TestFetchErrorPropagates(t *testing.T) {
+	c := newTestCache(t, Options{})
+	boom := errors.New("upstream down")
+	_, _, err := c.Fetch("k", func(map[string]string) (*httpsim.Response, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// A failed flight must not wedge the key.
+	_, out, err := c.Fetch("k", fetchOK("ok", nil))
+	if err != nil || out != Miss {
+		t.Fatalf("Fetch after error = %v, %v", out, err)
+	}
+}
+
+func TestEvictionUnderBudget(t *testing.T) {
+	// Single shard so the budget applies to one LRU list.
+	c := newTestCache(t, Options{Capacity: 2048, Shards: 1, MaxObjectBytes: 1024})
+	for i := 0; i < 10; i++ {
+		body := make([]byte, 256)
+		c.Fetch(fmt.Sprintf("k%d", i), func(map[string]string) (*httpsim.Response, error) {
+			return httpsim.NewResponse(200, body), nil
+		})
+	}
+	st := c.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the byte budget")
+	}
+	if st.Bytes > 2048 {
+		t.Fatalf("resident bytes %d exceed budget", st.Bytes)
+	}
+}
+
+// TestCoalescing is the acceptance-criteria test: K concurrent identical
+// misses must produce exactly one upstream fetch, with every other caller
+// coalescing onto the leader's flight and sharing its response.
+func TestCoalescing(t *testing.T) {
+	const K = 8
+	c := newTestCache(t, Options{})
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+
+	var fetches atomic.Int64
+	release := make(chan struct{})
+	fetcher := func(map[string]string) (*httpsim.Response, error) {
+		fetches.Add(1)
+		<-release
+		return okResponse("shared", nil), nil
+	}
+
+	var (
+		mu       sync.Mutex
+		outcomes = map[Outcome]int{}
+		bodies   = map[string]int{}
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out, err := c.Fetch("k", fetcher)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			outcomes[out]++
+			bodies[string(resp.Body)]++
+			mu.Unlock()
+		}()
+	}
+
+	// Wait until all K-1 followers are parked on the leader's flight, then
+	// release the upstream fetch.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Snapshot().Coalesced != K-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never coalesced: %+v", c.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("upstream fetches = %d, want exactly 1", n)
+	}
+	if outcomes[Miss] != 1 || outcomes[Coalesced] != K-1 {
+		t.Fatalf("outcomes = %v, want 1 miss + %d coalesced", outcomes, K-1)
+	}
+	if bodies["shared"] != K {
+		t.Fatalf("bodies = %v, want all %d identical", bodies, K)
+	}
+	if got := reg.Snapshot().Counter("cache.coalesced_waiters"); got != K-1 {
+		t.Fatalf("cache.coalesced_waiters = %d, want %d", got, K-1)
+	}
+}
+
+func TestShardingIsSeedStable(t *testing.T) {
+	a := newTestCache(t, Options{Seed: 42})
+	b := newTestCache(t, Options{Seed: 42})
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("http://scholar.google.com/static/r%d", i)
+		if a.shardIndex(k) != b.shardIndex(k) {
+			t.Fatalf("shard index for %q differs across identically seeded caches", k)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	want := map[Outcome]string{Hit: "hit", Revalidated: "revalidated", Coalesced: "coalesced", Miss: "miss", Bypass: "bypass", Outcome(99): "unknown"}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}

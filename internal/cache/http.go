@@ -1,0 +1,94 @@
+package cache
+
+// HTTP-aware freshness and admission. The simulator speaks a compact
+// HTTP/1.1 subset (internal/httpsim), so this intentionally implements
+// the load-bearing sliver of RFC 9111: Cache-Control max-age / no-store /
+// no-cache / private, Etag-based revalidation, and a heuristic default
+// TTL for responses that carry no explicit metadata.
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"scholarcloud/internal/httpsim"
+)
+
+// perEntryOverhead approximates bookkeeping cost (key, list element, map
+// slot) charged against the byte budget in addition to the payload.
+const perEntryOverhead = 64
+
+// responseCost is the budget charge for storing resp.
+func responseCost(resp *httpsim.Response) int64 {
+	n := int64(len(resp.Body)) + perEntryOverhead
+	for k, v := range resp.Header {
+		n += int64(len(k) + len(v))
+	}
+	return n
+}
+
+// admit reports whether resp may be stored in a shared cache. Only
+// complete 200 responses are cached; responses that set cookies or
+// declare themselves no-store/private are per-user by definition and
+// must never be shared. Request cookies are deliberately NOT consulted:
+// a shared cache keys on the resource, and the origin's response headers
+// are what decide whether the representation is user-specific.
+func admit(resp *httpsim.Response, cost, maxObjectBytes int64) bool {
+	if resp.StatusCode != 200 {
+		return false
+	}
+	if cost > maxObjectBytes {
+		return false
+	}
+	if _, ok := resp.Header["Set-Cookie"]; ok {
+		return false
+	}
+	cc := parseCacheControl(resp.Header["Cache-Control"])
+	if cc.noStore || cc.private {
+		return false
+	}
+	return true
+}
+
+// freshnessTTL returns how long a response may be served without
+// revalidation: an explicit max-age wins, no-cache forces immediate
+// revalidation, and anything else gets the heuristic default.
+func freshnessTTL(header map[string]string, def time.Duration) time.Duration {
+	cc := parseCacheControl(header["Cache-Control"])
+	if cc.noCache {
+		return 0
+	}
+	if cc.hasMaxAge {
+		return time.Duration(cc.maxAge) * time.Second
+	}
+	return def
+}
+
+type cacheControl struct {
+	noStore   bool
+	noCache   bool
+	private   bool
+	hasMaxAge bool
+	maxAge    int64
+}
+
+func parseCacheControl(v string) cacheControl {
+	var cc cacheControl
+	for _, part := range strings.Split(v, ",") {
+		part = strings.ToLower(strings.TrimSpace(part))
+		switch {
+		case part == "no-store":
+			cc.noStore = true
+		case part == "no-cache":
+			cc.noCache = true
+		case part == "private":
+			cc.private = true
+		case strings.HasPrefix(part, "max-age="):
+			if n, err := strconv.ParseInt(part[len("max-age="):], 10, 64); err == nil && n >= 0 {
+				cc.hasMaxAge = true
+				cc.maxAge = n
+			}
+		}
+	}
+	return cc
+}

@@ -1,0 +1,120 @@
+package lru
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAddGetRemove(t *testing.T) {
+	c := New(100, nil)
+	if !c.Add("a", 1, 10) {
+		t.Fatal("Add rejected an in-budget entry")
+	}
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if c.Len() != 1 || c.Used() != 10 {
+		t.Fatalf("Len/Used = %d/%d", c.Len(), c.Used())
+	}
+	if !c.Remove("a") {
+		t.Fatal("Remove(a) reported absent")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived Remove")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("Used = %d after Remove", c.Used())
+	}
+}
+
+func TestEvictionIsLRUOrdered(t *testing.T) {
+	var evicted []string
+	c := New(3, func(key string, _ any, _ int64) { evicted = append(evicted, key) })
+	c.Add("a", nil, 1)
+	c.Add("b", nil, 1)
+	c.Add("c", nil, 1)
+	c.Get("a") // promote: eviction order becomes b, c, a
+	c.Add("d", nil, 1)
+	c.Add("e", nil, 1)
+	if fmt.Sprint(evicted) != "[b c]" {
+		t.Fatalf("evicted = %v, want [b c]", evicted)
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+}
+
+func TestCostBudget(t *testing.T) {
+	var evicted []string
+	c := New(100, func(key string, _ any, _ int64) { evicted = append(evicted, key) })
+	c.Add("big1", nil, 60)
+	c.Add("big2", nil, 60) // must evict big1
+	if len(evicted) != 1 || evicted[0] != "big1" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if c.Used() != 60 {
+		t.Fatalf("Used = %d", c.Used())
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	c := New(10, nil)
+	c.Add("a", nil, 5)
+	if c.Add("huge", nil, 11) {
+		t.Fatal("entry larger than the budget was admitted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("rejected oversized entry flushed resident entries")
+	}
+	// A stale resident version under the same key must not survive a
+	// now-oversized replacement.
+	c.Add("grow", nil, 2)
+	c.Add("grow", nil, 11)
+	if _, ok := c.Peek("grow"); ok {
+		t.Fatal("stale version survived oversized replacement")
+	}
+}
+
+func TestReplaceAdjustsCost(t *testing.T) {
+	c := New(10, nil)
+	c.Add("a", 1, 4)
+	c.Add("a", 2, 7)
+	if c.Used() != 7 || c.Len() != 1 {
+		t.Fatalf("Used/Len = %d/%d", c.Used(), c.Len())
+	}
+	v, _ := c.Get("a")
+	if v.(int) != 2 {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestClear(t *testing.T) {
+	calls := 0
+	c := New(10, func(string, any, int64) { calls++ })
+	c.Add("a", nil, 1)
+	c.Add("b", nil, 1)
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatalf("Len/Used = %d/%d after Clear", c.Len(), c.Used())
+	}
+	if calls != 0 {
+		t.Fatal("Clear ran the eviction callback")
+	}
+}
+
+func TestDeterministicEvictionSequence(t *testing.T) {
+	run := func() []string {
+		var evicted []string
+		c := New(5, func(key string, _ any, _ int64) { evicted = append(evicted, key) })
+		for i := 0; i < 20; i++ {
+			c.Add(fmt.Sprintf("k%d", i), nil, 1)
+			c.Get(fmt.Sprintf("k%d", i/2))
+		}
+		return evicted
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("eviction sequence not deterministic:\n%v\n%v", a, b)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/cache"
 	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/metrics"
@@ -51,6 +52,11 @@ type Domestic struct {
 	RemoteName string
 	// SchemeOverride, if set, replaces epoch-derived blinding.
 	SchemeOverride blinding.Scheme
+	// Cache, if set, is the shared content cache serving whitelisted GET
+	// responses locally: hits never cross the border link, and the proxy
+	// switches to HTTPS-gateway mode (absolute-URI requests instead of
+	// opaque CONNECT tunnels) so cacheable HTTPS traffic is visible to it.
+	Cache *cache.Cache
 
 	mu       sync.Mutex
 	sess     *mux.Session
@@ -99,6 +105,9 @@ func (d *Domestic) Instrument(reg *obs.Registry) {
 		FramesOut:  reg.Counter("mux.domestic.frames_out"),
 		Keepalives: reg.Counter("mux.domestic.keepalives"),
 	})
+	if d.Cache != nil {
+		d.Cache.Instrument(reg)
+	}
 }
 
 // SetTrace installs (or, with nil, removes) a flow tracer receiving a
@@ -231,14 +240,83 @@ func (d *Domestic) authorize(host string) error {
 }
 
 // Proxy returns the browser-facing forward proxy (CONNECT for HTTPS,
-// absolute-URI for HTTP), enforcing the whitelist.
+// absolute-URI for HTTP), enforcing the whitelist. With a Cache
+// configured, absolute-URI requests (including gateway-mode HTTPS) are
+// answered through it.
 func (d *Domestic) Proxy() *httpsim.Proxy {
-	return &httpsim.Proxy{
+	p := &httpsim.Proxy{
 		Dial:      d.openSecure,
 		DialPlain: d.openPlain,
 		Spawn:     d.Env.Spawn,
 		Authorize: d.authorize,
 	}
+	if d.Cache != nil {
+		p.RoundTrip = d.roundTrip
+	}
+	return p
+}
+
+// fetchOrigin performs one upstream request for u across the border
+// tunnel: HTTPS targets get a passthrough stream plus a client TLS
+// session terminated here (gateway mode), plain HTTP rides the
+// proxy-to-proxy encrypted channel. extra headers (cache conditionals)
+// are merged into a copy of the request's header map.
+func (d *Domestic) fetchOrigin(u *httpsim.URL, req *httpsim.Request, extra map[string]string) (*httpsim.Response, error) {
+	header := make(map[string]string, len(req.Header)+len(extra))
+	for k, v := range req.Header {
+		header[k] = v
+	}
+	for k, v := range extra {
+		header[k] = v
+	}
+
+	var upstream net.Conn
+	if u.Scheme == "https" {
+		st, err := d.openSecure(u.HostPort())
+		if err != nil {
+			return nil, err
+		}
+		tconn := tlssim.Client(st, tlssim.Config{ServerName: u.Host, Rand: d.Env.Rand})
+		if err := tconn.Handshake(); err != nil {
+			st.Close()
+			return nil, err
+		}
+		upstream = tconn
+	} else {
+		st, err := d.openPlain(u.HostPort())
+		if err != nil {
+			return nil, err
+		}
+		upstream = st
+	}
+	defer upstream.Close()
+
+	originReq := &httpsim.Request{
+		Method: req.Method,
+		Target: u.Path,
+		Host:   u.Host,
+		Header: header,
+		Body:   req.Body,
+	}
+	return httpsim.NewClientConn(upstream).RoundTrip(originReq)
+}
+
+// roundTrip is the proxy's absolute-URI fetch path when the cache is
+// enabled. Only whitelisted GETs touch the cache — anything else (or any
+// cache-internal bypass) still goes upstream, so correctness never
+// depends on cacheability.
+func (d *Domestic) roundTrip(u *httpsim.URL, req *httpsim.Request) (*httpsim.Response, error) {
+	if req.Method != "GET" || !d.Whitelist.Match(u.Host) {
+		return d.fetchOrigin(u, req, nil)
+	}
+	key := u.Scheme + "://" + u.HostPort() + u.Path
+	resp, outcome, err := d.Cache.Fetch(key, func(cond map[string]string) (*httpsim.Response, error) {
+		return d.fetchOrigin(u, req, cond)
+	})
+	if err == nil {
+		d.flowTrace.Load().Addf("core", "cache", "%s %s", outcome, key)
+	}
+	return resp, err
 }
 
 // PACHandler serves the proxy auto-config file at /pac — the one browser

@@ -24,6 +24,11 @@ type ClientStack struct {
 	// Resolver handles DIRECT (non-whitelisted) name resolution — the
 	// ordinary, poisonable path.
 	Resolver *dnssim.Resolver
+	// GatewayHTTPS routes whitelisted HTTPS requests to the domestic proxy
+	// in absolute-URI form instead of CONNECT, letting the proxy's shared
+	// content cache see and serve them. Off by default: CONNECT preserves
+	// end-to-end TLS to the origin.
+	GatewayHTTPS bool
 }
 
 // Name implements tunnel.Method.
@@ -53,6 +58,20 @@ func (s *ClientStack) DialHost(host string, port int) (net.Conn, error) {
 // HTTPProxy implements httpsim.HTTPProxier: plain-HTTP requests for
 // whitelisted hosts go to the domestic proxy in absolute-URI form.
 func (s *ClientStack) HTTPProxy(host string) (string, bool) {
+	if d := s.PAC.Evaluate(host); d.Proxy {
+		return d.Address, true
+	}
+	return "", false
+}
+
+// HTTPSProxy implements httpsim.HTTPSProxier: with GatewayHTTPS enabled,
+// HTTPS requests for whitelisted hosts also go to the domestic proxy in
+// absolute-URI form (the proxy terminates TLS toward the origin), which
+// is what makes them visible to its shared content cache.
+func (s *ClientStack) HTTPSProxy(host string) (string, bool) {
+	if !s.GatewayHTTPS {
+		return "", false
+	}
 	if d := s.PAC.Evaluate(host); d.Proxy {
 		return d.Address, true
 	}

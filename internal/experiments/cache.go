@@ -1,0 +1,160 @@
+package experiments
+
+// Shared-cache experiment: what the domestic proxy's content cache
+// (internal/cache) buys under concurrent load. Every one of N clients
+// loads the same Scholar page, so without a cache the border link (and
+// the GFW) carries the same static objects N times; with the cache only
+// the first fetch of each object crosses the border and concurrent
+// identical misses coalesce into one upstream fetch. The sweep reports
+// both what users feel (PLT) and what the border link carries (bytes).
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scholarcloud/internal/metrics"
+)
+
+// cacheStressInterval is the cache sweep's visit cadence. Like the fleet
+// sweep, continuous browsing (20 s per visit, client content caches
+// cleared each round) is what makes the shared resources contended; at
+// Fig. 7's 60 s think time the border link idles either way.
+const cacheStressInterval = 20 * time.Second
+
+// cacheSweepMB is the cache byte budget used by the sweep's cache-on rows.
+const cacheSweepMB = 64
+
+// CachePoint is one (clients, cache on/off) cell of the sweep.
+type CachePoint struct {
+	Clients int
+	CacheMB int // 0 = cache off
+	PLT     metrics.Summary
+	Failed  int
+	// BorderBytes is the traffic the border link carried during the sweep
+	// (both directions: requests, responses, ACKs, handshakes).
+	BorderBytes int64
+	// Cache activity during the sweep (all zero with the cache off).
+	Hits, Misses, Coalesced, Revalidated int64
+}
+
+// MeasureCacheLoad runs n concurrent ScholarCloud clients for `rounds`
+// continuous-browsing visits (client content caches cleared before each
+// visit, so proxy-side caching is the only dedup in play) and reports
+// PLT together with the border-link traffic the sweep generated.
+func (w *World) MeasureCacheLoad(n, rounds int) (*CachePoint, error) {
+	borderBefore := w.Border.Stats()
+	var before struct{ hits, misses, coalesced, revalidated int64 }
+	if w.Cache != nil {
+		s := w.Cache.Snapshot()
+		before.hits, before.misses = s.Hits, s.Misses
+		before.coalesced, before.revalidated = s.Coalesced, s.Revalidated
+	}
+
+	p, err := w.measureScalabilityAt(w.Methods()[4], n, rounds, cacheStressInterval, true)
+	if err != nil {
+		return nil, err
+	}
+
+	point := &CachePoint{
+		Clients:     n,
+		CacheMB:     w.Cfg.CacheMB,
+		PLT:         p.PLT,
+		Failed:      p.Failed,
+		BorderBytes: w.Border.Stats().Bytes - borderBefore.Bytes,
+	}
+	if w.Cache != nil {
+		s := w.Cache.Snapshot()
+		point.Hits = s.Hits - before.hits
+		point.Misses = s.Misses - before.misses
+		point.Coalesced = s.Coalesced - before.coalesced
+		point.Revalidated = s.Revalidated - before.revalidated
+	}
+	return point, nil
+}
+
+// cacheSweepLoads is the sweep's client axis: light, the paper-scale
+// deployment, and the heavy end where the shared border path saturates.
+var cacheSweepLoads = []int{15, 60, 120}
+
+func cacheLabel(mb int) string {
+	if mb == 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%d MB", mb)
+}
+
+func cacheRow(p *CachePoint) string {
+	return fmt.Sprintf("  %-10d %-8s %-10s %-10s %-11d %-8d %-8d %-10d %d\n",
+		p.Clients, cacheLabel(p.CacheMB),
+		metrics.FormatSeconds(p.PLT.Mean), metrics.FormatSeconds(p.PLT.P95),
+		p.BorderBytes/1024, p.Hits, p.Misses, p.Coalesced, p.Failed)
+}
+
+const cacheHeader = "  %-10s %-8s %-10s %-10s %-11s %-8s %-8s %-10s %s\n"
+
+func cacheHeaderRow() string {
+	return fmt.Sprintf(cacheHeader,
+		"clients", "cache", "mean-PLT", "p95-PLT", "border-KB", "hits", "misses", "coalesced", "failed")
+}
+
+const cacheTitle = "Shared cache — domestic-proxy content cache (ScholarCloud, continuous browsing)\n"
+
+// ReportCache renders the shared-cache sweep sequentially: each
+// (load, cache) cell in its own world, cache off and on side by side.
+func ReportCache(seed uint64, q Quality) (string, error) {
+	var b strings.Builder
+	b.WriteString(cacheTitle)
+	b.WriteString(cacheHeaderRow())
+	for _, load := range cacheSweepLoads {
+		for _, mb := range []int{0, cacheSweepMB} {
+			w := NewWorld(Config{Seed: seed, CacheMB: mb})
+			p, err := w.MeasureCacheLoad(load, q.ScaleRounds)
+			w.Close()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(cacheRow(p))
+		}
+	}
+	return b.String(), nil
+}
+
+// cachePlan re-cells ReportCache for the parallel sweep runner: one world
+// per (load, cache) cell.
+func cachePlan(q Quality) figurePlan {
+	var cells []cell
+	for _, load := range cacheSweepLoads {
+		for _, mb := range []int{0, cacheSweepMB} {
+			load, mb := load, mb
+			cells = append(cells, cell{
+				Label:  fmt.Sprintf("cache=%s n=%d", cacheLabel(mb), load),
+				Worlds: 1,
+				Weight: 100 + load,
+				Run: func(seed uint64) (cellResult, error) {
+					w := NewWorld(Config{Seed: seed, CacheMB: mb, RunGuard: sweepRunGuard})
+					defer w.Close()
+					p, err := w.MeasureCacheLoad(load, q.ScaleRounds)
+					if err != nil {
+						return cellResult{}, err
+					}
+					return settledResult(w, cacheRow(p),
+						namedValue{Name: "plt", Value: p.PLT.Mean, Unit: "s"},
+						namedValue{Name: "border-kb", Value: float64(p.BorderBytes) / 1024, Unit: "KB"})
+				},
+			})
+		}
+	}
+	return figurePlan{
+		Name:  "cache",
+		Title: "Shared cache — domestic-proxy content cache",
+		Cells: cells,
+		Render: func(rs []cellResult) string {
+			var b strings.Builder
+			b.WriteString(cacheTitle)
+			b.WriteString(cacheHeaderRow())
+			b.WriteString(concatRows(rs))
+			return b.String()
+		},
+	}
+}

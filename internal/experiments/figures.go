@@ -336,13 +336,16 @@ type ScalabilityPoint struct {
 // visits at the 60-second cadence with staggered start offsets, and
 // reports the mean PLT across all visits.
 func (w *World) MeasureScalability(f Factory, n, rounds int) (*ScalabilityPoint, error) {
-	return w.measureScalabilityAt(f, n, rounds, visitInterval)
+	return w.measureScalabilityAt(f, n, rounds, visitInterval, false)
 }
 
 // measureScalabilityAt is MeasureScalability with a configurable visit
 // cadence; the fleet experiment uses a continuous-browsing cadence to
 // expose remote-side capacity that Fig. 7's 60 s think time hides.
-func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Duration) (*ScalabilityPoint, error) {
+// clearCache drops each browser's content cache before every visit, so
+// every round re-fetches the full page — the shared-cache experiment uses
+// it to keep client-side caching from masking proxy-side caching.
+func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Duration, clearCache bool) (*ScalabilityPoint, error) {
 	point := &ScalabilityPoint{Method: f.Name, Clients: n}
 	type result struct {
 		plt    time.Duration
@@ -371,6 +374,9 @@ func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Dura
 				// Stagger arrivals uniformly across the interval.
 				w.Env.Clock.Sleep(time.Duration(i) * cadence / time.Duration(n))
 				for r := 0; r < rounds; r++ {
+					if clearCache {
+						browser.ClearContentCache()
+					}
 					st := browser.Visit(f.URL)
 					mu.Lock()
 					results = append(results, result{plt: st.PLT, failed: st.Failed})

@@ -35,7 +35,7 @@ const fleetStressInterval = 20 * time.Second
 // MeasureFleetTakedown it runs on fleet-less worlds too, giving the
 // single-remote baseline the fleet rows are compared against.
 func (w *World) MeasureFleetScalability(n, rounds int) (*ScalabilityPoint, error) {
-	return w.measureScalabilityAt(w.Methods()[4], n, rounds, fleetStressInterval)
+	return w.measureScalabilityAt(w.Methods()[4], n, rounds, fleetStressInterval, false)
 }
 
 // fleetEjectionWindow bounds how long a silent takedown can go unnoticed:

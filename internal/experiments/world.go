@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/cache"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/dnssim"
 	"scholarcloud/internal/fleet"
@@ -56,6 +57,14 @@ type Config struct {
 	// The parallel experiment harness raises it: a heavy cell sharing a
 	// core with other worlds can exceed the default without being stuck.
 	RunGuard time.Duration
+	// CacheMB, when > 0, gives ScholarCloud's domestic proxy a shared
+	// content cache with that byte budget (internal/cache) and switches
+	// its clients to HTTPS-gateway mode so cacheable traffic is visible
+	// to it. Zero keeps the paper's cacheless deployment.
+	CacheMB int
+	// CacheTTL overrides the cache's heuristic freshness lifetime (zero
+	// selects the cache package default).
+	CacheTTL time.Duration
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -95,6 +104,14 @@ type World struct {
 	Remote    *core.Remote
 	Domestic  *core.Domestic
 	Whitelist *pac.Config
+
+	// Border is the CNNet↔US link every cross-border packet traverses;
+	// its Stats isolate border traffic (what the GFW sees and what the
+	// shared cache is meant to eliminate).
+	Border *netsim.LinkHandle
+	// Cache is the domestic proxy's shared content cache when
+	// Cfg.CacheMB > 0 (nil otherwise).
+	Cache *cache.Cache
 
 	// Fleet is the remote-proxy pool when Cfg.FleetRemotes > 0 (nil
 	// otherwise). FleetRemoteProxies holds the extra remotes beyond the
@@ -178,6 +195,9 @@ func NewWorld(cfg Config) *World {
 		Jitter:    borderJitter,
 	})
 	w.Net.Connect(w.US, w.EU, netsim.LinkConfig{Delay: euDelay, Bandwidth: 10 * accessBW, BaseLoss: 0.0005, Jitter: borderJitter / 2})
+	w.Border = border
+	w.Obs.RegisterFunc("netsim.border.packets", func() int64 { return border.Stats().Packets })
+	w.Obs.RegisterFunc("netsim.border.bytes", func() int64 { return border.Stats().Bytes })
 
 	// --- Hosts -----------------------------------------------------------
 	add := func(name, ip string, z *netsim.Zone) *netsim.Host {
@@ -674,6 +694,18 @@ func (w *World) startScholarCloud() {
 	if w.Cfg.ScholarCloudNoBlinding {
 		w.Domestic.SchemeOverride = blinding.Identity{}
 	}
+	if w.Cfg.CacheMB > 0 {
+		cc, err := cache.New(w.Env, cache.Options{
+			Capacity:   int64(w.Cfg.CacheMB) << 20,
+			DefaultTTL: w.Cfg.CacheTTL,
+			Seed:       w.Cfg.Seed ^ 0xCAC4E,
+		})
+		if err != nil {
+			panic(err)
+		}
+		w.Cache = cc
+		w.Domestic.Cache = cc
+	}
 	w.Domestic.Instrument(w.Obs)
 	lnProxy, err := w.SCDomestic.Listen("tcp", fmt.Sprintf(":%d", portProxy))
 	if err != nil {
@@ -906,13 +938,16 @@ func (w *World) Shadowsocks(h *netsim.Host) *shadowsocks.Client {
 	}
 }
 
-// ScholarCloud returns the PAC-configured browser stack on host h.
+// ScholarCloud returns the PAC-configured browser stack on host h. When
+// the world's domestic proxy runs a shared cache, clients use HTTPS-
+// gateway mode so the cache sees (and can serve) their requests.
 func (w *World) ScholarCloud(h *netsim.Host) tunnel.Method {
 	return &core.ClientStack{
-		Env:      w.Env,
-		Dial:     h.Dial,
-		PAC:      w.Whitelist,
-		Resolver: w.resolverFor(h),
+		Env:          w.Env,
+		Dial:         h.Dial,
+		PAC:          w.Whitelist,
+		Resolver:     w.resolverFor(h),
+		GatewayHTTPS: w.Cfg.CacheMB > 0,
 	}
 }
 

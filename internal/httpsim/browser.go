@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scholarcloud/internal/cache/lru"
 	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/netx"
 	"scholarcloud/internal/obs"
@@ -35,6 +36,18 @@ type HTTPProxier interface {
 	// HTTPProxy reports the proxy to use for plain-HTTP requests to host,
 	// and whether one applies.
 	HTTPProxy(host string) (proxyHostPort string, ok bool)
+}
+
+// HTTPSProxier is an optional NetStack refinement for methods whose
+// proxy terminates HTTPS as a gateway: the browser sends
+// "GET https://host/path" in absolute-URI form over its proxy
+// connection instead of opening an end-to-end CONNECT tunnel. This is
+// what lets the domestic proxy's shared content cache see (and serve)
+// requests that a CONNECT tunnel would carry opaquely.
+type HTTPSProxier interface {
+	// HTTPSProxy reports the gateway proxy for HTTPS requests to host,
+	// and whether one applies.
+	HTTPSProxy(host string) (proxyHostPort string, ok bool)
 }
 
 // VisitStats summarizes one page load.
@@ -68,7 +81,7 @@ type Browser struct {
 
 	mu      sync.Mutex
 	cookies map[string]string // host -> cookie
-	cache   map[string]bool   // URL -> cached
+	cache   *lru.Cache        // URL -> cached (bounded; cost 1 per entry)
 	visited map[string]bool   // host -> seen before (per-browser "account known")
 
 	flowTrace atomic.Pointer[obs.Trace]
@@ -105,13 +118,19 @@ func (b *Browser) Instrument(reg *obs.Registry) {
 // for each phase of a page load.
 func (b *Browser) SetTrace(t *obs.Trace) { b.flowTrace.Store(t) }
 
+// browserCacheEntries bounds the browser's content cache. Entries cost 1
+// each (the simulated cache stores only "have it" bits, not bodies), so
+// this is a URL-count budget: day-long Fig-5a loops stay O(1) in memory
+// instead of growing a map without limit.
+const browserCacheEntries = 4096
+
 // NewBrowser creates a browser with empty caches on the given stack.
 func NewBrowser(stack NetStack, clock netx.Clock) *Browser {
 	return &Browser{
 		stack:   stack,
 		clock:   clock,
 		cookies: make(map[string]string),
-		cache:   make(map[string]bool),
+		cache:   lru.New(browserCacheEntries, nil),
 		visited: make(map[string]bool),
 	}
 }
@@ -123,7 +142,7 @@ func NewBrowser(stack NetStack, clock netx.Clock) *Browser {
 func (b *Browser) ClearContentCache() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.cache = make(map[string]bool)
+	b.cache.Clear()
 }
 
 // ClearCaches drops cookie and content caches (used to measure first-time
@@ -132,7 +151,7 @@ func (b *Browser) ClearCaches() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.cookies = make(map[string]string)
-	b.cache = make(map[string]bool)
+	b.cache.Clear()
 	b.visited = make(map[string]bool)
 }
 
@@ -199,7 +218,7 @@ func (b *Browser) Visit(rawURL string) *VisitStats {
 	for _, res := range resources {
 		stats.Resources++
 		b.mu.Lock()
-		cached := b.cache[res.String()]
+		_, cached := b.cache.Get(res.String())
 		b.mu.Unlock()
 		if cached {
 			stats.CacheHits++
@@ -214,7 +233,7 @@ func (b *Browser) Visit(rawURL string) *VisitStats {
 			return stats
 		}
 		b.mu.Lock()
-		b.cache[res.String()] = true
+		b.cache.Add(res.String(), true, 1)
 		b.mu.Unlock()
 	}
 
@@ -252,6 +271,17 @@ func (b *Browser) fetch(pool map[string]*visitConn, u *URL, stats *VisitStats, d
 	if u.Scheme == "http" {
 		if hp, ok := b.stack.(HTTPProxier); ok {
 			if proxyAddr, use := hp.HTTPProxy(u.Host); use {
+				return b.fetchViaHTTPProxy(pool, proxyAddr, u, stats, depth)
+			}
+		}
+	}
+	// HTTPS through a gateway-mode proxy likewise goes absolute-URI: the
+	// proxy terminates TLS toward the origin itself, which is what lets
+	// its shared content cache see and serve the request (a CONNECT
+	// tunnel would be opaque to it).
+	if u.Scheme == "https" {
+		if hp, ok := b.stack.(HTTPSProxier); ok {
+			if proxyAddr, use := hp.HTTPSProxy(u.Host); use {
 				return b.fetchViaHTTPProxy(pool, proxyAddr, u, stats, depth)
 			}
 		}

@@ -70,6 +70,8 @@ func statusText(code int) string {
 		return "Moved Permanently"
 	case 302:
 		return "Found"
+	case 304:
+		return "Not Modified"
 	case 400:
 		return "Bad Request"
 	case 403:

@@ -33,6 +33,11 @@ type Proxy struct {
 	// OnRequest, if set, observes every proxied target (metrics,
 	// per-request CPU cost).
 	OnRequest func(target string)
+	// RoundTrip, if set, takes over upstream fetching for absolute-URI
+	// requests (after Authorize/OnRequest). The domestic proxy installs
+	// its shared content cache here: cache hits answer without any
+	// upstream dial, misses go through the cache's coalesced fetch path.
+	RoundTrip func(u *URL, req *Request) (*Response, error)
 
 	mu     sync.Mutex
 	closed bool
@@ -139,6 +144,14 @@ func (p *Proxy) handleAbsolute(conn net.Conn, req *Request) bool {
 	}
 	if p.OnRequest != nil {
 		p.OnRequest(u.HostPort())
+	}
+	if p.RoundTrip != nil {
+		resp, err := p.RoundTrip(u, req)
+		if err != nil {
+			NewResponse(502, []byte(err.Error())).Encode(conn)
+			return true
+		}
+		return resp.Encode(conn) == nil
 	}
 	dial := p.Dial
 	if p.DialPlain != nil {

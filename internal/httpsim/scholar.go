@@ -98,10 +98,23 @@ func (o *ScholarOrigin) Handler() Handler {
 	mux := NewMux()
 	mux.HandleFunc("/", o.serveMain)
 	mux.HandleFunc("/scholar", o.serveMain)
-	for _, res := range o.Page.Resources {
+	for i, res := range o.Page.Resources {
 		size := res.Size
-		mux.HandleFunc(res.Path, func(_ *Request, _ net.Addr) *Response {
-			return NewResponse(200, filler(size))
+		// Static assets are immutable per world: a synthetic strong ETag
+		// plus an explicit freshness lifetime lets a shared downstream
+		// cache store them and revalidate with If-None-Match (a 304 ships
+		// no body across the border link).
+		etag := fmt.Sprintf("%q", fmt.Sprintf("r%d-%d", i, size))
+		mux.HandleFunc(res.Path, func(req *Request, _ net.Addr) *Response {
+			var resp *Response
+			if req.Header["If-None-Match"] == etag {
+				resp = NewResponse(304, nil)
+			} else {
+				resp = NewResponse(200, filler(size))
+			}
+			resp.Header["Etag"] = etag
+			resp.Header["Cache-Control"] = "public, max-age=600"
+			return resp
 		})
 	}
 	return mux

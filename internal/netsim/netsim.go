@@ -179,6 +179,15 @@ type link struct {
 	cfg       LinkConfig
 	inspector Inspector
 	dir       [2]dirState // dir[0]: zones[0]->zones[1]
+	stats     LinkStats   // guarded by Network.mu
+}
+
+// LinkStats counts traffic admitted onto a link (both directions,
+// post-inspection, post-queue-admission; packets later lost to random
+// loss are still counted as transmitted).
+type LinkStats struct {
+	Packets int64
+	Bytes   int64
 }
 
 type dirState struct {
@@ -353,6 +362,14 @@ func (h *LinkHandle) SetInspector(i Inspector) {
 	h.l.inspector = i
 }
 
+// Stats returns the traffic transmitted over the link so far (both
+// directions combined).
+func (h *LinkHandle) Stats() LinkStats {
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
+	return h.l.stats
+}
+
 // AddHost attaches a new host to zone with the given access-link
 // characteristics.
 func (n *Network) AddHost(name, ip string, zone *Zone, access LinkConfig) *Host {
@@ -478,6 +495,7 @@ func (n *Network) sendFrom(h *Host, pkt *Packet) {
 			dir:       &zh.l.dir[zh.dirIdx],
 			inspector: zh.l.inspector,
 			fromZone:  zh.l.zones[zh.dirIdx],
+			link:      zh.l,
 		})
 	}
 	hops = append(hops, pathStep{cfg: dst.access, dir: &dst.accessDown})
@@ -514,7 +532,7 @@ func (n *Network) InjectToward(from *Zone, pkt *Packet) {
 	}
 	hops := make([]pathStep, 0, len(zonePath)+1)
 	for _, zh := range zonePath {
-		hops = append(hops, pathStep{cfg: zh.l.cfg, dir: &zh.l.dir[zh.dirIdx]})
+		hops = append(hops, pathStep{cfg: zh.l.cfg, dir: &zh.l.dir[zh.dirIdx], link: zh.l})
 	}
 	hops = append(hops, pathStep{cfg: dst.access, dir: &dst.accessDown})
 	n.step(nil, dst, pkt, hops, 0)
@@ -528,6 +546,9 @@ type pathStep struct {
 	// links); forged packets triggered by an inspector verdict originate
 	// here so they obey the same path delays as real traffic.
 	fromZone *Zone
+	// link is the zone link this step transmits over (nil for access
+	// links); used for per-link traffic accounting.
+	link *link
 }
 
 // step simulates the packet's traversal of hops[i] and schedules the next
@@ -572,6 +593,10 @@ func (n *Network) step(src, dst *Host, pkt *Packet, hops []pathStep, i int) {
 		txTime = time.Duration(float64(pkt.Wire) / st.cfg.Bandwidth * float64(time.Second))
 	}
 	st.dir.nextFree = start + txTime
+	if st.link != nil {
+		st.link.stats.Packets++
+		st.link.stats.Bytes += int64(pkt.Wire)
+	}
 	n.mu.Unlock()
 
 	if st.cfg.BaseLoss > 0 && n.lossDraw(pkt.ID, i) < st.cfg.BaseLoss {

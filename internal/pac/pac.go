@@ -79,9 +79,15 @@ func (c *Config) ProxyAddr() string {
 }
 
 // Match reports whether host is covered by the whitelist (exact domain or
-// subdomain, mirroring dnsDomainIs semantics).
+// subdomain, mirroring dnsDomainIs semantics). host may carry a ":port"
+// suffix (proxy targets arrive as host:port) and a trailing dot; both are
+// ignored, and matching is case-insensitive.
 func (c *Config) Match(host string) bool {
-	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	host = strings.ToLower(host)
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	host = strings.TrimSuffix(host, ".")
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for _, d := range c.domains {

@@ -35,6 +35,37 @@ func TestMatchExactAndSubdomains(t *testing.T) {
 	}
 }
 
+func TestMatchHostPort(t *testing.T) {
+	c := newTestConfig()
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"scholar.google.com:443", true},
+		{"scholar.google.com:80", true},
+		{"www.scholar.google.com:8443", true},
+		{"SCHOLAR.GOOGLE.COM:443", true},  // case-insensitive with port
+		{"scholar.google.com.:443", true}, // FQDN trailing dot plus port
+		{"baidu.com:443", false},
+		{"google.com:443", false},
+		{":443", false}, // degenerate: empty host
+	}
+	for _, tc := range cases {
+		if got := c.Match(tc.host); got != tc.want {
+			t.Errorf("Match(%q) = %v, want %v", tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestEmptyWhitelistHostPort(t *testing.T) {
+	c := New("1.2.3.4:80", nil)
+	for _, host := range []string{"scholar.google.com:443", "x:1", ":"} {
+		if c.Match(host) {
+			t.Errorf("empty whitelist matched %q", host)
+		}
+	}
+}
+
 func TestEvaluateDecisions(t *testing.T) {
 	c := newTestConfig()
 	if d := c.Evaluate("scholar.google.com"); !d.Proxy || d.Address != "101.6.6.6:8118" {

@@ -66,6 +66,37 @@ func (f *FleetOptions) Validate() error {
 	return nil
 }
 
+// CacheOptions gives the domestic proxy a shared content cache
+// (internal/cache): whitelisted static objects are stored once and served
+// to every user without re-crossing the border link, and concurrent
+// identical misses coalesce into one upstream fetch. Enabling the cache
+// also switches ScholarCloud clients to HTTPS-gateway mode (absolute-URI
+// requests the proxy can see) instead of opaque CONNECT tunnels.
+type CacheOptions struct {
+	// CapacityMB is the cache byte budget in MiB. Required (> 0): an
+	// explicit CacheOptions block with no capacity is a configuration
+	// error, not a default.
+	CapacityMB int
+	// TTL overrides the heuristic freshness lifetime for responses without
+	// explicit cache metadata (zero selects the cache package default,
+	// 60 s).
+	TTL time.Duration
+}
+
+// Validate rejects nonsensical cache configurations.
+func (c *CacheOptions) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.CapacityMB <= 0 {
+		return fmt.Errorf("scholarcloud: CacheOptions.CapacityMB must be positive (got %d) — omit the Cache block to run without a cache", c.CapacityMB)
+	}
+	if c.TTL < 0 {
+		return fmt.Errorf("scholarcloud: CacheOptions.TTL is negative (%v)", c.TTL)
+	}
+	return nil
+}
+
 // Options configures a Simulation.
 type Options struct {
 	// Seed drives every stochastic decision; equal seeds reproduce equal
@@ -80,6 +111,9 @@ type Options struct {
 	// Fleet, when non-nil with Remotes > 0, runs the domestic proxy
 	// against a managed remote-proxy pool.
 	Fleet *FleetOptions
+	// Cache, when non-nil, runs the domestic proxy with a shared content
+	// cache of Cache.CapacityMB MiB.
+	Cache *CacheOptions
 
 	// FleetRemotes is a deprecated alias for Fleet.Remotes.
 	//
@@ -121,7 +155,10 @@ func (o Options) Validate() error {
 			return fmt.Errorf("scholarcloud: conflicting carrier-pool sizes: Options.Fleet.SessionsPerRemote is %d but the deprecated FleetSessionsPerRemote is %d — drop one or make them agree", o.Fleet.SessionsPerRemote, o.FleetSessionsPerRemote)
 		}
 	}
-	return o.fleet().Validate()
+	if err := o.fleet().Validate(); err != nil {
+		return err
+	}
+	return o.Cache.Validate()
 }
 
 // NewSimulation builds and starts the world. Close it when done. Invalid
@@ -140,6 +177,10 @@ func NewSimulation(opts Options) *Simulation {
 	if f := opts.fleet(); f != nil {
 		cfg.FleetRemotes = f.Remotes
 		cfg.FleetSessionsPerRemote = f.SessionsPerRemote
+	}
+	if c := opts.Cache; c != nil {
+		cfg.CacheMB = c.CapacityMB
+		cfg.CacheTTL = c.TTL
 	}
 	return &Simulation{World: experiments.NewWorld(cfg)}
 }
