@@ -9,7 +9,11 @@
 // is served without touching the border link (or the GFW) at all, a stale
 // entry is revalidated with a conditional request (a 304 refreshes it
 // without re-shipping the body), and concurrent identical misses collapse
-// into a single upstream fetch whose response fans out to every waiter.
+// into a single upstream fetch whose response fans out to every waiter —
+// but only when admission accepts it: a per-user response (Set-Cookie,
+// private, no-store) is never fanned out or remembered as shareable, and
+// the cache stands aside (Uncacheable) so each user fetches with their
+// own credentials.
 //
 // Everything is deterministic under the virtual clock: time comes from
 // netx.Env.Clock, blocking uses netx.Env.Sync condition variables, the
@@ -97,6 +101,13 @@ const (
 	Miss
 	// Bypass: fetched upstream; admission control refused to store it.
 	Bypass
+	// Uncacheable: the key is known non-shareable (this fetch coalesced
+	// onto a flight whose response was refused admission, or a recent
+	// fetch of the key was), so the cache stood aside without fetching.
+	// Fetch returns a nil response for this outcome: the caller must
+	// perform its own upstream fetch with its own credentials — sharing
+	// the flight's response would hand one user's content to another.
+	Uncacheable
 )
 
 // String names the outcome.
@@ -112,6 +123,8 @@ func (o Outcome) String() string {
 		return "miss"
 	case Bypass:
 		return "bypass"
+	case Uncacheable:
+		return "uncacheable"
 	default:
 		return "unknown"
 	}
@@ -135,9 +148,18 @@ type object struct {
 type flight struct {
 	cond netx.Cond // bound to the shard mutex
 	done bool
-	resp *httpsim.Response
-	err  error
+	// shared reports whether resp may fan out to coalesced waiters: true
+	// only when admission accepted (or revalidation refreshed) it. A
+	// response that admission refused is per-user by definition, and
+	// waiters must not consume it.
+	shared bool
+	resp   *httpsim.Response
+	err    error
 }
+
+// negativeEntries bounds each shard's memory of recently-bypassed keys
+// (cost 1 per key in the LRU core).
+const negativeEntries = 1024
 
 // Cache is the shared content cache. All methods are safe for concurrent
 // use.
@@ -153,6 +175,7 @@ type Cache struct {
 	revalidated metrics.Counter
 	bypass      metrics.Counter
 	coalesced   metrics.Counter
+	uncacheable metrics.Counter
 	evictions   metrics.Counter
 
 	hitSeconds *obs.Histogram // nil until Instrument
@@ -162,6 +185,11 @@ type shard struct {
 	mu       sync.Mutex
 	store    *lru.Cache
 	inflight map[string]*flight
+	// neg remembers keys whose last response was refused admission
+	// (value: the expiry of that memory). Requests for a remembered key
+	// neither coalesce nor populate — the cache stands aside so each
+	// user's fetch carries its own credentials.
+	neg *lru.Cache
 }
 
 // New creates a cache on env. The environment decides the clock (virtual
@@ -185,6 +213,7 @@ func New(env netx.Env, opts Options) (*Cache, error) {
 	for i := 0; i < opts.Shards; i++ {
 		s := &shard{inflight: make(map[string]*flight)}
 		s.store = lru.New(perShard, func(string, any, int64) { c.evictions.Inc() })
+		s.neg = lru.New(negativeEntries, nil)
 		c.shards = append(c.shards, s)
 	}
 	return c, nil
@@ -199,6 +228,7 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 	reg.RegisterCounter("cache.revalidated", &c.revalidated)
 	reg.RegisterCounter("cache.bypass", &c.bypass)
 	reg.RegisterCounter("cache.coalesced_waiters", &c.coalesced)
+	reg.RegisterCounter("cache.uncacheable", &c.uncacheable)
 	reg.RegisterCounter("cache.evictions", &c.evictions)
 	reg.RegisterFunc("cache.bytes", c.Bytes)
 	reg.RegisterFunc("cache.entries", c.Entries)
@@ -209,6 +239,7 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 type Stats struct {
 	Hits, Misses, Revalidated int64
 	Bypass, Coalesced         int64
+	Uncacheable               int64
 	Evictions, Entries, Bytes int64
 }
 
@@ -220,6 +251,7 @@ func (c *Cache) Snapshot() Stats {
 		Revalidated: c.revalidated.Value(),
 		Bypass:      c.bypass.Value(),
 		Coalesced:   c.coalesced.Value(),
+		Uncacheable: c.uncacheable.Value(),
 		Evictions:   c.evictions.Value(),
 		Entries:     c.Entries(),
 		Bytes:       c.Bytes(),
@@ -252,8 +284,12 @@ func (c *Cache) Entries() int64 {
 // entry is returned immediately; a stale-or-absent entry makes the first
 // caller the fetch leader (stale entries add an If-None-Match conditional)
 // while every concurrent caller for the same key blocks until the
-// leader's response fans out. The returned response is the caller's own
-// shallow copy (shared body bytes, private header map).
+// leader's response fans out. Only an admitted (or revalidated) response
+// fans out: when admission refuses the leader's response it is per-user,
+// and every waiter — like every later caller inside the negative-memory
+// window — gets (nil, Uncacheable, nil) and must fetch upstream itself.
+// The returned response is the caller's own shallow copy (shared body
+// bytes, private header map).
 func (c *Cache) Fetch(key string, fetch Fetcher) (*httpsim.Response, Outcome, error) {
 	start := c.env.Clock.Now()
 	s := c.shards[c.shardIndex(key)]
@@ -267,15 +303,28 @@ func (c *Cache) Fetch(key string, fetch Fetcher) (*httpsim.Response, Outcome, er
 		}
 		return resp, Hit, nil
 	}
+	if exp, ok := s.neg.Peek(key); ok {
+		if start.Before(exp.(time.Time)) {
+			s.mu.Unlock()
+			c.uncacheable.Inc()
+			return nil, Uncacheable, nil
+		}
+		// The memory expired: re-probe cacheability below.
+		s.neg.Remove(key)
+	}
 	if f, ok := s.inflight[key]; ok {
 		c.coalesced.Inc()
 		for !f.done {
 			f.cond.Wait()
 		}
-		resp, err := f.resp, f.err
+		resp, err, shared := f.resp, f.err, f.shared
 		s.mu.Unlock()
 		if err != nil {
 			return nil, Coalesced, err
+		}
+		if !shared {
+			c.uncacheable.Inc()
+			return nil, Uncacheable, nil
 		}
 		return cloneResponse(resp), Coalesced, nil
 	}
@@ -298,11 +347,27 @@ func (c *Cache) Fetch(key string, fetch Fetcher) (*httpsim.Response, Outcome, er
 	case err != nil:
 		f.err = err
 	case resp.StatusCode == 304 && stale != nil:
-		stale.expires = c.env.Clock.Now().Add(freshnessTTL(resp.Header, c.opts.DefaultTTL))
-		// Re-admit: promotes the entry and restores it if a concurrent
-		// insertion evicted it while the revalidation was in flight.
+		// RFC 9111 §4.3.4: the 304's refreshed metadata updates the stored
+		// entry's. Merge into a copy (outstanding clones of the old
+		// response must not observe the mutation) and recompute freshness
+		// from the merged headers, so metadata the 304 omits persists.
+		merged := cloneResponse(stale.resp)
+		for k, v := range resp.Header {
+			merged.Header[k] = v
+		}
+		stale.resp = merged
+		if et := merged.Header["Etag"]; et != "" {
+			stale.etag = et
+		}
+		stale.cost = responseCost(merged)
+		stale.expires = c.env.Clock.Now().Add(freshnessTTL(merged.Header, c.opts.DefaultTTL))
+		// Re-admit: charges the refreshed cost, promotes the entry, and
+		// restores it if a concurrent insertion evicted it while the
+		// revalidation was in flight.
 		s.store.Add(key, stale, stale.cost)
+		s.neg.Remove(key)
 		f.resp = stale.resp
+		f.shared = true
 		outcome = Revalidated
 		c.revalidated.Inc()
 	default:
@@ -314,11 +379,19 @@ func (c *Cache) Fetch(key string, fetch Fetcher) (*httpsim.Response, Outcome, er
 				expires: c.env.Clock.Now().Add(freshnessTTL(resp.Header, c.opts.DefaultTTL)),
 				cost:    cost,
 			}, cost)
+			s.neg.Remove(key)
+			f.shared = true
 			c.misses.Inc()
 		} else {
 			// A non-cacheable response invalidates whatever was stored: the
 			// origin is telling us the representation is per-user or gone.
 			s.store.Remove(key)
+			// Remember per-user keys (a complete response that admission
+			// refused) so later callers stand aside instead of coalescing;
+			// transient non-200s are not remembered.
+			if resp.StatusCode == 200 {
+				s.neg.Add(key, c.env.Clock.Now().Add(c.opts.DefaultTTL), 1)
+			}
 			outcome = Bypass
 			c.bypass.Inc()
 		}

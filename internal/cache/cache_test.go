@@ -134,12 +134,16 @@ func TestAdmissionControl(t *testing.T) {
 	cases := []struct {
 		name string
 		resp *httpsim.Response
+		// remembered: a complete-but-refused (per-user) response leaves a
+		// negative memory, so the next fetch stands aside (Uncacheable)
+		// without touching upstream; transient non-200s are retried.
+		remembered bool
 	}{
-		{"set-cookie", okResponse("b", map[string]string{"Set-Cookie": "GSP=x"})},
-		{"no-store", okResponse("b", map[string]string{"Cache-Control": "no-store"})},
-		{"private", okResponse("b", map[string]string{"Cache-Control": "private"})},
-		{"redirect", httpsim.NewResponse(302, nil)},
-		{"error", httpsim.NewResponse(503, []byte("down"))},
+		{"set-cookie", okResponse("b", map[string]string{"Set-Cookie": "GSP=x"}), true},
+		{"no-store", okResponse("b", map[string]string{"Cache-Control": "no-store"}), true},
+		{"private", okResponse("b", map[string]string{"Cache-Control": "private"}), true},
+		{"redirect", httpsim.NewResponse(302, nil), false},
+		{"error", httpsim.NewResponse(503, []byte("down")), false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -153,7 +157,34 @@ func TestAdmissionControl(t *testing.T) {
 			if n := c.Entries(); n != 0 {
 				t.Fatalf("uncacheable response stored (entries=%d)", n)
 			}
+			calls := 0
+			resp, out, err := c.Fetch("k", func(map[string]string) (*httpsim.Response, error) {
+				calls++
+				return tc.resp, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.remembered {
+				if out != Uncacheable || resp != nil || calls != 0 {
+					t.Fatalf("refetch of per-user key = %v (resp=%v calls=%d), want stand-aside", out, resp, calls)
+				}
+			} else if out != Bypass || calls != 1 {
+				t.Fatalf("refetch after transient bypass = %v (calls=%d), want fresh attempt", out, calls)
+			}
 		})
+	}
+}
+
+// TestNegativeMemoryExpires checks that a per-user verdict is re-probed
+// after DefaultTTL: origins can turn a resource cacheable later.
+func TestNegativeMemoryExpires(t *testing.T) {
+	c := newTestCache(t, Options{DefaultTTL: time.Millisecond})
+	c.Fetch("k", fetchOK("mine", map[string]string{"Set-Cookie": "GSP=x"}))
+	time.Sleep(5 * time.Millisecond)
+	resp, out, err := c.Fetch("k", fetchOK("generic", nil))
+	if err != nil || out != Miss || string(resp.Body) != "generic" {
+		t.Fatalf("Fetch after memory expiry = %v, %v, %v", resp, out, err)
 	}
 }
 
@@ -274,6 +305,110 @@ func TestCoalescing(t *testing.T) {
 	}
 }
 
+// TestCoalescedPerUserResponseNotShared is the counterpart of
+// TestCoalescing for a non-shareable response: when the leader's fetch
+// comes back per-user (Set-Cookie), waiters must NOT receive the
+// leader's response — one user's personalized page and cookie must never
+// fan out to others. Instead each waiter is told the key is uncacheable
+// and performs its own upstream fetch with its own credentials.
+func TestCoalescedPerUserResponseNotShared(t *testing.T) {
+	const K = 8
+	c := newTestCache(t, Options{})
+
+	var fetches atomic.Int64
+	release := make(chan struct{})
+	fetcher := func(map[string]string) (*httpsim.Response, error) {
+		n := fetches.Add(1)
+		<-release
+		return okResponse(fmt.Sprintf("user-%d", n),
+			map[string]string{"Set-Cookie": fmt.Sprintf("GSP=u%d", n)}), nil
+	}
+
+	var (
+		mu       sync.Mutex
+		outcomes = map[Outcome]int{}
+		leaked   int
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out, err := c.Fetch("k", fetcher)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			outcomes[out]++
+			// Any waiter holding the leader's body or cookie is a leak.
+			if out != Bypass && resp != nil {
+				leaked++
+			}
+			mu.Unlock()
+		}()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Snapshot().Coalesced != K-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never coalesced: %+v", c.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("upstream fetches = %d, want exactly 1 (only the leader)", n)
+	}
+	if leaked != 0 {
+		t.Fatalf("%d waiters received the leader's per-user response", leaked)
+	}
+	if outcomes[Bypass] != 1 || outcomes[Uncacheable] != K-1 {
+		t.Fatalf("outcomes = %v, want 1 bypass + %d uncacheable", outcomes, K-1)
+	}
+	if n := c.Entries(); n != 0 {
+		t.Fatalf("per-user response stored (entries=%d)", n)
+	}
+	if st := c.Snapshot(); st.Uncacheable != K-1 {
+		t.Fatalf("stats = %+v, want %d uncacheable", st, K-1)
+	}
+}
+
+func TestRevalidationMergesRefreshedHeaders(t *testing.T) {
+	c := newTestCache(t, Options{DefaultTTL: time.Millisecond})
+	c.Fetch("k", fetchOK("body", map[string]string{
+		"Etag":          `"v1"`,
+		"Cache-Control": "public, max-age=0",
+		"X-Keep":        "original",
+	}))
+	time.Sleep(2 * time.Millisecond)
+
+	// The 304 refreshes Etag and Cache-Control; X-Keep is omitted and
+	// must persist from the stored entry (RFC 9111 §4.3.4).
+	resp, out, err := c.Fetch("k", func(map[string]string) (*httpsim.Response, error) {
+		r := httpsim.NewResponse(304, nil)
+		r.Header["Etag"] = `"v2"`
+		r.Header["Cache-Control"] = "public, max-age=600"
+		return r, nil
+	})
+	if err != nil || out != Revalidated {
+		t.Fatalf("Fetch = %v, %v", out, err)
+	}
+	if resp.Header["Etag"] != `"v2"` || resp.Header["Cache-Control"] != "public, max-age=600" {
+		t.Fatalf("304 metadata not merged: %v", resp.Header)
+	}
+	if resp.Header["X-Keep"] != "original" || string(resp.Body) != "body" {
+		t.Fatalf("stored fields lost in merge: %v %q", resp.Header, resp.Body)
+	}
+	// The refreshed max-age governs, and the next revalidation sends the
+	// refreshed validator.
+	if _, out, _ := c.Fetch("k", nil); out != Hit {
+		t.Fatalf("post-merge Fetch = %v, want hit under refreshed max-age", out)
+	}
+}
+
 func TestShardingIsSeedStable(t *testing.T) {
 	a := newTestCache(t, Options{Seed: 42})
 	b := newTestCache(t, Options{Seed: 42})
@@ -286,7 +421,7 @@ func TestShardingIsSeedStable(t *testing.T) {
 }
 
 func TestOutcomeString(t *testing.T) {
-	want := map[Outcome]string{Hit: "hit", Revalidated: "revalidated", Coalesced: "coalesced", Miss: "miss", Bypass: "bypass", Outcome(99): "unknown"}
+	want := map[Outcome]string{Hit: "hit", Revalidated: "revalidated", Coalesced: "coalesced", Miss: "miss", Bypass: "bypass", Uncacheable: "uncacheable", Outcome(99): "unknown"}
 	for o, s := range want {
 		if o.String() != s {
 			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), s)

@@ -301,22 +301,50 @@ func (d *Domestic) fetchOrigin(u *httpsim.URL, req *httpsim.Request, extra map[s
 	return httpsim.NewClientConn(upstream).RoundTrip(originReq)
 }
 
+// withoutCredentials returns a copy of req whose header carries no
+// per-user credentials. Cache-populating fetches use it so nothing
+// user-specific can enter the shared store, even from a mislabeled
+// origin that marks a cookie-varying response cacheable.
+func withoutCredentials(req *httpsim.Request) *httpsim.Request {
+	header := make(map[string]string, len(req.Header))
+	for k, v := range req.Header {
+		if k == "Cookie" || k == "Authorization" {
+			continue
+		}
+		header[k] = v
+	}
+	cp := *req
+	cp.Header = header
+	return &cp
+}
+
 // roundTrip is the proxy's absolute-URI fetch path when the cache is
 // enabled. Only whitelisted GETs touch the cache — anything else (or any
 // cache-internal bypass) still goes upstream, so correctness never
-// depends on cacheability.
+// depends on cacheability. Population fetches are credential-free; when
+// the cache stands aside on a per-user key (Uncacheable), or a
+// cookie-bearing request's population fetch turned out non-cacheable
+// (Bypass), the user gets their own upstream fetch with their own
+// credentials — per-user first-visit semantics never ride the cache.
 func (d *Domestic) roundTrip(u *httpsim.URL, req *httpsim.Request) (*httpsim.Response, error) {
 	if req.Method != "GET" || !d.Whitelist.Match(u.Host) {
 		return d.fetchOrigin(u, req, nil)
 	}
 	key := u.Scheme + "://" + u.HostPort() + u.Path
 	resp, outcome, err := d.Cache.Fetch(key, func(cond map[string]string) (*httpsim.Response, error) {
-		return d.fetchOrigin(u, req, cond)
+		return d.fetchOrigin(u, withoutCredentials(req), cond)
 	})
-	if err == nil {
-		d.flowTrace.Load().Addf("core", "cache", "%s %s", outcome, key)
+	if err != nil {
+		return nil, err
 	}
-	return resp, err
+	if outcome == cache.Uncacheable || (outcome == cache.Bypass && req.Header["Cookie"] != "") {
+		resp, err = d.fetchOrigin(u, req, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.flowTrace.Load().Addf("core", "cache", "%s %s", outcome, key)
+	return resp, nil
 }
 
 // PACHandler serves the proxy auto-config file at /pac — the one browser

@@ -11,6 +11,7 @@ package pac
 
 import (
 	"fmt"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -84,8 +85,15 @@ func (c *Config) ProxyAddr() string {
 // ignored, and matching is case-insensitive.
 func (c *Config) Match(host string) bool {
 	host = strings.ToLower(host)
-	if i := strings.LastIndexByte(host, ':'); i >= 0 {
-		host = host[:i]
+	// Strip an optional port without mangling bare IPv6 literals ("::1"
+	// has colons but no port): only net.SplitHostPort decides whether a
+	// suffix is really a port, and on error the raw host stands.
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	// A bracketed IPv6 literal without a port ("[::1]") is unwrapped.
+	if strings.HasPrefix(host, "[") && strings.HasSuffix(host, "]") {
+		host = host[1 : len(host)-1]
 	}
 	host = strings.TrimSuffix(host, ".")
 	c.mu.RLock()

@@ -57,6 +57,30 @@ func TestMatchHostPort(t *testing.T) {
 	}
 }
 
+// TestMatchIPv6Literals guards the exported Match API against mangling
+// bare IPv6 hosts: colons inside a v6 literal are not a port separator.
+func TestMatchIPv6Literals(t *testing.T) {
+	c := New("1.2.3.4:80", []string{"::1", "2001:db8::2", "scholar.google.com"})
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"::1", true},           // bare literal: nothing stripped
+		{"[::1]", true},         // bracketed, no port
+		{"[::1]:443", true},     // bracketed with port
+		{"2001:db8::2", true},   //
+		{"[2001:DB8::2]", true}, // hex case-insensitive
+		{"::2", false},
+		{"[::2]:443", false},
+		{"scholar.google.com:443", true}, // hostname stripping still works
+	}
+	for _, tc := range cases {
+		if got := c.Match(tc.host); got != tc.want {
+			t.Errorf("Match(%q) = %v, want %v", tc.host, got, tc.want)
+		}
+	}
+}
+
 func TestEmptyWhitelistHostPort(t *testing.T) {
 	c := New("1.2.3.4:80", nil)
 	for _, host := range []string{"scholar.google.com:443", "x:1", ":"} {
