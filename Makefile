@@ -1,10 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-smoke bench-json bench-compare figures determinism
+.PHONY: check build vet fmt test race bench bench-smoke bench-json bench-compare figures determinism deprecations
 
 ## check: the full gate — build, vet, formatting, the race-enabled test
-## suite, and the parallel-harness determinism gate.
-check: build vet fmt race determinism
+## suite, the facade deprecation gate, and the parallel-harness
+## determinism gate.
+check: build vet fmt race deprecations determinism
+
+## deprecations: the public facade must stay free of deprecated API —
+## PR 5 deleted the last // Deprecated: markers; this gate keeps new
+## ones from accumulating.
+deprecations:
+	@if grep -n "// Deprecated:" *.go; then \
+		echo "deprecation gate: remove deprecated API from the public facade instead of marking it"; exit 1; \
+	else \
+		echo "deprecation gate: public facade carries no deprecated API"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -46,13 +57,19 @@ bench-compare:
 		-fresh /tmp/scholarbench-fresh.json -tolerance 0.5
 
 ## determinism: the parallel harness's core guarantee — the full figure
-## sweep must be byte-identical at -parallel 1 and -parallel 4.
+## sweep (which includes the faults figure) must be byte-identical at
+## -parallel 1 and -parallel 4, and the fault-heavy figure alone at a
+## third worker count to cover odd scheduling interleavings.
 determinism:
 	@$(GO) build -o /tmp/scholarbench-gate ./cmd/scholarbench
 	@/tmp/scholarbench-gate -fig all -parallel 1 > /tmp/scholarbench-p1.txt
 	@/tmp/scholarbench-gate -fig all -parallel 4 > /tmp/scholarbench-p4.txt
 	@cmp /tmp/scholarbench-p1.txt /tmp/scholarbench-p4.txt && \
 		echo "determinism gate: -parallel 4 output byte-identical to -parallel 1"
+	@/tmp/scholarbench-gate -fig faults -parallel 3 > /tmp/scholarbench-faults-p3.txt
+	@/tmp/scholarbench-gate -fig faults -parallel 1 > /tmp/scholarbench-faults-p1.txt
+	@cmp /tmp/scholarbench-faults-p1.txt /tmp/scholarbench-faults-p3.txt && \
+		echo "determinism gate: -fig faults byte-identical at -parallel 1 and -parallel 3"
 
 ## figures: regenerate the paper's figures (quick sampling).
 figures:

@@ -209,6 +209,38 @@ func BenchmarkFleetScalability(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultsResilience runs the acceptance scenario of the faults
+// figure — a 40s 25% loss burst plus an unannounced primary-remote crash
+// — with the client resilience layer off and on, reporting the page-load
+// success rate each arm achieves.
+func BenchmarkFaultsResilience(b *testing.B) {
+	const scenario = "burst-loss+crash"
+	for _, resil := range []bool{false, true} {
+		resil := resil
+		name := "resilience-off"
+		if resil {
+			name = "resilience-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var success float64
+			for i := 0; i < b.N; i++ {
+				w := figureWorld(b, experiments.Config{
+					FleetRemotes:  2,
+					FaultScenario: scenario,
+					Resilience:    resil,
+				})
+				r, err := w.MeasureFaults(24, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				success = r.SuccessRate()
+				w.Close()
+			}
+			b.ReportMetric(success*100, "%success")
+		})
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationBlinding compares ScholarCloud with and without

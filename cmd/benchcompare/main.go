@@ -6,13 +6,16 @@
 //	benchcompare -baseline BENCH_experiments.json -fresh /tmp/bench.json [-tolerance 0.5]
 //
 // A figure regresses when its fresh wall time exceeds the baseline's by
-// more than the tolerance fraction (default 0.5, i.e. +50%). Slack that
-// wide keeps the gate about real slowdowns — an accidentally quadratic
-// sweep, a figure that doubled its world count — rather than scheduler
-// noise between runs on shared hardware. Figures only present in one
-// report are noted but are not regressions (new figures land with new
-// PRs; the baseline catches up when it is next regenerated). Exit
-// status: 0 clean, 1 regression, 2 usage or unreadable input.
+// more than the tolerance fraction (default 0.5, i.e. +50%) AND by more
+// than the absolute floor (default 0.25s). Slack that wide keeps the
+// gate about real slowdowns — an accidentally quadratic sweep, a figure
+// that doubled its world count — rather than scheduler noise between
+// runs on shared hardware; the floor exists because on a sub-100ms
+// figure a few dozen milliseconds of scheduler jitter trips any purely
+// relative threshold. Figures only present in one report are noted but
+// are not regressions (new figures land with new PRs; the baseline
+// catches up when it is next regenerated). Exit status: 0 clean, 1
+// regression, 2 usage or unreadable input.
 package main
 
 import (
@@ -52,9 +55,10 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_experiments.json", "committed baseline report")
 	fresh := flag.String("fresh", "", "freshly generated report to compare against the baseline")
 	tolerance := flag.Float64("tolerance", 0.5, "allowed per-figure slowdown as a fraction of the baseline")
+	floor := flag.Float64("floor", 0.25, "absolute slowdown in seconds a figure must also exceed to count as a regression")
 	flag.Parse()
-	if *fresh == "" || *tolerance < 0 {
-		fmt.Fprintln(os.Stderr, "benchcompare: -fresh is required and -tolerance must be non-negative")
+	if *fresh == "" || *tolerance < 0 || *floor < 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: -fresh is required; -tolerance and -floor must be non-negative")
 		os.Exit(2)
 	}
 
@@ -62,14 +66,14 @@ func main() {
 	if err == nil {
 		var cur *report
 		if cur, err = load(*fresh); err == nil {
-			os.Exit(compare(base, cur, *tolerance))
+			os.Exit(compare(base, cur, *tolerance, *floor))
 		}
 	}
 	fmt.Fprintln(os.Stderr, "benchcompare:", err)
 	os.Exit(2)
 }
 
-func compare(base, cur *report, tol float64) int {
+func compare(base, cur *report, tol, floor float64) int {
 	if base.Full != cur.Full {
 		fmt.Fprintf(os.Stderr, "benchcompare: baseline full=%v but fresh full=%v — not comparable\n",
 			base.Full, cur.Full)
@@ -90,6 +94,9 @@ func compare(base, cur *report, tol float64) int {
 		}
 		delete(baseFigs, f.Fig)
 		limit := b.Seconds * (1 + tol)
+		if min := b.Seconds + floor; limit < min {
+			limit = min
+		}
 		verdict := "ok"
 		if f.Seconds > limit {
 			verdict = fmt.Sprintf("REGRESSION (limit %.3fs)", limit)

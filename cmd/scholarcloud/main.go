@@ -94,6 +94,9 @@ func runDomestic(args []string) {
 	public := fs.String("public", "", "proxy address written into the PAC file")
 	cacheMB := fs.Int("cache-mb", 0, "shared content-cache budget in MiB (0 = no cache)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "heuristic freshness TTL for cached responses without max-age (0 = default)")
+	resilient := fs.Bool("resilient", false, "enable client-path resilience: dial/request deadlines, reconnect backoff, hedged failover")
+	dialTimeout := fs.Duration("dial-timeout", 0, "resilience per-dial deadline (0 = default 3s; needs -resilient)")
+	requestTimeout := fs.Duration("request-timeout", 0, "resilience per-request deadline (0 = default 30s; needs -resilient)")
 	fs.Parse(args)
 	if *secret == "" || *remote == "" {
 		fmt.Fprintln(os.Stderr, "domestic: -secret and -remote are required")
@@ -112,6 +115,9 @@ func runDomestic(args []string) {
 		PublicProxyAddr:   *public,
 		CacheMB:           *cacheMB,
 		CacheTTL:          *cacheTTL,
+		Resilience:        *resilient,
+		DialTimeout:       *dialTimeout,
+		RequestTimeout:    *requestTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "domestic:", err)

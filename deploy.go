@@ -192,6 +192,17 @@ type DomesticConfig struct {
 	// CacheTTL overrides the cache's heuristic freshness lifetime (zero
 	// selects the cache package default, 60 s).
 	CacheTTL time.Duration
+	// Resilience, when true, runs the client path under the resilience
+	// policy: per-dial and per-request deadlines, exponential reconnect
+	// backoff with deterministic jitter, and hedged retry/failover across
+	// fleet remotes. Off preserves the paper deployment's fail-fast
+	// behaviour.
+	Resilience bool
+	// DialTimeout/RequestTimeout override the resilience deadlines (zero
+	// selects the core defaults, 3 s per dial and 30 s per request). They
+	// take effect only with Resilience on.
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
 }
 
 // remotes reconciles RemoteAddr and RemoteAddrs.
@@ -307,6 +318,12 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 		}
 		domestic.Cache = cc
 	}
+	if cfg.Resilience {
+		domestic.Resil = &core.Resilience{
+			DialTimeout:    cfg.DialTimeout,
+			RequestTimeout: cfg.RequestTimeout,
+		}
+	}
 	reg := obs.NewRegistry()
 	domestic.Instrument(reg)
 
@@ -318,11 +335,18 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
 		})
 	}
-	pool, err := fleet.New(fleet.Config{
+	fcfg := fleet.Config{
 		Env:               env,
 		NewSession:        domestic.WrapCarrier,
 		SessionsPerRemote: cfg.SessionsPerRemote,
-	}, eps)
+	}
+	if cfg.Resilience {
+		fcfg.DialTimeout = cfg.DialTimeout
+		if fcfg.DialTimeout <= 0 {
+			fcfg.DialTimeout = 3 * time.Second
+		}
+	}
+	pool, err := fleet.New(fcfg, eps)
 	if err != nil {
 		return nil, err
 	}

@@ -19,23 +19,23 @@ func main() {
 	fmt.Printf("%-13s %-12s %-12s %-10s %-8s\n", "method", "first PLT", "subseq PLT", "RTT", "PLR")
 
 	for _, name := range sim.MethodNames() {
-		first, sub, err := sim.PLT(name, 2, 6)
+		plt, err := sim.MeasurePLT(name, 2, 6)
 		if err != nil {
 			panic(err)
 		}
-		rtt, err := sim.RTT(name, 10)
+		rtt, err := sim.MeasureRTT(name, 10)
 		if err != nil {
 			panic(err)
 		}
-		plr, err := sim.PLR(name, 10)
+		plr, err := sim.MeasurePLR(name, 10)
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("%-13s %-12s %-12s %-10s %-8s\n", name,
-			metrics.FormatSeconds(first.Mean),
-			metrics.FormatSeconds(sub.Mean),
-			metrics.FormatSeconds(rtt.Mean),
-			metrics.FormatPercent(plr))
+			metrics.FormatSeconds(plt.FirstTime.Mean),
+			metrics.FormatSeconds(plt.Subsequent.Mean),
+			metrics.FormatSeconds(rtt.RTT.Mean),
+			metrics.FormatPercent(plr.PLR))
 	}
 
 	fmt.Println()

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/cache"
@@ -57,14 +58,32 @@ type Domestic struct {
 	// switches to HTTPS-gateway mode (absolute-URI requests instead of
 	// opaque CONNECT tunnels) so cacheable HTTPS traffic is visible to it.
 	Cache *cache.Cache
+	// Resil, if set, enables the client-path resilience layer (deadlines,
+	// reconnect backoff, hedged retry — see Resilience). Nil keeps the
+	// historical fail-fast behaviour.
+	Resil *Resilience
+	// GatewayFetch forces the proxy to answer gateway-mode absolute-URI
+	// requests through its own upstream fetch even without a Cache or a
+	// Resil policy. Fault experiments set it on the resilience-off
+	// baseline so both arms of the comparison share one fetch path.
+	GatewayFetch bool
 
-	mu       sync.Mutex
-	sess     *mux.Session
-	endpoint string
+	mu        sync.Mutex
+	sess      *mux.Session
+	endpoint  string
+	dialFails int       // consecutive single-remote dial failures
+	nextDial  time.Time // reconnect backoff gate (zero = none)
 
 	requests metrics.Counter
 	refused  metrics.Counter
 	streams  metrics.Counter
+
+	// Resilience counters (zero unless Resil is set).
+	hedges       metrics.Counter
+	retries      metrics.Counter
+	deadlineHits metrics.Counter
+	failovers    metrics.Counter
+	jitterCtr    atomic.Uint64 // backoff jitter draw sequence
 
 	flowTrace   atomic.Pointer[obs.Trace]
 	muxCounters atomic.Pointer[mux.Counters]
@@ -100,6 +119,10 @@ func (d *Domestic) Instrument(reg *obs.Registry) {
 	reg.RegisterCounter("core.domestic.requests", &d.requests)
 	reg.RegisterCounter("core.domestic.refused", &d.refused)
 	reg.RegisterCounter("core.domestic.streams", &d.streams)
+	reg.RegisterCounter("core.domestic.hedges", &d.hedges)
+	reg.RegisterCounter("core.domestic.retries", &d.retries)
+	reg.RegisterCounter("core.domestic.deadline_hits", &d.deadlineHits)
+	reg.RegisterCounter("core.domestic.failovers", &d.failovers)
 	d.muxCounters.Store(&mux.Counters{
 		FramesIn:   reg.Counter("mux.domestic.frames_in"),
 		FramesOut:  reg.Counter("mux.domestic.frames_out"),
@@ -158,10 +181,31 @@ func (d *Domestic) session() (*mux.Session, error) {
 	if d.sess != nil && d.sess.Err() == nil {
 		return d.sess, nil
 	}
-	raw, err := d.DialRemote()
+	if d.Resil != nil {
+		if now := d.Env.Clock.Now(); now.Before(d.nextDial) {
+			return nil, fmt.Errorf("%w: reconnect backing off for %v", ErrAllRemotesDown, d.nextDial.Sub(now))
+		}
+	}
+	var raw net.Conn
+	var err error
+	if d.Resil != nil {
+		raw, err = d.dialRemoteBounded(d.Resil.withDefaults().DialTimeout)
+	} else {
+		raw, err = d.DialRemote()
+	}
 	if err != nil {
+		if d.Resil != nil {
+			// Exponential reconnect backoff with deterministic jitter: the
+			// next dial is gated rather than hammered, so a downed remote
+			// costs one timed-out dial per backoff window, not per request.
+			r := d.Resil.withDefaults()
+			d.dialFails++
+			d.nextDial = d.Env.Clock.Now().Add(d.backoff(r, d.dialFails-1))
+		}
 		return nil, fmt.Errorf("%w: %v", ErrAllRemotesDown, err)
 	}
+	d.dialFails = 0
+	d.nextDial = time.Time{}
 	scheme := d.SchemeOverride
 	if scheme == nil {
 		scheme = blinding.SchemeForEpoch(d.Secret, d.Epoch)
@@ -240,9 +284,10 @@ func (d *Domestic) authorize(host string) error {
 }
 
 // Proxy returns the browser-facing forward proxy (CONNECT for HTTPS,
-// absolute-URI for HTTP), enforcing the whitelist. With a Cache
-// configured, absolute-URI requests (including gateway-mode HTTPS) are
-// answered through it.
+// absolute-URI for HTTP), enforcing the whitelist. With a Cache or a
+// Resilience policy configured, absolute-URI requests (including
+// gateway-mode HTTPS) are answered through the proxy's own upstream
+// fetch, where both layers live.
 func (d *Domestic) Proxy() *httpsim.Proxy {
 	p := &httpsim.Proxy{
 		Dial:      d.openSecure,
@@ -250,7 +295,7 @@ func (d *Domestic) Proxy() *httpsim.Proxy {
 		Spawn:     d.Env.Spawn,
 		Authorize: d.authorize,
 	}
-	if d.Cache != nil {
+	if d.Cache != nil || d.Resil != nil || d.GatewayFetch {
 		p.RoundTrip = d.roundTrip
 	}
 	return p
@@ -269,12 +314,25 @@ func (d *Domestic) fetchOrigin(u *httpsim.URL, req *httpsim.Request, extra map[s
 	for k, v := range extra {
 		header[k] = v
 	}
+	if d.Resil != nil {
+		return d.fetchResilient(u, req, header)
+	}
+	return d.fetchOriginOnce(u, req, header, time.Time{})
+}
 
+// fetchOriginOnce performs a single upstream attempt. A non-zero deadline
+// becomes the read deadline of the tunnel stream under the attempt, so a
+// fetch stalled by a dead carrier or a partitioned border link surfaces
+// as a timeout instead of hanging forever.
+func (d *Domestic) fetchOriginOnce(u *httpsim.URL, req *httpsim.Request, header map[string]string, deadline time.Time) (*httpsim.Response, error) {
 	var upstream net.Conn
 	if u.Scheme == "https" {
 		st, err := d.openSecure(u.HostPort())
 		if err != nil {
 			return nil, err
+		}
+		if !deadline.IsZero() {
+			st.SetReadDeadline(deadline)
 		}
 		tconn := tlssim.Client(st, tlssim.Config{ServerName: u.Host, Rand: d.Env.Rand})
 		if err := tconn.Handshake(); err != nil {
@@ -286,6 +344,9 @@ func (d *Domestic) fetchOrigin(u *httpsim.URL, req *httpsim.Request, extra map[s
 		st, err := d.openPlain(u.HostPort())
 		if err != nil {
 			return nil, err
+		}
+		if !deadline.IsZero() {
+			st.SetReadDeadline(deadline)
 		}
 		upstream = st
 	}
@@ -327,7 +388,7 @@ func withoutCredentials(req *httpsim.Request) *httpsim.Request {
 // (Bypass), the user gets their own upstream fetch with their own
 // credentials — per-user first-visit semantics never ride the cache.
 func (d *Domestic) roundTrip(u *httpsim.URL, req *httpsim.Request) (*httpsim.Response, error) {
-	if req.Method != "GET" || !d.Whitelist.Match(u.Host) {
+	if d.Cache == nil || req.Method != "GET" || !d.Whitelist.Match(u.Host) {
 		return d.fetchOrigin(u, req, nil)
 	}
 	key := u.Scheme + "://" + u.HostPort() + u.Path

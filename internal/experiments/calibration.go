@@ -150,6 +150,10 @@ const (
 	fleetProbeInterval  = 2 * time.Second
 	fleetProbeTimeout   = 1 * time.Second
 	fleetReadmitBackoff = 15 * time.Second
+	// fleetDialTimeout bounds one carrier dial when Config.Resilience is
+	// on (a dead remote's SYNs otherwise stall the dialer for the full
+	// TCP handshake-retry schedule).
+	fleetDialTimeout = 3 * time.Second
 )
 
 // accessLink returns the standard access-link configuration.

@@ -10,6 +10,7 @@ import (
 	"scholarcloud/internal/cache"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/dnssim"
+	"scholarcloud/internal/faults"
 	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/gfw"
 	"scholarcloud/internal/httpsim"
@@ -65,6 +66,20 @@ type Config struct {
 	// CacheTTL overrides the cache's heuristic freshness lifetime (zero
 	// selects the cache package default).
 	CacheTTL time.Duration
+	// FaultScenario, when non-empty, arms a scripted fault scheduler
+	// (internal/faults) against the border link, the GFW's episode state,
+	// and the fleet remotes. The name must be a faults.Script scenario;
+	// the script executes on the virtual clock once a measurement calls
+	// World.InjectFaults. Empty keeps the healthy world — and every
+	// historical figure — byte-identical.
+	FaultScenario string
+	// Resilience enables the domestic proxy's client-path resilience
+	// layer (per-dial and per-request deadlines, reconnect backoff with
+	// deterministic jitter, hedged retry on a second carrier) and bounds
+	// fleet carrier dials. Off by default: the historical fail-fast
+	// behaviour is the resilience-off baseline the faults figure measures
+	// against.
+	Resilience bool
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -118,7 +133,12 @@ type World struct {
 	// primary, indexed 1..FleetRemotes-1 by their takedown index.
 	Fleet              *fleet.Pool
 	FleetRemoteProxies []*core.Remote
+	fleetRemoteHosts   []*netsim.Host
 	fleetNameByIP      map[string]string
+
+	// Faults is the armed fault scheduler when Cfg.FaultScenario is set
+	// (nil otherwise). Measurements start it with InjectFaults.
+	Faults *faults.Scheduler
 
 	// Registry models the non-technical agencies; ScholarCloud is
 	// registered at world construction (instantly — the weeks-long
@@ -263,8 +283,39 @@ func NewWorld(cfg Config) *World {
 	w.startTor()
 	w.startScholarCloud()
 	w.registerScholarCloud()
+
+	if cfg.FaultScenario != "" {
+		script, ok := faults.Script(cfg.FaultScenario)
+		if !ok {
+			panic(fmt.Errorf("experiments: unknown fault scenario %q (known: %v)",
+				cfg.FaultScenario, faults.Scenarios()))
+		}
+		w.Faults = faults.New(faults.Config{
+			Env:  w.Env,
+			Link: w.Border,
+			GFW:  w.GFW,
+			CrashRemote: func(i int) {
+				if i == 0 || i-1 < len(w.FleetRemoteProxies) {
+					w.TakedownFleetRemote(i)
+				}
+			},
+			RestartRemote: func(i int) {
+				if i == 0 || i-1 < len(w.FleetRemoteProxies) {
+					w.RestartFleetRemote(i)
+				}
+			},
+			Seed: cfg.Seed ^ 0xFA0175,
+		}, script)
+		w.Faults.Instrument(w.Obs)
+	}
 	return w
 }
+
+// InjectFaults starts the configured fault script on the virtual clock,
+// with event offsets measured from now. No-op without a FaultScenario;
+// idempotent, so a measurement can arm faults unconditionally at its
+// start.
+func (w *World) InjectFaults() { w.Faults.Inject() }
 
 // Close stops the simulation. It retires the gate goroutine first so the
 // scheduler is not stopped out from under a token holder.
@@ -349,6 +400,7 @@ func (w *World) installTrace(t *obs.Trace) {
 	if w.Fleet != nil {
 		w.Fleet.SetTrace(t)
 	}
+	w.Faults.SetTrace(t)
 }
 
 // TracePageLoad performs one first-time page load through f with a flow
@@ -694,6 +746,14 @@ func (w *World) startScholarCloud() {
 	if w.Cfg.ScholarCloudNoBlinding {
 		w.Domestic.SchemeOverride = blinding.Identity{}
 	}
+	if w.Cfg.Resilience {
+		w.Domestic.Resil = &core.Resilience{Seed: w.Cfg.Seed ^ 0x4E51AE}
+	}
+	if w.Cfg.FaultScenario != "" {
+		// Fault worlds run clients in gateway mode (see ScholarCloud);
+		// the resilience-off baseline needs the proxy-side fetch path too.
+		w.Domestic.GatewayFetch = true
+	}
 	if w.Cfg.CacheMB > 0 {
 		cc, err := cache.New(w.Env, cache.Options{
 			Capacity:   int64(w.Cfg.CacheMB) << 20,
@@ -742,6 +802,7 @@ func (w *World) startFleet() {
 		ip := fmt.Sprintf("%s%d", fleetRemoteIPBase, 70+i)
 		addr := fmt.Sprintf("%s:%d", ip, portSCRemote)
 		host := w.Net.AddHost(fmt.Sprintf("sc-remote-%d", i), ip, w.US, accessLink())
+		w.fleetRemoteHosts = append(w.fleetRemoteHosts, host)
 		dial := w.dialHostFrom(host)
 		cost := w.compute(host, scStreamCost)
 		r := &core.Remote{
@@ -771,7 +832,7 @@ func (w *World) startFleet() {
 		})
 	}
 
-	pool, err := fleet.New(fleet.Config{
+	fcfg := fleet.Config{
 		Env:               w.Env,
 		NewSession:        w.Domestic.WrapCarrier,
 		SessionsPerRemote: w.Cfg.FleetSessionsPerRemote,
@@ -779,7 +840,11 @@ func (w *World) startFleet() {
 		ProbeTimeout:      fleetProbeTimeout,
 		ReadmitBackoff:    fleetReadmitBackoff,
 		Seed:              w.Cfg.Seed ^ 0xF1EE7,
-	}, eps)
+	}
+	if w.Cfg.Resilience {
+		fcfg.DialTimeout = fleetDialTimeout
+	}
+	pool, err := fleet.New(fcfg, eps)
 	if err != nil {
 		panic(err)
 	}
@@ -807,6 +872,23 @@ func (w *World) TakedownFleetRemote(i int) {
 		return
 	}
 	w.FleetRemoteProxies[i-1].Close()
+}
+
+// RestartFleetRemote brings a taken-down fleet remote back up: a fresh
+// listener on the same address, served by the same Remote (whose old
+// listener and carrier sessions the takedown killed). The domestic proxy
+// is not notified — the pool's prober has to re-admit the endpoint on its
+// own, exactly as it had to notice the crash.
+func (w *World) RestartFleetRemote(i int) {
+	host, r := w.SCRemoteHost, w.Remote
+	if i > 0 {
+		host, r = w.fleetRemoteHosts[i-1], w.FleetRemoteProxies[i-1]
+	}
+	ln, err := host.Listen("tcp", fmt.Sprintf(":%d", portSCRemote))
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { r.Serve(ln) })
 }
 
 // registerScholarCloud records the service in the MIIT database — the
@@ -940,14 +1022,18 @@ func (w *World) Shadowsocks(h *netsim.Host) *shadowsocks.Client {
 
 // ScholarCloud returns the PAC-configured browser stack on host h. When
 // the world's domestic proxy runs a shared cache, clients use HTTPS-
-// gateway mode so the cache sees (and can serve) their requests.
+// gateway mode so the cache sees (and can serve) their requests. Fault
+// worlds use gateway mode too: there the domestic proxy owns each
+// upstream fetch, which is what lets the resilience layer retry or
+// hedge it — and gives the resilience-off baseline the same fetch path
+// to fail on.
 func (w *World) ScholarCloud(h *netsim.Host) tunnel.Method {
 	return &core.ClientStack{
 		Env:          w.Env,
 		Dial:         h.Dial,
 		PAC:          w.Whitelist,
 		Resolver:     w.resolverFor(h),
-		GatewayHTTPS: w.Cfg.CacheMB > 0,
+		GatewayHTTPS: w.Cfg.CacheMB > 0 || w.Cfg.FaultScenario != "",
 	}
 }
 

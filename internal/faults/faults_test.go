@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScenarioTable pins the built-in scenario catalogue: every listed
+// name resolves to a non-empty script whose events carry the intensity
+// field their kind reads, so a typo in the table fails here instead of
+// silently injecting a no-op impairment.
+func TestScenarioTable(t *testing.T) {
+	names := Scenarios()
+	if len(names) != len(scenarios) {
+		t.Fatalf("Scenarios() lists %d names, table has %d", len(names), len(scenarios))
+	}
+	for _, name := range names {
+		script, ok := Script(name)
+		if !ok || len(script) == 0 {
+			t.Errorf("scenario %q: ok=%v, %d events", name, ok, len(script))
+			continue
+		}
+		for i, e := range script {
+			if e.At < 0 {
+				t.Errorf("%s[%d]: negative onset %v", name, i, e.At)
+			}
+			switch e.Kind {
+			case LossBurst:
+				if e.Loss <= 0 || e.Loss >= 1 {
+					t.Errorf("%s[%d]: LossBurst loss %v outside (0,1)", name, i, e.Loss)
+				}
+			case LatencySpike:
+				if e.Delay <= 0 {
+					t.Errorf("%s[%d]: LatencySpike without delay", name, i)
+				}
+			case BandwidthCollapse:
+				if e.Factor <= 0 || e.Factor >= 1 {
+					t.Errorf("%s[%d]: BandwidthCollapse factor %v outside (0,1)", name, i, e.Factor)
+				}
+			case ResetStorm, Throttle:
+				if e.Rate <= 0 || e.Rate >= 1 {
+					t.Errorf("%s[%d]: %v rate %v outside (0,1)", name, i, e.Kind, e.Rate)
+				}
+			}
+			if e.Kind != RemoteCrash && e.Duration <= 0 {
+				t.Errorf("%s[%d]: %v event never reverts (duration %v)", name, i, e.Kind, e.Duration)
+			}
+		}
+	}
+	if _, ok := Script("no-such-scenario"); ok {
+		t.Error(`Script("no-such-scenario") resolved`)
+	}
+}
+
+// TestNewSortsAndCopiesScript checks the scheduler orders events by onset
+// and detaches its copy from the caller's slice.
+func TestNewSortsAndCopiesScript(t *testing.T) {
+	in := []Event{
+		{At: 30 * time.Second, Kind: Throttle, Rate: 0.1, Duration: time.Second},
+		{At: 10 * time.Second, Kind: LossBurst, Loss: 0.2, Duration: time.Second},
+	}
+	s := New(Config{}, in)
+	in[0].Rate = 0.99
+	got := s.Script()
+	if len(got) != 2 || got[0].Kind != LossBurst || got[1].Kind != Throttle {
+		t.Fatalf("script not sorted by onset: %+v", got)
+	}
+	if got[1].Rate != 0.1 {
+		t.Errorf("scheduler shares the caller's slice: rate = %v", got[1].Rate)
+	}
+	got[0].Loss = 0.5
+	if s.Script()[0].Loss != 0.2 {
+		t.Error("Script() exposes the scheduler's internal slice")
+	}
+}
+
+// TestApplySkipsAbsentFacilities checks events targeting a facility the
+// config doesn't wire are counted as skipped instead of panicking.
+func TestApplySkipsAbsentFacilities(t *testing.T) {
+	s := New(Config{}, nil)
+	for i, e := range []Event{
+		{Kind: LossBurst, Loss: 0.1},                // no Link
+		{Kind: ResetStorm, Rate: 0.1},               // no GFW
+		{Kind: RemoteCrash, Target: 0},              // no CrashRemote
+		{Kind: LinkFlap, Duration: 5 * time.Second}, // no Link
+	} {
+		if s.apply(i, e) {
+			t.Errorf("event %d (%v) applied with no facility wired", i, e.Kind)
+		}
+	}
+	if got := s.skipped.Value(); got != 4 {
+		t.Errorf("skipped counter = %d, want 4", got)
+	}
+	if got := s.applied.Value(); got != 0 {
+		t.Errorf("applied counter = %d, want 0", got)
+	}
+}
+
+// TestOnsetJitterDeterministic checks the jitter stream is a pure
+// function of (seed, index) and stays inside its window.
+func TestOnsetJitterDeterministic(t *testing.T) {
+	a := New(Config{Seed: 42, OnsetJitter: 3 * time.Second}, nil)
+	b := New(Config{Seed: 42, OnsetJitter: 3 * time.Second}, nil)
+	c := New(Config{Seed: 43, OnsetJitter: 3 * time.Second}, nil)
+	var differs bool
+	for i := 0; i < 16; i++ {
+		ja := a.onsetJitter(i)
+		if jb := b.onsetJitter(i); ja != jb {
+			t.Fatalf("same seed, index %d: %v vs %v", i, ja, jb)
+		}
+		if ja < 0 || ja >= 3*time.Second {
+			t.Fatalf("index %d: jitter %v outside [0, 3s)", i, ja)
+		}
+		if ja != c.onsetJitter(i) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical jitter streams")
+	}
+	if j := New(Config{Seed: 42}, nil).onsetJitter(5); j != 0 {
+		t.Errorf("zero OnsetJitter drew %v", j)
+	}
+}

@@ -1,0 +1,75 @@
+package faults
+
+import "time"
+
+// Named scenarios. Each is a script sized for the faults figure's
+// measurement window (clients staggered over ~20s, three visit rounds,
+// ~90s of virtual time): impairments open after the first round is in
+// flight and close before the run settles, so every scenario exercises
+// both degradation and recovery.
+var scenarios = map[string][]Event{
+	// A congestion episode on the border path: two overlapping loss
+	// bursts peaking at ~28% total loss.
+	"loss-burst": {
+		{At: 15 * time.Second, Duration: 30 * time.Second, Kind: LossBurst, Loss: 0.20},
+		{At: 25 * time.Second, Duration: 15 * time.Second, Kind: LossBurst, Loss: 0.10},
+	},
+	// A routing change adds 250ms of one-way delay and 40ms of jitter.
+	"latency-spike": {
+		{At: 15 * time.Second, Duration: 30 * time.Second, Kind: LatencySpike, Delay: 250 * time.Millisecond, Jitter: 40 * time.Millisecond},
+	},
+	// The border link collapses to 5% of its provisioned bandwidth.
+	"bandwidth-collapse": {
+		{At: 15 * time.Second, Duration: 30 * time.Second, Kind: BandwidthCollapse, Factor: 0.05},
+	},
+	// Two full partitions of the border link, 6 seconds each.
+	"link-flap": {
+		{At: 18 * time.Second, Duration: 6 * time.Second, Kind: LinkFlap},
+		{At: 38 * time.Second, Duration: 6 * time.Second, Kind: LinkFlap},
+	},
+	// The GFW answers 8% of tracked cross-border packets with forged
+	// RSTs for half a minute.
+	"reset-storm": {
+		{At: 15 * time.Second, Duration: 30 * time.Second, Kind: ResetStorm, Rate: 0.08},
+	},
+	// An episodic throttling campaign drops 30% of cross-border packets.
+	"throttle": {
+		{At: 15 * time.Second, Duration: 30 * time.Second, Kind: Throttle, Rate: 0.30},
+	},
+	// The primary remote proxy is taken down mid-run and restarted 35
+	// seconds later.
+	"remote-crash": {
+		{At: 25 * time.Second, Duration: 35 * time.Second, Kind: RemoteCrash, Target: 0},
+	},
+	// The acceptance scenario: a loss burst on the border plus a primary
+	// remote takedown (no restart) while page loads are in flight.
+	"burst-loss+crash": {
+		{At: 10 * time.Second, Duration: 40 * time.Second, Kind: LossBurst, Loss: 0.25},
+		{At: 25 * time.Second, Kind: RemoteCrash, Target: 0},
+	},
+}
+
+// scenarioOrder fixes the presentation order (mildest link impairments
+// first, then censor episodes, then takedowns).
+var scenarioOrder = []string{
+	"loss-burst",
+	"latency-spike",
+	"bandwidth-collapse",
+	"link-flap",
+	"reset-storm",
+	"throttle",
+	"remote-crash",
+	"burst-loss+crash",
+}
+
+// Scenarios lists the built-in scenario names in presentation order.
+func Scenarios() []string { return append([]string(nil), scenarioOrder...) }
+
+// Script returns the named scenario's event script.
+func Script(name string) ([]Event, bool) {
+	s, ok := scenarios[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]Event(nil), s...), true
+}

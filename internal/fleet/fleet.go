@@ -78,6 +78,12 @@ type Config struct {
 	BackoffMax time.Duration
 	// EWMAAlpha is the latency-estimate smoothing factor (default 0.3).
 	EWMAAlpha float64
+	// DialTimeout bounds one carrier dial (including the transport
+	// handshake). Zero leaves dials unbounded — the historical behaviour —
+	// so only resilience-enabled deployments pay the timer. A dial that
+	// outlives the deadline is recorded as an endpoint failure; its late
+	// connection, if any, is closed on arrival.
+	DialTimeout time.Duration
 	// Seed drives the pick policy's randomness deterministically.
 	Seed uint64
 	// OnStateChange, if set, observes ejections and re-admissions.
@@ -115,6 +121,9 @@ var (
 	ErrNoEndpoints = errors.New("fleet: pool has no endpoints")
 	// ErrPoolClosed reports use after Close.
 	ErrPoolClosed = errors.New("fleet: pool closed")
+	// ErrDialTimeout reports a carrier dial that outlived
+	// Config.DialTimeout.
+	ErrDialTimeout = errors.New("fleet: dial timed out")
 )
 
 // DownError reports that every endpoint was tried and none could carry
@@ -189,9 +198,10 @@ type Pool struct {
 	rng    *rand.Rand
 	closed bool
 
-	picks     metrics.Counter
-	failovers metrics.Counter
-	rotations metrics.Counter
+	picks        metrics.Counter
+	failovers    metrics.Counter
+	rotations    metrics.Counter
+	dialTimeouts metrics.Counter
 
 	flowTrace atomic.Pointer[obs.Trace]
 }
@@ -203,6 +213,7 @@ func (p *Pool) Instrument(reg *obs.Registry) {
 	reg.RegisterCounter("fleet.picks", &p.picks)
 	reg.RegisterCounter("fleet.failovers", &p.failovers)
 	reg.RegisterCounter("fleet.rotations", &p.rotations)
+	reg.RegisterCounter("fleet.dial_timeouts", &p.dialTimeouts)
 	sum := func(read func(ep *endpoint) int64) func() int64 {
 		return func() int64 {
 			p.mu.Lock()
@@ -492,10 +503,63 @@ func (p *Pool) sessionFor(ep *endpoint) (*slot, *mux.Session, error) {
 	}
 }
 
+// dial runs ep.Dial, bounded by Config.DialTimeout when one is set. On
+// timeout the dialing goroutine is disowned: if its connection lands
+// later it is closed immediately, so a stalled dial can never leak a
+// carrier into the pool.
+func (p *Pool) dial(ep *endpoint) (net.Conn, error) {
+	if p.cfg.DialTimeout <= 0 {
+		return ep.Dial()
+	}
+	var (
+		mu       sync.Mutex
+		done     bool
+		timedOut bool
+		conn     net.Conn
+		err      error
+	)
+	cond := p.cfg.Env.Sync.NewCond(&mu)
+	p.cfg.Env.Spawn.Go(func() {
+		c, e := ep.Dial()
+		mu.Lock()
+		if timedOut {
+			mu.Unlock()
+			// Guard on e, not c: a failed Dial may return a typed-nil
+			// conn inside a non-nil interface.
+			if e == nil && c != nil {
+				c.Close()
+			}
+			return
+		}
+		conn, err, done = c, e, true
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	timer := p.cfg.Env.Clock.AfterFunc(p.cfg.DialTimeout, func() {
+		mu.Lock()
+		if !done {
+			timedOut = true
+			cond.Broadcast()
+		}
+		mu.Unlock()
+	})
+	defer timer.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	for !done && !timedOut {
+		cond.Wait()
+	}
+	if timedOut {
+		p.dialTimeouts.Inc()
+		return nil, ErrDialTimeout
+	}
+	return conn, err
+}
+
 // dialSlot dials a carrier into sl (which the caller marked dialing).
 func (p *Pool) dialSlot(ep *endpoint, sl *slot) (*slot, *mux.Session, error) {
 	start := p.cfg.Env.Clock.Now()
-	raw, err := ep.Dial()
+	raw, err := p.dial(ep)
 	var sess *mux.Session
 	if err == nil {
 		sess = p.cfg.NewSession(raw)

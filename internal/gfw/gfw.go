@@ -91,6 +91,8 @@ type Stats struct {
 	ServersConfirmed  int64
 	ServersExonerated int64
 	InterferenceDrops int64
+	StormResets       int64
+	ThrottleDrops     int64
 }
 
 type flowState struct {
@@ -116,6 +118,10 @@ type GFW struct {
 	probing    map[string]bool // probe in flight
 	classCount map[Class]int64
 	stats      Stats
+
+	// Episode state, set at runtime by fault injectors (zero = inactive).
+	stormRate    float64 // prob. a tracked TCP packet draws forged RSTs
+	throttleLoss float64 // extra drop prob. on every tracked TCP packet
 
 	flowTrace atomic.Pointer[obs.Trace]
 	// obsVerdicts counts Inspect outcomes, indexed by netsim.Verdict.
@@ -153,10 +159,31 @@ func (g *GFW) Instrument(reg *obs.Registry) {
 		"gfw.servers_confirmed":  func(s Stats) int64 { return s.ServersConfirmed },
 		"gfw.servers_exonerated": func(s Stats) int64 { return s.ServersExonerated },
 		"gfw.interference_drops": func(s Stats) int64 { return s.InterferenceDrops },
+		"gfw.storm_resets":       func(s Stats) int64 { return s.StormResets },
+		"gfw.throttle_drops":     func(s Stats) int64 { return s.ThrottleDrops },
 	} {
 		read := read
 		reg.RegisterFunc(name, func() int64 { return read(g.Stats()) })
 	}
+}
+
+// SetResetStorm sets the probability that a tracked TCP packet crossing
+// the border is answered with forged RSTs to both endpoints — the GFW's
+// episodic "reset storm" behaviour. Zero ends the episode. Fault
+// schedulers toggle it at scripted virtual times.
+func (g *GFW) SetResetStorm(rate float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stormRate = rate
+}
+
+// SetThrottle sets an extra drop probability applied to every tracked TCP
+// packet, modeling an episodic bandwidth-throttling campaign against
+// cross-border traffic. Zero ends the episode.
+func (g *GFW) SetThrottle(loss float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.throttleLoss = loss
 }
 
 // SetTrace installs (or, with nil, removes) a flow tracer receiving a span
@@ -382,6 +409,22 @@ func (g *GFW) inspectTCP(pkt *netsim.Packet) netsim.Verdict {
 		g.mu.Unlock()
 		g.flowTrace.Load().Addf("gfw", "keyword-reset", "%s -> %s", pkt.Src, pkt.Dst)
 		return netsim.VerdictReset
+	}
+
+	// Episodic interference (fault-injected): a reset storm answers a
+	// fraction of tracked flows' packets with forged RSTs; a throttling
+	// episode drops an extra fraction of every packet crossing the border.
+	if g.stormRate > 0 && g.lossDraw(pkt.ID^0x57072) < g.stormRate {
+		g.stats.StormResets++
+		g.mu.Unlock()
+		g.flowTrace.Load().Addf("gfw", "storm-reset", "%s -> %s", pkt.Src, pkt.Dst)
+		return netsim.VerdictReset
+	}
+	if g.throttleLoss > 0 && g.lossDraw(pkt.ID^0x7407713) < g.throttleLoss {
+		g.stats.ThrottleDrops++
+		g.mu.Unlock()
+		g.flowTrace.Load().Addf("gfw", "throttle-drop", "%s -> %s", pkt.Src, pkt.Dst)
+		return netsim.VerdictDrop
 	}
 
 	// Interference against classified circumvention flows.

@@ -362,6 +362,24 @@ func (h *LinkHandle) SetInspector(i Inspector) {
 	h.l.inspector = i
 }
 
+// Config returns the link's current characteristics.
+func (h *LinkHandle) Config() LinkConfig {
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
+	return h.l.cfg
+}
+
+// SetConfig replaces the link's characteristics. The per-packet path is
+// resolved (and the config copied) at send time under the network mutex,
+// so every packet sent after SetConfig returns experiences the new delay,
+// bandwidth, loss and jitter — the hook fault injectors use to impair a
+// live link mid-experiment. Packets already in flight are unaffected.
+func (h *LinkHandle) SetConfig(cfg LinkConfig) {
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
+	h.l.cfg = cfg
+}
+
 // Stats returns the traffic transmitted over the link so far (both
 // directions combined).
 func (h *LinkHandle) Stats() LinkStats {

@@ -21,9 +21,11 @@ package scholarcloud
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"scholarcloud/internal/experiments"
+	"scholarcloud/internal/faults"
 	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/obs"
 	"scholarcloud/internal/survey"
@@ -97,6 +99,42 @@ func (c *CacheOptions) Validate() error {
 	return nil
 }
 
+// FaultOptions arms a scripted fault scenario against the world — timed
+// loss bursts, latency spikes, bandwidth collapse, link flaps, GFW
+// reset-storm and throttling episodes, remote-proxy crashes — and
+// optionally turns on the client path's resilience layer. The script
+// executes on the virtual clock once a measurement starts (see
+// Simulation.MeasureFaults).
+type FaultOptions struct {
+	// Scenario names one of the scripted scenarios (faults.Scenarios()),
+	// e.g. "loss-burst" or "burst-loss+crash". Required.
+	Scenario string
+	// Resilience enables the domestic proxy's client-path resilience
+	// layer: per-dial and per-request deadlines, exponential reconnect
+	// backoff with deterministic jitter, and hedged retry/failover on a
+	// second fleet remote. False measures the historical fail-fast
+	// behaviour under the same faults.
+	Resilience bool
+}
+
+// Validate rejects nonsensical fault configurations.
+func (f *FaultOptions) Validate() error {
+	if f == nil {
+		return nil
+	}
+	if f.Scenario == "" {
+		return fmt.Errorf("scholarcloud: FaultOptions.Scenario is empty — omit the Faults block to run the healthy world (known scenarios: %s)", strings.Join(faults.Scenarios(), ", "))
+	}
+	if _, ok := faults.Script(f.Scenario); !ok {
+		return fmt.Errorf("scholarcloud: unknown fault scenario %q (known scenarios: %s)", f.Scenario, strings.Join(faults.Scenarios(), ", "))
+	}
+	return nil
+}
+
+// FaultScenarios lists the scripted fault scenarios FaultOptions.Scenario
+// accepts, in figure order.
+func FaultScenarios() []string { return faults.Scenarios() }
+
 // Options configures a Simulation.
 type Options struct {
 	// Seed drives every stochastic decision; equal seeds reproduce equal
@@ -114,51 +152,26 @@ type Options struct {
 	// Cache, when non-nil, runs the domestic proxy with a shared content
 	// cache of Cache.CapacityMB MiB.
 	Cache *CacheOptions
-
-	// FleetRemotes is a deprecated alias for Fleet.Remotes.
-	//
-	// Deprecated: set Fleet instead.
-	FleetRemotes int
-	// FleetSessionsPerRemote is a deprecated alias for
-	// Fleet.SessionsPerRemote.
-	//
-	// Deprecated: set Fleet instead.
-	FleetSessionsPerRemote int
+	// Faults, when non-nil, arms the named fault scenario (and,
+	// optionally, the client resilience layer). Nil keeps the healthy
+	// world and every figure byte-identical to the fault-free build.
+	Faults *FaultOptions
 }
 
-// fleet reconciles the nested Fleet block with the deprecated flat
-// aliases (the nested form wins when both are set).
-func (o Options) fleet() *FleetOptions {
-	if o.Fleet != nil {
-		return o.Fleet
-	}
-	if o.FleetRemotes != 0 || o.FleetSessionsPerRemote != 0 {
-		return &FleetOptions{
-			Remotes:           o.FleetRemotes,
-			SessionsPerRemote: o.FleetSessionsPerRemote,
+// Validate walks every nested option block (Fleet, Cache, Faults) and
+// returns the first configuration error. Each block's Validate is
+// nil-receiver safe, so the walk itself needs no per-block dispatch.
+func (o Options) Validate() error {
+	for _, block := range []interface{ Validate() error }{
+		o.Fleet,
+		o.Cache,
+		o.Faults,
+	} {
+		if err := block.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil
-}
-
-// Validate rejects nonsensical option combinations with descriptive
-// errors. Setting both the nested Fleet block and the deprecated flat
-// aliases is fine as long as they agree (callers migrating field by
-// field hit that state); disagreeing nonzero values are rejected so a
-// half-migrated config can't silently pick one of the two.
-func (o Options) Validate() error {
-	if o.Fleet != nil {
-		if o.FleetRemotes != 0 && o.FleetRemotes != o.Fleet.Remotes {
-			return fmt.Errorf("scholarcloud: conflicting fleet sizes: Options.Fleet.Remotes is %d but the deprecated FleetRemotes is %d — drop one or make them agree", o.Fleet.Remotes, o.FleetRemotes)
-		}
-		if o.FleetSessionsPerRemote != 0 && o.FleetSessionsPerRemote != o.Fleet.SessionsPerRemote {
-			return fmt.Errorf("scholarcloud: conflicting carrier-pool sizes: Options.Fleet.SessionsPerRemote is %d but the deprecated FleetSessionsPerRemote is %d — drop one or make them agree", o.Fleet.SessionsPerRemote, o.FleetSessionsPerRemote)
-		}
-	}
-	if err := o.fleet().Validate(); err != nil {
-		return err
-	}
-	return o.Cache.Validate()
 }
 
 // NewSimulation builds and starts the world. Close it when done. Invalid
@@ -174,13 +187,17 @@ func NewSimulation(opts Options) *Simulation {
 		ScholarCloudNoBlinding: opts.NoBlinding,
 		SSKeepAlive:            opts.SSKeepAlive,
 	}
-	if f := opts.fleet(); f != nil {
+	if f := opts.Fleet; f != nil {
 		cfg.FleetRemotes = f.Remotes
 		cfg.FleetSessionsPerRemote = f.SessionsPerRemote
 	}
 	if c := opts.Cache; c != nil {
 		cfg.CacheMB = c.CapacityMB
 		cfg.CacheTTL = c.TTL
+	}
+	if f := opts.Faults; f != nil {
+		cfg.FaultScenario = f.Scenario
+		cfg.Resilience = f.Resilience
 	}
 	return &Simulation{World: experiments.NewWorld(cfg)}
 }
@@ -246,12 +263,30 @@ type ScalabilityResult struct {
 	Obs     obs.Snapshot
 }
 
+// PartialError is returned by Measure* methods whose run failed partway:
+// it wraps the underlying failure and carries the observability delta
+// accumulated up to it, so a caller can still see how far the run got
+// (packets sent, resets taken, retries burned) before it died.
+type PartialError struct {
+	Err error
+	// Obs is the metrics delta from the measurement's start to the
+	// moment of failure.
+	Obs obs.Snapshot
+}
+
+// Error implements error.
+func (e *PartialError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *PartialError) Unwrap() error { return e.Err }
+
 // measure runs fn between two registry snapshots and stores the delta via
-// setObs.
+// setObs. A mid-run failure returns a PartialError carrying the delta up
+// to the failure instead of discarding it.
 func (s *Simulation) measure(fn func() error, setObs func(obs.Snapshot)) error {
 	before := s.World.Obs.Snapshot()
 	if err := fn(); err != nil {
-		return err
+		return &PartialError{Err: err, Obs: s.World.Obs.Snapshot().Sub(before)}
 	}
 	setObs(s.World.Obs.Snapshot().Sub(before))
 	return nil
@@ -365,6 +400,46 @@ func (s *Simulation) MeasureScalability(method string, clients, rounds int) (*Sc
 	return res, nil
 }
 
+// FaultsResult is a faults-under-load datapoint: ScholarCloud page loads
+// measured while the armed fault scenario executed.
+type FaultsResult struct {
+	Scenario   string
+	Resilience bool
+	Clients    int
+	PLT        Summary // seconds, successful visits only
+	Visits     int
+	Failed     int
+	// SuccessRate is the fraction of page loads that completed.
+	SuccessRate float64
+	Obs         obs.Snapshot
+}
+
+// MeasureFaults runs `clients` concurrent ScholarCloud clients for
+// `rounds` visit rounds while the scenario configured through
+// Options.Faults executes on the virtual clock. The simulation must have
+// been built with a Faults block.
+func (s *Simulation) MeasureFaults(clients, rounds int) (*FaultsResult, error) {
+	if s.World.Cfg.FaultScenario == "" {
+		return nil, fmt.Errorf("scholarcloud: MeasureFaults needs Options.Faults (known scenarios: %s)", strings.Join(faults.Scenarios(), ", "))
+	}
+	res := &FaultsResult{}
+	err := s.measure(func() error {
+		r, err := s.World.MeasureFaults(clients, rounds)
+		if err != nil {
+			return err
+		}
+		res.Scenario, res.Resilience = r.Scenario, r.Resilience
+		res.Clients, res.PLT = r.Clients, r.PLT
+		res.Visits, res.Failed = r.Visits, r.Failed
+		res.SuccessRate = r.SuccessRate()
+		return nil
+	}, func(sn obs.Snapshot) { res.Obs = sn })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // TracePageLoad performs one first-time page load through the named
 // method with a flow tracer attached to every layer and returns the
 // recorded per-hop trace.
@@ -375,63 +450,6 @@ func (s *Simulation) TracePageLoad(method string) (*obs.Trace, error) {
 	}
 	tr, _, err := s.World.TracePageLoad(f)
 	return tr, err
-}
-
-// PLT measures page load times as bare summaries.
-//
-// Deprecated: use MeasurePLT, which also carries the run's observability
-// snapshot.
-func (s *Simulation) PLT(method string, firstRuns, subsequent int) (first, sub Summary, err error) {
-	r, err := s.MeasurePLT(method, firstRuns, subsequent)
-	if err != nil {
-		return Summary{}, Summary{}, err
-	}
-	return r.FirstTime, r.Subsequent, nil
-}
-
-// RTT measures tunneled round-trip time as a bare summary.
-//
-// Deprecated: use MeasureRTT.
-func (s *Simulation) RTT(method string, probes int) (Summary, error) {
-	r, err := s.MeasureRTT(method, probes)
-	if err != nil {
-		return Summary{}, err
-	}
-	return r.RTT, nil
-}
-
-// PLR measures the packet loss rate as a bare float.
-//
-// Deprecated: use MeasurePLR.
-func (s *Simulation) PLR(method string, visits int) (float64, error) {
-	r, err := s.MeasurePLR(method, visits)
-	if err != nil {
-		return 0, err
-	}
-	return r.PLR, nil
-}
-
-// Traffic measures per-access client bytes as a bare float.
-//
-// Deprecated: use MeasureTraffic.
-func (s *Simulation) Traffic(method string, visits int) (float64, error) {
-	r, err := s.MeasureTraffic(method, visits)
-	if err != nil {
-		return 0, err
-	}
-	return r.BytesPerAccess, nil
-}
-
-// Scalability measures mean PLT under n concurrent clients as a bare
-// tuple.
-//
-// Deprecated: use MeasureScalability.
-func (s *Simulation) Scalability(method string, clients, rounds int) (Summary, int, error) {
-	r, err := s.MeasureScalability(method, clients, rounds)
-	if err != nil {
-		return Summary{}, 0, err
-	}
-	return r.PLT, r.Failed, nil
 }
 
 // RotateBlinding switches ScholarCloud's blinding scheme on both proxies

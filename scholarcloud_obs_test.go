@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMeasureMethodsCarryObs exercises every redesigned measurement
@@ -157,16 +158,20 @@ func TestOptionsValidate(t *testing.T) {
 		{"zero", Options{}, ""},
 		{"nil fleet", Options{Fleet: nil}, ""},
 		{"valid fleet", Options{Fleet: &FleetOptions{Remotes: 3, SessionsPerRemote: 2}}, ""},
-		{"flat alias", Options{FleetRemotes: 2}, ""},
 		{"negative remotes", Options{Fleet: &FleetOptions{Remotes: -1}}, "Remotes is negative"},
 		{"negative sessions", Options{Fleet: &FleetOptions{Remotes: 1, SessionsPerRemote: -4}}, "SessionsPerRemote is negative"},
 		{"sessions without remotes", Options{Fleet: &FleetOptions{SessionsPerRemote: 2}}, "Remotes is zero"},
-		{"flat sessions without remotes", Options{FleetSessionsPerRemote: 2}, "Remotes is zero"},
-		{"both forms agreeing", Options{Fleet: &FleetOptions{Remotes: 1}, FleetRemotes: 1}, ""},
-		{"both forms agreeing full", Options{Fleet: &FleetOptions{Remotes: 2, SessionsPerRemote: 3}, FleetRemotes: 2, FleetSessionsPerRemote: 3}, ""},
-		{"flat zero with fleet", Options{Fleet: &FleetOptions{Remotes: 4}}, ""},
-		{"conflicting remotes", Options{Fleet: &FleetOptions{Remotes: 2}, FleetRemotes: 5}, "conflicting fleet sizes"},
-		{"conflicting sessions", Options{Fleet: &FleetOptions{Remotes: 2, SessionsPerRemote: 1}, FleetSessionsPerRemote: 4}, "conflicting carrier-pool sizes"},
+		{"valid cache", Options{Cache: &CacheOptions{CapacityMB: 8}}, ""},
+		{"empty cache block", Options{Cache: &CacheOptions{}}, "CapacityMB must be positive"},
+		{"valid faults", Options{Faults: &FaultOptions{Scenario: "loss-burst"}}, ""},
+		{"valid faults with resilience", Options{Faults: &FaultOptions{Scenario: "burst-loss+crash", Resilience: true}}, ""},
+		{"empty faults block", Options{Faults: &FaultOptions{}}, "Scenario is empty"},
+		{"unknown fault scenario", Options{Faults: &FaultOptions{Scenario: "earthquake"}}, "unknown fault scenario"},
+		{"all blocks valid", Options{
+			Fleet:  &FleetOptions{Remotes: 2},
+			Cache:  &CacheOptions{CapacityMB: 4},
+			Faults: &FaultOptions{Scenario: "link-flap", Resilience: true},
+		}, ""},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate()
@@ -195,43 +200,33 @@ func TestNewSimulationPanicsOnInvalidOptions(t *testing.T) {
 	NewSimulation(Options{Fleet: &FleetOptions{Remotes: -2}})
 }
 
-// TestDeprecatedFlatFleetOptions checks the flat aliases still build a
-// fleet-backed world.
-func TestDeprecatedFlatFleetOptions(t *testing.T) {
-	sim := NewSimulation(Options{Seed: 13, FleetRemotes: 2})
-	defer sim.Close()
-	if sim.World.Fleet == nil {
-		t.Fatal("flat FleetRemotes did not build a fleet")
+// TestConflictingOptionsRejected checks NewSimulation refuses every
+// self-contradictory nested-block combination with a descriptive panic —
+// carrier pools without a fleet to own them, a cache block with no
+// budget, a fault block naming no scenario.
+func TestConflictingOptionsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the panic message
+	}{
+		{"sessions without remotes", Options{Fleet: &FleetOptions{SessionsPerRemote: 3}}, "Remotes is zero"},
+		{"cache without capacity", Options{Cache: &CacheOptions{TTL: time.Minute}}, "CapacityMB must be positive"},
+		{"faults without scenario", Options{Faults: &FaultOptions{Resilience: true}}, "Scenario is empty"},
+		{"unknown fault scenario", Options{Faults: &FaultOptions{Scenario: "tsunami"}}, "unknown fault scenario"},
 	}
-}
-
-// TestAgreeingFlatAndNestedFleetOptions checks a half-migrated config —
-// nested Fleet plus flat aliases carrying the same values — still builds
-// (the nested form wins; nothing to disagree about).
-func TestAgreeingFlatAndNestedFleetOptions(t *testing.T) {
-	sim := NewSimulation(Options{
-		Seed:         13,
-		Fleet:        &FleetOptions{Remotes: 2},
-		FleetRemotes: 2,
-	})
-	defer sim.Close()
-	if sim.World.Fleet == nil {
-		t.Fatal("agreeing flat+nested options did not build a fleet")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("NewSimulation accepted %+v", tc.opts)
+				}
+				if !strings.Contains(r.(error).Error(), tc.want) {
+					t.Errorf("panic = %v, want substring %q", r, tc.want)
+				}
+			}()
+			NewSimulation(tc.opts)
+		})
 	}
-}
-
-// TestConflictingFleetOptionsPanic checks NewSimulation refuses
-// disagreeing nonzero flat/nested fleet fields instead of silently
-// preferring one.
-func TestConflictingFleetOptionsPanic(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("NewSimulation accepted conflicting fleet sizes")
-		}
-		if !strings.Contains(r.(error).Error(), "conflicting") {
-			t.Errorf("panic = %v", r)
-		}
-	}()
-	NewSimulation(Options{Fleet: &FleetOptions{Remotes: 2}, FleetRemotes: 5})
 }

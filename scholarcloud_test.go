@@ -22,42 +22,42 @@ func TestSimulationFacade(t *testing.T) {
 		}
 	}
 
-	first, sub, err := sim.PLT("scholarcloud", 1, 2)
+	plt, err := sim.MeasurePLT("scholarcloud", 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first.Mean <= sub.Mean {
-		t.Errorf("first PLT %v not above subsequent %v", first.Mean, sub.Mean)
+	if plt.FirstTime.Mean <= plt.Subsequent.Mean {
+		t.Errorf("first PLT %v not above subsequent %v", plt.FirstTime.Mean, plt.Subsequent.Mean)
 	}
-	if sub.Mean <= 0 || sub.Mean > 5 {
-		t.Errorf("subsequent PLT = %v s", sub.Mean)
+	if plt.Subsequent.Mean <= 0 || plt.Subsequent.Mean > 5 {
+		t.Errorf("subsequent PLT = %v s", plt.Subsequent.Mean)
 	}
 
-	rtt, err := sim.RTT("native-vpn", 4)
+	rtt, err := sim.MeasureRTT("native-vpn", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rtt.Mean < 0.1 || rtt.Mean > 0.4 {
-		t.Errorf("VPN RTT = %v s", rtt.Mean)
+	if rtt.RTT.Mean < 0.1 || rtt.RTT.Mean > 0.4 {
+		t.Errorf("VPN RTT = %v s", rtt.RTT.Mean)
 	}
 
-	if _, err := sim.PLR("direct-us", 2); err != nil {
+	if _, err := sim.MeasurePLR("direct-us", 2); err != nil {
 		t.Fatal(err)
 	}
 
-	kb, err := sim.Traffic("scholarcloud", 2)
+	tr, err := sim.MeasureTraffic("scholarcloud", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kb < 10*1024 || kb > 40*1024 {
-		t.Errorf("traffic = %v bytes/access", kb)
+	if tr.BytesPerAccess < 10*1024 || tr.BytesPerAccess > 40*1024 {
+		t.Errorf("traffic = %v bytes/access", tr.BytesPerAccess)
 	}
 }
 
 func TestSimulationUnknownMethod(t *testing.T) {
 	sim := NewSimulation(Options{Seed: 13})
 	defer sim.Close()
-	_, _, err := sim.PLT("carrier-pigeon", 1, 1)
+	_, err := sim.MeasurePLT("carrier-pigeon", 1, 1)
 	var ue *UnknownMethodError
 	if !errors.As(err, &ue) || ue.Method != "carrier-pigeon" {
 		t.Errorf("err = %v", err)
@@ -67,15 +67,15 @@ func TestSimulationUnknownMethod(t *testing.T) {
 func TestSimulationScalabilityFacade(t *testing.T) {
 	sim := NewSimulation(Options{Seed: 13})
 	defer sim.Close()
-	plt, failed, err := sim.Scalability("scholarcloud", 5, 1)
+	p, err := sim.MeasureScalability("scholarcloud", 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if failed != 0 {
-		t.Errorf("%d failed visits", failed)
+	if p.Failed != 0 {
+		t.Errorf("%d failed visits", p.Failed)
 	}
-	if plt.Mean <= 0 {
-		t.Errorf("PLT = %v", plt.Mean)
+	if p.PLT.Mean <= 0 {
+		t.Errorf("PLT = %v", p.PLT.Mean)
 	}
 }
 
@@ -89,7 +89,7 @@ func TestSurveyFigure(t *testing.T) {
 func TestNoBlindingOptionPropagates(t *testing.T) {
 	sim := NewSimulation(Options{Seed: 13, NoBlinding: true})
 	defer sim.Close()
-	_, _, err := sim.PLT("scholarcloud", 1, 1)
+	_, err := sim.MeasurePLT("scholarcloud", 1, 1)
 	if err == nil {
 		t.Error("unblinded simulation should fail against the keyword filter")
 	}
@@ -99,7 +99,7 @@ func TestRotateBlindingFacade(t *testing.T) {
 	sim := NewSimulation(Options{Seed: 13})
 	defer sim.Close()
 	sim.RotateBlinding(4)
-	if _, _, err := sim.PLT("scholarcloud", 1, 1); err != nil {
+	if _, err := sim.MeasurePLT("scholarcloud", 1, 1); err != nil {
 		t.Fatalf("post-rotation PLT failed: %v", err)
 	}
 }
@@ -107,18 +107,18 @@ func TestRotateBlindingFacade(t *testing.T) {
 func TestSSKeepAliveOption(t *testing.T) {
 	longKA := NewSimulation(Options{Seed: 13, SSKeepAlive: 10 * time.Minute})
 	defer longKA.Close()
-	_, subLong, err := longKA.PLT("shadowsocks", 1, 3)
+	longRes, err := longKA.MeasurePLT("shadowsocks", 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	std := NewSimulation(Options{Seed: 13})
 	defer std.Close()
-	_, subStd, err := std.PLT("shadowsocks", 1, 3)
+	stdRes, err := std.MeasurePLT("shadowsocks", 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// With a long keep-alive, subsequent visits skip re-authentication.
-	if subLong.Mean >= subStd.Mean {
-		t.Errorf("long keep-alive PLT %v not below default %v", subLong.Mean, subStd.Mean)
+	if longRes.Subsequent.Mean >= stdRes.Subsequent.Mean {
+		t.Errorf("long keep-alive PLT %v not below default %v", longRes.Subsequent.Mean, stdRes.Subsequent.Mean)
 	}
 }
