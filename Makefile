@@ -70,6 +70,10 @@ determinism:
 	@/tmp/scholarbench-gate -fig faults -parallel 1 > /tmp/scholarbench-faults-p1.txt
 	@cmp /tmp/scholarbench-faults-p1.txt /tmp/scholarbench-faults-p3.txt && \
 		echo "determinism gate: -fig faults byte-identical at -parallel 1 and -parallel 3"
+	@/tmp/scholarbench-gate -fig transports -parallel 1 > /tmp/scholarbench-transports-p1.txt
+	@/tmp/scholarbench-gate -fig transports -parallel 3 > /tmp/scholarbench-transports-p3.txt
+	@cmp /tmp/scholarbench-transports-p1.txt /tmp/scholarbench-transports-p3.txt && \
+		echo "determinism gate: -fig transports byte-identical at -parallel 1 and -parallel 3"
 
 ## figures: regenerate the paper's figures (quick sampling).
 figures:

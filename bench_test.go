@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"scholarcloud/internal/blinding"
+	"scholarcloud/internal/carrier"
 	"scholarcloud/internal/experiments"
 	"scholarcloud/internal/survey"
 )
@@ -230,6 +231,37 @@ func BenchmarkFaultsResilience(b *testing.B) {
 					Resilience:    resil,
 				})
 				r, err := w.MeasureFaults(24, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				success = r.SuccessRate()
+				w.Close()
+			}
+			b.ReportMetric(success*100, "%success")
+		})
+	}
+}
+
+// BenchmarkTransportLadder runs the acceptance scenario of the
+// transports figure — the censor whitelist-blocking every protocol the
+// blinded carrier's wire image can land on — against an open censor
+// baseline, reporting the page-load success rate the escalation ladder
+// preserves at each stage.
+func BenchmarkTransportLadder(b *testing.B) {
+	for _, stage := range []string{"open", "fingerprint"} {
+		stage := stage
+		b.Run(stage, func(b *testing.B) {
+			st, ok := experiments.TransportStageByName(stage)
+			if !ok {
+				b.Fatalf("unknown censor stage %q", stage)
+			}
+			var success float64
+			for i := 0; i < b.N; i++ {
+				w := figureWorld(b, experiments.Config{
+					Transports: carrier.Known(),
+					Resilience: true,
+				})
+				r, err := w.MeasureTransports(st, 12, 1)
 				if err != nil {
 					b.Fatal(err)
 				}

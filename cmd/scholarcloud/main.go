@@ -12,6 +12,12 @@
 //	    -whitelist scholar.google.com,accounts.google.com \
 //	    -public proxy.example.com:8118
 //
+// A domestic proxy can run a carrier escalation ladder instead of a
+// fixed remote: -transports lists name=host:port rungs fastest first
+// (blinded, rendezvous, dns-tunnel); the proxy prefers the lowest
+// healthy rung, escalates on sustained transport failure, and probes
+// back down when the rung below recovers.
+//
 // Users configure their browser with http://<domestic>/pac — the single
 // setting ScholarCloud requires.
 package main
@@ -86,6 +92,7 @@ func runDomestic(args []string) {
 	web := fs.String("web", ":8080", "PAC/whitelist web address")
 	admin := fs.String("admin", "", "admin address serving /metrics and /healthz (empty = disabled)")
 	remote := fs.String("remote", "", "remote proxy host:port (comma-separate several to run them as a managed fleet)")
+	transports := fs.String("transports", "", "carrier escalation ladder: comma-separated name=host:port rungs, fastest first, e.g. blinded=r.example:8443,rendezvous=gw.example:443,dns-tunnel=127.0.0.1:5353 (replaces -remote)")
 	sessions := fs.Int("sessions", 0, "pre-dialed carrier sessions per fleet remote (0 = default)")
 	secret := fs.String("secret", "", "blinding secret shared with the remote proxy")
 	epoch := fs.Uint64("epoch", 0, "blinding epoch")
@@ -98,16 +105,23 @@ func runDomestic(args []string) {
 	dialTimeout := fs.Duration("dial-timeout", 0, "resilience per-dial deadline (0 = default 3s; needs -resilient)")
 	requestTimeout := fs.Duration("request-timeout", 0, "resilience per-request deadline (0 = default 30s; needs -resilient)")
 	fs.Parse(args)
-	if *secret == "" || *remote == "" {
-		fmt.Fprintln(os.Stderr, "domestic: -secret and -remote are required")
+	if *secret == "" || (*remote == "" && *transports == "") {
+		fmt.Fprintln(os.Stderr, "domestic: -secret and one of -remote or -transports are required")
 		os.Exit(2)
 	}
-	remotes := strings.Split(*remote, ",")
+	var remotes, rungs []string
+	if *remote != "" {
+		remotes = strings.Split(*remote, ",")
+	}
+	if *transports != "" {
+		rungs = strings.Split(*transports, ",")
+	}
 	d, err := scholarcloud.StartDomestic(scholarcloud.DomesticConfig{
 		ProxyListen:       *listen,
 		WebListen:         *web,
 		AdminListen:       *admin,
 		RemoteAddrs:       remotes,
+		Transports:        rungs,
 		SessionsPerRemote: *sessions,
 		Secret:            []byte(*secret),
 		Epoch:             *epoch,
@@ -128,6 +142,9 @@ func runDomestic(args []string) {
 		d.ProxyAddr(), d.WebAddr())
 	if a := d.AdminAddr(); a != nil {
 		fmt.Printf("admin endpoints at http://%s/metrics and /healthz\n", a)
+	}
+	if t := d.ActiveTransport(); t != "" {
+		fmt.Printf("transport ladder active rung: %s\n", t)
 	}
 	waitForInterrupt()
 }

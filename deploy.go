@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"scholarcloud/internal/cache"
+	"scholarcloud/internal/carrier"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
@@ -192,6 +194,15 @@ type DomesticConfig struct {
 	// CacheTTL overrides the cache's heuristic freshness lifetime (zero
 	// selects the cache package default, 60 s).
 	CacheTTL time.Duration
+	// Transports, when non-empty, replaces RemoteAddr/RemoteAddrs with an
+	// escalation ladder of carrier rungs. Each entry is "name=host:port":
+	// the rung's canonical transport name (see TransportNames) and the
+	// address of its entry point — the remote proxy itself for the blinded
+	// rung, a rendezvous gateway or tunnel daemon for the others. Rungs are
+	// listed fastest (most blockable) first; the proxy prefers the lowest
+	// healthy rung, escalates on sustained transport failure, and probes
+	// back down when the rung below recovers.
+	Transports []string
 	// Resilience, when true, runs the client path under the resilience
 	// policy: per-dial and per-request deadlines, exponential reconnect
 	// backoff with deterministic jitter, and hedged retry/failover across
@@ -216,10 +227,39 @@ func (cfg DomesticConfig) remotes() []string {
 	return nil
 }
 
+// transportRungs parses Transports entries ("name=host:port") into
+// ladder rungs over real TCP sockets, in listed order.
+func transportRungs(specs []string, wrap carrier.WrapFunc) ([]carrier.Transport, error) {
+	known := make(map[string]bool)
+	for _, n := range carrier.Known() {
+		known[n] = true
+	}
+	seen := make(map[string]bool)
+	var rungs []carrier.Transport
+	for _, spec := range specs {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("scholarcloud: transport %q: want \"name=host:port\"", spec)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("scholarcloud: unknown transport %q (known: %s)",
+				name, strings.Join(carrier.Known(), ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("scholarcloud: duplicate transport %q", name)
+		}
+		seen[name] = true
+		rungs = append(rungs, carrier.NewStatic(name,
+			func() (net.Conn, error) { return net.Dial("tcp", addr) }, wrap))
+	}
+	return rungs, nil
+}
+
 // DomesticProxy is a running domestic proxy.
 type DomesticProxy struct {
 	domestic *core.Domestic
 	pool     *fleet.Pool
+	ladder   *carrier.Ladder
 	proxy    *httpsim.Proxy
 	proxyLn  net.Listener
 	webLn    net.Listener
@@ -258,10 +298,22 @@ func (d *DomesticProxy) FleetStats() fleet.Stats {
 	return d.pool.Stats()
 }
 
+// ActiveTransport reports the escalation ladder's active rung, or ""
+// when the proxy was not configured with Transports.
+func (d *DomesticProxy) ActiveTransport() string {
+	if d.ladder == nil {
+		return ""
+	}
+	return d.ladder.ActiveName()
+}
+
 // Close shuts the proxy down. Nil fields are skipped so a partially
 // started proxy (an error exit inside StartDomestic) can reuse it as its
 // cleanup path.
 func (d *DomesticProxy) Close() {
+	if d.ladder != nil {
+		d.ladder.Close()
+	}
 	if d.pool != nil {
 		d.pool.Close()
 	}
@@ -285,8 +337,11 @@ func (d *DomesticProxy) Close() {
 // one-member pool.
 func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	addrs := cfg.remotes()
-	if len(addrs) == 0 {
-		return nil, errors.New("scholarcloud: DomesticConfig needs RemoteAddr or RemoteAddrs")
+	if len(addrs) == 0 && len(cfg.Transports) == 0 {
+		return nil, errors.New("scholarcloud: DomesticConfig needs RemoteAddr, RemoteAddrs, or Transports")
+	}
+	if len(addrs) > 0 && len(cfg.Transports) > 0 {
+		return nil, errors.New("scholarcloud: RemoteAddrs and Transports are mutually exclusive — each transport entry names its own entry point")
 	}
 	env := netx.RealEnv()
 	public := cfg.PublicProxyAddr
@@ -295,10 +350,7 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	}
 	policy := pac.New(public, cfg.Whitelist)
 	domestic := &core.Domestic{
-		Env: env,
-		DialRemote: func() (net.Conn, error) {
-			return net.Dial("tcp", addrs[0])
-		},
+		Env:       env,
 		Secret:    cfg.Secret,
 		Epoch:     cfg.Epoch,
 		Whitelist: policy,
@@ -327,20 +379,48 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	reg := obs.NewRegistry()
 	domestic.Instrument(reg)
 
-	var eps []fleet.Endpoint
-	for _, addr := range addrs {
-		addr := addr
-		eps = append(eps, fleet.Endpoint{
-			Name: addr,
-			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
-		})
+	var (
+		eps    []fleet.Endpoint
+		ladder *carrier.Ladder
+	)
+	if len(cfg.Transports) > 0 {
+		rungs, err := transportRungs(cfg.Transports, domestic.WrapCarrier)
+		if err != nil {
+			return nil, err
+		}
+		ladder = carrier.NewLadder(carrier.LadderConfig{Env: env}, rungs...)
+		ladder.Instrument(reg)
+		// The non-fleet fallback path dials whatever rung is active.
+		domestic.DialRemote = func() (net.Conn, error) { return ladder.Active().Dial() }
+		domestic.NextTransport = ladder.NextName
+		for _, tr := range rungs {
+			eps = append(eps, fleet.Endpoint{
+				Name:      tr.Name(),
+				Transport: tr.Name(),
+				Dial:      tr.Dial,
+			})
+		}
+	} else {
+		domestic.DialRemote = func() (net.Conn, error) { return net.Dial("tcp", addrs[0]) }
+		for _, addr := range addrs {
+			addr := addr
+			eps = append(eps, fleet.Endpoint{
+				Name: addr,
+				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			})
+		}
 	}
 	fcfg := fleet.Config{
 		Env:               env,
 		NewSession:        domestic.WrapCarrier,
 		SessionsPerRemote: cfg.SessionsPerRemote,
 	}
-	if cfg.Resilience {
+	if ladder != nil {
+		fcfg.Escalate = ladder
+	}
+	// A censor-blackholed transport's dials would hang the pool's warmer
+	// for the full TCP retry schedule, so a ladder always bounds them.
+	if cfg.Resilience || ladder != nil {
 		fcfg.DialTimeout = cfg.DialTimeout
 		if fcfg.DialTimeout <= 0 {
 			fcfg.DialTimeout = 3 * time.Second
@@ -352,11 +432,14 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	}
 	pool.Instrument(reg)
 	domestic.Fleet = pool
+	if ladder != nil {
+		ladder.Start()
+	}
 
 	// From here on every resource lives in p, so error exits close the
 	// partial proxy as a unit rather than maintaining parallel cleanup
 	// chains that drift as resources are added.
-	p := &DomesticProxy{domestic: domestic, pool: pool, policy: policy}
+	p := &DomesticProxy{domestic: domestic, pool: pool, ladder: ladder, policy: policy}
 	p.proxyLn, err = net.Listen("tcp", cfg.ProxyListen)
 	if err != nil {
 		p.Close()

@@ -456,3 +456,114 @@ func TestRealSocketCoordinatedRotation(t *testing.T) {
 		t.Fatalf("epoch 1: %v", err)
 	}
 }
+
+// TestRealSocketTransportLadder runs the domestic proxy with a carrier
+// escalation ladder instead of a fixed remote: a single blinded rung
+// pointing at the real-socket remote proxy. Page loads flow through the
+// transport-labeled fleet endpoint and the ladder reports its rung.
+func TestRealSocketTransportLadder(t *testing.T) {
+	origin := startOrigin(t, "ladder-carried content")
+	originHost, originPort, _ := strings.Cut(origin, ":")
+
+	secret := []byte("deployment-secret")
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		Transports:  []string{"blinded=" + remote.Addr().String()},
+		Secret:      secret,
+		Whitelist:   []string{originHost},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	if got := domestic.ActiveTransport(); got != "blinded" {
+		t.Fatalf("ActiveTransport = %q, want %q", got, "blinded")
+	}
+
+	conn, err := net.DialTimeout("tcp", domestic.ProxyAddr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "CONNECT %s HTTP/1.1\r\nHost: %s\r\n\r\n", origin, origin)
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("CONNECT status = %q", status)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+	fmt.Fprintf(conn, "GET /paper HTTP/1.1\r\nHost: %s:%s\r\n\r\n", originHost, originPort)
+	resp, err := httpsim.ReadResponse(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "ladder-carried content" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+// TestStartDomesticTransportValidation checks the Transports entry
+// parser and its interaction with the legacy remote fields.
+func TestStartDomesticTransportValidation(t *testing.T) {
+	secret := []byte("s")
+	base := func() DomesticConfig {
+		return DomesticConfig{
+			ProxyListen: "127.0.0.1:0",
+			WebListen:   "127.0.0.1:0",
+			Secret:      secret,
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*DomesticConfig)
+		want string
+	}{
+		{"neither", func(*DomesticConfig) {}, "needs RemoteAddr"},
+		{"both", func(c *DomesticConfig) {
+			c.RemoteAddr = "127.0.0.1:1"
+			c.Transports = []string{"blinded=127.0.0.1:1"}
+		}, "mutually exclusive"},
+		{"malformed", func(c *DomesticConfig) {
+			c.Transports = []string{"blinded"}
+		}, `want "name=host:port"`},
+		{"unknown", func(c *DomesticConfig) {
+			c.Transports = []string{"warp-drive=127.0.0.1:1"}
+		}, "unknown transport"},
+		{"duplicate", func(c *DomesticConfig) {
+			c.Transports = []string{"blinded=127.0.0.1:1", "blinded=127.0.0.1:2"}
+		}, "duplicate transport"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			d, err := StartDomestic(cfg)
+			if err == nil {
+				d.Close()
+				t.Fatalf("StartDomestic accepted %+v", cfg.Transports)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -33,3 +33,11 @@ func (c *Conn) Write(b []byte) (int, error) {
 	c.enc.Apply(out, b)
 	return c.Conn.Write(out)
 }
+
+// WriteBlocksManaged forwards the managed-write marker of the wrapped
+// connection (see mux.managedWriteConn): blinding adds pure CPU work, so
+// the write's blocking character is whatever the carrier's is.
+func (c *Conn) WriteBlocksManaged() bool {
+	mc, ok := c.Conn.(interface{ WriteBlocksManaged() bool })
+	return ok && mc.WriteBlocksManaged()
+}

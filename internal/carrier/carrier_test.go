@@ -1,0 +1,347 @@
+package carrier
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/mux"
+	"scholarcloud/internal/netsim"
+	"scholarcloud/internal/netx"
+	"scholarcloud/internal/tlssim"
+)
+
+const (
+	testDomain  = "cdn-sync.example"
+	testEchoIP  = "203.0.113.10"
+	testAuthIP  = "203.0.113.20"
+	testRelayIP = "203.0.113.3"
+)
+
+// carrierWorld is a small simulated internet: a domestic client, an echo
+// origin, a DNS-tunnel authority plus relays, and rendezvous gateways.
+type carrierWorld struct {
+	n      *netsim.Network
+	env    netx.Env
+	us     *netsim.Zone
+	client *netsim.Host
+	echo   *netsim.Host
+}
+
+func newCarrierWorld(t *testing.T, loss float64) *carrierWorld {
+	t.Helper()
+	n := netsim.New(23)
+	t.Cleanup(n.Stop)
+	cn := n.AddZone("cn")
+	us := n.AddZone("us")
+	n.Connect(cn, us, netsim.LinkConfig{Delay: 70 * time.Millisecond, BaseLoss: loss})
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+	w := &carrierWorld{
+		n:      n,
+		env:    n.Env(),
+		us:     us,
+		client: n.AddHost("client", "101.6.6.6", cn, acc),
+		echo:   n.AddHost("echo", testEchoIP, us, acc),
+	}
+	ln, err := w.echo.Listen("tcp", ":7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.Scheduler().Go(func() { defer conn.Close(); io.Copy(conn, conn) })
+		}
+	})
+	return w
+}
+
+func (w *carrierWorld) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	w.n.Scheduler().Go(func() { done <- fn() })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestTunnelEchoThroughRelays(t *testing.T) {
+	w := newCarrierWorld(t, 0)
+	tun := buildTunnel(t, w, 3, TunnelConfig{})
+	w.run(t, func() error {
+		conn, err := tun.Dial()
+		if err != nil {
+			return fmt.Errorf("dial: %w", err)
+		}
+		defer conn.Close()
+		// Big enough to need several upstream chunks and several
+		// downstream TXT answers.
+		msg := bytes.Repeat([]byte("tunnel me \xff\x00"), 120)
+		if _, err := conn.Write(msg); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return fmt.Errorf("read: %w", err)
+		}
+		if !bytes.Equal(got, msg) {
+			return fmt.Errorf("echo mismatch: %d/%d bytes differ", diffCount(got, msg), len(msg))
+		}
+		return nil
+	})
+	if tun.UpMTU() < 100 || tun.UpMTU() > 200 {
+		t.Fatalf("upstream MTU %d outside the ~150-byte design point", tun.UpMTU())
+	}
+}
+
+func TestTunnelSurvivesDatagramLoss(t *testing.T) {
+	w := newCarrierWorld(t, 0.25) // heavy border loss: retransmits must save it
+	tun := buildTunnel(t, w, 3, TunnelConfig{})
+	w.run(t, func() error {
+		conn, err := tun.Dial()
+		if err != nil {
+			return fmt.Errorf("dial: %w", err)
+		}
+		defer conn.Close()
+		msg := bytes.Repeat([]byte{0xAB, 0x00, 0x7F}, 400)
+		if _, err := conn.Write(msg); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return fmt.Errorf("read: %w", err)
+		}
+		if !bytes.Equal(got, msg) {
+			return fmt.Errorf("echo corrupted under loss")
+		}
+		return nil
+	})
+	if tun.retransmits.Value() == 0 {
+		t.Fatal("expected retransmissions under heavy loss")
+	}
+}
+
+// buildTunnel wires the authoritative server, nRelays relays, and the
+// client transport into w.
+func buildTunnel(t *testing.T, w *carrierWorld, nRelays int, cfg TunnelConfig) *Tunnel {
+	t.Helper()
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+
+	auth := w.n.AddHost("tunnel-auth", testAuthIP, w.us, acc)
+	srv := NewTunnelServer(TunnelServerConfig{
+		Env:     w.env,
+		Domain:  testDomain,
+		Backend: func() (net.Conn, error) { return auth.DialTCP(testEchoIP + ":7") },
+	})
+	apc, err := auth.ListenPacket(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.n.Scheduler().Go(func() { srv.Serve(apc) })
+
+	var resolvers []string
+	for i := 0; i < nRelays; i++ {
+		ip := fmt.Sprintf("%s%d", testRelayIP, i)
+		relay := w.n.AddHost(fmt.Sprintf("relay%d", i), ip, w.us, acc)
+		pc, err := relay.ListenPacket(53)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.n.Scheduler().Go(func() {
+			ServeRelay(w.env, pc, relay, testAuthIP+":53", 3*time.Second)
+		})
+		resolvers = append(resolvers, ip+":53")
+	}
+
+	cfg.Env = w.env
+	cfg.Dialer = w.client
+	cfg.Resolvers = resolvers
+	cfg.Domain = testDomain
+	cfg.Seed = 23
+	return NewTunnel(cfg)
+}
+
+func diffCount(a, b []byte) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+func TestRendezvousRotatesPastDeadEndpoints(t *testing.T) {
+	w := newCarrierWorld(t, 0)
+	acc := netsim.LinkConfig{Delay: 2 * time.Millisecond}
+
+	// Four pool addresses; only the last one actually serves.
+	var pool []string
+	for i := 0; i < 4; i++ {
+		ip := fmt.Sprintf("203.0.113.4%d", i)
+		pool = append(pool, ip+":443")
+		host := w.n.AddHost(fmt.Sprintf("gw%d", i), ip, w.us, acc)
+		if i != 3 {
+			continue
+		}
+		ln, err := host.Listen("tcp", ":443")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tln := tlssim.NewListener(ln, tlssim.Config{Certificate: []byte("gw-cert")})
+		w.n.Scheduler().Go(func() {
+			ServeGateway(w.env, tln, func() (net.Conn, error) {
+				return host.DialTCP(testEchoIP + ":7")
+			})
+		})
+	}
+
+	invoked := 0
+	rdv := NewRendezvous(RendezvousConfig{
+		Env:       w.env,
+		Endpoints: pool,
+		Dial:      func(addr string) (net.Conn, error) { return w.client.DialTCP(addr) },
+		SNI:       "fn.cloudapi.example",
+		Seed:      23,
+		OnInvoke:  func() { invoked++ },
+		ColdStart: 50 * time.Millisecond,
+		Attempts:  4,
+	})
+	w.run(t, func() error {
+		conn, err := rdv.Dial()
+		if err != nil {
+			return fmt.Errorf("dial: %w", err)
+		}
+		defer conn.Close()
+		msg := []byte("rendezvous echo")
+		if _, err := conn.Write(msg); err != nil {
+			return err
+		}
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			return fmt.Errorf("echo = %q", got)
+		}
+		return nil
+	})
+	if invoked == 0 || rdv.Invocations() != int64(invoked) {
+		t.Fatalf("invocation metering broken: hook=%d counter=%d", invoked, rdv.Invocations())
+	}
+	if rdv.Invocations() < 2 {
+		t.Fatalf("expected rotation past dead endpoints, got %d invocations", rdv.Invocations())
+	}
+}
+
+func TestLadderEscalatesAndRecovers(t *testing.T) {
+	w := newCarrierWorld(t, 0)
+
+	// A live mux peer so recovery probes can complete an RTT echo.
+	ln, err := w.echo.Listen("tcp", ":8443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.n.Scheduler().Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mux.NewSession(conn, w.env, nil)
+		}
+	})
+
+	var mu sync.Mutex
+	blocked := true
+	wrap := func(raw net.Conn) *mux.Session { return mux.NewSession(raw, w.env, nil) }
+	fast := NewStatic("fast", func() (net.Conn, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if blocked {
+			return nil, fmt.Errorf("reset by censor")
+		}
+		return w.client.DialTCP(testEchoIP + ":8443")
+	}, wrap)
+	slow := NewStatic("slow", func() (net.Conn, error) {
+		return w.client.DialTCP(testEchoIP + ":8443")
+	}, wrap)
+
+	var switches []string
+	l := NewLadder(LadderConfig{
+		Env:           w.env,
+		TripAfter:     3,
+		ProbeInterval: 200 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		OnSwitch: func(from, to, reason string) {
+			mu.Lock()
+			switches = append(switches, from+"->"+to)
+			mu.Unlock()
+		},
+	}, fast, slow)
+	l.Start()
+	defer l.Close()
+
+	w.run(t, func() error {
+		if l.ActiveName() != "fast" {
+			return fmt.Errorf("start rung = %s", l.ActiveName())
+		}
+		// Failures against the wrong rung must not count.
+		l.RecordFailure("slow")
+		l.RecordFailure("slow")
+		l.RecordFailure("slow")
+		if l.ActiveName() != "fast" {
+			return fmt.Errorf("foreign failures escalated the ladder")
+		}
+		// A success resets the streak.
+		l.RecordFailure("fast")
+		l.RecordFailure("fast")
+		l.RecordSuccess("fast")
+		l.RecordFailure("fast")
+		l.RecordFailure("fast")
+		if l.ActiveName() != "fast" {
+			return fmt.Errorf("escalated before TripAfter consecutive failures")
+		}
+		l.RecordFailure("fast")
+		if l.ActiveName() != "slow" {
+			return fmt.Errorf("no escalation after sustained failure")
+		}
+		if l.NextName() != "slow" {
+			return fmt.Errorf("NextName on last rung = %s", l.NextName())
+		}
+
+		// While blocked, probes must not step back down.
+		w.env.Clock.Sleep(1 * time.Second)
+		if l.ActiveName() != "slow" {
+			return fmt.Errorf("recovered while rung still blocked")
+		}
+
+		mu.Lock()
+		blocked = false
+		mu.Unlock()
+		w.env.Clock.Sleep(1 * time.Second)
+		if l.ActiveName() != "fast" {
+			return fmt.Errorf("no recovery after rung unblocked")
+		}
+		return nil
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"fast->slow", "slow->fast"}
+	if len(switches) != 2 || switches[0] != want[0] || switches[1] != want[1] {
+		t.Fatalf("switches = %v, want %v", switches, want)
+	}
+}

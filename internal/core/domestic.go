@@ -67,6 +67,13 @@ type Domestic struct {
 	// Resil policy. Fault experiments set it on the resilience-off
 	// baseline so both arms of the comparison share one fetch path.
 	GatewayFetch bool
+	// NextTransport, if set alongside a Fleet with transport-labeled
+	// endpoints, names the escalation rung a hedged retry should aim at
+	// (carrier.Ladder.NextName is the production hook). A hedge fired
+	// because the active transport stalls is then issued on the next rung
+	// instead of racing a second carrier of the same, possibly-blocked,
+	// transport. Empty or nil keeps hedges transport-agnostic.
+	NextTransport func() string
 
 	mu        sync.Mutex
 	sess      *mux.Session
@@ -219,8 +226,22 @@ func (d *Domestic) session() (*mux.Session, error) {
 // openStream opens a tunnel stream carrying meta, via the fleet pool
 // when one is configured, else via the cached single session.
 func (d *Domestic) openStream(meta []byte) (net.Conn, error) {
+	return d.openStreamVia("", meta)
+}
+
+// openStreamVia is openStream pinned to a carrier transport: a non-empty
+// via restricts the fleet pick to endpoints on that escalation rung (the
+// transport-aware hedge path). The single-session path has one carrier
+// and ignores via.
+func (d *Domestic) openStreamVia(via string, meta []byte) (net.Conn, error) {
 	if pool := d.Fleet; pool != nil {
-		st, err := pool.Open(meta)
+		var st net.Conn
+		var err error
+		if via != "" {
+			st, err = pool.OpenOn(via, meta)
+		} else {
+			st, err = pool.Open(meta)
+		}
 		if err != nil {
 			var down *fleet.DownError
 			if errors.As(err, &down) {
@@ -250,13 +271,21 @@ func (d *Domestic) openStream(meta []byte) (net.Conn, error) {
 
 // openSecure opens an HTTPS-passthrough stream to host:port.
 func (d *Domestic) openSecure(target string) (net.Conn, error) {
-	return d.openStream([]byte(metaSecure + target))
+	return d.openSecureVia("", target)
+}
+
+func (d *Domestic) openSecureVia(via, target string) (net.Conn, error) {
+	return d.openStreamVia(via, []byte(metaSecure+target))
 }
 
 // openPlain opens a cleartext-HTTP stream to host:port, wrapped in the
 // proxy-to-proxy encrypted channel.
 func (d *Domestic) openPlain(target string) (net.Conn, error) {
-	st, err := d.openStream([]byte(metaPlain + target))
+	return d.openPlainVia("", target)
+}
+
+func (d *Domestic) openPlainVia(via, target string) (net.Conn, error) {
+	st, err := d.openStreamVia(via, []byte(metaPlain+target))
 	if err != nil {
 		return nil, err
 	}
@@ -317,17 +346,18 @@ func (d *Domestic) fetchOrigin(u *httpsim.URL, req *httpsim.Request, extra map[s
 	if d.Resil != nil {
 		return d.fetchResilient(u, req, header)
 	}
-	return d.fetchOriginOnce(u, req, header, time.Time{})
+	return d.fetchOriginOnce(u, req, header, time.Time{}, "")
 }
 
 // fetchOriginOnce performs a single upstream attempt. A non-zero deadline
 // becomes the read deadline of the tunnel stream under the attempt, so a
 // fetch stalled by a dead carrier or a partitioned border link surfaces
-// as a timeout instead of hanging forever.
-func (d *Domestic) fetchOriginOnce(u *httpsim.URL, req *httpsim.Request, header map[string]string, deadline time.Time) (*httpsim.Response, error) {
+// as a timeout instead of hanging forever. A non-empty via pins the
+// attempt's tunnel stream to that carrier transport.
+func (d *Domestic) fetchOriginOnce(u *httpsim.URL, req *httpsim.Request, header map[string]string, deadline time.Time, via string) (*httpsim.Response, error) {
 	var upstream net.Conn
 	if u.Scheme == "https" {
-		st, err := d.openSecure(u.HostPort())
+		st, err := d.openSecureVia(via, u.HostPort())
 		if err != nil {
 			return nil, err
 		}
@@ -341,7 +371,7 @@ func (d *Domestic) fetchOriginOnce(u *httpsim.URL, req *httpsim.Request, header 
 		}
 		upstream = tconn
 	} else {
-		st, err := d.openPlain(u.HostPort())
+		st, err := d.openPlainVia(via, u.HostPort())
 		if err != nil {
 			return nil, err
 		}

@@ -169,14 +169,14 @@ func (d *Domestic) fetchResilient(u *httpsim.URL, req *httpsim.Request, header m
 		hedged   bool
 	)
 
-	launch := func() {
+	launch := func(via string) {
 		mu.Lock()
 		idx := launched
 		launched++
 		inflight++
 		mu.Unlock()
 		d.Env.Spawn.Go(func() {
-			resp, err := d.fetchOriginOnce(u, req, header, deadline)
+			resp, err := d.fetchOriginOnce(u, req, header, deadline, via)
 			mu.Lock()
 			inflight--
 			if err != nil {
@@ -192,7 +192,7 @@ func (d *Domestic) fetchResilient(u *httpsim.URL, req *httpsim.Request, header m
 			mu.Unlock()
 		})
 	}
-	launch()
+	launch("")
 
 	if d.Fleet != nil {
 		hedgeTimer := clock.AfterFunc(r.HedgeAfter, func() {
@@ -204,8 +204,21 @@ func (d *Domestic) fetchResilient(u *httpsim.URL, req *httpsim.Request, header m
 			mu.Unlock()
 			if fire {
 				d.hedges.Inc()
-				d.flowTrace.Load().Addf("core", "hedge", "%s re-issued on second carrier", u.HostPort())
-				launch()
+				// With an escalation ladder wired in, a stalled attempt
+				// smells like the active transport being throttled or
+				// blocked: aim the hedge at the next rung so the race is
+				// between transports, not between two carriers of the same
+				// one.
+				via := ""
+				if d.NextTransport != nil {
+					via = d.NextTransport()
+				}
+				if via != "" {
+					d.flowTrace.Load().Addf("core", "hedge", "%s re-issued via %s", u.HostPort(), via)
+				} else {
+					d.flowTrace.Load().Addf("core", "hedge", "%s re-issued on second carrier", u.HostPort())
+				}
+				launch(via)
 			}
 		})
 		defer hedgeTimer.Stop()
@@ -251,7 +264,7 @@ func (d *Domestic) fetchResilient(u *httpsim.URL, req *httpsim.Request, header m
 			mu.Unlock()
 			d.retries.Inc()
 			clock.Sleep(d.backoff(r, k))
-			launch()
+			launch("")
 			mu.Lock()
 			continue
 		}

@@ -23,8 +23,13 @@ import (
 	"scholarcloud/internal/netx"
 )
 
-// TypeA is the only record type the simulator serves (IPv4 address).
+// TypeA is the record type the name service serves (IPv4 address).
 const TypeA uint16 = 1
+
+// TypeTXT carries opaque bytes. The zone server never answers TXT; the
+// type exists for the DNS-tunnel carrier (internal/carrier), which smuggles
+// mux frames downstream inside TXT RDATA.
+const TypeTXT uint16 = 16
 
 // RCode values used by the simulator.
 const (
@@ -55,13 +60,14 @@ type Question struct {
 	Type uint16
 }
 
-// RR is an answer resource record (A records only: Data is an IPv4
-// address in dotted-quad form).
+// RR is an answer resource record. A records carry Data, an IPv4 address
+// in dotted-quad form; TXT records carry Raw, opaque RDATA bytes.
 type RR struct {
 	Name string
 	Type uint16
 	TTL  uint32
 	Data string
+	Raw  []byte
 }
 
 // Marshal encodes the message to wire format.
@@ -96,6 +102,14 @@ func (m *Message) Marshal() ([]byte, error) {
 		buf = binary.BigEndian.AppendUint16(buf, rr.Type)
 		buf = binary.BigEndian.AppendUint16(buf, 1) // IN
 		buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+		if rr.Type == TypeTXT {
+			if len(rr.Raw) > 0xFFFF {
+				return nil, fmt.Errorf("dnssim: oversized TXT rdata (%d bytes)", len(rr.Raw))
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(rr.Raw)))
+			buf = append(buf, rr.Raw...)
+			continue
+		}
 		ip := net.ParseIP(rr.Data)
 		if ip == nil || ip.To4() == nil {
 			return nil, fmt.Errorf("dnssim: bad A record data %q", rr.Data)
@@ -151,6 +165,8 @@ func Unmarshal(b []byte) (*Message, error) {
 		rr := RR{Name: rname, Type: typ, TTL: ttl}
 		if typ == TypeA && rdlen == 4 {
 			rr.Data = net.IPv4(b[off], b[off+1], b[off+2], b[off+3]).String()
+		} else if typ == TypeTXT {
+			rr.Raw = append([]byte(nil), b[off:off+rdlen]...)
 		}
 		off += rdlen
 		m.Answers = append(m.Answers, rr)

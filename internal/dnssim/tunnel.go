@@ -1,0 +1,85 @@
+// Tunnel payload codec: binary payloads packed into DNS query names. The
+// DNS-tunnel carrier (internal/carrier) ships its upstream bytes as
+// base32 labels under an innocuous domain, so every hop — recursive
+// resolvers, the GFW's on-path inspector — sees a syntactically ordinary
+// query for a name nobody blacklists.
+//
+// Encoding: RFC 4648 base32, lowercase, no padding (DNS names are
+// case-insensitive and '=' is not a hostname character), split into
+// labels of at most 63 characters, with the tunnel domain appended. The
+// whole name must fit DNS's 253-character presentation limit, which is
+// what bounds the per-query payload (MaxTunnelPayload).
+package dnssim
+
+import (
+	"encoding/base32"
+	"fmt"
+	"strings"
+)
+
+// maxNameLen is the DNS presentation-format name length limit.
+const maxNameLen = 253
+
+// maxLabelLen is the DNS label length limit.
+const maxLabelLen = 63
+
+// tunnelEncoding is base32 without padding; names are lowercased on the
+// wire and uppercased back before decoding.
+var tunnelEncoding = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// MaxTunnelPayload returns the largest payload EncodeTunnelName can fit
+// into one query name under domain. It is negative if the domain alone
+// leaves no room.
+func MaxTunnelPayload(domain string) int {
+	// Budget for the encoded labels: total name length minus the domain,
+	// the dot joining payload to domain, and one dot per extra label.
+	budget := maxNameLen - len(strings.TrimSuffix(domain, ".")) - 1
+	for p := 0; ; p++ {
+		enc := tunnelEncoding.EncodedLen(p + 1)
+		labels := (enc + maxLabelLen - 1) / maxLabelLen
+		if enc+(labels-1) > budget {
+			return p
+		}
+	}
+}
+
+// EncodeTunnelName packs payload into a query name under domain. Empty
+// payloads are legal (the tunnel's poll frames have no data). Payloads
+// beyond MaxTunnelPayload(domain) are rejected.
+func EncodeTunnelName(payload []byte, domain string) (string, error) {
+	domain = strings.TrimSuffix(domain, ".")
+	if len(payload) > MaxTunnelPayload(domain) {
+		return "", fmt.Errorf("dnssim: tunnel payload %d bytes exceeds %d-byte name budget", len(payload), MaxTunnelPayload(domain))
+	}
+	enc := strings.ToLower(tunnelEncoding.EncodeToString(payload))
+	var labels []string
+	for len(enc) > maxLabelLen {
+		labels = append(labels, enc[:maxLabelLen])
+		enc = enc[maxLabelLen:]
+	}
+	if enc != "" {
+		labels = append(labels, enc)
+	}
+	labels = append(labels, domain)
+	return strings.Join(labels, "."), nil
+}
+
+// DecodeTunnelName recovers the payload from a query name produced by
+// EncodeTunnelName. It fails if name is not under domain or the label
+// text is not valid base32.
+func DecodeTunnelName(name, domain string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	domain = strings.TrimSuffix(domain, ".")
+	if !strings.EqualFold(name, domain) && !strings.HasSuffix(strings.ToLower(name), "."+strings.ToLower(domain)) {
+		return nil, fmt.Errorf("dnssim: name %q not under tunnel domain %q", name, domain)
+	}
+	enc := strings.ReplaceAll(name[:len(name)-len(domain)], ".", "")
+	if enc == "" {
+		return nil, nil
+	}
+	payload, err := tunnelEncoding.DecodeString(strings.ToUpper(enc))
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: bad tunnel name: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,134 @@
+package dnssim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testTunnelDomain = "cdn-sync.example"
+
+// TestTunnelNameRoundTrip covers the codec across payload shapes,
+// including the full non-ASCII byte range.
+func TestTunnelNameRoundTrip(t *testing.T) {
+	full := make([]byte, 256)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"one":       {0x00},
+		"ascii":     []byte("GET /scholar?q=tunnel HTTP/1.1"),
+		"non-ascii": {0xFF, 0x00, 0xAB, 0x80, 0x7F, 0xFE, 0x01},
+		"all-bytes": full[:MaxTunnelPayload(testTunnelDomain)],
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			qname, err := EncodeTunnelName(payload, testTunnelDomain)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if len(qname) > maxNameLen {
+				t.Fatalf("name length %d exceeds %d", len(qname), maxNameLen)
+			}
+			for _, label := range strings.Split(qname, ".") {
+				if len(label) == 0 || len(label) > maxLabelLen {
+					t.Fatalf("bad label length %d in %q", len(label), qname)
+				}
+			}
+			got, err := DecodeTunnelName(qname, testTunnelDomain)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("round trip: got %x want %x", got, payload)
+			}
+		})
+	}
+}
+
+// TestTunnelNameMTUBoundary pins the exact-fit and one-over behavior at
+// the per-query payload limit.
+func TestTunnelNameMTUBoundary(t *testing.T) {
+	mtu := MaxTunnelPayload(testTunnelDomain)
+	if mtu < 100 {
+		t.Fatalf("MTU %d implausibly small for domain %q", mtu, testTunnelDomain)
+	}
+
+	exact := bytes.Repeat([]byte{0xA5}, mtu)
+	qname, err := EncodeTunnelName(exact, testTunnelDomain)
+	if err != nil {
+		t.Fatalf("exact-fit payload rejected: %v", err)
+	}
+	if len(qname) > maxNameLen {
+		t.Fatalf("exact-fit name is %d chars, limit %d", len(qname), maxNameLen)
+	}
+	got, err := DecodeTunnelName(qname, testTunnelDomain)
+	if err != nil || !bytes.Equal(got, exact) {
+		t.Fatalf("exact-fit round trip failed: %v", err)
+	}
+
+	over := append(exact, 0x5A)
+	if _, err := EncodeTunnelName(over, testTunnelDomain); err == nil {
+		t.Fatalf("payload one over the %d-byte MTU was accepted", mtu)
+	}
+}
+
+// TestTunnelNameCaseInsensitive checks the decoder survives the
+// lowercasing that DNS servers and caches legally apply.
+func TestTunnelNameCaseInsensitive(t *testing.T) {
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	qname, err := EncodeTunnelName(payload, testTunnelDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTunnelName(strings.ToUpper(qname), strings.ToUpper(testTunnelDomain))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("uppercased name failed to decode: %v", err)
+	}
+}
+
+// TestTunnelNameRejectsForeign checks names outside the tunnel domain and
+// corrupt label text are refused rather than misdecoded.
+func TestTunnelNameRejectsForeign(t *testing.T) {
+	if _, err := DecodeTunnelName("scholar.google.com", testTunnelDomain); err == nil {
+		t.Fatal("foreign name decoded")
+	}
+	if _, err := DecodeTunnelName("not-base32-0189."+testTunnelDomain, testTunnelDomain); err == nil {
+		t.Fatal("invalid base32 label decoded")
+	}
+}
+
+// TestTXTRoundTrip checks the wire format carries raw TXT RDATA — the
+// tunnel's downstream path — without corrupting it, alongside A records.
+func TestTXTRoundTrip(t *testing.T) {
+	raw := make([]byte, 1100)
+	for i := range raw {
+		raw[i] = byte(i * 7)
+	}
+	for _, n := range []int{0, 1, len(raw)} {
+		m := &Message{
+			ID:       77,
+			Response: true,
+			Question: Question{Name: "q." + testTunnelDomain, Type: TypeTXT},
+			Answers: []RR{
+				{Name: testTunnelDomain, Type: TypeTXT, TTL: 0, Raw: raw[:n]},
+				{Name: "a.example", Type: TypeA, TTL: 30, Data: "192.0.2.7"},
+			},
+		}
+		wire, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("marshal with %d raw bytes: %v", n, err)
+		}
+		got, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("unmarshal with %d raw bytes: %v", n, err)
+		}
+		if !bytes.Equal(got.Answers[0].Raw, raw[:n]) {
+			t.Fatalf("TXT rdata corrupted at %d bytes", n)
+		}
+		if got.Answers[1].Data != "192.0.2.7" {
+			t.Fatalf("A record corrupted: %q", got.Answers[1].Data)
+		}
+	}
+}

@@ -156,6 +156,54 @@ const (
 	fleetDialTimeout = 3 * time.Second
 )
 
+// Transport-ladder infrastructure (Config.Transports non-empty). The
+// blinded rung reuses the primary remote; the other rungs get their own
+// cover infrastructure in the US zone.
+const (
+	// tunnelDomain is the DNS tunnel's innocuous zone — absent from the
+	// GFW's keyword blacklist, so its queries recurse unmolested.
+	tunnelDomain = "cdn-sync.example"
+	// ipTunnelAuth hosts the tunnel's authoritative server (the remote
+	// proxy's DNS face).
+	ipTunnelAuth = "198.51.100.53"
+	// Public recursive resolvers the tunnel rotates through. They relay
+	// to the authority; the censor sees only resolver traffic.
+	tunnelRelays = 3
+	// ipGatewayBase prefixes the rendezvous gateway pool: gateway i
+	// lives at ipGatewayBase+(10+i):443 — a slice of a cloud provider's
+	// ephemeral address space.
+	ipGatewayBase   = "203.0.113."
+	gatewayPoolSize = 8
+	// rendezvousSNI is the innocuous cloud-front server name rendezvous
+	// connections present in the clear.
+	rendezvousSNI = "fn.cloudapi.example"
+	// rendezvousInvocationUSD is the metered per-invocation price the
+	// cost model charges for rendezvous endpoints (2016-era serverless
+	// pricing, request fee plus API-gateway share).
+	rendezvousInvocationUSD = 0.4e-6
+
+	// transportsProbeInterval/Timeout slow the fleet's health cadence in
+	// ladder worlds: an RTT echo over the DNS tunnel takes several
+	// hundred milliseconds even when healthy, so the single-remote
+	// cadence would misread load as death.
+	transportsProbeInterval = 5 * time.Second
+	transportsProbeTimeout  = 3 * time.Second
+	// transportsDialTimeout bounds one carrier dial across the slowest
+	// rung: a rendezvous dial retries several cold starts, a tunnel dial
+	// retransmits its SYN exchange.
+	transportsDialTimeout = 12 * time.Second
+	// transportsHedgeAfter/RequestTimeout relax the resilience policy
+	// for ladder worlds: the DNS-tunnel rung is legitimately slow, and
+	// the default 2 s hedge trigger would double its load permanently.
+	transportsHedgeAfter     = 8 * time.Second
+	transportsRequestTimeout = 90 * time.Second
+)
+
+// tunnelRelayIPs returns the resolver-pool addresses ("ip" only).
+func tunnelRelayIPs() []string {
+	return []string{"9.9.9.9", "1.1.1.1", "208.67.222.222"}[:tunnelRelays]
+}
+
 // accessLink returns the standard access-link configuration.
 func accessLink() netsim.LinkConfig {
 	return netsim.LinkConfig{Delay: accessDelay, Bandwidth: accessBW}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"scholarcloud/internal/carrier"
+	"scholarcloud/internal/gfw"
+	"scholarcloud/internal/metrics"
+	"scholarcloud/internal/opscost"
+)
+
+// transportsStressInterval is the per-client revisit cadence of the
+// transport-ladder figure — the same continuous-browsing pressure as the
+// faults sweep.
+const transportsStressInterval = 20 * time.Second
+
+// transportsClients is the concurrent-client load each censor stage runs
+// under. Modest on purpose: the crackdown stages drive every page load
+// through the DNS tunnel, whose lock-step exchanges serialize.
+const transportsClients = 12
+
+// TransportStage is one escalation step of the censor: which carrier
+// fingerprints it blocks and how much of the rendezvous gateway pool it
+// has blacklisted.
+type TransportStage struct {
+	Name string
+	// Classes are the traffic-classifier verdicts the censor resets at
+	// the border at this stage.
+	Classes []gfw.Class
+	// BlockGateways is how many rendezvous gateway addresses the censor
+	// has blacklisted (a prefix of the pool).
+	BlockGateways int
+}
+
+// nonWhitelisted are the classifier verdicts a protocol-whitelist
+// crackdown resets: high-entropy streams, unrecognized cleartext, and
+// the native VPN protocols the GFW has blocked for years. Only
+// HTTP/TLS/DNS survive. The full set matters because a byte-substitution
+// blinding epoch leaves roughly half the wire image printable — its
+// flows land on either side of the printable-fraction heuristic (or on
+// a loose VPN prefix match) depending on payload, and every landing
+// spot must be blocked for the fingerprint to hold.
+var nonWhitelisted = []gfw.Class{
+	gfw.ClassEncrypted, gfw.ClassLowEntropy,
+	gfw.ClassOpenVPN, gfw.ClassPPTP, gfw.ClassL2TP,
+}
+
+// TransportStages returns the censor's escalation script, mildest first:
+// no interference, then whitelist-blocking every unrecognized protocol
+// (which fingerprints out the blinded carrier), then additionally
+// blacklisting half the rendezvous pool, then also resetting TLS
+// cross-border TCP flows — the stage only a covert channel survives.
+func TransportStages() []TransportStage {
+	return []TransportStage{
+		{Name: "open"},
+		{Name: "fingerprint", Classes: nonWhitelisted},
+		{Name: "fingerprint+ip", Classes: nonWhitelisted,
+			BlockGateways: gatewayPoolSize / 2},
+		{Name: "tcp-crackdown", Classes: append([]gfw.Class{gfw.ClassTLS}, nonWhitelisted...)},
+	}
+}
+
+// TransportStageByName resolves one censor stage by name.
+func TransportStageByName(name string) (TransportStage, bool) {
+	for _, s := range TransportStages() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return TransportStage{}, false
+}
+
+// TransportStageNames lists the censor stages in escalation order.
+func TransportStageNames() []string {
+	stages := TransportStages()
+	names := make([]string, len(stages))
+	for i, s := range stages {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ApplyTransportStage arms stage s on the world's censor. Stages are
+// cumulative in spirit but each figure cell runs a fresh world, so the
+// stage carries its full block set.
+func (w *World) ApplyTransportStage(s TransportStage) error {
+	return w.Run(func() error {
+		if w.GFW == nil {
+			return nil
+		}
+		for _, c := range s.Classes {
+			w.GFW.SetClassBlock(c, true)
+		}
+		n := s.BlockGateways
+		if n > len(w.gatewayIPs) {
+			n = len(w.gatewayIPs)
+		}
+		for _, ip := range w.gatewayIPs[:n] {
+			w.GFW.BlockIP(ip)
+		}
+		return nil
+	})
+}
+
+// TransportsResult is one censor-stage cell of the transport-ladder
+// figure.
+type TransportsResult struct {
+	Stage   string
+	Clients int
+	// FinalRung is the ladder's active transport once the stage's load
+	// completes — where the escalation walk settled.
+	FinalRung   string
+	Escalations int64
+	// Invocations is how many rendezvous endpoint invocations (cold
+	// starts) the stage's load paid for.
+	Invocations int64
+	PLT         metrics.Summary // seconds, successful visits only
+	Visits      int
+	Failed      int
+}
+
+// SuccessRate is the fraction of page loads that completed.
+func (r *TransportsResult) SuccessRate() float64 {
+	if r.Visits == 0 {
+		return 0
+	}
+	return 1 - float64(r.Failed)/float64(r.Visits)
+}
+
+// InvocationCostUSD extrapolates the measured invocation rate to the
+// paper's daily workload (§1: ~700 users, ~20 accesses each) under
+// metered serverless pricing — the opscost hook that prices the
+// rendezvous rung against the 2.2 USD/day VM deployment.
+func (r *TransportsResult) InvocationCostUSD() float64 {
+	if r.Visits == 0 || r.Invocations == 0 {
+		return 0
+	}
+	wk := opscost.PaperWorkload(0)
+	wk.InvocationsPerAccess = float64(r.Invocations) / float64(r.Visits)
+	p := opscost.DefaultPricing()
+	p.InvocationUSD = rendezvousInvocationUSD
+	return opscost.Estimate(wk, p).InvocationCostUSD
+}
+
+// MeasureTransports arms censor stage s, then runs n concurrent
+// ScholarCloud clients for `rounds` visit rounds against the world's
+// transport ladder and reports where the escalation walk settled. The
+// world must have been built with Config.Transports.
+func (w *World) MeasureTransports(s TransportStage, n, rounds int) (*TransportsResult, error) {
+	if w.Ladder == nil {
+		return nil, errors.New("experiments: world has no transport ladder (set Config.Transports)")
+	}
+	if err := w.ApplyTransportStage(s); err != nil {
+		return nil, err
+	}
+	p, err := w.measureScalabilityAt(w.Methods()[4], n, rounds, transportsStressInterval, false)
+	if err != nil {
+		return nil, err
+	}
+	r := &TransportsResult{
+		Stage:       s.Name,
+		Clients:     n,
+		FinalRung:   w.Ladder.ActiveName(),
+		Escalations: w.Ladder.Escalations(),
+		PLT:         p.PLT,
+		Visits:      p.PLT.N + p.Failed,
+		Failed:      p.Failed,
+	}
+	if w.RendezvousCarrier != nil {
+		r.Invocations = w.RendezvousCarrier.Invocations()
+	}
+	return r, nil
+}
+
+// transportsRow formats one censor-stage row.
+func transportsRow(r *TransportsResult) string {
+	return fmt.Sprintf("  %-16s %-12s %-10s %-10s %-8d %-8d %-9s %-7d %-9d %.2f\n",
+		r.Stage, r.FinalRung,
+		metrics.FormatSeconds(r.PLT.Mean), metrics.FormatSeconds(r.PLT.P95),
+		r.Visits, r.Failed, fmt.Sprintf("%.1f%%", 100*r.SuccessRate()),
+		r.Escalations, r.Invocations, r.InvocationCostUSD())
+}
+
+// transportsHeader formats the figure's preamble and column header.
+func transportsHeader(rounds int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transport ladder (%d clients, %d rounds at %s cadence; rungs: %s)\n",
+		transportsClients, rounds,
+		metrics.FormatSeconds(transportsStressInterval.Seconds()),
+		strings.Join(carrier.Known(), " -> "))
+	fmt.Fprintf(&b, "  %-16s %-12s %-10s %-10s %-8s %-8s %-9s %-7s %-9s %s\n",
+		"censor stage", "final rung", "plt(mean)", "plt(p95)",
+		"visits", "failed", "success", "escal", "invokes", "usd/day")
+	return b.String()
+}
+
+// ReportTransports renders the transport-ladder figure sequentially (the
+// single-process counterpart of transportsPlan, used by the Report*
+// path).
+func ReportTransports(seed uint64, q Quality) (string, error) {
+	rounds := q.ScaleRounds + 1
+	var b strings.Builder
+	b.WriteString(transportsHeader(rounds))
+	for _, stage := range TransportStages() {
+		w := NewWorld(Config{
+			Seed:       seed,
+			Transports: carrier.Known(),
+			Resilience: true,
+		})
+		r, err := w.MeasureTransports(stage, transportsClients, rounds)
+		if err != nil {
+			w.Close()
+			return "", err
+		}
+		b.WriteString(transportsRow(r))
+		w.Close()
+	}
+	return b.String(), nil
+}
+
+// transportsPlan decomposes the transport-ladder figure for the parallel
+// harness: one world per censor stage, every cell deterministic, merged
+// in declaration order.
+func transportsPlan(q Quality) figurePlan {
+	rounds := q.ScaleRounds + 1
+	var cells []cell
+	cells = append(cells, cell{
+		Label: "header",
+		Run: func(uint64) (cellResult, error) {
+			return cellResult{Row: transportsHeader(rounds)}, nil
+		},
+	})
+	for _, stage := range TransportStages() {
+		stage := stage
+		cells = append(cells, cell{
+			Label:  stage.Name,
+			Worlds: 1,
+			Weight: 100 + transportsClients,
+			Run: func(seed uint64) (cellResult, error) {
+				w := NewWorld(Config{
+					Seed:       seed,
+					Transports: carrier.Known(),
+					Resilience: true,
+					RunGuard:   sweepRunGuard,
+				})
+				defer w.Close()
+				r, err := w.MeasureTransports(stage, transportsClients, rounds)
+				if err != nil {
+					return cellResult{}, err
+				}
+				return settledResult(w, transportsRow(r),
+					namedValue{Name: "success", Value: 100 * r.SuccessRate(), Unit: "%"},
+					namedValue{Name: "plt", Value: r.PLT.Mean, Unit: "s"})
+			},
+		})
+	}
+	return figurePlan{
+		Name:   "transports",
+		Title:  "Carrier transports & escalation ladder",
+		Cells:  cells,
+		Render: concatRows,
+	}
+}

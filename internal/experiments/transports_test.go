@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+
+	"scholarcloud/internal/carrier"
+)
+
+func transportsWorld(seed uint64) *World {
+	return NewWorld(Config{
+		Seed:       seed,
+		Transports: carrier.Known(),
+		Resilience: true,
+	})
+}
+
+// TestLadderIdlesOnBlindedWhenOpen checks the no-censorship baseline:
+// with nothing blocked, every page load rides the fast blinded carrier
+// and the ladder never escalates.
+func TestLadderIdlesOnBlindedWhenOpen(t *testing.T) {
+	w := transportsWorld(2017)
+	defer w.Close()
+	r, err := w.MeasureTransports(TransportStages()[0], 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalRung != carrier.Blinded {
+		t.Errorf("final rung = %s, want %s", r.FinalRung, carrier.Blinded)
+	}
+	if r.Escalations != 0 {
+		t.Errorf("escalations = %d, want 0", r.Escalations)
+	}
+	if r.Failed != 0 {
+		t.Errorf("%d/%d page loads failed in the open stage", r.Failed, r.Visits)
+	}
+}
+
+// TestFallbackSurvivesFingerprintBlocking is the transport figure's
+// acceptance criterion: when the GFW fingerprint-blocks the blinded
+// carrier, the escalation ladder walks off it and at least 99% of page
+// loads still complete — through the rendezvous rung — with graceful
+// (not catastrophic) PLT degradation.
+func TestFallbackSurvivesFingerprintBlocking(t *testing.T) {
+	stage := TransportStages()[1]
+	if stage.Name != "fingerprint" {
+		t.Fatalf("stage[1] = %s, want fingerprint", stage.Name)
+	}
+	w := transportsWorld(2017)
+	defer w.Close()
+	r, err := w.MeasureTransports(stage, transportsClients, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SuccessRate() < 0.99 {
+		t.Errorf("success rate = %.1f%% (%d/%d failed), want >= 99%%",
+			100*r.SuccessRate(), r.Failed, r.Visits)
+	}
+	if r.FinalRung == carrier.Blinded {
+		t.Error("ladder still on the blinded rung under fingerprint blocking")
+	}
+	if r.Escalations == 0 {
+		t.Error("no escalations recorded")
+	}
+	if r.Invocations == 0 {
+		t.Error("no rendezvous invocations metered — fallback did not pay for endpoints")
+	}
+	if r.PLT.Mean > 30 {
+		t.Errorf("mean PLT %.1fs after fallback — degradation is not graceful", r.PLT.Mean)
+	}
+}
+
+// TestCrackdownFallsBackToTunnel drives the censor to its harshest
+// stage — every unrecognized or TLS cross-border TCP flow reset — and
+// checks the walk settles on the covert DNS tunnel, slow but alive.
+func TestCrackdownFallsBackToTunnel(t *testing.T) {
+	w := transportsWorld(2017)
+	defer w.Close()
+	r, err := w.MeasureTransports(TransportStages()[3], 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalRung != carrier.DNSTunnel {
+		t.Errorf("final rung = %s, want %s", r.FinalRung, carrier.DNSTunnel)
+	}
+	if r.SuccessRate() < 0.9 {
+		t.Errorf("success rate = %.1f%% (%d/%d failed) on the tunnel rung",
+			100*r.SuccessRate(), r.Failed, r.Visits)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/cache"
+	"scholarcloud/internal/carrier"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/dnssim"
 	"scholarcloud/internal/faults"
@@ -80,6 +81,16 @@ type Config struct {
 	// behaviour is the resilience-off baseline the faults figure measures
 	// against.
 	Resilience bool
+	// Transports, when non-empty, replaces the domestic proxy's
+	// single-carrier dial path with an escalation ladder
+	// (internal/carrier) over the named transports, in ladder order —
+	// fastest and most blockable first. Valid names are carrier.Blinded,
+	// carrier.Rendezvous, and carrier.DNSTunnel; each gets its own cover
+	// infrastructure in the US zone and a transport-labeled fleet
+	// endpoint. Mutually exclusive with FleetRemotes. Empty keeps the
+	// paper's single blinded carrier — and every historical figure —
+	// byte-identical.
+	Transports []string
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -135,6 +146,16 @@ type World struct {
 	FleetRemoteProxies []*core.Remote
 	fleetRemoteHosts   []*netsim.Host
 	fleetNameByIP      map[string]string
+
+	// Ladder is the carrier escalation policy when Cfg.Transports is
+	// non-empty (nil otherwise). TunnelCarrier/RendezvousCarrier hold
+	// the corresponding transports when configured; gatewayIPs lists the
+	// rendezvous gateway pool addresses in order (the censor-stage knobs
+	// block prefixes of it).
+	Ladder            *carrier.Ladder
+	TunnelCarrier     *carrier.Tunnel
+	RendezvousCarrier *carrier.RendezvousPool
+	gatewayIPs        []string
 
 	// Faults is the armed fault scheduler when Cfg.FaultScenario is set
 	// (nil otherwise). Measurements start it with InjectFaults.
@@ -749,9 +770,10 @@ func (w *World) startScholarCloud() {
 	if w.Cfg.Resilience {
 		w.Domestic.Resil = &core.Resilience{Seed: w.Cfg.Seed ^ 0x4E51AE}
 	}
-	if w.Cfg.FaultScenario != "" {
-		// Fault worlds run clients in gateway mode (see ScholarCloud);
-		// the resilience-off baseline needs the proxy-side fetch path too.
+	if w.Cfg.FaultScenario != "" || len(w.Cfg.Transports) > 0 {
+		// Fault and transport-ladder worlds run clients in gateway mode
+		// (see ScholarCloud); the proxy-side fetch path is what the
+		// resilience layer retries and what the ladder reroutes.
 		w.Domestic.GatewayFetch = true
 	}
 	if w.Cfg.CacheMB > 0 {
@@ -781,9 +803,157 @@ func (w *World) startScholarCloud() {
 	pacSrv := &httpsim.Server{Handler: w.Domestic.PACHandler(), Spawn: w.Env.Spawn}
 	w.Env.Spawn.Go(func() { pacSrv.Serve(lnPAC) })
 
-	if w.Cfg.FleetRemotes > 0 {
+	switch {
+	case len(w.Cfg.Transports) > 0 && w.Cfg.FleetRemotes > 0:
+		panic("experiments: Transports and FleetRemotes are mutually exclusive")
+	case len(w.Cfg.Transports) > 0:
+		w.startTransports()
+	case w.Cfg.FleetRemotes > 0:
 		w.startFleet()
 	}
+}
+
+// startTransports stands up the cover infrastructure for each configured
+// carrier transport (blinded reuses the primary remote; the DNS tunnel
+// and the rendezvous pool get their own US hosts fronting it), wires a
+// carrier.Ladder over them as the fleet's escalation policy, and points
+// the domestic proxy's hedge at the ladder's next rung.
+func (w *World) startTransports() {
+	primary := fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote)
+	wrap := w.Domestic.WrapCarrier
+
+	var rungs []carrier.Transport
+	for _, name := range w.Cfg.Transports {
+		switch name {
+		case carrier.Blinded:
+			rungs = append(rungs, carrier.NewBlinded(
+				func() (net.Conn, error) { return w.SCDomestic.DialTCP(primary) }, wrap))
+		case carrier.Rendezvous:
+			rungs = append(rungs, w.startRendezvous(primary, wrap))
+		case carrier.DNSTunnel:
+			rungs = append(rungs, w.startDNSTunnel(primary, wrap))
+		default:
+			panic(fmt.Errorf("experiments: unknown carrier transport %q (known: %v)",
+				name, carrier.Known()))
+		}
+	}
+	w.Ladder = carrier.NewLadder(carrier.LadderConfig{Env: w.Env}, rungs...)
+	w.Ladder.Instrument(w.Obs)
+
+	// One transport-labeled fleet endpoint per rung: the pool pre-dials
+	// and health-probes every transport, pick() prefers the active rung,
+	// and dial/open failures feed the ladder's escalation counter.
+	eps := make([]fleet.Endpoint, 0, len(rungs))
+	for _, tr := range rungs {
+		eps = append(eps, fleet.Endpoint{Name: tr.Name(), Transport: tr.Name(), Dial: tr.Dial})
+	}
+	fcfg := fleet.Config{
+		Env:               w.Env,
+		NewSession:        wrap,
+		SessionsPerRemote: w.Cfg.FleetSessionsPerRemote,
+		ProbeInterval:     transportsProbeInterval,
+		ProbeTimeout:      transportsProbeTimeout,
+		ReadmitBackoff:    fleetReadmitBackoff,
+		// Always bounded here: a censor-blackholed transport's dials
+		// would otherwise hang the pool's warmer for the full TCP retry
+		// schedule.
+		DialTimeout: transportsDialTimeout,
+		Seed:        w.Cfg.Seed ^ 0x7EA45,
+		Escalate:    w.Ladder,
+	}
+	pool, err := fleet.New(fcfg, eps)
+	if err != nil {
+		panic(err)
+	}
+	pool.Instrument(w.Obs)
+	w.Fleet = pool
+	w.Domestic.Fleet = pool
+	w.Domestic.NextTransport = w.Ladder.NextName
+	w.Ladder.Start()
+
+	if w.Domestic.Resil != nil {
+		// The lower rungs are legitimately slow (a DNS-tunnel page load
+		// takes seconds); the default 2 s hedge trigger would read that
+		// as a stall and permanently double their load.
+		w.Domestic.Resil.HedgeAfter = transportsHedgeAfter
+		w.Domestic.Resil.RequestTimeout = transportsRequestTimeout
+	}
+}
+
+// startRendezvous builds the serverless rendezvous rung: a pool of
+// ephemeral gateway addresses in cloud space, each a TLS front piping to
+// the primary remote — the CensorLess model, where blocking one address
+// costs the censor nothing because the next invocation uses a fresh one.
+func (w *World) startRendezvous(primary string, wrap carrier.WrapFunc) carrier.Transport {
+	endpoints := make([]string, 0, gatewayPoolSize)
+	for i := 0; i < gatewayPoolSize; i++ {
+		ip := fmt.Sprintf("%s%d", ipGatewayBase, 10+i)
+		w.gatewayIPs = append(w.gatewayIPs, ip)
+		endpoints = append(endpoints, ip+":443")
+		host := w.Net.AddHost(fmt.Sprintf("rdv-gw-%d", i), ip, w.US, accessLink())
+		ln, err := host.Listen("tcp", ":443")
+		if err != nil {
+			panic(err)
+		}
+		tln := tlssim.NewListener(ln, tlssim.Config{Certificate: []byte("rdv-gw-cert")})
+		w.Env.Spawn.Go(func() {
+			carrier.ServeGateway(w.Env, tln, func() (net.Conn, error) {
+				return host.DialTCP(primary)
+			})
+		})
+	}
+	rdv := carrier.NewRendezvous(carrier.RendezvousConfig{
+		Env:       w.Env,
+		Endpoints: endpoints,
+		Dial:      func(addr string) (net.Conn, error) { return w.SCDomestic.DialTCP(addr) },
+		SNI:       rendezvousSNI,
+		Wrap:      wrap,
+		Seed:      w.Cfg.Seed ^ 0x4D5E2,
+	})
+	rdv.Instrument(w.Obs)
+	w.RendezvousCarrier = rdv
+	return rdv
+}
+
+// startDNSTunnel builds the covert-channel rung: an authoritative server
+// for an innocuous zone fronting the primary remote, reached through a
+// pool of public recursive resolvers the censor will not block wholesale.
+func (w *World) startDNSTunnel(primary string, wrap carrier.WrapFunc) carrier.Transport {
+	auth := w.Net.AddHost("tunnel-auth", ipTunnelAuth, w.US, accessLink())
+	srv := carrier.NewTunnelServer(carrier.TunnelServerConfig{
+		Env:     w.Env,
+		Domain:  tunnelDomain,
+		Backend: func() (net.Conn, error) { return auth.DialTCP(primary) },
+	})
+	apc, err := auth.ListenPacket(53)
+	if err != nil {
+		panic(err)
+	}
+	w.Env.Spawn.Go(func() { srv.Serve(apc) })
+
+	resolvers := make([]string, 0, tunnelRelays)
+	for i, ip := range tunnelRelayIPs() {
+		relay := w.Net.AddHost(fmt.Sprintf("resolver-%d", i), ip, w.US, accessLink())
+		pc, err := relay.ListenPacket(53)
+		if err != nil {
+			panic(err)
+		}
+		w.Env.Spawn.Go(func() {
+			carrier.ServeRelay(w.Env, pc, relay, ipTunnelAuth+":53", 3*time.Second)
+		})
+		resolvers = append(resolvers, ip+":53")
+	}
+	tun := carrier.NewTunnel(carrier.TunnelConfig{
+		Env:       w.Env,
+		Dialer:    w.SCDomestic,
+		Resolvers: resolvers,
+		Domain:    tunnelDomain,
+		Wrap:      wrap,
+		Seed:      w.Cfg.Seed ^ 0xD4571,
+	})
+	tun.Instrument(w.Obs)
+	w.TunnelCarrier = tun
+	return tun
 }
 
 // startFleet stands up the extra remote proxies and hands the domestic
@@ -1033,7 +1203,7 @@ func (w *World) ScholarCloud(h *netsim.Host) tunnel.Method {
 		Dial:         h.Dial,
 		PAC:          w.Whitelist,
 		Resolver:     w.resolverFor(h),
-		GatewayHTTPS: w.Cfg.CacheMB > 0 || w.Cfg.FaultScenario != "",
+		GatewayHTTPS: w.Cfg.CacheMB > 0 || w.Cfg.FaultScenario != "" || len(w.Cfg.Transports) > 0,
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,22 @@ type Endpoint struct {
 	Name string
 	// Dial opens a raw carrier connection to the endpoint.
 	Dial func() (net.Conn, error)
+	// Transport labels the carrier transport behind Dial (one of the
+	// carrier package's canonical names). Empty means the legacy
+	// unlabeled blinded path; non-empty transports get per-transport obs
+	// counters and participate in the escalation ladder's pick
+	// preference.
+	Transport string
+}
+
+// Escalator is the fleet's view of a transport escalation ladder
+// (carrier.Ladder implements it): the pool prefers endpoints on the
+// active rung and feeds carrier-level outcomes back so the ladder can
+// escalate on sustained failure and recover via probes.
+type Escalator interface {
+	ActiveName() string
+	RecordFailure(transport string)
+	RecordSuccess(transport string)
 }
 
 // Config tunes the pool. The zero value of every field selects a
@@ -88,6 +105,11 @@ type Config struct {
 	Seed uint64
 	// OnStateChange, if set, observes ejections and re-admissions.
 	OnStateChange func(name string, healthy bool, reason string)
+	// Escalate, if set, is the transport escalation ladder: pick prefers
+	// endpoints whose Transport matches the active rung, and every
+	// carrier-level success or failure on a labeled endpoint is fed back
+	// to it.
+	Escalate Escalator
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +257,40 @@ func (p *Pool) Instrument(reg *obs.Registry) {
 		}
 		return 0
 	}))
+	// Per-transport breakdowns, only for endpoints labeled with a carrier
+	// transport: the default unlabeled fleet registers nothing extra, so
+	// its /metrics output is unchanged. Endpoints Added after Instrument
+	// with a transport not seen here fold into the fleet-wide sums only.
+	p.mu.Lock()
+	seen := map[string]bool{}
+	var transports []string
+	for _, ep := range p.endpoints {
+		if ep.Transport != "" && !seen[ep.Transport] {
+			seen[ep.Transport] = true
+			transports = append(transports, ep.Transport)
+		}
+	}
+	p.mu.Unlock()
+	sort.Strings(transports)
+	for _, tr := range transports {
+		only := func(read func(ep *endpoint) int64) func() int64 {
+			return sum(func(ep *endpoint) int64 {
+				if ep.Transport != tr {
+					return 0
+				}
+				return read(ep)
+			})
+		}
+		reg.RegisterFunc("fleet.transport."+tr+".streams_opened", only(func(ep *endpoint) int64 { return ep.opened.Value() }))
+		reg.RegisterFunc("fleet.transport."+tr+".failures", only(func(ep *endpoint) int64 { return ep.failures.Value() }))
+		reg.RegisterFunc("fleet.transport."+tr+".probes", only(func(ep *endpoint) int64 { return ep.probes.Value() }))
+		reg.RegisterFunc("fleet.transport."+tr+".healthy_endpoints", only(func(ep *endpoint) int64 {
+			if ep.healthy {
+				return 1
+			}
+			return 0
+		}))
+	}
 }
 
 // SetTrace installs (or, with nil, removes) a flow tracer receiving a
@@ -345,11 +401,22 @@ func (p *Pool) collectSessionsLocked(ep *endpoint) []*mux.Session {
 // remote (mux.ErrOpenRejected — e.g. the origin was unreachable) or when
 // every endpoint is down.
 func (p *Pool) Open(meta []byte) (net.Conn, error) {
+	return p.open("", meta)
+}
+
+// OpenOn is Open restricted to endpoints labeled with the given carrier
+// transport — the hook a transport-aware hedge uses to aim its backup
+// request at a different escalation rung than the primary.
+func (p *Pool) OpenOn(transport string, meta []byte) (net.Conn, error) {
+	return p.open(transport, meta)
+}
+
+func (p *Pool) open(transport string, meta []byte) (net.Conn, error) {
 	p.picks.Inc()
 	var lastErr error
 	tried := make(map[*endpoint]bool)
 	for attempt := 0; ; attempt++ {
-		ep := p.pick(tried)
+		ep := p.pick(tried, transport)
 		if ep == nil {
 			break
 		}
@@ -373,6 +440,9 @@ func (p *Pool) Open(meta []byte) (net.Conn, error) {
 	}
 	if lastErr == nil {
 		lastErr = ErrPoolClosed
+		if transport != "" && len(tried) == 0 {
+			lastErr = fmt.Errorf("fleet: no endpoints for transport %q", transport)
+		}
 	}
 	return nil, &DownError{Attempts: len(tried), Last: lastErr}
 }
@@ -381,25 +451,40 @@ func (p *Pool) Open(meta []byte) (net.Conn, error) {
 // healthy, untried endpoints, scored by in-flight load weighted with the
 // EWMA latency and warm-carrier availability. When no healthy endpoint
 // remains it falls back to ejected ones — a last resort that beats
-// refusing outright.
-func (p *Pool) pick(tried map[*endpoint]bool) *endpoint {
+// refusing outright. A non-empty transport restricts candidates to that
+// carrier transport; otherwise, with an escalation ladder configured,
+// healthy endpoints on the active rung are preferred over the rest.
+func (p *Pool) pick(tried map[*endpoint]bool, transport string) *endpoint {
+	preferred := transport
+	if preferred == "" && p.cfg.Escalate != nil {
+		preferred = p.cfg.Escalate.ActiveName()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
-	var healthy, rest []*endpoint
+	var active, healthy, rest []*endpoint
 	for _, ep := range p.endpoints {
 		if tried[ep] {
 			continue
 		}
-		if ep.healthy {
+		if transport != "" && ep.Transport != transport {
+			continue
+		}
+		switch {
+		case ep.healthy && preferred != "" && ep.Transport == preferred:
+			active = append(active, ep)
+		case ep.healthy:
 			healthy = append(healthy, ep)
-		} else {
+		default:
 			rest = append(rest, ep)
 		}
 	}
-	cands := healthy
+	cands := active
+	if len(cands) == 0 {
+		cands = healthy
+	}
 	if len(cands) == 0 {
 		cands = rest
 	}
@@ -447,7 +532,7 @@ func (p *Pool) openOn(ep *endpoint, meta []byte) (net.Conn, error) {
 	}
 	ep.opened.Inc()
 	sl.inflight.Inc()
-	p.recordSuccess(ep, 0)
+	p.recordSuccess(ep, 0, true)
 	return &trackedStream{Stream: st, slot: sl}, nil
 }
 
@@ -585,7 +670,7 @@ func (p *Pool) dialSlot(ep *endpoint, sl *slot) (*slot, *mux.Session, error) {
 	if old != nil {
 		old.Close() // dead carrier being replaced
 	}
-	p.recordSuccess(ep, p.cfg.Env.Clock.Now().Sub(start))
+	p.recordSuccess(ep, p.cfg.Env.Clock.Now().Sub(start), false)
 	return sl, sess, nil
 }
 

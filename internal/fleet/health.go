@@ -48,12 +48,17 @@ func (p *Pool) probe(ep *endpoint) {
 		return
 	}
 	p.flowTrace.Load().Addf("fleet", "probe", "%s rtt=%v", ep.Name, rtt)
-	p.recordSuccess(ep, rtt)
+	p.recordSuccess(ep, rtt, true)
 }
 
 // recordFailure notes a carrier-level failure and ejects the endpoint
-// once it crosses the consecutive-failure threshold.
+// once it crosses the consecutive-failure threshold. Labeled endpoints
+// also feed the escalation ladder, which tracks sustained transport-wide
+// failure independently of per-endpoint health.
 func (p *Pool) recordFailure(ep *endpoint, err error) {
+	if esc := p.cfg.Escalate; esc != nil && ep.Transport != "" {
+		esc.RecordFailure(ep.Transport)
+	}
 	p.mu.Lock()
 	ep.failures.Inc()
 	ep.consecFails++
@@ -71,7 +76,15 @@ func (p *Pool) recordFailure(ep *endpoint, err error) {
 
 // recordSuccess feeds the EWMA latency estimate (when the sample came
 // from a measured probe or dial) and re-admits an ejected endpoint.
-func (p *Pool) recordSuccess(ep *endpoint, rtt time.Duration) {
+// transportOK marks samples that prove the transport end to end (a
+// stream opened, an echo answered); only those clear the escalation
+// ladder's failure streak — a bare TCP connect completes even under a
+// fingerprint crackdown, because the censor resets on content, not on
+// the handshake.
+func (p *Pool) recordSuccess(ep *endpoint, rtt time.Duration, transportOK bool) {
+	if esc := p.cfg.Escalate; esc != nil && transportOK && ep.Transport != "" {
+		esc.RecordSuccess(ep.Transport)
+	}
 	var notify func(string, bool, string)
 	p.mu.Lock()
 	ep.consecFails = 0
@@ -150,6 +163,7 @@ func (p *Pool) MarkDown(name, reason string) bool {
 // EndpointStats is one endpoint's health snapshot.
 type EndpointStats struct {
 	Name          string
+	Transport     string
 	Healthy       bool
 	EWMALatency   time.Duration
 	ConsecFails   int
@@ -196,6 +210,7 @@ func (p *Pool) Stats() Stats {
 	for _, ep := range p.endpoints {
 		out.Endpoints = append(out.Endpoints, EndpointStats{
 			Name:          ep.Name,
+			Transport:     ep.Transport,
 			Healthy:       ep.healthy,
 			EWMALatency:   ep.ewmaRTT,
 			ConsecFails:   ep.consecFails,

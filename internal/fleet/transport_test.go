@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/obs"
+)
+
+// fakeEscalator is a hand-cranked escalation ladder: the test flips the
+// active rung and inspects the outcome feed.
+type fakeEscalator struct {
+	mu        sync.Mutex
+	active    string
+	failures  map[string]int
+	successes map[string]int
+}
+
+func newFakeEscalator(active string) *fakeEscalator {
+	return &fakeEscalator{
+		active:    active,
+		failures:  map[string]int{},
+		successes: map[string]int{},
+	}
+}
+
+func (f *fakeEscalator) ActiveName() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.active
+}
+
+func (f *fakeEscalator) SetActive(name string) {
+	f.mu.Lock()
+	f.active = name
+	f.mu.Unlock()
+}
+
+func (f *fakeEscalator) RecordFailure(tr string) {
+	f.mu.Lock()
+	f.failures[tr]++
+	f.mu.Unlock()
+}
+
+func (f *fakeEscalator) RecordSuccess(tr string) {
+	f.mu.Lock()
+	f.successes[tr]++
+	f.mu.Unlock()
+}
+
+// labeled builds the world's endpoints with carrier-transport labels.
+func labeled(w *fleetWorld, transports ...string) []Endpoint {
+	var eps []Endpoint
+	for i, tr := range transports {
+		ep := w.endpoint(i)
+		ep.Transport = tr
+		eps = append(eps, ep)
+	}
+	return eps
+}
+
+func TestPickPrefersActiveTransportRung(t *testing.T) {
+	w := newFleetWorld(t, 2)
+	esc := newFakeEscalator("blinded")
+	cfg := w.config()
+	cfg.Escalate = esc
+	p, err := New(cfg, labeled(w, "blinded", "rendezvous"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		for i := 0; i < 10; i++ {
+			if err := echoOnce(p, "rung one"); err != nil {
+				return err
+			}
+		}
+		if st := p.Stats(); st.Endpoints[1].StreamsOpened != 0 {
+			return fmt.Errorf("ladder preference ignored: fallback rung served %d streams",
+				st.Endpoints[1].StreamsOpened)
+		}
+		// The ladder escalates; picks must follow the new active rung.
+		esc.SetActive("rendezvous")
+		for i := 0; i < 10; i++ {
+			if err := echoOnce(p, "rung two"); err != nil {
+				return err
+			}
+		}
+		if st := p.Stats(); st.Endpoints[1].StreamsOpened != 10 {
+			return fmt.Errorf("escalated rung served %d/10 streams", st.Endpoints[1].StreamsOpened)
+		}
+		return nil
+	})
+	esc.mu.Lock()
+	defer esc.mu.Unlock()
+	if esc.successes["blinded"] == 0 || esc.successes["rendezvous"] == 0 {
+		t.Errorf("escalator never fed successes: %v", esc.successes)
+	}
+}
+
+func TestOpenOnRestrictsToTransport(t *testing.T) {
+	w := newFleetWorld(t, 2)
+	esc := newFakeEscalator("blinded")
+	cfg := w.config()
+	cfg.Escalate = esc
+	p, err := New(cfg, labeled(w, "blinded", "rendezvous"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		// A hedge aimed at the next rung must land there even while the
+		// ladder still prefers the first.
+		st, err := p.OpenOn("rendezvous", []byte("203.0.113.10:7"))
+		if err != nil {
+			return err
+		}
+		st.Close()
+		stats := p.Stats()
+		if stats.Endpoints[0].StreamsOpened != 0 || stats.Endpoints[1].StreamsOpened != 1 {
+			return fmt.Errorf("OpenOn landed on the wrong rung: %+v", stats.Endpoints)
+		}
+		var down *DownError
+		if _, err := p.OpenOn("dns-tunnel", []byte("203.0.113.10:7")); !errors.As(err, &down) {
+			return fmt.Errorf("OpenOn unknown transport: err = %v, want DownError", err)
+		}
+		return nil
+	})
+}
+
+func TestEscalatorFedOnTransportFailure(t *testing.T) {
+	w := newFleetWorld(t, 2)
+	esc := newFakeEscalator("blinded")
+	cfg := w.config()
+	cfg.Escalate = esc
+	p, err := New(cfg, labeled(w, "blinded", "rendezvous"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		w.remotes[0].kill()
+		// Opens fail over to the surviving rung; each dead-carrier failure
+		// must reach the escalator labeled with its transport.
+		for i := 0; i < 4; i++ {
+			if err := echoOnce(p, "fed"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	esc.mu.Lock()
+	defer esc.mu.Unlock()
+	if esc.failures["blinded"] == 0 {
+		t.Errorf("escalator saw no blinded failures: %v", esc.failures)
+	}
+	if esc.failures["rendezvous"] != 0 {
+		t.Errorf("healthy rung charged with failures: %v", esc.failures)
+	}
+}
+
+func TestInstrumentLabelsTransports(t *testing.T) {
+	w := newFleetWorld(t, 2)
+	p, err := New(w.config(), labeled(w, "blinded", "rendezvous"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	reg := obs.NewRegistry()
+	p.Instrument(reg)
+	w.run(t, func() error {
+		w.env.Clock.Sleep(time.Second)
+		_, err := p.OpenOn("rendezvous", []byte("203.0.113.10:7"))
+		return err
+	})
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"fleet.transport.blinded.streams_opened",
+		"fleet.transport.rendezvous.streams_opened",
+		"fleet.transport.blinded.healthy_endpoints",
+		"fleet.transport.rendezvous.healthy_endpoints",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("per-transport counter %q not registered", name)
+		}
+	}
+	if got := snap.Counters["fleet.transport.rendezvous.streams_opened"]; got != 1 {
+		t.Errorf("rendezvous streams_opened = %d, want 1", got)
+	}
+	if got := snap.Counters["fleet.transport.blinded.streams_opened"]; got != 0 {
+		t.Errorf("blinded streams_opened = %d, want 0", got)
+	}
+
+	// An unlabeled fleet must register no per-transport names at all.
+	p2, err := New(w.config(), w.endpoints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	reg2 := obs.NewRegistry()
+	p2.Instrument(reg2)
+	for name := range reg2.Snapshot().Counters {
+		if len(name) > len("fleet.transport.") && name[:len("fleet.transport.")] == "fleet.transport." {
+			t.Errorf("unlabeled fleet registered %q", name)
+		}
+	}
+}

@@ -41,6 +41,12 @@ const openVPNClientReset = 0x38
 // before committing to ClassEncrypted/ClassLowEntropy.
 const minClassifyBytes = 16
 
+// lowEntropyLatchBytes is how much first-flight data a ClassLowEntropy
+// verdict needs before it becomes final. Below it the verdict is
+// provisional: the flow keeps buffering and may be re-classified — see
+// inspectTCP.
+const lowEntropyLatchBytes = 64
+
 // classify fingerprints the first client→server bytes of a flow.
 // meekFronts is the GFW's list of domain-fronting CDN hostnames associated
 // with Tor's meek transport.

@@ -32,6 +32,7 @@
 package gfw
 
 import (
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -93,6 +94,7 @@ type Stats struct {
 	InterferenceDrops int64
 	StormResets       int64
 	ThrottleDrops     int64
+	ClassResets       int64
 }
 
 type flowState struct {
@@ -122,6 +124,12 @@ type GFW struct {
 	// Episode state, set at runtime by fault injectors (zero = inactive).
 	stormRate    float64 // prob. a tracked TCP packet draws forged RSTs
 	throttleLoss float64 // extra drop prob. on every tracked TCP packet
+
+	// blockedClass marks traffic classes under a fingerprint crackdown:
+	// every packet of a classified flow in a blocked class is answered
+	// with forged RSTs. Set at runtime via SetClassBlock; the transport
+	// escalation experiments use it to kill one carrier rung at a time.
+	blockedClass map[Class]bool
 
 	flowTrace atomic.Pointer[obs.Trace]
 	// obsVerdicts counts Inspect outcomes, indexed by netsim.Verdict.
@@ -161,6 +169,7 @@ func (g *GFW) Instrument(reg *obs.Registry) {
 		"gfw.interference_drops": func(s Stats) int64 { return s.InterferenceDrops },
 		"gfw.storm_resets":       func(s Stats) int64 { return s.StormResets },
 		"gfw.throttle_drops":     func(s Stats) int64 { return s.ThrottleDrops },
+		"gfw.class_resets":       func(s Stats) int64 { return s.ClassResets },
 	} {
 		read := read
 		reg.RegisterFunc(name, func() int64 { return read(g.Stats()) })
@@ -186,6 +195,34 @@ func (g *GFW) SetThrottle(loss float64) {
 	g.throttleLoss = loss
 }
 
+// SetClassBlock starts (or, with enable false, ends) a fingerprint
+// crackdown against one DPI traffic class: every packet of a classified
+// flow in that class is answered with forged RSTs to both endpoints.
+// Blocking ClassEncrypted kills the blinded carrier outright; adding
+// ClassTLS escalates to a full crackdown that only the DNS tunnel
+// survives.
+func (g *GFW) SetClassBlock(c Class, enable bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if enable {
+		g.blockedClass[c] = true
+	} else {
+		delete(g.blockedClass, c)
+	}
+}
+
+// BlockedClasses reports the classes currently under a crackdown.
+func (g *GFW) BlockedClasses() []Class {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Class, 0, len(g.blockedClass))
+	for c := range g.blockedClass {
+		out = append(out, c)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // SetTrace installs (or, with nil, removes) a flow tracer receiving a span
 // for every classification, keyword reset, DNS poisoning, IP block,
 // interference drop and active-probe event.
@@ -194,14 +231,15 @@ func (g *GFW) SetTrace(t *obs.Trace) { g.flowTrace.Store(t) }
 // New creates a firewall from cfg.
 func New(cfg Config) *GFW {
 	g := &GFW{
-		cfg:        cfg,
-		meekFronts: make(map[string]bool),
-		flows:      make(map[netsim.FlowKey]*flowState),
-		blockedIP:  make(map[string]bool),
-		confirmed:  make(map[string]bool),
-		cleared:    make(map[string]bool),
-		probing:    make(map[string]bool),
-		classCount: make(map[Class]int64),
+		cfg:          cfg,
+		meekFronts:   make(map[string]bool),
+		flows:        make(map[netsim.FlowKey]*flowState),
+		blockedIP:    make(map[string]bool),
+		confirmed:    make(map[string]bool),
+		cleared:      make(map[string]bool),
+		probing:      make(map[string]bool),
+		classCount:   make(map[Class]int64),
+		blockedClass: make(map[Class]bool),
 	}
 	for _, f := range cfg.MeekFronts {
 		g.meekFronts[strings.ToLower(f)] = true
@@ -382,12 +420,27 @@ func (g *GFW) inspectTCP(pkt *netsim.Packet) netsim.Verdict {
 		if len(fs.firstBytes) < 2048 {
 			fs.firstBytes = append(fs.firstBytes, pkt.Payload...)
 		}
-		fs.class = classify(fs.firstBytes, g.meekFronts)
-		if fs.class != ClassUnknown {
-			fs.classified = true
-			g.classCount[fs.class]++
-			g.onClassifiedLocked(fs)
-			if t := g.flowTrace.Load(); t != nil {
+		class := classify(fs.firstBytes, g.meekFronts)
+		if class != ClassUnknown {
+			// During a class crackdown, a cleartext verdict on a tiny
+			// sample stays provisional: a couple of 9-byte keepalive
+			// frames look printable under a byte-substitution cipher, and
+			// latching on them would leave the flow permanently immune to
+			// an encrypted-fingerprint crackdown. Keep buffering and
+			// re-examine until enough of the first flight has crossed to
+			// commit. Outside a crackdown the verdict latches immediately
+			// (steady-state DPI spends no extra scrutiny on a flow it has
+			// no reason to reset).
+			fs.classified = class != ClassLowEntropy ||
+				len(fs.firstBytes) >= lowEntropyLatchBytes ||
+				len(g.blockedClass) == 0
+			changed := class != fs.class
+			if changed {
+				fs.class = class
+				g.classCount[fs.class]++
+				g.onClassifiedLocked(fs)
+			}
+			if t := g.flowTrace.Load(); changed && t != nil {
 				treatment := "pass"
 				switch {
 				case fs.blockedKW:
@@ -408,6 +461,18 @@ func (g *GFW) inspectTCP(pkt *netsim.Packet) netsim.Verdict {
 		g.stats.KeywordResets++
 		g.mu.Unlock()
 		g.flowTrace.Load().Addf("gfw", "keyword-reset", "%s -> %s", pkt.Src, pkt.Dst)
+		return netsim.VerdictReset
+	}
+
+	// Fingerprint crackdown: flows whose class is under a block get
+	// forged RSTs — the censor move the transport ladder escapes from.
+	// A provisional verdict counts: during a crackdown the censor acts
+	// on its best guess rather than waiting out DPI.
+	if g.blockedClass[fs.class] {
+		g.stats.ClassResets++
+		class := fs.class
+		g.mu.Unlock()
+		g.flowTrace.Load().Addf("gfw", "class-reset", "%s %s -> %s", class, pkt.Src, pkt.Dst)
 		return netsim.VerdictReset
 	}
 

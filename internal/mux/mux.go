@@ -63,12 +63,26 @@ var (
 // dial — exactly like a CONNECT proxy.
 type Acceptor func(meta []byte) (net.Conn, error)
 
+// managedWriteConn marks carrier connections whose Write blocks on
+// managed (virtual-clock) operations — the DNS-tunnel carrier runs whole
+// query round trips inside Write. Serializing writes onto such a carrier
+// with a bare OS mutex would freeze the virtual clock for every
+// goroutine contending it, so the session serializes them with a managed
+// write token instead.
+type managedWriteConn interface{ WriteBlocksManaged() bool }
+
 // Session multiplexes streams over conn.
 type Session struct {
 	conn net.Conn
 	env  netx.Env
 
-	wmu      sync.Mutex // serializes frames onto the carrier
+	wmu sync.Mutex // serializes frames onto the carrier
+
+	// managedWrites switches frame serialization from wmu to a managed
+	// write token (writing + cond). Set for carriers whose Write blocks
+	// on managed operations — see managedWriteConn.
+	managedWrites bool
+
 	mu       sync.Mutex
 	cond     netx.Cond
 	streams  map[uint32]*Stream
@@ -77,6 +91,7 @@ type Session struct {
 	accept   Acceptor
 	pings    map[uint32]*pingWait
 	nextPing uint32
+	writing  bool // the managed write token, used when managedWrites
 
 	counters atomic.Pointer[Counters]
 }
@@ -109,6 +124,9 @@ func NewSession(conn net.Conn, env netx.Env, accept Acceptor) *Session {
 		streams: make(map[uint32]*Stream),
 		accept:  accept,
 		pings:   make(map[uint32]*pingWait),
+	}
+	if mc, ok := conn.(managedWriteConn); ok && mc.WriteBlocksManaged() {
+		s.managedWrites = true
 	}
 	s.cond = env.Sync.NewCond(&s.mu)
 	env.Spawn.Go(s.readLoop)
@@ -201,14 +219,44 @@ func (s *Session) writeFrame(typ byte, id uint32, payload []byte) error {
 			c.Keepalives.Inc()
 		}
 	}
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
+	if s.managedWrites {
+		if err := s.acquireWriteToken(); err != nil {
+			return err
+		}
+		defer s.releaseWriteToken()
+	} else {
+		s.wmu.Lock()
+		defer s.wmu.Unlock()
+	}
 	hdr := make([]byte, 9, 9+len(payload))
 	hdr[0] = typ
 	binary.BigEndian.PutUint32(hdr[1:], id)
 	binary.BigEndian.PutUint32(hdr[5:], uint32(len(payload)))
 	_, err := s.conn.Write(append(hdr, payload...))
 	return err
+}
+
+// acquireWriteToken serializes managed-carrier writes on the session
+// cond, so a writer parked behind a slow carrier Write (a DNS-tunnel
+// round trip) waits under the virtual clock instead of on an OS mutex.
+func (s *Session) acquireWriteToken() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.writing && s.err == nil {
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		return s.err
+	}
+	s.writing = true
+	return nil
+}
+
+func (s *Session) releaseWriteToken() {
+	s.mu.Lock()
+	s.writing = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 func (s *Session) readLoop() {
@@ -342,6 +390,22 @@ func (s *Session) Ping(n int) error {
 // Ping, the reply is awaited, so a stalled or dead carrier surfaces as a
 // timeout rather than silence.
 func (s *Session) RTT(timeout time.Duration) (time.Duration, error) {
+	return s.rttEcho(timeout, nil)
+}
+
+// RTTPadded is RTT with pad bytes of ping payload, echoed back by the
+// peer. Recovery probes use it so a probe's first flight carries about
+// as much data as real carrier traffic — a bare 9-byte ping is too
+// small for an on-path classifier to fingerprint, which would make a
+// blocked transport look healthy.
+func (s *Session) RTTPadded(timeout time.Duration, pad []byte) (time.Duration, error) {
+	if len(pad) > maxFramePayload {
+		pad = pad[:maxFramePayload]
+	}
+	return s.rttEcho(timeout, pad)
+}
+
+func (s *Session) rttEcho(timeout time.Duration, pad []byte) (time.Duration, error) {
 	s.mu.Lock()
 	if s.err != nil {
 		err := s.err
@@ -355,7 +419,7 @@ func (s *Session) RTT(timeout time.Duration) (time.Duration, error) {
 	s.mu.Unlock()
 
 	start := s.env.Clock.Now()
-	if err := s.writeFrame(framePing, id, nil); err != nil {
+	if err := s.writeFrame(framePing, id, pad); err != nil {
 		s.fail(err)
 		s.mu.Lock()
 		delete(s.pings, id)

@@ -15,6 +15,10 @@ type Pricing struct {
 	EgressPerGB float64
 	// VMs is the instance count (domestic + remote in the paper).
 	VMs int
+	// InvocationUSD is the metered price of one serverless rendezvous
+	// invocation (CensorLess-style ephemeral endpoints). Zero — the
+	// default, and the paper's VM-only deployment — adds nothing.
+	InvocationUSD float64
 }
 
 // DefaultPricing reflects the paper's deployment.
@@ -30,6 +34,10 @@ type Workload struct {
 	AccessesPerUser int
 	// BytesPerAccess at the proxy, both legs (client side + origin side).
 	BytesPerAccess float64
+	// InvocationsPerAccess is how many serverless rendezvous endpoints
+	// one access invokes when the deployment runs on the rendezvous
+	// carrier. Zero (the default) models the VM-only transports.
+	InvocationsPerAccess float64
 }
 
 // PaperWorkload is the deployment §1 describes, with per-access traffic
@@ -40,11 +48,12 @@ func PaperWorkload(bytesPerAccess float64) Workload {
 
 // Breakdown is the daily cost decomposition.
 type Breakdown struct {
-	VMCostUSD      float64
-	TrafficGB      float64
-	TrafficCostUSD float64
-	TotalUSD       float64
-	PerUserUSD     float64
+	VMCostUSD         float64
+	TrafficGB         float64
+	TrafficCostUSD    float64
+	InvocationCostUSD float64
+	TotalUSD          float64
+	PerUserUSD        float64
 }
 
 // Estimate computes the daily cost of serving w under p.
@@ -55,7 +64,8 @@ func Estimate(w Workload, p Pricing) Breakdown {
 	// Each access traverses the proxy twice (in and out) on each box.
 	b.TrafficGB = float64(w.DailyUsers) * float64(w.AccessesPerUser) * w.BytesPerAccess * 2 / 1e9
 	b.TrafficCostUSD = b.TrafficGB * p.EgressPerGB
-	b.TotalUSD = b.VMCostUSD + b.TrafficCostUSD
+	b.InvocationCostUSD = float64(w.DailyUsers) * float64(w.AccessesPerUser) * w.InvocationsPerAccess * p.InvocationUSD
+	b.TotalUSD = b.VMCostUSD + b.TrafficCostUSD + b.InvocationCostUSD
 	if w.DailyUsers > 0 {
 		b.PerUserUSD = b.TotalUSD / float64(w.DailyUsers)
 	}

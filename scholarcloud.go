@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"scholarcloud/internal/carrier"
 	"scholarcloud/internal/experiments"
 	"scholarcloud/internal/faults"
 	"scholarcloud/internal/metrics"
@@ -135,6 +136,53 @@ func (f *FaultOptions) Validate() error {
 // accepts, in figure order.
 func FaultScenarios() []string { return faults.Scenarios() }
 
+// TransportOptions runs ScholarCloud's border hop over the
+// carrier-transport escalation ladder (internal/carrier) instead of a
+// single blinded carrier: the blinded TCP carrier, a serverless
+// rendezvous pool of ephemeral per-request endpoints, and a covert DNS
+// tunnel, ordered fastest (most blockable) first. The ladder prefers
+// the lowest rung, escalates on sustained transport failure, and probes
+// its way back down when the censor relents.
+type TransportOptions struct {
+	// Rungs names the carrier transports in ladder order. Empty selects
+	// the full ladder (TransportNames()).
+	Rungs []string
+	// Resilience enables the client path's resilience layer; hedged
+	// retries aim at the next rung up the ladder.
+	Resilience bool
+}
+
+// Validate rejects nonsensical transport configurations.
+func (t *TransportOptions) Validate() error {
+	if t == nil {
+		return nil
+	}
+	known := make(map[string]bool)
+	for _, name := range carrier.Known() {
+		known[name] = true
+	}
+	seen := make(map[string]bool)
+	for _, r := range t.Rungs {
+		if !known[r] {
+			return fmt.Errorf("scholarcloud: unknown carrier transport %q (known transports: %s)",
+				r, strings.Join(carrier.Known(), ", "))
+		}
+		if seen[r] {
+			return fmt.Errorf("scholarcloud: carrier transport %q listed twice in TransportOptions.Rungs", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// TransportNames lists the carrier transports of the escalation ladder,
+// fastest (most blockable) first.
+func TransportNames() []string { return carrier.Known() }
+
+// TransportStages lists the censor escalation stages
+// Simulation.MeasureTransports accepts, mildest first.
+func TransportStages() []string { return experiments.TransportStageNames() }
+
 // Options configures a Simulation.
 type Options struct {
 	// Seed drives every stochastic decision; equal seeds reproduce equal
@@ -156,6 +204,11 @@ type Options struct {
 	// optionally, the client resilience layer). Nil keeps the healthy
 	// world and every figure byte-identical to the fault-free build.
 	Faults *FaultOptions
+	// Transports, when non-nil, runs the border hop over the carrier
+	// escalation ladder. Mutually exclusive with Fleet (the ladder
+	// manages its own endpoint pool). Nil keeps every figure
+	// byte-identical to the single-carrier build.
+	Transports *TransportOptions
 }
 
 // Validate walks every nested option block (Fleet, Cache, Faults) and
@@ -166,10 +219,14 @@ func (o Options) Validate() error {
 		o.Fleet,
 		o.Cache,
 		o.Faults,
+		o.Transports,
 	} {
 		if err := block.Validate(); err != nil {
 			return err
 		}
+	}
+	if o.Transports != nil && o.Fleet != nil {
+		return fmt.Errorf("scholarcloud: Transports and Fleet are mutually exclusive — the transport ladder manages its own endpoint pool")
 	}
 	return nil
 }
@@ -198,6 +255,13 @@ func NewSimulation(opts Options) *Simulation {
 	if f := opts.Faults; f != nil {
 		cfg.FaultScenario = f.Scenario
 		cfg.Resilience = f.Resilience
+	}
+	if t := opts.Transports; t != nil {
+		cfg.Transports = t.Rungs
+		if len(cfg.Transports) == 0 {
+			cfg.Transports = carrier.Known()
+		}
+		cfg.Resilience = cfg.Resilience || t.Resilience
 	}
 	return &Simulation{World: experiments.NewWorld(cfg)}
 }
@@ -431,6 +495,60 @@ func (s *Simulation) MeasureFaults(clients, rounds int) (*FaultsResult, error) {
 		res.Scenario, res.Resilience = r.Scenario, r.Resilience
 		res.Clients, res.PLT = r.Clients, r.PLT
 		res.Visits, res.Failed = r.Visits, r.Failed
+		res.SuccessRate = r.SuccessRate()
+		return nil
+	}, func(sn obs.Snapshot) { res.Obs = sn })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TransportsResult is a transport-ladder datapoint: ScholarCloud page
+// loads measured under one censor stage, with where the escalation walk
+// settled and what the serverless fallback cost.
+type TransportsResult struct {
+	Stage   string
+	Clients int
+	// FinalRung is the ladder's active transport once the load completed.
+	FinalRung   string
+	Escalations int64
+	// Invocations counts metered rendezvous endpoint invocations (cold
+	// starts); InvocationCostUSD extrapolates them to the paper's daily
+	// workload under serverless pricing.
+	Invocations       int64
+	InvocationCostUSD float64
+	PLT               Summary // seconds, successful visits only
+	Visits            int
+	Failed            int
+	// SuccessRate is the fraction of page loads that completed.
+	SuccessRate float64
+	Obs         obs.Snapshot
+}
+
+// MeasureTransports arms the named censor stage (TransportStages()), then
+// runs `clients` concurrent ScholarCloud clients for `rounds` visit
+// rounds against the carrier escalation ladder. The simulation must have
+// been built with a Transports block.
+func (s *Simulation) MeasureTransports(stage string, clients, rounds int) (*TransportsResult, error) {
+	if len(s.World.Cfg.Transports) == 0 {
+		return nil, fmt.Errorf("scholarcloud: MeasureTransports needs Options.Transports")
+	}
+	st, ok := experiments.TransportStageByName(stage)
+	if !ok {
+		return nil, fmt.Errorf("scholarcloud: unknown censor stage %q (known stages: %s)",
+			stage, strings.Join(experiments.TransportStageNames(), ", "))
+	}
+	res := &TransportsResult{}
+	err := s.measure(func() error {
+		r, err := s.World.MeasureTransports(st, clients, rounds)
+		if err != nil {
+			return err
+		}
+		res.Stage, res.Clients = r.Stage, r.Clients
+		res.FinalRung, res.Escalations = r.FinalRung, r.Escalations
+		res.Invocations, res.InvocationCostUSD = r.Invocations, r.InvocationCostUSD()
+		res.PLT, res.Visits, res.Failed = r.PLT, r.Visits, r.Failed
 		res.SuccessRate = r.SuccessRate()
 		return nil
 	}, func(sn obs.Snapshot) { res.Obs = sn })

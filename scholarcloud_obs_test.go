@@ -167,6 +167,11 @@ func TestOptionsValidate(t *testing.T) {
 		{"valid faults with resilience", Options{Faults: &FaultOptions{Scenario: "burst-loss+crash", Resilience: true}}, ""},
 		{"empty faults block", Options{Faults: &FaultOptions{}}, "Scenario is empty"},
 		{"unknown fault scenario", Options{Faults: &FaultOptions{Scenario: "earthquake"}}, "unknown fault scenario"},
+		{"valid transports", Options{Transports: &TransportOptions{Resilience: true}}, ""},
+		{"transports explicit rungs", Options{Transports: &TransportOptions{Rungs: []string{"blinded", "dns-tunnel"}}}, ""},
+		{"unknown transport rung", Options{Transports: &TransportOptions{Rungs: []string{"warp-drive"}}}, "unknown carrier transport"},
+		{"duplicate transport rung", Options{Transports: &TransportOptions{Rungs: []string{"blinded", "blinded"}}}, "listed twice"},
+		{"transports with fleet", Options{Transports: &TransportOptions{}, Fleet: &FleetOptions{Remotes: 2}}, "mutually exclusive"},
 		{"all blocks valid", Options{
 			Fleet:  &FleetOptions{Remotes: 2},
 			Cache:  &CacheOptions{CapacityMB: 4},
@@ -214,6 +219,7 @@ func TestConflictingOptionsRejected(t *testing.T) {
 		{"cache without capacity", Options{Cache: &CacheOptions{TTL: time.Minute}}, "CapacityMB must be positive"},
 		{"faults without scenario", Options{Faults: &FaultOptions{Resilience: true}}, "Scenario is empty"},
 		{"unknown fault scenario", Options{Faults: &FaultOptions{Scenario: "tsunami"}}, "unknown fault scenario"},
+		{"transports with fleet", Options{Transports: &TransportOptions{}, Fleet: &FleetOptions{Remotes: 2}}, "mutually exclusive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

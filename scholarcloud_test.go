@@ -122,3 +122,44 @@ func TestSSKeepAliveOption(t *testing.T) {
 		t.Errorf("long keep-alive PLT %v not below default %v", longRes.Subsequent.Mean, stdRes.Subsequent.Mean)
 	}
 }
+
+func TestTransportsFacade(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13, Transports: &TransportOptions{Resilience: true}})
+	defer sim.Close()
+
+	names := TransportNames()
+	if len(names) != 3 || names[0] != "blinded" {
+		t.Fatalf("transport names = %v", names)
+	}
+	stages := TransportStages()
+	if len(stages) == 0 || stages[0] != "open" {
+		t.Fatalf("censor stages = %v", stages)
+	}
+
+	r, err := sim.MeasureTransports("open", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalRung != names[0] {
+		t.Errorf("open-stage final rung = %q, want %q", r.FinalRung, names[0])
+	}
+	if r.Failed != 0 {
+		t.Errorf("%d failed visits under an open censor", r.Failed)
+	}
+	if r.SuccessRate < 1 {
+		t.Errorf("success rate = %v", r.SuccessRate)
+	}
+
+	if _, err := sim.MeasureTransports("carpet-bomb", 1, 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown censor stage") {
+		t.Errorf("unknown stage err = %v", err)
+	}
+}
+
+func TestMeasureTransportsNeedsOptions(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13})
+	defer sim.Close()
+	if _, err := sim.MeasureTransports("open", 1, 1); err == nil {
+		t.Error("MeasureTransports succeeded without a Transports block")
+	}
+}
