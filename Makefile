@@ -74,6 +74,10 @@ determinism:
 	@/tmp/scholarbench-gate -fig transports -parallel 3 > /tmp/scholarbench-transports-p3.txt
 	@cmp /tmp/scholarbench-transports-p1.txt /tmp/scholarbench-transports-p3.txt && \
 		echo "determinism gate: -fig transports byte-identical at -parallel 1 and -parallel 3"
+	@/tmp/scholarbench-gate -fig shards -parallel 1 > /tmp/scholarbench-shards-p1.txt
+	@/tmp/scholarbench-gate -fig shards -parallel 3 > /tmp/scholarbench-shards-p3.txt
+	@cmp /tmp/scholarbench-shards-p1.txt /tmp/scholarbench-shards-p3.txt && \
+		echo "determinism gate: -fig shards byte-identical at -parallel 1 and -parallel 3"
 
 ## figures: regenerate the paper's figures (quick sampling).
 figures:

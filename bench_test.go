@@ -273,6 +273,38 @@ func BenchmarkTransportLadder(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedCache runs the shards figure's acceptance claim — a
+// K-shard tier with cache peering holds border traffic at the
+// single-proxy level while splitting the user base K ways — at K = 1
+// and K = 4, reporting mean PLT and border kilobytes.
+func BenchmarkShardedCache(b *testing.B) {
+	for _, k := range []int{1, 4} {
+		k := k
+		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
+			var plt, kb float64
+			for i := 0; i < b.N; i++ {
+				w := figureWorld(b, experiments.Config{
+					CacheMB:            64,
+					Shards:             k,
+					ShardSiblingFetch:  k > 1,
+					ShardRehashOnDeath: k > 1,
+				})
+				p, err := w.MeasureShards(16, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Failed > 0 {
+					b.Fatalf("%d failed page loads", p.Failed)
+				}
+				plt, kb = p.PLT.Mean, float64(p.BorderBytes)/1024
+				w.Close()
+			}
+			b.ReportMetric(plt, "s/PLT")
+			b.ReportMetric(kb, "KB/border")
+		})
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationBlinding compares ScholarCloud with and without

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	scholarbench [-fig 2|3|4|5a|5b|5c|6a|6bc|7|ops|fleet|cache|faults|transports|all] [-seed N]
+//	scholarbench [-fig 2|3|4|5a|5b|5c|6a|6bc|7|ops|fleet|cache|faults|transports|shards|all] [-seed N]
 //	             [-seeds N] [-parallel N] [-full] [-bench-out FILE]
 //	scholarbench -trace <method>
 //
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,cache,faults,transports,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,cache,faults,transports,shards,all")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	seeds := flag.Int("seeds", 1, "replicate every figure cell on this many consecutive seeds (mean ± 95% CI tables when > 1)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulated worlds (0 = GOMAXPROCS)")

@@ -18,6 +18,14 @@
 // healthy rung, escalates on sustained transport failure, and probes
 // back down when the rung below recovers.
 //
+// -shards N runs a horizontally sharded domestic tier in one process:
+// shard i binds the -listen/-web/-admin (and derives the -public)
+// address with the port incremented by i, the PAC assigns each user to
+// a shard by rendezvous hash, and the shards' caches peer so each
+// shared object crosses the border once tier-wide (requires -cache-mb).
+// Multi-machine tiers instead start one process per shard, each listing
+// the whole tier in DomesticConfig.ShardAddrs.
+//
 // Users configure their browser with http://<domestic>/pac — the single
 // setting ScholarCloud requires.
 package main
@@ -101,6 +109,7 @@ func runDomestic(args []string) {
 	public := fs.String("public", "", "proxy address written into the PAC file")
 	cacheMB := fs.Int("cache-mb", 0, "shared content-cache budget in MiB (0 = no cache)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "heuristic freshness TTL for cached responses without max-age (0 = default)")
+	shards := fs.Int("shards", 0, "run a sharded domestic tier of this many proxies in one process: shard i binds -listen/-web/-admin (and derives -public) at port+i; needs -cache-mb")
 	resilient := fs.Bool("resilient", false, "enable client-path resilience: dial/request deadlines, reconnect backoff, hedged failover")
 	dialTimeout := fs.Duration("dial-timeout", 0, "resilience per-dial deadline (0 = default 3s; needs -resilient)")
 	requestTimeout := fs.Duration("request-timeout", 0, "resilience per-request deadline (0 = default 30s; needs -resilient)")
@@ -116,7 +125,7 @@ func runDomestic(args []string) {
 	if *transports != "" {
 		rungs = strings.Split(*transports, ",")
 	}
-	d, err := scholarcloud.StartDomestic(scholarcloud.DomesticConfig{
+	cfg := scholarcloud.DomesticConfig{
 		ProxyListen:       *listen,
 		WebListen:         *web,
 		AdminListen:       *admin,
@@ -132,7 +141,12 @@ func runDomestic(args []string) {
 		Resilience:        *resilient,
 		DialTimeout:       *dialTimeout,
 		RequestTimeout:    *requestTimeout,
-	})
+	}
+	if *shards >= 2 {
+		runDomesticTier(cfg, *shards)
+		return
+	}
+	d, err := scholarcloud.StartDomestic(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "domestic:", err)
 		os.Exit(1)
@@ -145,6 +159,25 @@ func runDomestic(args []string) {
 	}
 	if t := d.ActiveTransport(); t != "" {
 		fmt.Printf("transport ladder active rung: %s\n", t)
+	}
+	waitForInterrupt()
+}
+
+// runDomesticTier starts the one-process sharded tier and prints every
+// shard's listeners so operators can point health checks at each.
+func runDomesticTier(cfg scholarcloud.DomesticConfig, shards int) {
+	tier, err := scholarcloud.StartDomesticTier(cfg, shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "domestic:", err)
+		os.Exit(1)
+	}
+	defer tier.Close()
+	fmt.Printf("scholarcloud sharded domestic tier: %d shards\n", shards)
+	for i, d := range tier.Shards() {
+		fmt.Printf("  shard %d proxy on %s; PAC at http://%s/pac\n", i, d.ProxyAddr(), d.WebAddr())
+		if a := d.AdminAddr(); a != nil {
+			fmt.Printf("  shard %d admin at http://%s/metrics and /healthz\n", i, a)
+		}
 	}
 	waitForInterrupt()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"scholarcloud/internal/obs"
 	"scholarcloud/internal/pac"
 	"scholarcloud/internal/pki"
+	"scholarcloud/internal/shard"
 )
 
 // RemoteConfig configures a real-socket remote proxy (the endpoint
@@ -203,6 +205,19 @@ type DomesticConfig struct {
 	// healthy rung, escalates on sustained transport failure, and probes
 	// back down when the rung below recovers.
 	Transports []string
+	// ShardAddrs, when non-empty, makes this proxy one shard of a
+	// horizontally sharded domestic tier: it lists every shard's public
+	// proxy address — including this process's own PublicProxyAddr — in
+	// the order agreed tier-wide. The generated PAC then embeds the whole
+	// tier with the rendezvous user→shard assignment, and a local cache
+	// miss on a key owned by a peer shard is filled from that peer (one
+	// border crossing per object for the whole tier) instead of across
+	// the border. Every shard of a tier must be started with the same
+	// list. Requires CacheMB (the peering tier is a cache tier) and is
+	// mutually exclusive with Transports. For the one-process tier the
+	// CLI's -shards flag runs, see StartDomesticTier, which derives this
+	// list itself.
+	ShardAddrs []string
 	// Resilience, when true, runs the client path under the resilience
 	// policy: per-dial and per-request deadlines, exponential reconnect
 	// backoff with deterministic jitter, and hedged retry/failover across
@@ -265,6 +280,10 @@ type DomesticProxy struct {
 	webLn    net.Listener
 	adminLn  net.Listener
 	policy   *pac.Config
+	// ring is the shard tier's rendezvous view when the proxy runs
+	// sharded (ShardAddrs or StartDomesticTier); nil for the ordinary
+	// single proxy. Tier shards share one ring.
+	ring *shard.Ring
 }
 
 // ProxyAddr returns the browser-facing address.
@@ -284,6 +303,33 @@ func (d *DomesticProxy) AdminAddr() net.Addr {
 
 // PAC returns the generated proxy auto-config file.
 func (d *DomesticProxy) PAC() string { return d.policy.JavaScript() }
+
+// ShardAddrs returns the proxy tier the PAC currently publishes: the
+// live shards of a sharded deployment, or this proxy alone.
+func (d *DomesticProxy) ShardAddrs() []string { return d.policy.Proxies() }
+
+// MarkShardDown routes this shard's view of the tier around a seized
+// peer: the dead shard's key range rehashes to survivors and the PAC this
+// process serves stops listing it. Every surviving shard of a
+// multi-process tier must be told (each holds its own ring); the
+// one-process tier's DomesticTier.MarkDown does that fan-out. No-op for
+// an unsharded proxy.
+func (d *DomesticProxy) MarkShardDown(addr string) {
+	if d.ring == nil {
+		return
+	}
+	d.ring.MarkDown(addr)
+	d.policy.SetProxies(d.ring.Up())
+}
+
+// MarkShardUp readmits a recovered peer shard (see MarkShardDown).
+func (d *DomesticProxy) MarkShardUp(addr string) {
+	if d.ring == nil {
+		return
+	}
+	d.ring.MarkUp(addr)
+	d.policy.SetProxies(d.ring.Up())
+}
 
 // SetWhitelist replaces the visible whitelist at runtime (the on-demand
 // alteration the registration regime requires).
@@ -348,7 +394,17 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	if public == "" {
 		public = cfg.ProxyListen
 	}
+	var ring *shard.Ring
+	if len(cfg.ShardAddrs) > 0 {
+		if err := validateShardAddrs(cfg, public); err != nil {
+			return nil, err
+		}
+		ring = shard.NewRing(cfg.ShardAddrs)
+	}
 	policy := pac.New(public, cfg.Whitelist)
+	if ring != nil {
+		policy.SetProxies(cfg.ShardAddrs)
+	}
 	domestic := &core.Domestic{
 		Env:       env,
 		Secret:    cfg.Secret,
@@ -369,6 +425,16 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 			return nil, err
 		}
 		domestic.Cache = cc
+		if ring != nil {
+			// Sibling fetches dial the owning peer's public proxy address on
+			// the domestic network; Self must be this shard's tier entry so
+			// every peer computes the same ownership.
+			cc.SetPeers(&cache.Peers{
+				Self:  public,
+				Owner: ring.Owner,
+				Fetch: core.SiblingFetcher(net.Dial),
+			})
+		}
 	}
 	if cfg.Resilience {
 		domestic.Resil = &core.Resilience{
@@ -439,7 +505,7 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	// From here on every resource lives in p, so error exits close the
 	// partial proxy as a unit rather than maintaining parallel cleanup
 	// chains that drift as resources are added.
-	p := &DomesticProxy{domestic: domestic, pool: pool, ladder: ladder, policy: policy}
+	p := &DomesticProxy{domestic: domestic, pool: pool, ladder: ladder, policy: policy, ring: ring}
 	p.proxyLn, err = net.Listen("tcp", cfg.ProxyListen)
 	if err != nil {
 		p.Close()
@@ -465,4 +531,164 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	webSrv := &httpsim.Server{Handler: domestic.PACHandler(), Spawn: env.Spawn}
 	go webSrv.Serve(p.webLn)
 	return p, nil
+}
+
+// validateShardAddrs checks the multi-process shard-tier invariants
+// before StartDomestic allocates anything.
+func validateShardAddrs(cfg DomesticConfig, public string) error {
+	if len(cfg.ShardAddrs) < 2 {
+		return fmt.Errorf("scholarcloud: ShardAddrs lists %d shard — a one-shard tier is the ordinary single proxy, so leave it empty instead", len(cfg.ShardAddrs))
+	}
+	if cfg.CacheMB <= 0 {
+		return errors.New("scholarcloud: ShardAddrs requires CacheMB — the sharded tier exists to scale the shared content cache, and sibling fetches need one on every shard")
+	}
+	if len(cfg.Transports) > 0 {
+		return errors.New("scholarcloud: ShardAddrs and Transports are mutually exclusive — the sharded tier runs on the single blinded carrier")
+	}
+	for _, a := range cfg.ShardAddrs {
+		if a == public {
+			return nil
+		}
+	}
+	return fmt.Errorf("scholarcloud: this shard's public address %q is not in ShardAddrs — peers could never agree on key ownership; list every shard, including this one", public)
+}
+
+// addrPlus derives shard i's address from base by adding i to the port.
+// Empty addresses and ephemeral ports (":0", which the OS numbers at
+// bind time) pass through unchanged.
+func addrPlus(base string, i int) (string, error) {
+	if base == "" || i == 0 {
+		return base, nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("scholarcloud: cannot derive shard %d's address from %q: %v", i, base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("scholarcloud: cannot derive shard %d's address from %q: non-numeric port", i, base)
+	}
+	if port == 0 {
+		return base, nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+i)), nil
+}
+
+// DomesticTier is a sharded domestic tier running in one process: what
+// the CLI's -shards flag deploys. Every shard is a full DomesticProxy
+// (own listeners, own cache, own admin surface); the tier adds the
+// shared rendezvous ring, the peered caches, and the coordinated
+// takedown control plane.
+type DomesticTier struct {
+	shards   []*DomesticProxy
+	director *shard.Director
+}
+
+// Shards returns the tier's proxies in shard order.
+func (t *DomesticTier) Shards() []*DomesticProxy { return t.shards }
+
+// Addrs returns every shard's public proxy address in tier order, up or
+// down.
+func (t *DomesticTier) Addrs() []string {
+	if t.director == nil {
+		return nil
+	}
+	return t.director.Ring().Names()
+}
+
+// PAC returns the tier's proxy auto-config file (every shard serves an
+// identical one).
+func (t *DomesticTier) PAC() string { return t.shards[0].PAC() }
+
+// SetWhitelist replaces the visible whitelist on every shard.
+func (t *DomesticTier) SetWhitelist(domains []string) {
+	for _, d := range t.shards {
+		d.SetWhitelist(domains)
+	}
+}
+
+// MarkDown coordinates a takedown: the seized shard's key range rehashes
+// to survivors and every shard's PAC stops listing it, so users'
+// next PAC download routes only to live shards.
+func (t *DomesticTier) MarkDown(addr string) { t.director.MarkDown(addr) }
+
+// MarkUp readmits a recovered shard tier-wide.
+func (t *DomesticTier) MarkUp(addr string) { t.director.MarkUp(addr) }
+
+// Close shuts every shard down. Safe on a partially started tier.
+func (t *DomesticTier) Close() {
+	for _, d := range t.shards {
+		d.Close()
+	}
+}
+
+// StartDomesticTier launches a sharded domestic tier of n proxies in one
+// process. Shard i binds cfg's ProxyListen, WebListen, and AdminListen
+// (and publishes PublicProxyAddr) with the port incremented by i;
+// ephemeral ":0" listens stay ephemeral, in which case the bound
+// addresses stand in for the public ones. After every shard is up the
+// tier wires the shared ring: the PAC each shard serves embeds the whole
+// tier with the rendezvous user→shard assignment, and the shards' caches
+// peer so each shared object crosses the border once tier-wide.
+//
+// Multi-process tiers (one shard per machine — the production shape) use
+// StartDomestic with DomesticConfig.ShardAddrs instead.
+func StartDomesticTier(cfg DomesticConfig, n int) (*DomesticTier, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scholarcloud: StartDomesticTier of %d shard — use StartDomestic for the ordinary single proxy", n)
+	}
+	if cfg.CacheMB <= 0 {
+		return nil, errors.New("scholarcloud: a sharded tier requires CacheMB — it exists to scale the shared content cache, and sibling fetches need one on every shard")
+	}
+	if len(cfg.Transports) > 0 {
+		return nil, errors.New("scholarcloud: a sharded tier and Transports are mutually exclusive — the tier runs on the single blinded carrier")
+	}
+	if len(cfg.ShardAddrs) > 0 {
+		return nil, errors.New("scholarcloud: leave ShardAddrs empty with StartDomesticTier — the tier derives the shard list from its own listeners")
+	}
+
+	t := &DomesticTier{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		sc := cfg
+		var err error
+		for _, f := range []*string{&sc.ProxyListen, &sc.WebListen, &sc.AdminListen, &sc.PublicProxyAddr} {
+			if *f, err = addrPlus(*f, i); err != nil {
+				t.Close()
+				return nil, err
+			}
+		}
+		d, err := StartDomestic(sc)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("scholarcloud: shard %d: %w", i, err)
+		}
+		t.shards = append(t.shards, d)
+		if sc.PublicProxyAddr != "" {
+			addrs[i] = sc.PublicProxyAddr
+		} else {
+			addrs[i] = d.ProxyAddr().String()
+		}
+	}
+
+	// The shard list exists only now (ephemeral listens get their port at
+	// bind time), so ring, PAC tier, and cache peering wire up after the
+	// fact — the same post-start order a rolling tier restart would see.
+	ring := shard.NewRing(addrs)
+	t.director = shard.NewDirector(ring)
+	for i, d := range t.shards {
+		d.ring = ring
+		d.policy.SetProxies(addrs)
+		d.domestic.Cache.SetPeers(&cache.Peers{
+			Self:  addrs[i],
+			Owner: ring.Owner,
+			Fetch: core.SiblingFetcher(net.Dial),
+		})
+	}
+	t.director.OnChange(func(up []string) {
+		for _, d := range t.shards {
+			d.policy.SetProxies(up)
+		}
+	})
+	return t, nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -560,6 +561,329 @@ func TestStartDomesticTransportValidation(t *testing.T) {
 			if err == nil {
 				d.Close()
 				t.Fatalf("StartDomestic accepted %+v", cfg.Transports)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// startCountingOrigin is startOrigin plus a hit counter, so shard tests
+// can assert how many fetches actually crossed to the origin.
+func startCountingOrigin(t *testing.T, body string) (addr string, hits func() int64) {
+	t.Helper()
+	var n int64
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					if _, err := httpsim.ReadRequest(br); err != nil {
+						return
+					}
+					atomic.AddInt64(&n, 1)
+					resp := httpsim.NewResponse(200, []byte(body))
+					if err := resp.Encode(conn); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() int64 { return atomic.LoadInt64(&n) }
+}
+
+// proxyGet issues an absolute-URI GET through the proxy at proxyAddr,
+// the plain-HTTP proxying path shard caches key on.
+func proxyGet(t *testing.T, proxyAddr, target string) *httpsim.Response {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", proxyAddr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	u, err := httpsim.ParseURL(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\n\r\n", target, u.Host)
+	resp, err := httpsim.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("GET %s via %s: %v", target, proxyAddr, err)
+	}
+	return resp
+}
+
+// TestRealSocketShardedTier runs a three-shard domestic tier over
+// loopback sockets and checks the tentpole's deployment-side guarantees:
+// the PAC embeds the whole tier with the rendezvous assignment, every
+// shard serves the shared object, and the object crosses to the origin
+// exactly once however many shards are asked.
+func TestRealSocketShardedTier(t *testing.T) {
+	origin, originHits := startCountingOrigin(t, "tier-cached content")
+	originHost, _, _ := strings.Cut(origin, ":")
+	secret := []byte("tier-secret")
+
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	tier, err := StartDomesticTier(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		AdminListen: "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      secret,
+		Whitelist:   []string{originHost},
+		CacheMB:     4,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+
+	addrs := tier.Addrs()
+	if len(addrs) != 3 {
+		t.Fatalf("tier addrs = %v, want 3", addrs)
+	}
+	pacFile := tier.PAC()
+	for _, a := range addrs {
+		if !strings.Contains(pacFile, a) {
+			t.Errorf("PAC does not list shard %s:\n%s", a, pacFile)
+		}
+	}
+	if !strings.Contains(pacFile, "myIpAddress()") {
+		t.Errorf("sharded PAC lacks the rendezvous assignment:\n%s", pacFile)
+	}
+
+	target := "http://" + origin + "/paper"
+	for i, d := range tier.Shards() {
+		resp := proxyGet(t, d.ProxyAddr().String(), target)
+		if resp.StatusCode != 200 || string(resp.Body) != "tier-cached content" {
+			t.Fatalf("shard %d: %d %q", i, resp.StatusCode, resp.Body)
+		}
+	}
+	if got := originHits(); got != 1 {
+		t.Errorf("origin fetched %d times by a 3-shard tier, want exactly 1", got)
+	}
+	var siblings, borders int64
+	for _, d := range tier.Shards() {
+		st := d.domestic.Cache.Snapshot()
+		siblings += st.SiblingFetches
+		borders += st.BorderFetches
+	}
+	if borders != 1 {
+		t.Errorf("tier border fetches = %d, want 1", borders)
+	}
+	if siblings != 2 {
+		t.Errorf("tier sibling fetches = %d, want 2 (one per non-owner)", siblings)
+	}
+}
+
+// TestRealSocketShardedTierTakedown seizes one shard of a running tier
+// and checks the coordinated response on every survivor: PAC republish,
+// ring rehash, and continued service.
+func TestRealSocketShardedTierTakedown(t *testing.T) {
+	origin, _ := startCountingOrigin(t, "survivor content")
+	originHost, _, _ := strings.Cut(origin, ":")
+	secret := []byte("tier-secret")
+
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	tier, err := StartDomesticTier(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      secret,
+		Whitelist:   []string{originHost},
+		CacheMB:     4,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+
+	addrs := tier.Addrs()
+	victim := addrs[2]
+	tier.MarkDown(victim)
+	for i, d := range tier.Shards() {
+		if strings.Contains(d.PAC(), victim) {
+			t.Errorf("shard %d's PAC still lists the seized shard %s", i, victim)
+		}
+		if got := d.ShardAddrs(); len(got) != 2 {
+			t.Errorf("shard %d publishes %v, want the 2 survivors", i, got)
+		}
+	}
+
+	// Survivors keep serving, including keys the victim owned.
+	target := "http://" + origin + "/cite/42"
+	resp := proxyGet(t, tier.Shards()[0].ProxyAddr().String(), target)
+	if resp.StatusCode != 200 || string(resp.Body) != "survivor content" {
+		t.Fatalf("post-takedown fetch: %d %q", resp.StatusCode, resp.Body)
+	}
+
+	tier.MarkUp(victim)
+	if got := tier.Shards()[0].ShardAddrs(); len(got) != 3 {
+		t.Errorf("after MarkUp the tier publishes %v, want all 3", got)
+	}
+}
+
+// TestRealSocketShardAddrsPeering is the multi-process tier: two
+// StartDomestic calls (one per shard, as separate machines would run),
+// each configured with the full tier in ShardAddrs. A shared object
+// fetched through both shards crosses to the origin once.
+func TestRealSocketShardAddrsPeering(t *testing.T) {
+	origin, originHits := startCountingOrigin(t, "peered content")
+	originHost, _, _ := strings.Cut(origin, ":")
+	secret := []byte("peer-secret")
+
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	tierAddrs := []string{freePort(t), freePort(t)}
+	var shards []*DomesticProxy
+	for _, self := range tierAddrs {
+		d, err := StartDomestic(DomesticConfig{
+			ProxyListen:     self,
+			WebListen:       "127.0.0.1:0",
+			RemoteAddr:      remote.Addr().String(),
+			Secret:          secret,
+			Whitelist:       []string{originHost},
+			PublicProxyAddr: self,
+			CacheMB:         4,
+			ShardAddrs:      tierAddrs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		shards = append(shards, d)
+	}
+
+	target := "http://" + origin + "/paper"
+	for i, d := range shards {
+		resp := proxyGet(t, d.ProxyAddr().String(), target)
+		if resp.StatusCode != 200 || string(resp.Body) != "peered content" {
+			t.Fatalf("shard %d: %d %q", i, resp.StatusCode, resp.Body)
+		}
+	}
+	if got := originHits(); got != 1 {
+		t.Errorf("origin fetched %d times by a 2-shard tier, want exactly 1", got)
+	}
+
+	// Each process holds its own ring: a takedown is told to each shard.
+	shards[0].MarkShardDown(tierAddrs[1])
+	if got := shards[0].ShardAddrs(); len(got) != 1 || got[0] != tierAddrs[0] {
+		t.Errorf("after MarkShardDown shard 0 publishes %v, want just itself", got)
+	}
+	if got := shards[1].ShardAddrs(); len(got) != 2 {
+		t.Errorf("shard 1 (not yet told) publishes %v, want the full tier", got)
+	}
+}
+
+// TestStartDomesticShardAddrsValidation checks the multi-process shard
+// invariants fail closed with instructive errors.
+func TestStartDomesticShardAddrsValidation(t *testing.T) {
+	base := func() DomesticConfig {
+		return DomesticConfig{
+			ProxyListen:     "127.0.0.1:0",
+			WebListen:       "127.0.0.1:0",
+			RemoteAddr:      "127.0.0.1:1",
+			Secret:          []byte("s"),
+			PublicProxyAddr: "shard-a.example:8118",
+			CacheMB:         4,
+			ShardAddrs:      []string{"shard-a.example:8118", "shard-b.example:8118"},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*DomesticConfig)
+		want string
+	}{
+		{"one shard", func(c *DomesticConfig) {
+			c.ShardAddrs = c.ShardAddrs[:1]
+		}, "one-shard tier"},
+		{"no cache", func(c *DomesticConfig) { c.CacheMB = 0 }, "requires CacheMB"},
+		{"with transports", func(c *DomesticConfig) {
+			c.RemoteAddr = ""
+			c.Transports = []string{"blinded=127.0.0.1:1"}
+		}, "mutually exclusive"},
+		{"not a member", func(c *DomesticConfig) {
+			c.PublicProxyAddr = "elsewhere.example:8118"
+		}, "not in ShardAddrs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			d, err := StartDomestic(cfg)
+			if err == nil {
+				d.Close()
+				t.Fatal("StartDomestic accepted an invalid shard config")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStartDomesticTierValidation checks the one-process tier's
+// invariants.
+func TestStartDomesticTierValidation(t *testing.T) {
+	base := func() DomesticConfig {
+		return DomesticConfig{
+			ProxyListen: "127.0.0.1:0",
+			WebListen:   "127.0.0.1:0",
+			RemoteAddr:  "127.0.0.1:1",
+			Secret:      []byte("s"),
+			CacheMB:     4,
+		}
+	}
+	cases := []struct {
+		name   string
+		shards int
+		mut    func(*DomesticConfig)
+		want   string
+	}{
+		{"one shard", 1, func(*DomesticConfig) {}, "single proxy"},
+		{"no cache", 2, func(c *DomesticConfig) { c.CacheMB = 0 }, "requires CacheMB"},
+		{"with transports", 2, func(c *DomesticConfig) {
+			c.RemoteAddr = ""
+			c.Transports = []string{"blinded=127.0.0.1:1"}
+		}, "mutually exclusive"},
+		{"shard addrs set", 2, func(c *DomesticConfig) {
+			c.ShardAddrs = []string{"a:1", "b:1"}
+		}, "leave ShardAddrs empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			tier, err := StartDomesticTier(cfg, tc.shards)
+			if err == nil {
+				tier.Close()
+				t.Fatal("StartDomesticTier accepted an invalid config")
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("err = %v, want substring %q", err, tc.want)

@@ -135,6 +135,27 @@ func (o Outcome) String() string {
 // cache holds a revalidatable stale entry; it is nil on a cold miss.
 type Fetcher func(cond map[string]string) (*httpsim.Response, error)
 
+// SiblingFetcher fetches key through peer (the owning shard) instead of
+// across the border. It requests the full object (the owner manages its
+// own revalidation state); an error means the peer is unreachable or
+// declined, and the caller falls back to its own border fetch.
+type SiblingFetcher func(peer, key string) (*httpsim.Response, error)
+
+// Peers makes the cache fleet-aware: in a sharded domestic tier every key
+// has one owning shard (consistent-hash ownership), and a local miss on a
+// non-owning shard asks the owner first — an ICP/CARP-style sibling fetch
+// that stays inside the domestic network — before crossing the censored
+// border. Combined with the owner's own singleflight, K shards fetch each
+// shared object across the border exactly once.
+type Peers struct {
+	// Self is this shard's name (its proxy "host:port").
+	Self string
+	// Owner maps a cache key to the name of the shard owning it.
+	Owner func(key string) string
+	// Fetch performs the sibling fetch against the owning peer.
+	Fetch SiblingFetcher
+}
+
 // object is one stored response.
 type object struct {
 	resp    *httpsim.Response
@@ -170,6 +191,9 @@ type Cache struct {
 	salt   uint64
 	shards []*shard
 
+	peersMu sync.RWMutex
+	peers   *Peers
+
 	hits        metrics.Counter
 	misses      metrics.Counter
 	revalidated metrics.Counter
@@ -177,6 +201,10 @@ type Cache struct {
 	coalesced   metrics.Counter
 	uncacheable metrics.Counter
 	evictions   metrics.Counter
+
+	siblingFetches metrics.Counter
+	siblingErrors  metrics.Counter
+	borderFetches  metrics.Counter
 
 	hitSeconds *obs.Histogram // nil until Instrument
 }
@@ -230,6 +258,9 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 	reg.RegisterCounter("cache.coalesced_waiters", &c.coalesced)
 	reg.RegisterCounter("cache.uncacheable", &c.uncacheable)
 	reg.RegisterCounter("cache.evictions", &c.evictions)
+	reg.RegisterCounter("cache.sibling_fetches", &c.siblingFetches)
+	reg.RegisterCounter("cache.sibling_errors", &c.siblingErrors)
+	reg.RegisterCounter("cache.border_fetches", &c.borderFetches)
 	reg.RegisterFunc("cache.bytes", c.Bytes)
 	reg.RegisterFunc("cache.entries", c.Entries)
 	c.hitSeconds = reg.Histogram("cache.hit_seconds")
@@ -241,21 +272,43 @@ type Stats struct {
 	Bypass, Coalesced         int64
 	Uncacheable               int64
 	Evictions, Entries, Bytes int64
+	// SiblingFetches counts leader fetches routed to an owning peer,
+	// SiblingErrors the subset that failed and fell back to the border,
+	// and BorderFetches the leader fetches that crossed the border.
+	SiblingFetches, SiblingErrors, BorderFetches int64
 }
 
 // Snapshot returns current counter values.
 func (c *Cache) Snapshot() Stats {
 	return Stats{
-		Hits:        c.hits.Value(),
-		Misses:      c.misses.Value(),
-		Revalidated: c.revalidated.Value(),
-		Bypass:      c.bypass.Value(),
-		Coalesced:   c.coalesced.Value(),
-		Uncacheable: c.uncacheable.Value(),
-		Evictions:   c.evictions.Value(),
-		Entries:     c.Entries(),
-		Bytes:       c.Bytes(),
+		Hits:           c.hits.Value(),
+		Misses:         c.misses.Value(),
+		Revalidated:    c.revalidated.Value(),
+		Bypass:         c.bypass.Value(),
+		Coalesced:      c.coalesced.Value(),
+		Uncacheable:    c.uncacheable.Value(),
+		Evictions:      c.evictions.Value(),
+		Entries:        c.Entries(),
+		Bytes:          c.Bytes(),
+		SiblingFetches: c.siblingFetches.Value(),
+		SiblingErrors:  c.siblingErrors.Value(),
+		BorderFetches:  c.borderFetches.Value(),
 	}
+}
+
+// SetPeers joins (or leaves, with nil) the cache peering mesh. Safe to
+// call while fetches are in flight; in-progress leaders keep the peer
+// view they started with.
+func (c *Cache) SetPeers(p *Peers) {
+	c.peersMu.Lock()
+	defer c.peersMu.Unlock()
+	c.peers = p
+}
+
+func (c *Cache) peerView() *Peers {
+	c.peersMu.RLock()
+	defer c.peersMu.RUnlock()
+	return c.peers
 }
 
 // Bytes returns the total stored cost across shards.
@@ -290,7 +343,24 @@ func (c *Cache) Entries() int64 {
 // window — gets (nil, Uncacheable, nil) and must fetch upstream itself.
 // The returned response is the caller's own shallow copy (shared body
 // bytes, private header map).
+//
+// When peering is configured (SetPeers) and another shard owns key, the
+// leader's fetch is routed to the owning peer instead of across the
+// border; the peer's response goes through normal admission so the local
+// shard keeps a replica. A sibling failure falls back to the border
+// fetch — peer death degrades cost, never availability.
 func (c *Cache) Fetch(key string, fetch Fetcher) (*httpsim.Response, Outcome, error) {
+	return c.fetchShared(key, fetch, true)
+}
+
+// FetchLocal is Fetch without peer forwarding: the path a sibling request
+// takes at the owning shard, so a rehash race or ownership disagreement
+// degrades to one extra border fetch instead of a forwarding loop.
+func (c *Cache) FetchLocal(key string, fetch Fetcher) (*httpsim.Response, Outcome, error) {
+	return c.fetchShared(key, fetch, false)
+}
+
+func (c *Cache) fetchShared(key string, fetch Fetcher, peering bool) (*httpsim.Response, Outcome, error) {
 	start := c.env.Clock.Now()
 	s := c.shards[c.shardIndex(key)]
 	s.mu.Lock()
@@ -339,7 +409,26 @@ func (c *Cache) Fetch(key string, fetch Fetcher) (*httpsim.Response, Outcome, er
 	}
 	s.mu.Unlock()
 
-	resp, err := fetch(cond)
+	var resp *httpsim.Response
+	var err error
+	fetched := false
+	if peers := c.peerView(); peering && peers != nil && peers.Owner != nil && peers.Fetch != nil {
+		if owner := peers.Owner(key); owner != "" && owner != peers.Self {
+			c.siblingFetches.Inc()
+			if resp, err = peers.Fetch(owner, key); err == nil && resp != nil {
+				fetched = true
+			} else {
+				// The owner is unreachable (mid-takedown, rehash race):
+				// fall back to our own border fetch.
+				c.siblingErrors.Inc()
+				resp, err = nil, nil
+			}
+		}
+	}
+	if !fetched {
+		c.borderFetches.Inc()
+		resp, err = fetch(cond)
+	}
 
 	s.mu.Lock()
 	outcome := Miss

@@ -78,6 +78,8 @@ type Domestic struct {
 	mu        sync.Mutex
 	sess      *mux.Session
 	endpoint  string
+	dialing   bool      // a goroutine is establishing the session
+	dialCond  netx.Cond // wakes session() callers parked behind dialing
 	dialFails int       // consecutive single-remote dial failures
 	nextDial  time.Time // reconnect backoff gate (zero = none)
 
@@ -184,15 +186,31 @@ func (d *Domestic) WrapCarrier(raw net.Conn) *mux.Session {
 // standby remotes are handled by configuring a fleet instead.
 func (d *Domestic) session() (*mux.Session, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	if d.dialCond == nil {
+		d.dialCond = d.Env.Sync.NewCond(&d.mu)
+	}
+	// The dial crosses the border, so it blocks in (virtual) time; d.mu
+	// must not be held across it — a second request parking on the bare
+	// mutex would stall the scheduler. Concurrent callers park on the
+	// scheduler-aware cond instead and re-check once the dialer finishes.
+	for d.dialing {
+		d.dialCond.Wait()
+	}
 	if d.sess != nil && d.sess.Err() == nil {
-		return d.sess, nil
+		sess := d.sess
+		d.mu.Unlock()
+		return sess, nil
 	}
 	if d.Resil != nil {
 		if now := d.Env.Clock.Now(); now.Before(d.nextDial) {
-			return nil, fmt.Errorf("%w: reconnect backing off for %v", ErrAllRemotesDown, d.nextDial.Sub(now))
+			wait := d.nextDial.Sub(now)
+			d.mu.Unlock()
+			return nil, fmt.Errorf("%w: reconnect backing off for %v", ErrAllRemotesDown, wait)
 		}
 	}
+	d.dialing = true
+	d.mu.Unlock()
+
 	var raw net.Conn
 	var err error
 	if d.Resil != nil {
@@ -200,6 +218,13 @@ func (d *Domestic) session() (*mux.Session, error) {
 	} else {
 		raw, err = d.DialRemote()
 	}
+
+	d.mu.Lock()
+	defer func() {
+		d.dialing = false
+		d.dialCond.Broadcast()
+		d.mu.Unlock()
+	}()
 	if err != nil {
 		if d.Resil != nil {
 			// Exponential reconnect backoff with deterministic jitter: the
@@ -418,6 +443,9 @@ func withoutCredentials(req *httpsim.Request) *httpsim.Request {
 // (Bypass), the user gets their own upstream fetch with their own
 // credentials — per-user first-visit semantics never ride the cache.
 func (d *Domestic) roundTrip(u *httpsim.URL, req *httpsim.Request) (*httpsim.Response, error) {
+	if req.Header[SiblingHeader] != "" {
+		return d.siblingRoundTrip(u, req)
+	}
 	if d.Cache == nil || req.Method != "GET" || !d.Whitelist.Match(u.Host) {
 		return d.fetchOrigin(u, req, nil)
 	}
@@ -435,6 +463,39 @@ func (d *Domestic) roundTrip(u *httpsim.URL, req *httpsim.Request) (*httpsim.Res
 		}
 	}
 	d.flowTrace.Load().Addf("core", "cache", "%s %s", outcome, key)
+	return resp, nil
+}
+
+// siblingRoundTrip answers a peer shard's cache-peering request: serve
+// the key from the local cache via FetchLocal — never forwarding to
+// another peer, so a rehash race cannot loop — populating on miss with a
+// credential-free border fetch. When the cache stands aside (the key is
+// known per-user), the peer still gets a credential-free fetch: exactly
+// what it would have pulled across the border itself, so admission at the
+// requesting shard replays the same per-user decision.
+func (d *Domestic) siblingRoundTrip(u *httpsim.URL, req *httpsim.Request) (*httpsim.Response, error) {
+	popReq := withoutCredentials(req)
+	delete(popReq.Header, SiblingHeader)
+	if d.Cache == nil || req.Method != "GET" || !d.Whitelist.Match(u.Host) {
+		return d.fetchOrigin(u, popReq, nil)
+	}
+	key := u.Scheme + "://" + u.HostPort() + u.Path
+	resp, outcome, err := d.Cache.FetchLocal(key, func(cond map[string]string) (*httpsim.Response, error) {
+		return d.fetchOrigin(u, popReq, cond)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		// Uncacheable: the cache stood aside. The peer asked for a
+		// shareable copy; a plain credential-free fetch is the closest
+		// thing that exists for a per-user key.
+		resp, err = d.fetchOrigin(u, popReq, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.flowTrace.Load().Addf("core", "sibling", "%s %s", outcome, key)
 	return resp, nil
 }
 

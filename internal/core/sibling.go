@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"net"
+
+	"scholarcloud/internal/cache"
+	"scholarcloud/internal/httpsim"
+)
+
+// SiblingHeader marks a proxy-to-proxy cache peering request. A domestic
+// shard receiving it serves the key from its local cache (FetchLocal —
+// never forwarding onward, so ownership disagreements degrade to an extra
+// border fetch instead of a loop) and never substitutes the requesting
+// shard's users' credentials.
+const SiblingHeader = "X-Scholarcloud-Sibling"
+
+// SiblingFetcher returns the cache.SiblingFetcher for a shard in the
+// domestic tier: it dials the owning peer's proxy endpoint on the
+// domestic network and issues the cache key — an absolute URI — as a
+// marked GET. The peer answers from its cache, fetching across the
+// border at most once no matter how many shards ask.
+func SiblingFetcher(dial func(network, address string) (net.Conn, error)) cache.SiblingFetcher {
+	return func(peer, key string) (*httpsim.Response, error) {
+		u, err := httpsim.ParseURL(key)
+		if err != nil {
+			return nil, fmt.Errorf("core: sibling fetch of unparsable key %q: %w", key, err)
+		}
+		conn, err := dial("tcp", peer)
+		if err != nil {
+			return nil, fmt.Errorf("core: dial sibling %s: %w", peer, err)
+		}
+		defer conn.Close()
+		return httpsim.NewClientConn(conn).RoundTrip(&httpsim.Request{
+			Method: "GET",
+			Target: key,
+			Host:   u.Host,
+			Header: map[string]string{SiblingHeader: "1"},
+		})
+	}
+}

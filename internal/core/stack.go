@@ -29,6 +29,19 @@ type ClientStack struct {
 	// content cache see and serve them. Off by default: CONNECT preserves
 	// end-to-end TLS to the origin.
 	GatewayHTTPS bool
+	// ClientIP is this device's address as myIpAddress() would report it
+	// to the PAC file. With a sharded domestic tier it selects the user's
+	// shard (pac.EvaluateFor); empty keeps the tier-order evaluation.
+	ClientIP string
+}
+
+// evaluate applies the PAC policy the way the real browser would: hashed
+// onto this client's shard when the client knows its own address.
+func (s *ClientStack) evaluate(host string) pac.Decision {
+	if s.ClientIP != "" {
+		return s.PAC.EvaluateFor(s.ClientIP, host)
+	}
+	return s.PAC.Evaluate(host)
 }
 
 // Name implements tunnel.Method.
@@ -41,8 +54,18 @@ func (s *ClientStack) Close() error { return nil }
 // connection runs CONNECT through the domestic proxy; everything else is
 // a direct dial.
 func (s *ClientStack) DialHost(host string, port int) (net.Conn, error) {
-	if d := s.PAC.Evaluate(host); d.Proxy {
-		return s.dialViaProxy(d.Address, host, port)
+	if d := s.evaluate(host); d.Proxy {
+		// "PROXY a; PROXY b" failover, exactly as a browser walks the
+		// PAC result: try the assigned shard, fall through the chain.
+		var lastErr error
+		for _, addr := range d.Addresses {
+			conn, err := s.dialViaProxy(addr, host, port)
+			if err == nil {
+				return conn, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
 	}
 	ip := host
 	if net.ParseIP(host) == nil {
@@ -58,7 +81,7 @@ func (s *ClientStack) DialHost(host string, port int) (net.Conn, error) {
 // HTTPProxy implements httpsim.HTTPProxier: plain-HTTP requests for
 // whitelisted hosts go to the domestic proxy in absolute-URI form.
 func (s *ClientStack) HTTPProxy(host string) (string, bool) {
-	if d := s.PAC.Evaluate(host); d.Proxy {
+	if d := s.evaluate(host); d.Proxy {
 		return d.Address, true
 	}
 	return "", false
@@ -72,7 +95,7 @@ func (s *ClientStack) HTTPSProxy(host string) (string, bool) {
 	if !s.GatewayHTTPS {
 		return "", false
 	}
-	if d := s.PAC.Evaluate(host); d.Proxy {
+	if d := s.evaluate(host); d.Proxy {
 		return d.Address, true
 	}
 	return "", false

@@ -107,11 +107,14 @@ const (
 	ipClient   = "10.3.0.2"
 	ipProber   = "10.255.0.1"
 	ipDomestic = "101.6.6.6"
-	ipTsinghua = "166.111.4.100"
-	ipDNS      = "8.8.8.8"
-	ipScholar  = "172.217.6.78"
-	ipAccounts = "172.217.6.79"
-	ipMirror   = "198.51.100.99"
+	// shardIPBase prefixes the extra domestic shards: shard i (i ≥ 1)
+	// lives at shardIPBase+(10+i); shard 0 is ipDomestic itself.
+	shardIPBase = "101.6.6."
+	ipTsinghua  = "166.111.4.100"
+	ipDNS       = "8.8.8.8"
+	ipScholar   = "172.217.6.78"
+	ipAccounts  = "172.217.6.79"
+	ipMirror    = "198.51.100.99"
 	// ipUnblockedGoogle is an IP the GFW has not blacklisted (yet) — a
 	// volunteer mirror of Scholar, the kind of address hosts-file and
 	// Free-Gate-style users hunted for.

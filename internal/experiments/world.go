@@ -23,6 +23,7 @@ import (
 	"scholarcloud/internal/pki"
 	"scholarcloud/internal/registry"
 	"scholarcloud/internal/shadowsocks"
+	"scholarcloud/internal/shard"
 	"scholarcloud/internal/tlssim"
 	"scholarcloud/internal/tor"
 	"scholarcloud/internal/tunnel"
@@ -91,6 +92,24 @@ type Config struct {
 	// paper's single blinded carrier — and every historical figure —
 	// byte-identical.
 	Transports []string
+	// Shards, when > 1, runs the domestic tier as that many proxy shards
+	// (shard 0 on the classic SCDomestic host, the rest on their own
+	// CNNet hosts) behind a multi-proxy PAC that rendezvous-hashes each
+	// user onto a shard. Requires CacheMB > 0 (the peering tier is a
+	// cache tier) and is mutually exclusive with FleetRemotes and
+	// Transports. Zero or one keeps the paper's single proxy — and every
+	// historical figure — byte-identical.
+	Shards int
+	// ShardSiblingFetch wires the shards' caches into a peering mesh:
+	// consistent-hash key ownership, with a local miss fetched from the
+	// owning peer (one border crossing per object for the whole tier)
+	// instead of across the border. Off: each shard fetches for itself.
+	ShardSiblingFetch bool
+	// ShardRehashOnDeath controls the takedown policy: on, a dead
+	// shard's key range rehashes to survivors; off (the ablation), key
+	// ownership stays pinned and orphaned keys fall back to border
+	// fetches.
+	ShardRehashOnDeath bool
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -156,6 +175,19 @@ type World struct {
 	TunnelCarrier     *carrier.Tunnel
 	RendezvousCarrier *carrier.RendezvousPool
 	gatewayIPs        []string
+
+	// Shard tier state when Cfg.Shards > 1 (nil/empty otherwise). Index i
+	// is shard i: ShardHosts[0] == SCDomestic, ShardDomestics[0] ==
+	// Domestic, ShardCaches[0] == Cache. ShardAddrs are the proxy
+	// "ip:port" endpoints — the shard names the Ring hashes over and the
+	// PAC file renders.
+	ShardHosts     []*netsim.Host
+	ShardDomestics []*core.Domestic
+	ShardCaches    []*cache.Cache
+	ShardAddrs     []string
+	ShardRing      *shard.Ring
+	ShardDirector  *shard.Director
+	shardProxies   []*httpsim.Proxy
 
 	// Faults is the armed fault scheduler when Cfg.FaultScenario is set
 	// (nil otherwise). Measurements start it with InjectFaults.
@@ -723,10 +755,25 @@ func (w *World) startTor() {
 }
 
 func (w *World) startScholarCloud() {
+	if w.Cfg.Shards > 1 {
+		if w.Cfg.FleetRemotes > 0 || len(w.Cfg.Transports) > 0 {
+			panic("experiments: Shards is mutually exclusive with FleetRemotes and Transports")
+		}
+		if w.Cfg.CacheMB == 0 {
+			panic("experiments: Shards needs CacheMB > 0 — the shard tier is a cache-peering tier")
+		}
+	}
+
 	w.Whitelist = pac.New(
 		fmt.Sprintf("%s:%d", ipDomestic, portProxy),
 		[]string{"scholar.google.com", "accounts.google.com"},
 	)
+	if w.Cfg.Shards > 1 {
+		for i := 0; i < w.Cfg.Shards; i++ {
+			w.ShardAddrs = append(w.ShardAddrs, w.ShardAddr(i))
+		}
+		w.Whitelist.SetProxies(w.ShardAddrs)
+	}
 
 	epoch := w.Cfg.BlindingEpoch
 	secret := w.scSecret
@@ -753,55 +800,34 @@ func (w *World) startScholarCloud() {
 	}
 	w.Env.Spawn.Go(func() { w.Remote.Serve(lnRemote) })
 
-	w.Domestic = &core.Domestic{
-		Env: w.Env,
-		DialRemote: func() (net.Conn, error) {
-			return w.SCDomestic.DialTCP(fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote))
-		},
-		Secret:       secret,
-		Epoch:        epoch,
-		Whitelist:    w.Whitelist,
-		VerifyRemote: w.CA.Verifier(),
-		RemoteName:   "remote.scholarcloud.example",
+	shards := w.Cfg.Shards
+	if shards < 1 {
+		shards = 1
 	}
-	if w.Cfg.ScholarCloudNoBlinding {
-		w.Domestic.SchemeOverride = blinding.Identity{}
+	for i := 0; i < shards; i++ {
+		w.startDomesticShard(i)
 	}
-	if w.Cfg.Resilience {
-		w.Domestic.Resil = &core.Resilience{Seed: w.Cfg.Seed ^ 0x4E51AE}
-	}
-	if w.Cfg.FaultScenario != "" || len(w.Cfg.Transports) > 0 {
-		// Fault and transport-ladder worlds run clients in gateway mode
-		// (see ScholarCloud); the proxy-side fetch path is what the
-		// resilience layer retries and what the ladder reroutes.
-		w.Domestic.GatewayFetch = true
-	}
-	if w.Cfg.CacheMB > 0 {
-		cc, err := cache.New(w.Env, cache.Options{
-			Capacity:   int64(w.Cfg.CacheMB) << 20,
-			DefaultTTL: w.Cfg.CacheTTL,
-			Seed:       w.Cfg.Seed ^ 0xCAC4E,
-		})
-		if err != nil {
-			panic(err)
-		}
-		w.Cache = cc
-		w.Domestic.Cache = cc
-	}
-	w.Domestic.Instrument(w.Obs)
-	lnProxy, err := w.SCDomestic.Listen("tcp", fmt.Sprintf(":%d", portProxy))
-	if err != nil {
-		panic(err)
-	}
-	proxy := w.Domestic.Proxy()
-	w.Env.Spawn.Go(func() { proxy.Serve(lnProxy) })
 
-	lnPAC, err := w.SCDomestic.Listen("tcp", fmt.Sprintf(":%d", portPACWeb))
-	if err != nil {
-		panic(err)
+	if w.Cfg.Shards > 1 {
+		w.ShardRing = shard.NewRing(w.ShardAddrs)
+		w.ShardRing.SetRehashOnDeath(w.Cfg.ShardRehashOnDeath)
+		w.ShardDirector = shard.NewDirector(w.ShardRing)
+		w.ShardDirector.Instrument(w.Obs)
+		// The coordinated-takedown hook: every health transition republishes
+		// the live shard set into the PAC policy, so users' next evaluation
+		// (the refreshed PAC a real browser would re-download) routes only
+		// to survivors.
+		w.ShardDirector.OnChange(func(up []string) { w.Whitelist.SetProxies(up) })
+		if w.Cfg.ShardSiblingFetch {
+			for i, cc := range w.ShardCaches {
+				cc.SetPeers(&cache.Peers{
+					Self:  w.ShardAddrs[i],
+					Owner: w.ShardRing.Owner,
+					Fetch: core.SiblingFetcher(w.ShardHosts[i].Dial),
+				})
+			}
+		}
 	}
-	pacSrv := &httpsim.Server{Handler: w.Domestic.PACHandler(), Spawn: w.Env.Spawn}
-	w.Env.Spawn.Go(func() { pacSrv.Serve(lnPAC) })
 
 	switch {
 	case len(w.Cfg.Transports) > 0 && w.Cfg.FleetRemotes > 0:
@@ -811,6 +837,107 @@ func (w *World) startScholarCloud() {
 	case w.Cfg.FleetRemotes > 0:
 		w.startFleet()
 	}
+}
+
+// ShardAddr returns domestic shard i's proxy endpoint ("ip:port") — its
+// name in the rendezvous ring and in the rendered PAC.
+func (w *World) ShardAddr(i int) string {
+	if i == 0 {
+		return fmt.Sprintf("%s:%d", ipDomestic, portProxy)
+	}
+	return fmt.Sprintf("%s%d:%d", shardIPBase, 10+i, portProxy)
+}
+
+// startDomesticShard builds domestic shard i: its own host (shard 0 is
+// the classic SCDomestic), Domestic proxy, content cache, and proxy
+// listener. Shard 0 also serves the PAC file and stays reachable as
+// w.Domestic/w.Cache, so single-shard worlds are exactly the historical
+// deployment.
+func (w *World) startDomesticShard(i int) {
+	host := w.SCDomestic
+	if i > 0 {
+		host = w.Net.AddHost(fmt.Sprintf("sc-domestic-%d", i),
+			fmt.Sprintf("%s%d", shardIPBase, 10+i), w.CNNet, accessLink())
+	}
+	d := &core.Domestic{
+		Env: w.Env,
+		DialRemote: func() (net.Conn, error) {
+			return host.DialTCP(fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote))
+		},
+		Secret:       w.scSecret,
+		Epoch:        w.Cfg.BlindingEpoch,
+		Whitelist:    w.Whitelist,
+		VerifyRemote: w.CA.Verifier(),
+		RemoteName:   "remote.scholarcloud.example",
+	}
+	if w.Cfg.ScholarCloudNoBlinding {
+		d.SchemeOverride = blinding.Identity{}
+	}
+	if w.Cfg.Resilience {
+		d.Resil = &core.Resilience{Seed: w.Cfg.Seed ^ 0x4E51AE ^ uint64(i)<<40}
+	}
+	if w.Cfg.FaultScenario != "" || len(w.Cfg.Transports) > 0 {
+		// Fault and transport-ladder worlds run clients in gateway mode
+		// (see ScholarCloud); the proxy-side fetch path is what the
+		// resilience layer retries and what the ladder reroutes.
+		d.GatewayFetch = true
+	}
+	var cc *cache.Cache
+	if w.Cfg.CacheMB > 0 {
+		var err error
+		cc, err = cache.New(w.Env, cache.Options{
+			Capacity:   int64(w.Cfg.CacheMB) << 20,
+			DefaultTTL: w.Cfg.CacheTTL,
+			Seed:       w.Cfg.Seed ^ 0xCAC4E ^ uint64(i)*0x9E3779B97F4A7C15,
+		})
+		if err != nil {
+			panic(err)
+		}
+		d.Cache = cc
+	}
+	if i == 0 {
+		w.Domestic = d
+		w.Cache = cc
+	}
+	d.Instrument(w.Obs)
+	lnProxy, err := host.Listen("tcp", fmt.Sprintf(":%d", portProxy))
+	if err != nil {
+		panic(err)
+	}
+	proxy := d.Proxy()
+	w.Env.Spawn.Go(func() { proxy.Serve(lnProxy) })
+
+	if i == 0 {
+		lnPAC, err := host.Listen("tcp", fmt.Sprintf(":%d", portPACWeb))
+		if err != nil {
+			panic(err)
+		}
+		pacSrv := &httpsim.Server{Handler: d.PACHandler(), Spawn: w.Env.Spawn}
+		w.Env.Spawn.Go(func() { pacSrv.Serve(lnPAC) })
+	}
+
+	if w.Cfg.Shards > 1 {
+		w.ShardHosts = append(w.ShardHosts, host)
+		w.ShardDomestics = append(w.ShardDomestics, d)
+		w.ShardCaches = append(w.ShardCaches, cc)
+		w.shardProxies = append(w.shardProxies, proxy)
+		// Per-shard visibility: the shared cache.* counters sum across the
+		// tier; these gauges break hits, sibling fetches, and border
+		// fetches out per shard.
+		pfx := fmt.Sprintf("shard.s%d.", i)
+		w.Obs.RegisterFunc(pfx+"cache.hits", func() int64 { return cc.Snapshot().Hits })
+		w.Obs.RegisterFunc(pfx+"cache.sibling_fetches", func() int64 { return cc.Snapshot().SiblingFetches })
+		w.Obs.RegisterFunc(pfx+"cache.border_fetches", func() int64 { return cc.Snapshot().BorderFetches })
+	}
+}
+
+// KillShard takes domestic shard i down: its proxy listener dies (new
+// user and sibling dials fail) and the Director coordinates the takedown
+// — the dead shard's key range rehashes to survivors (ring policy
+// permitting) and the PAC policy republishes so users route elsewhere.
+func (w *World) KillShard(i int) {
+	w.shardProxies[i].Close()
+	w.ShardDirector.MarkDown(w.ShardAddrs[i])
 }
 
 // startTransports stands up the cover infrastructure for each configured
@@ -1083,6 +1210,11 @@ func (w *World) registerScholarCloud() {
 	for i := 1; i < w.Cfg.FleetRemotes; i++ {
 		endpointIPs = append(endpointIPs, fmt.Sprintf("%s%d", fleetRemoteIPBase, 70+i))
 	}
+	for i := 1; i < w.Cfg.Shards; i++ {
+		// Every domestic shard is a registered endpoint of the legal
+		// service, like the fleet remotes.
+		endpointIPs = append(endpointIPs, fmt.Sprintf("%s%d", shardIPBase, 10+i))
+	}
 	tca := registry.NewTCA("Beijing", w.Registry, w.Env.Clock, 0 /* verified before the study window */)
 	pending, err := tca.Submit(registry.Application{
 		ServiceName:       "ScholarCloud",
@@ -1113,6 +1245,11 @@ func (w *World) RotateBlinding(epoch uint64) {
 		r.SetEpoch(epoch)
 	}
 	w.Domestic.Rotate(epoch)
+	for i, d := range w.ShardDomestics {
+		if i > 0 { // shard 0 is w.Domestic, already rotated
+			d.Rotate(epoch)
+		}
+	}
 }
 
 // --- Method factories ---------------------------------------------------
@@ -1204,6 +1341,9 @@ func (w *World) ScholarCloud(h *netsim.Host) tunnel.Method {
 		PAC:          w.Whitelist,
 		Resolver:     w.resolverFor(h),
 		GatewayHTTPS: w.Cfg.CacheMB > 0 || w.Cfg.FaultScenario != "" || len(w.Cfg.Transports) > 0,
+		// The client's own address — what myIpAddress() reports to the
+		// PAC file — selects its shard in a sharded tier.
+		ClientIP: h.IP(),
 	}
 }
 

@@ -1,0 +1,174 @@
+package pac
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+var tierProxies = []string{
+	"101.6.6.10:8118", "101.6.6.11:8118", "101.6.6.12:8118", "101.6.6.13:8118",
+}
+
+// jsHash32 and jsAssign re-implement the generated PAC JavaScript's
+// arithmetic in Go — charCodeAt, int32 ^ and <<, float64 +, >>> 0, and an
+// Array.sort comparator over the float difference — so the tests prove a
+// real browser evaluating the rendered file assigns users to the same
+// shard as the simulator's EvaluateFor.
+func jsHash32(s string) uint32 {
+	var h int64 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = int64(int32(uint32(h)) ^ int32(s[i]))
+		x := int32(uint32(h))
+		sum := int64(x) + int64(x<<1) + int64(x<<4) + int64(x<<7) + int64(x<<8) + int64(x<<24)
+		h = int64(uint32(sum))
+	}
+	return uint32(h)
+}
+
+func jsAssign(clientIP string, proxies []string) []string {
+	order := append([]string(nil), proxies...)
+	sort.SliceStable(order, func(i, j int) bool {
+		sa := jsHash32(clientIP + "|" + order[i])
+		sb := jsHash32(clientIP + "|" + order[j])
+		if sa != sb {
+			// JS comparator: return sb - sa (float, exact for uint32).
+			return sa > sb
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+func TestEvaluateForAgreesWithRenderedPAC(t *testing.T) {
+	c := New("", []string{"scholar.google.com", "accounts.google.com"})
+	c.SetProxies(tierProxies)
+	clients := []string{
+		"10.3.0.2", "10.3.1.7", "10.3.199.200", "192.168.1.1",
+		"2001:db8::2", "fe80::1", "2607:f8b0:4005:805::200e",
+	}
+	hosts := []string{
+		"scholar.google.com",
+		"scholar.google.com:443",
+		"www.scholar.google.com.",
+		"ACCOUNTS.GOOGLE.COM",
+	}
+	for _, ip := range clients {
+		want := jsAssign(ip, tierProxies)
+		for _, h := range hosts {
+			d := c.EvaluateFor(ip, h)
+			if !d.Proxy {
+				t.Fatalf("EvaluateFor(%q, %q) went DIRECT", ip, h)
+			}
+			if strings.Join(d.Addresses, ";") != strings.Join(want, ";") {
+				t.Errorf("EvaluateFor(%q, %q) = %v, JS mirror assigns %v", ip, h, d.Addresses, want)
+			}
+			if d.Address != want[0] {
+				t.Errorf("EvaluateFor(%q, %q).Address = %s, want %s", ip, h, d.Address, want[0])
+			}
+		}
+	}
+}
+
+func TestEvaluateForNonWhitelistedStaysDirect(t *testing.T) {
+	c := New("", []string{"scholar.google.com"})
+	c.SetProxies(tierProxies)
+	for _, h := range []string{
+		"www.google.com", "[2001:db8::1]:443", "::1", "10.0.0.1:80",
+		"notscholar.google.com.evil.example",
+	} {
+		if d := c.EvaluateFor("10.3.0.2", h); d.Proxy {
+			t.Errorf("EvaluateFor(%q) = %v, want DIRECT", h, d)
+		}
+		if c.Match(h) {
+			t.Errorf("Match(%q) = true, want false", h)
+		}
+	}
+}
+
+func TestEvaluateForBracketedAndPortedHostsMatchBareForm(t *testing.T) {
+	// Whatever syntactic dress the host arrives in — ports, brackets,
+	// trailing dots — the routing decision must be the one the bare
+	// domain gets, for every client.
+	c := New("", []string{"scholar.google.com"})
+	c.SetProxies(tierProxies)
+	for _, ip := range []string{"10.3.0.2", "2001:db8::2"} {
+		bare := c.EvaluateFor(ip, "scholar.google.com")
+		for _, h := range []string{
+			"scholar.google.com:8443", "scholar.google.com.", "Scholar.Google.Com:80",
+		} {
+			if got := c.EvaluateFor(ip, h); got.String() != bare.String() {
+				t.Errorf("EvaluateFor(%q, %q) = %q, bare form gives %q", ip, h, got, bare)
+			}
+		}
+	}
+}
+
+func TestEvaluateForSingleProxyDegenerates(t *testing.T) {
+	c := New("101.6.6.6:8118", []string{"scholar.google.com"})
+	for _, ip := range []string{"10.3.0.2", "2001:db8::2", ""} {
+		d := c.EvaluateFor(ip, "scholar.google.com")
+		if !d.Proxy || d.Address != "101.6.6.6:8118" || len(d.Addresses) != 1 {
+			t.Fatalf("EvaluateFor(%q) = %+v, want the lone proxy", ip, d)
+		}
+		if d.String() != "PROXY 101.6.6.6:8118" {
+			t.Errorf("String() = %q", d.String())
+		}
+	}
+}
+
+func TestDecisionStringRendersFailoverChain(t *testing.T) {
+	d := Decision{Proxy: true, Address: "a:1", Addresses: []string{"a:1", "b:2", "c:3"}}
+	if got, want := d.String(), "PROXY a:1; PROXY b:2; PROXY c:3"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSetProxiesReordersTier(t *testing.T) {
+	c := New("101.6.6.6:8118", []string{"scholar.google.com"})
+	if got := c.Proxies(); len(got) != 1 || got[0] != "101.6.6.6:8118" {
+		t.Fatalf("Proxies() = %v", got)
+	}
+	c.SetProxies([]string{"101.6.6.10:8118", "", " 101.6.6.11:8118 "})
+	got := c.Proxies()
+	if len(got) != 2 || got[0] != "101.6.6.10:8118" || got[1] != "101.6.6.11:8118" {
+		t.Fatalf("Proxies() after SetProxies = %v", got)
+	}
+	if c.ProxyAddr() != "101.6.6.10:8118" {
+		t.Errorf("ProxyAddr() = %q", c.ProxyAddr())
+	}
+}
+
+func TestMultiProxyJavaScriptEmbedsTierAndHash(t *testing.T) {
+	c := New("", []string{"scholar.google.com"})
+	c.SetProxies(tierProxies)
+	js := c.JavaScript()
+	for _, want := range []string{
+		`var shards = ["101.6.6.10:8118", "101.6.6.11:8118", "101.6.6.12:8118", "101.6.6.13:8118"];`,
+		"function h32(s)",
+		"h = (h + (h << 1) + (h << 4) + (h << 7) + (h << 8) + (h << 24)) >>> 0;",
+		"var me = myIpAddress();",
+		`if (dnsDomainIs(host, ".scholar.google.com") || host == "scholar.google.com") return route();`,
+		`return "DIRECT";`,
+	} {
+		if !strings.Contains(js, want) {
+			t.Errorf("multi-proxy JavaScript missing %q:\n%s", want, js)
+		}
+	}
+	if strings.Contains(js, "PROXY 101.6.6.10:8118\";") {
+		t.Error("multi-proxy JavaScript must route via the hash, not a fixed PROXY literal")
+	}
+}
+
+func TestSingleProxyJavaScriptHasNoShardMachinery(t *testing.T) {
+	c := New("101.6.6.6:8118", []string{"scholar.google.com"})
+	js := c.JavaScript()
+	for _, banned := range []string{"var shards", "h32", "myIpAddress"} {
+		if strings.Contains(js, banned) {
+			t.Errorf("single-proxy JavaScript unexpectedly contains %q:\n%s", banned, js)
+		}
+	}
+	if !strings.Contains(js, `return "PROXY 101.6.6.6:8118";`) {
+		t.Errorf("single-proxy JavaScript lost the classic render:\n%s", js)
+	}
+}

@@ -183,6 +183,43 @@ func TransportNames() []string { return carrier.Known() }
 // Simulation.MeasureTransports accepts, mildest first.
 func TransportStages() []string { return experiments.TransportStageNames() }
 
+// ShardOptions splits the domestic tier horizontally: Count proxy shards
+// stand inside the censored network, the PAC file hashes each user onto
+// one of them (rendezvous hashing over myIpAddress(), rendered into the
+// PAC JavaScript so real browsers route exactly like the simulator), and
+// the shards peer their content caches — a shard that misses on a static
+// object asks the key's owning sibling before crossing the border, so
+// the tier fetches each shared object across the border once no matter
+// how many shards serve it. Requires a Cache block: the sharded tier
+// exists to scale the shared cache, and without one the shards would
+// just multiply border traffic.
+type ShardOptions struct {
+	// Count is the number of domestic proxy shards. Must be >= 2 — a
+	// one-shard tier is the ordinary single proxy; omit the block for
+	// that.
+	Count int
+	// SiblingFetch enables ICP/CARP-style cache peering: on a local miss
+	// for a key another shard owns, fetch from that sibling instead of
+	// crossing the border. Off, each shard fills its cache independently.
+	SiblingFetch bool
+	// RehashOnDeath re-assigns a dead shard's key range to the survivors
+	// (consistent hashing moves only the dead shard's keys). Off, a dead
+	// shard's keys keep their owner and sibling fetches to it fall back
+	// to border fetches.
+	RehashOnDeath bool
+}
+
+// Validate rejects nonsensical shard configurations.
+func (s *ShardOptions) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Count < 2 {
+		return fmt.Errorf("scholarcloud: ShardOptions.Count must be at least 2 (got %d) — a one-shard tier is the ordinary single proxy, so omit the Shards block instead", s.Count)
+	}
+	return nil
+}
+
 // Options configures a Simulation.
 type Options struct {
 	// Seed drives every stochastic decision; equal seeds reproduce equal
@@ -209,17 +246,24 @@ type Options struct {
 	// manages its own endpoint pool). Nil keeps every figure
 	// byte-identical to the single-carrier build.
 	Transports *TransportOptions
+	// Shards, when non-nil, splits the domestic tier into Shards.Count
+	// PAC-assigned proxy shards with peered content caches. Requires
+	// Cache; mutually exclusive with Fleet and Transports. Nil keeps the
+	// single domestic proxy and every figure byte-identical to it.
+	Shards *ShardOptions
 }
 
-// Validate walks every nested option block (Fleet, Cache, Faults) and
-// returns the first configuration error. Each block's Validate is
-// nil-receiver safe, so the walk itself needs no per-block dispatch.
+// Validate walks every nested option block (Fleet, Cache, Faults,
+// Transports, Shards) and returns the first configuration error. Each
+// block's Validate is nil-receiver safe, so the walk itself needs no
+// per-block dispatch.
 func (o Options) Validate() error {
 	for _, block := range []interface{ Validate() error }{
 		o.Fleet,
 		o.Cache,
 		o.Faults,
 		o.Transports,
+		o.Shards,
 	} {
 		if err := block.Validate(); err != nil {
 			return err
@@ -227,6 +271,17 @@ func (o Options) Validate() error {
 	}
 	if o.Transports != nil && o.Fleet != nil {
 		return fmt.Errorf("scholarcloud: Transports and Fleet are mutually exclusive — the transport ladder manages its own endpoint pool")
+	}
+	if o.Shards != nil {
+		if o.Cache == nil {
+			return fmt.Errorf("scholarcloud: Shards requires a Cache block — the sharded tier exists to scale the shared content cache, and without one the extra shards would only multiply border traffic")
+		}
+		if o.Fleet != nil {
+			return fmt.Errorf("scholarcloud: Shards and Fleet are mutually exclusive — shard the domestic tier or pool the remote tier, not both in one world")
+		}
+		if o.Transports != nil {
+			return fmt.Errorf("scholarcloud: Shards and Transports are mutually exclusive — the sharded tier runs on the single blinded carrier")
+		}
 	}
 	return nil
 }
@@ -262,6 +317,11 @@ func NewSimulation(opts Options) *Simulation {
 			cfg.Transports = carrier.Known()
 		}
 		cfg.Resilience = cfg.Resilience || t.Resilience
+	}
+	if sh := opts.Shards; sh != nil {
+		cfg.Shards = sh.Count
+		cfg.ShardSiblingFetch = sh.SiblingFetch
+		cfg.ShardRehashOnDeath = sh.RehashOnDeath
 	}
 	return &Simulation{World: experiments.NewWorld(cfg)}
 }
@@ -344,16 +404,32 @@ func (e *PartialError) Error() string { return e.Err.Error() }
 // Unwrap exposes the underlying failure to errors.Is/As.
 func (e *PartialError) Unwrap() error { return e.Err }
 
-// measure runs fn between two registry snapshots and stores the delta via
-// setObs. A mid-run failure returns a PartialError carrying the delta up
-// to the failure instead of discarding it.
-func (s *Simulation) measure(fn func() error, setObs func(obs.Snapshot)) error {
+// obsResult is implemented by every Measure* result type: they all carry
+// the run's observability delta. It is what lets measureInto stamp the
+// snapshot without per-method plumbing.
+type obsResult interface{ setObs(obs.Snapshot) }
+
+func (r *PLTResult) setObs(sn obs.Snapshot)         { r.Obs = sn }
+func (r *RTTResult) setObs(sn obs.Snapshot)         { r.Obs = sn }
+func (r *PLRResult) setObs(sn obs.Snapshot)         { r.Obs = sn }
+func (r *TrafficResult) setObs(sn obs.Snapshot)     { r.Obs = sn }
+func (r *ScalabilityResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+
+// measureInto is the shared shell of every Measure* method: it brackets
+// the world measurement `run` between two registry snapshots, folds the
+// world's result into the facade result via `fill`, stamps the obs delta,
+// and returns res. A mid-run failure returns a PartialError carrying the
+// delta accumulated up to it instead of discarding it.
+func measureInto[T any, R obsResult](s *Simulation, res R, run func() (T, error), fill func(T)) (R, error) {
+	var zero R
 	before := s.World.Obs.Snapshot()
-	if err := fn(); err != nil {
-		return &PartialError{Err: err, Obs: s.World.Obs.Snapshot().Sub(before)}
+	r, err := run()
+	if err != nil {
+		return zero, &PartialError{Err: err, Obs: s.World.Obs.Snapshot().Sub(before)}
 	}
-	setObs(s.World.Obs.Snapshot().Sub(before))
-	return nil
+	fill(r)
+	res.setObs(s.World.Obs.Snapshot().Sub(before))
+	return res, nil
 }
 
 // MeasurePLT measures first-time and subsequent page load times for the
@@ -364,18 +440,9 @@ func (s *Simulation) MeasurePLT(method string, firstRuns, subsequent int) (*PLTR
 		return nil, err
 	}
 	res := &PLTResult{Method: method}
-	err = s.measure(func() error {
-		r, err := s.World.MeasurePLT(f, firstRuns, subsequent)
-		if err != nil {
-			return err
-		}
-		res.FirstTime, res.Subsequent = r.FirstTime, r.Subsequent
-		return nil
-	}, func(sn obs.Snapshot) { res.Obs = sn })
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return measureInto(s, res,
+		func() (*experiments.PLTResult, error) { return s.World.MeasurePLT(f, firstRuns, subsequent) },
+		func(r *experiments.PLTResult) { res.FirstTime, res.Subsequent = r.FirstTime, r.Subsequent })
 }
 
 // MeasureRTT measures tunneled round-trip time (Fig. 5b).
@@ -385,18 +452,9 @@ func (s *Simulation) MeasureRTT(method string, probes int) (*RTTResult, error) {
 		return nil, err
 	}
 	res := &RTTResult{Method: method}
-	err = s.measure(func() error {
-		r, err := s.World.MeasureRTT(f, probes)
-		if err != nil {
-			return err
-		}
-		res.RTT = r.RTT
-		return nil
-	}, func(sn obs.Snapshot) { res.Obs = sn })
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return measureInto(s, res,
+		func() (*experiments.RTTResult, error) { return s.World.MeasureRTT(f, probes) },
+		func(r *experiments.RTTResult) { res.RTT = r.RTT })
 }
 
 // MeasurePLR measures the packet loss rate over the visit workload
@@ -407,18 +465,9 @@ func (s *Simulation) MeasurePLR(method string, visits int) (*PLRResult, error) {
 		return nil, err
 	}
 	res := &PLRResult{Method: method}
-	err = s.measure(func() error {
-		r, err := s.World.MeasurePLR(f, visits)
-		if err != nil {
-			return err
-		}
-		res.PLR, res.Packets = r.PLR, r.Packets
-		return nil
-	}, func(sn obs.Snapshot) { res.Obs = sn })
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return measureInto(s, res,
+		func() (*experiments.PLRResult, error) { return s.World.MeasurePLR(f, visits) },
+		func(r *experiments.PLRResult) { res.PLR, res.Packets = r.PLR, r.Packets })
 }
 
 // MeasureTraffic measures per-access client bytes (Fig. 6a).
@@ -428,18 +477,9 @@ func (s *Simulation) MeasureTraffic(method string, visits int) (*TrafficResult, 
 		return nil, err
 	}
 	res := &TrafficResult{Method: method}
-	err = s.measure(func() error {
-		r, err := s.World.MeasureTraffic(f, visits)
-		if err != nil {
-			return err
-		}
-		res.BytesPerAccess = r.BytesPerAccess
-		return nil
-	}, func(sn obs.Snapshot) { res.Obs = sn })
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return measureInto(s, res,
+		func() (*experiments.TrafficResult, error) { return s.World.MeasureTraffic(f, visits) },
+		func(r *experiments.TrafficResult) { res.BytesPerAccess = r.BytesPerAccess })
 }
 
 // MeasureScalability measures mean PLT under n concurrent clients
@@ -450,18 +490,11 @@ func (s *Simulation) MeasureScalability(method string, clients, rounds int) (*Sc
 		return nil, err
 	}
 	res := &ScalabilityResult{Method: method, Clients: clients}
-	err = s.measure(func() error {
-		p, err := s.World.MeasureScalability(f, clients, rounds)
-		if err != nil {
-			return err
-		}
-		res.PLT, res.Failed = p.PLT, p.Failed
-		return nil
-	}, func(sn obs.Snapshot) { res.Obs = sn })
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return measureInto(s, res,
+		func() (*experiments.ScalabilityPoint, error) {
+			return s.World.MeasureScalability(f, clients, rounds)
+		},
+		func(p *experiments.ScalabilityPoint) { res.PLT, res.Failed = p.PLT, p.Failed })
 }
 
 // FaultsResult is a faults-under-load datapoint: ScholarCloud page loads
@@ -478,6 +511,8 @@ type FaultsResult struct {
 	Obs         obs.Snapshot
 }
 
+func (r *FaultsResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+
 // MeasureFaults runs `clients` concurrent ScholarCloud clients for
 // `rounds` visit rounds while the scenario configured through
 // Options.Faults executes on the virtual clock. The simulation must have
@@ -487,21 +522,14 @@ func (s *Simulation) MeasureFaults(clients, rounds int) (*FaultsResult, error) {
 		return nil, fmt.Errorf("scholarcloud: MeasureFaults needs Options.Faults (known scenarios: %s)", strings.Join(faults.Scenarios(), ", "))
 	}
 	res := &FaultsResult{}
-	err := s.measure(func() error {
-		r, err := s.World.MeasureFaults(clients, rounds)
-		if err != nil {
-			return err
-		}
-		res.Scenario, res.Resilience = r.Scenario, r.Resilience
-		res.Clients, res.PLT = r.Clients, r.PLT
-		res.Visits, res.Failed = r.Visits, r.Failed
-		res.SuccessRate = r.SuccessRate()
-		return nil
-	}, func(sn obs.Snapshot) { res.Obs = sn })
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return measureInto(s, res,
+		func() (*experiments.FaultsResult, error) { return s.World.MeasureFaults(clients, rounds) },
+		func(r *experiments.FaultsResult) {
+			res.Scenario, res.Resilience = r.Scenario, r.Resilience
+			res.Clients, res.PLT = r.Clients, r.PLT
+			res.Visits, res.Failed = r.Visits, r.Failed
+			res.SuccessRate = r.SuccessRate()
+		})
 }
 
 // TransportsResult is a transport-ladder datapoint: ScholarCloud page
@@ -526,6 +554,8 @@ type TransportsResult struct {
 	Obs         obs.Snapshot
 }
 
+func (r *TransportsResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+
 // MeasureTransports arms the named censor stage (TransportStages()), then
 // runs `clients` concurrent ScholarCloud clients for `rounds` visit
 // rounds against the carrier escalation ladder. The simulation must have
@@ -540,22 +570,104 @@ func (s *Simulation) MeasureTransports(stage string, clients, rounds int) (*Tran
 			stage, strings.Join(experiments.TransportStageNames(), ", "))
 	}
 	res := &TransportsResult{}
-	err := s.measure(func() error {
-		r, err := s.World.MeasureTransports(st, clients, rounds)
-		if err != nil {
-			return err
-		}
-		res.Stage, res.Clients = r.Stage, r.Clients
-		res.FinalRung, res.Escalations = r.FinalRung, r.Escalations
-		res.Invocations, res.InvocationCostUSD = r.Invocations, r.InvocationCostUSD()
-		res.PLT, res.Visits, res.Failed = r.PLT, r.Visits, r.Failed
-		res.SuccessRate = r.SuccessRate()
-		return nil
-	}, func(sn obs.Snapshot) { res.Obs = sn })
-	if err != nil {
-		return nil, err
+	return measureInto(s, res,
+		func() (*experiments.TransportsResult, error) {
+			return s.World.MeasureTransports(st, clients, rounds)
+		},
+		func(r *experiments.TransportsResult) {
+			res.Stage, res.Clients = r.Stage, r.Clients
+			res.FinalRung, res.Escalations = r.FinalRung, r.Escalations
+			res.Invocations, res.InvocationCostUSD = r.Invocations, r.InvocationCostUSD()
+			res.PLT, res.Visits, res.Failed = r.PLT, r.Visits, r.Failed
+			res.SuccessRate = r.SuccessRate()
+		})
+}
+
+// ShardsResult is a sharded-tier load datapoint: ScholarCloud page loads
+// measured across the whole domestic tier under continuous browsing,
+// with the border traffic and tier economics the shard count produced.
+type ShardsResult struct {
+	Shards  int
+	Clients int
+	PLT     Summary // seconds, successful visits only
+	Failed  int
+	// BorderBytes is the traffic the border link carried during the
+	// sweep (both directions).
+	BorderBytes int64
+	// Tier-wide cache activity (summed over shards).
+	Hits           int64
+	SiblingFetches int64
+	BorderFetches  int64
+	// PerUserUSD prices the tier (Shards domestic VMs plus the remote)
+	// at the paper's daily workload.
+	PerUserUSD float64
+	Obs        obs.Snapshot
+}
+
+func (r *ShardsResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+
+// MeasureShards runs `clients` concurrent ScholarCloud clients for
+// `rounds` continuous-browsing visits across the domestic tier and
+// reports PLT, border traffic, tier-wide cache activity, and cost per
+// served user. It runs on single-proxy simulations too (the Shards=1
+// baseline the sharded rows are compared against).
+func (s *Simulation) MeasureShards(clients, rounds int) (*ShardsResult, error) {
+	res := &ShardsResult{}
+	return measureInto(s, res,
+		func() (*experiments.ShardsPoint, error) { return s.World.MeasureShards(clients, rounds) },
+		func(p *experiments.ShardsPoint) {
+			res.Shards, res.Clients = p.Shards, p.Clients
+			res.PLT, res.Failed = p.PLT, p.Failed
+			res.BorderBytes = p.BorderBytes
+			res.Hits, res.SiblingFetches, res.BorderFetches = p.Hits, p.SiblingFetches, p.BorderFetches
+			res.PerUserUSD = p.PerUserUSD
+		})
+}
+
+// ShardKillResult classifies a load sweep's visits around a mid-sweep
+// shard seizure: the coordinated response (ring rehash, PAC refresh)
+// should confine failures to visits in flight at the seizure instant.
+type ShardKillResult struct {
+	Shards  int
+	Clients int
+	// Victim indexes the seized shard.
+	Victim int
+	KillAt time.Duration
+	PLT    Summary // seconds, successful visits only
+
+	VisitsBefore, FailedBefore int
+	VisitsAfter, FailedAfter   int
+	// SuccessAfter is the post-seizure success rate in [0, 1].
+	SuccessAfter float64
+	// SiblingErrors counts peer cache fetches that failed during the run.
+	SiblingErrors int64
+	Obs           obs.Snapshot
+}
+
+func (r *ShardKillResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+
+// MeasureShardKill runs `clients` concurrent ScholarCloud clients for
+// `rounds` continuous-browsing visits each and seizes domestic shard
+// `victim` (1-based among the extra shards; shard 0 hosts the PAC
+// endpoint and cannot be the victim) at offset killAt. The simulation
+// must have been built with a Shards block.
+func (s *Simulation) MeasureShardKill(clients, rounds, victim int, killAt time.Duration) (*ShardKillResult, error) {
+	if s.World.Cfg.Shards < 2 {
+		return nil, fmt.Errorf("scholarcloud: MeasureShardKill needs Options.Shards")
 	}
-	return res, nil
+	res := &ShardKillResult{}
+	return measureInto(s, res,
+		func() (*experiments.ShardKillResult, error) {
+			return s.World.MeasureShardKill(clients, rounds, victim, killAt)
+		},
+		func(r *experiments.ShardKillResult) {
+			res.Shards, res.Clients, res.Victim = r.Shards, r.Clients, r.Victim
+			res.KillAt, res.PLT = r.KillAt, r.PLT
+			res.VisitsBefore, res.FailedBefore = r.VisitsBefore, r.FailedBefore
+			res.VisitsAfter, res.FailedAfter = r.VisitsAfter, r.FailedAfter
+			res.SuccessAfter = r.SuccessAfter()
+			res.SiblingErrors = r.SiblingErrors
+		})
 }
 
 // TracePageLoad performs one first-time page load through the named

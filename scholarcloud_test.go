@@ -163,3 +163,91 @@ func TestMeasureTransportsNeedsOptions(t *testing.T) {
 		t.Error("MeasureTransports succeeded without a Transports block")
 	}
 }
+
+func TestShardsFacade(t *testing.T) {
+	sim := NewSimulation(Options{
+		Seed:   13,
+		Cache:  &CacheOptions{CapacityMB: 16},
+		Shards: &ShardOptions{Count: 4, SiblingFetch: true, RehashOnDeath: true},
+	})
+	defer sim.Close()
+
+	r, err := sim.MeasureShards(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards != 4 || r.Clients != 8 {
+		t.Errorf("shards/clients = %d/%d, want 4/8", r.Shards, r.Clients)
+	}
+	if r.Failed != 0 {
+		t.Errorf("%d failed visits on a healthy tier", r.Failed)
+	}
+	if r.SiblingFetches == 0 {
+		t.Error("no sibling fetches recorded — cache peering inactive")
+	}
+	if r.PerUserUSD <= 0 {
+		t.Errorf("per-user cost = %v", r.PerUserUSD)
+	}
+	if len(r.Obs.Counters) == 0 {
+		t.Error("result carries no observability delta")
+	}
+}
+
+func TestShardKillFacade(t *testing.T) {
+	sim := NewSimulation(Options{
+		Seed:   13,
+		Cache:  &CacheOptions{CapacityMB: 16},
+		Faults: &FaultOptions{Scenario: FaultScenarios()[0], Resilience: true},
+		Shards: &ShardOptions{Count: 2, SiblingFetch: true, RehashOnDeath: true},
+	})
+	defer sim.Close()
+
+	r, err := sim.MeasureShardKill(6, 2, 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Victim != 1 || r.Shards != 2 {
+		t.Errorf("victim/shards = %d/%d, want 1/2", r.Victim, r.Shards)
+	}
+	if r.VisitsAfter == 0 {
+		t.Error("no visits after the seizure")
+	}
+	if r.SuccessAfter < 0.99 {
+		t.Errorf("post-seizure success = %v, want >= 0.99", r.SuccessAfter)
+	}
+}
+
+func TestMeasureShardKillNeedsOptions(t *testing.T) {
+	sim := NewSimulation(Options{Seed: 13, Cache: &CacheOptions{CapacityMB: 16}})
+	defer sim.Close()
+	if _, err := sim.MeasureShardKill(1, 1, 1, time.Second); err == nil {
+		t.Error("MeasureShardKill succeeded without a Shards block")
+	}
+}
+
+func TestShardOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"count below two", Options{Cache: &CacheOptions{CapacityMB: 16}, Shards: &ShardOptions{Count: 1}},
+			"ShardOptions.Count must be at least 2"},
+		{"shards without cache", Options{Shards: &ShardOptions{Count: 2}},
+			"Shards requires a Cache block"},
+		{"shards with fleet", Options{Cache: &CacheOptions{CapacityMB: 16}, Fleet: &FleetOptions{Remotes: 2}, Shards: &ShardOptions{Count: 2}},
+			"Shards and Fleet are mutually exclusive"},
+		{"shards with transports", Options{Cache: &CacheOptions{CapacityMB: 16}, Transports: &TransportOptions{}, Shards: &ShardOptions{Count: 2}},
+			"Shards and Transports are mutually exclusive"},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Options{Cache: &CacheOptions{CapacityMB: 16}, Shards: &ShardOptions{Count: 2, SiblingFetch: true, RehashOnDeath: true}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid shard options rejected: %v", err)
+	}
+}
