@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-smoke bench-json bench-compare figures determinism deprecations
+.PHONY: check build vet fmt test race race-hot bench bench-smoke bench-json bench-compare figures determinism deprecations
 
-## check: the full gate — build, vet, formatting, the race-enabled test
-## suite, the facade deprecation gate, and the parallel-harness
-## determinism gate.
-check: build vet fmt race deprecations determinism
+## check: the full gate — build, vet, formatting, the hot-path race
+## gate, the race-enabled test suite, the facade deprecation gate, and
+## the parallel-harness determinism gate.
+check: build vet fmt race-hot race deprecations determinism
 
 ## deprecations: the public facade must stay free of deprecated API —
 ## PR 5 deleted the last // Deprecated: markers; this gate keeps new
@@ -35,6 +35,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+## race-hot: the race detector focused on the hot-path packages the
+## event-batching/pooling work touches (vclock's timer wheel and event
+## freelist, netsim's packet freelist, the cache and fleet state
+## machines). Runs first in `make check` so a data race in the
+## simulator core fails fast; the full `race` pass then reuses these
+## packages' cached results.
+race-hot:
+	$(GO) test -race ./internal/vclock ./internal/netsim ./internal/cache ./internal/fleet
+
 ## bench: regenerate every figure's benchmark row once.
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .
@@ -45,14 +54,21 @@ bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
 ## bench-json: run the full figure sweep and record the machine-readable
-## performance report (workers = all cores).
+## performance report. Pinned to one core and one worker so the
+## committed baseline is a stable single-core number — benchcompare
+## refuses to diff reports whose gomaxprocs/seeds/full metadata
+## disagree, so regenerate the baseline with this target, not by hand.
+## BENCH_experiments.json (via this target and bench-compare) is the
+## single source of truth for throughput claims quoted in
+## ROADMAP/EXPERIMENTS.
 bench-json:
-	$(GO) run ./cmd/scholarbench -fig all -bench-out BENCH_experiments.json > /dev/null
+	GOMAXPROCS=1 $(GO) run ./cmd/scholarbench -fig all -parallel 1 -bench-out BENCH_experiments.json > /dev/null
 
-## bench-compare: run the full figure sweep fresh and fail when any
-## figure's wall time regressed >50% against the committed baseline.
+## bench-compare: run the full figure sweep fresh (same pinning as
+## bench-json) and fail when any figure's wall time regressed >50%
+## against the committed baseline.
 bench-compare:
-	$(GO) run ./cmd/scholarbench -fig all -bench-out /tmp/scholarbench-fresh.json > /dev/null
+	GOMAXPROCS=1 $(GO) run ./cmd/scholarbench -fig all -parallel 1 -bench-out /tmp/scholarbench-fresh.json > /dev/null
 	$(GO) run ./cmd/benchcompare -baseline BENCH_experiments.json \
 		-fresh /tmp/scholarbench-fresh.json -tolerance 0.5
 
@@ -78,6 +94,10 @@ determinism:
 	@/tmp/scholarbench-gate -fig shards -parallel 3 > /tmp/scholarbench-shards-p3.txt
 	@cmp /tmp/scholarbench-shards-p1.txt /tmp/scholarbench-shards-p3.txt && \
 		echo "determinism gate: -fig shards byte-identical at -parallel 1 and -parallel 3"
+	@/tmp/scholarbench-gate -fig scale -parallel 1 > /tmp/scholarbench-scale-p1.txt
+	@/tmp/scholarbench-gate -fig scale -parallel 3 > /tmp/scholarbench-scale-p3.txt
+	@cmp /tmp/scholarbench-scale-p1.txt /tmp/scholarbench-scale-p3.txt && \
+		echo "determinism gate: -fig scale byte-identical at -parallel 1 and -parallel 3"
 
 ## figures: regenerate the paper's figures (quick sampling).
 figures:

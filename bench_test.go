@@ -305,6 +305,34 @@ func BenchmarkShardedCache(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowWorld runs the scale figure's 100k-client cell — a fluid
+// cohort of 100k clients plus 3 sampled packet-level clients on the
+// fleet-32 cache deployment — reporting mean sampled PLT and border
+// bytes per client. This is the flow-level mode's hot path: one world
+// carries a population three orders of magnitude beyond what
+// packet-level simulation reaches.
+func BenchmarkFlowWorld(b *testing.B) {
+	var plt, kb float64
+	for i := 0; i < b.N; i++ {
+		w := figureWorld(b, experiments.Config{FleetRemotes: 32, CacheMB: 64})
+		f, ok := w.FactoryByName("scholarcloud")
+		if !ok {
+			b.Fatal("scholarcloud factory missing")
+		}
+		p, err := w.MeasureFlowScalability(f, 100_000, 2, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Failed > 0 {
+			b.Fatalf("%d failed sampled page loads", p.Failed)
+		}
+		plt, kb = p.PLT.Mean, p.BytesPerClient/1024
+		w.Close()
+	}
+	b.ReportMetric(plt, "s/PLT")
+	b.ReportMetric(kb, "KB/client")
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationBlinding compares ScholarCloud with and without

@@ -14,8 +14,15 @@
 // figure a few dozen milliseconds of scheduler jitter trips any purely
 // relative threshold. Figures only present in one report are noted but
 // are not regressions (new figures land with new PRs; the baseline
-// catches up when it is next regenerated). Exit status: 0 clean, 1
-// regression, 2 usage or unreadable input.
+// catches up when it is next regenerated).
+//
+// Reports are only comparable when they describe the same workload on
+// the same effective machine: the tool refuses (exit 2) when the two
+// reports disagree on full, seeds, or gomaxprocs — a quick partial run
+// diffed against a full baseline would otherwise silently pass (every
+// figure faster) or spuriously fail (every figure slower) the gate.
+// Exit status: 0 clean, 1 regression, 2 usage, unreadable input, or
+// incomparable metadata.
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 
 type report struct {
 	GeneratedAt string   `json:"generated_at"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	Seeds       int      `json:"seeds"`
 	Full        bool     `json:"full"`
 	Worlds      int      `json:"worlds"`
 	WallSeconds float64  `json:"wall_seconds"`
@@ -74,9 +83,8 @@ func main() {
 }
 
 func compare(base, cur *report, tol, floor float64) int {
-	if base.Full != cur.Full {
-		fmt.Fprintf(os.Stderr, "benchcompare: baseline full=%v but fresh full=%v — not comparable\n",
-			base.Full, cur.Full)
+	if msg := incomparable(base, cur); msg != "" {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s — not comparable; regenerate one side with matching flags\n", msg)
 		return 2
 	}
 	baseFigs := make(map[string]figure, len(base.Figures))
@@ -117,4 +125,21 @@ func compare(base, cur *report, tol, floor float64) int {
 		return 1
 	}
 	return 0
+}
+
+// incomparable reports why two bench reports describe different
+// workloads (empty string when they match). Older baselines predate the
+// gomaxprocs/seeds fields; a zero on either side means "unrecorded" and
+// is not held against the comparison.
+func incomparable(base, cur *report) string {
+	if base.Full != cur.Full {
+		return fmt.Sprintf("baseline full=%v but fresh full=%v", base.Full, cur.Full)
+	}
+	if base.Seeds != 0 && cur.Seeds != 0 && base.Seeds != cur.Seeds {
+		return fmt.Sprintf("baseline seeds=%d but fresh seeds=%d", base.Seeds, cur.Seeds)
+	}
+	if base.GoMaxProcs != 0 && cur.GoMaxProcs != 0 && base.GoMaxProcs != cur.GoMaxProcs {
+		return fmt.Sprintf("baseline gomaxprocs=%d but fresh gomaxprocs=%d", base.GoMaxProcs, cur.GoMaxProcs)
+	}
+	return ""
 }

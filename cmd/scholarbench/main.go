@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	scholarbench [-fig 2|3|4|5a|5b|5c|6a|6bc|7|ops|fleet|cache|faults|transports|shards|all] [-seed N]
-//	             [-seeds N] [-parallel N] [-full] [-bench-out FILE]
+//	scholarbench [-fig 2|3|4|5a|5b|5c|6a|6bc|7|ops|fleet|cache|faults|transports|shards|scale|all]
+//	             [-seed N] [-seeds N] [-parallel N] [-full] [-flow-clients LIST]
+//	             [-bench-out FILE]
 //	scholarbench -trace <method>
 //
 // Figures are decomposed into independent (cell × seed) worlds and run
@@ -17,6 +18,11 @@
 // worlds/sec, per-figure timings). -trace renders a per-hop flow trace of
 // one first-time page load through the named method (one of the study's
 // methods or "direct-us") instead of the figures.
+//
+// The "scale" figure runs flow-level client cohorts (fluid load plus a
+// few sampled packet-level clients; quick sweeps 500/5k, -full sweeps
+// 1k/10k/100k/1M). -flow-clients overrides the cohort-size axis with a
+// comma-separated list, e.g. -fig scale -flow-clients 1000,100000.
 package main
 
 import (
@@ -31,12 +37,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,cache,faults,transports,shards,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,cache,faults,transports,shards,scale,all")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	seeds := flag.Int("seeds", 1, "replicate every figure cell on this many consecutive seeds (mean ± 95% CI tables when > 1)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulated worlds (0 = GOMAXPROCS)")
 	full := flag.Bool("full", false, "paper-scale sample counts (slower)")
 	benchOut := flag.String("bench-out", "", "write a machine-readable benchmark report (JSON) to this file")
+	flowClients := flag.String("flow-clients", "", "override the scale figure's cohort-size axis (comma-separated client counts)")
 	trace := flag.String("trace", "", "render a per-hop flow trace of one page load through the named method")
 	flag.Parse()
 
@@ -54,6 +61,14 @@ func main() {
 	q := experiments.Quick()
 	if *full {
 		q = experiments.Full()
+	}
+	if *flowClients != "" {
+		sweep, err := parseFlowClients(*flowClients)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scholarbench: %v\n", err)
+			os.Exit(2)
+		}
+		q.FlowSweep = sweep
 	}
 	res, err := experiments.RunSweep(experiments.SweepOptions{
 		Seed:    *seed,
@@ -83,6 +98,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseFlowClients parses the -flow-clients list into the scale figure's
+// cohort-size axis.
+func parseFlowClients(s string) ([]int, error) {
+	var sweep []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -flow-clients entry %q (want positive client counts, e.g. 1000,100000)", part)
+		}
+		sweep = append(sweep, n)
+	}
+	return sweep, nil
 }
 
 // runTrace performs one first-time page load through the named method

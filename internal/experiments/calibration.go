@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"scholarcloud/internal/httpsim"
@@ -140,9 +141,22 @@ const (
 	portEcho     = 7
 
 	// fleetRemoteIPBase prefixes the extra fleet remotes: remote i lives
-	// at fleetRemoteIPBase+(70+i), e.g. 198.51.100.71 for i=1.
-	fleetRemoteIPBase = "198.51.100."
+	// at fleetRemoteIPBase+(70+i), e.g. 198.51.100.71 for i=1. The block
+	// runs out at i=28 (.99 is the mirror), so larger fleets — the scale
+	// figure's provisioning ladder — overflow into fleetRemoteIPBase2
+	// (see fleetRemoteIP). Keeping the small-fleet addresses unchanged
+	// keeps every historical fleet figure byte-identical.
+	fleetRemoteIPBase  = "198.51.100."
+	fleetRemoteIPBase2 = "198.51.101."
 )
+
+// fleetRemoteIP returns extra fleet remote i's address (i ≥ 1).
+func fleetRemoteIP(i int) string {
+	if i <= 28 {
+		return fmt.Sprintf("%s%d", fleetRemoteIPBase, 70+i)
+	}
+	return fmt.Sprintf("%s%d", fleetRemoteIPBase2, i-28)
+}
 
 // Fleet control-plane cadence (Config.FleetRemotes > 0). Probes ride the
 // existing carriers, so a tight cadence costs one tiny frame exchange;

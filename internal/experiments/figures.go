@@ -347,12 +347,36 @@ func (w *World) MeasureScalability(f Factory, n, rounds int) (*ScalabilityPoint,
 // it to keep client-side caching from masking proxy-side caching.
 func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Duration, clearCache bool) (*ScalabilityPoint, error) {
 	point := &ScalabilityPoint{Method: f.Name, Clients: n}
-	type result struct {
-		plt    time.Duration
-		failed bool
+	results, err := w.runStaggeredClients(f, n, rounds, cadence, clearCache)
+	if err != nil {
+		return nil, err
 	}
+	var plts []time.Duration
+	for _, r := range results {
+		if r.failed {
+			point.Failed++
+			continue
+		}
+		plts = append(plts, r.plt)
+	}
+	point.PLT = metrics.SummarizeDurations(plts)
+	return point, nil
+}
+
+// visitResult is one browser visit's outcome inside a staggered cohort.
+type visitResult struct {
+	plt    time.Duration
+	failed bool
+}
+
+// runStaggeredClients runs n concurrent packet-level clients, each
+// performing `rounds` visits at the given cadence with arrival offsets
+// staggered uniformly across one cadence interval. It is the shared
+// engine behind the packet-mode scalability figures and the sampled
+// tracing clients of the flow-level mode.
+func (w *World) runStaggeredClients(f Factory, n, rounds int, cadence time.Duration, clearCache bool) ([]visitResult, error) {
 	var mu sync.Mutex
-	var results []result
+	var results []visitResult
 
 	err := w.Run(func() error {
 		wg := w.Env.NewWaitGroup()
@@ -366,7 +390,7 @@ func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Dura
 				defer method.Close()
 				if err := prepare(method); err != nil {
 					mu.Lock()
-					results = append(results, result{failed: true})
+					results = append(results, visitResult{failed: true})
 					mu.Unlock()
 					return
 				}
@@ -379,7 +403,7 @@ func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Dura
 					}
 					st := browser.Visit(f.URL)
 					mu.Lock()
-					results = append(results, result{plt: st.PLT, failed: st.Failed})
+					results = append(results, visitResult{plt: st.PLT, failed: st.Failed})
 					mu.Unlock()
 					sleep := cadence - st.PLT
 					if sleep > 0 {
@@ -394,16 +418,7 @@ func (w *World) measureScalabilityAt(f Factory, n, rounds int, cadence time.Dura
 	if err != nil {
 		return nil, err
 	}
-	var plts []time.Duration
-	for _, r := range results {
-		if r.failed {
-			point.Failed++
-			continue
-		}
-		plts = append(plts, r.plt)
-	}
-	point.PLT = metrics.SummarizeDurations(plts)
-	return point, nil
+	return results, nil
 }
 
 // scaleClients caches client hosts across sweep points so repeated

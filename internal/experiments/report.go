@@ -20,6 +20,11 @@ type Quality struct {
 	TrafficVisits int
 	ScaleRounds   int
 	ScaleSweep    []int
+	// FlowSweep is the scale figure's cohort-size axis (flow-level client
+	// mode); FlowSampled is how many packet-level clients each cohort
+	// samples.
+	FlowSweep   []int
+	FlowSampled int
 }
 
 // Quick is a fast configuration for tests and demos.
@@ -32,6 +37,8 @@ func Quick() Quality {
 		TrafficVisits: 5,
 		ScaleRounds:   2,
 		ScaleSweep:    []int{5, 30, 60, 120},
+		FlowSweep:     []int{500, 5000},
+		FlowSampled:   3,
 	}
 }
 
@@ -45,6 +52,8 @@ func Full() Quality {
 		TrafficVisits: 20,
 		ScaleRounds:   3,
 		ScaleSweep:    ScalabilitySweep,
+		FlowSweep:     []int{1_000, 10_000, 100_000, 1_000_000},
+		FlowSampled:   3,
 	}
 }
 

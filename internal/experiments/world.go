@@ -1096,7 +1096,7 @@ func (w *World) startFleet() {
 	}}
 
 	for i := 1; i < w.Cfg.FleetRemotes; i++ {
-		ip := fmt.Sprintf("%s%d", fleetRemoteIPBase, 70+i)
+		ip := fleetRemoteIP(i)
 		addr := fmt.Sprintf("%s:%d", ip, portSCRemote)
 		host := w.Net.AddHost(fmt.Sprintf("sc-remote-%d", i), ip, w.US, accessLink())
 		w.fleetRemoteHosts = append(w.fleetRemoteHosts, host)
@@ -1155,7 +1155,7 @@ func (w *World) FleetRemoteAddr(i int) string {
 	if i == 0 {
 		return fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote)
 	}
-	return fmt.Sprintf("%s%d:%d", fleetRemoteIPBase, 70+i, portSCRemote)
+	return fmt.Sprintf("%s:%d", fleetRemoteIP(i), portSCRemote)
 }
 
 // TakedownFleetRemote models a physical seizure of fleet remote i: the
@@ -1208,7 +1208,7 @@ func (w *World) registerScholarCloud() {
 	})
 	endpointIPs := []string{ipDomestic, ipSCRemote}
 	for i := 1; i < w.Cfg.FleetRemotes; i++ {
-		endpointIPs = append(endpointIPs, fmt.Sprintf("%s%d", fleetRemoteIPBase, 70+i))
+		endpointIPs = append(endpointIPs, fleetRemoteIP(i))
 	}
 	for i := 1; i < w.Cfg.Shards; i++ {
 		// Every domestic shard is a registered endpoint of the legal

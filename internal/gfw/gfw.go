@@ -370,13 +370,13 @@ func (g *GFW) inspectUDPLocked(pkt *netsim.Packet) netsim.Verdict {
 	}
 	wire, err := forged.Marshal()
 	if err == nil {
-		g.cfg.Network.InjectToward(g.cfg.Zone, &netsim.Packet{
+		g.cfg.Network.InjectToward(g.cfg.Zone, g.cfg.Network.NewPacket(netsim.Packet{
 			Proto:   netsim.ProtoUDP,
 			Src:     pkt.Dst, // spoofed: appears to come from the resolver
 			Dst:     pkt.Src,
 			Payload: wire,
 			Wire:    len(wire) + 28,
-		})
+		}))
 	}
 	return netsim.VerdictPass
 }

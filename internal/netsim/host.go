@@ -35,6 +35,10 @@ type Host struct {
 	// scalability experiment, Fig. 7).
 	cpuFree time.Duration
 	cpuCond *vclock.Cond
+	// bgUtil is analytic CPU utilization imposed by flow-level client
+	// cohorts; sampled packet-level work is stretched by 1/(1−bgUtil),
+	// the processor-sharing response-time inflation.
+	bgUtil float64
 
 	statsMu sync.Mutex
 	stats   HostStats
@@ -76,8 +80,14 @@ func (h *Host) Compute(d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	h.statsMu.Lock()
+	h.stats.CPUBusy += d
+	h.statsMu.Unlock()
 	now := h.n.sched.Elapsed()
 	h.mu.Lock()
+	if h.bgUtil > 0 {
+		d = time.Duration(float64(d) / (1 - h.bgUtil))
+	}
 	start := now
 	if h.cpuFree > start {
 		start = h.cpuFree
@@ -86,6 +96,24 @@ func (h *Host) Compute(d time.Duration) {
 	wait := h.cpuFree - now
 	h.mu.Unlock()
 	h.n.sched.Sleep(wait)
+}
+
+// SetBackgroundUtilization imposes analytic CPU load from flow-level
+// client cohorts: every subsequent Compute(d) costs d/(1−u), the M/M/1
+// processor-sharing inflation a sampled request experiences on a core
+// that is busy fraction u of the time with fluid work. u is clamped to
+// [0, 0.99]; saturation (u ≥ 1) is the flow harness's to detect and
+// report before it configures the host.
+func (h *Host) SetBackgroundUtilization(u float64) {
+	if u < 0 {
+		u = 0
+	}
+	if u > 0.99 {
+		u = 0.99
+	}
+	h.mu.Lock()
+	h.bgUtil = u
+	h.mu.Unlock()
 }
 
 // CPUQueueDelay reports how far behind the host's CPU currently is.
@@ -130,7 +158,11 @@ func (h *Host) dispatch(pkt *Packet) {
 		pc := h.udpConns[pkt.Dst.Port]
 		h.mu.Unlock()
 		if pc != nil {
+			// deliver retains the struct until ReadFrom (or Close)
+			// consumes it; the datagram queue owns it from here.
 			pc.deliver(pkt)
+		} else {
+			h.n.releasePacket(pkt)
 		}
 	case ProtoTCP:
 		key := tcpKey{pkt.Dst.Port, pkt.Src.IP, pkt.Src.Port}
@@ -150,15 +182,18 @@ func (h *Host) dispatch(pkt *Packet) {
 			// No connection; nothing to reset.
 		default:
 			// Closed port: refuse.
-			h.sendRaw(&Packet{
+			h.sendRaw(h.n.NewPacket(Packet{
 				Proto: ProtoTCP,
 				Src:   AddrPort{h.ip, pkt.Dst.Port},
 				Dst:   pkt.Src,
 				RST:   true,
 				Seq:   pkt.AckNum,
 				Wire:  tcpHeaderSize,
-			})
+			}))
 		}
+		// TCP handlers copy what they keep (payload slices at most);
+		// the struct's journey ends here.
+		h.n.releasePacket(pkt)
 	}
 }
 

@@ -188,11 +188,28 @@ type link struct {
 type LinkStats struct {
 	Packets int64
 	Bytes   int64
+	// DirBytes splits Bytes by direction: DirBytes[0] is traffic in the
+	// zones[0]→zones[1] direction of the original Connect call. The
+	// flow-level harness uses the split to calibrate per-direction fluid
+	// load (requests upstream, responses downstream).
+	DirBytes [2]int64
 }
 
 type dirState struct {
 	nextFree time.Duration // virtual time the transmitter becomes idle
+	// bg is analytic background load (bytes/sec) imposed by flow-level
+	// client cohorts. Sampled packet-level traffic serializes at the
+	// link's residual bandwidth (capacity minus bg), which is how fluid
+	// cohorts and real packets share a link without per-packet cost.
+	bg float64
 }
+
+// minResidualFrac floors the residual bandwidth left to packet traffic
+// under fluid load at 1% of the link's capacity, so an (over)saturating
+// cohort slows sampled clients drastically but never divides by zero.
+// Saturation itself is detected and reported analytically by the
+// flow-level harness before it configures the load.
+const minResidualFrac = 0.01
 
 type hop struct {
 	l      *link
@@ -235,6 +252,10 @@ type HostStats struct {
 	RxBytes      int64
 	LostOutbound int64 // packets this host sent that the network dropped
 	LostInbound  int64 // packets addressed to this host that were dropped
+	// CPUBusy is total virtual CPU time consumed via Compute (before
+	// background-utilization inflation): the per-request demand the
+	// flow-level harness calibrates its fluid cohorts from.
+	CPUBusy time.Duration
 }
 
 // LossRate returns the fraction of this host's packets (both directions)
@@ -260,6 +281,13 @@ type Network struct {
 	paths map[[2]*Zone][]hop
 
 	pktID atomic.Uint64
+
+	// pktFree recycles Packet structs: every packet whose journey ends
+	// inside the simulator (delivered, dropped, or read from a datagram
+	// queue) returns here and is reused by the next NewPacket. A plain
+	// freelist under mu — rather than a sync.Pool — keeps reuse
+	// deterministic and keyed to the world, never to GC timing.
+	pktFree []*Packet
 
 	trace     atomic.Pointer[func(pkt *Packet)]
 	flowTrace atomic.Pointer[obs.Trace]
@@ -288,8 +316,41 @@ func (n *Network) Observe(reg *obs.Registry) {
 // in the network.
 func (n *Network) SetFlowTrace(t *obs.Trace) { n.flowTrace.Store(t) }
 
+// NewPacket returns a Packet initialized to v, reusing a recycled struct
+// when one is available. Senders that build their packets through it (the
+// TCP/UDP layers and inspectors injecting forged traffic do) make the
+// per-packet allocation disappear in steady state; a packet built with a
+// plain literal still works and simply joins the pool when it dies.
+func (n *Network) NewPacket(v Packet) *Packet {
+	n.mu.Lock()
+	var pkt *Packet
+	if ln := len(n.pktFree); ln > 0 {
+		pkt = n.pktFree[ln-1]
+		n.pktFree[ln-1] = nil
+		n.pktFree = n.pktFree[:ln-1]
+	}
+	n.mu.Unlock()
+	if pkt == nil {
+		pkt = &Packet{}
+	}
+	*pkt = v
+	return pkt
+}
+
+// releasePacket recycles a packet whose journey has ended. Payload is
+// cleared so the pool never pins wire bytes (TCP receivers retain payload
+// slices, not the structs). Callers must not touch pkt afterwards.
+func (n *Network) releasePacket(pkt *Packet) {
+	*pkt = Packet{}
+	n.mu.Lock()
+	n.pktFree = append(n.pktFree, pkt)
+	n.mu.Unlock()
+}
+
 // SetTrace installs a callback observing every packet as it is sent
-// (nil disables). Used by tests and traffic-debugging tools.
+// (nil disables). Used by tests and traffic-debugging tools. The Packet
+// is recycled once it is delivered or dropped; callbacks must not retain
+// it past their return.
 func (n *Network) SetTrace(fn func(pkt *Packet)) {
 	if fn == nil {
 		n.trace.Store(nil)
@@ -386,6 +447,27 @@ func (h *LinkHandle) Stats() LinkStats {
 	h.n.mu.Lock()
 	defer h.n.mu.Unlock()
 	return h.l.stats
+}
+
+// SetBackgroundLoad imposes analytic fluid load (bytes/sec) on the link:
+// ab in the zones[0]→zones[1] direction of the original Connect call, ba
+// in the reverse. Packet-level traffic sent while the load is in place
+// serializes at the residual bandwidth (capacity − load, floored at 1% of
+// capacity), modeling a cohort of flow-level clients contending for the
+// link without simulating their packets. Zero restores full capacity.
+func (h *LinkHandle) SetBackgroundLoad(ab, ba float64) {
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
+	h.l.dir[0].bg = ab
+	h.l.dir[1].bg = ba
+}
+
+// BackgroundLoad reports the fluid load currently imposed on the link in
+// each direction (bytes/sec).
+func (h *LinkHandle) BackgroundLoad() (ab, ba float64) {
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
+	return h.l.dir[0].bg, h.l.dir[1].bg
 }
 
 // AddHost attaches a new host to zone with the given access-link
@@ -496,12 +578,14 @@ func (n *Network) sendFrom(h *Host, pkt *Packet) {
 	if !ok {
 		n.mu.Unlock()
 		n.recordDrop(h, nil, pkt, DropNoRoute)
+		n.releasePacket(pkt)
 		return
 	}
 	zonePath, ok := n.route(h.zone, dst.zone)
 	n.mu.Unlock()
 	if !ok {
 		n.recordDrop(h, dst, pkt, DropNoRoute)
+		n.releasePacket(pkt)
 		return
 	}
 	// Full path: source access link, zone hops, destination access link.
@@ -514,6 +598,7 @@ func (n *Network) sendFrom(h *Host, pkt *Packet) {
 			inspector: zh.l.inspector,
 			fromZone:  zh.l.zones[zh.dirIdx],
 			link:      zh.l,
+			dirIdx:    zh.dirIdx,
 		})
 	}
 	hops = append(hops, pathStep{cfg: dst.access, dir: &dst.accessDown})
@@ -541,16 +626,18 @@ func (n *Network) InjectToward(from *Zone, pkt *Packet) {
 	dst, ok := n.hosts[pkt.Dst.IP]
 	if !ok {
 		n.mu.Unlock()
+		n.releasePacket(pkt)
 		return
 	}
 	zonePath, ok := n.route(from, dst.zone)
 	n.mu.Unlock()
 	if !ok {
+		n.releasePacket(pkt)
 		return
 	}
 	hops := make([]pathStep, 0, len(zonePath)+1)
 	for _, zh := range zonePath {
-		hops = append(hops, pathStep{cfg: zh.l.cfg, dir: &zh.l.dir[zh.dirIdx], link: zh.l})
+		hops = append(hops, pathStep{cfg: zh.l.cfg, dir: &zh.l.dir[zh.dirIdx], link: zh.l, dirIdx: zh.dirIdx})
 	}
 	hops = append(hops, pathStep{cfg: dst.access, dir: &dst.accessDown})
 	n.step(nil, dst, pkt, hops, 0)
@@ -565,8 +652,10 @@ type pathStep struct {
 	// here so they obey the same path delays as real traffic.
 	fromZone *Zone
 	// link is the zone link this step transmits over (nil for access
-	// links); used for per-link traffic accounting.
-	link *link
+	// links); used for per-link traffic accounting. dirIdx is the
+	// direction index into link.dir/stats.DirBytes.
+	link   *link
+	dirIdx int
 }
 
 // step simulates the packet's traversal of hops[i] and schedules the next
@@ -584,12 +673,14 @@ func (n *Network) step(src, dst *Host, pkt *Packet, hops []pathStep, i int) {
 		switch st.inspector.Inspect(pkt) {
 		case VerdictDrop:
 			n.recordDrop(src, dst, pkt, DropInspector)
+			n.releasePacket(pkt)
 			return
 		case VerdictReset:
 			n.recordDrop(src, dst, pkt, DropInspector)
 			if pkt.Proto == ProtoTCP {
 				n.injectResetPair(pkt, st.fromZone)
 			}
+			n.releasePacket(pkt)
 			return
 		}
 	}
@@ -604,21 +695,32 @@ func (n *Network) step(src, dst *Host, pkt *Packet, hops []pathStep, i int) {
 	if queueDelay > st.cfg.maxQueue() {
 		n.mu.Unlock()
 		n.recordDrop(src, dst, pkt, DropQueue)
+		n.releasePacket(pkt)
 		return
 	}
 	var txTime time.Duration
-	if st.cfg.Bandwidth > 0 {
-		txTime = time.Duration(float64(pkt.Wire) / st.cfg.Bandwidth * float64(time.Second))
+	if bw := st.cfg.Bandwidth; bw > 0 {
+		if st.dir.bg > 0 {
+			// Fluid cohorts occupy part of the capacity; packets
+			// serialize at what is left.
+			bw -= st.dir.bg
+			if min := st.cfg.Bandwidth * minResidualFrac; bw < min {
+				bw = min
+			}
+		}
+		txTime = time.Duration(float64(pkt.Wire) / bw * float64(time.Second))
 	}
 	st.dir.nextFree = start + txTime
 	if st.link != nil {
 		st.link.stats.Packets++
 		st.link.stats.Bytes += int64(pkt.Wire)
+		st.link.stats.DirBytes[st.dirIdx] += int64(pkt.Wire)
 	}
 	n.mu.Unlock()
 
 	if st.cfg.BaseLoss > 0 && n.lossDraw(pkt.ID, i) < st.cfg.BaseLoss {
 		n.recordDrop(src, dst, pkt, DropLoss)
+		n.releasePacket(pkt)
 		return
 	}
 
@@ -648,13 +750,13 @@ func (n *Network) injectResetPair(orig *Packet, at *Zone) {
 		}
 	}
 	mk := func(src, dst AddrPort, seq uint32) *Packet {
-		return &Packet{
+		return n.NewPacket(Packet{
 			Proto: ProtoTCP,
 			Src:   src, Dst: dst,
 			RST:  true,
 			Seq:  seq,
 			Wire: tcpHeaderSize,
-		}
+		})
 	}
 	// Forged RSTs claim to come from the opposite endpoint.
 	n.InjectToward(at, mk(orig.Dst, orig.Src, orig.AckNum))

@@ -184,13 +184,13 @@ func (h *Host) DialTCP(address string) (*Conn, error) {
 
 func (c *Conn) sendSYNLocked() {
 	c.synAttempts++
-	c.host.sendRaw(&Packet{
+	c.host.sendRaw(c.host.n.NewPacket(Packet{
 		Proto: ProtoTCP,
 		Src:   c.local, Dst: c.remote,
 		SYN:  true,
 		Seq:  0,
 		Wire: tcpHeaderSize,
-	})
+	}))
 	attempt := c.synAttempts
 	backoff := initialRTO << (attempt - 1)
 	c.synTimer = c.host.n.sched.Event(backoff, func() {
@@ -209,14 +209,14 @@ func (c *Conn) sendSYNLocked() {
 
 func (c *Conn) sendSYNACKLocked() {
 	c.synAttempts++
-	c.host.sendRaw(&Packet{
+	c.host.sendRaw(c.host.n.NewPacket(Packet{
 		Proto: ProtoTCP,
 		Src:   c.local, Dst: c.remote,
 		SYN: true, ACK: true,
 		Seq:    0,
 		AckNum: c.rcvNxt,
 		Wire:   tcpHeaderSize,
-	})
+	}))
 	attempt := c.synAttempts
 	backoff := initialRTO << (attempt - 1)
 	c.synTimer = c.host.n.sched.Event(backoff, func() {
@@ -264,13 +264,13 @@ func (c *Conn) handlePacket(pkt *Packet) {
 		if pkt.SYN && !pkt.ACK {
 			// Retransmitted SYN: our SYN-ACK was lost; resend happens via
 			// the syn timer, but answer promptly too.
-			c.host.sendRaw(&Packet{
+			c.host.sendRaw(c.host.n.NewPacket(Packet{
 				Proto: ProtoTCP,
 				Src:   c.local, Dst: c.remote,
 				SYN: true, ACK: true,
 				AckNum: c.rcvNxt,
 				Wire:   tcpHeaderSize,
-			})
+			}))
 			return
 		}
 		if pkt.ACK {
@@ -424,14 +424,14 @@ func (c *Conn) sendAckLocked() {
 		c.ackTimer.Stop()
 		c.ackTimer = nil
 	}
-	c.host.sendRaw(&Packet{
+	c.host.sendRaw(c.host.n.NewPacket(Packet{
 		Proto: ProtoTCP,
 		Src:   c.local, Dst: c.remote,
 		ACK:    true,
 		Seq:    c.sndNxt,
 		AckNum: c.rcvNxt,
 		Wire:   tcpHeaderSize,
-	})
+	}))
 }
 
 func (c *Conn) updateRTTLocked(sample time.Duration) {
@@ -521,7 +521,7 @@ func (c *Conn) retransmitLocked() {
 }
 
 func (c *Conn) transmitLocked(seg *segment) {
-	c.host.sendRaw(&Packet{
+	c.host.sendRaw(c.host.n.NewPacket(Packet{
 		Proto: ProtoTCP,
 		Src:   c.local, Dst: c.remote,
 		ACK:     true,
@@ -530,7 +530,7 @@ func (c *Conn) transmitLocked(seg *segment) {
 		AckNum:  c.rcvNxt,
 		Payload: seg.payload,
 		Wire:    len(seg.payload) + tcpHeaderSize,
-	})
+	}))
 }
 
 // pumpLocked moves bytes from the send buffer into flight as the window

@@ -44,6 +44,7 @@ func (pc *PacketConn) deliver(pkt *Packet) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.closed {
+		pc.host.n.releasePacket(pkt)
 		return
 	}
 	pc.queue = append(pc.queue, pkt)
@@ -58,9 +59,12 @@ func (pc *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 	for {
 		if len(pc.queue) > 0 {
 			pkt := pc.queue[0]
+			pc.queue[0] = nil
 			pc.queue = pc.queue[1:]
 			n := copy(b, pkt.Payload)
-			return n, Addr{Net: "udp", AP: pkt.Src}, nil
+			src := pkt.Src
+			pc.host.n.releasePacket(pkt)
+			return n, Addr{Net: "udp", AP: src}, nil
 		}
 		if pc.closed {
 			return 0, nil, net.ErrClosed
@@ -87,13 +91,13 @@ func (pc *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	}
 	payload := make([]byte, len(b))
 	copy(payload, b)
-	pc.host.sendRaw(&Packet{
+	pc.host.sendRaw(pc.host.n.NewPacket(Packet{
 		Proto:   ProtoUDP,
 		Src:     AddrPort{pc.host.ip, pc.port},
 		Dst:     AddrPort{ip, port},
 		Payload: payload,
 		Wire:    len(payload) + udpHeaderSize,
-	})
+	}))
 	return len(b), nil
 }
 
@@ -105,6 +109,11 @@ func (pc *PacketConn) Close() error {
 		return nil
 	}
 	pc.closed = true
+	for i, pkt := range pc.queue {
+		pc.host.n.releasePacket(pkt)
+		pc.queue[i] = nil
+	}
+	pc.queue = nil
 	pc.cond.Broadcast()
 	pc.mu.Unlock()
 

@@ -1,7 +1,7 @@
 // Package vclock implements a deterministic virtual-time scheduler for
 // discrete-event simulation.
 //
-// The scheduler tracks a set of managed goroutines and a heap of timed
+// The scheduler tracks a set of managed goroutines and a set of timed
 // events, and it runs the managed world SERIALIZED: exactly one managed
 // goroutine (or event callback) executes at a time, holding the run token.
 // Runnable goroutines queue FIFO; when the running goroutine blocks on a
@@ -10,12 +10,30 @@
 // the earliest pending event and jump the clock to its timestamp. A
 // simulated 15-second page load therefore completes in microseconds of
 // wall time, and — because every interleaving decision is made by the
-// FIFO queue and the event heap rather than the OS scheduler — a world's
+// FIFO queue and the event order rather than the OS scheduler — a world's
 // entire execution is a deterministic function of its inputs, even when
 // hundreds of simulated clients run "concurrently". That property is what
 // lets the experiment harness fan worlds out across OS threads and still
 // produce byte-identical figures for any worker count: parallelism lives
 // BETWEEN worlds, never inside one.
+//
+// Hot-path design. Pending events live in a two-level structure: a
+// hashed timing wheel (wheelSlots slots of wheelTick each, each slot a
+// small binary min-heap) absorbs the dominant short-deadline timers —
+// packet deliveries, delayed ACKs, RTOs — and an overflow heap holds
+// everything beyond the wheel horizon. Events are never migrated between
+// the two; the driver takes the (at, seq) minimum of the wheel head and
+// the heap top, which reproduces exactly the order a single global heap
+// would produce, while each insert/remove sifts through a per-slot heap
+// (tens of entries) instead of the whole pending set (tens of thousands
+// in large worlds). Event structs are recycled through a freelist (Timer
+// handles carry a generation number so a stale Stop on a recycled event
+// is a no-op), and all events sharing the earliest virtual instant are
+// drained in one pass into a reusable batch buffer instead of one heap
+// operation per event. None of this changes execution order: within an
+// instant events still run in schedule (seq) order, and goroutines woken
+// by an event still preempt the rest of the batch, exactly as they
+// preempted the heap before.
 //
 // The cardinal rule for code running under a Scheduler is that every
 // blocking operation must be scheduler-aware. Blocking on a bare channel
@@ -25,7 +43,7 @@
 package vclock
 
 import (
-	"container/heap"
+	"math/bits"
 	"sync"
 	"time"
 )
@@ -34,18 +52,46 @@ import (
 // simulated timestamps stable across runs and obvious in logs.
 var Epoch = time.Date(2017, time.February, 1, 0, 0, 0, 0, time.UTC)
 
+const (
+	// wheelTick is the granularity of the timing wheel. One millisecond
+	// keeps per-slot lists short (a saturated border link transmits
+	// ~80 MTU packets per virtual millisecond) while letting the wheel
+	// cover every RTT/RTO-scale timer the TCP model arms.
+	wheelTick = time.Millisecond
+	// wheelSlots is the number of wheel slots; wheelTick*wheelSlots is
+	// the horizon (≈4s). Timers beyond the horizon — keepalives, fault
+	// scripts, sweep cadences — go to the overflow heap.
+	wheelSlots = 4096
+	wheelWords = wheelSlots / 64
+)
+
 // Scheduler is a deterministic discrete-event scheduler. The zero value is
 // not usable; call New.
 type Scheduler struct {
 	mu     sync.Mutex
 	driver *sync.Cond // wakes the driver loop when the token frees or events arrive
 
-	now     time.Duration // virtual time elapsed since Epoch
-	events  eventHeap
+	now     time.Duration   // virtual time elapsed since Epoch
 	seq     uint64          // tie-breaker so same-timestamp events run in schedule order
 	running bool            // the run token: a managed goroutine or event callback executes
 	ready   []chan struct{} // FIFO of runnable goroutines awaiting the token
 	stopped bool
+
+	// Pending-event storage: timing wheel for short deadlines (each slot
+	// its own (at, seq) min-heap), heap for the overflow, and a
+	// live-event counter so Wait is O(1).
+	wheel    [wheelSlots][]*event
+	occupied [wheelWords]uint64 // bitmap of non-empty wheel slots
+	nwheel   int                // events resident in the wheel (incl. cancelled)
+	events   []*event           // overflow min-heap beyond the wheel horizon
+	npending int                // scheduled, not yet executed or cancelled
+
+	// Same-instant batch: all events sharing the earliest timestamp,
+	// drained in one pass and executed in seq order.
+	batch    []*event
+	batchPos int
+
+	free []*event // event freelist; structs are recycled via generations
 
 	idle *sync.Cond // wakes Wait() callers when the world quiesces
 }
@@ -62,28 +108,59 @@ func New() *Scheduler {
 type event struct {
 	at     time.Duration
 	seq    uint64
+	gen    uint64 // bumped on recycle; stale Timer handles stop matching
 	fn     func() // runs on the driver goroutine; must not block
 	cancel bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// heapPush/heapPop implement a plain binary min-heap over (at, seq) with
+// direct slice access — no container/heap interface dispatch or interface
+// boxing on the hot path. heapPop nils the vacated tail slot so the
+// backing array never retains a popped *event.
+func heapPush(h []*event, ev *event) []*event {
+	h = append(h, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func heapPop(h []*event) ([]*event, *event) {
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil // release the slot so the backing array doesn't retain the event
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && evLess(h[r], h[l]) {
+			min = r
+		}
+		if !evLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return h, ev
 }
 
 // Now returns the current virtual time.
@@ -130,10 +207,13 @@ func (s *Scheduler) Sleep(d time.Duration) {
 	<-ch
 }
 
-// Timer is a handle to a pending AfterFunc callback.
+// Timer is a handle to a pending AfterFunc/Event callback. The handle
+// snapshots the event's generation, so it stays valid (as a no-op) after
+// the event fires and its struct is recycled for a later timer.
 type Timer struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the call prevented the
@@ -144,10 +224,11 @@ func (t *Timer) Stop() bool {
 	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	if t.ev.cancel || t.ev.fn == nil {
+	if t.ev.gen != t.gen || t.ev.cancel || t.ev.fn == nil {
 		return false
 	}
 	t.ev.cancel = true
+	t.s.npending--
 	return true
 }
 
@@ -158,7 +239,7 @@ func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ev := s.scheduleLocked(s.now+d, func() { s.Go(fn) })
-	return &Timer{s: s, ev: ev}
+	return &Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // Event schedules fn to run on the driver goroutine after d of virtual
@@ -168,7 +249,7 @@ func (s *Scheduler) Event(d time.Duration, fn func()) *Timer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ev := s.scheduleLocked(s.now+d, fn)
-	return &Timer{s: s, ev: ev}
+	return &Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *event {
@@ -176,10 +257,162 @@ func (s *Scheduler) scheduleLocked(at time.Duration, fn func()) *event {
 		at = s.now
 	}
 	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.events, ev)
+	ev := s.allocEventLocked()
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.cancel = false
+	s.npending++
+	if slot := at / wheelTick; slot-s.now/wheelTick < wheelSlots {
+		idx := int(slot % wheelSlots)
+		s.wheel[idx] = heapPush(s.wheel[idx], ev)
+		s.occupied[idx/64] |= 1 << uint(idx%64)
+		s.nwheel++
+	} else {
+		s.events = heapPush(s.events, ev)
+	}
 	s.driver.Signal()
 	return ev
+}
+
+func (s *Scheduler) allocEventLocked() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// freeEventLocked returns a dead event to the freelist. Bumping the
+// generation invalidates every outstanding Timer handle to it.
+func (s *Scheduler) freeEventLocked(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	s.free = append(s.free, ev)
+}
+
+// wheelScanLocked returns the index of the first occupied slot in the
+// horizon starting at the slot containing virtual now, or -1. Cancelled
+// stragglers from a previous wheel lap (at < now) are purged as it scans,
+// so a returned slot's head is a live or same-lap event.
+func (s *Scheduler) wheelScanLocked() int {
+	if s.nwheel == 0 {
+		return -1
+	}
+	cur := int(s.now / wheelTick % wheelSlots)
+	for scanned := 0; scanned < wheelSlots; {
+		word := cur / 64
+		w := s.occupied[word] >> uint(cur%64)
+		if w == 0 {
+			step := 64 - cur%64
+			cur = (cur + step) % wheelSlots
+			scanned += step
+			continue
+		}
+		step := bits.TrailingZeros64(w)
+		idx := (cur + step) % wheelSlots
+		if s.purgeSlotLocked(idx) {
+			return idx
+		}
+		cur = (idx + 1) % wheelSlots
+		scanned += step + 1
+	}
+	return -1
+}
+
+// purgeSlotLocked pops cancelled events off the head of slot idx's heap,
+// clearing the occupancy bit if the slot empties. It reports whether a
+// live event remains at the head.
+func (s *Scheduler) purgeSlotLocked(idx int) bool {
+	list := s.wheel[idx]
+	for len(list) > 0 && list[0].cancel {
+		var dead *event
+		list, dead = heapPop(list)
+		s.freeEventLocked(dead)
+		s.nwheel--
+	}
+	s.wheel[idx] = list
+	if len(list) == 0 {
+		s.occupied[idx/64] &^= 1 << uint(idx%64)
+		return false
+	}
+	return true
+}
+
+// popMinLocked removes and returns the earliest live event across the
+// wheel and the overflow heap (cancelled heap entries are freed in
+// passing), or nil when none is pending.
+func (s *Scheduler) popMinLocked() *event {
+	for {
+		idx := s.wheelScanLocked()
+		var wev *event
+		if idx >= 0 {
+			wev = s.wheel[idx][0]
+		}
+		if len(s.events) == 0 {
+			if wev == nil {
+				return nil
+			}
+			s.wheelPopLocked(idx)
+			return wev
+		}
+		hev := s.events[0]
+		if wev != nil && evLess(wev, hev) {
+			s.wheelPopLocked(idx)
+			return wev
+		}
+		s.events, _ = heapPop(s.events)
+		if hev.cancel {
+			s.freeEventLocked(hev)
+			continue
+		}
+		return hev
+	}
+}
+
+func (s *Scheduler) wheelPopLocked(idx int) {
+	list, _ := heapPop(s.wheel[idx])
+	s.wheel[idx] = list
+	s.nwheel--
+	if len(list) == 0 {
+		s.occupied[idx/64] &^= 1 << uint(idx%64)
+	}
+}
+
+// drainBatchLocked fills s.batch with every live event at the earliest
+// pending instant, advancing the clock to it. It reports whether any
+// event was found.
+func (s *Scheduler) drainBatchLocked() bool {
+	first := s.popMinLocked()
+	if first == nil {
+		return false
+	}
+	s.now = first.at
+	s.batch = append(s.batch, first)
+	// Pull the rest of the instant. Same-at events can only live in the
+	// instant's own wheel slot or atop the overflow heap, so no bitmap
+	// scan is needed. Events scheduled later at this same instant carry
+	// larger seq values than anything drained here, so they sort after
+	// the batch exactly as they would in a single heap.
+	idx := int(first.at / wheelTick % wheelSlots)
+	for {
+		var next *event
+		if s.nwheel > 0 && s.purgeSlotLocked(idx) && s.wheel[idx][0].at == first.at {
+			next = s.wheel[idx][0]
+			s.wheelPopLocked(idx)
+		} else if len(s.events) > 0 && s.events[0].at == first.at {
+			s.events, next = heapPop(s.events)
+			if next.cancel {
+				s.freeEventLocked(next)
+				continue
+			}
+		} else {
+			return true
+		}
+		s.batch = append(s.batch, next)
+	}
 }
 
 // readyCh puts a parked goroutine's wake channel at the back of the run
@@ -205,8 +438,11 @@ func (s *Scheduler) releaseLocked() {
 }
 
 // run is the driver loop: pass the token FIFO through the run queue; when
-// the queue drains, pop the earliest event, advance the clock, and execute
-// it (holding the token so time cannot advance underneath it).
+// the queue drains, execute the next event of the current same-instant
+// batch (refilling the batch from the wheel/heap when it empties), holding
+// the token so time cannot advance underneath it. Goroutines made runnable
+// by an event callback run before the rest of the batch, preserving the
+// exact interleaving of the one-pop-per-iteration driver this replaces.
 func (s *Scheduler) run() {
 	s.mu.Lock()
 	for {
@@ -225,23 +461,32 @@ func (s *Scheduler) run() {
 			close(ch)
 			continue
 		}
-		if s.events.Len() == 0 {
+		if s.batchPos < len(s.batch) {
+			ev := s.batch[s.batchPos]
+			s.batch[s.batchPos] = nil
+			s.batchPos++
+			if ev.cancel {
+				// Cancelled after the drain, by an earlier event in
+				// this same batch.
+				s.freeEventLocked(ev)
+				continue
+			}
+			fn := ev.fn
+			s.npending--
+			s.freeEventLocked(ev)
+			s.running = true
+			s.mu.Unlock()
+			fn()
+			s.mu.Lock()
+			s.running = false
+			continue
+		}
+		s.batch = s.batch[:0]
+		s.batchPos = 0
+		if !s.drainBatchLocked() {
 			s.idle.Broadcast()
 			s.driver.Wait()
-			continue
 		}
-		ev := heap.Pop(&s.events).(*event)
-		if ev.cancel {
-			continue
-		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		s.running = true
-		s.mu.Unlock()
-		fn()
-		s.mu.Lock()
-		s.running = false
 	}
 }
 
@@ -252,19 +497,9 @@ func (s *Scheduler) run() {
 func (s *Scheduler) Wait() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for !(!s.running && len(s.ready) == 0 && pendingLocked(&s.events) == 0) && !s.stopped {
+	for !(!s.running && len(s.ready) == 0 && s.npending == 0) && !s.stopped {
 		s.idle.Wait()
 	}
-}
-
-func pendingLocked(h *eventHeap) int {
-	n := 0
-	for _, ev := range *h {
-		if !ev.cancel {
-			n++
-		}
-	}
-	return n
 }
 
 // Stop halts the driver loop. Pending events never fire and parked

@@ -308,3 +308,87 @@ func TestManyConcurrentSleepersDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestHeapPopReleasesSlot(t *testing.T) {
+	// Regression: the pending-event containers must nil out vacated tail
+	// slots when shrinking, or the backing arrays retain popped *event
+	// values for the life of the world — a leak that grows with exactly
+	// the long, event-heavy runs the flow-level mode introduces.
+	var h []*event
+	for i := 0; i < 8; i++ {
+		h = heapPush(h, &event{at: time.Duration(i), seq: uint64(i)})
+	}
+	backing := h[:cap(h)]
+	for len(h) > 0 {
+		h, _ = heapPop(h)
+	}
+	for i, ev := range backing {
+		if ev != nil {
+			t.Fatalf("backing[%d] still references a popped event", i)
+		}
+	}
+}
+
+func TestTimerStopAfterRecycleIsNoop(t *testing.T) {
+	// Event structs are recycled through a freelist. A Timer handle held
+	// across its event firing must not be able to cancel the unrelated
+	// timer that later reuses the struct.
+	s := New()
+	defer s.Stop()
+
+	var fired [2]bool
+	t0 := s.Event(time.Millisecond, func() { fired[0] = true })
+	s.Wait()
+	// t0's event has fired and its struct returned to the freelist; the
+	// next Event reuses it.
+	s.Event(2*time.Millisecond, func() { fired[1] = true })
+	if t0.Stop() {
+		t.Fatal("Stop on a fired timer reported true")
+	}
+	s.Wait()
+	if !fired[0] || !fired[1] {
+		t.Fatalf("fired = %v, want both", fired)
+	}
+}
+
+func TestWheelOverflowOrdering(t *testing.T) {
+	// Events beyond the wheel horizon live in the overflow heap; events
+	// inside it live in the wheel. They must still fire in global
+	// timestamp order, including ties across the boundary as the clock
+	// advances into the far event's horizon.
+	s := New()
+	defer s.Stop()
+
+	var order []int
+	mu := make(chan struct{}, 1)
+	mu <- struct{}{}
+	add := func(i int) { <-mu; order = append(order, i); mu <- struct{}{} }
+	s.Event(10*time.Second, func() { add(2) }) // far beyond the horizon
+	s.Event(time.Millisecond, func() { add(0) })
+	s.Event(5*time.Second, func() { add(1) }) // just past the horizon
+	s.Event(10*time.Second, func() { add(3) })
+	s.Wait()
+	if len(order) != 4 || order[0] != 0 || order[1] != 1 || order[2] != 2 || order[3] != 3 {
+		t.Fatalf("order = %v, want [0 1 2 3]", order)
+	}
+	if got := s.Elapsed(); got != 10*time.Second {
+		t.Fatalf("elapsed = %v, want 10s", got)
+	}
+}
+
+func TestStopCancelledEventInDrainedBatch(t *testing.T) {
+	// An event callback may Stop a timer that shares its instant and has
+	// already been drained into the batch; the cancelled callback must
+	// not run.
+	s := New()
+	defer s.Stop()
+
+	var ran bool
+	var victim *Timer
+	s.Event(time.Millisecond, func() { victim.Stop() })
+	victim = s.Event(time.Millisecond, func() { ran = true })
+	s.Wait()
+	if ran {
+		t.Fatal("cancelled same-instant event still ran")
+	}
+}

@@ -38,6 +38,9 @@ type Simulation struct {
 	// World exposes the underlying topology, hosts, GFW, and method
 	// factories for fine-grained use.
 	World *experiments.World
+
+	// flowClients carries Options.FlowClients for flow-level measurements.
+	flowClients int
 }
 
 // FleetOptions backs ScholarCloud's domestic proxy with a managed pool of
@@ -251,6 +254,13 @@ type Options struct {
 	// Cache; mutually exclusive with Fleet and Transports. Nil keeps the
 	// single domestic proxy and every figure byte-identical to it.
 	Shards *ShardOptions
+	// FlowClients, when > 0, is the cohort size for flow-level
+	// measurements: MeasureFlowScalability models that many identical
+	// clients as calibrated fluid load with a handful of sampled
+	// packet-level clients riding it. Zero leaves flow mode off (calling
+	// MeasureFlowScalability then errors); packet-level measurements are
+	// unaffected either way.
+	FlowClients int
 }
 
 // Validate walks every nested option block (Fleet, Cache, Faults,
@@ -282,6 +292,9 @@ func (o Options) Validate() error {
 		if o.Transports != nil {
 			return fmt.Errorf("scholarcloud: Shards and Transports are mutually exclusive — the sharded tier runs on the single blinded carrier")
 		}
+	}
+	if o.FlowClients < 0 {
+		return fmt.Errorf("scholarcloud: Options.FlowClients is negative (%d) — set a cohort size, or zero to leave flow mode off", o.FlowClients)
 	}
 	return nil
 }
@@ -323,7 +336,7 @@ func NewSimulation(opts Options) *Simulation {
 		cfg.ShardSiblingFetch = sh.SiblingFetch
 		cfg.ShardRehashOnDeath = sh.RehashOnDeath
 	}
-	return &Simulation{World: experiments.NewWorld(cfg)}
+	return &Simulation{World: experiments.NewWorld(cfg), flowClients: opts.FlowClients}
 }
 
 // Close stops the simulation.
@@ -387,6 +400,35 @@ type ScalabilityResult struct {
 	Obs     obs.Snapshot
 }
 
+// FlowResult is a flow-level cohort measurement: a cohort of
+// Options.FlowClients identical clients modeled as calibrated fluid load,
+// with `Sampled` real packet-level clients riding it for tracing.
+type FlowResult struct {
+	Method  string
+	Clients int // cohort size
+	Sampled int // packet-level clients sampled from the cohort
+	// PLT and Failed summarize the sampled clients' visits under the
+	// cohort's load.
+	PLT    Summary // seconds
+	Failed int
+	// Analytic offered-load fractions the cohort imposes on the border
+	// link and the proxy CPU tiers (1.0 = at capacity).
+	BorderUtilization   float64
+	RemoteUtilization   float64
+	DomesticUtilization float64
+	// RequiredRemotes is the analytic floor on remote-proxy count needed
+	// to keep the remote tier under full utilization at this cohort size.
+	RequiredRemotes int
+	// Saturated reports that some resource's offered load is >= 1.
+	Saturated bool
+	// BorderBytes totals the cohort's border traffic for the session
+	// (measured for sampled clients, demand-scaled for the fluid rest);
+	// BytesPerClient divides it by the cohort size.
+	BorderBytes    int64
+	BytesPerClient float64
+	Obs            obs.Snapshot
+}
+
 // PartialError is returned by Measure* methods whose run failed partway:
 // it wraps the underlying failure and carries the observability delta
 // accumulated up to it, so a caller can still see how far the run got
@@ -414,6 +456,7 @@ func (r *RTTResult) setObs(sn obs.Snapshot)         { r.Obs = sn }
 func (r *PLRResult) setObs(sn obs.Snapshot)         { r.Obs = sn }
 func (r *TrafficResult) setObs(sn obs.Snapshot)     { r.Obs = sn }
 func (r *ScalabilityResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+func (r *FlowResult) setObs(sn obs.Snapshot)        { r.Obs = sn }
 
 // measureInto is the shared shell of every Measure* method: it brackets
 // the world measurement `run` between two registry snapshots, folds the
@@ -495,6 +538,35 @@ func (s *Simulation) MeasureScalability(method string, clients, rounds int) (*Sc
 			return s.World.MeasureScalability(f, clients, rounds)
 		},
 		func(p *experiments.ScalabilityPoint) { res.PLT, res.Failed = p.PLT, p.Failed })
+}
+
+// MeasureFlowScalability measures the named method under a flow-level
+// cohort of Options.FlowClients identical clients: `sampled` of them run
+// as real packet-level clients over `rounds` visit rounds, the rest as
+// fluid load calibrated from a marginal client's measured demand. The
+// simulation must have been built with FlowClients > 0.
+func (s *Simulation) MeasureFlowScalability(method string, rounds, sampled int) (*FlowResult, error) {
+	if s.flowClients <= 0 {
+		return nil, fmt.Errorf("scholarcloud: MeasureFlowScalability needs Options.FlowClients > 0")
+	}
+	f, err := s.factory(method)
+	if err != nil {
+		return nil, err
+	}
+	res := &FlowResult{Method: method}
+	return measureInto(s, res,
+		func() (*experiments.FlowPoint, error) {
+			return s.World.MeasureFlowScalability(f, s.flowClients, rounds, sampled)
+		},
+		func(p *experiments.FlowPoint) {
+			res.Clients, res.Sampled = p.Clients, p.Sampled
+			res.PLT, res.Failed = p.PLT, p.Failed
+			res.BorderUtilization = p.BorderUtilization
+			res.RemoteUtilization = p.RemoteUtilization
+			res.DomesticUtilization = p.DomesticUtilization
+			res.RequiredRemotes, res.Saturated = p.RequiredRemotes, p.Saturated
+			res.BorderBytes, res.BytesPerClient = p.BorderBytes, p.BytesPerClient
+		})
 }
 
 // FaultsResult is a faults-under-load datapoint: ScholarCloud page loads
