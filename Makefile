@@ -94,6 +94,10 @@ determinism:
 	@/tmp/scholarbench-gate -fig shards -parallel 3 > /tmp/scholarbench-shards-p3.txt
 	@cmp /tmp/scholarbench-shards-p1.txt /tmp/scholarbench-shards-p3.txt && \
 		echo "determinism gate: -fig shards byte-identical at -parallel 1 and -parallel 3"
+	@/tmp/scholarbench-gate -fig autoscale -parallel 1 > /tmp/scholarbench-autoscale-p1.txt
+	@/tmp/scholarbench-gate -fig autoscale -parallel 3 > /tmp/scholarbench-autoscale-p3.txt
+	@cmp /tmp/scholarbench-autoscale-p1.txt /tmp/scholarbench-autoscale-p3.txt && \
+		echo "determinism gate: -fig autoscale byte-identical at -parallel 1 and -parallel 3"
 	@/tmp/scholarbench-gate -fig scale -parallel 1 > /tmp/scholarbench-scale-p1.txt
 	@/tmp/scholarbench-gate -fig scale -parallel 3 > /tmp/scholarbench-scale-p3.txt
 	@cmp /tmp/scholarbench-scale-p1.txt /tmp/scholarbench-scale-p3.txt && \

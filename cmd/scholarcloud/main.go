@@ -26,6 +26,13 @@
 // Multi-machine tiers instead start one process per shard, each listing
 // the whole tier in DomesticConfig.ShardAddrs.
 //
+// -autoscale N makes the -shards tier elastic: N shards start active and
+// the rest park as standbys while a metrics-driven control loop grows
+// and shrinks the active set from the tier's own request rate — joiners
+// warm their caches from peers before entering the ring, leavers drain
+// their keys to the survivors. Scaling decisions are priced in $/day and
+// served on every shard's -admin listener at /scale-events.
+//
 // Users configure their browser with http://<domestic>/pac — the single
 // setting ScholarCloud requires.
 package main
@@ -36,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"scholarcloud"
 )
@@ -110,6 +118,8 @@ func runDomestic(args []string) {
 	cacheMB := fs.Int("cache-mb", 0, "shared content-cache budget in MiB (0 = no cache)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "heuristic freshness TTL for cached responses without max-age (0 = default)")
 	shards := fs.Int("shards", 0, "run a sharded domestic tier of this many proxies in one process: shard i binds -listen/-web/-admin (and derives -public) at port+i; needs -cache-mb")
+	autoscaleN := fs.Int("autoscale", 0, "autoscale the -shards tier: start with this many active shards, park the rest as standbys, and scale on demand (0 = static tier)")
+	autoscaleEvery := fs.Duration("autoscale-interval", 0, "autoscaler control-loop interval (0 = default 15s; needs -autoscale)")
 	resilient := fs.Bool("resilient", false, "enable client-path resilience: dial/request deadlines, reconnect backoff, hedged failover")
 	dialTimeout := fs.Duration("dial-timeout", 0, "resilience per-dial deadline (0 = default 3s; needs -resilient)")
 	requestTimeout := fs.Duration("request-timeout", 0, "resilience per-request deadline (0 = default 30s; needs -resilient)")
@@ -142,8 +152,12 @@ func runDomestic(args []string) {
 		DialTimeout:       *dialTimeout,
 		RequestTimeout:    *requestTimeout,
 	}
+	if *autoscaleN > 0 && *shards < 2 {
+		fmt.Fprintln(os.Stderr, "domestic: -autoscale needs a -shards tier to scale")
+		os.Exit(2)
+	}
 	if *shards >= 2 {
-		runDomesticTier(cfg, *shards)
+		runDomesticTier(cfg, *shards, *autoscaleN, *autoscaleEvery)
 		return
 	}
 	d, err := scholarcloud.StartDomestic(cfg)
@@ -163,16 +177,30 @@ func runDomestic(args []string) {
 	waitForInterrupt()
 }
 
-// runDomesticTier starts the one-process sharded tier and prints every
-// shard's listeners so operators can point health checks at each.
-func runDomesticTier(cfg scholarcloud.DomesticConfig, shards int) {
+// runDomesticTier starts the one-process sharded tier (optionally
+// autoscaled) and prints every shard's listeners so operators can point
+// health checks at each.
+func runDomesticTier(cfg scholarcloud.DomesticConfig, shards, autoscaleN int, autoscaleEvery time.Duration) {
 	tier, err := scholarcloud.StartDomesticTier(cfg, shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "domestic:", err)
 		os.Exit(1)
 	}
 	defer tier.Close()
-	fmt.Printf("scholarcloud sharded domestic tier: %d shards\n", shards)
+	if autoscaleN > 0 {
+		err := tier.StartAutoscale(scholarcloud.AutoscaleOptions{
+			InitialShards: autoscaleN,
+			Interval:      autoscaleEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "domestic:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scholarcloud autoscaled domestic tier: %d of %d shards active (events at /scale-events)\n",
+			autoscaleN, shards)
+	} else {
+		fmt.Printf("scholarcloud sharded domestic tier: %d shards\n", shards)
+	}
 	for i, d := range tier.Shards() {
 		fmt.Printf("  shard %d proxy on %s; PAC at http://%s/pac\n", i, d.ProxyAddr(), d.WebAddr())
 		if a := d.AdminAddr(); a != nil {

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"scholarcloud/internal/autoscale"
 	"scholarcloud/internal/cache"
 	"scholarcloud/internal/carrier"
 	"scholarcloud/internal/core"
@@ -77,8 +80,10 @@ func (r *RemoteProxy) Close() {
 
 // adminHandler serves the operator endpoints: /metrics renders the
 // registry snapshot as sorted "name=value" lines; /healthz reports 200
-// while healthy() says so and 503 otherwise.
-func adminHandler(reg *obs.Registry, healthy func() (bool, string)) httpsim.Handler {
+// while healthy() says so and 503 otherwise. A non-nil scale source adds
+// /scale-events, the autoscaler's decision log (one line per transition,
+// priced in $/day); it renders a placeholder until a controller starts.
+func adminHandler(reg *obs.Registry, healthy func() (bool, string), scale func() []autoscale.Decision) httpsim.Handler {
 	m := httpsim.NewMux()
 	m.HandleFunc("/metrics", func(_ *httpsim.Request, _ net.Addr) *httpsim.Response {
 		var buf bytes.Buffer
@@ -95,12 +100,37 @@ func adminHandler(reg *obs.Registry, healthy func() (bool, string)) httpsim.Hand
 		}
 		return httpsim.NewResponse(status, []byte(detail+"\n"))
 	})
+	if scale != nil {
+		m.HandleFunc("/scale-events", func(_ *httpsim.Request, _ net.Addr) *httpsim.Response {
+			resp := httpsim.NewResponse(200, renderScaleEvents(scale()))
+			resp.Header["Content-Type"] = "text/plain; charset=utf-8"
+			return resp
+		})
+	}
 	return m
+}
+
+// renderScaleEvents formats the autoscaler's decision log for the admin
+// endpoint: one line per transition with its reason and daily price.
+func renderScaleEvents(ds []autoscale.Decision) []byte {
+	if len(ds) == 0 {
+		return []byte("no scale events\n")
+	}
+	var buf bytes.Buffer
+	for _, d := range ds {
+		fmt.Fprintf(&buf, "%s %d->%d %s vm=%.2f$/day delta=%+.2f$/day",
+			d.At.UTC().Format(time.RFC3339), d.From, d.To, d.Reason, d.VMPerDayUSD, d.DeltaUSD)
+		if d.Err != nil {
+			fmt.Fprintf(&buf, " err=%v", d.Err)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
 }
 
 // startAdmin binds and serves the admin endpoints, returning the
 // listener (nil when addr is empty).
-func startAdmin(env netx.Env, addr string, reg *obs.Registry, healthy func() (bool, string)) (net.Listener, error) {
+func startAdmin(env netx.Env, addr string, reg *obs.Registry, healthy func() (bool, string), scale func() []autoscale.Decision) (net.Listener, error) {
 	if addr == "" {
 		return nil, nil
 	}
@@ -108,7 +138,7 @@ func startAdmin(env netx.Env, addr string, reg *obs.Registry, healthy func() (bo
 	if err != nil {
 		return nil, err
 	}
-	srv := &httpsim.Server{Handler: adminHandler(reg, healthy), Spawn: env.Spawn}
+	srv := &httpsim.Server{Handler: adminHandler(reg, healthy, scale), Spawn: env.Spawn}
 	go srv.Serve(ln)
 	return ln, nil
 }
@@ -147,7 +177,7 @@ func StartRemote(cfg RemoteConfig) (*RemoteProxy, error) {
 	// chains (an earlier version leaked remote's carrier state when the
 	// admin bind failed).
 	p := &RemoteProxy{remote: remote, ln: ln, CACert: ca.DER}
-	adminLn, err := startAdmin(env, cfg.AdminListen, reg, func() (bool, string) { return true, "ok" })
+	adminLn, err := startAdmin(env, cfg.AdminListen, reg, func() (bool, string) { return true, "ok" }, nil)
 	if err != nil {
 		p.Close()
 		return nil, err
@@ -280,10 +310,36 @@ type DomesticProxy struct {
 	webLn    net.Listener
 	adminLn  net.Listener
 	policy   *pac.Config
+	// reg collects the proxy's metrics; the admin listener renders it and
+	// the tier autoscaler samples it.
+	reg *obs.Registry
 	// ring is the shard tier's rendezvous view when the proxy runs
 	// sharded (ShardAddrs or StartDomesticTier); nil for the ordinary
 	// single proxy. Tier shards share one ring.
 	ring *shard.Ring
+
+	scaleMu sync.Mutex
+	scaleFn func() []autoscale.Decision
+}
+
+// setScaleSource installs the decision log /scale-events renders; the
+// tier autoscaler calls it on every shard when it starts.
+func (d *DomesticProxy) setScaleSource(fn func() []autoscale.Decision) {
+	d.scaleMu.Lock()
+	d.scaleFn = fn
+	d.scaleMu.Unlock()
+}
+
+// scaleDecisions reads the installed decision log (nil before any
+// autoscaler starts).
+func (d *DomesticProxy) scaleDecisions() []autoscale.Decision {
+	d.scaleMu.Lock()
+	fn := d.scaleFn
+	d.scaleMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
 }
 
 // ProxyAddr returns the browser-facing address.
@@ -505,7 +561,7 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	// From here on every resource lives in p, so error exits close the
 	// partial proxy as a unit rather than maintaining parallel cleanup
 	// chains that drift as resources are added.
-	p := &DomesticProxy{domestic: domestic, pool: pool, ladder: ladder, policy: policy, ring: ring}
+	p := &DomesticProxy{domestic: domestic, pool: pool, ladder: ladder, policy: policy, reg: reg, ring: ring}
 	p.proxyLn, err = net.Listen("tcp", cfg.ProxyListen)
 	if err != nil {
 		p.Close()
@@ -521,7 +577,7 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 			return false, "no healthy remote endpoints"
 		}
 		return true, "ok"
-	})
+	}, p.scaleDecisions)
 	if err != nil {
 		p.Close()
 		return nil, err
@@ -582,6 +638,14 @@ func addrPlus(base string, i int) (string, error) {
 type DomesticTier struct {
 	shards   []*DomesticProxy
 	director *shard.Director
+
+	asMu       sync.Mutex
+	autoscaler *autoscale.Controller
+	// lastReqs/lastSample turn the tier's monotonic request counter into
+	// the controller's sessions/sec demand signal, one delta per tick.
+	lastReqs   int64
+	lastSample time.Time
+	haveSample bool
 }
 
 // Shards returns the tier's proxies in shard order.
@@ -615,11 +679,253 @@ func (t *DomesticTier) MarkDown(addr string) { t.director.MarkDown(addr) }
 // MarkUp readmits a recovered shard tier-wide.
 func (t *DomesticTier) MarkUp(addr string) { t.director.MarkUp(addr) }
 
+// Autoscaler returns the running controller, or nil before
+// StartAutoscale.
+func (t *DomesticTier) Autoscaler() *autoscale.Controller {
+	t.asMu.Lock()
+	defer t.asMu.Unlock()
+	return t.autoscaler
+}
+
 // Close shuts every shard down. Safe on a partially started tier.
 func (t *DomesticTier) Close() {
+	if ctl := t.Autoscaler(); ctl != nil {
+		ctl.Stop()
+	}
 	for _, d := range t.shards {
 		d.Close()
 	}
+}
+
+// StartAutoscale turns the static tier elastic: shards beyond
+// o.InitialShards are parked as standbys (out of the ring, so the PAC and
+// key ownership cover only the active prefix) and a metrics-driven
+// control loop on the wall clock grows and shrinks the active set through
+// the Director. Demand is sampled from the shards' own request counters
+// (proxied requests/sec tier-wide — calibrate Policy.ShardSessionsPerSec
+// in the same unit); a scale-up warms the joiner's cache from peers over
+// the sibling path before it enters the ring, and a scale-down drains the
+// leaver's keys to their new owners. Decisions are priced through opscost
+// and served on every shard's admin listener at /scale-events.
+func (t *DomesticTier) StartAutoscale(o AutoscaleOptions) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if o.InitialShards > len(t.shards) {
+		return fmt.Errorf("scholarcloud: StartAutoscale InitialShards (%d) exceeds the tier's %d shards", o.InitialShards, len(t.shards))
+	}
+	t.asMu.Lock()
+	defer t.asMu.Unlock()
+	if t.autoscaler != nil {
+		return errors.New("scholarcloud: the tier's autoscaler is already running")
+	}
+
+	ring := t.director.Ring()
+	addrs := ring.Names()
+	for i := o.InitialShards; i < len(addrs); i++ {
+		ring.MarkDown(addrs[i])
+	}
+	up := ring.Up()
+	for _, d := range t.shards {
+		d.policy.SetProxies(up)
+	}
+
+	pol := o.Policy
+	if pol.MinShards == 0 {
+		pol.MinShards = o.InitialShards
+	}
+	if pol.MaxShards == 0 {
+		pol.MaxShards = len(t.shards)
+	}
+	ctl, err := autoscale.New(autoscale.Config{
+		Policy: pol,
+		Sample: t.sampleTier,
+		Apply:  t.applyScale,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range t.shards {
+		ctl.Instrument(d.reg)
+		d.setScaleSource(ctl.Decisions)
+	}
+	t.autoscaler = ctl
+	go ctl.Run(netx.RealEnv(), o.Interval)
+	return nil
+}
+
+// sampleTier assembles the controller's view from live readings: active
+// shard count from the ring, demand as the tier-wide proxied-request rate
+// since the previous tick, hit rate from the summed cache counters.
+func (t *DomesticTier) sampleTier() autoscale.Sample {
+	var reqs, hits, lookups int64
+	for _, d := range t.shards {
+		reqs += d.reg.Snapshot().Counter("core.domestic.requests")
+		st := d.domestic.Cache.Snapshot()
+		hits += st.Hits
+		lookups += st.Hits + st.Misses
+	}
+	now := time.Now()
+	t.asMu.Lock()
+	rate := 0.0
+	if t.haveSample {
+		if dt := now.Sub(t.lastSample).Seconds(); dt > 0 {
+			rate = float64(reqs-t.lastReqs) / dt
+		}
+	}
+	t.lastReqs, t.lastSample, t.haveSample = reqs, now, true
+	t.asMu.Unlock()
+	hitRate := -1.0
+	if lookups > 0 {
+		hitRate = float64(hits) / float64(lookups)
+	}
+	return autoscale.Sample{
+		ActiveShards:    len(t.director.Ring().Up()),
+		SessionsPerSec:  rate,
+		HitRate:         hitRate,
+		HostUtilization: -1,
+	}
+}
+
+// applyScale is the controller's actuator: grow to `to` active shards by
+// admitting standbys (lowest index first, each warmed up before joining
+// the ring), shrink by retiring actives (highest index first, each
+// drained with key handoff). Shard 0 never retires.
+func (t *DomesticTier) applyScale(from, to int) error {
+	ring := t.director.Ring()
+	for len(ring.Up()) < to {
+		i := t.shardWhere(ring.IsDown)
+		if i < 0 {
+			break
+		}
+		t.admitShard(i)
+	}
+	for len(ring.Up()) > to {
+		i := t.lastActive()
+		if i <= 0 {
+			break
+		}
+		t.retireShard(i)
+	}
+	return nil
+}
+
+// shardWhere returns the lowest shard index whose address satisfies pred,
+// or -1.
+func (t *DomesticTier) shardWhere(pred func(string) bool) int {
+	for i, a := range t.director.Ring().Names() {
+		if pred(a) {
+			return i
+		}
+	}
+	return -1
+}
+
+// lastActive returns the highest live shard index, or -1.
+func (t *DomesticTier) lastActive() int {
+	addrs := t.director.Ring().Names()
+	for i := len(addrs) - 1; i >= 0; i-- {
+		if !t.director.Ring().IsDown(addrs[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// errWarmupNoBorder makes a warm-up Fetch fail closed: when the sibling
+// path cannot supply a key, the pre-seed skips it rather than crossing
+// the border.
+var errWarmupNoBorder = errors.New("scholarcloud: warm-up fetch must not cross the border")
+
+// activeTierKeys is the union of fresh cache keys across live shards,
+// sorted for a stable warm-up sweep order.
+func (t *DomesticTier) activeTierKeys() []string {
+	ring := t.director.Ring()
+	addrs := ring.Names()
+	seen := make(map[string]bool)
+	var keys []string
+	for i, d := range t.shards {
+		if ring.IsDown(addrs[i]) {
+			continue
+		}
+		for _, k := range d.domestic.Cache.Keys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// admitShard warms up standby shard i and admits it to the ring. Before
+// the Director announces the join, the shard pre-seeds every fresh key it
+// is about to own — ownership computed on a candidate ring that includes
+// it — from the key's current owner over the sibling-fetch path: the
+// joiner is still outside the live ring, so its peered Fetch routes to
+// the owner, and the border fetcher refuses, so a scale-up moves only
+// domestic bytes. Returns the number of keys pre-seeded.
+func (t *DomesticTier) admitShard(i int) int {
+	ring := t.director.Ring()
+	addr := ring.Names()[i]
+	if !ring.IsDown(addr) {
+		return 0
+	}
+	cand := shard.NewRing(append(ring.Up(), addr))
+	noBorder := func(map[string]string) (*httpsim.Response, error) {
+		return nil, errWarmupNoBorder
+	}
+	preseeded := 0
+	for _, key := range t.activeTierKeys() {
+		if cand.Owner(key) != addr {
+			continue
+		}
+		if _, _, err := t.shards[i].domestic.Cache.Fetch(key, noBorder); err == nil {
+			preseeded++
+		}
+	}
+	t.director.MarkUp(addr)
+	return preseeded
+}
+
+// retireShard drains active shard i out of the ring: the Director first
+// rehashes its key range and republishes the PAC (new sessions route to
+// survivors; the shard's listener stays open so in-flight sessions
+// finish), then every fresh key the leaver held is pulled by its new
+// owner over the sibling path — a domestic transfer, not a border
+// refetch. Shard 0 never retires. Returns the number of keys handed off.
+func (t *DomesticTier) retireShard(i int) int {
+	ring := t.director.Ring()
+	addrs := ring.Names()
+	addr := addrs[i]
+	if i <= 0 || ring.IsDown(addr) {
+		return 0
+	}
+	keys := t.shards[i].domestic.Cache.Keys()
+	t.director.MarkDown(addr)
+	handed := 0
+	for _, key := range keys {
+		oi := -1
+		owner := ring.Owner(key)
+		for j, a := range addrs {
+			if a == owner {
+				oi = j
+				break
+			}
+		}
+		if oi < 0 || oi == i {
+			continue
+		}
+		key := key
+		fromLeaver := func(map[string]string) (*httpsim.Response, error) {
+			return core.SiblingFetcher(net.Dial)(addr, key)
+		}
+		if _, _, err := t.shards[oi].domestic.Cache.FetchLocal(key, fromLeaver); err == nil {
+			handed++
+		}
+	}
+	return handed
 }
 
 // StartDomesticTier launches a sharded domestic tier of n proxies in one
@@ -676,6 +982,7 @@ func StartDomesticTier(cfg DomesticConfig, n int) (*DomesticTier, error) {
 	// fact — the same post-start order a rolling tier restart would see.
 	ring := shard.NewRing(addrs)
 	t.director = shard.NewDirector(ring)
+	t.director.SetClock(time.Now)
 	for i, d := range t.shards {
 		d.ring = ring
 		d.policy.SetProxies(addrs)
@@ -684,6 +991,9 @@ func StartDomesticTier(cfg DomesticConfig, n int) (*DomesticTier, error) {
 			Owner: ring.Owner,
 			Fetch: core.SiblingFetcher(net.Dial),
 		})
+		// Tier membership on every shard's /metrics: live shard count,
+		// configured members, last-rebalance timestamp.
+		t.director.Instrument(d.reg)
 	}
 	t.director.OnChange(func(up []string) {
 		for _, d := range t.shards {

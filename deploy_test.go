@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"scholarcloud/internal/autoscale"
 	"scholarcloud/internal/httpsim"
 )
 
@@ -889,5 +890,135 @@ func TestStartDomesticTierValidation(t *testing.T) {
 				t.Errorf("err = %v, want substring %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestRealSocketAutoscaledTier starts a three-shard tier with two shards
+// parked as standbys, then drives the scale path by hand (the control
+// loop itself is interval-gated off): a scale-up must warm the joiners
+// from peers without touching the origin, a scale-down must drain the
+// leaver's keys to the survivors, and the admin listener must expose the
+// tier's membership gauges and the /scale-events log throughout.
+func TestRealSocketAutoscaledTier(t *testing.T) {
+	origin, originHits := startCountingOrigin(t, "elastic content")
+	originHost, _, _ := strings.Cut(origin, ":")
+	secret := []byte("elastic-secret")
+
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	tier, err := StartDomesticTier(DomesticConfig{
+		ProxyListen: "127.0.0.1:0",
+		WebListen:   "127.0.0.1:0",
+		AdminListen: "127.0.0.1:0",
+		RemoteAddr:  remote.Addr().String(),
+		Secret:      secret,
+		Whitelist:   []string{originHost},
+		CacheMB:     4,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+
+	// A second StartAutoscale must be refused once one is running.
+	if err := tier.StartAutoscale(AutoscaleOptions{InitialShards: 1, Interval: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.StartAutoscale(AutoscaleOptions{InitialShards: 1, Interval: time.Hour}); err == nil {
+		t.Error("second StartAutoscale did not fail")
+	}
+	if tier.Autoscaler() == nil {
+		t.Fatal("Autoscaler() = nil after StartAutoscale")
+	}
+
+	// Standbys are parked: the PAC routes only to shard 0.
+	if got := tier.Shards()[0].ShardAddrs(); len(got) != 1 {
+		t.Fatalf("active shards at start = %v, want just shard 0", got)
+	}
+
+	adminGet := func(d *DomesticProxy, path string) string {
+		t.Helper()
+		conn, err := net.DialTimeout("tcp", d.AdminAddr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: admin\r\n\r\n", path)
+		resp, err := httpsim.ReadResponse(bufio.NewReader(conn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return string(resp.Body)
+	}
+	metrics := adminGet(tier.Shards()[0], "/metrics")
+	for _, want := range []string{"shard.director.live=1", "shard.director.members=3", "autoscale.ticks=0"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if got := adminGet(tier.Shards()[0], "/scale-events"); got != "no scale events\n" {
+		t.Errorf("/scale-events before any decision = %q", got)
+	}
+
+	// Populate the lone active shard, then scale up: joiners pre-seed the
+	// keys they take over from peers, never from across the border.
+	for i := 0; i < 12; i++ {
+		proxyGet(t, tier.Shards()[0].ProxyAddr().String(), fmt.Sprintf("http://%s/paper/%d", origin, i))
+	}
+	hitsBefore := originHits()
+	preseeded := 0
+	for i := 1; i < 3; i++ {
+		preseeded += tier.admitShard(i)
+	}
+	if preseeded == 0 {
+		t.Error("scale-up pre-seeded no keys")
+	}
+	if got := originHits(); got != hitsBefore {
+		t.Errorf("warm-up fetched the origin %d extra times, want 0", got-hitsBefore)
+	}
+	if got := tier.Shards()[0].ShardAddrs(); len(got) != 3 {
+		t.Errorf("active shards after scale-up = %v, want all 3", got)
+	}
+	if got := adminGet(tier.Shards()[2], "/metrics"); !strings.Contains(got, "shard.director.live=3") {
+		t.Errorf("joiner's /metrics does not show the full tier:\n%s", got)
+	}
+
+	// Route some traffic through the highest shard so it owns fresh keys,
+	// then scale down: its keys drain to the survivors domestically.
+	for i := 0; i < 4; i++ {
+		proxyGet(t, tier.Shards()[2].ProxyAddr().String(), fmt.Sprintf("http://%s/cite/%d", origin, i))
+	}
+	hitsBefore = originHits()
+	handed := tier.retireShard(2)
+	if handed == 0 {
+		t.Error("scale-down handed no keys to the survivors")
+	}
+	if got := originHits(); got != hitsBefore {
+		t.Errorf("drain fetched the origin %d extra times, want 0", got-hitsBefore)
+	}
+	if got := tier.Shards()[0].ShardAddrs(); len(got) != 2 {
+		t.Errorf("active shards after scale-down = %v, want 2", got)
+	}
+}
+
+// TestRenderScaleEvents checks the admin /scale-events formatting: one
+// priced line per decision, with apply errors surfaced.
+func TestRenderScaleEvents(t *testing.T) {
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	got := string(renderScaleEvents([]autoscale.Decision{
+		{At: at, From: 1, To: 3, Reason: "demand", VMPerDayUSD: 4.20, DeltaUSD: 2.10},
+		{At: at.Add(time.Minute), From: 3, To: 2, Reason: "idle", VMPerDayUSD: 3.15, DeltaUSD: -1.05, Err: fmt.Errorf("boom")},
+	}))
+	want := "2026-08-08T12:00:00Z 1->3 demand vm=4.20$/day delta=+2.10$/day\n" +
+		"2026-08-08T12:01:00Z 3->2 idle vm=3.15$/day delta=-1.05$/day err=boom\n"
+	if got != want {
+		t.Errorf("renderScaleEvents:\n got %q\nwant %q", got, want)
 	}
 }

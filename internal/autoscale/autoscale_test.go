@@ -1,0 +1,249 @@
+package autoscale
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/obs"
+	"scholarcloud/internal/opscost"
+)
+
+func testPolicy() Policy {
+	return Policy{
+		MinShards:           1,
+		MaxShards:           8,
+		TargetUtilization:   0.5,
+		ShardSessionsPerSec: 10, // one shard targets 5 sessions/sec
+		UpAfter:             2,
+		DownAfter:           3,
+		UpCooldown:          time.Minute,
+		DownCooldown:        2 * time.Minute,
+	}
+}
+
+func newTestController(t *testing.T, p Policy) *Controller {
+	t.Helper()
+	c, err := New(Config{
+		Policy: p,
+		Sample: func() Sample { return Sample{} },
+		Apply:  func(from, to int) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPolicyValidateRejectsNonsense(t *testing.T) {
+	cases := []Policy{
+		{MinShards: -1},
+		{MinShards: 4, MaxShards: 2},
+		{TargetUtilization: 1.5},
+		{TargetUtilization: -0.1},
+		{ShardSessionsPerSec: -1},
+		{UpAfter: -1},
+		{UpCooldown: -time.Second},
+		{UpP99: -time.Second},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	if err := (Policy{}).Validate(); err != nil {
+		t.Errorf("zero policy (all defaults) rejected: %v", err)
+	}
+}
+
+func TestDesiredTracksDemand(t *testing.T) {
+	p := testPolicy() // 5 sessions/sec per shard at target
+	for _, tc := range []struct {
+		demand float64
+		want   int
+	}{
+		{0, 1}, {4.9, 1}, {5.1, 2}, {24, 5}, {1000, 8},
+	} {
+		if got := p.desired(tc.demand); got != tc.want {
+			t.Errorf("desired(%g) = %d, want %d", tc.demand, got, tc.want)
+		}
+	}
+}
+
+func TestTickScalesUpAfterHysteresisAndJumpsToDesired(t *testing.T) {
+	c := newTestController(t, testPolicy())
+	now := time.Unix(0, 0)
+	s := Sample{ActiveShards: 1, SessionsPerSec: 24} // desired = 5
+	if d := c.Tick(now, s); d != nil {
+		t.Fatalf("first pressure sample produced %+v, want hold (UpAfter=2)", d)
+	}
+	d := c.Tick(now.Add(15*time.Second), s)
+	if d == nil {
+		t.Fatal("second pressure sample produced no decision")
+	}
+	if d.From != 1 || d.To != 5 || d.Reason != "demand" {
+		t.Fatalf("decision = %+v, want 1→5 on demand", d)
+	}
+	if d.DeltaUSD <= 0 || d.VMPerDayUSD <= d.DeltaUSD {
+		t.Errorf("decision pricing inconsistent: %+v", d)
+	}
+}
+
+func TestTickUpCooldownSpacesEvents(t *testing.T) {
+	c := newTestController(t, testPolicy())
+	now := time.Unix(0, 0)
+	s := Sample{ActiveShards: 1, SessionsPerSec: 8} // desired = 2
+	c.Tick(now, s)
+	if d := c.Tick(now.Add(15*time.Second), s); d == nil {
+		t.Fatal("expected initial scale-up")
+	}
+	// Pretend Apply was a no-op: demand pressure continues at 1 shard.
+	for i := 2; i < 5; i++ {
+		if d := c.Tick(now.Add(time.Duration(i)*15*time.Second), s); d != nil {
+			t.Fatalf("decision %+v inside the 1m up-cooldown", d)
+		}
+	}
+	if d := c.Tick(now.Add(15*time.Second+time.Minute), s); d == nil {
+		t.Fatal("no decision after the cooldown elapsed")
+	}
+}
+
+func TestTickScaleDownStepsByOne(t *testing.T) {
+	c := newTestController(t, testPolicy())
+	now := time.Unix(0, 0)
+	s := Sample{ActiveShards: 5, SessionsPerSec: 1} // desired = 1
+	var d *Decision
+	for i := 0; i < 3; i++ {
+		d = c.Tick(now.Add(time.Duration(i)*15*time.Second), s)
+	}
+	if d == nil {
+		t.Fatal("no decision after DownAfter=3 idle samples")
+	}
+	if d.From != 5 || d.To != 4 || d.Reason != "idle" {
+		t.Fatalf("decision = %+v, want one-step 5→4", d)
+	}
+	if d.DeltaUSD >= 0 {
+		t.Errorf("scale-down DeltaUSD = %g, want negative", d.DeltaUSD)
+	}
+}
+
+func TestTickHysteresisStopsBoundaryFlapping(t *testing.T) {
+	c := newTestController(t, testPolicy())
+	now := time.Unix(0, 0)
+	// Demand oscillates around the 1↔2 boundary every sample; neither
+	// streak ever reaches its threshold, so the tier must hold.
+	for i := 0; i < 40; i++ {
+		demand := 4.0 // desired 1
+		if i%2 == 0 {
+			demand = 6.0 // desired 2
+		}
+		if d := c.Tick(now.Add(time.Duration(i)*15*time.Second), Sample{ActiveShards: 1, SessionsPerSec: demand}); d != nil {
+			t.Fatalf("boundary flapping produced decision %+v at sample %d", d, i)
+		}
+	}
+}
+
+func TestTickLatencyGuard(t *testing.T) {
+	p := testPolicy()
+	p.UpP99 = 5 * time.Second
+	c := newTestController(t, p)
+	now := time.Unix(0, 0)
+	// Demand says 1 shard is plenty, but p99 is breached.
+	s := Sample{ActiveShards: 1, SessionsPerSec: 1, P99PLT: 8 * time.Second}
+	c.Tick(now, s)
+	d := c.Tick(now.Add(15*time.Second), s)
+	if d == nil || d.To != 2 || d.Reason != "p99-latency" {
+		t.Fatalf("latency guard decision = %+v, want 1→2 on p99-latency", d)
+	}
+}
+
+func TestStepAppliesAndLogsDecisions(t *testing.T) {
+	var applied [][2]int
+	demand := 24.0
+	c, err := New(Config{
+		Policy:  testPolicy(),
+		Pricing: opscost.DefaultPricing(),
+		Sample: func() Sample {
+			return Sample{ActiveShards: 1 + len(applied)*4, SessionsPerSec: demand}
+		},
+		Apply: func(from, to int) error {
+			applied = append(applied, [2]int{from, to})
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	c.Step(now)
+	d := c.Step(now.Add(15 * time.Second))
+	if d == nil || len(applied) != 1 || applied[0] != [2]int{1, 5} {
+		t.Fatalf("Step applied %v (decision %+v), want [1 5]", applied, d)
+	}
+	log := c.Decisions()
+	if len(log) != 1 || log[0].From != 1 || log[0].To != 5 || log[0].Err != nil {
+		t.Fatalf("decision log = %+v", log)
+	}
+}
+
+func TestStepRecordsApplyErrors(t *testing.T) {
+	boom := errors.New("ring jammed")
+	c, err := New(Config{
+		Policy: testPolicy(),
+		Sample: func() Sample { return Sample{ActiveShards: 1, SessionsPerSec: 24} },
+		Apply:  func(from, to int) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	c.Step(now)
+	d := c.Step(now.Add(15 * time.Second))
+	if d == nil || !errors.Is(d.Err, boom) {
+		t.Fatalf("decision = %+v, want recorded apply error", d)
+	}
+	log := c.Decisions()
+	if len(log) != 1 || !errors.Is(log[0].Err, boom) {
+		t.Fatalf("decision log = %+v, want the failed decision", log)
+	}
+}
+
+func TestInstrumentPublishesGauges(t *testing.T) {
+	c := newTestController(t, testPolicy())
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	c.Tick(time.Unix(0, 0), Sample{ActiveShards: 2, SessionsPerSec: 24})
+	snap := reg.Snapshot()
+	if got := snap.Gauges["autoscale.active_shards"]; got != 2 {
+		t.Errorf("autoscale.active_shards = %d, want 2", got)
+	}
+	if got := snap.Gauges["autoscale.desired_shards"]; got != 5 {
+		t.Errorf("autoscale.desired_shards = %d, want 5", got)
+	}
+	if got := snap.Counters["autoscale.ticks"]; got != 1 {
+		t.Errorf("autoscale.ticks = %d, want 1", got)
+	}
+}
+
+// BenchmarkAutoscaleLoop measures the pure control loop: one sampled
+// tick of the policy state machine, the per-interval cost every world
+// (and the deployed tier) pays while the autoscaler runs.
+func BenchmarkAutoscaleLoop(b *testing.B) {
+	c, err := New(Config{
+		Policy: testPolicy(),
+		Sample: func() Sample { return Sample{} },
+		Apply:  func(from, to int) error { return nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Sweep demand so the streak/cooldown state machine exercises all
+		// branches instead of settling into the hold path.
+		s := Sample{ActiveShards: 1 + i%8, SessionsPerSec: float64(i % 64)}
+		now = now.Add(15 * time.Second)
+		c.Tick(now, s)
+	}
+}

@@ -23,6 +23,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -331,6 +332,29 @@ func (c *Cache) Entries() int64 {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// Keys returns the keys of every entry still fresh at the call instant,
+// sorted, across all shards. This is the enumeration the autoscale
+// warm-up and drain paths walk when a proxy joins or leaves the tier;
+// sorting makes the result independent of the salted shard hash, so a
+// pre-seed or handoff sweep visits keys in the same order in every run.
+func (c *Cache) Keys() []string {
+	now := c.env.Clock.Now()
+	var keys []string
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, k := range s.store.Keys() {
+			if v, ok := s.store.Peek(k); ok {
+				if obj := v.(*object); now.Before(obj.expires) {
+					keys = append(keys, k)
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Fetch serves key from the cache, coalescing concurrent misses: a fresh

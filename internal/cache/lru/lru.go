@@ -112,6 +112,17 @@ func (c *Cache) Clear() {
 	c.used = 0
 }
 
+// Keys returns the resident keys, most recently used first. The order is
+// deterministic: a pure function of the preceding Get/Add/Remove
+// sequence, never of map iteration.
+func (c *Cache) Keys() []string {
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}
+
 // Len returns the number of entries.
 func (c *Cache) Len() int { return c.ll.Len() }
 

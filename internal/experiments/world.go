@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
+	"scholarcloud/internal/autoscale"
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/cache"
 	"scholarcloud/internal/carrier"
@@ -110,6 +113,23 @@ type Config struct {
 	// ownership stays pinned and orphaned keys fall back to border
 	// fetches.
 	ShardRehashOnDeath bool
+	// AutoscaleInitial, when > 0, starts the shard tier with only the
+	// first AutoscaleInitial shards active: the remaining Shards-
+	// AutoscaleInitial are fully provisioned (host, proxy, cache,
+	// listener) but marked down in the ring — standbys the autoscale
+	// controller admits mid-run with cache warm-up, and retires again
+	// with key handoff. Requires Shards > 1, ShardSiblingFetch (warm-up
+	// and drain move keys over the sibling path), and ShardRehashOnDeath
+	// (a standby must own no keys). Zero disables autoscaling and keeps
+	// every historical figure byte-identical.
+	AutoscaleInitial int
+	// AutoscalePolicy tunes the controller when AutoscaleInitial > 0.
+	// Zero fields default: MinShards to AutoscaleInitial, MaxShards to
+	// Shards, the rest to the autoscale package defaults.
+	AutoscalePolicy autoscale.Policy
+	// AutoscaleInterval is the control loop's sampling cadence (default
+	// 15 s — virtual seconds, so ticks land at seed-determined instants).
+	AutoscaleInterval time.Duration
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -188,6 +208,15 @@ type World struct {
 	ShardRing      *shard.Ring
 	ShardDirector  *shard.Director
 	shardProxies   []*httpsim.Proxy
+
+	// Autoscaler is the tier's scaling control loop when
+	// Cfg.AutoscaleInitial > 0 (nil otherwise). Measurements feed it the
+	// offered-load signal through SetDemand.
+	Autoscaler *autoscale.Controller
+
+	demandMu       sync.Mutex
+	demandSessions float64 // sessions/sec offered to the tier
+	demandP99      time.Duration
 
 	// Faults is the armed fault scheduler when Cfg.FaultScenario is set
 	// (nil otherwise). Measurements start it with InjectFaults.
@@ -763,6 +792,21 @@ func (w *World) startScholarCloud() {
 			panic("experiments: Shards needs CacheMB > 0 — the shard tier is a cache-peering tier")
 		}
 	}
+	if w.Cfg.AutoscaleInitial > 0 {
+		if w.Cfg.Shards <= 1 {
+			panic("experiments: AutoscaleInitial needs Shards > 1 — the autoscaler grows a sharded tier")
+		}
+		if w.Cfg.AutoscaleInitial > w.Cfg.Shards {
+			panic(fmt.Errorf("experiments: AutoscaleInitial (%d) exceeds provisioned Shards (%d)",
+				w.Cfg.AutoscaleInitial, w.Cfg.Shards))
+		}
+		if !w.Cfg.ShardSiblingFetch {
+			panic("experiments: AutoscaleInitial needs ShardSiblingFetch — warm-up and drain move keys over the sibling path")
+		}
+		if !w.Cfg.ShardRehashOnDeath {
+			panic("experiments: AutoscaleInitial needs ShardRehashOnDeath — a standby shard must own no keys")
+		}
+	}
 
 	w.Whitelist = pac.New(
 		fmt.Sprintf("%s:%d", ipDomestic, portProxy),
@@ -812,6 +856,7 @@ func (w *World) startScholarCloud() {
 		w.ShardRing = shard.NewRing(w.ShardAddrs)
 		w.ShardRing.SetRehashOnDeath(w.Cfg.ShardRehashOnDeath)
 		w.ShardDirector = shard.NewDirector(w.ShardRing)
+		w.ShardDirector.SetClock(w.Env.Clock.Now)
 		w.ShardDirector.Instrument(w.Obs)
 		// The coordinated-takedown hook: every health transition republishes
 		// the live shard set into the PAC policy, so users' next evaluation
@@ -826,6 +871,9 @@ func (w *World) startScholarCloud() {
 					Fetch: core.SiblingFetcher(w.ShardHosts[i].Dial),
 				})
 			}
+		}
+		if w.Cfg.AutoscaleInitial > 0 {
+			w.startAutoscaler()
 		}
 	}
 
@@ -938,6 +986,211 @@ func (w *World) startDomesticShard(i int) {
 func (w *World) KillShard(i int) {
 	w.shardProxies[i].Close()
 	w.ShardDirector.MarkDown(w.ShardAddrs[i])
+}
+
+// errWarmupNoBorder makes a warm-up Fetch fail closed: when the sibling
+// path cannot supply a key, the pre-seed skips it rather than crossing
+// the border.
+var errWarmupNoBorder = errors.New("experiments: warm-up fetch must not cross the border")
+
+// startAutoscaler parks the standby shards (marked down in the ring, so
+// the initial PAC and key ownership cover only the active prefix) and
+// starts the control loop on the virtual clock.
+func (w *World) startAutoscaler() {
+	for i := w.Cfg.AutoscaleInitial; i < w.Cfg.Shards; i++ {
+		w.ShardRing.MarkDown(w.ShardAddrs[i])
+	}
+	w.Whitelist.SetProxies(w.ShardRing.Up())
+
+	pol := w.Cfg.AutoscalePolicy
+	if pol.MinShards == 0 {
+		pol.MinShards = w.Cfg.AutoscaleInitial
+	}
+	if pol.MaxShards == 0 {
+		pol.MaxShards = w.Cfg.Shards
+	}
+	ctl, err := autoscale.New(autoscale.Config{
+		Policy: pol,
+		Sample: w.autoscaleSample,
+		Apply:  w.applyScale,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ctl.Instrument(w.Obs)
+	w.Autoscaler = ctl
+	interval := w.Cfg.AutoscaleInterval
+	if interval == 0 {
+		interval = 15 * time.Second
+	}
+	w.Env.Spawn.Go(func() { ctl.Run(w.Env, interval) })
+}
+
+// SetDemand publishes the offered load the autoscaler samples: sessions
+// per second arriving at the tier, plus the recent page-load p99 for the
+// latency guard (0 = unknown). Measurements call it at load-phase
+// boundaries; it is inert in non-autoscaled worlds.
+func (w *World) SetDemand(sessionsPerSec float64, p99 time.Duration) {
+	w.demandMu.Lock()
+	w.demandSessions, w.demandP99 = sessionsPerSec, p99
+	w.demandMu.Unlock()
+}
+
+// autoscaleSample assembles the controller's view of the tier: the
+// measurement-fed demand signal plus live readings — active shard count
+// from the ring, hit rate from the tier's cache counters.
+func (w *World) autoscaleSample() autoscale.Sample {
+	w.demandMu.Lock()
+	demand, p99 := w.demandSessions, w.demandP99
+	w.demandMu.Unlock()
+	s := w.tierCacheStats()
+	hitRate := -1.0
+	if lookups := s.Hits + s.Misses; lookups > 0 {
+		hitRate = float64(s.Hits) / float64(lookups)
+	}
+	return autoscale.Sample{
+		ActiveShards:    len(w.ShardRing.Up()),
+		SessionsPerSec:  demand,
+		P99PLT:          p99,
+		HitRate:         hitRate,
+		HostUtilization: -1,
+	}
+}
+
+// applyScale is the controller's actuator: grow to `to` active shards by
+// admitting standbys (lowest index first, each warmed up before joining
+// the ring), shrink by retiring actives (highest index first, each
+// drained with key handoff). Shard 0 — the PAC host — never retires.
+func (w *World) applyScale(from, to int) error {
+	for len(w.ShardRing.Up()) < to {
+		i := w.lowestStandby()
+		if i < 0 {
+			break
+		}
+		w.AdmitShard(i)
+	}
+	for len(w.ShardRing.Up()) > to {
+		i := w.highestActive()
+		if i <= 0 {
+			break
+		}
+		w.RetireShard(i)
+	}
+	return nil
+}
+
+func (w *World) lowestStandby() int {
+	for i, a := range w.ShardAddrs {
+		if w.ShardRing.IsDown(a) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (w *World) highestActive() int {
+	for i := len(w.ShardAddrs) - 1; i >= 0; i-- {
+		if !w.ShardRing.IsDown(w.ShardAddrs[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// activeTierKeys is the union of fresh cache keys across live shards,
+// sorted so warm-up and drain sweeps visit keys in the same order in
+// every run.
+func (w *World) activeTierKeys() []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for j, cc := range w.ShardCaches {
+		if cc == nil || w.ShardRing.IsDown(w.ShardAddrs[j]) {
+			continue
+		}
+		for _, k := range cc.Keys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AdmitShard warms up standby shard i and admits it to the ring. Before
+// the Director announces the join, the shard pre-seeds every fresh key
+// it is about to own — ownership computed on a candidate ring that
+// includes it — from the key's current owner over the sibling-fetch
+// path: the joiner is still outside the live ring, so its peered Fetch
+// routes to the owner, and the border fetcher refuses, so a scale-up
+// moves only domestic bytes. Returns the number of keys pre-seeded.
+// Must be called inside a Run window (it drives simulated dials).
+func (w *World) AdmitShard(i int) int {
+	addr := w.ShardAddrs[i]
+	if !w.ShardRing.IsDown(addr) {
+		return 0
+	}
+	preseeded := 0
+	if w.Cfg.ShardSiblingFetch && w.ShardCaches[i] != nil {
+		cand := shard.NewRing(append(w.ShardRing.Up(), addr))
+		noBorder := func(map[string]string) (*httpsim.Response, error) {
+			return nil, errWarmupNoBorder
+		}
+		for _, key := range w.activeTierKeys() {
+			if cand.Owner(key) != addr {
+				continue
+			}
+			if _, _, err := w.ShardCaches[i].Fetch(key, noBorder); err == nil {
+				preseeded++
+			}
+		}
+	}
+	w.ShardDirector.MarkUp(addr)
+	return preseeded
+}
+
+// RetireShard drains active shard i out of the ring: the Director first
+// rehashes its key range and republishes the PAC (new sessions route to
+// survivors; the shard's listener stays open so in-flight sessions
+// finish), then every fresh key the leaver held is pulled by its new
+// owner over the sibling path — a domestic transfer, not a border
+// refetch. Shard 0 (the PAC host) never retires. Returns the number of
+// keys handed off. Must be called inside a Run window.
+func (w *World) RetireShard(i int) int {
+	addr := w.ShardAddrs[i]
+	if i <= 0 || i >= len(w.ShardAddrs) || w.ShardRing.IsDown(addr) {
+		return 0
+	}
+	var keys []string
+	if w.Cfg.ShardSiblingFetch && w.ShardCaches[i] != nil {
+		keys = w.ShardCaches[i].Keys()
+	}
+	w.ShardDirector.MarkDown(addr)
+	handed := 0
+	for _, key := range keys {
+		oi := w.shardIndexOf(w.ShardRing.Owner(key))
+		if oi < 0 || oi == i {
+			continue
+		}
+		key := key
+		fromLeaver := func(map[string]string) (*httpsim.Response, error) {
+			return core.SiblingFetcher(w.ShardHosts[oi].Dial)(addr, key)
+		}
+		if _, _, err := w.ShardCaches[oi].FetchLocal(key, fromLeaver); err == nil {
+			handed++
+		}
+	}
+	return handed
+}
+
+func (w *World) shardIndexOf(addr string) int {
+	for i, a := range w.ShardAddrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
 }
 
 // startTransports stands up the cover infrastructure for each configured

@@ -133,6 +133,21 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {
 	r.counterFuncs[name] = append(r.counterFuncs[name], fn)
 }
 
+// RegisterGaugeFunc publishes an arbitrary int64 reader as a gauge source
+// under name — for point-in-time readings (ring membership, active shard
+// counts, rebalance timestamps) that a settled-snapshot Sub must carry
+// through at face value instead of differencing like counters. Like
+// RegisterFunc, fn is called on every Snapshot and must not call back
+// into the registry.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = append(r.gaugeFuncs[name], fn)
+}
+
 // Snapshot captures the current value of every registered metric. The
 // result is a plain value type safe to retain, diff and render after the
 // registry keeps moving. A nil registry yields an empty snapshot.

@@ -1,0 +1,70 @@
+package pac
+
+import (
+	"strings"
+	"testing"
+
+	"scholarcloud/internal/shard"
+)
+
+// renderedH32Lines is the exact h32 body every multi-proxy PAC render
+// must emit. jsHash32 in pac_shard_test.go is the line-by-line Go
+// transliteration of these statements; the fuzz target below proves that
+// transliteration agrees with shard.Hash32 on arbitrary inputs, and
+// TestRenderedJSHashBodyIsCanonical pins the rendered text to it — so
+// together they guard the full chain shard.Hash32 ↔ Go mirror ↔ shipped
+// JavaScript that the autoscaler republishes on every scale event.
+var renderedH32Lines = []string{
+	"var h = 2166136261;",
+	"h = h ^ s.charCodeAt(i);",
+	"h = (h + (h << 1) + (h << 4) + (h << 7) + (h << 8) + (h << 24)) >>> 0;",
+	"return h;",
+}
+
+func TestRenderedJSHashBodyIsCanonical(t *testing.T) {
+	c := New("", []string{"scholar.google.com"})
+	c.SetProxies(tierProxies)
+	js := c.JavaScript()
+	i := strings.Index(js, "function h32(s)")
+	if i < 0 {
+		t.Fatalf("rendered PAC has no h32 function:\n%s", js)
+	}
+	body := js[i:]
+	pos := 0
+	for _, line := range renderedH32Lines {
+		j := strings.Index(body[pos:], line)
+		if j < 0 {
+			t.Fatalf("rendered h32 body missing (or reordered) %q:\n%s", line, body)
+		}
+		pos += j + len(line)
+	}
+}
+
+// FuzzHash32MatchesRenderedJS fuzzes the browser-parity invariant: for
+// any ASCII client IP and shard endpoint, shard.Hash32 over the
+// rendezvous key must equal what the rendered h32 JavaScript computes
+// (jsHash32 — charCodeAt, int32 ^ and <<, float64 +, >>> 0). Inputs with
+// bytes outside ASCII are skipped: charCodeAt sees UTF-16 code units
+// where Go sees bytes, and every string the PAC actually hashes (IP
+// literals, host:port endpoints) is ASCII.
+func FuzzHash32MatchesRenderedJS(f *testing.F) {
+	f.Add("10.3.0.2", "101.6.6.10:8118")
+	f.Add("2001:db8::2", "101.6.6.11:8118")
+	f.Add("", "")
+	f.Add("fe80::1%25en0", "proxy.example.com:8118")
+	f.Add("255.255.255.255", "[2001:db8::5]:8118")
+	f.Fuzz(func(t *testing.T, clientIP, endpoint string) {
+		key := clientIP + "|" + endpoint
+		for i := 0; i < len(key); i++ {
+			if key[i] > 127 {
+				t.Skip("non-ASCII input: charCodeAt and byte indexing diverge by design")
+			}
+		}
+		if got, want := shard.Score(clientIP, endpoint), jsHash32(key); got != want {
+			t.Fatalf("shard.Score(%q, %q) = %d, rendered JS computes %d", clientIP, endpoint, got, want)
+		}
+		if got, want := shard.Hash32(key), jsHash32(key); got != want {
+			t.Fatalf("shard.Hash32(%q) = %d, rendered JS computes %d", key, got, want)
+		}
+	})
+}

@@ -26,6 +26,7 @@ package shard
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"scholarcloud/internal/metrics"
 	"scholarcloud/internal/obs"
@@ -173,11 +174,14 @@ func (r *Ring) Assign(key string) []string {
 type Director struct {
 	ring *Ring
 
-	mu        sync.Mutex
-	onChange  []func(up []string)
-	downs     metrics.Counter
-	ups       metrics.Counter
-	liveGauge func() int64
+	mu       sync.Mutex
+	onChange []func(up []string)
+	downs    metrics.Counter
+	ups      metrics.Counter
+	// now stamps transitions: the virtual clock in simulated worlds,
+	// time.Now in deployment, nil to leave transitions unstamped.
+	now           func() time.Time
+	lastRebalance time.Time
 }
 
 // NewDirector wraps ring in a control plane.
@@ -197,39 +201,77 @@ func (d *Director) OnChange(fn func(up []string)) {
 	d.onChange = append(d.onChange, fn)
 }
 
+// SetClock installs the time source transitions are stamped with (the
+// virtual clock in simulated worlds, time.Now in deployment). A nil
+// clock leaves LastRebalance at its zero value.
+func (d *Director) SetClock(now func() time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = now
+}
+
+// LastRebalance returns the clock reading of the most recent
+// MarkDown/MarkUp, or the zero time before the first transition (or when
+// no clock is installed).
+func (d *Director) LastRebalance() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastRebalance
+}
+
 // MarkDown takes shard name out of service: its key range rehashes to
 // survivors (ring policy permitting) and every subscriber is notified so
 // users get a refreshed PAC and the tier stops routing to it.
 func (d *Director) MarkDown(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.ring.MarkDown(name)
 	d.downs.Inc()
-	d.notify()
+	d.notifyLocked()
 }
 
 // MarkUp returns shard name to service and notifies subscribers.
 func (d *Director) MarkUp(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.ring.MarkUp(name)
 	d.ups.Inc()
-	d.notify()
+	d.notifyLocked()
 }
 
-func (d *Director) notify() {
-	d.mu.Lock()
-	fns := make([]func(up []string), len(d.onChange))
-	copy(fns, d.onChange)
-	d.mu.Unlock()
+// notifyLocked stamps the transition and fans it out while d.mu is still
+// held, so concurrent transitions cannot interleave: every subscriber
+// sees the same sequence of up-sets, each read atomically with the ring
+// mutation that produced it. Subscribers must not call back into the
+// Director.
+func (d *Director) notifyLocked() {
+	if d.now != nil {
+		d.lastRebalance = d.now()
+	}
 	up := d.ring.Up()
-	for _, fn := range fns {
+	for _, fn := range d.onChange {
 		fn(up)
 	}
 }
 
-// Instrument publishes the control plane's transition counters and live
-// shard gauge on reg.
+// Instrument publishes the control plane's transition counters and
+// membership gauges on reg: configured members, live shard count, and
+// the last-rebalance timestamp (milliseconds since the Unix epoch on the
+// Director's clock; 0 before the first transition).
 func (d *Director) Instrument(reg *obs.Registry) {
 	reg.RegisterCounter("shard.director.mark_down", &d.downs)
 	reg.RegisterCounter("shard.director.mark_up", &d.ups)
-	reg.RegisterFunc("shard.director.live", func() int64 {
+	reg.RegisterGaugeFunc("shard.director.live", func() int64 {
 		return int64(len(d.ring.Up()))
+	})
+	reg.RegisterGaugeFunc("shard.director.members", func() int64 {
+		return int64(len(d.ring.Names()))
+	})
+	reg.RegisterGaugeFunc("shard.director.last_rebalance_ms", func() int64 {
+		t := d.LastRebalance()
+		if t.IsZero() {
+			return 0
+		}
+		return t.UnixMilli()
 	})
 }

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"scholarcloud/internal/autoscale"
 	"scholarcloud/internal/carrier"
 	"scholarcloud/internal/experiments"
 	"scholarcloud/internal/faults"
@@ -223,6 +224,53 @@ func (s *ShardOptions) Validate() error {
 	return nil
 }
 
+// AutoscalePolicy tunes the autoscaler's target-tracking thresholds,
+// hysteresis, and cooldown windows. Zero fields take the autoscale
+// package defaults.
+type AutoscalePolicy = autoscale.Policy
+
+// AutoscaleOptions turns the sharded domestic tier over to a
+// metrics-driven autoscaler (internal/autoscale): all Shards.Count
+// shards are provisioned, InitialShards start active, and a control
+// loop sampling the tier's metrics — offered load, page-load p99, cache
+// hit rate — admits warm standbys or retires actives through the shard
+// Director mid-run. A joining shard pre-seeds the cache keys it is
+// about to own from its peers over the sibling-fetch path before
+// entering the ring, so scale-ups do not stampede the border; a
+// retiring shard drains its keys to the survivors and keeps its
+// listener open until in-flight sessions finish. Requires a Shards
+// block with SiblingFetch and RehashOnDeath.
+type AutoscaleOptions struct {
+	// InitialShards is how many of the Shards.Count provisioned shards
+	// start active; the rest park as warm standbys the controller can
+	// admit. Must be >= 1 and <= Shards.Count.
+	InitialShards int
+	// Interval is the control loop's sampling period (zero selects the
+	// 15 s default).
+	Interval time.Duration
+	// Policy tunes thresholds, hysteresis, and cooldowns. Zero fields
+	// take the package defaults; MinShards defaults to InitialShards and
+	// MaxShards to Shards.Count.
+	Policy AutoscalePolicy
+}
+
+// Validate rejects nonsensical autoscale configurations.
+func (a *AutoscaleOptions) Validate() error {
+	if a == nil {
+		return nil
+	}
+	if a.InitialShards < 1 {
+		return fmt.Errorf("scholarcloud: AutoscaleOptions.InitialShards must be at least 1 (got %d)", a.InitialShards)
+	}
+	if a.Interval < 0 {
+		return fmt.Errorf("scholarcloud: AutoscaleOptions.Interval is negative (%v)", a.Interval)
+	}
+	if err := a.Policy.Validate(); err != nil {
+		return fmt.Errorf("scholarcloud: AutoscaleOptions.Policy: %w", err)
+	}
+	return nil
+}
+
 // Options configures a Simulation.
 type Options struct {
 	// Seed drives every stochastic decision; equal seeds reproduce equal
@@ -254,6 +302,12 @@ type Options struct {
 	// Cache; mutually exclusive with Fleet and Transports. Nil keeps the
 	// single domestic proxy and every figure byte-identical to it.
 	Shards *ShardOptions
+	// Autoscale, when non-nil, starts the sharded domestic tier with
+	// Autoscale.InitialShards active and lets a metrics-driven control
+	// loop grow it toward Shards.Count (and shrink it back) mid-run.
+	// Requires Shards with SiblingFetch and RehashOnDeath. Nil keeps the
+	// whole tier active and every figure byte-identical to it.
+	Autoscale *AutoscaleOptions
 	// FlowClients, when > 0, is the cohort size for flow-level
 	// measurements: MeasureFlowScalability models that many identical
 	// clients as calibrated fluid load with a handful of sampled
@@ -274,6 +328,7 @@ func (o Options) Validate() error {
 		o.Faults,
 		o.Transports,
 		o.Shards,
+		o.Autoscale,
 	} {
 		if err := block.Validate(); err != nil {
 			return err
@@ -291,6 +346,18 @@ func (o Options) Validate() error {
 		}
 		if o.Transports != nil {
 			return fmt.Errorf("scholarcloud: Shards and Transports are mutually exclusive — the sharded tier runs on the single blinded carrier")
+		}
+	}
+	if o.Autoscale != nil {
+		if o.Shards == nil {
+			return fmt.Errorf("scholarcloud: Autoscale requires a Shards block — the autoscaler grows and shrinks the sharded domestic tier")
+		}
+		if o.Autoscale.InitialShards > o.Shards.Count {
+			return fmt.Errorf("scholarcloud: AutoscaleOptions.InitialShards (%d) exceeds Shards.Count (%d) — the tier cannot start larger than it is provisioned",
+				o.Autoscale.InitialShards, o.Shards.Count)
+		}
+		if !o.Shards.SiblingFetch || !o.Shards.RehashOnDeath {
+			return fmt.Errorf("scholarcloud: Autoscale requires Shards.SiblingFetch and Shards.RehashOnDeath — warm-up and drain move cache keys over the sibling path, and standbys must own no keys")
 		}
 	}
 	if o.FlowClients < 0 {
@@ -335,6 +402,11 @@ func NewSimulation(opts Options) *Simulation {
 		cfg.Shards = sh.Count
 		cfg.ShardSiblingFetch = sh.SiblingFetch
 		cfg.ShardRehashOnDeath = sh.RehashOnDeath
+	}
+	if a := opts.Autoscale; a != nil {
+		cfg.AutoscaleInitial = a.InitialShards
+		cfg.AutoscalePolicy = a.Policy
+		cfg.AutoscaleInterval = a.Interval
 	}
 	return &Simulation{World: experiments.NewWorld(cfg), flowClients: opts.FlowClients}
 }
@@ -739,6 +811,80 @@ func (s *Simulation) MeasureShardKill(clients, rounds, victim int, killAt time.D
 			res.VisitsAfter, res.FailedAfter = r.VisitsAfter, r.FailedAfter
 			res.SuccessAfter = r.SuccessAfter()
 			res.SiblingErrors = r.SiblingErrors
+		})
+}
+
+// LoadPhase is one segment of an autoscale load schedule: Clients
+// concurrent browsers visiting continuously for Rounds visits each.
+// Phases run back to back; the offered-load signal the autoscaler
+// tracks steps at each boundary.
+type LoadPhase = experiments.LoadPhase
+
+// FlashCrowdSchedule returns the canonical flash-crowd load schedule
+// (calm trickle, sudden 5x surge, calm again) the autoscale figure
+// runs.
+func FlashCrowdSchedule() []LoadPhase {
+	return experiments.FlashCrowdSchedule(experiments.Quick())
+}
+
+// DiurnalSchedule returns the compressed working-day load schedule
+// (ramp-up, midday peak, ramp-down) the autoscale figure runs.
+func DiurnalSchedule() []LoadPhase {
+	return experiments.DiurnalSchedule(experiments.Quick())
+}
+
+// AutoscaleResult is a load-schedule datapoint for the domestic tier:
+// user experience, border traffic, the tier's capacity timeline, and
+// the fractional-VM cost per user. On a static simulation (no Autoscale
+// block) the capacity line is constant and the event counts are zero —
+// that is the baseline the autoscaled run is compared against.
+type AutoscaleResult struct {
+	Schedule string
+	// Mode is "autoscaled" or "static-K".
+	Mode   string
+	Visits int
+	Failed int
+	PLT    Summary // seconds, successful visits only
+	// P99PLT is the 99th-percentile page load time in seconds.
+	P99PLT float64
+	// BorderBytes is the traffic the border link carried during the
+	// schedule (both directions) — scale events included.
+	BorderBytes int64
+	// MeanShards is the time-weighted active shard count over the
+	// schedule; PeakShards is its maximum.
+	MeanShards float64
+	PeakShards int
+	ScaleUps   int
+	ScaleDowns int
+	// PerUserUSD prices the day at the paper's workload with fractional
+	// VM occupancy: the time-averaged tier size plus the remote at the
+	// VM day rate, plus metered egress at the measured bytes/access.
+	PerUserUSD float64
+	Obs        obs.Snapshot
+}
+
+func (r *AutoscaleResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+
+// MeasureAutoscale drives the load schedule (e.g. FlashCrowdSchedule())
+// against the domestic tier, publishing each phase's offered load to
+// the autoscaler. It runs on static simulations too — with and without
+// an Autoscale block it produces the comparison the autoscale figure
+// plots.
+func (s *Simulation) MeasureAutoscale(schedule string, phases []LoadPhase) (*AutoscaleResult, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("scholarcloud: MeasureAutoscale needs a non-empty load schedule (e.g. FlashCrowdSchedule())")
+	}
+	res := &AutoscaleResult{}
+	return measureInto(s, res,
+		func() (*experiments.AutoscalePoint, error) { return s.World.MeasureAutoscale(schedule, phases) },
+		func(p *experiments.AutoscalePoint) {
+			res.Schedule, res.Mode = p.Schedule, p.Mode
+			res.Visits, res.Failed = p.Visits, p.Failed
+			res.PLT, res.P99PLT = p.PLT, p.P99PLT
+			res.BorderBytes = p.BorderBytes
+			res.MeanShards, res.PeakShards = p.MeanShards, p.PeakShards
+			res.ScaleUps, res.ScaleDowns = p.ScaleUps, p.ScaleDowns
+			res.PerUserUSD = p.PerUserUSD
 		})
 }
 

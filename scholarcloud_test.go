@@ -251,3 +251,98 @@ func TestShardOptionsValidation(t *testing.T) {
 		t.Errorf("valid shard options rejected: %v", err)
 	}
 }
+
+func TestAutoscaleFacade(t *testing.T) {
+	sim := NewSimulation(Options{
+		Seed:   13,
+		Cache:  &CacheOptions{CapacityMB: 16},
+		Shards: &ShardOptions{Count: 3, SiblingFetch: true, RehashOnDeath: true},
+		Autoscale: &AutoscaleOptions{
+			InitialShards: 1,
+			Interval:      15 * time.Second,
+			// One shard targets ~12 concurrent clients at the 20 s visit
+			// cadence; the 24-client surge then wants two shards.
+			Policy: AutoscalePolicy{
+				TargetUtilization:   0.75,
+				ShardSessionsPerSec: 0.8,
+				UpAfter:             2,
+				DownAfter:           3,
+				UpCooldown:          30 * time.Second,
+				DownCooldown:        45 * time.Second,
+			},
+		},
+	})
+	defer sim.Close()
+
+	phases := []LoadPhase{
+		{Name: "calm", Clients: 4, Rounds: 2},
+		{Name: "surge", Clients: 24, Rounds: 4},
+	}
+	r, err := sim.MeasureAutoscale("surge", phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != "autoscaled" || r.Schedule != "surge" {
+		t.Errorf("mode/schedule = %q/%q, want autoscaled/surge", r.Mode, r.Schedule)
+	}
+	if r.Visits != 4*2+24*4 {
+		t.Errorf("visits = %d, want %d", r.Visits, 4*2+24*4)
+	}
+	if r.Failed != 0 {
+		t.Errorf("%d failed visits on a healthy tier", r.Failed)
+	}
+	if r.ScaleUps == 0 || r.PeakShards <= 1 {
+		t.Errorf("surge produced no scale-up (ups=%d peak=%d)", r.ScaleUps, r.PeakShards)
+	}
+	if r.MeanShards <= 0 || r.MeanShards > 3 {
+		t.Errorf("mean shards = %v, want in (0, 3]", r.MeanShards)
+	}
+	if r.PerUserUSD <= 0 {
+		t.Errorf("per-user cost = %v", r.PerUserUSD)
+	}
+	if len(r.Obs.Counters) == 0 {
+		t.Error("result carries no observability delta")
+	}
+	if r.Obs.Gauges["autoscale.active_shards"] == 0 {
+		t.Error("obs delta carries no autoscale.active_shards gauge")
+	}
+}
+
+func TestAutoscaleOptionsValidation(t *testing.T) {
+	shards := func() *ShardOptions {
+		return &ShardOptions{Count: 3, SiblingFetch: true, RehashOnDeath: true}
+	}
+	cache := &CacheOptions{CapacityMB: 16}
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"autoscale without shards", Options{Cache: cache, Autoscale: &AutoscaleOptions{InitialShards: 1}},
+			"Autoscale requires a Shards block"},
+		{"initial below one", Options{Cache: cache, Shards: shards(), Autoscale: &AutoscaleOptions{}},
+			"InitialShards must be at least 1"},
+		{"initial above count", Options{Cache: cache, Shards: shards(), Autoscale: &AutoscaleOptions{InitialShards: 5}},
+			"exceeds Shards.Count"},
+		{"no sibling fetch", Options{Cache: cache,
+			Shards:    &ShardOptions{Count: 3, RehashOnDeath: true},
+			Autoscale: &AutoscaleOptions{InitialShards: 1}},
+			"requires Shards.SiblingFetch"},
+		{"bad policy", Options{Cache: cache, Shards: shards(),
+			Autoscale: &AutoscaleOptions{InitialShards: 1, Policy: AutoscalePolicy{TargetUtilization: 2}}},
+			"AutoscaleOptions.Policy"},
+		{"negative interval", Options{Cache: cache, Shards: shards(),
+			Autoscale: &AutoscaleOptions{InitialShards: 1, Interval: -time.Second}},
+			"Interval is negative"},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Options{Cache: cache, Shards: shards(), Autoscale: &AutoscaleOptions{InitialShards: 2}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid autoscale options rejected: %v", err)
+	}
+}
