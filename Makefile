@@ -9,12 +9,22 @@ check: build vet fmt race-hot race deprecations determinism
 
 ## deprecations: the public facade must stay free of deprecated API —
 ## PR 5 deleted the last // Deprecated: markers; this gate keeps new
-## ones from accumulating.
+## ones from accumulating. The second grep keeps the GFW's old
+## imperative mutators (SetResetStorm, SetThrottle, SetClassBlock,
+## BlockIP) from coming back outside internal/gfw: censorship behaviour
+## is declarative policy applied through gfw.Apply, and a stray setter
+## call would bypass the provisional-verdict bookkeeping Apply does.
 deprecations:
 	@if grep -n "// Deprecated:" *.go; then \
 		echo "deprecation gate: remove deprecated API from the public facade instead of marking it"; exit 1; \
 	else \
 		echo "deprecation gate: public facade carries no deprecated API"; \
+	fi
+	@if grep -rnE "SetResetStorm|SetThrottle|SetClassBlock|BlockIP\(" \
+		--include="*.go" . | grep -v "^\./internal/gfw/"; then \
+		echo "deprecation gate: mutate the GFW only through gfw.Apply(Policy)"; exit 1; \
+	else \
+		echo "deprecation gate: no imperative GFW mutation outside internal/gfw"; \
 	fi
 
 build:
@@ -42,7 +52,7 @@ race:
 ## simulator core fails fast; the full `race` pass then reuses these
 ## packages' cached results.
 race-hot:
-	$(GO) test -race ./internal/vclock ./internal/netsim ./internal/cache ./internal/fleet
+	$(GO) test -race ./internal/vclock ./internal/netsim ./internal/cache ./internal/fleet ./internal/censor
 
 ## bench: regenerate every figure's benchmark row once.
 bench:
@@ -90,6 +100,10 @@ determinism:
 	@/tmp/scholarbench-gate -fig transports -parallel 3 > /tmp/scholarbench-transports-p3.txt
 	@cmp /tmp/scholarbench-transports-p1.txt /tmp/scholarbench-transports-p3.txt && \
 		echo "determinism gate: -fig transports byte-identical at -parallel 1 and -parallel 3"
+	@/tmp/scholarbench-gate -fig censor -parallel 1 > /tmp/scholarbench-censor-p1.txt
+	@/tmp/scholarbench-gate -fig censor -parallel 3 > /tmp/scholarbench-censor-p3.txt
+	@cmp /tmp/scholarbench-censor-p1.txt /tmp/scholarbench-censor-p3.txt && \
+		echo "determinism gate: -fig censor byte-identical at -parallel 1 and -parallel 3"
 	@/tmp/scholarbench-gate -fig shards -parallel 1 > /tmp/scholarbench-shards-p1.txt
 	@/tmp/scholarbench-gate -fig shards -parallel 3 > /tmp/scholarbench-shards-p3.txt
 	@cmp /tmp/scholarbench-shards-p1.txt /tmp/scholarbench-shards-p3.txt && \

@@ -13,6 +13,7 @@ import (
 
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/carrier"
+	"scholarcloud/internal/censor"
 	"scholarcloud/internal/experiments"
 	"scholarcloud/internal/survey"
 )
@@ -271,6 +272,31 @@ func BenchmarkTransportLadder(b *testing.B) {
 			b.ReportMetric(success*100, "%success")
 		})
 	}
+}
+
+// BenchmarkAdaptiveCensor runs the censor figure's acceptance scenario —
+// every border of the adaptive profile escalating to fingerprint
+// blocking under its cohort's own traffic — reporting the whole-world
+// page-load success rate the carrier ladder's survival tuning holds.
+func BenchmarkAdaptiveCensor(b *testing.B) {
+	profile, ok := censor.ProfileByName("adaptive")
+	if !ok {
+		b.Fatal(`unknown censor profile "adaptive"`)
+	}
+	var success float64
+	for i := 0; i < b.N; i++ {
+		w := figureWorld(b, experiments.Config{
+			Censor:     &profile,
+			Resilience: true,
+		})
+		p, err := w.MeasureCensorship(6, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		success = p.SuccessRate()
+		w.Close()
+	}
+	b.ReportMetric(success*100, "%success")
 }
 
 // BenchmarkShardedCache runs the shards figure's acceptance claim — a

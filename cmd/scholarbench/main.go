@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	scholarbench [-fig 2|3|4|5a|5b|5c|6a|6bc|7|ops|fleet|cache|faults|transports|shards|autoscale|scale|all]
+//	scholarbench [-fig 2|3|4|5a|5b|5c|6a|6bc|7|ops|fleet|cache|faults|transports|censor|shards|autoscale|scale|all]
 //	             [-seed N] [-seeds N] [-parallel N] [-full] [-flow-clients LIST]
 //	             [-bench-out FILE]
 //	scholarbench -trace <method>
@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,cache,faults,transports,shards,autoscale,scale,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5a,5b,5c,6a,6bc,7,ops,fleet,cache,faults,transports,censor,shards,autoscale,scale,all")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	seeds := flag.Int("seeds", 1, "replicate every figure cell on this many consecutive seeds (mean ± 95% CI tables when > 1)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulated worlds (0 = GOMAXPROCS)")

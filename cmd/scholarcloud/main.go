@@ -16,7 +16,11 @@
 // fixed remote: -transports lists name=host:port rungs fastest first
 // (blinded, rendezvous, dns-tunnel); the proxy prefers the lowest
 // healthy rung, escalates on sustained transport failure, and probes
-// back down when the rung below recovers.
+// back down when the rung below recovers. -censor-profile names the
+// censorship regime the deployment expects to face (scripted, adaptive,
+// or regional) and retunes the ladder — and, with -resilient, the retry
+// budget — with the survival tuning the multi-border experiments
+// measure.
 //
 // -shards N runs a horizontally sharded domestic tier in one process:
 // shard i binds the -listen/-web/-admin (and derives the -public)
@@ -109,6 +113,7 @@ func runDomestic(args []string) {
 	admin := fs.String("admin", "", "admin address serving /metrics and /healthz (empty = disabled)")
 	remote := fs.String("remote", "", "remote proxy host:port (comma-separate several to run them as a managed fleet)")
 	transports := fs.String("transports", "", "carrier escalation ladder: comma-separated name=host:port rungs, fastest first, e.g. blinded=r.example:8443,rendezvous=gw.example:443,dns-tunnel=127.0.0.1:5353 (replaces -remote)")
+	censorProfile := fs.String("censor-profile", "", "censorship regime to survive, one of "+strings.Join(scholarcloud.CensorProfiles(), "|")+": retunes the -transports ladder (and, with -resilient, the retry budget) with the survival tuning the multi-border experiments measure")
 	sessions := fs.Int("sessions", 0, "pre-dialed carrier sessions per fleet remote (0 = default)")
 	secret := fs.String("secret", "", "blinding secret shared with the remote proxy")
 	epoch := fs.Uint64("epoch", 0, "blinding epoch")
@@ -141,6 +146,7 @@ func runDomestic(args []string) {
 		AdminListen:       *admin,
 		RemoteAddrs:       remotes,
 		Transports:        rungs,
+		CensorProfile:     *censorProfile,
 		SessionsPerRemote: *sessions,
 		Secret:            []byte(*secret),
 		Epoch:             *epoch,
@@ -173,6 +179,9 @@ func runDomestic(args []string) {
 	}
 	if t := d.ActiveTransport(); t != "" {
 		fmt.Printf("transport ladder active rung: %s\n", t)
+	}
+	if *censorProfile != "" {
+		fmt.Printf("censor survival tuning armed for the %q regime\n", *censorProfile)
 	}
 	waitForInterrupt()
 }

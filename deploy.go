@@ -14,6 +14,7 @@ import (
 	"scholarcloud/internal/autoscale"
 	"scholarcloud/internal/cache"
 	"scholarcloud/internal/carrier"
+	"scholarcloud/internal/censor"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/fleet"
 	"scholarcloud/internal/httpsim"
@@ -235,6 +236,19 @@ type DomesticConfig struct {
 	// healthy rung, escalates on sustained transport failure, and probes
 	// back down when the rung below recovers.
 	Transports []string
+	// CensorProfile names the censorship regime this deployment expects
+	// to face (see CensorProfiles for the known names). It requires
+	// Transports — surviving an active censor is the escalation ladder's
+	// job — and retunes the ladder for survival: rotate after two
+	// consecutive failures instead of three, and probe back down at half
+	// the usual cadence so a recovery probe doesn't keep re-landing
+	// users on a rung the censor just fingerprinted. With Resilience on
+	// it also deepens the retry budget so a request caught mid-crackdown
+	// outlives the rotation its own failures trigger. The numbers are
+	// the censor package's survival tuning — the same configuration the
+	// multi-border experiments measure, so the simulated survival rates
+	// transfer to this deployment.
+	CensorProfile string
 	// ShardAddrs, when non-empty, makes this proxy one shard of a
 	// horizontally sharded domestic tier: it lists every shard's public
 	// proxy address — including this process's own PublicProxyAddr — in
@@ -445,6 +459,15 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 	if len(addrs) > 0 && len(cfg.Transports) > 0 {
 		return nil, errors.New("scholarcloud: RemoteAddrs and Transports are mutually exclusive — each transport entry names its own entry point")
 	}
+	if cfg.CensorProfile != "" {
+		if _, ok := censor.ProfileByName(cfg.CensorProfile); !ok {
+			return nil, fmt.Errorf("scholarcloud: unknown censor profile %q (known: %s)",
+				cfg.CensorProfile, strings.Join(censor.ProfileNames(), ", "))
+		}
+		if len(cfg.Transports) == 0 {
+			return nil, errors.New("scholarcloud: CensorProfile requires Transports — the survival tuning applies to the escalation ladder")
+		}
+	}
 	env := netx.RealEnv()
 	public := cfg.PublicProxyAddr
 	if public == "" {
@@ -497,6 +520,9 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 			DialTimeout:    cfg.DialTimeout,
 			RequestTimeout: cfg.RequestTimeout,
 		}
+		if cfg.CensorProfile != "" {
+			domestic.Resil.Retries = censor.SurvivalRetries
+		}
 	}
 	reg := obs.NewRegistry()
 	domestic.Instrument(reg)
@@ -510,7 +536,12 @@ func StartDomestic(cfg DomesticConfig) (*DomesticProxy, error) {
 		if err != nil {
 			return nil, err
 		}
-		ladder = carrier.NewLadder(carrier.LadderConfig{Env: env}, rungs...)
+		lcfg := carrier.LadderConfig{Env: env}
+		if cfg.CensorProfile != "" {
+			lcfg.TripAfter = censor.SurvivalTripAfter
+			lcfg.ProbeInterval = censor.SurvivalProbeInterval
+		}
+		ladder = carrier.NewLadder(lcfg, rungs...)
 		ladder.Instrument(reg)
 		// The non-fleet fallback path dials whatever rung is active.
 		domestic.DialRemote = func() (net.Conn, error) { return ladder.Active().Dial() }

@@ -553,6 +553,14 @@ func TestStartDomesticTransportValidation(t *testing.T) {
 		{"duplicate", func(c *DomesticConfig) {
 			c.Transports = []string{"blinded=127.0.0.1:1", "blinded=127.0.0.1:2"}
 		}, "duplicate transport"},
+		{"censor-unknown", func(c *DomesticConfig) {
+			c.Transports = []string{"blinded=127.0.0.1:1"}
+			c.CensorProfile = "panopticon"
+		}, "unknown censor profile"},
+		{"censor-needs-ladder", func(c *DomesticConfig) {
+			c.RemoteAddr = "127.0.0.1:1"
+			c.CensorProfile = "adaptive"
+		}, "CensorProfile requires Transports"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -567,6 +575,36 @@ func TestStartDomesticTransportValidation(t *testing.T) {
 				t.Errorf("err = %v, want substring %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestRealSocketCensorProfile deploys the survival-tuned ladder: a
+// CensorProfile rides on Transports and the proxy comes up on the
+// ladder's first rung with the censor package's tuning applied.
+func TestRealSocketCensorProfile(t *testing.T) {
+	secret := []byte("deployment-secret")
+	remote, err := StartRemote(RemoteConfig{Listen: "127.0.0.1:0", Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	domestic, err := StartDomestic(DomesticConfig{
+		ProxyListen:   "127.0.0.1:0",
+		WebListen:     "127.0.0.1:0",
+		Transports:    []string{"blinded=" + remote.Addr().String()},
+		CensorProfile: "adaptive",
+		Resilience:    true,
+		Secret:        secret,
+		Whitelist:     []string{"scholar.google.com"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domestic.Close()
+
+	if got := domestic.ActiveTransport(); got != "blinded" {
+		t.Fatalf("ActiveTransport = %q, want %q", got, "blinded")
 	}
 }
 

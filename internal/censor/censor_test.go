@@ -1,0 +1,334 @@
+package censor
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"scholarcloud/internal/gfw"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := Policy{
+		Name: "custom",
+		Borders: []BorderPolicy{
+			{
+				Name: "coastal",
+				Base: gfw.Policy{BlockIPs: []string{"203.0.113.9"}},
+				Stages: []Stage{
+					{After: 30 * time.Second, Posture: gfw.Policy{ResetStorm: 0.1}},
+				},
+			},
+			{
+				Name:     "inland",
+				Adaptive: &Adaptive{Trigger: 5, Storm: 0.03},
+			},
+		},
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Policy
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip: got %+v, want %+v", got, p)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		ok   bool
+	}{
+		{"empty", Policy{Name: "x"}, false},
+		{"unnamed border", Policy{Borders: []BorderPolicy{{}}}, false},
+		{"duplicate border", Policy{Borders: []BorderPolicy{{Name: "a"}, {Name: "a"}}}, false},
+		{"stage out of order", Policy{Borders: []BorderPolicy{{
+			Name: "a",
+			Stages: []Stage{
+				{After: time.Minute},
+				{After: time.Second},
+			},
+		}}}, false},
+		{"bad stage posture", Policy{Borders: []BorderPolicy{{
+			Name:   "a",
+			Stages: []Stage{{Posture: gfw.Policy{ResetStorm: 2}}},
+		}}}, false},
+		{"bad adaptive", Policy{Borders: []BorderPolicy{{
+			Name:     "a",
+			Adaptive: &Adaptive{EscalateAfter: -1},
+		}}}, false},
+		{"good", Policy{Borders: []BorderPolicy{
+			{Name: "a", Stages: []Stage{{After: time.Second}, {After: time.Second}}},
+			{Name: "b", Adaptive: &Adaptive{}},
+		}}, true},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid policy accepted", c.name)
+		}
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	if len(ProfileNames()) == 0 {
+		t.Fatal("no profiles")
+	}
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %q invalid: %v", p.Name, err)
+		}
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("ProfileByName(%q) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := ProfileByName("no-such-profile"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+// harness drives a controller against a recorded Apply, no firewall.
+type harness struct {
+	ctl     *Controller
+	applied []gfw.Policy
+	at      time.Duration
+}
+
+func newHarness(t *testing.T, pol Adaptive, base gfw.Policy) *harness {
+	t.Helper()
+	h := &harness{}
+	ctl, err := NewController(Config{
+		Border: "test",
+		Policy: pol,
+		Base:   base,
+		Sample: func() Sample { return Sample{} },
+		Apply:  func(p gfw.Policy) { h.applied = append(h.applied, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	return h
+}
+
+func (h *harness) tick(s Sample) {
+	h.at += 15 * time.Second
+	h.ctl.Tick(h.at, s)
+}
+
+func (h *harness) last() gfw.Policy {
+	if len(h.applied) == 0 {
+		return gfw.Policy{}
+	}
+	return h.applied[len(h.applied)-1]
+}
+
+func suspicious(encrypted, cleartext int64) Sample {
+	return Sample{Suspicious: map[gfw.Class]int64{
+		gfw.ClassEncrypted:  encrypted,
+		gfw.ClassLowEntropy: cleartext,
+	}}
+}
+
+// TestControllerEscalatesOnAbsoluteCount pins the L0 trigger: a standing
+// population of pooled carrier flows (no fresh flows per tick) must
+// still move the border off the filtering level.
+func TestControllerEscalatesOnAbsoluteCount(t *testing.T) {
+	h := newHarness(t, Adaptive{}, gfw.Policy{})
+	// Static population of 4 suspicious flows, above Trigger (3), with
+	// zero delta after the first tick.
+	h.tick(suspicious(4, 0))
+	if got := h.ctl.Level(); got != LevelFiltering {
+		t.Fatalf("level after 1 tick = %s, want filtering (EscalateAfter=2)", got)
+	}
+	h.tick(suspicious(4, 0))
+	if got := h.ctl.Level(); got != LevelDisruption {
+		t.Fatalf("level after 2 ticks = %s, want disruption", got)
+	}
+	p := h.last()
+	if p.ResetStorm == 0 || p.Throttle == 0 {
+		t.Errorf("disruption posture lacks episode: %+v", p)
+	}
+}
+
+// TestControllerFullLadder walks the controller to the top under
+// sustained fresh-flow pressure and checks each rung's posture.
+func TestControllerFullLadder(t *testing.T) {
+	h := newHarness(t, Adaptive{}, gfw.Policy{})
+	n := int64(0)
+	levels := []Level{}
+	for i := 0; i < 8; i++ {
+		n += 2 // two fresh encrypted flows per tick: constant pressure
+		h.tick(suspicious(n, 1))
+		levels = append(levels, h.ctl.Level())
+	}
+	want := []Level{
+		LevelFiltering, LevelDisruption,
+		LevelDisruption, LevelProbing,
+		LevelProbing, LevelFingerprint,
+		LevelFingerprint, LevelFingerprint,
+	}
+	if !reflect.DeepEqual(levels, want) {
+		t.Fatalf("level walk = %v, want %v", levels, want)
+	}
+
+	p := h.last()
+	if !p.ScrutinizeCleartext {
+		t.Error("fingerprint posture lost cleartext scrutiny")
+	}
+	// Dominant class is encrypted (n >> 1 cleartext flow); under
+	// continued pressure the runner-up gets fingerprinted too.
+	hasClass := func(p gfw.Policy, c gfw.Class) bool {
+		for _, x := range p.BlockClasses {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasClass(p, gfw.ClassEncrypted) {
+		t.Errorf("dominant class not blocked: %+v", p.BlockClasses)
+	}
+	if !hasClass(p, gfw.ClassLowEntropy) {
+		t.Errorf("runner-up class not blocked under continued pressure: %+v", p.BlockClasses)
+	}
+
+	events := h.ctl.Events()
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	wantKinds := []string{"escalate", "escalate", "escalate", "block-class"}
+	if !reflect.DeepEqual(kinds, wantKinds) {
+		t.Errorf("event kinds = %v, want %v", kinds, wantKinds)
+	}
+}
+
+// TestControllerRelaxes pins the de-escalation path: quiet ticks walk
+// the border back down and drop the fingerprints.
+func TestControllerRelaxes(t *testing.T) {
+	h := newHarness(t, Adaptive{}, gfw.Policy{})
+	n := int64(0)
+	for i := 0; i < 6; i++ {
+		n += 2
+		h.tick(suspicious(n, 0))
+	}
+	if got := h.ctl.Level(); got != LevelFingerprint {
+		t.Fatalf("setup: level = %s, want fingerprint", got)
+	}
+	// Quiet: population frozen (the carrier rotated to an unsuspicious
+	// rung), so deltas are zero and — above filtering — the absolute
+	// trigger no longer applies.
+	for i := 0; i < 4; i++ {
+		h.tick(suspicious(n, 0))
+	}
+	if got := h.ctl.Level(); got != LevelProbing {
+		t.Fatalf("level after %d quiet ticks = %s, want probing", 4, got)
+	}
+	if p := h.last(); len(p.BlockClasses) != 0 {
+		t.Errorf("relaxed posture still fingerprints %v", p.BlockClasses)
+	}
+	for i := 0; i < 8; i++ {
+		h.tick(suspicious(n, 0))
+	}
+	if got := h.ctl.Level(); got != LevelFiltering {
+		t.Fatalf("level after full quiet run = %s, want filtering", got)
+	}
+	if p := h.last(); p.ResetStorm != 0 || p.Throttle != 0 || p.ScrutinizeCleartext {
+		t.Errorf("filtering posture keeps episode state: %+v", p)
+	}
+}
+
+// TestControllerBlackholesConfirmed pins the probing rung's blackhole
+// path: newly confirmed servers are pushed exactly once.
+func TestControllerBlackholesConfirmed(t *testing.T) {
+	h := newHarness(t, Adaptive{}, gfw.Policy{})
+	n := int64(0)
+	for i := 0; i < 4; i++ {
+		n += 2
+		h.tick(suspicious(n, 0))
+	}
+	if got := h.ctl.Level(); got != LevelProbing {
+		t.Fatalf("setup: level = %s, want probing", got)
+	}
+	s := suspicious(n, 0)
+	s.Confirmed = []string{"203.0.113.7:443"}
+	h.tick(s)
+	found := 0
+	for _, p := range h.applied {
+		for _, ip := range p.BlockIPs {
+			if ip == "203.0.113.7:443" {
+				found++
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("confirmed server blackholed %d times, want 1", found)
+	}
+	// Same confirmed list again: no re-push.
+	h.tick(s)
+	applied := len(h.applied)
+	h.tick(s)
+	for _, p := range h.applied[applied:] {
+		if len(p.BlockIPs) != 0 {
+			t.Errorf("stale confirmed list re-pushed: %+v", p)
+		}
+	}
+}
+
+// TestControllerBaseOverlay pins that every applied posture preserves
+// the border's base blacklists.
+func TestControllerBaseOverlay(t *testing.T) {
+	base := gfw.Policy{BlockClasses: []gfw.Class{gfw.ClassPPTP}}
+	h := newHarness(t, Adaptive{}, base)
+	n := int64(0)
+	for i := 0; i < 6; i++ {
+		n += 2
+		h.tick(suspicious(n, 0))
+	}
+	for i, p := range h.applied {
+		if len(p.BlockClasses) == 0 || p.BlockClasses[0] != gfw.ClassPPTP {
+			t.Errorf("apply %d dropped base class block: %+v", i, p.BlockClasses)
+		}
+	}
+}
+
+// TestPhaseDeterministicAndDistinct pins the stagger: same inputs, same
+// offset; different seeds or borders, different offsets in [0,interval).
+func TestPhaseDeterministicAndDistinct(t *testing.T) {
+	iv := 15 * time.Second
+	a := Phase(42, 0, iv)
+	if a != Phase(42, 0, iv) {
+		t.Error("Phase not deterministic")
+	}
+	if a < 0 || a >= iv {
+		t.Errorf("Phase = %v, want in [0,%v)", a, iv)
+	}
+	if a == Phase(43, 0, iv) {
+		t.Error("different seeds collide")
+	}
+	if a == Phase(42, 1, iv) {
+		t.Error("different borders collide")
+	}
+}
+
+func TestSortedConfirmed(t *testing.T) {
+	in := []string{"b", "a", "c"}
+	got := SortedConfirmed(in)
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("SortedConfirmed = %v", got)
+	}
+	if !reflect.DeepEqual(in, []string{"b", "a", "c"}) {
+		t.Error("input mutated")
+	}
+}

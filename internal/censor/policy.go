@@ -1,0 +1,340 @@
+// Package censor models a national censor with more than one border.
+//
+// The paper measures ScholarCloud through a single choke point — "the"
+// GFW on "the" border link — but the real deployment's users sit behind
+// provincially operated infrastructure whose enforcement intensity is
+// famously uneven (§2: regulation and technical blocking run
+// asynchronously, and different regions escalate at different times).
+// This package is the declarative description of that unevenness: a
+// serializable Policy names each border, gives it a base posture
+// (a gfw.Policy), an optional scripted schedule of posture changes on
+// the virtual clock, and an optional adaptive controller that watches
+// the border's own flow classifications and escalates region by region:
+//
+//	filtering -> disruption -> probing -> fingerprint
+//
+// Level 0 (filtering) is the base posture: DNS poisoning, IP blackholes
+// and keyword resets. Level 1 (disruption) adds a reset storm and
+// throttling. Level 2 (probing) raises cleartext scrutiny and blackholes
+// every server active probing confirms. Level 3 (fingerprint) blocks the
+// dominant suspicious traffic class outright — and, under continued
+// pressure, the next dominant class, until the carrier ladder runs out
+// of fingerprints to shed.
+//
+// Everything is data: a Policy round-trips through JSON, applies to a
+// border's gfw.GFW exclusively through gfw.Apply, and never calls an
+// imperative knob. The controllers are deterministic on the virtual
+// clock, so a censored multi-border world replays byte-identically.
+package censor
+
+import (
+	"fmt"
+	"time"
+
+	"scholarcloud/internal/gfw"
+)
+
+// Level is a border's escalation rung.
+type Level int
+
+// Escalation rungs, mildest first.
+const (
+	// LevelFiltering is the base posture: the border's configured
+	// blacklists and nothing more.
+	LevelFiltering Level = iota
+	// LevelDisruption adds a reset storm and bandwidth throttling.
+	LevelDisruption
+	// LevelProbing raises cleartext scrutiny and blackholes servers that
+	// active probing confirms.
+	LevelProbing
+	// LevelFingerprint blocks the border's dominant suspicious traffic
+	// class by wire fingerprint.
+	LevelFingerprint
+)
+
+// String names the rung for timelines and reports.
+func (l Level) String() string {
+	switch l {
+	case LevelFiltering:
+		return "filtering"
+	case LevelDisruption:
+		return "disruption"
+	case LevelProbing:
+		return "probing"
+	case LevelFingerprint:
+		return "fingerprint"
+	default:
+		return fmt.Sprintf("level-%d", int(l))
+	}
+}
+
+// DefaultSuspicious are the traffic classes an adaptive border treats as
+// circumvention evidence: high-entropy streams, unrecognized cleartext
+// (the blinded carrier's other landing spot), and the native VPN
+// protocols. TLS and HTTP are deliberately absent — blocking them
+// punishes the whole population, which is the regional-inconsistency
+// story the paper tells.
+func DefaultSuspicious() []gfw.Class {
+	return []gfw.Class{
+		gfw.ClassEncrypted, gfw.ClassLowEntropy,
+		gfw.ClassOpenVPN, gfw.ClassPPTP, gfw.ClassL2TP,
+	}
+}
+
+// Stage is one step of a scripted schedule: After the given virtual-time
+// offset from arming, the border's posture becomes Posture (applied via
+// gfw.Apply, so IP blackholes accumulate and everything else replaces).
+type Stage struct {
+	After   time.Duration `json:"after"`
+	Posture gfw.Policy    `json:"posture"`
+}
+
+// Adaptive parameterizes a border's escalation controller. The zero
+// value means "defaults" for every field; see WithDefaults.
+type Adaptive struct {
+	// Interval is the control-loop tick spacing (default 15s).
+	Interval time.Duration `json:"interval,omitempty"`
+	// Trigger is the cumulative suspicious-flow count that first counts
+	// as pressure at the filtering level (default 2). Carriers pool and
+	// multiplex sessions, so a whole client cohort leaves only a couple
+	// of long-lived suspicious flows and per-tick deltas of zero at
+	// steady state — the first escalation must fire on the absolute
+	// count, and the threshold must sit at the pooled-session scale.
+	Trigger int64 `json:"trigger,omitempty"`
+	// SuspiciousPerTick is the per-tick fresh suspicious-flow delta that
+	// counts as pressure above the filtering level (default 1). The
+	// censor's own disruption kills carrier sessions; the redials are the
+	// evidence that keeps the escalation going.
+	SuspiciousPerTick int64 `json:"suspicious_per_tick,omitempty"`
+	// EscalateAfter is how many consecutive pressure ticks precede each
+	// escalation (default 2).
+	EscalateAfter int `json:"escalate_after,omitempty"`
+	// RelaxAfter is how many consecutive quiet ticks precede each
+	// de-escalation (default 4).
+	RelaxAfter int `json:"relax_after,omitempty"`
+	// Storm and Throttle are the disruption-level episode intensities
+	// (defaults 0.02 and 0.05).
+	Storm    float64 `json:"storm,omitempty"`
+	Throttle float64 `json:"throttle,omitempty"`
+	// MaxLevel caps the escalation (default LevelFingerprint).
+	MaxLevel Level `json:"max_level,omitempty"`
+	// Suspicious overrides the classes counted as circumvention evidence
+	// (default DefaultSuspicious). Order breaks dominance ties.
+	Suspicious []gfw.Class `json:"suspicious,omitempty"`
+}
+
+// WithDefaults fills unset fields.
+func (a Adaptive) WithDefaults() Adaptive {
+	if a.Interval == 0 {
+		a.Interval = 15 * time.Second
+	}
+	if a.Trigger == 0 {
+		a.Trigger = 2
+	}
+	if a.SuspiciousPerTick == 0 {
+		a.SuspiciousPerTick = 1
+	}
+	if a.EscalateAfter == 0 {
+		a.EscalateAfter = 2
+	}
+	if a.RelaxAfter == 0 {
+		a.RelaxAfter = 4
+	}
+	if a.Storm == 0 {
+		a.Storm = 0.02
+	}
+	if a.Throttle == 0 {
+		a.Throttle = 0.05
+	}
+	if a.MaxLevel == 0 {
+		a.MaxLevel = LevelFingerprint
+	}
+	if len(a.Suspicious) == 0 {
+		a.Suspicious = DefaultSuspicious()
+	}
+	return a
+}
+
+// Validate rejects nonsensical controllers (after defaulting).
+func (a Adaptive) Validate() error {
+	a = a.WithDefaults()
+	if a.Interval < 0 {
+		return fmt.Errorf("censor: adaptive Interval must be non-negative (got %v)", a.Interval)
+	}
+	if a.Trigger < 1 || a.SuspiciousPerTick < 1 {
+		return fmt.Errorf("censor: adaptive Trigger and SuspiciousPerTick must be >= 1 (got %d and %d)",
+			a.Trigger, a.SuspiciousPerTick)
+	}
+	if a.EscalateAfter < 1 || a.RelaxAfter < 1 {
+		return fmt.Errorf("censor: adaptive EscalateAfter and RelaxAfter must be >= 1 (got %d and %d)",
+			a.EscalateAfter, a.RelaxAfter)
+	}
+	if a.Storm < 0 || a.Storm > 1 || a.Throttle < 0 || a.Throttle > 1 {
+		return fmt.Errorf("censor: adaptive Storm and Throttle must be probabilities in [0,1] (got %g and %g)",
+			a.Storm, a.Throttle)
+	}
+	if a.MaxLevel < LevelFiltering || a.MaxLevel > LevelFingerprint {
+		return fmt.Errorf("censor: adaptive MaxLevel must be between %s and %s (got %d)",
+			LevelFiltering, LevelFingerprint, int(a.MaxLevel))
+	}
+	return nil
+}
+
+// BorderPolicy describes one border: its name, its standing posture, an
+// optional scripted schedule, and an optional adaptive controller.
+type BorderPolicy struct {
+	Name string `json:"name"`
+	// Base is the posture applied when the policy is armed.
+	Base gfw.Policy `json:"base,omitempty"`
+	// Stages is the scripted schedule, in onset order.
+	Stages []Stage `json:"stages,omitempty"`
+	// Adaptive, when non-nil, runs the escalation controller.
+	Adaptive *Adaptive `json:"adaptive,omitempty"`
+}
+
+// Validate rejects malformed border policies.
+func (b BorderPolicy) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("censor: every border needs a name")
+	}
+	if err := b.Base.Validate(); err != nil {
+		return fmt.Errorf("censor: border %q base posture: %w", b.Name, err)
+	}
+	last := time.Duration(-1)
+	for i, st := range b.Stages {
+		if st.After < 0 {
+			return fmt.Errorf("censor: border %q stage %d fires at negative offset %v", b.Name, i, st.After)
+		}
+		if st.After < last {
+			return fmt.Errorf("censor: border %q stages out of order (stage %d at %v after %v)",
+				b.Name, i, st.After, last)
+		}
+		last = st.After
+		if err := st.Posture.Validate(); err != nil {
+			return fmt.Errorf("censor: border %q stage %d posture: %w", b.Name, i, err)
+		}
+	}
+	if b.Adaptive != nil {
+		if err := b.Adaptive.Validate(); err != nil {
+			return fmt.Errorf("censor: border %q: %w", b.Name, err)
+		}
+	}
+	return nil
+}
+
+// Policy is a complete multi-border censorship regime. It is pure data:
+// serializable, comparable, and applied exclusively through gfw.Apply.
+type Policy struct {
+	Name    string         `json:"name"`
+	Borders []BorderPolicy `json:"borders"`
+}
+
+// Validate rejects malformed policies.
+func (p Policy) Validate() error {
+	if len(p.Borders) == 0 {
+		return fmt.Errorf("censor: policy %q has no borders", p.Name)
+	}
+	seen := make(map[string]bool, len(p.Borders))
+	for _, b := range p.Borders {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("censor: policy %q names border %q twice", p.Name, b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return nil
+}
+
+// Event is one entry of a border's escalation timeline: a scripted stage
+// firing, an adaptive escalation or relaxation, a class fingerprinted or
+// a server blackholed, or the client side rotating transports in
+// response.
+type Event struct {
+	// At is the virtual-time offset from arming.
+	At     time.Duration `json:"at"`
+	Border string        `json:"border"`
+	// Kind is "stage", "escalate", "relax", "block-class", "blackhole",
+	// or "transport".
+	Kind string `json:"kind"`
+	// From and To describe the transition (levels for escalate/relax,
+	// carrier rungs for transport).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Reason is what tripped it.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Profiles returns the named censorship regimes the figures and the
+// deployment profile flag draw from.
+//
+//   - "scripted": two borders on fixed schedules — the coastal one runs a
+//     brief reset-storm window, the inland one throttles and then
+//     fingerprints the suspicious classes. No feedback.
+//   - "adaptive": two aggressive adaptive borders; both escalate to
+//     fingerprint blocking under carrier traffic. The survival figure.
+//   - "regional": one lenient coastal border that never escalates beside
+//     one strict adaptive inland border — the paper's regional
+//     inconsistency, in one world.
+func Profiles() []Policy {
+	aggressive := &Adaptive{}
+	return []Policy{
+		{
+			Name: "scripted",
+			Borders: []BorderPolicy{
+				{
+					Name: "coastal",
+					Stages: []Stage{
+						{After: 30 * time.Second, Posture: gfw.Policy{ResetStorm: 0.02}},
+						{After: 90 * time.Second, Posture: gfw.Policy{}},
+					},
+				},
+				{
+					Name: "inland",
+					Stages: []Stage{
+						{After: 20 * time.Second, Posture: gfw.Policy{Throttle: 0.05}},
+						{After: 60 * time.Second, Posture: gfw.Policy{
+							Throttle:     0.05,
+							BlockClasses: DefaultSuspicious(),
+						}},
+					},
+				},
+			},
+		},
+		{
+			Name: "adaptive",
+			Borders: []BorderPolicy{
+				{Name: "north", Adaptive: aggressive},
+				{Name: "south", Adaptive: aggressive},
+			},
+		},
+		{
+			Name: "regional",
+			Borders: []BorderPolicy{
+				{Name: "coastal"},
+				{Name: "inland", Adaptive: aggressive},
+			},
+		},
+	}
+}
+
+// ProfileByName resolves one named regime.
+func ProfileByName(name string) (Policy, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}
+
+// ProfileNames lists the regimes in declaration order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}

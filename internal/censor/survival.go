@@ -1,0 +1,29 @@
+package censor
+
+import "scholarcloud/internal/carrier"
+
+// Survival tuning: the client-side counterpart of an armed censor
+// Policy. A cohort living through an active crackdown — rather than a
+// fixed fault window — needs its carrier ladder and retry budget tuned
+// differently from the fail-fast paper deployment, and the multi-border
+// experiments and the real-socket deployment (DomesticConfig's
+// CensorProfile) must agree on the numbers or the measured survival
+// rates say nothing about production.
+const (
+	// SurvivalTripAfter rotates the ladder to the next rung after two
+	// consecutive transport failures instead of the default three: under
+	// fingerprint blocking every attempt on the dominant rung dies in
+	// milliseconds, and each extra strike is a failed page load.
+	SurvivalTripAfter = 2
+
+	// SurvivalProbeInterval halves the recovery-probe cadence. An eager
+	// probe re-lands the cohort on a rung the censor just fingerprinted:
+	// probe handshakes are too short for the classifier, so the probe
+	// succeeds and the next real visit dies.
+	SurvivalProbeInterval = 2 * carrier.DefaultProbeInterval
+
+	// SurvivalRetries deepens the per-request retry budget from four to
+	// six so a visit caught mid-crackdown can outlive the ladder
+	// rotation its own failures trigger.
+	SurvivalRetries = 6
+)

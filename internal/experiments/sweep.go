@@ -75,7 +75,7 @@ type figurePlan struct {
 
 // FigureOrder lists every figure name in presentation order — the valid
 // values of scholarbench -fig besides "all".
-var FigureOrder = []string{"2", "3", "4", "5a", "5b", "5c", "6a", "6bc", "7", "ops", "fleet", "cache", "faults", "transports", "shards", "autoscale", "scale"}
+var FigureOrder = []string{"2", "3", "4", "5a", "5b", "5c", "6a", "6bc", "7", "ops", "fleet", "cache", "faults", "transports", "censor", "shards", "autoscale", "scale"}
 
 // KnownFigure reports whether name is a figure the sweep can run.
 func KnownFigure(name string) bool {
@@ -322,6 +322,7 @@ func sweepPlans(q Quality) []figurePlan {
 		cachePlan(q),
 		faultsPlan(q),
 		transportsPlan(q),
+		censorPlan(q),
 		shardsPlan(q),
 		autoscalePlan(q),
 		scalePlan(q),

@@ -91,16 +91,14 @@ func (w *World) ApplyTransportStage(s TransportStage) error {
 		if w.GFW == nil {
 			return nil
 		}
-		for _, c := range s.Classes {
-			w.GFW.SetClassBlock(c, true)
-		}
+		p := w.GFW.ActivePolicy()
+		p.BlockClasses = append([]gfw.Class(nil), s.Classes...)
 		n := s.BlockGateways
 		if n > len(w.gatewayIPs) {
 			n = len(w.gatewayIPs)
 		}
-		for _, ip := range w.gatewayIPs[:n] {
-			w.GFW.BlockIP(ip)
-		}
+		p.BlockIPs = append(p.BlockIPs, w.gatewayIPs[:n]...)
+		w.GFW.Apply(p)
 		return nil
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"scholarcloud/internal/blinding"
 	"scholarcloud/internal/cache"
 	"scholarcloud/internal/carrier"
+	"scholarcloud/internal/censor"
 	"scholarcloud/internal/core"
 	"scholarcloud/internal/dnssim"
 	"scholarcloud/internal/faults"
@@ -130,6 +131,16 @@ type Config struct {
 	// AutoscaleInterval is the control loop's sampling cadence (default
 	// 15 s — virtual seconds, so ticks land at seed-determined instants).
 	AutoscaleInterval time.Duration
+	// Censor, when non-nil, builds a multi-border world: each border in
+	// the policy gets its own client region, its own border link into the
+	// US zone, its own gfw.GFW instance (seeded independently), and its
+	// own domestic proxy with a full carrier escalation ladder. The
+	// policy's scripted stages and adaptive controllers run on the
+	// virtual clock once a measurement calls ArmCensor. Mutually
+	// exclusive with Transports, FleetRemotes, Shards, CacheMB and
+	// FaultScenario. Nil keeps the single-border world — and every
+	// historical figure — byte-identical.
+	Censor *censor.Policy
 }
 
 // World is the assembled simulated internet of §4.2.
@@ -221,6 +232,13 @@ type World struct {
 	// Faults is the armed fault scheduler when Cfg.FaultScenario is set
 	// (nil otherwise). Measurements start it with InjectFaults.
 	Faults *faults.Scheduler
+
+	// Regions holds the per-border deployments when Cfg.Censor is set
+	// (nil otherwise), in policy order. Measurements arm the policy's
+	// schedules and controllers with ArmCensor.
+	Regions         []*Region
+	censorArmed     bool
+	tunnelResolvers []string
 
 	// Registry models the non-technical agencies; ScholarCloud is
 	// registered at world construction (instantly — the weeks-long
@@ -784,6 +802,23 @@ func (w *World) startTor() {
 }
 
 func (w *World) startScholarCloud() {
+	if w.Cfg.Censor != nil {
+		switch {
+		case len(w.Cfg.Transports) > 0:
+			panic("experiments: Censor is mutually exclusive with Transports — every censor region gets the full ladder")
+		case w.Cfg.FleetRemotes > 0:
+			panic("experiments: Censor is mutually exclusive with FleetRemotes")
+		case w.Cfg.Shards > 1:
+			panic("experiments: Censor is mutually exclusive with Shards")
+		case w.Cfg.CacheMB > 0:
+			panic("experiments: Censor worlds run the cacheless regional deployment (CacheMB must be 0)")
+		case w.Cfg.FaultScenario != "":
+			panic("experiments: Censor is mutually exclusive with FaultScenario — the policy owns the GFW episode state")
+		}
+		if err := w.Cfg.Censor.Validate(); err != nil {
+			panic(err)
+		}
+	}
 	if w.Cfg.Shards > 1 {
 		if w.Cfg.FleetRemotes > 0 || len(w.Cfg.Transports) > 0 {
 			panic("experiments: Shards is mutually exclusive with FleetRemotes and Transports")
@@ -884,6 +919,10 @@ func (w *World) startScholarCloud() {
 		w.startTransports()
 	case w.Cfg.FleetRemotes > 0:
 		w.startFleet()
+	}
+
+	if w.Cfg.Censor != nil {
+		w.startCensorRegions()
 	}
 }
 
@@ -1209,9 +1248,9 @@ func (w *World) startTransports() {
 			rungs = append(rungs, carrier.NewBlinded(
 				func() (net.Conn, error) { return w.SCDomestic.DialTCP(primary) }, wrap))
 		case carrier.Rendezvous:
-			rungs = append(rungs, w.startRendezvous(primary, wrap))
+			rungs = append(rungs, w.startRendezvous(wrap))
 		case carrier.DNSTunnel:
-			rungs = append(rungs, w.startDNSTunnel(primary, wrap))
+			rungs = append(rungs, w.startDNSTunnel(wrap))
 		default:
 			panic(fmt.Errorf("experiments: unknown carrier transport %q (known: %v)",
 				name, carrier.Known()))
@@ -1260,77 +1299,117 @@ func (w *World) startTransports() {
 	}
 }
 
-// startRendezvous builds the serverless rendezvous rung: a pool of
-// ephemeral gateway addresses in cloud space, each a TLS front piping to
-// the primary remote — the CensorLess model, where blocking one address
-// costs the censor nothing because the next invocation uses a fresh one.
-func (w *World) startRendezvous(primary string, wrap carrier.WrapFunc) carrier.Transport {
-	endpoints := make([]string, 0, gatewayPoolSize)
-	for i := 0; i < gatewayPoolSize; i++ {
-		ip := fmt.Sprintf("%s%d", ipGatewayBase, 10+i)
-		w.gatewayIPs = append(w.gatewayIPs, ip)
-		endpoints = append(endpoints, ip+":443")
-		host := w.Net.AddHost(fmt.Sprintf("rdv-gw-%d", i), ip, w.US, accessLink())
-		ln, err := host.Listen("tcp", ":443")
-		if err != nil {
-			panic(err)
-		}
-		tln := tlssim.NewListener(ln, tlssim.Config{Certificate: []byte("rdv-gw-cert")})
-		w.Env.Spawn.Go(func() {
-			carrier.ServeGateway(w.Env, tln, func() (net.Conn, error) {
-				return host.DialTCP(primary)
+// ensureGatewayPool stands up the rendezvous gateway pool — ephemeral
+// TLS fronts in cloud space, each piping to the primary remote — the
+// first time it is needed, and returns the pool's "ip:port" endpoints
+// in order. The pool is US-side cover infrastructure shared by every
+// consumer (the classic ladder, and each censor region's ladder).
+func (w *World) ensureGatewayPool() []string {
+	if len(w.gatewayIPs) == 0 {
+		primary := fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote)
+		for i := 0; i < gatewayPoolSize; i++ {
+			ip := fmt.Sprintf("%s%d", ipGatewayBase, 10+i)
+			w.gatewayIPs = append(w.gatewayIPs, ip)
+			host := w.Net.AddHost(fmt.Sprintf("rdv-gw-%d", i), ip, w.US, accessLink())
+			ln, err := host.Listen("tcp", ":443")
+			if err != nil {
+				panic(err)
+			}
+			tln := tlssim.NewListener(ln, tlssim.Config{Certificate: []byte("rdv-gw-cert")})
+			w.Env.Spawn.Go(func() {
+				carrier.ServeGateway(w.Env, tln, func() (net.Conn, error) {
+					return host.DialTCP(primary)
+				})
 			})
-		})
+		}
 	}
-	rdv := carrier.NewRendezvous(carrier.RendezvousConfig{
+	endpoints := make([]string, len(w.gatewayIPs))
+	for i, ip := range w.gatewayIPs {
+		endpoints[i] = ip + ":443"
+	}
+	return endpoints
+}
+
+// newRendezvousRung builds a rendezvous transport dialing the shared
+// gateway pool from h. salt separates the rotation streams of multiple
+// consumers (zero for the classic single-ladder world, so its draws —
+// and every historical figure — stay byte-identical).
+func (w *World) newRendezvousRung(h *netsim.Host, wrap carrier.WrapFunc, salt uint64) *carrier.RendezvousPool {
+	return carrier.NewRendezvous(carrier.RendezvousConfig{
 		Env:       w.Env,
-		Endpoints: endpoints,
-		Dial:      func(addr string) (net.Conn, error) { return w.SCDomestic.DialTCP(addr) },
+		Endpoints: w.ensureGatewayPool(),
+		Dial:      func(addr string) (net.Conn, error) { return h.DialTCP(addr) },
 		SNI:       rendezvousSNI,
 		Wrap:      wrap,
-		Seed:      w.Cfg.Seed ^ 0x4D5E2,
+		Seed:      w.Cfg.Seed ^ 0x4D5E2 ^ salt,
 	})
+}
+
+// startRendezvous builds the serverless rendezvous rung for the classic
+// single-border ladder — the CensorLess model, where blocking one
+// address costs the censor nothing because the next invocation uses a
+// fresh one.
+func (w *World) startRendezvous(wrap carrier.WrapFunc) carrier.Transport {
+	rdv := w.newRendezvousRung(w.SCDomestic, wrap, 0)
 	rdv.Instrument(w.Obs)
 	w.RendezvousCarrier = rdv
 	return rdv
 }
 
-// startDNSTunnel builds the covert-channel rung: an authoritative server
-// for an innocuous zone fronting the primary remote, reached through a
-// pool of public recursive resolvers the censor will not block wholesale.
-func (w *World) startDNSTunnel(primary string, wrap carrier.WrapFunc) carrier.Transport {
-	auth := w.Net.AddHost("tunnel-auth", ipTunnelAuth, w.US, accessLink())
-	srv := carrier.NewTunnelServer(carrier.TunnelServerConfig{
-		Env:     w.Env,
-		Domain:  tunnelDomain,
-		Backend: func() (net.Conn, error) { return auth.DialTCP(primary) },
-	})
-	apc, err := auth.ListenPacket(53)
-	if err != nil {
-		panic(err)
-	}
-	w.Env.Spawn.Go(func() { srv.Serve(apc) })
-
-	resolvers := make([]string, 0, tunnelRelays)
-	for i, ip := range tunnelRelayIPs() {
-		relay := w.Net.AddHost(fmt.Sprintf("resolver-%d", i), ip, w.US, accessLink())
-		pc, err := relay.ListenPacket(53)
+// ensureTunnelResolvers stands up the DNS tunnel's US-side cover
+// infrastructure — an authoritative server for an innocuous zone
+// fronting the primary remote, plus a pool of public recursive
+// resolvers — the first time it is needed, and returns the resolver
+// endpoints in order.
+func (w *World) ensureTunnelResolvers() []string {
+	if len(w.tunnelResolvers) == 0 {
+		primary := fmt.Sprintf("%s:%d", ipSCRemote, portSCRemote)
+		auth := w.Net.AddHost("tunnel-auth", ipTunnelAuth, w.US, accessLink())
+		srv := carrier.NewTunnelServer(carrier.TunnelServerConfig{
+			Env:     w.Env,
+			Domain:  tunnelDomain,
+			Backend: func() (net.Conn, error) { return auth.DialTCP(primary) },
+		})
+		apc, err := auth.ListenPacket(53)
 		if err != nil {
 			panic(err)
 		}
-		w.Env.Spawn.Go(func() {
-			carrier.ServeRelay(w.Env, pc, relay, ipTunnelAuth+":53", 3*time.Second)
-		})
-		resolvers = append(resolvers, ip+":53")
+		w.Env.Spawn.Go(func() { srv.Serve(apc) })
+
+		for i, ip := range tunnelRelayIPs() {
+			relay := w.Net.AddHost(fmt.Sprintf("resolver-%d", i), ip, w.US, accessLink())
+			pc, err := relay.ListenPacket(53)
+			if err != nil {
+				panic(err)
+			}
+			w.Env.Spawn.Go(func() {
+				carrier.ServeRelay(w.Env, pc, relay, ipTunnelAuth+":53", 3*time.Second)
+			})
+			w.tunnelResolvers = append(w.tunnelResolvers, ip+":53")
+		}
 	}
-	tun := carrier.NewTunnel(carrier.TunnelConfig{
+	return append([]string(nil), w.tunnelResolvers...)
+}
+
+// newTunnelRung builds a DNS-tunnel transport resolving through the
+// shared relay pool from h. salt separates consumers' nonce streams
+// (zero for the classic single-ladder world).
+func (w *World) newTunnelRung(h *netsim.Host, wrap carrier.WrapFunc, salt uint64) *carrier.Tunnel {
+	return carrier.NewTunnel(carrier.TunnelConfig{
 		Env:       w.Env,
-		Dialer:    w.SCDomestic,
-		Resolvers: resolvers,
+		Dialer:    h,
+		Resolvers: w.ensureTunnelResolvers(),
 		Domain:    tunnelDomain,
 		Wrap:      wrap,
-		Seed:      w.Cfg.Seed ^ 0xD4571,
+		Seed:      w.Cfg.Seed ^ 0xD4571 ^ salt,
 	})
+}
+
+// startDNSTunnel builds the covert-channel rung for the classic
+// single-border ladder: reached through public recursive resolvers the
+// censor will not block wholesale.
+func (w *World) startDNSTunnel(wrap carrier.WrapFunc) carrier.Transport {
+	tun := w.newTunnelRung(w.SCDomestic, wrap, 0)
 	tun.Instrument(w.Obs)
 	w.TunnelCarrier = tun
 	return tun
@@ -1448,7 +1527,7 @@ func (w *World) registerScholarCloud() {
 	w.Enforcement = registry.NewEnforcement(w.Registry, w.Env.Clock, 24*time.Hour)
 	w.Enforcement.OnBlock(func(ip string) {
 		if w.GFW != nil {
-			w.GFW.BlockIP(ip)
+			w.GFW.Apply(gfw.Policy{BlockIPs: []string{ip}})
 		}
 		// An enforcement block against a fleet remote rotates traffic off
 		// it immediately instead of leaving the pool to discover 15-second

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"scholarcloud/internal/gfw"
 	"scholarcloud/internal/httpsim"
 	"scholarcloud/internal/netsim"
 	"scholarcloud/internal/tunnel"
@@ -350,7 +351,7 @@ func TestHostsFileMethodWorksUntilIPBlocked(t *testing.T) {
 	if st.Failed {
 		t.Fatalf("mirror access failed while unblocked: %v", st.Err)
 	}
-	w.GFW.BlockIP("64.233.189.19")
+	w.GFW.Apply(gfw.Policy{BlockIPs: []string{"64.233.189.19"}})
 	st = visitOnce(t, w, m, mirror)
 	if !st.Failed {
 		t.Fatal("mirror access survived IP blacklisting")

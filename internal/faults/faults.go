@@ -126,6 +126,7 @@ type Scheduler struct {
 	mu      sync.Mutex
 	started bool
 	base    netsim.LinkConfig
+	gfwBase gfw.Policy    // GFW posture at injection start; episodes overlay it
 	active  map[int]Event // windowed events currently applied, by index
 
 	applied  metrics.Counter
@@ -192,6 +193,9 @@ func (s *Scheduler) Inject() {
 	s.started = true
 	if s.cfg.Link != nil {
 		s.base = s.cfg.Link.Config()
+	}
+	if s.cfg.GFW != nil {
+		s.gfwBase = s.cfg.GFW.ActivePolicy()
 	}
 	s.mu.Unlock()
 	for i, e := range s.script {
@@ -298,8 +302,13 @@ func (s *Scheduler) recomputeLocked() {
 		s.cfg.Link.SetConfig(cfg)
 	}
 	if s.cfg.GFW != nil {
-		s.cfg.GFW.SetResetStorm(storm)
-		s.cfg.GFW.SetThrottle(throttle)
+		// Overlay the episode intensities on the posture captured at
+		// injection start, so an armed crackdown or blackhole list
+		// survives the episode's start and end.
+		p := s.gfwBase
+		p.ResetStorm = storm
+		p.Throttle = throttle
+		s.cfg.GFW.Apply(p)
 	}
 }
 

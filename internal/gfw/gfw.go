@@ -121,13 +121,16 @@ type GFW struct {
 	classCount map[Class]int64
 	stats      Stats
 
-	// Episode state, set at runtime by fault injectors (zero = inactive).
+	// Episode state, set at runtime via Apply (zero = inactive).
 	stormRate    float64 // prob. a tracked TCP packet draws forged RSTs
 	throttleLoss float64 // extra drop prob. on every tracked TCP packet
+	// scrutinizeCleartext keeps small-sample cleartext verdicts
+	// provisional even outside a crackdown (Policy.ScrutinizeCleartext).
+	scrutinizeCleartext bool
 
 	// blockedClass marks traffic classes under a fingerprint crackdown:
 	// every packet of a classified flow in a blocked class is answered
-	// with forged RSTs. Set at runtime via SetClassBlock; the transport
+	// with forged RSTs. Set at runtime via Apply; the transport
 	// escalation experiments use it to kill one carrier rung at a time.
 	blockedClass map[Class]bool
 
@@ -176,41 +179,6 @@ func (g *GFW) Instrument(reg *obs.Registry) {
 	}
 }
 
-// SetResetStorm sets the probability that a tracked TCP packet crossing
-// the border is answered with forged RSTs to both endpoints — the GFW's
-// episodic "reset storm" behaviour. Zero ends the episode. Fault
-// schedulers toggle it at scripted virtual times.
-func (g *GFW) SetResetStorm(rate float64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stormRate = rate
-}
-
-// SetThrottle sets an extra drop probability applied to every tracked TCP
-// packet, modeling an episodic bandwidth-throttling campaign against
-// cross-border traffic. Zero ends the episode.
-func (g *GFW) SetThrottle(loss float64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.throttleLoss = loss
-}
-
-// SetClassBlock starts (or, with enable false, ends) a fingerprint
-// crackdown against one DPI traffic class: every packet of a classified
-// flow in that class is answered with forged RSTs to both endpoints.
-// Blocking ClassEncrypted kills the blinded carrier outright; adding
-// ClassTLS escalates to a full crackdown that only the DNS tunnel
-// survives.
-func (g *GFW) SetClassBlock(c Class, enable bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if enable {
-		g.blockedClass[c] = true
-	} else {
-		delete(g.blockedClass, c)
-	}
-}
-
 // BlockedClasses reports the classes currently under a crackdown.
 func (g *GFW) BlockedClasses() []Class {
 	g.mu.Lock()
@@ -255,14 +223,6 @@ func (g *GFW) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.stats
-}
-
-// BlockIP adds an address to the blackhole list at runtime (used by the
-// enforcement agencies' takedown path and by tests).
-func (g *GFW) BlockIP(ip string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.blockedIP[ip] = true
 }
 
 // ClassCounts returns how many flows DPI assigned to each class.
@@ -422,18 +382,19 @@ func (g *GFW) inspectTCP(pkt *netsim.Packet) netsim.Verdict {
 		}
 		class := classify(fs.firstBytes, g.meekFronts)
 		if class != ClassUnknown {
-			// During a class crackdown, a cleartext verdict on a tiny
-			// sample stays provisional: a couple of 9-byte keepalive
-			// frames look printable under a byte-substitution cipher, and
-			// latching on them would leave the flow permanently immune to
-			// an encrypted-fingerprint crackdown. Keep buffering and
+			// During a class crackdown — or whenever the policy raises
+			// ScrutinizeCleartext — a cleartext verdict on a tiny sample
+			// stays provisional: a couple of 9-byte keepalive frames look
+			// printable under a byte-substitution cipher, and latching on
+			// them would leave the flow permanently immune to an
+			// encrypted-fingerprint crackdown. Keep buffering and
 			// re-examine until enough of the first flight has crossed to
-			// commit. Outside a crackdown the verdict latches immediately
+			// commit. Otherwise the verdict latches immediately
 			// (steady-state DPI spends no extra scrutiny on a flow it has
 			// no reason to reset).
 			fs.classified = class != ClassLowEntropy ||
 				len(fs.firstBytes) >= lowEntropyLatchBytes ||
-				len(g.blockedClass) == 0
+				(len(g.blockedClass) == 0 && !g.scrutinizeCleartext)
 			changed := class != fs.class
 			if changed {
 				fs.class = class

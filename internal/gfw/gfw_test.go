@@ -465,7 +465,7 @@ func TestBlockIPAtRuntime(t *testing.T) {
 		defer conn.Close()
 		io.Copy(io.Discard, conn)
 	})
-	w.g.BlockIP("203.0.113.10")
+	w.g.Apply(Policy{BlockIPs: []string{"203.0.113.10"}})
 	w.run(t, func() error {
 		_, err := w.client.DialTCP("203.0.113.10:443")
 		if !errors.Is(err, netsim.ErrDialTimeout) {

@@ -1,0 +1,109 @@
+package gfw
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Policy is the declarative description of the firewall's runtime
+// posture. It replaces the old imperative setters (SetResetStorm,
+// SetThrottle, SetClassBlock, BlockIP): callers describe the state they
+// want and Apply makes it so. Being a plain serializable value, a Policy
+// can live in a censor schedule file, cross an API boundary, or be
+// diffed in a test — none of which a sequence of setter calls allowed.
+type Policy struct {
+	// ResetStorm is the probability that a tracked TCP packet crossing
+	// the border is answered with forged RSTs to both endpoints — the
+	// GFW's episodic "reset storm" behaviour. Zero means no storm.
+	ResetStorm float64 `json:"reset_storm,omitempty"`
+
+	// Throttle is an extra drop probability applied to every tracked
+	// TCP packet, modeling an episodic bandwidth-throttling campaign
+	// against cross-border traffic. Zero means no throttling.
+	Throttle float64 `json:"throttle,omitempty"`
+
+	// BlockClasses lists the DPI traffic classes under a fingerprint
+	// crackdown: every packet of a classified flow in a listed class is
+	// answered with forged RSTs. Blocking ClassEncrypted kills the
+	// blinded carrier outright; adding ClassTLS escalates to a full
+	// crackdown that only the DNS tunnel survives.
+	BlockClasses []Class `json:"block_classes,omitempty"`
+
+	// BlockIPs are addresses to blackhole. Blackholing is cumulative:
+	// applying a policy adds its addresses to the blackhole list but
+	// never removes earlier ones, matching how the real GFW's
+	// IP blacklist only grows within an enforcement episode and letting
+	// independent actors (takedown agencies, censor controllers)
+	// compose without erasing each other's blocks.
+	BlockIPs []string `json:"block_ips,omitempty"`
+
+	// ScrutinizeCleartext keeps a small-sample cleartext DPI verdict
+	// provisional even when no class crackdown is active: the firewall
+	// keeps buffering until lowEntropyLatchBytes of the first flight
+	// have crossed before latching a flow as cleartext. Without it (and
+	// outside a crackdown) the verdict latches immediately — a couple
+	// of 9-byte printable keepalive frames under a byte-substitution
+	// cipher would leave the flow permanently classified ClassLowEntropy
+	// and immune to any later encrypted-fingerprint crackdown. Adaptive
+	// censors raise it when they start watching a border closely.
+	ScrutinizeCleartext bool `json:"scrutinize_cleartext,omitempty"`
+}
+
+// Validate rejects out-of-range probabilities. Class names are not
+// validated: a policy may name classes the DPI never assigns (they
+// simply never match), which keeps schedule files forward-compatible.
+func (p Policy) Validate() error {
+	if p.ResetStorm < 0 || p.ResetStorm > 1 {
+		return fmt.Errorf("gfw policy: reset storm rate %v is not a probability in [0, 1]", p.ResetStorm)
+	}
+	if p.Throttle < 0 || p.Throttle > 1 {
+		return fmt.Errorf("gfw policy: throttle loss %v is not a probability in [0, 1]", p.Throttle)
+	}
+	return nil
+}
+
+// Apply installs p as the firewall's runtime posture. ResetStorm,
+// Throttle, BlockClasses and ScrutinizeCleartext are absolute — the
+// previous values are replaced wholesale, so applying a zero Policy
+// ends every episode. BlockIPs is cumulative (see the field comment).
+// Apply is the single mutation path for runtime censorship state.
+func (g *GFW) Apply(p Policy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stormRate = p.ResetStorm
+	g.throttleLoss = p.Throttle
+	g.scrutinizeCleartext = p.ScrutinizeCleartext
+	clear(g.blockedClass)
+	for _, c := range p.BlockClasses {
+		g.blockedClass[c] = true
+	}
+	for _, ip := range p.BlockIPs {
+		g.blockedIP[ip] = true
+	}
+}
+
+// ActivePolicy returns the firewall's current posture as a Policy.
+// BlockIPs reflects the full blackhole list, including addresses seeded
+// by Config.BlockedIPs; lists are sorted copies, safe to mutate.
+// Feeding the result back to Apply is a no-op, which is what lets
+// composing actors (fault schedulers layering an episode over an armed
+// crackdown, enforcement takedowns mid-episode) read-modify-write the
+// posture without clobbering each other.
+func (g *GFW) ActivePolicy() Policy {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := Policy{
+		ResetStorm:          g.stormRate,
+		Throttle:            g.throttleLoss,
+		ScrutinizeCleartext: g.scrutinizeCleartext,
+	}
+	for c := range g.blockedClass {
+		p.BlockClasses = append(p.BlockClasses, c)
+	}
+	slices.Sort(p.BlockClasses)
+	for ip := range g.blockedIP {
+		p.BlockIPs = append(p.BlockIPs, ip)
+	}
+	slices.Sort(p.BlockIPs)
+	return p
+}

@@ -1,0 +1,171 @@
+package gfw
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"scholarcloud/internal/netsim"
+)
+
+// bareGFW is a firewall with no network attached: the TCP inspection
+// path never injects packets, so synthetic calls to Inspect exercise
+// DPI and policy treatment directly.
+func bareGFW() *GFW {
+	return New(Config{Seed: 7})
+}
+
+// flowPacket builds the n-th client→server data packet of one flow.
+func flowPacket(id uint64, payload []byte) *netsim.Packet {
+	return &netsim.Packet{
+		ID:      id,
+		Proto:   netsim.ProtoTCP,
+		Src:     netsim.AddrPort{IP: "10.1.0.2", Port: 40000},
+		Dst:     netsim.AddrPort{IP: "203.0.113.10", Port: 443},
+		Payload: payload,
+		Wire:    len(payload) + 40,
+	}
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := Policy{
+		ResetStorm:          0.25,
+		Throttle:            0.1,
+		BlockClasses:        []Class{ClassEncrypted, ClassTLS},
+		BlockIPs:            []string{"203.0.113.10"},
+		ScrutinizeCleartext: true,
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Policy
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip: got %+v, want %+v", got, p)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (Policy{ResetStorm: 0.5, Throttle: 0.5}).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if err := (Policy{ResetStorm: 1.5}).Validate(); err == nil {
+		t.Error("reset storm 1.5 accepted")
+	}
+	if err := (Policy{Throttle: -0.1}).Validate(); err == nil {
+		t.Error("throttle -0.1 accepted")
+	}
+}
+
+// TestApplySemantics pins Apply's contract: episode fields and class
+// blocks are absolute, IP blackholes are cumulative, and feeding
+// ActivePolicy back to Apply is a no-op.
+func TestApplySemantics(t *testing.T) {
+	g := bareGFW()
+	g.Apply(Policy{
+		ResetStorm:   0.2,
+		Throttle:     0.05,
+		BlockClasses: []Class{ClassEncrypted},
+		BlockIPs:     []string{"198.51.100.1"},
+	})
+	g.Apply(Policy{BlockClasses: []Class{ClassTLS}, BlockIPs: []string{"198.51.100.2"}})
+
+	got := g.ActivePolicy()
+	if got.ResetStorm != 0 || got.Throttle != 0 {
+		t.Errorf("episode fields not absolute: %+v", got)
+	}
+	if want := []Class{ClassTLS}; !reflect.DeepEqual(got.BlockClasses, want) {
+		t.Errorf("class blocks = %v, want %v (absolute replace)", got.BlockClasses, want)
+	}
+	if want := []string{"198.51.100.1", "198.51.100.2"}; !reflect.DeepEqual(got.BlockIPs, want) {
+		t.Errorf("blackhole list = %v, want %v (cumulative)", got.BlockIPs, want)
+	}
+
+	g.Apply(got) // read-modify-write identity
+	if after := g.ActivePolicy(); !reflect.DeepEqual(after, got) {
+		t.Errorf("Apply(ActivePolicy()) changed posture: %+v -> %+v", got, after)
+	}
+}
+
+// straddle is a first flight whose opening frames look printable (as a
+// byte-substitution cipher's short keepalives do) but whose full flight
+// is clearly encrypted — the case the provisional cleartext verdict
+// exists for.
+func straddleFlight() (early, late []byte) {
+	// 21 printable bytes: enough for DPI to commit a cleartext verdict
+	// (>= minClassifyBytes) but well short of lowEntropyLatchBytes.
+	early = []byte("ping ok keepalive 1\r\n")
+	late = make([]byte, 160)
+	for i := range late {
+		late[i] = byte(i*167 + 13) // high entropy, mostly unprintable
+	}
+	return early, late
+}
+
+// TestScrutinizeCleartextStraddle exercises the straddle case directly:
+// with ScrutinizeCleartext raised, a small printable prefix must not
+// latch the flow as cleartext — the later encrypted bytes re-classify
+// it and a subsequent encrypted-fingerprint crackdown resets it.
+func TestScrutinizeCleartextStraddle(t *testing.T) {
+	g := bareGFW()
+	g.Apply(Policy{ScrutinizeCleartext: true})
+	early, late := straddleFlight()
+
+	if v := g.Inspect(flowPacket(1, early)); v != netsim.VerdictPass {
+		t.Fatalf("early packet verdict = %v, want pass", v)
+	}
+	if v := g.Inspect(flowPacket(2, late)); v != netsim.VerdictPass {
+		t.Fatalf("late packet verdict = %v, want pass (no crackdown yet)", v)
+	}
+	if n := g.ClassCounts()[ClassEncrypted]; n != 1 {
+		t.Fatalf("encrypted flows = %d, want 1 (straddle flow re-classified)", n)
+	}
+
+	// The crackdown lands on the re-classified flow.
+	g.Apply(Policy{ScrutinizeCleartext: true, BlockClasses: []Class{ClassEncrypted}})
+	if v := g.Inspect(flowPacket(3, []byte{0x81, 0x9f, 0x44})); v != netsim.VerdictReset {
+		t.Errorf("crackdown verdict = %v, want reset", v)
+	}
+}
+
+// TestCleartextLatchesWithoutScrutiny pins the steady-state behaviour:
+// outside a crackdown and without ScrutinizeCleartext, the same small
+// printable prefix latches immediately, leaving the flow permanently
+// ClassLowEntropy and immune to a later encrypted-class crackdown.
+func TestCleartextLatchesWithoutScrutiny(t *testing.T) {
+	g := bareGFW()
+	early, late := straddleFlight()
+
+	g.Inspect(flowPacket(1, early))
+	g.Inspect(flowPacket(2, late))
+	if n := g.ClassCounts()[ClassEncrypted]; n != 0 {
+		t.Fatalf("encrypted flows = %d, want 0 (verdict latched on prefix)", n)
+	}
+	if n := g.ClassCounts()[ClassLowEntropy]; n != 1 {
+		t.Fatalf("cleartext flows = %d, want 1", n)
+	}
+
+	g.Apply(Policy{BlockClasses: []Class{ClassEncrypted}})
+	if v := g.Inspect(flowPacket(3, []byte{0x81, 0x9f, 0x44})); v != netsim.VerdictPass {
+		t.Errorf("latched cleartext flow verdict = %v, want pass", v)
+	}
+}
+
+// TestCrackdownKeepsSmallSampleProvisional covers the pre-existing
+// crackdown-only branch of the same latch: an active class block alone
+// (no ScrutinizeCleartext) also keeps the small-sample verdict open.
+func TestCrackdownKeepsSmallSampleProvisional(t *testing.T) {
+	g := bareGFW()
+	g.Apply(Policy{BlockClasses: []Class{ClassEncrypted}})
+	early, late := straddleFlight()
+
+	if v := g.Inspect(flowPacket(1, early)); v != netsim.VerdictPass {
+		t.Fatalf("early packet verdict = %v, want pass", v)
+	}
+	if v := g.Inspect(flowPacket(2, late)); v != netsim.VerdictReset {
+		t.Errorf("late packet verdict = %v, want reset (re-classified mid-crackdown)", v)
+	}
+}

@@ -823,6 +823,17 @@ type simRand struct {
 func (r *simRand) Read(p []byte) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Single-byte reads are served statelessly, without advancing the
+	// counter. crypto/internal/randutil.MaybeReadByte — called by the
+	// stdlib crypto packages (ecdh, ecdsa, rsa) precisely to stop callers
+	// from relying on a deterministic rand.Reader — consumes one byte on
+	// a *runtime-random* 50% of calls; if that read advanced the stream,
+	// every key generated afterwards would depend on a coin flip the
+	// scheduler cannot serialize, and no seeded world would replay.
+	if len(p) == 1 {
+		p[0] = byte(splitmix64(r.key ^ r.ctr ^ 0xB17E))
+		return 1, nil
+	}
 	for i := 0; i < len(p); i += 8 {
 		r.ctr++
 		v := splitmix64(r.key ^ r.ctr)

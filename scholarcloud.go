@@ -26,6 +26,7 @@ import (
 
 	"scholarcloud/internal/autoscale"
 	"scholarcloud/internal/carrier"
+	"scholarcloud/internal/censor"
 	"scholarcloud/internal/experiments"
 	"scholarcloud/internal/faults"
 	"scholarcloud/internal/metrics"
@@ -42,6 +43,8 @@ type Simulation struct {
 
 	// flowClients carries Options.FlowClients for flow-level measurements.
 	flowClients int
+	// censorStage carries Options.Censor.Stage for MeasureTransports.
+	censorStage string
 }
 
 // FleetOptions backs ScholarCloud's domestic proxy with a managed pool of
@@ -104,12 +107,13 @@ func (c *CacheOptions) Validate() error {
 	return nil
 }
 
-// FaultOptions arms a scripted fault scenario against the world — timed
-// loss bursts, latency spikes, bandwidth collapse, link flaps, GFW
-// reset-storm and throttling episodes, remote-proxy crashes — and
-// optionally turns on the client path's resilience layer. The script
-// executes on the virtual clock once a measurement starts (see
-// Simulation.MeasureFaults).
+// FaultOptions arms a scripted infrastructure-fault scenario against the
+// world — timed loss bursts, latency spikes, bandwidth collapse, link
+// flaps, remote-proxy crashes — and optionally turns on the client
+// path's resilience layer. The script executes on the virtual clock once
+// a measurement starts (see Simulation.MeasureFaults). Deliberate
+// censor interference (GFW reset storms and throttling campaigns) is
+// not a fault: arm it through Options.Censor.Episode instead.
 type FaultOptions struct {
 	// Scenario names one of the scripted scenarios (faults.Scenarios()),
 	// e.g. "loss-burst" or "burst-loss+crash". Required.
@@ -122,6 +126,12 @@ type FaultOptions struct {
 	Resilience bool
 }
 
+// gfwEpisodes are the scripted scenarios that model deliberate censor
+// interference rather than infrastructure faults. They are armed through
+// CensorOptions.Episode; FaultOptions rejects them so every censorship
+// knob has exactly one home.
+var gfwEpisodes = map[string]bool{"reset-storm": true, "throttle": true}
+
 // Validate rejects nonsensical fault configurations.
 func (f *FaultOptions) Validate() error {
 	if f == nil {
@@ -129,6 +139,9 @@ func (f *FaultOptions) Validate() error {
 	}
 	if f.Scenario == "" {
 		return fmt.Errorf("scholarcloud: FaultOptions.Scenario is empty — omit the Faults block to run the healthy world (known scenarios: %s)", strings.Join(faults.Scenarios(), ", "))
+	}
+	if gfwEpisodes[f.Scenario] {
+		return fmt.Errorf("scholarcloud: scenario %q is a deliberate GFW interference episode, not an infrastructure fault — arm it through Options.Censor.Episode instead", f.Scenario)
 	}
 	if _, ok := faults.Script(f.Scenario); !ok {
 		return fmt.Errorf("scholarcloud: unknown fault scenario %q (known scenarios: %s)", f.Scenario, strings.Join(faults.Scenarios(), ", "))
@@ -186,6 +199,80 @@ func TransportNames() []string { return carrier.Known() }
 // TransportStages lists the censor escalation stages
 // Simulation.MeasureTransports accepts, mildest first.
 func TransportStages() []string { return experiments.TransportStageNames() }
+
+// CensorOptions is the single home for every censorship knob the facade
+// exposes — what the censor does, rather than what the deployment runs.
+//
+// Exactly one of the three modes is set:
+//
+//   - Profile builds a multi-border world (CensorProfiles()): each
+//     border crosses its own firewall with independent policy state, on
+//     a scripted schedule or under an adaptive controller that watches
+//     that border's flow classifications and escalates region by region.
+//     Measured with Simulation.MeasureCensorship.
+//
+//   - Stage pins the single-border transport world to one fixed censor
+//     escalation stage (TransportStages()); requires a Transports block.
+//     It is the default stage of Simulation.MeasureTransports, which
+//     previously could only be chosen call by call.
+//
+//   - Episode arms a deliberate GFW interference episode — "reset-storm"
+//     or "throttle" — against the single border, measured with
+//     Simulation.MeasureFaults. These two scripts were historically
+//     spelled as fault scenarios in Options.Faults; they are censor
+//     behaviour, so they live here now and FaultOptions rejects them.
+type CensorOptions struct {
+	// Profile names a multi-border censorship regime (CensorProfiles()).
+	Profile string
+	// Stage names a fixed censor escalation stage for the transport
+	// ladder world (TransportStages()).
+	Stage string
+	// Episode names a GFW interference episode: "reset-storm" or
+	// "throttle".
+	Episode string
+	// Resilience enables the client path's resilience layer, exactly as
+	// FaultOptions.Resilience and TransportOptions.Resilience do.
+	Resilience bool
+}
+
+// Validate rejects nonsensical censor configurations.
+func (c *CensorOptions) Validate() error {
+	if c == nil {
+		return nil
+	}
+	set := 0
+	for _, v := range []string{c.Profile, c.Stage, c.Episode} {
+		if v != "" {
+			set++
+		}
+	}
+	if set == 0 {
+		return fmt.Errorf("scholarcloud: CensorOptions is empty — set Profile, Stage or Episode, or omit the Censor block for the standing censor")
+	}
+	if set > 1 {
+		return fmt.Errorf("scholarcloud: CensorOptions.Profile, Stage and Episode are mutually exclusive — a multi-border profile schedules its own stages and episodes")
+	}
+	if c.Profile != "" {
+		if _, ok := censor.ProfileByName(c.Profile); !ok {
+			return fmt.Errorf("scholarcloud: unknown censor profile %q (known profiles: %s)",
+				c.Profile, strings.Join(censor.ProfileNames(), ", "))
+		}
+	}
+	if c.Stage != "" {
+		if _, ok := experiments.TransportStageByName(c.Stage); !ok {
+			return fmt.Errorf("scholarcloud: unknown censor stage %q (known stages: %s)",
+				c.Stage, strings.Join(experiments.TransportStageNames(), ", "))
+		}
+	}
+	if c.Episode != "" && !gfwEpisodes[c.Episode] {
+		return fmt.Errorf("scholarcloud: unknown GFW episode %q (known episodes: reset-storm, throttle)", c.Episode)
+	}
+	return nil
+}
+
+// CensorProfiles lists the multi-border censorship regimes
+// CensorOptions.Profile accepts, in declaration order.
+func CensorProfiles() []string { return censor.ProfileNames() }
 
 // ShardOptions splits the domestic tier horizontally: Count proxy shards
 // stand inside the censored network, the PAC file hashes each user onto
@@ -297,6 +384,12 @@ type Options struct {
 	// manages its own endpoint pool). Nil keeps every figure
 	// byte-identical to the single-carrier build.
 	Transports *TransportOptions
+	// Censor, when non-nil, puts the censor itself under test: a
+	// multi-border Profile (measured with MeasureCensorship), a fixed
+	// escalation Stage for the transport world, or a GFW interference
+	// Episode (measured with MeasureFaults). Nil keeps the standing
+	// censor and every figure byte-identical to it.
+	Censor *CensorOptions
 	// Shards, when non-nil, splits the domestic tier into Shards.Count
 	// PAC-assigned proxy shards with peered content caches. Requires
 	// Cache; mutually exclusive with Fleet and Transports. Nil keeps the
@@ -327,6 +420,7 @@ func (o Options) Validate() error {
 		o.Cache,
 		o.Faults,
 		o.Transports,
+		o.Censor,
 		o.Shards,
 		o.Autoscale,
 	} {
@@ -336,6 +430,30 @@ func (o Options) Validate() error {
 	}
 	if o.Transports != nil && o.Fleet != nil {
 		return fmt.Errorf("scholarcloud: Transports and Fleet are mutually exclusive — the transport ladder manages its own endpoint pool")
+	}
+	if c := o.Censor; c != nil {
+		if c.Profile != "" {
+			for _, conflict := range []struct {
+				name    string
+				present bool
+			}{
+				{"Fleet", o.Fleet != nil},
+				{"Cache", o.Cache != nil},
+				{"Faults", o.Faults != nil},
+				{"Transports", o.Transports != nil},
+				{"Shards", o.Shards != nil},
+			} {
+				if conflict.present {
+					return fmt.Errorf("scholarcloud: Censor.Profile and %s are mutually exclusive — every border of a multi-border world runs its own full deployment (transport ladder, resilience) and its own censor schedule", conflict.name)
+				}
+			}
+		}
+		if c.Stage != "" && o.Transports == nil {
+			return fmt.Errorf("scholarcloud: Censor.Stage requires a Transports block — a fixed escalation stage is measured against the carrier ladder")
+		}
+		if c.Episode != "" && o.Faults != nil {
+			return fmt.Errorf("scholarcloud: Censor.Episode and Faults are mutually exclusive — run the GFW episode and the infrastructure faults in separate worlds so each measurement isolates one cause")
+		}
 	}
 	if o.Shards != nil {
 		if o.Cache == nil {
@@ -398,6 +516,20 @@ func NewSimulation(opts Options) *Simulation {
 		}
 		cfg.Resilience = cfg.Resilience || t.Resilience
 	}
+	censorStage := ""
+	if c := opts.Censor; c != nil {
+		if c.Profile != "" {
+			p, _ := censor.ProfileByName(c.Profile)
+			cfg.Censor = &p
+		}
+		if c.Episode != "" {
+			// A GFW episode rides the fault scheduler's script machinery;
+			// Validate already guaranteed no Faults block competes for it.
+			cfg.FaultScenario = c.Episode
+		}
+		censorStage = c.Stage
+		cfg.Resilience = cfg.Resilience || c.Resilience
+	}
 	if sh := opts.Shards; sh != nil {
 		cfg.Shards = sh.Count
 		cfg.ShardSiblingFetch = sh.SiblingFetch
@@ -408,7 +540,7 @@ func NewSimulation(opts Options) *Simulation {
 		cfg.AutoscalePolicy = a.Policy
 		cfg.AutoscaleInterval = a.Interval
 	}
-	return &Simulation{World: experiments.NewWorld(cfg), flowClients: opts.FlowClients}
+	return &Simulation{World: experiments.NewWorld(cfg), flowClients: opts.FlowClients, censorStage: censorStage}
 }
 
 // Close stops the simulation.
@@ -658,12 +790,13 @@ type FaultsResult struct {
 func (r *FaultsResult) setObs(sn obs.Snapshot) { r.Obs = sn }
 
 // MeasureFaults runs `clients` concurrent ScholarCloud clients for
-// `rounds` visit rounds while the scenario configured through
-// Options.Faults executes on the virtual clock. The simulation must have
-// been built with a Faults block.
+// `rounds` visit rounds while the script configured through
+// Options.Faults (infrastructure faults) or Options.Censor.Episode (GFW
+// interference) executes on the virtual clock. The simulation must have
+// been built with one of those blocks.
 func (s *Simulation) MeasureFaults(clients, rounds int) (*FaultsResult, error) {
 	if s.World.Cfg.FaultScenario == "" {
-		return nil, fmt.Errorf("scholarcloud: MeasureFaults needs Options.Faults (known scenarios: %s)", strings.Join(faults.Scenarios(), ", "))
+		return nil, fmt.Errorf("scholarcloud: MeasureFaults needs Options.Faults or Options.Censor.Episode (known scenarios: %s)", strings.Join(faults.Scenarios(), ", "))
 	}
 	res := &FaultsResult{}
 	return measureInto(s, res,
@@ -703,10 +836,18 @@ func (r *TransportsResult) setObs(sn obs.Snapshot) { r.Obs = sn }
 // MeasureTransports arms the named censor stage (TransportStages()), then
 // runs `clients` concurrent ScholarCloud clients for `rounds` visit
 // rounds against the carrier escalation ladder. The simulation must have
-// been built with a Transports block.
+// been built with a Transports block. An empty stage selects the stage
+// configured through Options.Censor.Stage.
 func (s *Simulation) MeasureTransports(stage string, clients, rounds int) (*TransportsResult, error) {
 	if len(s.World.Cfg.Transports) == 0 {
 		return nil, fmt.Errorf("scholarcloud: MeasureTransports needs Options.Transports")
+	}
+	if stage == "" {
+		if s.censorStage == "" {
+			return nil, fmt.Errorf("scholarcloud: no censor stage — pass one to MeasureTransports or set Options.Censor.Stage (known stages: %s)",
+				strings.Join(experiments.TransportStageNames(), ", "))
+		}
+		stage = s.censorStage
 	}
 	st, ok := experiments.TransportStageByName(stage)
 	if !ok {
@@ -724,6 +865,96 @@ func (s *Simulation) MeasureTransports(stage string, clients, rounds int) (*Tran
 			res.Invocations, res.InvocationCostUSD = r.Invocations, r.InvocationCostUSD()
 			res.PLT, res.Visits, res.Failed = r.PLT, r.Visits, r.Failed
 			res.SuccessRate = r.SuccessRate()
+		})
+}
+
+// CensorEvent is one entry of a border's escalation timeline: a scripted
+// stage firing, an adaptive escalation or relaxation, a traffic class
+// fingerprinted, a confirmed server blackholed, or the client cohort
+// rotating transports in response.
+type CensorEvent = censor.Event
+
+// RungSurvival is one transport rung's share of a border's page loads —
+// the per-transport survival curve.
+type RungSurvival = experiments.RungSurvival
+
+// BorderResult is one border's outcome under a multi-border censorship
+// profile: where its censor's escalation settled, where its client
+// cohort's transport ladder settled, and what the crackdown cost.
+type BorderResult struct {
+	Border string
+	// FinalLevel is the adaptive controller's final escalation rung
+	// ("static" for scripted or lenient borders).
+	FinalLevel string
+	// FinalRung is the ladder's active transport once the load completed.
+	FinalRung string
+	// Escalations and Recoveries count the cohort's ladder moves.
+	Escalations int64
+	Recoveries  int64
+	PLT         Summary // seconds, successful visits only
+	Visits      int
+	Failed      int
+	// SuccessRate is the fraction of this border's page loads that
+	// completed.
+	SuccessRate float64
+	// Survival breaks the visits out per active transport, in ladder
+	// order.
+	Survival []RungSurvival
+	// Timeline is the border's merged escalation history, in onset order.
+	Timeline []CensorEvent
+}
+
+// CensorshipResult is a multi-border censorship datapoint: every border
+// of the armed profile measured under the same concurrent load.
+type CensorshipResult struct {
+	Profile string
+	// Clients is the per-border concurrent cohort size.
+	Clients int
+	Rounds  int
+	Visits  int
+	Failed  int
+	// SuccessRate is the whole-world fraction of page loads that
+	// completed.
+	SuccessRate float64
+	Borders     []BorderResult
+	Obs         obs.Snapshot
+}
+
+func (r *CensorshipResult) setObs(sn obs.Snapshot) { r.Obs = sn }
+
+// MeasureCensorship arms the multi-border profile configured through
+// Options.Censor.Profile, then runs `clients` concurrent ScholarCloud
+// clients per border for `rounds` visit rounds while every border's
+// censor follows its own schedule or adaptive controller. The simulation
+// must have been built with a Censor block naming a Profile.
+func (s *Simulation) MeasureCensorship(clients, rounds int) (*CensorshipResult, error) {
+	if s.World.Cfg.Censor == nil {
+		return nil, fmt.Errorf("scholarcloud: MeasureCensorship needs Options.Censor.Profile (known profiles: %s)",
+			strings.Join(censor.ProfileNames(), ", "))
+	}
+	res := &CensorshipResult{}
+	return measureInto(s, res,
+		func() (*experiments.CensorPoint, error) { return s.World.MeasureCensorship(clients, rounds) },
+		func(p *experiments.CensorPoint) {
+			res.Profile, res.Clients, res.Rounds = p.Profile, p.Clients, p.Rounds
+			res.SuccessRate = p.SuccessRate()
+			for _, b := range p.Borders {
+				res.Visits += b.Visits
+				res.Failed += b.Failed
+				res.Borders = append(res.Borders, BorderResult{
+					Border:      b.Border,
+					FinalLevel:  b.FinalLevel,
+					FinalRung:   b.FinalRung,
+					Escalations: b.Escalations,
+					Recoveries:  b.Recoveries,
+					PLT:         b.PLT,
+					Visits:      b.Visits,
+					Failed:      b.Failed,
+					SuccessRate: b.SuccessRate(),
+					Survival:    b.Survival,
+					Timeline:    b.Timeline,
+				})
+			}
 		})
 }
 

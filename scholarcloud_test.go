@@ -346,3 +346,98 @@ func TestAutoscaleOptionsValidation(t *testing.T) {
 		t.Errorf("valid autoscale options rejected: %v", err)
 	}
 }
+
+func TestCensorFacade(t *testing.T) {
+	sim := NewSimulation(Options{
+		Seed:   2017,
+		Censor: &CensorOptions{Profile: "regional", Resilience: true},
+	})
+	defer sim.Close()
+
+	profiles := CensorProfiles()
+	if len(profiles) != 3 || profiles[0] != "scripted" {
+		t.Fatalf("censor profiles = %v", profiles)
+	}
+
+	r, err := sim.MeasureCensorship(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Profile != "regional" || len(r.Borders) != 2 {
+		t.Fatalf("result = profile %q, %d borders", r.Profile, len(r.Borders))
+	}
+	if r.Visits == 0 || r.SuccessRate <= 0 {
+		t.Errorf("visits = %d, success = %v", r.Visits, r.SuccessRate)
+	}
+	for _, b := range r.Borders {
+		if b.FinalRung == "" || len(b.Survival) == 0 {
+			t.Errorf("border %s missing rung/survival: %+v", b.Border, b)
+		}
+	}
+}
+
+func TestCensorStageOption(t *testing.T) {
+	sim := NewSimulation(Options{
+		Seed:       13,
+		Transports: &TransportOptions{Resilience: true},
+		Censor:     &CensorOptions{Stage: "open"},
+	})
+	defer sim.Close()
+	// An empty stage argument selects the configured Censor.Stage.
+	r, err := sim.MeasureTransports("", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stage != "open" {
+		t.Errorf("stage = %q, want the configured %q", r.Stage, "open")
+	}
+}
+
+func TestCensorOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"empty block", Options{Censor: &CensorOptions{}}, "CensorOptions is empty"},
+		{"two modes", Options{Censor: &CensorOptions{Profile: "adaptive", Episode: "throttle"}}, "mutually exclusive"},
+		{"unknown profile", Options{Censor: &CensorOptions{Profile: "panopticon"}}, "unknown censor profile"},
+		{"unknown episode", Options{Censor: &CensorOptions{Episode: "brownout"}}, "unknown GFW episode"},
+		{"stage without transports", Options{Censor: &CensorOptions{Stage: "open"}}, "requires a Transports block"},
+		{"profile with transports", Options{
+			Censor:     &CensorOptions{Profile: "adaptive"},
+			Transports: &TransportOptions{},
+		}, "mutually exclusive"},
+		{"episode with faults", Options{
+			Censor: &CensorOptions{Episode: "reset-storm"},
+			Faults: &FaultOptions{Scenario: "loss-burst"},
+		}, "mutually exclusive"},
+		{"episode as fault scenario", Options{
+			Faults: &FaultOptions{Scenario: "reset-storm"},
+		}, "Options.Censor.Episode"},
+	}
+	for _, c := range cases {
+		err := c.opts.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCensorEpisodeFacade(t *testing.T) {
+	sim := NewSimulation(Options{
+		Seed:   13,
+		Censor: &CensorOptions{Episode: "reset-storm", Resilience: true},
+	})
+	defer sim.Close()
+	r, err := sim.MeasureFaults(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenario != "reset-storm" {
+		t.Errorf("scenario = %q, want reset-storm", r.Scenario)
+	}
+	if !r.Resilience {
+		t.Error("resilience flag did not propagate from the Censor block")
+	}
+}
